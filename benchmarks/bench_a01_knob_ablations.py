@@ -1,0 +1,134 @@
+"""A1-A3 — Ablations on the engine's own design knobs.
+
+These are not paper-claim reproductions but ablation studies on design
+choices DESIGN.md calls out, so their performance effects are on record:
+
+* **A1 — Level-0 run limit** (§2.2.3's stall knobs): how many flushed runs
+  L0 may stack before ingestion stalls trades lookup cost (more
+  overlapping runs to probe) against stall frequency.
+* **A2 — Number of memory buffers** (§2.2.1): extra immutable buffers
+  absorb ingestion bursts, shaving the write tail.
+* **A3 — Block size** (§2.1.3): bigger blocks mean fewer fence pointers
+  (less memory) but more superfluous bytes per point lookup.
+"""
+
+from __future__ import annotations
+
+from repro.core.stats import percentile
+from repro.core.tree import LSMTree
+from repro.bench.report import format_table
+
+from common import bench_config, save_and_print, shuffled_keys
+
+NUM_KEYS = 10_000
+
+
+def test_a1_level0_run_limit(benchmark):
+    def run(limit):
+        tree = LSMTree(bench_config(level0_run_limit=limit))
+        for key in shuffled_keys(NUM_KEYS):
+            tree.put(key, "v" * 24)
+        before = tree.disk.counters.snapshot()
+        probes_before = tree.stats.runs_probed
+        for index in range(300):
+            tree.get(f"key{(index * 37) % NUM_KEYS:08d}")
+        pages = tree.disk.counters.delta(before).pages_read / 300
+        probes = (tree.stats.runs_probed - probes_before) / 300
+        return (
+            limit,
+            tree.stats.stall_events,
+            percentile(tree.stats.write_latencies_us, 0.999),
+            tree.write_amplification(),
+            probes,
+            pages,
+        )
+
+    rows = benchmark.pedantic(
+        lambda: [run(limit) for limit in (1, 2, 4, 8)], rounds=1, iterations=1
+    )
+    save_and_print(
+        "A01",
+        format_table(
+            ["L0 run limit", "stall events", "write p99.9 (us)", "write amp",
+             "runs probed/lookup", "pages/lookup"],
+            rows,
+            title="A1: Level-0 run limit — stalls vs lookup cost",
+        ),
+    )
+    # More headroom in L0 -> fewer/cheaper stalls but more runs to probe.
+    assert rows[0][1] >= rows[-1][1]
+    assert rows[-1][4] >= rows[0][4]
+
+
+def test_a2_buffer_count(benchmark):
+    def run(num_buffers):
+        tree = LSMTree(bench_config(num_buffers=num_buffers))
+        for key in shuffled_keys(NUM_KEYS):
+            tree.put(key, "v" * 24)
+        latencies = tree.stats.write_latencies_us
+        return (
+            num_buffers,
+            percentile(latencies, 0.99),
+            percentile(latencies, 0.999),
+            max(latencies),
+            tree.write_amplification(),
+        )
+
+    rows = benchmark.pedantic(
+        lambda: [run(count) for count in (1, 2, 4)], rounds=1, iterations=1
+    )
+    save_and_print(
+        "A02",
+        format_table(
+            ["buffers", "write p99 (us)", "write p99.9 (us)",
+             "write max (us)", "write amp"],
+            rows,
+            title="A2: number of memory buffers — burst absorption",
+        ),
+    )
+    # WA is essentially unaffected; the knob is about when work happens.
+    assert abs(rows[0][4] - rows[-1][4]) < rows[0][4] * 0.2
+
+
+def test_a3_block_size(benchmark):
+    def run(block_bytes):
+        tree = LSMTree(
+            bench_config(block_bytes=block_bytes, filter_bits_per_key=10.0)
+        )
+        for key in shuffled_keys(NUM_KEYS):
+            tree.put(key, "v" * 24)
+        before = tree.disk.counters.snapshot()
+        for index in range(300):
+            tree.get(f"key{(index * 37) % NUM_KEYS:08d}")
+        read_bytes = tree.disk.counters.delta(before).bytes_read / 300
+        fence_bits = sum(
+            table.fence.memory_bits
+            for level in tree.levels
+            for run in level.runs
+            for table in run.tables
+            if table.fence is not None
+        )
+        return (
+            block_bytes,
+            read_bytes,
+            fence_bits / 8192.0,
+            tree.write_amplification(),
+        )
+
+    rows = benchmark.pedantic(
+        lambda: [run(size) for size in (512, 1024, 4096, 16384)],
+        rounds=1,
+        iterations=1,
+    )
+    save_and_print(
+        "A03",
+        format_table(
+            ["block bytes", "bytes read/lookup", "fence memory (KiB)",
+             "write amp"],
+            rows,
+            title="A3: block size — lookup bytes vs fence-pointer memory",
+        ),
+    )
+    # Bigger blocks: more bytes per lookup, less fence metadata.
+    assert rows[-1][1] > rows[0][1]
+    assert rows[-1][2] < rows[0][2]

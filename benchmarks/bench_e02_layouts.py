@@ -1,0 +1,108 @@
+"""E2 — Disk data layouts: leveling vs tiering vs hybrids (§2.2.2, §2.1.2).
+
+Claims under reproduction: the tiered design "allows for (i) faster data
+ingestion and (ii) reduced write amplification; but comes at the cost of
+(iii) increased query cost and (iv) increased space amplification, as the
+tiered design has more sorted runs overall". Lazy leveling (Dostoevsky)
+and the RocksDB-style hybrid sit between the extremes.
+"""
+
+from __future__ import annotations
+
+from repro.bench.report import format_table
+from repro.core.tree import LSMTree
+
+from common import bench_config, save_and_print, shuffled_keys
+
+LAYOUTS = ["leveling", "lazy_leveling", "hybrid", "tiering"]
+NUM_KEYS = 12_000
+UPDATE_ROUNDS = 2  # full update passes: the duplicates space amp feeds on
+LOOKUPS = 400
+
+
+def _run_layout(layout: str):
+    config = bench_config(
+        layout=layout,
+        granularity="level" if layout != "leveling" else "file",
+        filter_bits_per_key=0.0,  # expose the raw run-probing read cost
+        fence_pointers=True,
+    )
+    tree = LSMTree(config)
+    keys = shuffled_keys(NUM_KEYS)
+    for key in keys:
+        tree.put(key, "v" * 24)
+    for update_round in range(1, UPDATE_ROUNDS + 1):
+        for key in shuffled_keys(NUM_KEYS, seed=update_round):
+            tree.put(key, "w" * 24)
+
+    ingest_us = tree.disk.now_us
+    write_amp = tree.write_amplification()
+    space_amp = tree.space_amplification()
+    runs = tree.total_run_count()
+
+    before = tree.disk.counters.snapshot()
+    gets_before = tree.stats.runs_probed
+    for index in range(LOOKUPS):
+        tree.get(keys[(index * 37) % NUM_KEYS])
+    found_pages = tree.disk.counters.delta(before).pages_read / LOOKUPS
+    runs_probed = (tree.stats.runs_probed - gets_before) / LOOKUPS
+
+    before = tree.disk.counters.snapshot()
+    for index in range(LOOKUPS):
+        tree.get(f"zzz{index}")
+    empty_pages = tree.disk.counters.delta(before).pages_read / LOOKUPS
+
+    tree.verify_invariants()
+    return {
+        "layout": layout,
+        "ingest_s": ingest_us / 1e6,
+        "wa": write_amp,
+        "runs": runs,
+        "sa": space_amp,
+        "hit_pages": found_pages,
+        "runs_probed": runs_probed,
+        "empty_pages": empty_pages,
+    }
+
+
+def test_e02_data_layouts(benchmark):
+    results = benchmark.pedantic(
+        lambda: [_run_layout(layout) for layout in LAYOUTS],
+        rounds=1,
+        iterations=1,
+    )
+
+    table = format_table(
+        ["layout", "ingest (sim s)", "write amp", "runs", "space amp",
+         "pages/lookup", "runs probed/lookup"],
+        [
+            (
+                row["layout"],
+                row["ingest_s"],
+                row["wa"],
+                row["runs"],
+                row["sa"],
+                row["hit_pages"],
+                row["runs_probed"],
+            )
+            for row in results
+        ],
+        title=(
+            "E2: data layouts (no filters) — expected: tiering ingests "
+            "faster / lower WA / more runs / higher read+space cost; "
+            "leveling the reverse; lazy leveling & hybrid in between"
+        ),
+    )
+    save_and_print("E02", table)
+
+    by_layout = {row["layout"]: row for row in results}
+    leveling, tiering = by_layout["leveling"], by_layout["tiering"]
+    lazy = by_layout["lazy_leveling"]
+    # Write side: tiering strictly cheaper, lazy leveling in between.
+    assert tiering["wa"] < leveling["wa"]
+    assert tiering["ingest_s"] < leveling["ingest_s"]
+    assert tiering["wa"] <= lazy["wa"] <= leveling["wa"] * 1.05
+    # Read/space side: tiering pays with more runs and space.
+    assert tiering["runs"] > leveling["runs"]
+    assert tiering["sa"] >= leveling["sa"]
+    assert tiering["runs_probed"] >= leveling["runs_probed"]

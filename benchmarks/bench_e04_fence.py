@@ -1,0 +1,83 @@
+"""E4 — Fence pointers (§2.1.3).
+
+Claim under reproduction: "Without help from any auxiliary data structures,
+LSM-trees would perform several superfluous disk I/Os for every lookup.
+Thus, virtually any LSM-tree design is supported by fence pointers" — with
+them, a lookup reads at most one data page per run probed.
+"""
+
+from __future__ import annotations
+
+from repro.bench.report import format_table, ratio
+from repro.core.tree import LSMTree
+
+from common import bench_config, save_and_print, shuffled_keys
+
+NUM_KEYS = 12_000
+LOOKUPS = 300
+
+
+def _run(fences: bool, filters: bool):
+    tree = LSMTree(
+        bench_config(
+            fence_pointers=fences,
+            filter_bits_per_key=10.0 if filters else 0.0,
+            target_file_bytes=16 * 1024,  # bigger files => more blocks each
+        )
+    )
+    for key in shuffled_keys(NUM_KEYS):
+        tree.put(key, "v" * 24)
+
+    before = tree.disk.counters.snapshot()
+    for index in range(LOOKUPS):
+        tree.get(f"key{(index * 53) % NUM_KEYS:08d}")
+    delta = tree.disk.counters.delta(before)
+    return {
+        "fences": fences,
+        "filters": filters,
+        "pages": delta.pages_read / LOOKUPS,
+        "requests": delta.read_requests / LOOKUPS,
+    }
+
+
+def test_e04_fence_pointers(benchmark):
+    results = benchmark.pedantic(
+        lambda: [
+            _run(fences, filters)
+            for fences in (True, False)
+            for filters in (True, False)
+        ],
+        rounds=1,
+        iterations=1,
+    )
+
+    table = format_table(
+        ["fence pointers", "bloom filters", "pages/lookup", "reads/lookup"],
+        [
+            (
+                "yes" if row["fences"] else "no",
+                "yes" if row["filters"] else "no",
+                row["pages"],
+                row["requests"],
+            )
+            for row in results
+        ],
+        title=(
+            "E4: fence pointers — expected: without fences a lookup "
+            "scans many blocks per run; with fences, at most one"
+        ),
+    )
+    save_and_print("E04", table)
+
+    by_key = {(row["fences"], row["filters"]): row for row in results}
+    # Fences cut lookup I/O by a multiple, with or without filters.
+    assert by_key[(False, True)]["pages"] > 2 * by_key[(True, True)]["pages"]
+    assert by_key[(False, False)]["pages"] > 2 * by_key[(True, False)]["pages"]
+    # With fences + filters, a hit lookup is ~1 page.
+    assert by_key[(True, True)]["pages"] < 2.0
+    # Print the headline factor for EXPERIMENTS.md.
+    factor = ratio(by_key[(False, True)]["pages"], by_key[(True, True)]["pages"])
+    save_and_print(
+        "E04-factor",
+        f"superfluous-I/O factor removed by fence pointers: {factor:.1f}x",
+    )

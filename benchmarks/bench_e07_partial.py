@@ -1,0 +1,86 @@
+"""E7 — Partial compaction and victim-file picking (§2.2.3).
+
+Claims under reproduction: (a) full-level compactions "entail heavy bursts
+of disk I/Os periodically, causing prolonged, undesired write stalls",
+while partial compaction amortizes the cost; (b) among partial pickers,
+choosing "files with the least overlap with the next level" minimizes
+write amplification.
+"""
+
+from __future__ import annotations
+
+from repro.bench.report import format_table
+from repro.core.stats import percentile
+from repro.core.tree import LSMTree
+
+from common import bench_config, save_and_print, shuffled_keys
+
+NUM_KEYS = 15_000
+UPDATES = 15_000
+
+SETTINGS = [
+    ("full level", "level", "round_robin"),
+    ("partial / round robin", "file", "round_robin"),
+    ("partial / least overlap", "file", "least_overlap"),
+    ("partial / oldest", "file", "oldest"),
+    ("partial / most tombstones", "file", "most_tombstones"),
+]
+
+
+def _run(label: str, granularity: str, picker: str):
+    tree = LSMTree(bench_config(granularity=granularity, picker=picker))
+    for key in shuffled_keys(NUM_KEYS):
+        tree.put(key, "v" * 24)
+    for key in shuffled_keys(UPDATES, seed=1):
+        tree.put(key, "w" * 24)
+
+    latencies = tree.stats.write_latencies_us
+    return {
+        "label": label,
+        "wa": tree.write_amplification(),
+        "compactions": tree.stats.compactions,
+        "bytes_per_compaction": (
+            tree.stats.compaction_bytes_written
+            / max(1, tree.stats.compactions)
+        ),
+        "p999_us": percentile(latencies, 0.999),
+        "max_us": max(latencies, default=0.0),
+    }
+
+
+def test_e07_partial_compaction(benchmark):
+    results = benchmark.pedantic(
+        lambda: [_run(*setting) for setting in SETTINGS],
+        rounds=1,
+        iterations=1,
+    )
+
+    table = format_table(
+        ["strategy", "write amp", "compactions", "KiB/compaction",
+         "write p999 (us)", "write max (us)"],
+        [
+            (row["label"], row["wa"], row["compactions"],
+             row["bytes_per_compaction"] / 1024.0,
+             row["p999_us"], row["max_us"])
+            for row in results
+        ],
+        title=(
+            "E7: compaction granularity & picking — expected: partial "
+            "compaction many small jobs (smaller bursts); least-overlap "
+            "lowest WA among pickers"
+        ),
+    )
+    save_and_print("E07", table)
+
+    by_label = {row["label"]: row for row in results}
+    full = by_label["full level"]
+    partial = by_label["partial / least overlap"]
+    # (a) Partial compaction: more, much smaller jobs and smaller
+    # worst-case write bursts.
+    assert partial["compactions"] > full["compactions"]
+    assert partial["bytes_per_compaction"] < full["bytes_per_compaction"] / 2
+    assert partial["max_us"] < full["max_us"]
+    # (b) Least-overlap never loses to the other partial pickers on WA.
+    partial_rows = [row for row in results if row["label"].startswith("partial")]
+    best_wa = min(row["wa"] for row in partial_rows)
+    assert partial["wa"] <= best_wa * 1.02

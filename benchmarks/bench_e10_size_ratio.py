@@ -1,0 +1,103 @@
+"""E10 — The size ratio T navigates the read-write tradeoff (§2.3, §2.3.1).
+
+Claim under reproduction: the growth factor ``T`` is the primary navigation
+knob of the performance space — for leveling, larger ``T`` means fewer
+levels (cheaper reads) but more rewriting per level (dearer writes); the
+extremes of the continuum are a sorted array and a log. We print the
+analytic model's curve next to the measured engine, and check they agree
+on direction.
+"""
+
+from __future__ import annotations
+
+from repro.bench.report import format_table
+from repro.cost.model import CostModel, SystemEnv, Tuning
+from repro.core.tree import LSMTree
+
+from common import bench_config, save_and_print, shuffled_keys
+
+SIZE_RATIOS = [2, 4, 6, 8, 10]
+NUM_KEYS = 10_000
+UPDATES = 10_000
+LOOKUPS = 300
+
+
+def _measure(size_ratio: int):
+    tree = LSMTree(
+        bench_config(size_ratio=size_ratio, filter_bits_per_key=0.0)
+    )
+    for key in shuffled_keys(NUM_KEYS):
+        tree.put(key, "v" * 24)
+    for key in shuffled_keys(UPDATES, seed=1):
+        tree.put(key, "w" * 24)
+
+    before = tree.disk.counters.snapshot()
+    for index in range(LOOKUPS):
+        tree.get(f"key{(index * 31) % NUM_KEYS:08d}")
+    lookup_pages = tree.disk.counters.delta(before).pages_read / LOOKUPS
+    return {
+        "t": size_ratio,
+        "levels": sum(1 for level in tree.levels if not level.is_empty),
+        "wa": tree.write_amplification(),
+        "lookup_pages": lookup_pages,
+    }
+
+
+def test_e10_size_ratio_tradeoff(benchmark):
+    measured = benchmark.pedantic(
+        lambda: [_measure(t) for t in SIZE_RATIOS], rounds=1, iterations=1
+    )
+
+    model = CostModel(
+        SystemEnv(
+            total_entries=NUM_KEYS,
+            entry_size_bytes=42,
+            page_size_bytes=1024,
+            memory_budget_bytes=16 * 1024,
+        )
+    )
+    rows = []
+    for row in measured:
+        tuning = Tuning(
+            size_ratio=row["t"], layout="leveling", buffer_fraction=0.25,
+            monkey=False,
+        )
+        rows.append(
+            (
+                row["t"],
+                row["levels"],
+                model.num_levels(tuning),
+                row["wa"],
+                model.write_cost(tuning) * 42 * 8,  # scale-free shape column
+                row["lookup_pages"],
+                model.lookup_cost(tuning),
+            )
+        )
+
+    table = format_table(
+        ["T", "levels (measured)", "levels (model)", "write amp (measured)",
+         "write cost (model, scaled)", "pages/lookup (measured)",
+         "lookup I/O (model)"],
+        rows,
+        title=(
+            "E10: size-ratio sweep, leveling — expected: larger T -> fewer "
+            "levels, cheaper lookups, more write amplification; model and "
+            "engine agree on direction"
+        ),
+    )
+    save_and_print("E10", table)
+
+    # Shape checks on the measured engine:
+    first, last = measured[0], measured[-1]
+    assert last["levels"] < first["levels"]
+    assert last["lookup_pages"] <= first["lookup_pages"] + 0.05
+    assert last["wa"] > first["wa"]
+    # Model agrees on every direction.
+    def model_tuning(t):
+        return Tuning(t, "leveling", 0.25, monkey=False)
+
+    assert model.num_levels(model_tuning(10)) < model.num_levels(model_tuning(2))
+    assert model.write_cost(model_tuning(10)) > model.write_cost(model_tuning(2))
+    assert model.lookup_cost(model_tuning(10)) <= model.lookup_cost(
+        model_tuning(2)
+    )

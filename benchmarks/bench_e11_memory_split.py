@@ -1,0 +1,102 @@
+"""E11 — Allocating memory between buffer and filters (§2.1.3, §2.3.1).
+
+Claim under reproduction: LSM performance depends on *how* a fixed memory
+budget is split between the write buffer and the Bloom filters; the naive
+extremes (all-buffer, all-filters) are suboptimal, and workload-aware
+co-tuning finds an interior optimum (Monkey/Dayan et al. §2.3.1).
+"""
+
+from __future__ import annotations
+
+from repro.bench.report import format_table
+from repro.cost.model import CostModel, SystemEnv, Tuning, WorkloadMix
+from repro.core.tree import LSMTree
+
+from common import bench_config, save_and_print, shuffled_keys
+
+MEMORY_BUDGET_BYTES = 48 * 1024
+NUM_KEYS = 10_000
+WRITES = 8_000
+LOOKUPS = 2_500
+BUFFER_FRACTIONS = [0.05, 0.15, 0.3, 0.5, 0.7, 0.9, 0.99]
+
+
+def _measure(buffer_fraction: float):
+    buffer_bytes = max(1024, int(MEMORY_BUDGET_BYTES * buffer_fraction))
+    filter_bits = 8.0 * MEMORY_BUDGET_BYTES * (1.0 - buffer_fraction)
+    bits_per_key = filter_bits / NUM_KEYS
+    tree = LSMTree(
+        bench_config(
+            buffer_size_bytes=buffer_bytes,
+            filter_bits_per_key=bits_per_key,
+        )
+    )
+    for key in shuffled_keys(NUM_KEYS):
+        tree.put(key, "v" * 24)
+
+    started_us = tree.disk.now_us
+    for key in shuffled_keys(WRITES, seed=1):
+        tree.put(key, "w" * 24)
+    for index in range(LOOKUPS):
+        if index % 2 == 0:
+            tree.get(f"key{(index * 13) % NUM_KEYS:08d}")
+        else:
+            tree.get(f"key{(index * 13) % NUM_KEYS:08d}x")  # zero-result
+    cost_us = tree.disk.now_us - started_us
+    return {
+        "fraction": buffer_fraction,
+        "buffer_kb": buffer_bytes / 1024.0,
+        "bits_per_key": bits_per_key,
+        "cost_ms": cost_us / 1000.0,
+    }
+
+
+def test_e11_memory_split(benchmark):
+    measured = benchmark.pedantic(
+        lambda: [_measure(fraction) for fraction in BUFFER_FRACTIONS],
+        rounds=1,
+        iterations=1,
+    )
+
+    model = CostModel(
+        SystemEnv(
+            total_entries=NUM_KEYS,
+            entry_size_bytes=42,
+            page_size_bytes=1024,
+            memory_budget_bytes=MEMORY_BUDGET_BYTES,
+        )
+    )
+    mix = WorkloadMix(0.14, 0.14, 0.0, 0.72)
+    rows = [
+        (
+            row["fraction"],
+            row["buffer_kb"],
+            row["bits_per_key"],
+            row["cost_ms"],
+            model.workload_cost(
+                Tuning(4, "leveling", row["fraction"], monkey=False), mix
+            ),
+        )
+        for row in measured
+    ]
+    table = format_table(
+        ["buffer fraction", "buffer KiB", "filter bits/key",
+         "measured cost (sim ms)", "model cost (I/O per op)"],
+        rows,
+        title=(
+            "E11: buffer-vs-filter memory split at a fixed budget — "
+            "expected: both extremes lose to an interior split"
+        ),
+    )
+    save_and_print("E11", table)
+
+    costs = [row["cost_ms"] for row in measured]
+    best = min(costs)
+    # The interior beats both extremes by a clear margin.
+    assert best < costs[0] * 0.98
+    assert best < costs[-1] * 0.98
+    assert costs.index(best) not in (0, len(costs) - 1)
+    # The analytic curve agrees that the extremes are suboptimal.
+    model_costs = [row[4] for row in rows]
+    assert min(model_costs) < model_costs[0]
+    assert min(model_costs) < model_costs[-1]

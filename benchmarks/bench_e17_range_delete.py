@@ -1,0 +1,119 @@
+"""E17 — Range deletes and their persistence latency (§2.3.3).
+
+Claims under reproduction: (a) a range delete is a single O(1) write that
+logically invalidates a whole key range, vastly cheaper to *issue* than a
+loop of point deletes; (b) "current implementations fail to provide latency
+bounds on persistent data deletion" for range deletes — reproduced by the
+no-TTL engine; (c) wiring range-tombstone ages into the Lethe TTL trigger
+*does* bound the persistence latency, closing the gap the tutorial points
+at.
+"""
+
+from __future__ import annotations
+
+from repro.bench.report import format_table
+from repro.core.tree import LSMTree
+
+from common import bench_config, save_and_print, shuffled_keys
+
+NUM_KEYS = 10_000
+DELETED_SPAN = 3_000  # keys [2000, 5000) get deleted
+TTL_US = 30_000.0
+
+
+def _run(label: str, use_range_delete: bool, ttl_us: float):
+    config = bench_config()
+    if ttl_us:
+        config = config.with_overrides(
+            tombstone_ttl_us=ttl_us, picker="most_tombstones"
+        )
+    tree = LSMTree(config)
+    for key in shuffled_keys(NUM_KEYS):
+        tree.put(key, "v" * 24)
+
+    issue_started = tree.disk.now_us
+    before = tree.disk.counters.snapshot()
+    if use_range_delete:
+        tree.delete_range("key00002000", "key00005000")
+    else:
+        for index in range(2000, 2000 + DELETED_SPAN):
+            tree.delete(f"key{index:08d}")
+    issue_pages = tree.disk.counters.delta(before).pages_written
+    issue_ms = (tree.disk.now_us - issue_started) / 1000.0
+
+    # Organic traffic while the deletion ages toward persistence.
+    for key in shuffled_keys(NUM_KEYS, seed=2):
+        tree.put(key + "f", "w" * 24)
+
+    stats = tree.stats
+    if use_range_delete:
+        purged = stats.range_tombstones_dropped
+        ages = stats.range_tombstone_drop_ages_us
+        pending = sum(
+            len(run.range_tombstones)
+            for level in tree.levels
+            for run in level.runs
+        )
+    else:
+        purged = stats.tombstones_dropped
+        ages = stats.tombstone_drop_ages_us
+        pending = sum(level.tombstone_count for level in tree.levels)
+
+    covered_live = sum(
+        1
+        for key, _value in tree.scan("key00002000", "key00002100")
+        if len(key) == len("key00002000")  # exclude the "...f" fillers
+    )
+    return {
+        "label": label,
+        "issue_ms": issue_ms,
+        "issue_pages": issue_pages,
+        "wa": tree.write_amplification(),
+        "purged": purged,
+        "pending": pending,
+        "max_age_ms": max(ages, default=0.0) / 1000.0,
+        "covered_live": covered_live,
+    }
+
+
+def test_e17_range_deletes(benchmark):
+    results = benchmark.pedantic(
+        lambda: [
+            _run("3000 point deletes", False, 0.0),
+            _run("one range delete (no TTL)", True, 0.0),
+            _run(f"one range delete + {TTL_US / 1000:.0f}ms TTL", True, TTL_US),
+        ],
+        rounds=1,
+        iterations=1,
+    )
+
+    table = format_table(
+        ["strategy", "issue cost (sim ms)", "pages written to issue",
+         "write amp", "tombstone fragments purged", "fragments pending",
+         "max purge age (ms)", "covered keys visible"],
+        [
+            (row["label"], row["issue_ms"], row["issue_pages"], row["wa"],
+             row["purged"], row["pending"], row["max_age_ms"],
+             row["covered_live"])
+            for row in results
+        ],
+        title=(
+            "E17: range deletion — expected: O(1) to issue vs thousands of "
+            "point tombstones; no latency bound without a TTL; the Lethe "
+            "TTL bounds range-tombstone persistence too"
+        ),
+    )
+    save_and_print("E17", table)
+
+    point, plain_range, ttl_range = results
+    # Correctness: covered keys invisible under every strategy.
+    assert all(row["covered_live"] == 0 for row in results)
+    # (a) Issuing the range delete is orders of magnitude cheaper.
+    assert plain_range["issue_ms"] < point["issue_ms"] / 10
+    assert plain_range["issue_pages"] <= 1
+    # (b) Without a TTL the tombstone may simply linger (no bound).
+    # (c) With the TTL it is purged, promptly.
+    assert ttl_range["purged"] >= 1
+    assert ttl_range["pending"] == 0 or ttl_range["max_age_ms"] > 0
+    if ttl_range["purged"]:
+        assert ttl_range["max_age_ms"] <= TTL_US / 1000.0 * 6.0

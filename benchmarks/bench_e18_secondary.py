@@ -1,0 +1,102 @@
+"""E18 — Secondary indexing: eager vs. lazy maintenance (§2.1.3, §2.3.4).
+
+Claims under reproduction: secondary indexes on LSM stores trade write-path
+work against query-path work — eager maintenance pays a read before every
+write to keep the index tight; lazy (DELI-style) maintenance writes
+blindly and validates at query time. And the open challenge the tutorial
+highlights: deletes leave stale secondary entries behind unless one of
+those two prices is paid.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bench.report import format_table
+from repro.core.config import LSMConfig
+from repro.secondary.index import IndexedStore
+
+from common import save_and_print
+
+NUM_RECORDS = 2_500
+UPDATES = 2_500
+QUERIES = 120
+CITIES = 25
+
+
+def _config():
+    return LSMConfig(
+        buffer_size_bytes=4096, target_file_bytes=4096, block_bytes=1024
+    )
+
+
+def _run(mode: str):
+    store = IndexedStore("city", mode=mode, config=_config())
+    rng = random.Random(7)
+
+    started = store.disk.now_us
+    for index in range(NUM_RECORDS):
+        store.put(
+            f"user{index:06d}", {"city": f"city{rng.randrange(CITIES):03d}"}
+        )
+    for _ in range(UPDATES):
+        victim = rng.randrange(NUM_RECORDS)
+        store.put(
+            f"user{victim:06d}", {"city": f"city{rng.randrange(CITIES):03d}"}
+        )
+    for index in range(0, NUM_RECORDS, 10):
+        store.delete(f"user{index:06d}")
+    ingest_ms = (store.disk.now_us - started) / 1000.0
+
+    entries_before_queries = store.index_entry_count()
+    started = store.disk.now_us
+    before = store.disk.counters.snapshot()
+    total_hits = 0
+    for number in range(QUERIES):
+        total_hits += len(store.find_by_value(f"city{number % CITIES:03d}"))
+    query_pages = store.disk.counters.delta(before).pages_read / QUERIES
+    query_ms = (store.disk.now_us - started) / 1000.0
+
+    return {
+        "mode": mode,
+        "ingest_ms": ingest_ms,
+        "index_entries": entries_before_queries,
+        "query_pages": query_pages,
+        "query_ms": query_ms,
+        "stale_dropped": store.stale_hits_dropped,
+        "hits": total_hits,
+    }
+
+
+def test_e18_secondary_index_modes(benchmark):
+    results = benchmark.pedantic(
+        lambda: [_run("eager"), _run("lazy")], rounds=1, iterations=1
+    )
+
+    table = format_table(
+        ["maintenance", "ingest (sim ms)", "index entries after churn",
+         "pages/secondary query", "query time (sim ms)",
+         "stale hits dropped", "records returned"],
+        [
+            (row["mode"], row["ingest_ms"], row["index_entries"],
+             row["query_pages"], row["query_ms"], row["stale_dropped"],
+             row["hits"])
+            for row in results
+        ],
+        title=(
+            "E18: secondary index maintenance — expected: eager pays on "
+            "the write path (slower ingest, tight index), lazy pays on "
+            "the query path (stale validation)"
+        ),
+    )
+    save_and_print("E18", table)
+
+    eager, lazy = results
+    # Both modes return identical (correct) answers.
+    assert eager["hits"] == lazy["hits"]
+    # Eager: dearer ingestion, tight index, no query-time waste.
+    assert eager["ingest_ms"] > lazy["ingest_ms"]
+    assert eager["index_entries"] < lazy["index_entries"]
+    assert eager["stale_dropped"] == 0
+    # Lazy: the churn left stale entries that queries had to discard.
+    assert lazy["stale_dropped"] > 0

@@ -1,0 +1,58 @@
+"""Shared helpers for the experiment benchmarks (E1-E15).
+
+Every benchmark prints its table(s) *and* writes them under
+``benchmarks/results/`` so the output survives pytest's capture; run with
+``pytest benchmarks/ --benchmark-only -s`` to watch live.
+
+Scale note: the engine is a pure-Python simulator, so experiments use tens
+of thousands of operations. All claims under test are about *ratios and
+orderings* (who wins, by roughly what factor), which stabilize well below
+production scale because the simulated disk is deterministic.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from typing import List
+
+from repro.core.config import LSMConfig
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def bench_config(**overrides: object) -> LSMConfig:
+    """The standard configuration the experiments perturb."""
+    base = dict(
+        buffer_size_bytes=4096,
+        target_file_bytes=4096,
+        block_bytes=1024,
+        size_ratio=4,
+        level0_run_limit=4,
+        filter_bits_per_key=10.0,
+        layout="leveling",
+        granularity="file",
+        picker="least_overlap",
+    )
+    base.update(overrides)
+    return LSMConfig(**base)  # type: ignore[arg-type]
+
+
+def shuffled_keys(count: int, seed: int = 0, width: int = 8) -> List[str]:
+    """Deterministically shuffled zero-padded keys."""
+    keys = [f"key{i:0{width}d}" for i in range(count)]
+    random.Random(seed).shuffle(keys)
+    return keys
+
+
+def save_and_print(experiment_id: str, text: str) -> None:
+    """Print a report block and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    banner = f"\n=== {experiment_id} ===\n{text}\n"
+    print(banner)
+    with open(
+        os.path.join(RESULTS_DIR, f"{experiment_id.lower()}.txt"),
+        "w",
+        encoding="utf-8",
+    ) as handle:
+        handle.write(banner)

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Tuning advisor: navigate the LSM design space for *your* workload.
+
+Run with::
+
+    python examples/tuning_advisor.py
+
+Module III of the tutorial (§2.3) is about turning the hundreds of LSM
+knobs into a navigable space. This example plays a database consultant for
+three caricature customers, using the analytic cost model, the navigator,
+and the Endure-style robust tuner.
+"""
+
+from repro.cost.model import CostModel, SystemEnv, Tuning, WorkloadMix
+from repro.cost.navigator import Navigator
+from repro.cost.robust import RobustTuner
+
+CUSTOMERS = [
+    (
+        "telemetry ingestion (writes dominate, reads rare)",
+        WorkloadMix(empty_lookups=0.02, lookups=0.05, short_scans=0.03,
+                    writes=0.90),
+    ),
+    (
+        "user-profile service (point-read heavy, some updates)",
+        WorkloadMix(empty_lookups=0.30, lookups=0.45, short_scans=0.05,
+                    writes=0.20),
+    ),
+    (
+        "analytics dashboard (scans plus nightly loads)",
+        WorkloadMix(empty_lookups=0.05, lookups=0.15, short_scans=0.50,
+                    writes=0.30),
+    ),
+]
+
+#: 50M entries of 128 B against 16 MiB of memory: a deep tree, where the
+#: layout choice genuinely matters.
+ENV = SystemEnv(
+    total_entries=50_000_000,
+    entry_size_bytes=128,
+    memory_budget_bytes=16 * 1024 * 1024,
+)
+
+
+def describe(tuning: Tuning) -> str:
+    return (
+        f"{tuning.layout}, T={tuning.size_ratio}, "
+        f"{tuning.buffer_fraction:.0%} of memory to the buffer, "
+        f"{'monkey' if tuning.monkey else 'uniform'} filters"
+    )
+
+
+def main() -> None:
+    model = CostModel(ENV)
+    navigator = Navigator(ENV)
+
+    for name, mix in CUSTOMERS:
+        result = navigator.tune(mix)
+        print(f"\n## {name}")
+        print(f"   recommended: {describe(result.tuning)}")
+        print(f"   predicted cost: {result.cost:.4f} I/Os per operation")
+        if result.runner_up is not None:
+            print(
+                f"   next-best layout family: {describe(result.runner_up)} "
+                f"(+{result.margin:.0%} cost)"
+            )
+        detail = model.describe(result.tuning)
+        print(
+            f"   breakdown: {detail['levels']:.0f} levels | "
+            f"empty lookup {detail['empty_lookup']:.3f} | "
+            f"lookup {detail['lookup']:.3f} | "
+            f"short scan {detail['short_scan']:.1f} | "
+            f"write {detail['write']:.4f} I/Os"
+        )
+
+    # --- and when you do not trust your workload forecast (§2.3.2) ---------
+    print("\n## robustness check for the telemetry customer")
+    nominal = CUSTOMERS[0][1]
+    tuner = RobustTuner(ENV)
+    for eta in (0.2, 1.0):
+        robust = tuner.tune(nominal, eta)
+        print(
+            f"   eta={eta:>4}: nominal-optimal {describe(robust.nominal_tuning)}"
+        )
+        print(
+            f"             robust choice    {describe(robust.robust_tuning)}"
+        )
+        print(
+            f"             worst-case cost {robust.nominal_worst_cost:.3f} -> "
+            f"{robust.robust_worst_cost:.3f} "
+            f"({robust.protection:.0%} protection for "
+            f"{robust.premium:.0%} nominal premium)"
+        )
+
+
+if __name__ == "__main__":
+    main()

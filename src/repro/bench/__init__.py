@@ -1,0 +1,14 @@
+"""Benchmark harness and reporting (drives everything in benchmarks/)."""
+
+from .harness import Harness, RunMetrics, apply_operation
+from .report import format_number, format_table, print_table, ratio
+
+__all__ = [
+    "Harness",
+    "RunMetrics",
+    "apply_operation",
+    "format_table",
+    "format_number",
+    "print_table",
+    "ratio",
+]

@@ -1,0 +1,88 @@
+"""ASCII reporting for benchmark output.
+
+Every experiment prints one or more aligned tables through these helpers so
+EXPERIMENTS.md can quote benchmark output verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def format_number(value: Cell) -> str:
+    """Human-friendly rendering: thousands separators, trimmed floats."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:,.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Args:
+        headers: Column names.
+        rows: Cell values; numbers are formatted via :func:`format_number`.
+        title: Optional caption printed above the table.
+
+    Raises:
+        ValueError: If any row's width differs from the header's.
+    """
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        rendered_rows.append([format_number(cell) for cell in row])
+
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(
+            cell.rjust(width) for cell, width in zip(cells, widths)
+        )
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line([str(header) for header in headers]))
+    parts.append(line(["-" * width for width in widths]))
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    title: Optional[str] = None,
+) -> None:
+    """Print :func:`format_table` with surrounding blank lines."""
+    print()
+    print(format_table(headers, rows, title))
+    print()
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """Safe ratio for speedup/when-wins columns (0 when undefined)."""
+    if denominator == 0:
+        return 0.0
+    return numerator / denominator

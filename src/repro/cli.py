@@ -1,0 +1,252 @@
+"""Command-line interface: drive workloads and tuning from a shell.
+
+Usage::
+
+    python -m repro.cli workload --preset a --ops 20000 --layout leveling
+    python -m repro.cli tune --reads 0.5 --empty-reads 0.2 --scans 0.1 \
+        --writes 0.2
+    python -m repro.cli robust --writes 0.9 --reads 0.05 --empty-reads 0.05 \
+        --eta 1.0
+    python -m repro.cli layouts --ops 20000
+
+Every subcommand prints the same ASCII tables the benchmark suite uses, so
+shell exploration and the archived experiment results read identically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .bench.harness import Harness
+from .bench.report import format_table
+from .core.config import LAYOUT_KINDS, PICKER_KINDS, LSMConfig
+from .core.tree import LSMTree
+from .cost.model import SystemEnv, WorkloadMix
+from .cost.navigator import Navigator
+from .cost.robust import RobustTuner
+from .workload.generator import PRESETS
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--layout", choices=LAYOUT_KINDS, default="leveling")
+    parser.add_argument("--size-ratio", type=int, default=4)
+    parser.add_argument("--buffer-bytes", type=int, default=64 * 1024)
+    parser.add_argument("--bits-per-key", type=float, default=10.0)
+    parser.add_argument(
+        "--allocation", choices=("none", "uniform", "monkey"), default="uniform"
+    )
+    parser.add_argument("--picker", choices=PICKER_KINDS, default="least_overlap")
+    parser.add_argument("--cache-bytes", type=int, default=0)
+
+
+def _config_from(args: argparse.Namespace) -> LSMConfig:
+    return LSMConfig(
+        layout=args.layout,
+        size_ratio=args.size_ratio,
+        buffer_size_bytes=args.buffer_bytes,
+        filter_bits_per_key=args.bits_per_key,
+        filter_allocation=(
+            args.allocation if args.allocation != "none" else "uniform"
+        ),
+        picker=args.picker,
+        block_cache_bytes=args.cache_bytes,
+        granularity="file" if args.layout in ("leveling", "hybrid") else "level",
+    )
+
+
+def _mix_from(args: argparse.Namespace) -> WorkloadMix:
+    return WorkloadMix(
+        empty_lookups=args.empty_reads,
+        lookups=args.reads,
+        short_scans=args.scans,
+        writes=args.writes,
+    )
+
+
+def command_workload(args: argparse.Namespace) -> int:
+    """Replay a YCSB-style preset and print the measured metric set."""
+    factory = PRESETS[args.preset]
+    spec = factory(num_ops=args.ops, key_count=args.keys)
+    tree = LSMTree(_config_from(args))
+    metrics = Harness(tree).run_spec(spec)
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ("operations", metrics.operations),
+                ("simulated time (ms)", metrics.simulated_us / 1000.0),
+                ("throughput (kops/sim-s)", metrics.throughput_kops),
+                ("write amplification", metrics.write_amplification),
+                ("space amplification", tree.space_amplification()),
+                ("pages read/op", metrics.pages_read_per_op()),
+                ("write p99 (us)", metrics.write_latencies_us.get("p99", 0.0)),
+                ("read p99 (us)", metrics.read_latencies_us.get("p99", 0.0)),
+                ("compactions", tree.stats.compactions),
+                ("stall events", tree.stats.stall_events),
+            ],
+            title=f"workload '{args.preset}' on {args.layout}/T={args.size_ratio}",
+        )
+    )
+    return 0
+
+
+def command_tune(args: argparse.Namespace) -> int:
+    """Recommend a tuning for a workload mix via the cost model."""
+    env = SystemEnv(
+        total_entries=args.entries,
+        entry_size_bytes=args.entry_bytes,
+        memory_budget_bytes=args.memory_bytes,
+    )
+    result = Navigator(env).tune(_mix_from(args))
+    tuning = result.tuning
+    print(
+        format_table(
+            ["knob", "recommendation"],
+            [
+                ("layout", tuning.layout),
+                ("size ratio T", tuning.size_ratio),
+                ("buffer share of memory", f"{tuning.buffer_fraction:.0%}"),
+                ("filter allocation", "monkey" if tuning.monkey else "uniform"),
+                ("predicted I/O per op", f"{result.cost:.4f}"),
+                (
+                    "margin over next layout",
+                    f"{result.margin:.0%}" if result.runner_up else "n/a",
+                ),
+            ],
+            title="recommended tuning",
+        )
+    )
+    return 0
+
+
+def command_robust(args: argparse.Namespace) -> int:
+    """Min-max tuning under workload uncertainty (Endure-style)."""
+    env = SystemEnv(
+        total_entries=args.entries,
+        entry_size_bytes=args.entry_bytes,
+        memory_budget_bytes=args.memory_bytes,
+    )
+    result = RobustTuner(env).tune(_mix_from(args), args.eta)
+    print(
+        format_table(
+            ["quantity", "nominal-optimal", "robust"],
+            [
+                (
+                    "tuning",
+                    f"{result.nominal_tuning.layout}/T={result.nominal_tuning.size_ratio}",
+                    f"{result.robust_tuning.layout}/T={result.robust_tuning.size_ratio}",
+                ),
+                (
+                    "cost at expected workload",
+                    f"{result.nominal_nominal_cost:.4f}",
+                    f"{result.robust_nominal_cost:.4f}",
+                ),
+                (
+                    "worst-case cost in eta-ball",
+                    f"{result.nominal_worst_cost:.4f}",
+                    f"{result.robust_worst_cost:.4f}",
+                ),
+                ("protection", "-", f"{result.protection:.0%}"),
+                ("nominal premium", "-", f"{result.premium:.0%}"),
+            ],
+            title=f"robust tuning, eta={args.eta}",
+        )
+    )
+    return 0
+
+
+def command_layouts(args: argparse.Namespace) -> int:
+    """Quick layout comparison on a mixed workload (a mini experiment E2)."""
+    import random
+
+    rows = []
+    keys = [f"key{i:08d}" for i in range(args.keys)]
+    random.Random(1).shuffle(keys)
+    for layout in LAYOUT_KINDS:
+        config = LSMConfig(
+            layout=layout,
+            buffer_size_bytes=4096,
+            target_file_bytes=4096,
+            block_bytes=1024,
+            granularity="file" if layout in ("leveling", "hybrid") else "level",
+        )
+        tree = LSMTree(config)
+        for key in keys[: args.keys]:
+            tree.put(key, "v" * 24)
+        rows.append(
+            (
+                layout,
+                tree.write_amplification(),
+                tree.space_amplification(),
+                tree.total_run_count(),
+                tree.stats.compactions,
+            )
+        )
+    print(
+        format_table(
+            ["layout", "write amp", "space amp", "runs", "compactions"],
+            rows,
+            title=f"layout comparison, {args.keys} random inserts",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LSM design-space explorer (SIGMOD 2022 tutorial repro)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    workload = subparsers.add_parser(
+        "workload", help="replay a YCSB-style preset against one tuning"
+    )
+    workload.add_argument(
+        "--preset", choices=sorted(PRESETS), default="a"
+    )
+    workload.add_argument("--ops", type=int, default=10_000)
+    workload.add_argument("--keys", type=int, default=5_000)
+    _add_config_arguments(workload)
+    workload.set_defaults(func=command_workload)
+
+    for name, func, needs_eta in [
+        ("tune", command_tune, False),
+        ("robust", command_robust, True),
+    ]:
+        sub = subparsers.add_parser(
+            name, help=f"{name} a configuration from a workload mix"
+        )
+        sub.add_argument("--reads", type=float, default=0.25)
+        sub.add_argument("--empty-reads", type=float, default=0.25)
+        sub.add_argument("--scans", type=float, default=0.25)
+        sub.add_argument("--writes", type=float, default=0.25)
+        sub.add_argument("--entries", type=int, default=10_000_000)
+        sub.add_argument("--entry-bytes", type=int, default=128)
+        sub.add_argument(
+            "--memory-bytes", type=int, default=16 * 1024 * 1024
+        )
+        if needs_eta:
+            sub.add_argument("--eta", type=float, default=0.5)
+        sub.set_defaults(func=func)
+
+    layouts = subparsers.add_parser(
+        "layouts", help="compare the five data layouts on random inserts"
+    )
+    layouts.add_argument("--keys", type=int, default=8_000)
+    layouts.set_defaults(func=command_layouts)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,201 @@
+"""Compactionary: a dictionary of real systems' compaction strategies.
+
+The tutorial's authors maintain "Compactionary: A Dictionary for LSM
+Compactions" [111], which expresses production systems' compaction
+strategies in terms of the four primitives of §2.2.4. This module is that
+dictionary, executable: each :class:`DictionaryEntry` names a real system's
+strategy, cites how it maps onto the primitives, and *instantiates* an
+:class:`~repro.core.config.LSMConfig` that makes this engine behave like
+it — so any production strategy can be dropped into any experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..core.config import LSMConfig
+from .primitives import CompactionSpec, Granularity
+
+
+@dataclass(frozen=True)
+class DictionaryEntry:
+    """One real-world compaction strategy, decomposed into primitives.
+
+    Attributes:
+        name: Dictionary key (kebab-case).
+        system: The production system the strategy ships in.
+        description: How the strategy behaves, in a sentence or two.
+        layout: Data-layout primitive.
+        granularity: Granularity primitive.
+        picker: Data-movement primitive (partial compaction only).
+        hybrid_tiered_levels: For hybrid layouts, tiered prefix depth.
+        tombstone_ttl_us: Non-zero for delete-persistence strategies.
+    """
+
+    name: str
+    system: str
+    description: str
+    layout: str
+    granularity: Granularity
+    picker: str = "round_robin"
+    hybrid_tiered_levels: int = 0
+    tombstone_ttl_us: float = 0.0
+
+    def spec(self) -> CompactionSpec:
+        """The strategy as a :class:`CompactionSpec` (for sweeps)."""
+        return CompactionSpec(
+            self.layout, self.granularity, self.picker, self.tombstone_ttl_us
+        )
+
+    def instantiate(self, base: Optional[LSMConfig] = None) -> LSMConfig:
+        """An engine configuration realizing this strategy."""
+        base = base or LSMConfig()
+        return base.with_overrides(
+            layout=self.layout,
+            granularity=self.granularity.value,
+            picker=self.picker,
+            hybrid_tiered_levels=max(1, self.hybrid_tiered_levels),
+            tombstone_ttl_us=self.tombstone_ttl_us,
+        )
+
+
+_ENTRIES: Tuple[DictionaryEntry, ...] = (
+    DictionaryEntry(
+        name="leveldb-leveled",
+        system="LevelDB",
+        description=(
+            "Classic leveled compaction: one run per level, one victim "
+            "file at a time chosen by a round-robin key cursor."
+        ),
+        layout="leveling",
+        granularity=Granularity.FILE,
+        picker="round_robin",
+    ),
+    DictionaryEntry(
+        name="rocksdb-leveled",
+        system="RocksDB (default)",
+        description=(
+            "Leveled with a tiered Level 0 to absorb flush bursts; partial "
+            "compaction picks victims to minimize overlap-driven work "
+            "(kMinOverlappingRatio)."
+        ),
+        layout="hybrid",
+        granularity=Granularity.FILE,
+        picker="least_overlap",
+        hybrid_tiered_levels=1,
+    ),
+    DictionaryEntry(
+        name="rocksdb-universal",
+        system="RocksDB (universal)",
+        description=(
+            "Size-tiered everywhere: whole sorted runs accumulate per "
+            "level and merge wholesale, trading read cost for low write "
+            "amplification."
+        ),
+        layout="tiering",
+        granularity=Granularity.LEVEL,
+    ),
+    DictionaryEntry(
+        name="cassandra-stcs",
+        system="Apache Cassandra (STCS)",
+        description=(
+            "Size-tiered compaction strategy: merge runs of similar size "
+            "when enough of them accumulate."
+        ),
+        layout="tiering",
+        granularity=Granularity.LEVEL,
+    ),
+    DictionaryEntry(
+        name="cassandra-lcs",
+        system="Apache Cassandra (LCS)",
+        description=(
+            "Leveled compaction strategy, adopted from LevelDB for "
+            "read-heavier tables."
+        ),
+        layout="leveling",
+        granularity=Granularity.FILE,
+        picker="round_robin",
+    ),
+    DictionaryEntry(
+        name="asterixdb-full",
+        system="Apache AsterixDB",
+        description=(
+            "Full-level merges: compact all data in a level at once — "
+            "simple, but with periodic heavy I/O bursts (§2.2.3)."
+        ),
+        layout="leveling",
+        granularity=Granularity.LEVEL,
+    ),
+    DictionaryEntry(
+        name="dostoevsky-lazy",
+        system="Dostoevsky",
+        description=(
+            "Lazy leveling: tiered intermediate levels with a leveled last "
+            "level — removes superfluous merging while keeping point reads "
+            "cheap (§2.2.2)."
+        ),
+        layout="lazy_leveling",
+        granularity=Granularity.LEVEL,
+    ),
+    DictionaryEntry(
+        name="lsm-bush",
+        system="LSM-Bush",
+        description=(
+            "Run caps grow toward shallow levels, merging newest data as "
+            "rarely as possible (§2.3.1's layout continuum)."
+        ),
+        layout="bush",
+        granularity=Granularity.LEVEL,
+    ),
+    DictionaryEntry(
+        name="lethe-fade",
+        system="Lethe",
+        description=(
+            "Delete-aware: tombstone-TTL triggers plus tombstone-density "
+            "victim picking bound how long deleted data lingers (§2.3.3)."
+        ),
+        layout="leveling",
+        granularity=Granularity.FILE,
+        picker="most_tombstones",
+        tombstone_ttl_us=60_000.0,
+    ),
+    DictionaryEntry(
+        name="hbase-exploring",
+        system="Apache HBase",
+        description=(
+            "Tiered ('exploring') compaction over store files, merging "
+            "similar-sized groups."
+        ),
+        layout="tiering",
+        granularity=Granularity.LEVEL,
+    ),
+)
+
+#: The dictionary proper: name -> entry.
+DICTIONARY: Dict[str, DictionaryEntry] = {
+    entry.name: entry for entry in _ENTRIES
+}
+
+
+def lookup(name: str) -> DictionaryEntry:
+    """Fetch a strategy by name.
+
+    Raises:
+        KeyError: With the list of known names, for discoverability.
+    """
+    try:
+        return DICTIONARY[name]
+    except KeyError:
+        known = ", ".join(sorted(DICTIONARY))
+        raise KeyError(f"unknown strategy {name!r}; known: {known}") from None
+
+
+def entries_for_system(system_substring: str) -> Tuple[DictionaryEntry, ...]:
+    """All entries whose system name contains ``system_substring``."""
+    needle = system_substring.lower()
+    return tuple(
+        entry
+        for entry in _ENTRIES
+        if needle in entry.system.lower()
+    )

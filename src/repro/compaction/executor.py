@@ -1,0 +1,482 @@
+"""Compaction execution: sort-merge, garbage collection, I/O charging.
+
+"When a level reaches capacity, all or part of its data is sort-merged with
+data from the next level with an overlapping key-range" (§2.1.1-D). The
+executor takes a planned :class:`~repro.compaction.primitives.CompactionJob`
+and:
+
+1. charges the device one sequential read of every input byte,
+2. merges the inputs keeping only the latest version per key (§2.1.2),
+3. garbage-collects shadowed versions, annihilates single-delete pairs, and
+   drops tombstones that have reached the bottommost overlapping level,
+4. writes the merged output as new SSTables split at the target file size,
+5. splices the level structure and invalidates/prefetches the block cache.
+
+Trivial moves (no overlap in the target) relink the file with no I/O at
+all, as LevelDB and RocksDB do.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from ..core.config import LSMConfig
+from ..core.entry import Entry, EntryKind
+from ..core.level import Level
+from ..core.merge_operator import MergeOperator
+from ..core.range_tombstone import RangeTombstone, dedupe, max_covering_seqno
+from ..core.run import SortedRun
+from ..core.sstable import SSTable
+from ..core.stats import TreeStats
+from ..errors import CompactionError
+from ..storage.block_cache import BlockCache, HeatTracker
+from ..storage.disk import SimulatedDisk
+from .primitives import CompactionJob
+
+
+def iter_all_versions(
+    sources: List[Iterator[Entry]],
+) -> Iterator[Tuple[str, List[Entry]]]:
+    """Group every version of every key across sorted input streams.
+
+    Yields ``(key, versions)`` in ascending key order with versions sorted
+    newest-first. Streams must each be sorted by key; across streams keys
+    may repeat (that is the point of compaction).
+    """
+    heap: List[Tuple[str, int, int, Entry, Iterator[Entry]]] = []
+    for order, source in enumerate(sources):
+        iterator = iter(source)
+        first = next(iterator, None)
+        if first is not None:
+            heapq.heappush(
+                heap, (first.key, -first.seqno, order, first, iterator)
+            )
+    current_key: Optional[str] = None
+    group: List[Entry] = []
+    while heap:
+        key, _neg, order, entry, iterator = heapq.heappop(heap)
+        successor = next(iterator, None)
+        if successor is not None:
+            heapq.heappush(
+                heap, (successor.key, -successor.seqno, order, successor, iterator)
+            )
+        if key != current_key:
+            if current_key is not None:
+                yield current_key, group
+            current_key = key
+            group = []
+        group.append(entry)
+    if current_key is not None:
+        yield current_key, group
+
+
+def reconcile(
+    versions: List[Entry],
+    bottommost: bool,
+    operator: Optional[MergeOperator] = None,
+) -> Tuple[Optional[Entry], int, int]:
+    """Decide what one key's merged versions become.
+
+    Args:
+        versions: All versions of a key, newest first.
+        bottommost: Whether the compaction output lands at the bottommost
+            level overlapping this key — only then may tombstones be dropped
+            (§2.1.2: entries are "garbage collected only after they are
+            compacted with a matching tombstone" at the last level).
+        operator: Merge operator for folding ``MERGE`` operand stacks
+            (§2.2.6); required when any version is a merge operand.
+
+    Returns:
+        ``(survivor, garbage_collected, tombstones_dropped)`` where
+        ``survivor`` is ``None`` when nothing is written out.
+    """
+    newest = versions[0]
+    if newest.kind is EntryKind.MERGE:
+        return _reconcile_merges(versions, bottommost, operator)
+    older = len(versions) - 1
+    if newest.kind is EntryKind.PUT:
+        return newest, older, 0
+
+    if newest.kind is EntryKind.SINGLE_DELETE:
+        # A single-delete annihilates with the first matching older entry
+        # as soon as they meet (§2.3.3 / RocksDB Single Delete): neither is
+        # written out. With no older version yet, the tombstone survives
+        # (unless it already reached the bottom, where it is moot).
+        if older:
+            return None, older, 1
+        if bottommost:
+            return None, 0, 1
+        return newest, 0, 0
+
+    # Regular DELETE tombstone: shadowed versions are garbage; the
+    # tombstone itself survives until the bottommost overlapping level.
+    if bottommost:
+        return None, older, 1
+    return newest, older, 0
+
+
+def _reconcile_merges(
+    versions: List[Entry],
+    bottommost: bool,
+    operator: Optional[MergeOperator],
+) -> Tuple[Optional[Entry], int, int]:
+    """Fold a newest-first stack of MERGE operands into its base (§2.2.6)."""
+    if operator is None:
+        raise CompactionError(
+            "MERGE entries reached compaction without a merge operator"
+        )
+    key = versions[0].key
+    operands_newest_first: List[str] = []
+    base: Optional[Entry] = None
+    consumed = 0
+    for version in versions:
+        consumed += 1
+        if version.kind is EntryKind.MERGE:
+            operands_newest_first.append(version.value)  # type: ignore[arg-type]
+        else:
+            base = version
+            break
+    oldest_first = list(reversed(operands_newest_first))
+    garbage = len(versions) - 1
+
+    if base is not None and base.kind is EntryKind.PUT:
+        merged = operator.full_merge(key, base.value, oldest_first)
+        survivor = Entry(
+            key, merged, versions[0].seqno, EntryKind.PUT, versions[0].stamp_us
+        )
+        return survivor, garbage, 0
+
+    if base is not None:  # DELETE or SINGLE_DELETE: merge from empty base.
+        merged = operator.full_merge(key, None, oldest_first)
+        survivor = Entry(
+            key, merged, versions[0].seqno, EntryKind.PUT, versions[0].stamp_us
+        )
+        # The tombstone was applied (and is dropped): the merged PUT
+        # shadows anything deeper just as the tombstone did.
+        return survivor, garbage, 1
+
+    if bottommost:
+        merged = operator.full_merge(key, None, oldest_first)
+        survivor = Entry(
+            key, merged, versions[0].seqno, EntryKind.PUT, versions[0].stamp_us
+        )
+        return survivor, garbage, 0
+
+    # No base reachable yet: fold the operands into one partial MERGE.
+    combined = operator.partial_merge(key, oldest_first)
+    if combined is None:
+        raise CompactionError(
+            "merge operator must implement partial_merge for baseless "
+            "compaction of operand stacks"
+        )
+    survivor = Entry(
+        key, combined, versions[0].seqno, EntryKind.MERGE, versions[0].stamp_us
+    )
+    return survivor, garbage, 0
+
+
+class CompactionExecutor:
+    """Stateless-per-job executor bound to one tree's device and caches."""
+
+    def __init__(
+        self,
+        config: LSMConfig,
+        disk: SimulatedDisk,
+        stats: TreeStats,
+        cache: Optional[BlockCache] = None,
+        heat: Optional[HeatTracker] = None,
+        merge_operator: Optional[MergeOperator] = None,
+    ) -> None:
+        self.config = config
+        self.disk = disk
+        self.stats = stats
+        self.cache = cache
+        self.heat = heat
+        self.merge_operator = merge_operator
+        #: Optional per-level bits/key override, installed by the tree when
+        #: the Monkey filter allocation is configured (§2.1.3).
+        self.bits_for_level: Optional[Callable[[int], float]] = None
+
+    # -- public API --------------------------------------------------------
+
+    def execute(
+        self, job: CompactionJob, levels: List[Level], bottommost: bool,
+        target_leveled: bool,
+    ) -> List[SSTable]:
+        """Run one compaction job against the level structure.
+
+        Returns the output tables (empty when everything was GC'd or the
+        job was a trivial move).
+        """
+        # A trivial move relinks files without rewriting them — which must
+        # not happen when the job's purpose is garbage collection: a
+        # bottommost job carrying tombstones has to pass through the merge
+        # so they are actually dropped (otherwise a TTL-triggered bottom
+        # rewrite would relink forever without ever purging).
+        carries_tombstones = any(
+            table.tombstone_count or table.range_tombstones
+            for table in job.source_tables
+        )
+        if (
+            job.is_trivial_move
+            and not job.source_runs
+            and target_leveled
+            and not (bottommost and carries_tombstones)
+        ):
+            self._trivial_move(job, levels)
+            return list(job.source_tables)
+
+        output_tables = self._merge_and_write(job, bottommost)
+        self._splice(job, levels, output_tables, target_leveled)
+        self._refresh_cache(job, output_tables)
+        self.stats.compactions += 1
+        return output_tables
+
+    # -- internals ----------------------------------------------------------
+
+    def _merge_and_write(
+        self, job: CompactionJob, bottommost: bool
+    ) -> List[SSTable]:
+        self.disk.read(job.input_bytes, cause="compaction")
+        self.stats.compaction_bytes_read += job.input_bytes
+
+        sources: List[Iterator[Entry]] = []
+        input_tables: List[SSTable] = list(job.source_tables) + list(
+            job.target_tables
+        )
+        for run in job.source_runs:
+            sources.append(run.iter_entries())
+            input_tables.extend(run.tables)
+        for table in job.source_tables:
+            sources.append(table.iter_entries())
+        for table in job.target_tables:
+            sources.append(table.iter_entries())
+
+        # Range tombstones travelling with the inputs (§2.3.3): they shadow
+        # strictly older covered versions during the merge, and either move
+        # to the outputs or drop at the bottommost level.
+        job_tombstones = dedupe(
+            tombstone
+            for table in input_tables
+            for tombstone in table.range_tombstones
+        )
+
+        survivors: List[Entry] = []
+        for key, versions in iter_all_versions(sources):
+            cover_seqno = max_covering_seqno(job_tombstones, key)
+            if cover_seqno >= 0:
+                live = [v for v in versions if v.seqno > cover_seqno]
+                self.stats.entries_garbage_collected += len(versions) - len(
+                    live
+                )
+                versions = live
+                if not versions:
+                    continue
+            survivor, garbage, dropped = reconcile(
+                versions, bottommost, self.merge_operator
+            )
+            self.stats.entries_garbage_collected += garbage
+            if dropped:
+                self.stats.tombstones_dropped += dropped
+                self.stats.tombstone_drop_ages_us.append(
+                    self.disk.now_us - versions[0].stamp_us
+                )
+            if survivor is not None:
+                survivors.append(survivor)
+
+        if bottommost and job_tombstones:
+            self.stats.range_tombstones_dropped += len(job_tombstones)
+            self.stats.range_tombstone_drop_ages_us.extend(
+                self.disk.now_us - tombstone.stamp_us
+                for tombstone in job_tombstones
+            )
+            carried_tombstones: List[RangeTombstone] = []
+        else:
+            carried_tombstones = job_tombstones
+
+        output_tables = self.build_tables(
+            survivors,
+            cause="compaction",
+            level_index=job.target_level,
+            range_tombstones=carried_tombstones,
+        )
+        self.stats.compaction_bytes_written += sum(
+            table.data_bytes for table in output_tables
+        )
+        return output_tables
+
+    def build_tables(
+        self,
+        entries: List[Entry],
+        cause: str = "compaction",
+        level_index: int = 0,
+        range_tombstones: Optional[List[RangeTombstone]] = None,
+    ) -> List[SSTable]:
+        """Split merged entries into SSTables of about the target file size.
+
+        Range tombstones are *fragmented* at the output file boundaries
+        (RocksDB's approach): consecutive files own consecutive key slices
+        whose union covers the whole effective range, and each file carries
+        only its slice of each tombstone. Fragmenting keeps a later partial
+        compaction of one file from dragging the tombstone's entire span
+        along. When no point entries survive but tombstones must persist,
+        one tombstone-only carrier file is emitted.
+        """
+        tombstones = list(range_tombstones or [])
+        chunks: List[List[Entry]] = []
+        chunk: List[Entry] = []
+        chunk_bytes = 0
+        for entry in entries:
+            if chunk and chunk_bytes + entry.size > self.config.target_file_bytes:
+                chunks.append(chunk)
+                chunk = []
+                chunk_bytes = 0
+            chunk.append(entry)
+            chunk_bytes += entry.size
+        if chunk:
+            chunks.append(chunk)
+
+        if not tombstones:
+            return [
+                self._build_one(part, cause, level_index, None)
+                for part in chunks
+            ]
+
+        # Output-slice boundaries spanning the full effective range.
+        span_lo = min(t.lo for t in tombstones)
+        span_hi = max(t.hi for t in tombstones)
+        if chunks:
+            span_lo = min(span_lo, chunks[0][0].key)
+            span_hi = max(span_hi, chunks[-1][-1].key + "\x00")
+        if not chunks:
+            return [
+                self._build_one([], cause, level_index, tombstones)
+            ]
+        boundaries = [span_lo]
+        boundaries += [part[0].key for part in chunks[1:]]
+        boundaries.append(span_hi)
+
+        outputs: List[SSTable] = []
+        for index, part in enumerate(chunks):
+            slice_lo, slice_hi = boundaries[index], boundaries[index + 1]
+            fragments = []
+            for tombstone in tombstones:
+                lo = max(tombstone.lo, slice_lo)
+                hi = min(tombstone.hi, slice_hi)
+                if lo < hi:
+                    fragments.append(
+                        RangeTombstone(
+                            lo, hi, tombstone.seqno, tombstone.stamp_us
+                        )
+                    )
+            outputs.append(
+                self._build_one(part, cause, level_index, fragments or None)
+            )
+        return outputs
+
+    def _build_one(
+        self,
+        entries: List[Entry],
+        cause: str,
+        level_index: int,
+        range_tombstones: Optional[List[RangeTombstone]] = None,
+    ) -> SSTable:
+        if self.bits_for_level is not None:
+            bits_per_key = self.bits_for_level(level_index)
+        else:
+            bits_per_key = self.config.filter_bits_per_key
+        return SSTable.build(
+            entries,
+            disk=self.disk,
+            block_bytes=self.config.block_bytes,
+            fence_pointers=self.config.fence_pointers,
+            filter_bits_per_key=bits_per_key,
+            cause=cause,
+            range_tombstones=range_tombstones,
+        )
+
+    def _trivial_move(self, job: CompactionJob, levels: List[Level]) -> None:
+        """Relink non-overlapping files into the target level, I/O-free."""
+        source = levels[job.source_level]
+        target = levels[job.target_level]
+        self._drop_source_inputs(job, source)
+        if target.runs:
+            target.runs[0] = target.runs[0].replace_tables(
+                [], job.source_tables
+            )
+        else:
+            target.add_run_newest(SortedRun(job.source_tables))
+
+    def _splice(
+        self,
+        job: CompactionJob,
+        levels: List[Level],
+        outputs: List[SSTable],
+        target_leveled: bool,
+    ) -> None:
+        source = levels[job.source_level]
+        target = levels[job.target_level]
+        self._drop_source_inputs(job, source)
+
+        if target_leveled:
+            if target.runs:
+                target.runs[0] = target.runs[0].replace_tables(
+                    job.target_tables, outputs
+                )
+                if not target.runs[0].tables:
+                    target.runs.pop(0)
+            elif outputs:
+                target.add_run_newest(SortedRun(outputs))
+        else:
+            if job.target_tables:
+                raise ValueError(
+                    "tiered targets never merge with existing runs"
+                )
+            if outputs:
+                target.add_run_newest(SortedRun(outputs))
+
+    @staticmethod
+    def _drop_source_inputs(job: CompactionJob, source: Level) -> None:
+        for run in job.source_runs:
+            source.remove_run(run)
+        if job.source_tables:
+            drop_ids = {table.table_id for table in job.source_tables}
+            remaining_runs: List[SortedRun] = []
+            for run in source.runs:
+                if any(table.table_id in drop_ids for table in run.tables):
+                    new_run = run.replace_tables(job.source_tables, [])
+                    if new_run.tables:
+                        remaining_runs.append(new_run)
+                else:
+                    remaining_runs.append(run)
+            source.runs = remaining_runs
+
+    def _refresh_cache(
+        self, job: CompactionJob, outputs: List[SSTable]
+    ) -> None:
+        """Invalidate retired files; optionally prefetch hot output blocks.
+
+        Dropping the inputs' cached blocks is the compaction-induced
+        eviction of §2.1.3; the prefetch pass is the Leaper-style remedy.
+        """
+        if self.cache is None:
+            return
+        retired = list(job.source_tables) + list(job.target_tables)
+        for run in job.source_runs:
+            retired.extend(run.tables)
+        for table in retired:
+            self.cache.invalidate_table(table.table_id)
+
+        if self.heat is None or not self.config.cache_prefetch:
+            return
+        for table in outputs:
+            for block_index, block in enumerate(table.blocks):
+                if self.heat.heat_of(block.first_key, block.last_key) >= 1.0:
+                    # Leaper prefetches right after compaction: the read is
+                    # charged off the query path, tagged separately.
+                    self.disk.read(block.nbytes, cause="prefetch")
+                    self.cache.insert(
+                        (table.table_id, block_index), block.nbytes
+                    )
+                    self.cache.stats.prefetched_blocks += 1

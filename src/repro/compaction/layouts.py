@@ -1,0 +1,164 @@
+"""Disk data layouts: how many sorted runs each level may stack (§2.2.2).
+
+The layout primitive fixes, per level, the number of runs that may
+accumulate before a merge is forced:
+
+* **Leveling** — one run everywhere: greedy merging, lowest read cost,
+  highest write amplification (LevelDB).
+* **Tiering** — up to ``T`` runs everywhere: cheapest writes, most runs to
+  probe (Cassandra's size-tiered compaction).
+* **Lazy leveling** — tiered intermediate levels, leveled *last* level
+  (Dostoevsky): most of the data sits in the one leveled run, so point
+  reads stay cheap while intermediate merges are avoided.
+* **Hybrid** — tiered first ``k`` levels, leveled rest (the RocksDB default
+  is ``k = 1``: tiering in Level 0 "allows for withstanding bursts").
+* **Bush** — run caps *grow* toward shallow levels (LSM-bush): shallow
+  levels merge as rarely as possible, the last level stays leveled.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..core.config import LSMConfig
+from ..errors import ConfigError
+
+
+class LayoutPolicy(abc.ABC):
+    """Maps a level index to its allowed number of sorted runs."""
+
+    #: Name matching :data:`repro.core.config.LAYOUT_KINDS`.
+    name: str = ""
+
+    @abc.abstractmethod
+    def max_runs(self, level_index: int, last_level: int) -> int:
+        """Run capacity of on-disk level ``level_index``.
+
+        Args:
+            level_index: 0-based on-disk level (0 is the flush target).
+            last_level: Index of the deepest level currently holding data;
+                layouts that special-case the last level (lazy leveling,
+                bush) depend on it.
+        """
+
+    def is_leveled(self, level_index: int, last_level: int) -> bool:
+        """Whether the level keeps a single run (leveled discipline)."""
+        return self.max_runs(level_index, last_level) == 1
+
+    def capacity_allowance(self, level_index: int, last_level: int) -> float:
+        """Multiplier on the level's byte capacity before the size trigger.
+
+        1.0 for the classic layouts: their capacities already account for
+        their run counts. Layouts whose run caps exceed the size ratio
+        (LSM-bush) override this so a level may actually *hold* the runs
+        its cap promises.
+        """
+        return 1.0
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class LevelingLayout(LayoutPolicy):
+    """≤1 run per level (except Level 0, which absorbs flushes)."""
+
+    name = "leveling"
+
+    def __init__(self, level0_run_limit: int) -> None:
+        self.level0_run_limit = level0_run_limit
+
+    def max_runs(self, level_index: int, last_level: int) -> int:
+        if level_index == 0:
+            return self.level0_run_limit
+        return 1
+
+
+class TieringLayout(LayoutPolicy):
+    """Up to ``T`` runs per level."""
+
+    name = "tiering"
+
+    def __init__(self, size_ratio: int) -> None:
+        self.size_ratio = size_ratio
+
+    def max_runs(self, level_index: int, last_level: int) -> int:
+        return self.size_ratio
+
+
+class LazyLevelingLayout(LayoutPolicy):
+    """Dostoevsky: tiered intermediates, leveled last level."""
+
+    name = "lazy_leveling"
+
+    def __init__(self, size_ratio: int) -> None:
+        self.size_ratio = size_ratio
+
+    def max_runs(self, level_index: int, last_level: int) -> int:
+        if level_index >= last_level:
+            return 1
+        return self.size_ratio
+
+
+class HybridLayout(LayoutPolicy):
+    """Tiered first ``tiered_levels`` levels, leveled rest (§2.2.2)."""
+
+    name = "hybrid"
+
+    def __init__(self, size_ratio: int, tiered_levels: int) -> None:
+        self.size_ratio = size_ratio
+        self.tiered_levels = tiered_levels
+
+    def max_runs(self, level_index: int, last_level: int) -> int:
+        if level_index < self.tiered_levels:
+            return self.size_ratio
+        return 1
+
+
+class BushLayout(LayoutPolicy):
+    """LSM-bush-style: run caps double toward shallow levels.
+
+    The cap for level ``i`` is ``T ** 2**(last - i - 1)`` (clamped), so the
+    shallowest levels merge extremely rarely while the last level remains a
+    single run. This realizes the "arbitrary number of sorted runs in each
+    level" continuum point of §2.3.1.
+    """
+
+    name = "bush"
+
+    #: Upper clamp on any level's run cap, to keep probing costs finite.
+    MAX_RUN_CAP = 64
+
+    def __init__(self, size_ratio: int) -> None:
+        self.size_ratio = size_ratio
+
+    def max_runs(self, level_index: int, last_level: int) -> int:
+        if level_index >= last_level:
+            return 1
+        exponent = 2 ** max(0, last_level - level_index - 1)
+        try:
+            cap = self.size_ratio**exponent
+        except OverflowError:
+            return self.MAX_RUN_CAP
+        return min(self.MAX_RUN_CAP, cap)
+
+    def capacity_allowance(self, level_index: int, last_level: int) -> float:
+        """Let a bush level hold the bytes its (huge) run cap implies."""
+        return max(
+            1.0,
+            self.max_runs(level_index, last_level) / self.size_ratio,
+        )
+
+
+def make_layout(config: LSMConfig) -> LayoutPolicy:
+    """Build the layout policy an :class:`LSMConfig` names."""
+    if config.layout == "leveling":
+        return LevelingLayout(config.level0_run_limit)
+    if config.layout == "tiering":
+        return TieringLayout(config.size_ratio)
+    if config.layout == "lazy_leveling":
+        return LazyLevelingLayout(config.size_ratio)
+    if config.layout == "hybrid":
+        return HybridLayout(config.size_ratio, config.hybrid_tiered_levels)
+    if config.layout == "bush":
+        return BushLayout(config.size_ratio)
+    raise ConfigError(f"unknown layout {config.layout!r}")

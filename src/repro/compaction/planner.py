@@ -1,0 +1,267 @@
+"""Compaction planning: triggers and victim selection (§2.2.3-§2.2.4).
+
+The planner inspects the level structure after every flush/compaction and
+decides whether another job is due, combining three triggers:
+
+1. **Run count** — a level stacked more runs than its layout allows.
+2. **Level saturation** — a level's bytes exceed its capacity.
+3. **Tombstone TTL** — a file holds a tombstone older than the Lethe
+   threshold (§2.3.3), when the knob is enabled.
+
+Level 0 is special everywhere: its runs overlap in the key domain (each is
+one flushed buffer), so any job draining Level 0 must take *all* of its
+runs, exactly as RocksDB merges all L0 files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.config import LSMConfig
+from ..core.level import Level
+from ..core.run import SortedRun
+from ..core.sstable import SSTable
+from ..errors import CompactionError
+from .layouts import LayoutPolicy
+from .picker import FilePicker
+from .primitives import CompactionJob, Granularity, Trigger
+
+
+@dataclass
+class PlanResult:
+    """A job plus the context the executor needs to apply it."""
+
+    job: CompactionJob
+    bottommost: bool
+    target_leveled: bool
+
+
+def last_data_level(levels: List[Level]) -> int:
+    """Index of the deepest level holding data (1 when the tree is shallow).
+
+    The "last level" drives layouts that special-case it (lazy leveling,
+    bush); an empty tree reports 1 so those layouts still shape up sanely.
+    """
+    deepest = 0
+    for level in levels:
+        if not level.is_empty:
+            deepest = level.index
+    return max(1, deepest)
+
+
+class CompactionPlanner:
+    """Stateful planner (the round-robin picker keeps per-level cursors)."""
+
+    def __init__(
+        self, config: LSMConfig, layout: LayoutPolicy, picker: FilePicker
+    ) -> None:
+        self.config = config
+        self.layout = layout
+        self.picker = picker
+
+    # -- public API ---------------------------------------------------------
+
+    def plan(
+        self, levels: List[Level], now_us: float
+    ) -> Optional[PlanResult]:
+        """The next due job, or ``None`` when the tree satisfies its shape."""
+        last = last_data_level(levels)
+        for level in levels:
+            if level.is_empty:
+                continue
+            max_runs = self.layout.max_runs(level.index, last)
+            if level.run_count > max_runs:
+                return self._plan_drain(levels, level, last, Trigger.RUN_COUNT)
+            # The byte capacity scales with the layout's capacity
+            # allowance: layouts that stack more than T runs per level
+            # (LSM-bush's shallow levels) are *meant* to hold
+            # proportionally more data before merging — otherwise the
+            # size trigger would flatten them back into tiering.
+            capacity = self.config.level_capacity_bytes(level.index)
+            allowance = self.layout.capacity_allowance(level.index, last)
+            if level.data_bytes > capacity * allowance:
+                return self._plan_overflow(levels, level, last)
+        if self.config.tombstone_ttl_us > 0:
+            return self._plan_ttl(levels, last, now_us)
+        return None
+
+    def plan_manual(
+        self, levels: List[Level], level_index: int
+    ) -> Optional[PlanResult]:
+        """A full drain of one level, for manual/major compactions."""
+        level = levels[level_index]
+        if level.is_empty:
+            return None
+        last = last_data_level(levels)
+        return self._plan_drain(levels, level, last, Trigger.MANUAL)
+
+    # -- trigger handlers ---------------------------------------------------
+
+    def _plan_overflow(
+        self, levels: List[Level], level: Level, last: int
+    ) -> PlanResult:
+        """Level saturation: move a file (partial) or the whole level."""
+        leveled_here = (
+            level.index > 0
+            and self.layout.is_leveled(level.index, last)
+            and level.run_count == 1
+        )
+        partial = (
+            leveled_here
+            and self.config.granularity == Granularity.FILE.value
+        )
+        if partial:
+            return self._plan_file_job(
+                levels, level, last, Trigger.LEVEL_SATURATION
+            )
+        return self._plan_drain(levels, level, last, Trigger.LEVEL_SATURATION)
+
+    def _plan_ttl(
+        self, levels: List[Level], last: int, now_us: float
+    ) -> Optional[PlanResult]:
+        """Lethe: compact the file whose tombstones exceeded their TTL."""
+        ttl = self.config.tombstone_ttl_us
+        for level in levels:
+            if level.is_empty:
+                continue
+            # The bottom level is included too: compacting it one level
+            # down (into an empty level, hence bottommost) purges expired
+            # tombstones that would otherwise linger forever.
+            for run in level.runs:
+                for table in run.tables:
+                    expired = (
+                        table.oldest_tombstone_us is not None
+                        and now_us - table.oldest_tombstone_us > ttl
+                    )
+                    if not expired:
+                        continue
+                    if (
+                        level.index > 0
+                        and self.layout.is_leveled(level.index, last)
+                        and level.run_count == 1
+                    ):
+                        return self._plan_file_job(
+                            levels,
+                            level,
+                            last,
+                            Trigger.TOMBSTONE_TTL,
+                            victim=table,
+                        )
+                    return self._plan_drain(
+                        levels, level, last, Trigger.TOMBSTONE_TTL
+                    )
+        return None
+
+    # -- job construction ---------------------------------------------------
+
+    def _target_index(self, level: Level) -> int:
+        target = level.index + 1
+        if target >= self.config.max_levels:
+            raise CompactionError(
+                f"tree needs more than max_levels={self.config.max_levels} levels"
+            )
+        return target
+
+    def _plan_drain(
+        self, levels: List[Level], level: Level, last: int, trigger: Trigger
+    ) -> PlanResult:
+        """Merge every run of ``level`` into the next level."""
+        target_index = self._target_index(level)
+        prospective_last = max(last, target_index)
+        target_leveled = self.layout.is_leveled(target_index, prospective_last)
+        source_runs = list(level.runs)
+        lo = min(run.effective_min_key for run in source_runs)
+        hi = max(run.effective_max_key for run in source_runs)
+        target_tables = self._overlap_of(levels, target_index, lo, hi)
+        if not target_leveled:
+            # A tiered target stacks the merged run; no merge with residents.
+            target_tables = []
+        job = CompactionJob(
+            source_level=level.index,
+            target_level=target_index,
+            source_runs=source_runs,
+            source_tables=[],
+            target_tables=target_tables,
+            trigger=trigger,
+        )
+        bottommost = self._is_bottommost(levels, job)
+        return PlanResult(job, bottommost, target_leveled)
+
+    def _plan_file_job(
+        self,
+        levels: List[Level],
+        level: Level,
+        last: int,
+        trigger: Trigger,
+        victim: Optional[SSTable] = None,
+    ) -> PlanResult:
+        """Partial compaction: one victim file plus its target overlap."""
+        target_index = self._target_index(level)
+        prospective_last = max(last, target_index)
+        target_leveled = self.layout.is_leveled(target_index, prospective_last)
+        next_level = (
+            levels[target_index] if target_index < len(levels) else None
+        )
+        if victim is None:
+            victim = self.picker.pick(level, next_level)
+        target_tables = (
+            self._overlap_of(
+                levels,
+                target_index,
+                victim.effective_min_key,
+                victim.effective_max_key,
+            )
+            if target_leveled
+            else []
+        )
+        job = CompactionJob(
+            source_level=level.index,
+            target_level=target_index,
+            source_runs=[],
+            source_tables=[victim],
+            target_tables=target_tables,
+            trigger=trigger,
+        )
+        bottommost = self._is_bottommost(levels, job)
+        return PlanResult(job, bottommost, target_leveled)
+
+    # -- helpers -------------------------------------------------------------
+
+    @staticmethod
+    def _overlap_of(
+        levels: List[Level], target_index: int, lo: str, hi: str
+    ) -> List[SSTable]:
+        if target_index >= len(levels):
+            return []
+        target = levels[target_index]
+        overlapping: List[SSTable] = []
+        for run in target.runs:
+            overlapping.extend(run.overlapping_tables(lo, hi))
+        return overlapping
+
+    @staticmethod
+    def _is_bottommost(levels: List[Level], job: CompactionJob) -> bool:
+        """Whether the job's output may drop tombstones.
+
+        True only when (a) no level deeper than the target holds data and
+        (b) every target-level table overlapping the job's key range is an
+        input of the job — otherwise a dropped tombstone would resurrect an
+        older version it was shadowing (§2.1.2).
+        """
+        for level in levels[job.target_level + 1 :]:
+            if not level.is_empty:
+                return False
+        key_range = job.key_range()
+        if key_range is None:
+            return True
+        lo, hi = key_range
+        if job.target_level >= len(levels):
+            return True
+        included = {table.table_id for table in job.target_tables}
+        target = levels[job.target_level]
+        for run in target.runs:
+            for table in run.overlapping_tables(lo, hi):
+                if table.table_id not in included:
+                    return False
+        return True

@@ -1,0 +1,144 @@
+"""The four first-order compaction primitives (§2.2.4).
+
+Prior work by the tutorial's authors decomposes *any* compaction strategy
+into four orthogonal primitives:
+
+1. **Trigger** — what fires a compaction (:class:`Trigger`).
+2. **Data layout** — how many runs a level may stack
+   (:mod:`repro.compaction.layouts`).
+3. **Granularity** — how much data moves at once (:class:`Granularity`).
+4. **Data movement policy** — which data moves
+   (:mod:`repro.compaction.picker`).
+
+A point in the design space is a :class:`CompactionSpec`; the engine's
+behaviour is fully determined by one. Experiment E9 sweeps this space.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+from ..core.run import SortedRun
+from ..core.sstable import SSTable
+
+
+class Trigger(enum.Enum):
+    """Why a compaction job was scheduled."""
+
+    #: A level's payload exceeded its exponentially-growing capacity
+    #: (§2.1.1-D) — the classic trigger.
+    LEVEL_SATURATION = "level_saturation"
+    #: A level stacked more sorted runs than its layout allows (tiering's
+    #: trigger; also Level 0's file-count trigger in RocksDB).
+    RUN_COUNT = "run_count"
+    #: A file held a tombstone older than the Lethe TTL (§2.3.3).
+    TOMBSTONE_TTL = "tombstone_ttl"
+    #: Explicit request (manual compaction / tests).
+    MANUAL = "manual"
+
+
+class Granularity(enum.Enum):
+    """How much data one compaction job moves (§2.2.3)."""
+
+    #: Merge an entire level with the next (AsterixDB-style; heavy I/O
+    #: bursts, "prolonged, undesired write stalls").
+    LEVEL = "level"
+    #: Merge one victim file at a time with its overlap (partial
+    #: compaction; "amortizing the I/O cost ... by reducing data movement").
+    FILE = "file"
+
+
+@dataclass(frozen=True)
+class CompactionSpec:
+    """One point in the compaction design space.
+
+    Attributes:
+        layout: Data-layout name (see :data:`repro.core.config.LAYOUT_KINDS`).
+        granularity: A :class:`Granularity` member.
+        picker: Data-movement policy name (see
+            :data:`repro.core.config.PICKER_KINDS`).
+        trigger_ttl_us: Non-zero enables the tombstone-TTL trigger.
+    """
+
+    layout: str
+    granularity: Granularity
+    picker: str
+    trigger_ttl_us: float = 0.0
+
+    def describe(self) -> str:
+        """Short human-readable label used by the E9 sweep report."""
+        ttl = f", ttl={self.trigger_ttl_us:.0f}us" if self.trigger_ttl_us else ""
+        return (
+            f"{self.layout}/{self.granularity.value}/{self.picker}{ttl}"
+        )
+
+
+def enumerate_design_space(
+    layouts: Sequence[str] = ("leveling", "tiering", "lazy_leveling", "hybrid"),
+    granularities: Sequence[Granularity] = (Granularity.LEVEL, Granularity.FILE),
+    pickers: Sequence[str] = ("round_robin", "least_overlap", "most_tombstones"),
+) -> Iterator[CompactionSpec]:
+    """All combinations of the given primitive choices.
+
+    Picker choice is irrelevant under whole-level granularity, so those
+    combinations collapse to one spec each (with ``round_robin`` as the
+    placeholder), mirroring how the design space is actually counted.
+    """
+    for layout, granularity in itertools.product(layouts, granularities):
+        if granularity is Granularity.LEVEL:
+            yield CompactionSpec(layout, granularity, "round_robin")
+        else:
+            for picker in pickers:
+                yield CompactionSpec(layout, granularity, picker)
+
+
+@dataclass
+class CompactionJob:
+    """A planned unit of compaction work.
+
+    Attributes:
+        source_level: Index of the level data moves out of.
+        target_level: Index of the level data moves into (source + 1).
+        source_runs: Whole runs consumed from the source level.
+        source_tables: Individual victim files (partial compaction); files
+            listed here belong to runs that survive minus these files.
+        target_tables: Files of the target level overlapping the inputs.
+        trigger: Why the job was scheduled.
+    """
+
+    source_level: int
+    target_level: int
+    source_runs: List[SortedRun]
+    source_tables: List[SSTable]
+    target_tables: List[SSTable]
+    trigger: Trigger
+
+    @property
+    def input_bytes(self) -> int:
+        """Total payload bytes the job reads."""
+        run_bytes = sum(run.data_bytes for run in self.source_runs)
+        table_bytes = sum(table.data_bytes for table in self.source_tables)
+        target_bytes = sum(table.data_bytes for table in self.target_tables)
+        return run_bytes + table_bytes + target_bytes
+
+    @property
+    def is_trivial_move(self) -> bool:
+        """True when nothing overlaps in the target: the file(s) can be
+        relinked without any merge I/O (LevelDB/RocksDB "trivial move")."""
+        return not self.target_tables
+
+    def key_range(self) -> Optional[tuple]:
+        """(lo, hi) *effective* key range spanned by all inputs (point data
+        plus range-tombstone spans), or ``None`` if empty."""
+        tables = list(self.source_tables) + list(self.target_tables)
+        for run in self.source_runs:
+            tables.extend(run.tables)
+        if not tables:
+            return None
+        return (
+            min(table.effective_min_key for table in tables),
+            max(table.effective_max_key for table in tables),
+        )

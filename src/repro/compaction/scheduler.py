@@ -1,0 +1,364 @@
+"""I/O scheduling for flushes and compactions: a discrete-event study.
+
+The tutorial's §2.2.3/§2.2.5/§2.3.2 discuss a family of mechanisms that all
+answer one question — *when background work runs, who gets the device?*
+
+* naive **FIFO** background compaction: a long compaction ahead of a flush
+  blocks ingestion, producing the latency spikes of [100];
+* **SILK** [16, 17]: an I/O scheduler that gives flushes and L0→L1
+  compactions priority (with preemption) and pushes deeper compactions into
+  load valleys, "preventing write stalls";
+* **throttling** (Luo & Carey [81]): cap compaction bandwidth so "the
+  merging devices operate just at the point prior to saturation", trading
+  some compaction progress for predictably stable ingestion.
+
+Since the Python engine is synchronous (its compactions charge the writer
+directly), this module models the *asynchronous* variants with a
+discrete-event simulation: bursty client writes fill buffers; flush and
+compaction jobs compete for a shared device under a pluggable policy; the
+output is the write-latency distribution. Experiment E13 compares the
+policies.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.stats import percentile
+
+
+class JobKind(enum.IntEnum):
+    """Background job classes, in SILK's priority order (lower = hotter)."""
+
+    FLUSH = 0
+    L0_COMPACTION = 1
+    DEEP_COMPACTION = 2
+
+
+@dataclass
+class _Job:
+    kind: JobKind
+    remaining_bytes: float
+    created_us: float
+    sequence: int
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Parameters of the scheduling simulation.
+
+    Attributes:
+        num_writes: Client writes to simulate.
+        entry_bytes: Bytes per write.
+        buffer_bytes: Memtable capacity; a full buffer rotates and emits a
+            flush job.
+        max_immutable_buffers: Rotated buffers that may await flushing
+            before ingestion stalls (§2.2.1's multiple buffers).
+        l0_trigger_runs: Flushed runs in L0 that trigger an L0→L1 job.
+        l0_stall_runs: L0 run count at which ingestion stalls (RocksDB's
+            stop trigger).
+        cascade_factor: Bytes of deeper compaction debt generated per byte
+            an L0→L1 job moves (stands in for the rest of the tree's write
+            amplification).
+        device_bandwidth: Device throughput in bytes per microsecond.
+        burst_rate / quiet_rate: Client write arrival rates (writes/us)
+            during bursts and valleys.
+        burst_us / quiet_us: Phase lengths of the bursty arrival process.
+        seed: Arrival-jitter seed.
+    """
+
+    num_writes: int = 20_000
+    entry_bytes: int = 128
+    buffer_bytes: int = 64 * 1024
+    max_immutable_buffers: int = 1
+    l0_trigger_runs: int = 4
+    l0_stall_runs: int = 8
+    cascade_factor: float = 3.0
+    #: Sized so the *average* offered work (user bytes × total write amp)
+    #: fits comfortably but bursts transiently overload the device — the
+    #: regime where scheduling policy decides the tail (SILK's setting).
+    device_bandwidth: float = 7.0  # bytes/us
+    burst_rate: float = 0.012  # writes/us
+    quiet_rate: float = 0.002
+    burst_us: float = 200_000.0
+    quiet_us: float = 300_000.0
+    seed: int = 11
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one policy run."""
+
+    policy: str
+    write_latencies_us: List[float] = field(default_factory=list)
+    stall_events: int = 0
+    total_stall_us: float = 0.0
+    finished_jobs: Dict[str, int] = field(default_factory=dict)
+    backlog_peak_bytes: float = 0.0
+    duration_us: float = 0.0
+
+    def latency_percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile of the write latencies."""
+        return percentile(self.write_latencies_us, fraction)
+
+    def summary(self) -> Dict[str, float]:
+        """The numbers E13 reports."""
+        return {
+            "p50_us": self.latency_percentile(0.50),
+            "p99_us": self.latency_percentile(0.99),
+            "p999_us": self.latency_percentile(0.999),
+            "max_us": max(self.write_latencies_us, default=0.0),
+            "stalls": float(self.stall_events),
+            "stall_us": self.total_stall_us,
+            "backlog_peak_mb": self.backlog_peak_bytes / (1 << 20),
+        }
+
+
+class SchedulerPolicy:
+    """Decides, from the pending job list, each job's bandwidth share."""
+
+    name = "base"
+
+    def allocate(
+        self, jobs: List[_Job], bandwidth: float
+    ) -> Dict[int, float]:
+        """Map job sequence number -> bytes/us. Must not exceed bandwidth."""
+        raise NotImplementedError
+
+
+class FifoPolicy(SchedulerPolicy):
+    """One job at a time, full bandwidth, strict arrival order.
+
+    The naive background thread: a deep compaction that arrived first
+    starves a flush behind it — the stall generator of [100].
+    """
+
+    name = "fifo"
+
+    def allocate(self, jobs: List[_Job], bandwidth: float) -> Dict[int, float]:
+        if not jobs:
+            return {}
+        first = min(jobs, key=lambda job: job.sequence)
+        return {first.sequence: bandwidth}
+
+
+class SilkPolicy(SchedulerPolicy):
+    """SILK: preemptive priority for flushes and L0 jobs.
+
+    The hottest class present takes the whole device; deeper compactions
+    run only when nothing hotter is pending (load valleys).
+    """
+
+    name = "silk"
+
+    def allocate(self, jobs: List[_Job], bandwidth: float) -> Dict[int, float]:
+        if not jobs:
+            return {}
+        hottest = min(job.kind for job in jobs)
+        candidates = [job for job in jobs if job.kind == hottest]
+        chosen = min(candidates, key=lambda job: job.sequence)
+        return {chosen.sequence: bandwidth}
+
+
+class ThrottledPolicy(SchedulerPolicy):
+    """Compactions capped below saturation; flushes take the rest.
+
+    Luo & Carey's throttling: compaction classes together never exceed
+    ``compaction_share`` of the device, so a flush always finds headroom.
+    """
+
+    name = "throttled"
+
+    def __init__(self, compaction_share: float = 0.6) -> None:
+        if not 0.0 < compaction_share < 1.0:
+            raise ValueError("compaction_share must be in (0, 1)")
+        self.compaction_share = compaction_share
+
+    def allocate(self, jobs: List[_Job], bandwidth: float) -> Dict[int, float]:
+        allocation: Dict[int, float] = {}
+        flushes = [job for job in jobs if job.kind is JobKind.FLUSH]
+        compactions = [job for job in jobs if job.kind is not JobKind.FLUSH]
+        flush_band = bandwidth * (1.0 - self.compaction_share)
+        if flushes:
+            chosen = min(flushes, key=lambda job: job.sequence)
+            allocation[chosen.sequence] = (
+                flush_band if compactions else bandwidth
+            )
+        if compactions:
+            chosen = min(compactions, key=lambda job: job.sequence)
+            allocation[chosen.sequence] = (
+                bandwidth * self.compaction_share if flushes else bandwidth
+            )
+        return allocation
+
+
+def make_policy(name: str) -> SchedulerPolicy:
+    """Factory: ``fifo`` | ``silk`` | ``throttled``."""
+    if name == "fifo":
+        return FifoPolicy()
+    if name == "silk":
+        return SilkPolicy()
+    if name == "throttled":
+        return ThrottledPolicy()
+    raise ValueError(f"unknown scheduler policy {name!r}")
+
+
+class SchedulerSimulation:
+    """Event-driven simulation of ingestion vs. background jobs."""
+
+    def __init__(
+        self, config: SimulationConfig, policy: SchedulerPolicy
+    ) -> None:
+        self.config = config
+        self.policy = policy
+        self._rng = random.Random(config.seed)
+
+    # -- arrival process ------------------------------------------------------
+
+    def _arrival_times(self) -> List[float]:
+        """Poisson arrivals with a square-wave rate (burst / quiet)."""
+        cfg = self.config
+        times: List[float] = []
+        now = 0.0
+        while len(times) < cfg.num_writes:
+            phase = (now % (cfg.burst_us + cfg.quiet_us))
+            rate = cfg.burst_rate if phase < cfg.burst_us else cfg.quiet_rate
+            now += -math.log(1.0 - self._rng.random()) / rate
+            times.append(now)
+        return times
+
+    # -- main loop -------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Simulate the full write stream; returns latency statistics."""
+        cfg = self.config
+        result = SimulationResult(policy=self.policy.name)
+        arrivals = self._arrival_times()
+
+        now = 0.0
+        next_sequence = 0
+        active_fill = 0.0
+        immutable = 0
+        l0_runs = 0
+        jobs: List[_Job] = []
+        waiting: List[float] = []  # arrival times of stalled writes
+        arrival_index = 0
+
+        def submit(kind: JobKind, nbytes: float) -> None:
+            nonlocal next_sequence
+            jobs.append(_Job(kind, nbytes, now, next_sequence))
+            next_sequence += 1
+
+        def ensure_l0_job() -> None:
+            """Keep exactly one L0→L1 job pending while L0 needs draining."""
+            l0_pending = any(
+                job.kind is JobKind.L0_COMPACTION for job in jobs
+            )
+            if l0_runs >= cfg.l0_trigger_runs and not l0_pending:
+                submit(
+                    JobKind.L0_COMPACTION,
+                    cfg.l0_trigger_runs * cfg.buffer_bytes * 2.0,
+                )
+
+        def stalled() -> bool:
+            return immutable > cfg.max_immutable_buffers or (
+                l0_runs >= cfg.l0_stall_runs
+            )
+
+        def absorb_write(arrival_us: float) -> None:
+            """Buffer one write; rotate the memtable when it fills."""
+            nonlocal active_fill, immutable
+            result.write_latencies_us.append(now - arrival_us)
+            active_fill += cfg.entry_bytes
+            if active_fill >= cfg.buffer_bytes:
+                active_fill = 0.0
+                immutable += 1
+                submit(JobKind.FLUSH, cfg.buffer_bytes)
+
+        while arrival_index < len(arrivals) or jobs or waiting:
+            allocation = self.policy.allocate(jobs, cfg.device_bandwidth)
+            # Next job completion under the current allocation.
+            next_completion = math.inf
+            for job in jobs:
+                rate = allocation.get(job.sequence, 0.0)
+                if rate > 0:
+                    next_completion = min(
+                        next_completion, now + job.remaining_bytes / rate
+                    )
+            next_arrival = (
+                arrivals[arrival_index]
+                if arrival_index < len(arrivals)
+                else math.inf
+            )
+            next_time = min(next_completion, max(next_arrival, now))
+            if next_time is math.inf:
+                break
+            # Progress running jobs to next_time.
+            elapsed = next_time - now
+            for job in jobs:
+                rate = allocation.get(job.sequence, 0.0)
+                job.remaining_bytes -= rate * elapsed
+            now = next_time
+            result.backlog_peak_bytes = max(
+                result.backlog_peak_bytes,
+                sum(job.remaining_bytes for job in jobs),
+            )
+
+            # Complete finished jobs.
+            finished = [job for job in jobs if job.remaining_bytes <= 1e-6]
+            for job in finished:
+                jobs.remove(job)
+                name = job.kind.name.lower()
+                result.finished_jobs[name] = (
+                    result.finished_jobs.get(name, 0) + 1
+                )
+                if job.kind is JobKind.FLUSH:
+                    immutable -= 1
+                    l0_runs += 1
+                    ensure_l0_job()
+                elif job.kind is JobKind.L0_COMPACTION:
+                    moved = cfg.l0_trigger_runs * cfg.buffer_bytes
+                    l0_runs = max(0, l0_runs - cfg.l0_trigger_runs)
+                    submit(JobKind.DEEP_COMPACTION, moved * cfg.cascade_factor)
+                    ensure_l0_job()
+
+            # Drain stalled writes now that state may have changed.
+            while waiting and not stalled():
+                arrival = waiting.pop(0)
+                if arrival > now:
+                    waiting.insert(0, arrival)
+                    break
+                result.stall_events += 1
+                result.total_stall_us += now - arrival
+                absorb_write(arrival)
+
+            # Admit the arrival that (possibly) defined this event time.
+            while (
+                arrival_index < len(arrivals)
+                and arrivals[arrival_index] <= now
+            ):
+                arrival = arrivals[arrival_index]
+                arrival_index += 1
+                if stalled():
+                    waiting.append(arrival)
+                else:
+                    absorb_write(arrival)
+
+        result.duration_us = now
+        return result
+
+
+def compare_policies(
+    config: Optional[SimulationConfig] = None,
+    policies: Optional[List[str]] = None,
+) -> List[SimulationResult]:
+    """Run the same arrival trace under each policy (E13's driver)."""
+    config = config or SimulationConfig()
+    names = policies or ["fifo", "silk", "throttled"]
+    return [
+        SchedulerSimulation(config, make_policy(name)).run() for name in names
+    ]

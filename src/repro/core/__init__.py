@@ -1,0 +1,53 @@
+"""Core LSM engine: entries, buffers, WAL, SSTables, levels, and the tree."""
+
+from .config import (
+    LSMConfig,
+    cassandra_like,
+    dostoevsky_like,
+    leveldb_like,
+    rocksdb_like,
+)
+from .entry import Entry, EntryKind, put, single_delete, tombstone
+from .fence import BlockBounds, FenceIndex
+from .level import Level
+from .merge_operator import (
+    Int64AddOperator,
+    MaxOperator,
+    MergeOperator,
+    StringAppendOperator,
+)
+from .range_tombstone import RangeTombstone
+from .run import SortedRun
+from .sstable import Block, ReadContext, SSTable
+from .stats import TreeStats, percentile
+from .tree import LSMTree
+from .wal import WriteAheadLog
+
+__all__ = [
+    "LSMConfig",
+    "rocksdb_like",
+    "cassandra_like",
+    "leveldb_like",
+    "dostoevsky_like",
+    "Entry",
+    "EntryKind",
+    "put",
+    "tombstone",
+    "single_delete",
+    "BlockBounds",
+    "FenceIndex",
+    "Level",
+    "MergeOperator",
+    "StringAppendOperator",
+    "Int64AddOperator",
+    "MaxOperator",
+    "RangeTombstone",
+    "SortedRun",
+    "Block",
+    "ReadContext",
+    "SSTable",
+    "TreeStats",
+    "percentile",
+    "LSMTree",
+    "WriteAheadLog",
+]

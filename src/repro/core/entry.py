@@ -1,0 +1,133 @@
+"""Key-value entries: the unit of data flowing through the LSM tree.
+
+An LSM tree never edits data in place (§2.1.1-B of the tutorial): every
+mutation — insert, update, delete, single-delete — is encoded as a new
+*entry* stamped with a monotonically increasing sequence number. Deletes are
+*tombstones*: entries whose value is empty and whose kind marks them as a
+logical invalidation to be applied lazily during compaction (§2.1.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Fixed per-entry metadata overhead charged by the size model, covering the
+#: sequence number, kind tag, and length headers an on-disk format would hold.
+ENTRY_OVERHEAD_BYTES = 10
+
+#: Size charged for a tombstone's value field. The tutorial notes tombstones
+#: carry a "typically, only a byte-long" value used to mark them (§2.1.2).
+TOMBSTONE_VALUE_BYTES = 1
+
+
+class EntryKind(enum.IntEnum):
+    """Discriminates the mutation a log entry encodes.
+
+    ``PUT``
+        An insert or a blind update (out-of-place, §2.1.1-B).
+    ``DELETE``
+        A tombstone. It invalidates *every* older version of the key and is
+        itself retained until it reaches the bottommost overlapping level.
+    ``SINGLE_DELETE``
+        RocksDB-style single delete (§2.3.3): valid only for keys written at
+        most once since the last delete; the tombstone is dropped as soon as
+        it is compacted with the first matching older entry.
+    ``MERGE``
+        A read-modify-write operand (§2.2.6; RocksDB's merge operator): the
+        value field holds an *operand* that a
+        :class:`~repro.core.merge_operator.MergeOperator` later folds into
+        the key's base value, at read or compaction time.
+    ``RANGE_DELETE``
+        A range tombstone (§2.3.3): the key is the inclusive start of the
+        deleted range and the value field holds the exclusive end key. It
+        logically invalidates every older version of every key in
+        ``[key, value)``.
+    """
+
+    PUT = 0
+    DELETE = 1
+    SINGLE_DELETE = 2
+    MERGE = 3
+    RANGE_DELETE = 4
+
+
+@dataclass(frozen=True, slots=True)
+class Entry:
+    """One immutable key-value record.
+
+    Attributes:
+        key: Unique object identifier; entries sort lexicographically by key.
+        value: Payload for ``PUT`` entries; ``None`` for tombstones.
+        seqno: Global sequence number; larger means more recent. The LSM
+            invariant (§2.1.1-E) guarantees that, for a given key, sequence
+            numbers never increase as a lookup descends levels.
+        kind: The mutation type (see :class:`EntryKind`).
+        stamp_us: Simulated-clock time at which the entry was created.
+            Excluded from equality; used by Lethe-style tombstone-TTL
+            triggers (§2.3.3) to measure how long a tombstone has lingered.
+    """
+
+    key: str
+    value: Optional[str]
+    seqno: int
+    kind: EntryKind = EntryKind.PUT
+    stamp_us: float = field(default=0.0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind in (EntryKind.PUT, EntryKind.MERGE):
+            if self.value is None:
+                raise ValueError("PUT and MERGE entries require a value")
+        elif self.kind is EntryKind.RANGE_DELETE:
+            if self.value is None or self.value <= self.key:
+                raise ValueError(
+                    "RANGE_DELETE needs an end key greater than its start"
+                )
+        elif self.value is not None:
+            raise ValueError("tombstones must not carry a value")
+        if self.seqno < 0:
+            raise ValueError("sequence numbers are non-negative")
+
+    @property
+    def is_tombstone(self) -> bool:
+        """Whether this entry logically invalidates older versions."""
+        return self.kind in (
+            EntryKind.DELETE,
+            EntryKind.SINGLE_DELETE,
+            EntryKind.RANGE_DELETE,
+        )
+
+    @property
+    def size(self) -> int:
+        """Charged on-disk footprint of the entry in bytes."""
+        value_bytes = (
+            TOMBSTONE_VALUE_BYTES if self.value is None else len(self.value)
+        )
+        return len(self.key) + value_bytes + ENTRY_OVERHEAD_BYTES
+
+    def shadows(self, other: "Entry") -> bool:
+        """Whether this entry supersedes ``other`` during a merge.
+
+        Both entries must refer to the same key; the newer sequence number
+        wins, which is exactly the rule compaction applies when "retaining
+        only the latest version of each key" (§2.1.2).
+        """
+        if self.key != other.key:
+            raise ValueError("shadowing is defined only for equal keys")
+        return self.seqno > other.seqno
+
+
+def put(key: str, value: str, seqno: int, stamp_us: float = 0.0) -> Entry:
+    """Build a ``PUT`` entry; convenience constructor."""
+    return Entry(key, value, seqno, EntryKind.PUT, stamp_us)
+
+
+def tombstone(key: str, seqno: int, stamp_us: float = 0.0) -> Entry:
+    """Build a ``DELETE`` tombstone; convenience constructor."""
+    return Entry(key, None, seqno, EntryKind.DELETE, stamp_us)
+
+
+def single_delete(key: str, seqno: int, stamp_us: float = 0.0) -> Entry:
+    """Build a ``SINGLE_DELETE`` tombstone; convenience constructor."""
+    return Entry(key, None, seqno, EntryKind.SINGLE_DELETE, stamp_us)

@@ -1,0 +1,92 @@
+"""Fence pointers: per-block min/max key metadata (§2.1.3).
+
+"Virtually any LSM-tree design is supported by fence pointers (a special
+form of Zonemaps) that store information about the smallest and largest keys
+in every disk page." A fence index lets a point lookup descend to exactly
+one candidate data block per run, and lets a range scan touch only the
+blocks that overlap the requested interval.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class BlockBounds:
+    """Smallest and largest key of one data block."""
+
+    first_key: str
+    last_key: str
+
+
+class FenceIndex:
+    """In-memory index over a run's data blocks.
+
+    Args:
+        bounds: Per-block key bounds in ascending, non-overlapping order.
+
+    Raises:
+        ValueError: If the bounds are unsorted or overlapping — fence
+            pointers are only meaningful over a sorted run.
+    """
+
+    def __init__(self, bounds: Sequence[BlockBounds]) -> None:
+        for blk in bounds:
+            if blk.first_key > blk.last_key:
+                raise ValueError("block bounds must satisfy first <= last")
+        for left, right in zip(bounds, bounds[1:]):
+            if left.last_key >= right.first_key:
+                raise ValueError("fence blocks must be sorted and disjoint")
+        self._bounds = list(bounds)
+        self._firsts = [blk.first_key for blk in self._bounds]
+
+    def __len__(self) -> int:
+        return len(self._bounds)
+
+    @property
+    def min_key(self) -> Optional[str]:
+        """Smallest key covered, or ``None`` for an empty index."""
+        return self._bounds[0].first_key if self._bounds else None
+
+    @property
+    def max_key(self) -> Optional[str]:
+        """Largest key covered, or ``None`` for an empty index."""
+        return self._bounds[-1].last_key if self._bounds else None
+
+    @property
+    def memory_bits(self) -> int:
+        """Approximate in-memory footprint (two keys per block)."""
+        return sum(
+            8 * (len(blk.first_key) + len(blk.last_key)) for blk in self._bounds
+        )
+
+    def locate(self, key: str) -> Optional[int]:
+        """Index of the single block that may hold ``key``, else ``None``.
+
+        Because blocks are sorted and disjoint, at most one block can
+        contain any key — this is what bounds a fenced lookup at one data
+        page per run (experiment E4).
+        """
+        pos = bisect.bisect_right(self._firsts, key) - 1
+        if pos < 0:
+            return None
+        if self._bounds[pos].last_key < key:
+            return None
+        return pos
+
+    def overlap(self, lo: str, hi: str) -> Tuple[int, int]:
+        """Half-open block-index range overlapping keys in ``[lo, hi)``."""
+        if not self._bounds or lo >= hi:
+            return (0, 0)
+        start = bisect.bisect_right(self._firsts, lo) - 1
+        if start < 0 or self._bounds[start].last_key < lo:
+            start += 1
+        stop = bisect.bisect_left(self._firsts, hi)
+        return (min(start, stop), stop)
+
+    def bounds(self) -> List[BlockBounds]:
+        """Copy of the per-block bounds."""
+        return list(self._bounds)

@@ -1,0 +1,21 @@
+"""Memory-buffer implementations (§2.1.1-A, §2.2.1)."""
+
+from .base import MemTable
+from .skiplist import SkipList
+from .variants import (
+    HashLinkedListMemTable,
+    HashSkipListMemTable,
+    SkipListMemTable,
+    VectorMemTable,
+    make_memtable,
+)
+
+__all__ = [
+    "MemTable",
+    "SkipList",
+    "VectorMemTable",
+    "SkipListMemTable",
+    "HashSkipListMemTable",
+    "HashLinkedListMemTable",
+    "make_memtable",
+]

@@ -1,0 +1,76 @@
+"""Memory-buffer (memtable) interface.
+
+The in-memory component is the first stop of every write (§2.1.1-A) and of
+every read. RocksDB lets developers choose among several buffer
+implementations with very different performance envelopes (§2.2.1); this
+package mirrors that choice with four interchangeable implementations behind
+one abstract interface.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator, List, Optional
+
+from ..entry import Entry
+
+
+class MemTable(abc.ABC):
+    """Abstract in-memory buffer of the most recent entries.
+
+    Implementations must support point insert/get; sorted iteration is only
+    required at flush (and scan) time, which lets write-optimized
+    representations (e.g. an unsorted vector) defer sorting.
+    """
+
+    def __init__(self) -> None:
+        self._size_bytes = 0
+        self._count = 0
+
+    @property
+    def size_bytes(self) -> int:
+        """Approximate payload bytes currently buffered."""
+        return self._size_bytes
+
+    def __len__(self) -> int:
+        """Number of live (latest-version) entries buffered."""
+        return self._count
+
+    @abc.abstractmethod
+    def insert(self, entry: Entry) -> None:
+        """Insert or replace-in-place the entry for ``entry.key``.
+
+        Updates to a key already present in the buffer replace the older
+        entry immediately (§2.1.2, "Put"), so a buffer never holds two
+        versions of one key — except the vector buffer, which emulates the
+        replace lazily and reconciles at read/flush time.
+        """
+
+    @abc.abstractmethod
+    def get(self, key: str) -> Optional[Entry]:
+        """Latest buffered entry for ``key`` (may be a tombstone)."""
+
+    @abc.abstractmethod
+    def entries(self) -> List[Entry]:
+        """All buffered entries sorted by key, one (latest) per key."""
+
+    def scan(self, lo: str, hi: str) -> Iterator[Entry]:
+        """Sorted entries with ``lo <= key < hi`` (tombstones included)."""
+        for entry in self.entries():
+            if entry.key >= hi:
+                break
+            if entry.key >= lo:
+                yield entry
+
+    @property
+    @abc.abstractmethod
+    def supports_point_reads_cheaply(self) -> bool:
+        """Whether :meth:`get` avoids a full scan (used by cost accounting)."""
+
+    def _account_insert(self, entry: Entry, replaced: Optional[Entry]) -> None:
+        """Bookkeeping helper shared by subclasses."""
+        self._size_bytes += entry.size
+        if replaced is None:
+            self._count += 1
+        else:
+            self._size_bytes -= replaced.size

@@ -1,0 +1,112 @@
+"""A classic probabilistic skip list keyed by string.
+
+This is the substrate for the ``skiplist`` and ``hash_skiplist`` buffer
+variants (§2.2.1). It supports O(log n) expected insert/search and ordered
+traversal, which is why it is the default memtable of most LSM engines: it
+serves interleaved reads and writes well, unlike an unsorted vector.
+
+The implementation is a standard Pugh skip list with randomized tower
+heights; nodes store a payload object so callers can attach an
+:class:`~repro.core.entry.Entry` (or anything else).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generic, Iterator, List, Optional, Tuple, TypeVar
+
+V = TypeVar("V")
+
+_MAX_HEIGHT = 16
+_BRANCHING = 4
+
+
+class _Node(Generic[V]):
+    """One tower in the skip list."""
+
+    __slots__ = ("key", "value", "nexts")
+
+    def __init__(self, key: str, value: V, height: int) -> None:
+        self.key = key
+        self.value = value
+        self.nexts: List[Optional["_Node[V]"]] = [None] * height
+
+
+class SkipList(Generic[V]):
+    """Ordered string-keyed map with expected O(log n) operations."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self._head: _Node[V] = _Node("", None, _MAX_HEIGHT)  # type: ignore[arg-type]
+        self._height = 1
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def _random_height(self) -> int:
+        height = 1
+        while height < _MAX_HEIGHT and self._rng.randrange(_BRANCHING) == 0:
+            height += 1
+        return height
+
+    def _find_predecessors(self, key: str) -> List[_Node[V]]:
+        """The rightmost node strictly before ``key`` on every list level."""
+        preds: List[_Node[V]] = [self._head] * _MAX_HEIGHT
+        node = self._head
+        for lvl in range(self._height - 1, -1, -1):
+            nxt = node.nexts[lvl]
+            while nxt is not None and nxt.key < key:
+                node = nxt
+                nxt = node.nexts[lvl]
+            preds[lvl] = node
+        return preds
+
+    def insert(self, key: str, value: V) -> Optional[V]:
+        """Insert or replace; returns the replaced value, if any."""
+        preds = self._find_predecessors(key)
+        candidate = preds[0].nexts[0]
+        if candidate is not None and candidate.key == key:
+            old = candidate.value
+            candidate.value = value
+            return old
+        height = self._random_height()
+        if height > self._height:
+            self._height = height
+        node: _Node[V] = _Node(key, value, height)
+        for lvl in range(height):
+            node.nexts[lvl] = preds[lvl].nexts[lvl]
+            preds[lvl].nexts[lvl] = node
+        self._count += 1
+        return None
+
+    def get(self, key: str) -> Optional[V]:
+        """Value stored at ``key``, or ``None``."""
+        node = self._head
+        for lvl in range(self._height - 1, -1, -1):
+            nxt = node.nexts[lvl]
+            while nxt is not None and nxt.key < key:
+                node = nxt
+                nxt = node.nexts[lvl]
+        candidate = node.nexts[0]
+        if candidate is not None and candidate.key == key:
+            return candidate.value
+        return None
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def items(self) -> Iterator[Tuple[str, V]]:
+        """All (key, value) pairs in ascending key order."""
+        node = self._head.nexts[0]
+        while node is not None:
+            yield node.key, node.value
+            node = node.nexts[0]
+
+    def items_from(self, lo: str) -> Iterator[Tuple[str, V]]:
+        """Pairs with key >= ``lo`` in ascending order."""
+        preds = self._find_predecessors(lo)
+        node = preds[0].nexts[0]
+        while node is not None:
+            yield node.key, node.value
+            node = node.nexts[0]

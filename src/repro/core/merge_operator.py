@@ -1,0 +1,110 @@
+"""Merge operators: server-side read-modify-write (§2.2.6).
+
+"State-of-the-art systems also support read-modify-write operations, which
+are particularly useful for stream processing use cases" — RocksDB exposes
+them as the *merge operator*. Instead of the client reading, modifying, and
+re-writing a value (one I/O round-trip per update), it appends a cheap
+``MERGE`` operand; the engine folds operands into the base value lazily, at
+read time or during compaction, using an application-supplied
+:class:`MergeOperator`.
+
+Contract (mirroring RocksDB):
+
+* :meth:`MergeOperator.full_merge` combines a base value (or ``None`` when
+  the key never existed / was deleted) with the operands **oldest first**,
+  producing the final value.
+* :meth:`MergeOperator.partial_merge` combines adjacent operands (oldest
+  first) into one, letting compactions shrink operand stacks even before
+  the base value is reachable.
+* Both must be associative in the obvious way:
+  ``full_merge(b, xs + ys) == full_merge(full_merge(b, xs), ys)``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional
+
+
+class MergeOperator(abc.ABC):
+    """Application-defined semantics for folding operands into values."""
+
+    @abc.abstractmethod
+    def full_merge(
+        self, key: str, base: Optional[str], operands: List[str]
+    ) -> str:
+        """Produce the final value from a base and oldest-first operands."""
+
+    def partial_merge(self, key: str, operands: List[str]) -> Optional[str]:
+        """Combine adjacent operands (oldest first) into one, or ``None``
+        if this operator cannot combine operands without the base (the
+        engine then keeps the stack)."""
+        return None
+
+
+class StringAppendOperator(MergeOperator):
+    """Concatenate operands onto the base with a separator (list-append)."""
+
+    def __init__(self, separator: str = ",") -> None:
+        self.separator = separator
+
+    def full_merge(
+        self, key: str, base: Optional[str], operands: List[str]
+    ) -> str:
+        parts = ([base] if base is not None else []) + list(operands)
+        return self.separator.join(parts)
+
+    def partial_merge(self, key: str, operands: List[str]) -> Optional[str]:
+        return self.separator.join(operands)
+
+
+class Int64AddOperator(MergeOperator):
+    """Numeric counters: operands are integer deltas (RocksDB's uint64add).
+
+    A missing base counts as zero; malformed bases are treated as zero
+    rather than failing the read, matching the forgiving behaviour counter
+    deployments want.
+    """
+
+    @staticmethod
+    def _to_int(text: Optional[str]) -> int:
+        if text is None:
+            return 0
+        try:
+            return int(text)
+        except ValueError:
+            return 0
+
+    def full_merge(
+        self, key: str, base: Optional[str], operands: List[str]
+    ) -> str:
+        total = self._to_int(base)
+        for operand in operands:
+            total += self._to_int(operand)
+        return str(total)
+
+    def partial_merge(self, key: str, operands: List[str]) -> Optional[str]:
+        return str(sum(self._to_int(operand) for operand in operands))
+
+
+class MaxOperator(MergeOperator):
+    """Keep the lexicographically largest value seen (high-watermarks)."""
+
+    def full_merge(
+        self, key: str, base: Optional[str], operands: List[str]
+    ) -> str:
+        candidates = ([base] if base is not None else []) + list(operands)
+        return max(candidates)
+
+    def partial_merge(self, key: str, operands: List[str]) -> Optional[str]:
+        return max(operands)
+
+
+def resolve_merge(
+    operator: MergeOperator,
+    key: str,
+    base: Optional[str],
+    operands_newest_first: List[str],
+) -> str:
+    """Apply a newest-first operand stack (as reads collect it) to a base."""
+    return operator.full_merge(key, base, list(reversed(operands_newest_first)))

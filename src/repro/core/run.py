@@ -1,0 +1,156 @@
+"""Sorted runs: key-disjoint sequences of SSTables.
+
+A *sorted run* is the unit the tutorial counts when it says compactions
+"bound the number of sorted components or runs on disk" (§2.1.1-D). One run
+spans one or more key-disjoint files so that partial compaction (§2.2.3) has
+file-sized units to move; a leveled level holds a single multi-file run,
+while a tiered level stacks several runs.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, List, Optional, Sequence
+
+from ..filters.bloom import Digest
+from .entry import Entry
+from .range_tombstone import RangeTombstone, dedupe, max_covering_seqno
+from .sstable import ReadContext, SSTable
+
+
+class SortedRun:
+    """An ordered collection of key-disjoint SSTables.
+
+    Args:
+        tables: Files sorted by ``min_key`` with non-overlapping ranges.
+
+    Raises:
+        ValueError: If the files overlap or are unsorted — that would make
+            the run ambiguous for lookups.
+    """
+
+    def __init__(self, tables: Sequence[SSTable]) -> None:
+        ordered = sorted(tables, key=lambda table: table.min_key)
+        for left, right in zip(ordered, ordered[1:]):
+            if left.max_key >= right.min_key:
+                raise ValueError(
+                    "files within a sorted run must be key-disjoint"
+                )
+        self.tables: List[SSTable] = list(ordered)
+        self._min_keys = [table.min_key for table in self.tables]
+        #: Deduplicated range tombstones across the run's files (copies of
+        #: one tombstone replicate per file; identity is (lo, hi, seqno)).
+        self.range_tombstones: List[RangeTombstone] = dedupe(
+            tombstone
+            for table in self.tables
+            for tombstone in table.range_tombstones
+        )
+
+    def __len__(self) -> int:
+        return len(self.tables)
+
+    def __iter__(self) -> Iterator[SSTable]:
+        return iter(self.tables)
+
+    def __repr__(self) -> str:
+        return f"SortedRun(files={len(self.tables)}, bytes={self.data_bytes})"
+
+    @property
+    def data_bytes(self) -> int:
+        """Total payload bytes across the run's files."""
+        return sum(table.data_bytes for table in self.tables)
+
+    @property
+    def entry_count(self) -> int:
+        """Total entries across the run's files."""
+        return sum(table.entry_count for table in self.tables)
+
+    @property
+    def tombstone_count(self) -> int:
+        """Total tombstones across the run's files."""
+        return sum(table.tombstone_count for table in self.tables)
+
+    @property
+    def min_key(self) -> str:
+        """Smallest point key in the run."""
+        return self.tables[0].min_key if self.tables else ""
+
+    @property
+    def max_key(self) -> str:
+        """Largest point key in the run."""
+        return self.tables[-1].max_key if self.tables else ""
+
+    @property
+    def effective_min_key(self) -> str:
+        """Smallest key the run affects, including tombstone spans."""
+        return min(
+            (table.effective_min_key for table in self.tables), default=""
+        )
+
+    @property
+    def effective_max_key(self) -> str:
+        """Largest key the run affects, including tombstone spans."""
+        return max(
+            (table.effective_max_key for table in self.tables), default=""
+        )
+
+    @property
+    def max_seqno(self) -> int:
+        """Largest sequence number in the run (its recency)."""
+        return max(
+            (entry.seqno for table in self.tables for entry in table.iter_entries()),
+            default=-1,
+        )
+
+    def table_for(self, key: str) -> Optional[SSTable]:
+        """The single file that may contain ``key``, if any."""
+        pos = bisect.bisect_right(self._min_keys, key) - 1
+        if pos < 0:
+            return None
+        table = self.tables[pos]
+        if table.max_key < key:
+            return None
+        return table
+
+    def get(
+        self, key: str, ctx: ReadContext, digest: Optional[Digest] = None
+    ) -> Optional[Entry]:
+        """Point lookup: dispatch to the one candidate file."""
+        table = self.table_for(key)
+        if table is None:
+            return None
+        return table.get(key, ctx, digest)
+
+    def covering_tombstone_seqno(self, key: str) -> int:
+        """Newest run-level range tombstone covering ``key`` (-1 if none)."""
+        return max_covering_seqno(self.range_tombstones, key)
+
+    def overlapping_tables(self, lo: str, hi: str) -> List[SSTable]:
+        """Files whose key range intersects ``[lo, hi]`` (inclusive)."""
+        return [
+            table for table in self.tables if table.key_range_overlaps(lo, hi)
+        ]
+
+    def iter_range(self, lo: str, hi: str, ctx: ReadContext) -> Iterator[Entry]:
+        """Sorted entries with ``lo <= key < hi``, charging block I/O."""
+        for table in self.tables:
+            if table.max_key < lo:
+                continue
+            if table.min_key >= hi:
+                break
+            yield from table.iter_range(lo, hi, ctx)
+
+    def iter_entries(self) -> Iterator[Entry]:
+        """All entries in key order without charging I/O."""
+        for table in self.tables:
+            yield from table.iter_entries()
+
+    def replace_tables(
+        self, drop: Sequence[SSTable], add: Sequence[SSTable]
+    ) -> "SortedRun":
+        """A new run with ``drop`` removed and ``add`` inserted."""
+        drop_ids = {table.table_id for table in drop}
+        kept = [
+            table for table in self.tables if table.table_id not in drop_ids
+        ]
+        return SortedRun(kept + list(add))

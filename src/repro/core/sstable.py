@@ -1,0 +1,333 @@
+"""Sorted-string tables: the immutable on-disk files of the tree (§2.1.1-C).
+
+An SSTable holds a sorted, key-unique slice of a run, split into fixed-size
+data blocks. Every table carries its own auxiliary structures:
+
+* a :class:`~repro.core.fence.FenceIndex` over block key bounds (§2.1.3),
+* an optional per-table Bloom filter sized by the level's bits/key budget
+  (§2.1.3; Monkey varies this budget per level),
+* summary statistics (entry/tombstone counts, age of oldest tombstone) that
+  drive compaction picking (§2.2.3) and Lethe TTL triggers (§2.3.3).
+
+Tables are immutable: "modifications to an entry entail re-writing of the
+corresponding file anew" — compactions build new tables and retire old ones.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+from ..filters.bloom import BloomFilter, Digest, key_digest
+from ..storage.block_cache import BlockCache, HeatTracker
+from ..storage.disk import SimulatedDisk
+from .entry import Entry
+from .fence import BlockBounds, FenceIndex
+from .range_tombstone import RangeTombstone, max_covering_seqno
+from .stats import TreeStats
+
+_table_ids = itertools.count(1)
+
+
+@dataclass
+class ReadContext:
+    """Everything a read needs: the device, caches, and stat counters.
+
+    Bundled so that deep call chains (tree -> level -> run -> table) stay
+    explicit without six positional arguments at every hop.
+    """
+
+    disk: SimulatedDisk
+    cache: Optional[BlockCache] = None
+    heat: Optional[HeatTracker] = None
+    stats: Optional[TreeStats] = None
+    cause: str = "get"
+
+    def _read_block(self, table: "SSTable", block_index: int) -> None:
+        """Fetch one data block, through the cache when present."""
+        block = table.blocks[block_index]
+        block_id = (table.table_id, block_index)
+        if self.cache is not None and self.cache.probe(block_id):
+            if self.stats is not None:
+                self.stats.blocks_from_cache += 1
+        else:
+            self.disk.read(block.nbytes, self.cause)
+            if self.stats is not None:
+                self.stats.blocks_from_disk += 1
+            if self.cache is not None:
+                self.cache.insert(block_id, block.nbytes)
+        if self.heat is not None:
+            self.heat.record_access(block.first_key, block.last_key)
+        table.last_access_us = self.disk.now_us
+
+
+class Block:
+    """One data block: a contiguous, sorted slice of a table's entries."""
+
+    __slots__ = ("entries", "nbytes", "_keys")
+
+    def __init__(self, entries: Sequence[Entry]) -> None:
+        if not entries:
+            raise ValueError("a block holds at least one entry")
+        self.entries = list(entries)
+        self.nbytes = sum(entry.size for entry in self.entries)
+        self._keys = [entry.key for entry in self.entries]
+
+    @property
+    def first_key(self) -> str:
+        """Smallest key in the block."""
+        return self.entries[0].key
+
+    @property
+    def last_key(self) -> str:
+        """Largest key in the block."""
+        return self.entries[-1].key
+
+    def find(self, key: str) -> Optional[Entry]:
+        """Binary-search the block for ``key``."""
+        pos = bisect.bisect_left(self._keys, key)
+        if pos < len(self._keys) and self._keys[pos] == key:
+            return self.entries[pos]
+        return None
+
+
+class SSTable:
+    """An immutable sorted file with fence pointers and a Bloom filter.
+
+    Build tables with :meth:`build` (which charges the flush/compaction
+    write to the simulated disk) rather than the constructor.
+    """
+
+    def __init__(
+        self,
+        blocks: List[Block],
+        fence: Optional[FenceIndex],
+        bloom: Optional[BloomFilter],
+        created_us: float,
+        range_tombstones: Optional[List[RangeTombstone]] = None,
+    ) -> None:
+        if not blocks and not range_tombstones:
+            raise ValueError(
+                "an SSTable holds at least one block or range tombstone"
+            )
+        self.table_id = next(_table_ids)
+        self.blocks = blocks
+        self.fence = fence
+        self.bloom = bloom
+        #: Range-deletion metadata (the range-del block, §2.3.3): consulted
+        #: before point data, replicated with the table through compactions.
+        self.range_tombstones: List[RangeTombstone] = list(
+            range_tombstones or []
+        )
+        self.created_us = created_us
+        #: Simulated time of the most recent block read from this table;
+        #: drives the "coldest" compaction picker (§2.2.3).
+        self.last_access_us = created_us
+        if blocks:
+            self.min_key = blocks[0].first_key
+            self.max_key = blocks[-1].last_key
+        else:
+            # A tombstone-only carrier file: its key range is its spans'.
+            self.min_key = min(t.lo for t in self.range_tombstones)
+            self.max_key = max(t.hi for t in self.range_tombstones)
+        self.entry_count = sum(len(block.entries) for block in blocks)
+        self.data_bytes = sum(block.nbytes for block in blocks) + sum(
+            tombstone.size for tombstone in self.range_tombstones
+        )
+        self.tombstone_count = sum(
+            1
+            for block in blocks
+            for entry in block.entries
+            if entry.is_tombstone
+        )
+        tombstone_stamps = [
+            entry.stamp_us
+            for block in blocks
+            for entry in block.entries
+            if entry.is_tombstone
+        ]
+        tombstone_stamps.extend(t.stamp_us for t in self.range_tombstones)
+        #: Creation stamp of the oldest (point or range) tombstone still in
+        #: this file, or ``None`` when it holds none (drives Lethe TTL —
+        #: the TTL therefore bounds range-delete persistence too, §2.3.3).
+        self.oldest_tombstone_us: Optional[float] = (
+            min(tombstone_stamps) if tombstone_stamps else None
+        )
+
+    @classmethod
+    def build(
+        cls,
+        entries: Sequence[Entry],
+        disk: SimulatedDisk,
+        block_bytes: int = 4096,
+        fence_pointers: bool = True,
+        filter_bits_per_key: float = 10.0,
+        cause: str = "flush",
+        charge_io: bool = True,
+        range_tombstones: Optional[List[RangeTombstone]] = None,
+    ) -> "SSTable":
+        """Materialize a table from sorted, key-unique entries.
+
+        Charges the device with one sequential write of the table's payload
+        under the given ``cause`` tag (``flush`` or ``compaction``), unless
+        ``charge_io`` is false (used when *restoring* already-persistent
+        tables from a checkpoint).
+
+        Raises:
+            ValueError: If ``entries`` is unsorted or has duplicate keys —
+                a sorted run never contains either — or if both ``entries``
+                and ``range_tombstones`` are empty.
+        """
+        if not entries and not range_tombstones:
+            raise ValueError("cannot build an empty SSTable")
+        for left, right in zip(entries, entries[1:]):
+            if left.key >= right.key:
+                raise ValueError("entries must be strictly sorted by key")
+
+        blocks: List[Block] = []
+        current: List[Entry] = []
+        current_bytes = 0
+        for entry in entries:
+            if current and current_bytes + entry.size > block_bytes:
+                blocks.append(Block(current))
+                current = []
+                current_bytes = 0
+            current.append(entry)
+            current_bytes += entry.size
+        if current:
+            blocks.append(Block(current))
+
+        fence = None
+        if fence_pointers:
+            fence = FenceIndex(
+                [BlockBounds(blk.first_key, blk.last_key) for blk in blocks]
+            )
+        bloom = BloomFilter.for_keys(
+            (entry.key for entry in entries), filter_bits_per_key
+        )
+        table = cls(
+            blocks,
+            fence,
+            bloom,
+            created_us=disk.now_us,
+            range_tombstones=range_tombstones,
+        )
+        if charge_io:
+            disk.write(table.data_bytes, cause)
+        return table
+
+    def __len__(self) -> int:
+        return self.entry_count
+
+    def __repr__(self) -> str:
+        return (
+            f"SSTable(id={self.table_id}, [{self.min_key!r}..{self.max_key!r}], "
+            f"entries={self.entry_count}, bytes={self.data_bytes})"
+        )
+
+    @property
+    def effective_min_key(self) -> str:
+        """Smallest key the table *affects*: point data plus tombstone
+        spans. Compaction overlap uses effective ranges so a newer range
+        tombstone can never sink below older data it covers."""
+        candidates = [self.min_key] + [t.lo for t in self.range_tombstones]
+        return min(candidates)
+
+    @property
+    def effective_max_key(self) -> str:
+        """Largest key the table affects (see :attr:`effective_min_key`)."""
+        candidates = [self.max_key] + [t.hi for t in self.range_tombstones]
+        return max(candidates)
+
+    def key_range_overlaps(self, lo: str, hi: str) -> bool:
+        """Whether the table's *effective* range intersects ``[lo, hi]``."""
+        return self.effective_min_key <= hi and lo <= self.effective_max_key
+
+    def overlaps_table(self, other: "SSTable") -> bool:
+        """Whether two tables' effective key ranges intersect."""
+        return self.key_range_overlaps(
+            other.effective_min_key, other.effective_max_key
+        )
+
+    def covering_tombstone_seqno(self, key: str) -> int:
+        """Newest attached range tombstone covering ``key`` (-1 if none).
+
+        An in-memory metadata check — like filter probes, it costs no I/O.
+        """
+        return max_covering_seqno(self.range_tombstones, key)
+
+    def get(self, key: str, ctx: ReadContext, digest: Optional[Digest] = None) -> Optional[Entry]:
+        """Point lookup inside this table, charging I/O as it goes.
+
+        The probe order mirrors a real engine (§2.1.3): key-range check
+        (free), Bloom filter (in-memory), fence pointers (in-memory), then
+        at most one data block from cache or disk. Without fence pointers
+        the lookup must fetch blocks sequentially until the key's position
+        is passed — the superfluous I/O experiment E4 quantifies.
+        """
+        stats = ctx.stats
+        if key < self.min_key or key > self.max_key:
+            return None
+        if self.bloom is not None:
+            if digest is None:
+                digest = key_digest(key)
+            if stats is not None:
+                stats.filter_probes += 1
+            if not self.bloom.may_contain_digest(digest):
+                if stats is not None:
+                    stats.filter_negatives += 1
+                return None
+
+        if self.fence is not None:
+            block_index = self.fence.locate(key)
+            if block_index is None:
+                # Key falls in a gap between blocks: fence pointers answer
+                # without any disk access, but the Bloom filter said maybe.
+                if stats is not None:
+                    stats.fence_misses += 1
+                    if self.bloom is not None:
+                        stats.filter_false_positives += 1
+                return None
+            ctx._read_block(self, block_index)
+            found = self.blocks[block_index].find(key)
+        else:
+            found = None
+            for block_index, block in enumerate(self.blocks):
+                ctx._read_block(self, block_index)
+                if block.last_key >= key:
+                    found = block.find(key)
+                    break
+
+        if found is None and self.bloom is not None and stats is not None:
+            stats.filter_false_positives += 1
+        return found
+
+    def iter_entries(self) -> Iterator[Entry]:
+        """All entries in key order, without charging I/O (compaction and
+        flush charge reads explicitly at the job level)."""
+        for block in self.blocks:
+            yield from block.entries
+
+    def iter_range(self, lo: str, hi: str, ctx: ReadContext) -> Iterator[Entry]:
+        """Entries with ``lo <= key < hi``, charging block reads."""
+        if lo >= hi:
+            return
+        if self.fence is not None:
+            start, stop = self.fence.overlap(lo, hi)
+            block_indexes = range(start, stop)
+        else:
+            block_indexes = range(len(self.blocks))
+        for block_index in block_indexes:
+            block = self.blocks[block_index]
+            if block.last_key < lo:
+                continue
+            if block.first_key >= hi:
+                break
+            ctx._read_block(self, block_index)
+            for entry in block.entries:
+                if entry.key >= hi:
+                    return
+                if entry.key >= lo:
+                    yield entry

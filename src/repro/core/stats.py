@@ -1,0 +1,118 @@
+"""Engine-level statistics: the observable performance space (§2.3).
+
+The tutorial frames LSM performance as a multi-way tradeoff between read
+cost, write cost, delete cost, memory footprint, and space utilization (the
+RUM space and beyond). :class:`TreeStats` gathers the raw counters the
+engine produces, and exposes the derived amplification metrics every
+experiment reports:
+
+* **Write amplification** — device bytes written per user byte ingested.
+* **Read amplification** — pages read per point lookup.
+* **Space amplification** — on-disk bytes per live user byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+def percentile(samples: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of ``samples`` (``fraction`` in [0, 1])."""
+    if not samples:
+        return 0.0
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+@dataclass
+class TreeStats:
+    """Mutable counters accumulated by one :class:`~repro.core.tree.LSMTree`.
+
+    All byte quantities are user-visible payload bytes; the paired
+    :class:`~repro.storage.disk.SimulatedDisk` counters hold the
+    device-level page-granular totals.
+    """
+
+    # -- write path -------------------------------------------------------
+    puts: int = 0
+    deletes: int = 0
+    single_deletes: int = 0
+    merges: int = 0
+    range_deletes: int = 0
+    user_bytes_written: int = 0
+    flushes: int = 0
+    flushed_bytes: int = 0
+    stall_us: float = 0.0
+    stall_events: int = 0
+
+    # -- compaction -------------------------------------------------------
+    compactions: int = 0
+    compaction_bytes_read: int = 0
+    compaction_bytes_written: int = 0
+    entries_garbage_collected: int = 0
+    tombstones_dropped: int = 0
+    #: Age (simulated us) of each tombstone at the moment it was persistently
+    #: purged — the "time to persistent deletion" Lethe bounds (§2.3.3).
+    tombstone_drop_ages_us: List[float] = field(default_factory=list)
+    range_tombstones_dropped: int = 0
+    #: Same ages for range tombstones — the latency bound the tutorial
+    #: notes current systems fail to provide for range deletes (§2.3.3).
+    range_tombstone_drop_ages_us: List[float] = field(default_factory=list)
+
+    # -- read path --------------------------------------------------------
+    gets: int = 0
+    gets_found: int = 0
+    scans: int = 0
+    runs_probed: int = 0
+    filter_probes: int = 0
+    filter_negatives: int = 0
+    filter_false_positives: int = 0
+    fence_misses: int = 0
+    blocks_from_cache: int = 0
+    blocks_from_disk: int = 0
+
+    # -- latency samples (simulated microseconds) --------------------------
+    write_latencies_us: List[float] = field(default_factory=list)
+    read_latencies_us: List[float] = field(default_factory=list)
+
+    def record_write_latency(self, micros: float) -> None:
+        """Record the simulated latency of one external write."""
+        self.write_latencies_us.append(micros)
+
+    def record_read_latency(self, micros: float) -> None:
+        """Record the simulated latency of one external read."""
+        self.read_latencies_us.append(micros)
+
+    def write_amplification(self, device_bytes_written: int) -> float:
+        """Device bytes written per user byte ingested."""
+        if self.user_bytes_written == 0:
+            return 0.0
+        return device_bytes_written / self.user_bytes_written
+
+    def read_amplification(self, device_pages_read: int) -> float:
+        """Device pages read per point lookup."""
+        if self.gets == 0:
+            return 0.0
+        return device_pages_read / self.gets
+
+    @property
+    def filter_skip_rate(self) -> float:
+        """Fraction of filter probes that saved a run probe."""
+        if self.filter_probes == 0:
+            return 0.0
+        return self.filter_negatives / self.filter_probes
+
+    def latency_summary(self) -> Dict[str, float]:
+        """p50/p99/p999 of the recorded write and read latencies."""
+        return {
+            "write_p50_us": percentile(self.write_latencies_us, 0.50),
+            "write_p99_us": percentile(self.write_latencies_us, 0.99),
+            "write_p999_us": percentile(self.write_latencies_us, 0.999),
+            "read_p50_us": percentile(self.read_latencies_us, 0.50),
+            "read_p99_us": percentile(self.read_latencies_us, 0.99),
+            "read_p999_us": percentile(self.read_latencies_us, 0.999),
+        }

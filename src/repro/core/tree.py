@@ -1,0 +1,728 @@
+"""The LSM tree: orchestration of every component (§2.1).
+
+:class:`LSMTree` wires together the memory buffers (§2.1.1-A), write-ahead
+logging, flushing and compaction (§2.1.2), the auxiliary read structures
+(§2.1.3), and the statistics that expose the performance space (§2.3). All
+I/O flows through one :class:`~repro.storage.disk.SimulatedDisk`, so every
+experiment can read write/read/space amplification directly off the tree.
+
+The engine is synchronous: flushes and compactions run inline and their
+simulated time is charged to the triggering write, which is precisely how
+write stalls manifest (§2.2.3) and what experiment E13's scheduler
+simulation then relaxes.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..compaction.executor import CompactionExecutor, iter_all_versions
+from ..compaction.layouts import make_layout
+from ..compaction.picker import make_picker
+from ..compaction.planner import CompactionPlanner, last_data_level
+from ..cost.allocation import monkey_bits_per_key
+from ..errors import ClosedError, ConfigError
+from ..filters.bloom import key_digest
+from ..storage.block_cache import BlockCache, HeatTracker
+from ..storage.disk import SimulatedDisk
+from .config import LSMConfig
+from .entry import Entry, EntryKind
+from .level import Level
+from .memtable import MemTable, make_memtable
+from .merge_operator import MergeOperator
+from .range_tombstone import RangeTombstone, dedupe, max_covering_seqno
+from .run import SortedRun
+from .sstable import ReadContext
+from .stats import TreeStats
+from .wal import WriteAheadLog
+
+
+class LSMTree:
+    """A log-structured merge tree over a simulated disk.
+
+    Args:
+        config: Tuning knobs; defaults to :class:`LSMConfig`'s defaults.
+        disk: Device to charge; a fresh SSD-profile disk when omitted.
+        wal_dir: Directory for real WAL segment files. ``None`` (default)
+            keeps the log in memory only — I/O accounting is identical, but
+            :meth:`recover` needs a real directory.
+
+    Example:
+        >>> tree = LSMTree()
+        >>> tree.put("user42", "hello")
+        >>> tree.get("user42")
+        'hello'
+        >>> tree.delete("user42")
+        >>> tree.get("user42") is None
+        True
+    """
+
+    def __init__(
+        self,
+        config: Optional[LSMConfig] = None,
+        disk: Optional[SimulatedDisk] = None,
+        wal_dir: Optional[str] = None,
+        merge_operator: Optional[MergeOperator] = None,
+    ) -> None:
+        self.config = config or LSMConfig()
+        self.disk = disk or SimulatedDisk()
+        self.stats = TreeStats()
+        self.cache: Optional[BlockCache] = (
+            BlockCache(self.config.block_cache_bytes)
+            if self.config.block_cache_bytes > 0
+            else None
+        )
+        self.heat: Optional[HeatTracker] = (
+            HeatTracker() if self.config.cache_prefetch else None
+        )
+        self.layout = make_layout(self.config)
+        self.picker = make_picker(self.config.picker)
+        self.planner = CompactionPlanner(self.config, self.layout, self.picker)
+        self.merge_operator = merge_operator
+        self.executor = CompactionExecutor(
+            self.config,
+            self.disk,
+            self.stats,
+            self.cache,
+            self.heat,
+            merge_operator=merge_operator,
+        )
+        if self.config.filter_allocation == "monkey":
+            self.executor.bits_for_level = self._monkey_bits_for_level
+        self.levels: List[Level] = []
+        self._wal_dir = wal_dir
+        self._wal_segment_id = 0
+        self._active: MemTable = make_memtable(
+            self.config.memtable_kind, self.config.seed
+        )
+        self._active_wal = self._new_wal_segment()
+        #: Range tombstones issued against the active buffer (flushed with
+        #: it; the memtable itself holds only point entries).
+        self._active_tombstones: List[RangeTombstone] = []
+        #: Immutable (rotated) buffers awaiting flush, oldest first.
+        self._immutable: List[
+            Tuple[MemTable, WriteAheadLog, List[RangeTombstone]]
+        ] = []
+        self._next_seqno = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # external operations (§2.1.2): put / get / scan / delete
+    # ------------------------------------------------------------------
+
+    def put(self, key: str, value: str) -> None:
+        """Insert or update ``key`` out-of-place (§2.1.1-B)."""
+        if not key:
+            raise ValueError("keys must be non-empty")
+        if value is None:
+            raise ValueError("use delete() to remove a key")
+        entry = Entry(
+            key, value, self._claim_seqno(), EntryKind.PUT, self.disk.now_us
+        )
+        self.stats.puts += 1
+        self._write(entry)
+
+    def delete(self, key: str) -> None:
+        """Logically delete ``key`` by inserting a tombstone (§2.1.2)."""
+        if not key:
+            raise ValueError("keys must be non-empty")
+        entry = Entry(
+            key, None, self._claim_seqno(), EntryKind.DELETE, self.disk.now_us
+        )
+        self.stats.deletes += 1
+        self._write(entry)
+
+    def single_delete(self, key: str) -> None:
+        """Single-delete: for keys written at most once (§2.3.3).
+
+        The tombstone annihilates with the first matching older entry it is
+        compacted with, rather than surviving to the bottom level.
+        """
+        if not key:
+            raise ValueError("keys must be non-empty")
+        entry = Entry(
+            key,
+            None,
+            self._claim_seqno(),
+            EntryKind.SINGLE_DELETE,
+            self.disk.now_us,
+        )
+        self.stats.single_deletes += 1
+        self._write(entry)
+
+    def merge(self, key: str, operand: str) -> None:
+        """Read-modify-write without the read (§2.2.6): append an operand.
+
+        Requires a :class:`~repro.core.merge_operator.MergeOperator` to have
+        been passed at construction; the engine folds operands into the base
+        value lazily at read and compaction time. Within the active buffer,
+        operands are combined eagerly so the buffer keeps one entry per key.
+        """
+        if not key:
+            raise ValueError("keys must be non-empty")
+        if self.merge_operator is None:
+            raise ConfigError(
+                "merge() requires a merge_operator at tree construction"
+            )
+        seqno = self._claim_seqno()
+        now = self.disk.now_us
+        buffered = self._active.get(key)
+        if buffered is None:
+            entry = Entry(key, operand, seqno, EntryKind.MERGE, now)
+        elif buffered.kind is EntryKind.PUT:
+            entry = Entry(
+                key,
+                self.merge_operator.full_merge(key, buffered.value, [operand]),
+                seqno,
+                EntryKind.PUT,
+                now,
+            )
+        elif buffered.kind is EntryKind.MERGE:
+            combined = self.merge_operator.partial_merge(
+                key, [buffered.value, operand]  # type: ignore[list-item]
+            )
+            if combined is None:
+                raise ConfigError(
+                    "merge operators used with this engine must implement "
+                    "partial_merge"
+                )
+            entry = Entry(key, combined, seqno, EntryKind.MERGE, now)
+        else:  # buffered tombstone: merge starts from an empty base
+            entry = Entry(
+                key,
+                self.merge_operator.full_merge(key, None, [operand]),
+                seqno,
+                EntryKind.PUT,
+                now,
+            )
+        self.stats.merges += 1
+        self._write(entry)
+
+    def delete_range(self, lo: str, hi: str) -> None:
+        """Logically delete every key in ``[lo, hi)`` (§2.3.3).
+
+        Implemented as a range tombstone: an O(1) write that shadows all
+        older versions of covered keys; the covered data is garbage
+        collected by later compactions (bounded by the Lethe TTL when
+        configured, since range-tombstone ages feed the same trigger).
+        """
+        if not lo or hi <= lo:
+            raise ValueError("delete_range needs non-empty lo < hi")
+        seqno = self._claim_seqno()
+        tombstone = RangeTombstone(lo, hi, seqno, self.disk.now_us)
+        # Range deletes are journaled like any write (value = end key).
+        self._active_wal.append(
+            Entry(lo, hi, seqno, EntryKind.RANGE_DELETE, self.disk.now_us)
+        )
+        self._active_tombstones.append(tombstone)
+        self.stats.range_deletes += 1
+        self.stats.user_bytes_written += tombstone.size
+
+    def get(self, key: str) -> Optional[str]:
+        """Point lookup: the most recent value of ``key``, or ``None``.
+
+        Traverses buffer → Level 0 → deeper levels, newest run first within
+        each level, terminating at the first base entry (§2.1.2, "Get").
+        One key digest is computed lazily and shared by every Bloom filter
+        probed (hash sharing, §2.1.3). Along the way the lookup tracks the
+        newest covering range tombstone (free metadata checks) and collects
+        merge operands until their base value is reached.
+        """
+        self._check_open()
+        started_us = self.disk.now_us
+        self.stats.gets += 1
+        value = self._lookup_resolved(key)
+        self.stats.record_read_latency(self.disk.now_us - started_us)
+        if value is None:
+            return None
+        self.stats.gets_found += 1
+        return value
+
+    def scan(self, lo: str, hi: str) -> List[Tuple[str, str]]:
+        """Range lookup: latest versions of all keys in ``[lo, hi)``.
+
+        Merges one iterator per buffer and per sorted run (§2.1.2, "Scan"),
+        returning only the newest visible version of each key.
+        """
+        self._check_open()
+        started_us = self.disk.now_us
+        self.stats.scans += 1
+        ctx = ReadContext(
+            self.disk, self.cache, self.heat, self.stats, cause="scan"
+        )
+        sources: List[Iterator[Entry]] = [self._active.scan(lo, hi)]
+        for memtable, _wal, _tombstones in reversed(self._immutable):
+            sources.append(memtable.scan(lo, hi))
+        for level in self.levels:
+            for run in level.iter_runs_newest_first():
+                sources.append(run.iter_range(lo, hi, ctx))
+        tombstones = [
+            t for t in self.all_range_tombstones() if t.overlaps(lo, hi)
+        ]
+        results: List[Tuple[str, str]] = []
+        for key, versions in iter_all_versions(sources):
+            cover_seqno = max_covering_seqno(tombstones, key)
+            live = [v for v in versions if v.seqno > cover_seqno]
+            value = self._resolve_versions(key, live)
+            if value is not None:
+                results.append((key, value))
+        self.stats.record_read_latency(self.disk.now_us - started_us)
+        return results
+
+    def _resolve_versions(
+        self, key: str, versions: List[Entry]
+    ) -> Optional[str]:
+        """Visible value of a newest-first version list (scan resolution)."""
+        operands: List[str] = []
+        base: Optional[Entry] = None
+        for version in versions:
+            if version.kind is EntryKind.MERGE:
+                operands.append(version.value)  # type: ignore[arg-type]
+                continue
+            base = version
+            break
+        if operands:
+            assert self.merge_operator is not None
+            base_value = (
+                base.value
+                if base is not None and base.kind is EntryKind.PUT
+                else None
+            )
+            return self.merge_operator.full_merge(
+                key, base_value, list(reversed(operands))
+            )
+        if base is None or base.is_tombstone:
+            return None
+        return base.value
+
+    def close(self) -> None:
+        """Release WAL file handles. Further operations raise."""
+        if self._closed:
+            return
+        self._active_wal.close()
+        for _memtable, wal, _tombstones in self._immutable:
+            wal.close()
+        self._closed = True
+
+    def __enter__(self) -> "LSMTree":
+        return self
+
+    def __exit__(self, *_exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # internal operations (§2.1.2): flush and compaction
+    # ------------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Force the active buffer to disk (tests/benchmarks convenience)."""
+        self._check_open()
+        self._rotate_active()
+        while self._immutable:
+            self._flush_oldest()
+
+    def compact_all(self) -> None:
+        """Major compaction: push every level's data to the bottom."""
+        self._check_open()
+        for index in range(len(self.levels)):
+            while True:
+                plan = self.planner.plan_manual(self.levels, index)
+                if plan is None:
+                    break
+                self._ensure_level(plan.job.target_level)
+                self.executor.execute(
+                    plan.job, self.levels, plan.bottommost, plan.target_leveled
+                )
+            self._run_compactions()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def seqno(self) -> int:
+        """Next sequence number to be assigned."""
+        return self._next_seqno
+
+    def total_disk_bytes(self) -> int:
+        """Payload bytes currently on disk across all levels."""
+        return sum(level.data_bytes for level in self.levels)
+
+    def total_run_count(self) -> int:
+        """Number of sorted runs on disk (the quantity compaction bounds)."""
+        return sum(level.run_count for level in self.levels)
+
+    def memory_footprint_bits(self) -> int:
+        """RUM memory: buffers + filters + fence pointers, in bits."""
+        bits = 8 * self._active.size_bytes
+        bits += sum(
+            8 * memtable.size_bytes
+            for memtable, _wal, _tombstones in self._immutable
+        )
+        for level in self.levels:
+            for run in level.runs:
+                for table in run.tables:
+                    if table.bloom is not None:
+                        bits += table.bloom.memory_bits
+                    if table.fence is not None:
+                        bits += table.fence.memory_bits
+        return bits
+
+    def level_summary(self) -> List[Dict[str, object]]:
+        """One dict per level: runs, files, bytes, capacity, tombstones."""
+        return [
+            {
+                "level": level.index,
+                "runs": level.run_count,
+                "files": sum(len(run.tables) for run in level.runs),
+                "bytes": level.data_bytes,
+                "capacity": level.capacity_bytes,
+                "tombstones": level.tombstone_count,
+            }
+            for level in self.levels
+        ]
+
+    def space_breakdown(self) -> Dict[str, int]:
+        """Live vs. logically-invalidated bytes on disk (space amp, §2.3).
+
+        Walks every component without charging I/O (an analysis pass, not
+        an engine operation). ``live_bytes`` counts materialized PUT
+        versions; pending MERGE operand stacks and range-tombstone
+        metadata count toward ``total_bytes`` only, so space amplification
+        reads slightly conservative on merge-heavy workloads.
+        """
+        newest: Dict[str, Entry] = {}
+        total_bytes = 0
+        for source in self._all_components():
+            for entry in source:
+                total_bytes += entry.size
+                seen = newest.get(entry.key)
+                if seen is None or entry.seqno > seen.seqno:
+                    newest[entry.key] = entry
+        live_bytes = sum(
+            entry.size
+            for entry in newest.values()
+            if entry.kind is EntryKind.PUT
+        )
+        return {
+            "total_bytes": total_bytes,
+            "live_bytes": live_bytes,
+            "dead_bytes": total_bytes - live_bytes,
+        }
+
+    def space_amplification(self) -> float:
+        """On-disk bytes per live byte (1.0 is perfect)."""
+        breakdown = self.space_breakdown()
+        if breakdown["live_bytes"] == 0:
+            return 0.0
+        disk_bytes = self.total_disk_bytes()
+        return disk_bytes / breakdown["live_bytes"] if disk_bytes else 0.0
+
+    def write_amplification(self) -> float:
+        """Device bytes written (flush + compaction + WAL) per user byte."""
+        return self.stats.write_amplification(self.disk.counters.bytes_written)
+
+    def verify_invariants(self) -> None:
+        """Assert the structural invariants of DESIGN.md §4.
+
+        Used by the property-based tests; raises ``AssertionError`` with a
+        diagnostic message on any violation.
+        """
+        last = last_data_level(self.levels)
+        for level in self.levels:
+            if level.index > 0:
+                allowed = self.layout.max_runs(level.index, last)
+                assert level.run_count <= max(1, allowed), (
+                    f"level {level.index} holds {level.run_count} runs, "
+                    f"layout allows {allowed}"
+                )
+        seen_seqno: Dict[str, int] = {}
+        for source in self._all_components():
+            source_seen: Dict[str, int] = {}
+            for entry in source:
+                assert entry.key not in source_seen, (
+                    f"duplicate key {entry.key!r} within one component"
+                )
+                source_seen[entry.key] = entry.seqno
+            for key, seqno in source_seen.items():
+                if key in seen_seqno:
+                    assert seqno < seen_seqno[key], (
+                        f"LSM invariant violated for {key!r}: deeper seqno "
+                        f"{seqno} >= shallower {seen_seqno[key]}"
+                    )
+                else:
+                    seen_seqno[key] = seqno
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls,
+        config: Optional[LSMConfig],
+        wal_dir: str,
+        disk: Optional[SimulatedDisk] = None,
+        merge_operator: Optional[MergeOperator] = None,
+    ) -> "LSMTree":
+        """Rebuild the memory state from WAL segments after a crash.
+
+        Only buffered (unflushed) entries live in the WAL; a full restart
+        additionally reloads SSTables via
+        :mod:`repro.storage.persistence`. Entries keep their original
+        sequence numbers so recovery is idempotent.
+        """
+        segments = sorted(
+            name
+            for name in os.listdir(wal_dir)
+            if name.startswith("wal.") and name.endswith(".log")
+        )
+        entries: List[Entry] = []
+        for name in segments:
+            entries.extend(WriteAheadLog.replay(os.path.join(wal_dir, name)))
+        for name in segments:
+            os.remove(os.path.join(wal_dir, name))
+        tree = cls(
+            config, disk=disk, wal_dir=wal_dir, merge_operator=merge_operator
+        )
+        for entry in entries:
+            tree._ingest_recovered(entry)
+        return tree
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ClosedError("tree is closed")
+
+    def _claim_seqno(self) -> int:
+        self._check_open()
+        seqno = self._next_seqno
+        self._next_seqno += 1
+        return seqno
+
+    def _new_wal_segment(self) -> WriteAheadLog:
+        path = None
+        if self._wal_dir is not None:
+            path = os.path.join(
+                self._wal_dir, f"wal.{self._wal_segment_id:06d}.log"
+            )
+        self._wal_segment_id += 1
+        return WriteAheadLog(self.disk, path)
+
+    def _write(self, entry: Entry) -> None:
+        started_us = self.disk.now_us
+        self.stats.user_bytes_written += entry.size
+        self._active_wal.append(entry)
+        self._active.insert(entry)
+        if self._active.size_bytes >= self.config.buffer_size_bytes:
+            self._rotate_active()
+        if len(self._immutable) >= self.config.num_buffers:
+            self._flush_oldest()
+        self.stats.record_write_latency(self.disk.now_us - started_us)
+
+    def _ingest_recovered(self, entry: Entry) -> None:
+        """Re-buffer one replayed entry, preserving its sequence number."""
+        self._next_seqno = max(self._next_seqno, entry.seqno + 1)
+        self.stats.user_bytes_written += entry.size
+        self._active_wal.append(entry)
+        if entry.kind is EntryKind.RANGE_DELETE:
+            self._active_tombstones.append(
+                RangeTombstone(
+                    entry.key,
+                    entry.value,  # type: ignore[arg-type]
+                    entry.seqno,
+                    entry.stamp_us,
+                )
+            )
+            return
+        self._active.insert(entry)
+        if self._active.size_bytes >= self.config.buffer_size_bytes:
+            self._rotate_active()
+        if len(self._immutable) >= self.config.num_buffers:
+            self._flush_oldest()
+
+    def _rotate_active(self) -> None:
+        """Swap in a fresh buffer so ingestion never edits a flushing one."""
+        if len(self._active) == 0 and not self._active_tombstones:
+            return
+        self._immutable.append(
+            (self._active, self._active_wal, self._active_tombstones)
+        )
+        self._active = make_memtable(
+            self.config.memtable_kind, self.config.seed + self._wal_segment_id
+        )
+        self._active_wal = self._new_wal_segment()
+        self._active_tombstones = []
+
+    def _flush_oldest(self) -> None:
+        """Flush the oldest immutable buffer into a new Level-0 run."""
+        memtable, wal, tombstones = self._immutable.pop(0)
+        entries = memtable.entries()
+        if entries or tombstones:
+            level0 = self._ensure_level(0)
+            stalled = level0.run_count >= self.config.level0_run_limit
+            stall_started_us = self.disk.now_us
+            if stalled:
+                # Ingestion must wait for Level 0 to drain (§2.2.3): the
+                # synchronous compactions below are the stall.
+                self.stats.stall_events += 1
+                self._run_compactions()
+                self.stats.stall_us += self.disk.now_us - stall_started_us
+            tables = self.executor.build_tables(
+                entries, cause="flush", range_tombstones=dedupe(tombstones)
+            )
+            self._ensure_level(0).add_run_newest(SortedRun(tables))
+            self.stats.flushes += 1
+            self.stats.flushed_bytes += sum(
+                table.data_bytes for table in tables
+            )
+        wal.close()
+        self._delete_wal_file(wal)
+        self._run_compactions()
+
+    def _delete_wal_file(self, wal: WriteAheadLog) -> None:
+        path = getattr(wal, "_path", None)
+        if path is not None and os.path.exists(path):
+            os.remove(path)
+
+    def _ensure_level(self, index: int) -> Level:
+        while len(self.levels) <= index:
+            depth = len(self.levels)
+            self.levels.append(
+                Level(depth, self.config.level_capacity_bytes(depth))
+            )
+        return self.levels[index]
+
+    def _run_compactions(self) -> None:
+        """Apply compactions until the tree satisfies its layout (§2.1.2)."""
+        while True:
+            plan = self.planner.plan(self.levels, self.disk.now_us)
+            if plan is None:
+                return
+            self._ensure_level(plan.job.target_level)
+            self.executor.execute(
+                plan.job, self.levels, plan.bottommost, plan.target_leveled
+            )
+
+    def _monkey_bits_for_level(self, level_index: int) -> float:
+        """Monkey-optimal bits/key for tables landing at ``level_index``.
+
+        Re-derived from the tree's current shape each time a table is
+        built, so the allocation adapts as the tree deepens (§2.1.3).
+        Empty or future levels are estimated geometrically.
+        """
+        depth = max(level_index + 1, len(self.levels), 2)
+        counts: List[int] = []
+        previous = max(
+            1, self.config.buffer_size_bytes // 64
+        )  # rough entries-per-buffer estimate
+        for index in range(depth):
+            actual = (
+                self.levels[index].entry_count
+                if index < len(self.levels)
+                else 0
+            )
+            estimate = previous * (
+                self.config.size_ratio if index > 0 else 1
+            )
+            counts.append(max(actual, estimate, 1))
+            previous = counts[-1]
+        schedule = monkey_bits_per_key(counts, self.config.filter_bits_per_key)
+        return schedule[level_index]
+
+    def _lookup_resolved(self, key: str) -> Optional[str]:
+        """Full read-path resolution: tombstones, range shadows, merges.
+
+        Walks components newest-first; a covering range tombstone seen at
+        any component shadows every strictly-older version below (the LSM
+        invariant orders components by recency per key). The first base
+        entry (PUT or point tombstone) ends the walk; MERGE operands are
+        collected along the way and folded at the end.
+        """
+        ctx = ReadContext(
+            self.disk, self.cache, self.heat, self.stats, cause="get"
+        )
+        digest = key_digest(key) if self.config.filter_bits_per_key else None
+
+        shadow_seqno = -1
+        operand_entries: List[Entry] = []
+        base: Optional[Entry] = None
+
+        for tombstones, getter, counts_as_run in self._lookup_units(
+            key, ctx, digest
+        ):
+            shadow_seqno = max(
+                shadow_seqno, max_covering_seqno(tombstones, key)
+            )
+            if counts_as_run:
+                self.stats.runs_probed += 1
+            entry = getter()
+            if entry is None:
+                continue
+            if entry.seqno < shadow_seqno:
+                break  # the newest version of this key is range-deleted
+            if entry.kind is EntryKind.MERGE:
+                operand_entries.append(entry)
+                continue
+            base = entry
+            break
+
+        live_operands = [
+            entry.value
+            for entry in operand_entries
+            if entry.seqno > shadow_seqno
+        ]
+        if live_operands:
+            assert self.merge_operator is not None  # enforced at merge()
+            base_value = (
+                base.value
+                if base is not None and base.kind is EntryKind.PUT
+                else None
+            )
+            return self.merge_operator.full_merge(
+                key, base_value, list(reversed(live_operands))
+            )
+        if base is None or base.is_tombstone:
+            return None
+        return base.value
+
+    def _lookup_units(self, key, ctx, digest):
+        """Yield (range tombstones, point getter, counts-as-run) per
+        component, newest first."""
+        yield (
+            self._active_tombstones,
+            lambda: self._active.get(key),
+            False,
+        )
+        for memtable, _wal, tombstones in reversed(self._immutable):
+            yield (tombstones, lambda m=memtable: m.get(key), False)
+        for level in self.levels:
+            for run in level.iter_runs_newest_first():
+                yield (
+                    run.range_tombstones,
+                    lambda r=run: r.get(key, ctx, digest),
+                    True,
+                )
+
+    def all_range_tombstones(self) -> List[RangeTombstone]:
+        """Every live range tombstone, deduplicated (analysis + scans)."""
+        collected = list(self._active_tombstones)
+        for _memtable, _wal, tombstones in self._immutable:
+            collected.extend(tombstones)
+        for level in self.levels:
+            for run in level.runs:
+                collected.extend(run.range_tombstones)
+        return dedupe(collected)
+
+    def _all_components(self) -> Iterator[Iterator[Entry]]:
+        """Every entry source, newest component first (analysis only)."""
+        yield iter(self._active.entries())
+        for memtable, _wal, _tombstones in reversed(self._immutable):
+            yield iter(memtable.entries())
+        for level in self.levels:
+            for run in level.iter_runs_newest_first():
+                yield run.iter_entries()

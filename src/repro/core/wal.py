@@ -1,0 +1,144 @@
+"""Write-ahead log: durability for the memory buffer.
+
+Batched ingestion (§2.1.1-A) keeps the newest entries only in memory, so
+every production LSM engine pairs the buffer with a write-ahead log. This
+WAL appends one record per external write, charges the simulated device for
+sequential log pages (so write amplification accounts for the log), and can
+optionally mirror records to a real file for crash-recovery tests.
+
+File format (one record per line)::
+
+    <crc32 hex>,<json payload>\n
+
+Recovery tolerates a torn final record (a crash mid-append) but treats any
+earlier corruption as fatal, mirroring the usual WAL contract.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from typing import Iterator, List, Optional
+
+from ..errors import ClosedError, CorruptionError
+from ..storage.disk import SimulatedDisk
+from .entry import Entry, EntryKind
+
+
+def _encode(entry: Entry) -> str:
+    payload = json.dumps(
+        {
+            "k": entry.key,
+            "v": entry.value,
+            "s": entry.seqno,
+            "t": int(entry.kind),
+            "u": entry.stamp_us,
+        },
+        separators=(",", ":"),
+    )
+    crc = zlib.crc32(payload.encode("utf-8"))
+    return f"{crc:08x},{payload}\n"
+
+
+def _decode(line: str) -> Entry:
+    crc_hex, _sep, payload = line.rstrip("\n").partition(",")
+    if not _sep:
+        raise CorruptionError("WAL record missing checksum separator")
+    try:
+        expected = int(crc_hex, 16)
+    except ValueError as exc:
+        raise CorruptionError("WAL record has malformed checksum") from exc
+    if zlib.crc32(payload.encode("utf-8")) != expected:
+        raise CorruptionError("WAL record failed checksum")
+    try:
+        fields = json.loads(payload)
+        return Entry(
+            key=fields["k"],
+            value=fields["v"],
+            seqno=fields["s"],
+            kind=EntryKind(fields["t"]),
+            stamp_us=fields.get("u", 0.0),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CorruptionError("WAL record failed to decode") from exc
+
+
+class WriteAheadLog:
+    """Sequential log of not-yet-flushed entries.
+
+    Args:
+        disk: Simulated device charged for log pages as records accumulate.
+            Appends are buffered: a page write is charged each time the
+            pending bytes cross a page boundary, modeling group commit.
+        path: Optional real file to mirror records into, enabling
+            :meth:`replay` after a simulated crash. ``None`` keeps the log
+            purely in memory (the common case for experiments).
+    """
+
+    def __init__(
+        self, disk: SimulatedDisk, path: Optional[str] = None
+    ) -> None:
+        self._disk = disk
+        self._path = path
+        self._pending: List[Entry] = []
+        self._unaccounted_bytes = 0
+        self._closed = False
+        self._file = open(path, "a", encoding="utf-8") if path else None
+
+    @property
+    def pending_entries(self) -> List[Entry]:
+        """Entries appended since the last :meth:`reset` (oldest first)."""
+        return list(self._pending)
+
+    def append(self, entry: Entry) -> None:
+        """Durably record one entry before it enters the memtable."""
+        if self._closed:
+            raise ClosedError("WAL is closed")
+        record = _encode(entry)
+        self._pending.append(entry)
+        self._unaccounted_bytes += len(record)
+        page = self._disk.page_size
+        while self._unaccounted_bytes >= page:
+            self._disk.write(page, cause="wal")
+            self._unaccounted_bytes -= page
+        if self._file is not None:
+            self._file.write(record)
+            self._file.flush()
+
+    def reset(self) -> None:
+        """Discard the log after its entries were flushed to an SSTable."""
+        if self._closed:
+            raise ClosedError("WAL is closed")
+        self._pending.clear()
+        self._unaccounted_bytes = 0
+        if self._file is not None and self._path is not None:
+            self._file.close()
+            self._file = open(self._path, "w", encoding="utf-8")
+
+    def close(self) -> None:
+        """Close the backing file, if any. Idempotent."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        self._closed = True
+
+    @staticmethod
+    def replay(path: str) -> Iterator[Entry]:
+        """Yield the entries recorded in a WAL file, oldest first.
+
+        A torn (unparseable) *final* record is skipped — that is the normal
+        signature of a crash mid-append. Corruption anywhere else raises
+        :class:`~repro.errors.CorruptionError`.
+        """
+        if not os.path.exists(path):
+            return
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        for index, line in enumerate(lines):
+            try:
+                yield _decode(line)
+            except CorruptionError:
+                if index == len(lines) - 1:
+                    return
+                raise

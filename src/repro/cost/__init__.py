@@ -1,0 +1,61 @@
+"""Analytic cost models and design-space navigation (§2.3)."""
+
+from .allocation import (
+    expected_false_positive_sum,
+    geometric_level_counts,
+    monkey_bits_per_key,
+    monkey_fprs,
+    uniform_fprs,
+)
+from .model import MODEL_LAYOUTS, CostModel, SystemEnv, Tuning, WorkloadMix
+from .navigator import (
+    DEFAULT_BUFFER_FRACTIONS,
+    DEFAULT_SIZE_RATIOS,
+    NavigationResult,
+    Navigator,
+    candidate_tunings,
+)
+from .robust import (
+    RobustResult,
+    RobustTuner,
+    kl_divergence,
+    worst_case_cost,
+    worst_case_mix,
+)
+from .rum import (
+    RumPoint,
+    frontier_table,
+    pareto_frontier,
+    rum_cloud,
+    rum_conjecture_holds,
+    rum_point,
+)
+
+__all__ = [
+    "expected_false_positive_sum",
+    "geometric_level_counts",
+    "monkey_bits_per_key",
+    "monkey_fprs",
+    "uniform_fprs",
+    "MODEL_LAYOUTS",
+    "CostModel",
+    "SystemEnv",
+    "Tuning",
+    "WorkloadMix",
+    "Navigator",
+    "NavigationResult",
+    "candidate_tunings",
+    "DEFAULT_SIZE_RATIOS",
+    "DEFAULT_BUFFER_FRACTIONS",
+    "RobustTuner",
+    "RobustResult",
+    "kl_divergence",
+    "worst_case_cost",
+    "worst_case_mix",
+    "RumPoint",
+    "rum_point",
+    "rum_cloud",
+    "pareto_frontier",
+    "rum_conjecture_holds",
+    "frontier_table",
+]

@@ -1,0 +1,120 @@
+"""Monkey-style optimal Bloom-filter memory allocation (§2.1.3).
+
+Monkey's observation: with the same total filter memory, assigning *equal
+bits per key* to every level is suboptimal. A false positive at any level
+costs the same (one wasted run probe), but shallow levels hold exponentially
+fewer keys, so a bit spent there buys a larger false-positive-rate
+reduction. Minimizing the *sum* of per-run false positive rates
+
+    minimize   sum_i p_i
+    subject to sum_i n_i * (-ln p_i) / (ln 2)^2  =  M_total,   0 < p_i <= 1
+
+has the closed-form solution ``p_i ∝ n_i`` (by Lagrange multipliers),
+clamped at 1: under a tight budget the deepest, largest levels receive *no*
+filter at all while shallow levels keep very low false positive rates.
+
+:func:`monkey_fprs` solves the clamped system by bisection on the
+proportionality constant; :func:`monkey_bits_per_key` converts the result
+back into per-level bits-per-key budgets the engine can build filters with.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+_LN2_SQ = math.log(2) ** 2
+
+
+def uniform_fprs(entry_counts: Sequence[int], total_bits: float) -> List[float]:
+    """False positive rates when every level gets equal bits per key."""
+    total_entries = sum(entry_counts)
+    if total_entries == 0 or total_bits <= 0:
+        return [1.0] * len(entry_counts)
+    bits_per_key = total_bits / total_entries
+    fpr = math.exp(-bits_per_key * _LN2_SQ)
+    return [min(1.0, fpr)] * len(entry_counts)
+
+
+def _bits_needed(entry_counts: Sequence[int], fprs: Sequence[float]) -> float:
+    return sum(
+        count * (-math.log(fpr)) / _LN2_SQ
+        for count, fpr in zip(entry_counts, fprs)
+        if fpr < 1.0 and count > 0
+    )
+
+
+def monkey_fprs(
+    entry_counts: Sequence[int], total_bits: float, tolerance: float = 1e-9
+) -> List[float]:
+    """Monkey-optimal per-run false positive rates for a memory budget.
+
+    Args:
+        entry_counts: Keys per run/level, shallowest first. Zero-entry
+            levels receive a vacuous ``p = 1``.
+        total_bits: Total filter memory to distribute.
+        tolerance: Bisection convergence tolerance on the constant ``c``.
+
+    Returns:
+        Per-level false positive rates, same order as ``entry_counts``.
+    """
+    counts = [max(0, int(count)) for count in entry_counts]
+    if total_bits <= 0 or not any(counts):
+        return [1.0] * len(counts)
+
+    def fprs_for(constant: float) -> List[float]:
+        return [
+            min(1.0, constant * count) if count else 1.0 for count in counts
+        ]
+
+    # Memory use is strictly decreasing in c wherever some p_i < 1.
+    lo, hi = 0.0, 1.0 / min(count for count in counts if count)
+    if _bits_needed(counts, fprs_for(hi)) >= total_bits:
+        return fprs_for(hi)  # even the cheapest allocation exceeds budget
+    for _ in range(200):
+        mid = (lo + hi) / 2
+        if _bits_needed(counts, fprs_for(mid)) > total_bits:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < tolerance * hi:
+            break
+    return fprs_for(hi)
+
+
+def monkey_bits_per_key(
+    entry_counts: Sequence[int], avg_bits_per_key: float
+) -> List[float]:
+    """Per-level bits/key under Monkey, from an average bits/key budget.
+
+    ``avg_bits_per_key * sum(entry_counts)`` total bits are redistributed
+    optimally; levels whose optimal FPR is 1 get zero bits (no filter).
+    """
+    total_bits = avg_bits_per_key * sum(max(0, c) for c in entry_counts)
+    fprs = monkey_fprs(entry_counts, total_bits)
+    return [
+        (-math.log(fpr) / _LN2_SQ) if fpr < 1.0 else 0.0 for fpr in fprs
+    ]
+
+
+def expected_false_positive_sum(fprs: Sequence[float]) -> float:
+    """Expected wasted run probes per zero-result lookup: ``sum_i p_i``."""
+    return sum(fprs)
+
+
+def geometric_level_counts(
+    total_entries: int, size_ratio: int, num_levels: int
+) -> List[int]:
+    """Entry counts of a full geometric tree, shallowest level first.
+
+    Level ``i`` (0-based) holds ``size_ratio`` times fewer entries than
+    level ``i + 1``; the deepest level dominates. Useful for analytic
+    allocation before a tree exists.
+    """
+    if num_levels < 1:
+        raise ValueError("num_levels must be at least 1")
+    if size_ratio < 2:
+        raise ValueError("size_ratio must be at least 2")
+    weights = [size_ratio**index for index in range(num_levels)]
+    scale = total_entries / sum(weights)
+    return [max(0, round(weight * scale)) for weight in weights]

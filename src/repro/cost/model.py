@@ -1,0 +1,274 @@
+"""Closed-form LSM cost model (§2.3): the analytic performance space.
+
+The model follows the standard Monkey/Dostoevsky-style worst-case analysis
+the tutorial builds on. For a tree of ``L`` levels with size ratio ``T``,
+``B`` entries per page, and per-level Bloom false positive rates ``p_i``:
+
+=====================  ======================  ======================
+cost (I/Os per op)     leveling                tiering
+=====================  ======================  ======================
+zero-result lookup     Σ p_i                   (T-1) · Σ p_i
+non-empty lookup       1 + Σ p_i               1 + (T-1) · Σ p_i
+write (amortized)      (T-1) · L / 2B          (T-1) · L / (T · B)
+short scan (seek)      L                       (T-1) · L
+long scan (s pages)    s · T/(T-1)             s · T
+=====================  ======================  ======================
+
+Lazy leveling (Dostoevsky) takes tiering's write cost on intermediate
+levels and leveling's read cost on the last — which holds most of the data.
+These formulas are *models*: experiment E10 compares them against measured
+behaviour of the actual engine, which is the point of having both.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, List
+
+from ..errors import ConfigError
+from .allocation import monkey_fprs, uniform_fprs
+
+#: Layouts the analytic model covers.
+MODEL_LAYOUTS = ("leveling", "tiering", "lazy_leveling")
+
+
+@dataclass(frozen=True)
+class SystemEnv:
+    """The data and hardware the model is evaluated against.
+
+    Attributes:
+        total_entries: Number of distinct entries the tree will hold.
+        entry_size_bytes: Average entry payload size.
+        page_size_bytes: Device page size (``B = page / entry``).
+        memory_budget_bytes: Total main memory shared by the write buffer
+            and the Bloom filters — the split is part of the tuning (§2.3.1).
+    """
+
+    total_entries: int = 1_000_000
+    entry_size_bytes: int = 64
+    page_size_bytes: int = 4096
+    memory_budget_bytes: int = 4 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if min(
+            self.total_entries,
+            self.entry_size_bytes,
+            self.page_size_bytes,
+            self.memory_budget_bytes,
+        ) <= 0:
+            raise ConfigError("all SystemEnv parameters must be positive")
+
+    @property
+    def entries_per_page(self) -> float:
+        """``B``: entries per disk page."""
+        return max(1.0, self.page_size_bytes / self.entry_size_bytes)
+
+    @property
+    def data_bytes(self) -> int:
+        """Total payload bytes."""
+        return self.total_entries * self.entry_size_bytes
+
+
+@dataclass(frozen=True)
+class Tuning:
+    """One point of the analytic design space.
+
+    Attributes:
+        size_ratio: Growth factor ``T`` between levels.
+        layout: ``leveling`` | ``tiering`` | ``lazy_leveling``.
+        buffer_fraction: Share of the memory budget given to the write
+            buffer; the rest funds the Bloom filters (§2.3.1).
+        monkey: Whether filter memory uses the Monkey-optimal allocation.
+    """
+
+    size_ratio: int = 4
+    layout: str = "leveling"
+    buffer_fraction: float = 0.25
+    monkey: bool = True
+
+    def __post_init__(self) -> None:
+        if self.size_ratio < 2:
+            raise ConfigError("size_ratio must be at least 2")
+        if self.layout not in MODEL_LAYOUTS:
+            raise ConfigError(
+                f"layout must be one of {MODEL_LAYOUTS}, got {self.layout!r}"
+            )
+        if not 0.0 < self.buffer_fraction < 1.0:
+            raise ConfigError("buffer_fraction must be in (0, 1)")
+
+    def with_overrides(self, **overrides: object) -> "Tuning":
+        """Copy with fields replaced (re-validated)."""
+        return replace(self, **overrides)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """Operation mix the cost is weighted by (Endure's ρ vector, §2.3.2).
+
+    Fractions must sum to 1: ``empty_lookups`` (zero-result point reads),
+    ``lookups`` (non-empty point reads), ``short_scans``, and ``writes``.
+    """
+
+    empty_lookups: float = 0.25
+    lookups: float = 0.25
+    short_scans: float = 0.25
+    writes: float = 0.25
+
+    def __post_init__(self) -> None:
+        total = (
+            self.empty_lookups + self.lookups + self.short_scans + self.writes
+        )
+        if abs(total - 1.0) > 1e-9:
+            raise ConfigError(f"workload fractions must sum to 1, got {total}")
+        if min(
+            self.empty_lookups, self.lookups, self.short_scans, self.writes
+        ) < 0:
+            raise ConfigError("workload fractions must be non-negative")
+
+    def as_vector(self) -> List[float]:
+        """(z0, z1, q, w) in a fixed order used by the robust tuner."""
+        return [self.empty_lookups, self.lookups, self.short_scans, self.writes]
+
+    @staticmethod
+    def from_vector(vector: List[float]) -> "WorkloadMix":
+        """Inverse of :meth:`as_vector`."""
+        z0, z1, q, w = vector
+        return WorkloadMix(z0, z1, q, w)
+
+
+class CostModel:
+    """Evaluates expected I/O cost per operation for any tuning."""
+
+    def __init__(self, env: SystemEnv) -> None:
+        self.env = env
+
+    # -- tree shape ---------------------------------------------------------
+
+    def buffer_bytes(self, tuning: Tuning) -> float:
+        """Write-buffer bytes implied by the tuning's memory split."""
+        return self.env.memory_budget_bytes * tuning.buffer_fraction
+
+    def filter_bits(self, tuning: Tuning) -> float:
+        """Filter bits implied by the tuning's memory split."""
+        return 8.0 * self.env.memory_budget_bytes * (1.0 - tuning.buffer_fraction)
+
+    def num_levels(self, tuning: Tuning) -> int:
+        """``L = ceil(log_T(data / buffer))``, at least 1."""
+        ratio = self.env.data_bytes / max(1.0, self.buffer_bytes(tuning))
+        if ratio <= 1:
+            return 1
+        return max(1, math.ceil(math.log(ratio, tuning.size_ratio)))
+
+    def level_entry_counts(self, tuning: Tuning) -> List[int]:
+        """Entries per level of the full tree, shallowest first."""
+        levels = self.num_levels(tuning)
+        weights = [tuning.size_ratio**index for index in range(levels)]
+        scale = self.env.total_entries / sum(weights)
+        return [max(1, round(weight * scale)) for weight in weights]
+
+    def level_fprs(self, tuning: Tuning) -> List[float]:
+        """Per-level Bloom false positive rates under the tuning."""
+        counts = self.level_entry_counts(tuning)
+        bits = self.filter_bits(tuning)
+        if tuning.monkey:
+            return monkey_fprs(counts, bits)
+        return uniform_fprs(counts, bits)
+
+    def runs_per_level(self, tuning: Tuning, level: int, last: int) -> int:
+        """Sorted runs a full level holds under the tuning's layout."""
+        if tuning.layout == "leveling":
+            return 1
+        if tuning.layout == "tiering":
+            return tuning.size_ratio - 1
+        return 1 if level >= last else tuning.size_ratio - 1
+
+    # -- per-operation costs (expected I/Os) --------------------------------
+
+    def empty_lookup_cost(self, tuning: Tuning) -> float:
+        """Zero-result point lookup: expected false-positive I/Os."""
+        fprs = self.level_fprs(tuning)
+        last = len(fprs) - 1
+        return sum(
+            fpr * self.runs_per_level(tuning, level, last)
+            for level, fpr in enumerate(fprs)
+        )
+
+    def lookup_cost(self, tuning: Tuning) -> float:
+        """Non-empty point lookup: one hit page plus false positives above.
+
+        The worst case places the target at the last level, so every
+        shallower run can contribute a false positive.
+        """
+        fprs = self.level_fprs(tuning)
+        last = len(fprs) - 1
+        above = sum(
+            fpr * self.runs_per_level(tuning, level, last)
+            for level, fpr in enumerate(fprs[:-1])
+        )
+        return 1.0 + above
+
+    def short_scan_cost(self, tuning: Tuning) -> float:
+        """Short range scan: one seek I/O per sorted run (filters don't
+        help a scan, §2.1.3)."""
+        levels = self.num_levels(tuning)
+        last = levels - 1
+        return float(
+            sum(
+                self.runs_per_level(tuning, level, last)
+                for level in range(levels)
+            )
+        )
+
+    def long_scan_cost(self, tuning: Tuning, selectivity: float = 0.001) -> float:
+        """Long range scan returning ``selectivity`` of the data."""
+        pages = (
+            selectivity * self.env.total_entries / self.env.entries_per_page
+        )
+        ratio = tuning.size_ratio
+        if tuning.layout == "leveling":
+            return pages * ratio / (ratio - 1)
+        if tuning.layout == "tiering":
+            return pages * ratio
+        return pages * (1 + 1.0 / (ratio - 1))  # lazy: leveled last level
+
+    def write_cost(self, tuning: Tuning) -> float:
+        """Amortized I/Os per written entry (the merging debt, §2.2)."""
+        levels = self.num_levels(tuning)
+        ratio = tuning.size_ratio
+        per_page = self.env.entries_per_page
+        if tuning.layout == "leveling":
+            merges = levels * (ratio - 1) / 2.0
+        elif tuning.layout == "tiering":
+            merges = levels * (ratio - 1) / ratio
+        else:  # lazy leveling: tiered intermediates + one leveled last
+            merges = (levels - 1) * (ratio - 1) / ratio + (ratio - 1) / 2.0
+        return (1.0 + merges) / per_page
+
+    def cost_vector(self, tuning: Tuning) -> List[float]:
+        """(empty lookup, lookup, short scan, write) costs, the c vector."""
+        return [
+            self.empty_lookup_cost(tuning),
+            self.lookup_cost(tuning),
+            self.short_scan_cost(tuning),
+            self.write_cost(tuning),
+        ]
+
+    def workload_cost(self, tuning: Tuning, mix: WorkloadMix) -> float:
+        """Expected I/Os per operation of the mix — the objective the
+        navigator minimizes and Endure robustifies."""
+        weights = mix.as_vector()
+        costs = self.cost_vector(tuning)
+        return sum(weight * cost for weight, cost in zip(weights, costs))
+
+    def describe(self, tuning: Tuning) -> Dict[str, float]:
+        """All derived quantities for reporting."""
+        return {
+            "levels": float(self.num_levels(tuning)),
+            "buffer_bytes": self.buffer_bytes(tuning),
+            "filter_bits": self.filter_bits(tuning),
+            "empty_lookup": self.empty_lookup_cost(tuning),
+            "lookup": self.lookup_cost(tuning),
+            "short_scan": self.short_scan_cost(tuning),
+            "write": self.write_cost(tuning),
+        }

@@ -1,0 +1,140 @@
+"""Design-space navigation: pick the tuning the workload deserves (§2.3.1).
+
+"Navigating the LSM design space is critical; however, the vastness of this
+design space makes this process complex." The navigator makes it mechanical:
+it enumerates a grid over the analytic design space — size ratio × layout ×
+buffer/filter memory split × filter allocation — evaluates every point with
+the :class:`~repro.cost.model.CostModel`, and returns the cheapest tuning
+for a given workload mix. The same grid doubles as the candidate set for
+the robust tuner (§2.3.2) and as the sweep driver for experiments E10/E11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from .model import MODEL_LAYOUTS, CostModel, SystemEnv, Tuning, WorkloadMix
+
+#: Default grid resolution.
+DEFAULT_SIZE_RATIOS = tuple(range(2, 13))
+DEFAULT_BUFFER_FRACTIONS = (0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.7, 0.9)
+
+
+@dataclass(frozen=True)
+class NavigationResult:
+    """The navigator's answer: the winning tuning and its predicted cost."""
+
+    tuning: Tuning
+    cost: float
+    runner_up: Optional[Tuning] = None
+    runner_up_cost: float = float("inf")
+
+    @property
+    def margin(self) -> float:
+        """Relative cost gap to the runner-up (0 when there is none)."""
+        if self.runner_up is None or self.runner_up_cost == float("inf"):
+            return 0.0
+        return (self.runner_up_cost - self.cost) / max(self.cost, 1e-12)
+
+
+def candidate_tunings(
+    size_ratios: Sequence[int] = DEFAULT_SIZE_RATIOS,
+    layouts: Sequence[str] = MODEL_LAYOUTS,
+    buffer_fractions: Sequence[float] = DEFAULT_BUFFER_FRACTIONS,
+    monkey: bool = True,
+) -> Iterator[Tuning]:
+    """The tuning grid: every combination of the given knob values."""
+    for layout in layouts:
+        for ratio in size_ratios:
+            for fraction in buffer_fractions:
+                yield Tuning(
+                    size_ratio=ratio,
+                    layout=layout,
+                    buffer_fraction=fraction,
+                    monkey=monkey,
+                )
+
+
+class Navigator:
+    """Grid-search tuner over the analytic design space.
+
+    Example:
+        >>> nav = Navigator(SystemEnv())
+        >>> write_heavy = WorkloadMix(0.05, 0.05, 0.1, 0.8)
+        >>> nav.tune(write_heavy).tuning.layout
+        'tiering'
+    """
+
+    def __init__(
+        self,
+        env: SystemEnv,
+        candidates: Optional[Sequence[Tuning]] = None,
+    ) -> None:
+        self.env = env
+        self.model = CostModel(env)
+        self.candidates: List[Tuning] = (
+            list(candidates)
+            if candidates is not None
+            else list(candidate_tunings())
+        )
+        if not self.candidates:
+            raise ValueError("navigator needs at least one candidate tuning")
+
+    def tune(self, mix: WorkloadMix) -> NavigationResult:
+        """The cheapest candidate tuning for ``mix``."""
+        scored = sorted(
+            ((self.model.workload_cost(tuning, mix), tuning)
+             for tuning in self.candidates),
+            key=lambda pair: pair[0],
+        )
+        best_cost, best = scored[0]
+        # The runner-up is the best tuning with a *different* layout, which
+        # is the comparison a designer actually cares about.
+        runner = next(
+            ((cost, tuning) for cost, tuning in scored[1:]
+             if tuning.layout != best.layout),
+            None,
+        )
+        if runner is None:
+            return NavigationResult(best, best_cost)
+        return NavigationResult(best, best_cost, runner[1], runner[0])
+
+    def tradeoff_curve(
+        self,
+        layout: str,
+        size_ratios: Sequence[int] = DEFAULT_SIZE_RATIOS,
+        buffer_fraction: float = 0.25,
+        monkey: bool = True,
+    ) -> List[Tuple[int, float, float]]:
+        """(T, lookup cost, write cost) along the size-ratio axis — the
+        read-write tradeoff curve of §2.3.1 for one layout."""
+        curve = []
+        for ratio in size_ratios:
+            tuning = Tuning(ratio, layout, buffer_fraction, monkey)
+            curve.append(
+                (
+                    ratio,
+                    self.model.lookup_cost(tuning),
+                    self.model.write_cost(tuning),
+                )
+            )
+        return curve
+
+    def memory_split_curve(
+        self,
+        mix: WorkloadMix,
+        layout: str = "leveling",
+        size_ratio: int = 4,
+        fractions: Sequence[float] = DEFAULT_BUFFER_FRACTIONS,
+    ) -> List[Tuple[float, float]]:
+        """(buffer fraction, workload cost) — the co-tuning curve of E11."""
+        return [
+            (
+                fraction,
+                self.model.workload_cost(
+                    Tuning(size_ratio, layout, fraction), mix
+                ),
+            )
+            for fraction in fractions
+        ]

@@ -1,0 +1,115 @@
+"""The RUM space: Read / Update / Memory overheads of a design (§2.3).
+
+"The RUM conjecture highlights the inherent three-way tradeoff constructed
+by the Read cost, the Update cost, and the Memory footprint. Any given
+design presents a navigable tradeoff in terms of the RUM costs." This
+module computes the RUM triple of any tuning from the cost model, extracts
+the Pareto frontier of a candidate set, and checks the conjecture's
+signature empirically: improving one axis costs another.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .model import CostModel, SystemEnv, Tuning
+from .navigator import candidate_tunings
+
+
+@dataclass(frozen=True)
+class RumPoint:
+    """One design's position in the RUM space.
+
+    Attributes:
+        tuning: The design.
+        read: Expected I/Os per (non-empty) point lookup.
+        update: Amortized I/Os per written entry.
+        memory: Main-memory bits per entry (buffer + filters).
+    """
+
+    tuning: Tuning
+    read: float
+    update: float
+    memory: float
+
+    def dominates(self, other: "RumPoint") -> bool:
+        """Pareto dominance: no worse on every axis, better on one."""
+        no_worse = (
+            self.read <= other.read
+            and self.update <= other.update
+            and self.memory <= other.memory
+        )
+        better = (
+            self.read < other.read
+            or self.update < other.update
+            or self.memory < other.memory
+        )
+        return no_worse and better
+
+
+def rum_point(model: CostModel, tuning: Tuning) -> RumPoint:
+    """Evaluate one tuning's RUM triple."""
+    memory_bits = 8.0 * model.env.memory_budget_bytes
+    return RumPoint(
+        tuning=tuning,
+        read=model.lookup_cost(tuning),
+        update=model.write_cost(tuning),
+        memory=memory_bits / model.env.total_entries,
+    )
+
+
+def rum_cloud(
+    env: SystemEnv, candidates: Optional[Sequence[Tuning]] = None
+) -> List[RumPoint]:
+    """RUM triples of a candidate set (the navigator grid by default)."""
+    model = CostModel(env)
+    tunings = list(candidates) if candidates is not None else list(
+        candidate_tunings()
+    )
+    return [rum_point(model, tuning) for tuning in tunings]
+
+
+def pareto_frontier(points: Sequence[RumPoint]) -> List[RumPoint]:
+    """The non-dominated subset of a RUM cloud."""
+    frontier: List[RumPoint] = []
+    for point in points:
+        if not any(other.dominates(point) for other in points):
+            frontier.append(point)
+    return frontier
+
+
+def rum_conjecture_holds(
+    frontier: Sequence[RumPoint], tolerance: float = 1e-9
+) -> bool:
+    """Empirical RUM check over a frontier: along the read axis, update
+    cost must not also improve (an ordering where both strictly improve
+    together would contradict the conjecture's tradeoff).
+
+    Memory is constant across a fixed-budget grid, so the check reduces to
+    the read-update tradeoff curve being monotone (anti-correlated) after
+    sorting by read cost.
+    """
+    ordered = sorted(frontier, key=lambda point: (point.read, point.update))
+    for earlier, later in zip(ordered, ordered[1:]):
+        if later.read > earlier.read + tolerance:
+            # Strictly worse reads must buy at-least-as-good updates.
+            if later.update > earlier.update + tolerance:
+                return False
+    return True
+
+
+def frontier_table(
+    frontier: Sequence[RumPoint],
+) -> List[Tuple[str, int, float, float, float]]:
+    """Rows (layout, T, read, update, memory) for reporting."""
+    return [
+        (
+            point.tuning.layout,
+            point.tuning.size_ratio,
+            point.read,
+            point.update,
+            point.memory,
+        )
+        for point in sorted(frontier, key=lambda p: p.read)
+    ]

@@ -1,0 +1,32 @@
+"""Exception hierarchy for the :mod:`repro` LSM engine.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch one base class. Programming errors (bad arguments) raise the standard
+:class:`ValueError`/:class:`TypeError` instead.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro LSM engine."""
+
+
+class ClosedError(ReproError):
+    """An operation was attempted on a closed tree, WAL, or store."""
+
+
+class CorruptionError(ReproError):
+    """Persistent state (WAL, manifest, or SSTable file) failed validation."""
+
+
+class CompactionError(ReproError):
+    """A compaction job could not be planned or executed."""
+
+
+class ConfigError(ReproError):
+    """An :class:`~repro.core.config.LSMConfig` combination is invalid."""
+
+
+class FilterError(ReproError):
+    """A probabilistic filter was constructed or probed incorrectly."""

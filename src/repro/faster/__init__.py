@@ -1,0 +1,5 @@
+"""FASTER-style log-structured hash store (§2.2.6)."""
+
+from .store import RECORD_OVERHEAD_BYTES, FasterStore
+
+__all__ = ["FasterStore", "RECORD_OVERHEAD_BYTES"]

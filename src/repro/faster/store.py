@@ -1,0 +1,210 @@
+"""A FASTER-style log-structured hash store (§2.2.6).
+
+"Chandramouli et al. introduces FASTER, a log-structured storage, that
+improves the read-modify-write performance. Along with a log-structured
+storage, FASTER maintains an in-memory hash table that maps keys to disk
+blocks. FASTER achieves significantly better read performance at the price
+of a higher memory footprint and a higher cost for range queries."
+
+This module implements that design point so experiment E16 can compare it
+against the LSM tree on exactly those three axes:
+
+* **hybrid log**: an append-only record log whose tail region (the
+  *mutable region*) lives in memory — records there are updated in place
+  with no I/O at all, which is where FASTER's read-modify-write speed
+  comes from; records past the tail are immutable and read-copy-updated;
+* **hash index**: an in-memory table mapping every key to its newest
+  record's log address (the memory-footprint price);
+* **no order**: range queries must scan the whole log (the range-query
+  price).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.merge_operator import MergeOperator
+from ..errors import ConfigError
+from ..storage.disk import SimulatedDisk
+
+#: Per-record framing overhead (lengths, checksum) in the size model.
+RECORD_OVERHEAD_BYTES = 16
+
+
+@dataclass
+class _Record:
+    key: str
+    value: str
+
+    @property
+    def size(self) -> int:
+        return len(self.key) + len(self.value) + RECORD_OVERHEAD_BYTES
+
+
+class FasterStore:
+    """Log-structured hash store with an in-memory mutable tail region.
+
+    Args:
+        disk: Simulated device shared with whatever it is compared against.
+        mutable_region_bytes: Size of the in-memory tail. Operations on
+            records in this region are pure memory operations; appends are
+            charged to the device only when records age out of the region
+            (the hybrid-log flush), modeling FASTER's epoch-based tail.
+        merge_operator: Optional operator for :meth:`rmw`.
+
+    The public surface mirrors :class:`~repro.core.tree.LSMTree` where the
+    semantics allow, so the benchmark harness can drive both.
+    """
+
+    def __init__(
+        self,
+        disk: Optional[SimulatedDisk] = None,
+        mutable_region_bytes: int = 64 * 1024,
+        merge_operator: Optional[MergeOperator] = None,
+    ) -> None:
+        if mutable_region_bytes < 1024:
+            raise ConfigError("mutable_region_bytes must be at least 1 KiB")
+        self.disk = disk or SimulatedDisk()
+        self.mutable_region_bytes = mutable_region_bytes
+        self.merge_operator = merge_operator
+        #: key -> log address of the newest record.
+        self._index: Dict[str, int] = {}
+        self._records: Dict[int, _Record] = {}
+        self._head = 0  # next append address
+        self._stable_boundary = 0  # addresses below this are on disk
+        self._pending_flush_bytes = 0
+        self.user_bytes_written = 0
+        self.in_place_updates = 0
+        self.appends = 0
+
+    # -- internals -------------------------------------------------------------
+
+    def _mutable(self, address: int) -> bool:
+        return address >= self._stable_boundary
+
+    def _append(self, key: str, value: str) -> int:
+        record = _Record(key, value)
+        address = self._head
+        self._records[address] = record
+        self._head += record.size
+        self.appends += 1
+        self._age_out()
+        return address
+
+    def _age_out(self) -> None:
+        """Advance the stable boundary so the mutable region stays bounded,
+        charging sequential device writes for everything that ages out."""
+        target = self._head - self.mutable_region_bytes
+        while self._stable_boundary < target:
+            record = self._records.get(self._stable_boundary)
+            if record is None:
+                # A hole from GC'd space; skip a byte (rare, cheap).
+                self._stable_boundary += 1
+                continue
+            self._pending_flush_bytes += record.size
+            self._stable_boundary += record.size
+        page = self.disk.page_size
+        while self._pending_flush_bytes >= page:
+            self.disk.write(page, cause="faster_log")
+            self._pending_flush_bytes -= page
+
+    # -- external operations ------------------------------------------------------
+
+    def put(self, key: str, value: str) -> None:
+        """Insert or update. In-place when the record is still mutable."""
+        self.user_bytes_written += len(key) + len(value)
+        address = self._index.get(key)
+        if address is not None and self._mutable(address):
+            record = self._records[address]
+            if len(value) <= len(record.value):
+                record.value = value  # in-place, zero I/O
+                self.in_place_updates += 1
+                return
+        self._index[key] = self._append(key, value)
+
+    def get(self, key: str) -> Optional[str]:
+        """Point lookup: one hash probe, at most one random read."""
+        address = self._index.get(key)
+        if address is None:
+            return None
+        record = self._records[address]
+        if not self._mutable(address):
+            self.disk.read(record.size, cause="faster_read")
+        return record.value
+
+    def rmw(self, key: str, operand: str) -> None:
+        """Read-modify-write: FASTER's headline operation.
+
+        Mutable-region records update in place with no I/O; stable records
+        cost one read plus an append.
+        """
+        if self.merge_operator is None:
+            raise ConfigError("rmw requires a merge_operator")
+        self.user_bytes_written += len(key) + len(operand)
+        address = self._index.get(key)
+        if address is None:
+            merged = self.merge_operator.full_merge(key, None, [operand])
+            self._index[key] = self._append(key, merged)
+            return
+        record = self._records[address]
+        if self._mutable(address):
+            merged = self.merge_operator.full_merge(
+                key, record.value, [operand]
+            )
+            if len(merged) <= len(record.value):
+                record.value = merged
+                self.in_place_updates += 1
+                return
+            self._index[key] = self._append(key, merged)
+            return
+        self.disk.read(record.size, cause="faster_read")
+        merged = self.merge_operator.full_merge(key, record.value, [operand])
+        self._index[key] = self._append(key, merged)
+
+    def delete(self, key: str) -> None:
+        """Remove the key from the index (space is reclaimed by log GC)."""
+        self._index.pop(key, None)
+
+    def scan(self, lo: str, hi: str) -> List[Tuple[str, str]]:
+        """Range query: the log is unordered, so scan the *entire* live
+        index and read every stable record — FASTER's documented weakness.
+        """
+        results: List[Tuple[str, str]] = []
+        stable_bytes = 0
+        for key, address in self._index.items():
+            record = self._records[address]
+            if not self._mutable(address):
+                stable_bytes += record.size
+            if lo <= key < hi:
+                results.append((key, record.value))
+        if stable_bytes:
+            self.disk.read(stable_bytes, cause="faster_scan")
+        results.sort()
+        return results
+
+    # -- metrics -------------------------------------------------------------------
+
+    def write_amplification(self) -> float:
+        """Device bytes written per user byte."""
+        if self.user_bytes_written == 0:
+            return 0.0
+        return self.disk.counters.bytes_written / self.user_bytes_written
+
+    def memory_footprint_bits(self) -> int:
+        """Index plus mutable region: FASTER's memory price.
+
+        Charged as 8 bytes of address plus the key bytes per index slot,
+        plus every record still in the mutable region.
+        """
+        index_bits = sum(8 * (len(key) + 8) for key in self._index)
+        mutable_bits = sum(
+            8 * record.size
+            for address, record in self._records.items()
+            if self._mutable(address)
+        )
+        return index_bits + mutable_bits
+
+    def live_count(self) -> int:
+        """Number of live keys."""
+        return len(self._index)

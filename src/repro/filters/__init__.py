@@ -1,0 +1,26 @@
+"""Probabilistic filters for point and range queries (§2.1.3)."""
+
+from .base import PointFilter, RangeFilter
+from .bloom import BloomFilter, key_digest, optimal_num_hashes, theoretical_fpr
+from .cuckoo import ChuckyIndex, CuckooFilter
+from .prefix_bloom import PrefixBloomFilter, common_prefix_length, next_prefix
+from .rosetta import RosettaFilter, dyadic_cover, numeric_suffix_codec
+from .surf import SurfFilter
+
+__all__ = [
+    "PointFilter",
+    "RangeFilter",
+    "BloomFilter",
+    "key_digest",
+    "optimal_num_hashes",
+    "theoretical_fpr",
+    "CuckooFilter",
+    "ChuckyIndex",
+    "PrefixBloomFilter",
+    "common_prefix_length",
+    "next_prefix",
+    "RosettaFilter",
+    "dyadic_cover",
+    "numeric_suffix_codec",
+    "SurfFilter",
+]

@@ -1,0 +1,62 @@
+"""Common interfaces for the probabilistic filters (§2.1.3).
+
+Two families exist:
+
+* **Point filters** answer "may this run contain key k?" and let a point
+  lookup skip probing a run entirely on a negative (Bloom, cuckoo).
+* **Range filters** answer "may this run contain any key in [lo, hi]?" and
+  protect range queries from superfluous I/O (prefix Bloom, Rosetta, SuRF).
+
+All filters are *approximate set membership* structures: false positives are
+allowed and tunable, false negatives never are — the property tests enforce
+the no-false-negative guarantee on every implementation.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable
+
+
+class PointFilter(abc.ABC):
+    """May-contain filter probed by point lookups before touching disk."""
+
+    @abc.abstractmethod
+    def add(self, key: str) -> None:
+        """Insert ``key`` into the filter."""
+
+    @abc.abstractmethod
+    def may_contain(self, key: str) -> bool:
+        """``False`` only if ``key`` was definitely never added."""
+
+    @property
+    @abc.abstractmethod
+    def memory_bits(self) -> int:
+        """Memory footprint in bits (for RUM accounting)."""
+
+    def add_all(self, keys: Iterable[str]) -> None:
+        """Bulk-insert convenience."""
+        for key in keys:
+            self.add(key)
+
+
+class RangeFilter(abc.ABC):
+    """May-overlap filter probed by range queries before touching disk."""
+
+    @abc.abstractmethod
+    def add(self, key: str) -> None:
+        """Insert ``key`` into the filter."""
+
+    @abc.abstractmethod
+    def may_contain_range(self, lo: str, hi: str) -> bool:
+        """``False`` only if no added key falls in ``[lo, hi)``."""
+
+    @property
+    @abc.abstractmethod
+    def memory_bits(self) -> int:
+        """Memory footprint in bits (for RUM accounting)."""
+
+    def add_all(self, keys: Iterable[str]) -> None:
+        """Bulk-insert convenience."""
+        for key in keys:
+            self.add(key)

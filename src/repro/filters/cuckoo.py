@@ -1,0 +1,161 @@
+"""Cuckoo filter: a deletable, Bloom-competitive point filter (§2.1.3).
+
+Chucky replaces an LSM tree's many Bloom filters with one updatable cuckoo
+filter that doubles as an index. This module provides the underlying
+structure: a partial-key cuckoo hash table storing short fingerprints in
+4-slot buckets, supporting insert, lookup, and — unlike Bloom — deletion.
+An optional payload per fingerprint slot turns it into the filter-plus-index
+hybrid Chucky describes (:class:`ChuckyIndex`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import FilterError
+from .base import PointFilter
+from .bloom import key_digest
+
+_SLOTS_PER_BUCKET = 4
+_MAX_KICKS = 500
+
+
+def _fingerprint(key: str, bits: int) -> int:
+    """A non-zero ``bits``-wide fingerprint of ``key`` (0 marks empty)."""
+    digest = key_digest(key)[0]
+    fp = digest & ((1 << bits) - 1)
+    return fp if fp else 1
+
+
+class CuckooFilter(PointFilter):
+    """Partial-key cuckoo filter with 4-way buckets.
+
+    Args:
+        capacity: Expected number of keys; the table is sized with ~5%
+            headroom so inserts succeed with high probability.
+        fingerprint_bits: Width of stored fingerprints; 8-12 bits give
+            Bloom-competitive false positive rates at lower space.
+        seed: Seed for the random eviction choices, for reproducibility.
+
+    Raises:
+        FilterError: On insert once the table is genuinely full (after the
+            eviction loop exhausts itself) — callers should rebuild bigger.
+    """
+
+    def __init__(
+        self, capacity: int, fingerprint_bits: int = 12, seed: int = 0
+    ) -> None:
+        if capacity < 1:
+            raise FilterError("capacity must be positive")
+        if not 4 <= fingerprint_bits <= 32:
+            raise FilterError("fingerprint_bits must be in [4, 32]")
+        self.fingerprint_bits = fingerprint_bits
+        num_buckets = 1
+        needed = max(1, int(capacity * 1.05) // _SLOTS_PER_BUCKET + 1)
+        while num_buckets < needed:
+            num_buckets *= 2  # power of two so XOR indexing stays in range
+        self._num_buckets = num_buckets
+        self._buckets: List[List[int]] = [[] for _ in range(num_buckets)]
+        self._rng = random.Random(seed)
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def memory_bits(self) -> int:
+        return self._num_buckets * _SLOTS_PER_BUCKET * self.fingerprint_bits
+
+    def _indexes(self, key: str) -> Tuple[int, int, int]:
+        fp = _fingerprint(key, self.fingerprint_bits)
+        index1 = key_digest(key)[1] % self._num_buckets
+        index2 = self._alt_index(index1, fp)
+        return fp, index1, index2
+
+    def _alt_index(self, index: int, fp: int) -> int:
+        # Standard partial-key trick: xor with a hash of the fingerprint.
+        return (index ^ (fp * 0x5BD1E995)) % self._num_buckets
+
+    def add(self, key: str) -> None:
+        fp, index1, index2 = self._indexes(key)
+        for index in (index1, index2):
+            if len(self._buckets[index]) < _SLOTS_PER_BUCKET:
+                self._buckets[index].append(fp)
+                self._count += 1
+                return
+        # Both home buckets full: evict a random resident and relocate it.
+        index = self._rng.choice((index1, index2))
+        for _ in range(_MAX_KICKS):
+            slot = self._rng.randrange(_SLOTS_PER_BUCKET)
+            fp, self._buckets[index][slot] = self._buckets[index][slot], fp
+            index = self._alt_index(index, fp)
+            if len(self._buckets[index]) < _SLOTS_PER_BUCKET:
+                self._buckets[index].append(fp)
+                self._count += 1
+                return
+        raise FilterError("cuckoo filter is full; rebuild with more capacity")
+
+    def may_contain(self, key: str) -> bool:
+        fp, index1, index2 = self._indexes(key)
+        return fp in self._buckets[index1] or fp in self._buckets[index2]
+
+    def remove(self, key: str) -> bool:
+        """Delete one occurrence of ``key``'s fingerprint.
+
+        Returns whether anything was removed. Deleting a key that was never
+        added may remove a colliding fingerprint — the standard cuckoo
+        filter caveat; only delete keys known to be present.
+        """
+        fp, index1, index2 = self._indexes(key)
+        for index in (index1, index2):
+            if fp in self._buckets[index]:
+                self._buckets[index].remove(fp)
+                self._count -= 1
+                return True
+        return False
+
+
+class ChuckyIndex:
+    """Chucky-style combined filter + index over the whole tree (§2.1.3).
+
+    One updatable cuckoo-hash structure maps each key's fingerprint to the
+    identifier of the *run* holding its newest version, so a point lookup
+    goes straight to one run instead of probing filters level by level.
+    False positives (fingerprint collisions) send the lookup to a run that
+    may not hold the key — same failure mode, different topology.
+    """
+
+    def __init__(
+        self, capacity: int, fingerprint_bits: int = 16, seed: int = 0
+    ) -> None:
+        if capacity < 1:
+            raise FilterError("capacity must be positive")
+        self.fingerprint_bits = fingerprint_bits
+        self._slots: Dict[Tuple[int, int], int] = {}
+        self._num_buckets = max(8, capacity)
+        self._seed = seed
+
+    def _slot(self, key: str) -> Tuple[int, int]:
+        fp = _fingerprint(key, self.fingerprint_bits)
+        return (key_digest(key)[1] % self._num_buckets, fp)
+
+    def assign(self, key: str, run_id: int) -> None:
+        """Record that the newest version of ``key`` lives in ``run_id``."""
+        self._slots[self._slot(key)] = run_id
+
+    def lookup(self, key: str) -> Optional[int]:
+        """Run expected to hold ``key``, or ``None`` (definitely absent)."""
+        return self._slots.get(self._slot(key))
+
+    def drop_run(self, run_id: int) -> int:
+        """Forget every assignment pointing at a retired run."""
+        victims = [slot for slot, rid in self._slots.items() if rid == run_id]
+        for slot in victims:
+            del self._slots[slot]
+        return len(victims)
+
+    @property
+    def memory_bits(self) -> int:
+        # fingerprint + run id (~16 bits) per occupied slot.
+        return len(self._slots) * (self.fingerprint_bits + 16)

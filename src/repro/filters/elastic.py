@@ -1,0 +1,186 @@
+"""ElasticBF-style hotness-aware Bloom filtering (§2.1.3).
+
+"ElasticBF addresses access skew by employing multiple small filter units
+per Bloom filter." The insight: a fixed bits-per-key budget wastes memory
+on cold SSTables and starves hot ones. ElasticBF builds each file's filter
+as several independent *units*; all units exist (they are cheap to build at
+file creation), but only some are *loaded* in memory at a time. A false
+positive must pass every loaded unit, so a file's in-memory false positive
+rate is the product of its loaded units' rates — and a manager shifts
+units between files as access frequencies evolve, keeping total memory
+constant while hot files enjoy low FPRs.
+
+:class:`ElasticBloomFilter` is the per-file unit stack;
+:class:`ElasticFilterManager` is the memory-budgeted rebalancer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from ..errors import FilterError
+from .base import PointFilter
+from .bloom import BloomFilter, Digest, key_digest
+
+
+class ElasticBloomFilter(PointFilter):
+    """A stack of independent Bloom-filter units with a loadable prefix.
+
+    Args:
+        keys: The file's key set (units are built together at file build).
+        num_units: Units the filter is divided into.
+        bits_per_key_per_unit: Budget of each unit.
+        loaded_units: How many units start loaded in memory.
+
+    Probing consults only the loaded prefix of the stack; loading more
+    units multiplies false positive rates together, loading fewer saves
+    memory at the cost of more false positives.
+    """
+
+    def __init__(
+        self,
+        keys: Iterable[str],
+        num_units: int = 4,
+        bits_per_key_per_unit: float = 2.0,
+        loaded_units: int = 1,
+    ) -> None:
+        if num_units < 1:
+            raise FilterError("num_units must be at least 1")
+        if not 0 <= loaded_units <= num_units:
+            raise FilterError("loaded_units must be in [0, num_units]")
+        key_list = list(keys)
+        self._units: List[BloomFilter] = []
+        for unit_index in range(num_units):
+            unit = BloomFilter.for_keys(
+                (f"{unit_index}#{key}" for key in key_list),
+                bits_per_key_per_unit,
+            )
+            assert unit is not None
+            self._units.append(unit)
+        self.loaded_units = loaded_units
+        self.accesses = 0
+
+    @property
+    def num_units(self) -> int:
+        """Total units built for this file."""
+        return len(self._units)
+
+    @property
+    def memory_bits(self) -> int:
+        """Bits of the *loaded* prefix (the in-memory footprint)."""
+        return sum(
+            unit.memory_bits for unit in self._units[: self.loaded_units]
+        )
+
+    @property
+    def total_bits(self) -> int:
+        """Bits across all units (the on-disk footprint)."""
+        return sum(unit.memory_bits for unit in self._units)
+
+    def add(self, key: str) -> None:
+        raise FilterError(
+            "elastic filters are built over a complete key set; rebuild"
+        )
+
+    def may_contain(self, key: str) -> bool:
+        """Probe the loaded units; all must say maybe."""
+        self.accesses += 1
+        for unit_index in range(self.loaded_units):
+            if not self._units[unit_index].may_contain(f"{unit_index}#{key}"):
+                return False
+        return True
+
+    def may_contain_digest(self, digest: Digest) -> bool:
+        """Digest-probe compatibility shim: elastic units salt per-unit, so
+        the shared digest cannot be reused; falls back to hashing."""
+        raise FilterError(
+            "elastic filters prepend unit salts; probe with may_contain()"
+        )
+
+    def expected_fpr(self) -> float:
+        """Product of the loaded units' theoretical rates."""
+        rate = 1.0
+        for unit in self._units[: self.loaded_units]:
+            rate *= unit.expected_fpr()
+        return rate
+
+
+class ElasticFilterManager:
+    """Rebalances loaded units across files under one memory budget.
+
+    Args:
+        budget_units: Total units that may be loaded across all files.
+        decay: Multiplicative decay applied to access counts each
+            rebalance, so the hot set can drift.
+
+    Call :meth:`register` for every file's filter, :meth:`rebalance`
+    periodically (e.g. every N lookups); the manager assigns more loaded
+    units to frequently probed filters, fewer to cold ones, keeping
+    ``sum(loaded_units) <= budget_units``.
+    """
+
+    def __init__(self, budget_units: int, decay: float = 0.8) -> None:
+        if budget_units < 0:
+            raise FilterError("budget_units must be non-negative")
+        if not 0 < decay <= 1:
+            raise FilterError("decay must be in (0, 1]")
+        self.budget_units = budget_units
+        self.decay = decay
+        self._filters: Dict[int, ElasticBloomFilter] = {}
+        self._heat: Dict[int, float] = {}
+
+    def register(self, file_id: int, filt: ElasticBloomFilter) -> None:
+        """Track a file's filter (starts with its current loaded prefix)."""
+        self._filters[file_id] = filt
+        self._heat.setdefault(file_id, 0.0)
+
+    def unregister(self, file_id: int) -> None:
+        """Stop tracking a retired file."""
+        self._filters.pop(file_id, None)
+        self._heat.pop(file_id, None)
+
+    def record_access(self, file_id: int) -> None:
+        """Note one probe of a file's filter."""
+        if file_id in self._heat:
+            self._heat[file_id] += 1.0
+
+    def rebalance(self) -> None:
+        """Redistribute the unit budget proportionally to (decayed) heat.
+
+        Hot files get up to their full unit stack; cold files may drop to
+        one unit (never zero: a filter that admits everything is useless).
+        """
+        if not self._filters:
+            return
+        total_heat = sum(self._heat.values())
+        remaining = self.budget_units
+        # Everyone keeps one unit first (floor), then heat buys the rest.
+        for filt in self._filters.values():
+            filt.loaded_units = min(1, filt.num_units)
+            remaining -= filt.loaded_units
+        if total_heat > 0 and remaining > 0:
+            by_heat = sorted(
+                self._filters, key=lambda fid: -self._heat[fid]
+            )
+            # Greedy hottest-first: fill the hottest file's unit stack
+            # completely before spending on colder files — a unit helps
+            # most where probes concentrate (ElasticBF's allocation).
+            for file_id in by_heat:
+                if remaining <= 0:
+                    break
+                if self._heat[file_id] <= 0:
+                    continue
+                filt = self._filters[file_id]
+                grant = min(filt.num_units - filt.loaded_units, remaining)
+                filt.loaded_units += grant
+                remaining -= grant
+        for file_id in self._heat:
+            self._heat[file_id] *= self.decay
+
+    def loaded_units_total(self) -> int:
+        """Currently loaded units across all files."""
+        return sum(filt.loaded_units for filt in self._filters.values())
+
+    def memory_bits(self) -> int:
+        """In-memory bits across all tracked filters."""
+        return sum(filt.memory_bits for filt in self._filters.values())

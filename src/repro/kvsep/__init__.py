@@ -1,0 +1,11 @@
+"""WiscKey-style key-value separation (§2.2.2)."""
+
+from .vlog import RECORD_OVERHEAD_BYTES, ValueLog, ValuePointer
+from .wisckey import WiscKeyStore
+
+__all__ = [
+    "ValueLog",
+    "ValuePointer",
+    "RECORD_OVERHEAD_BYTES",
+    "WiscKeyStore",
+]

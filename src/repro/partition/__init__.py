@@ -1,0 +1,5 @@
+"""Key-space partitioning: a forest of LSM trees (§2.2.2)."""
+
+from .store import PartitionedStore, range_boundaries
+
+__all__ = ["PartitionedStore", "range_boundaries"]

@@ -1,0 +1,5 @@
+"""Secondary indexing over LSM trees (§2.1.3, §2.3.4)."""
+
+from .index import IndexedStore, composite_key, split_composite
+
+__all__ = ["IndexedStore", "composite_key", "split_composite"]

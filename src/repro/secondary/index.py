@@ -1,0 +1,173 @@
+"""Secondary indexing over an LSM tree (§2.1.3, §2.3.4).
+
+"Several approaches have also focussed on optimizing reads on secondary
+(non-key) attributes through secondary indexing techniques." In
+LSM-based stores the standard design is an *auxiliary LSM tree* whose keys
+are ``(attribute value, primary key)`` composites — itself ingestion-
+optimized, maintained either eagerly (synchronous, consistent) or lazily
+(deferred, DELI-style validation at query time).
+
+The tutorial's open-challenges section notes why deletes make this hard
+(§2.3.4): "supporting timely and persistent deletes on secondary
+attributes is hard in LSM engines, particularly for point secondary
+deletes" — the old attribute value is unknown at delete time without a
+read. This module implements both maintenance modes so the tradeoff is
+measurable:
+
+* **eager**: every write reads the old record to remove its stale index
+  entry (read-before-write cost, always-consistent index);
+* **lazy**: writes blindly append index entries; queries validate each
+  candidate against the primary tree and drop stale hits (cheap writes,
+  query-time validation cost).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+from ..core.config import LSMConfig
+from ..core.tree import LSMTree
+from ..errors import ConfigError
+from ..storage.disk import SimulatedDisk
+
+#: Separator for composite index keys; sorts below all printable chars so
+#: composite ordering matches (value, primary-key) ordering.
+_SEP = "\x01"
+
+
+def composite_key(attribute_value: str, primary_key: str) -> str:
+    """The index key for one (attribute value, primary key) pair."""
+    if _SEP in attribute_value or _SEP in primary_key:
+        raise ValueError("attribute values and keys must not contain \\x01")
+    return f"{attribute_value}{_SEP}{primary_key}"
+
+
+def split_composite(index_key: str) -> Tuple[str, str]:
+    """Inverse of :func:`composite_key`."""
+    value, _sep, primary = index_key.partition(_SEP)
+    if not _sep:
+        raise ValueError(f"not a composite index key: {index_key!r}")
+    return value, primary
+
+
+class IndexedStore:
+    """A primary LSM tree plus one secondary index over a record field.
+
+    Records are flat JSON objects; the indexed ``field``'s string value is
+    what secondary queries search by.
+
+    Args:
+        field: Record attribute the secondary index covers.
+        mode: ``eager`` or ``lazy`` maintenance (see module docstring).
+        config: Configuration shared by both trees.
+        disk: Shared device so total cost is read off one counter set.
+    """
+
+    def __init__(
+        self,
+        field: str,
+        mode: str = "eager",
+        config: Optional[LSMConfig] = None,
+        disk: Optional[SimulatedDisk] = None,
+    ) -> None:
+        if mode not in ("eager", "lazy"):
+            raise ConfigError("mode must be 'eager' or 'lazy'")
+        self.field = field
+        self.mode = mode
+        self.disk = disk or SimulatedDisk()
+        self.primary = LSMTree(config, disk=self.disk)
+        self.index = LSMTree(config, disk=self.disk)
+        self.stale_hits_dropped = 0
+
+    # -- write path ------------------------------------------------------------
+
+    def put(self, key: str, record: Dict[str, str]) -> None:
+        """Insert or update a record, maintaining the index per the mode."""
+        value = record.get(self.field)
+        if self.mode == "eager":
+            self._remove_stale_entry(key)
+        if value is not None:
+            self.index.put(composite_key(value, key), "")
+        self.primary.put(key, json.dumps(record, separators=(",", ":")))
+
+    def delete(self, key: str) -> None:
+        """Delete a record; eager mode also purges its index entry.
+
+        Lazy mode cannot (the old attribute value is unknown without a
+        read — the §2.3.4 problem); the stale entry is dropped at query
+        time instead.
+        """
+        if self.mode == "eager":
+            self._remove_stale_entry(key)
+        self.primary.delete(key)
+
+    def _remove_stale_entry(self, key: str) -> None:
+        previous = self.primary.get(key)  # the read-before-write cost
+        if previous is None:
+            return
+        old_value = json.loads(previous).get(self.field)
+        if old_value is not None:
+            self.index.delete(composite_key(old_value, key))
+
+    # -- read path ----------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Dict[str, str]]:
+        """Primary-key lookup."""
+        raw = self.primary.get(key)
+        return None if raw is None else json.loads(raw)
+
+    def find_by_value(self, value: str) -> List[Tuple[str, Dict[str, str]]]:
+        """Secondary lookup: all records whose field equals ``value``."""
+        results: List[Tuple[str, Dict[str, str]]] = []
+        lo = value + _SEP
+        hi = value + _SEP + "\U0010ffff"
+        for index_key, _empty in self.index.scan(lo, hi):
+            _value, primary_key = split_composite(index_key)
+            raw = self.primary.get(primary_key)
+            if raw is None:
+                self._note_stale(index_key)
+                continue
+            record = json.loads(raw)
+            if record.get(self.field) != value:
+                self._note_stale(index_key)
+                continue
+            results.append((primary_key, record))
+        return results
+
+    def find_value_range(
+        self, lo_value: str, hi_value: str
+    ) -> List[Tuple[str, Dict[str, str]]]:
+        """Secondary range query over the indexed attribute."""
+        results: List[Tuple[str, Dict[str, str]]] = []
+        for index_key, _empty in self.index.scan(lo_value, hi_value):
+            value, primary_key = split_composite(index_key)
+            raw = self.primary.get(primary_key)
+            if raw is None:
+                self._note_stale(index_key)
+                continue
+            record = json.loads(raw)
+            if record.get(self.field) != value:
+                self._note_stale(index_key)
+                continue
+            results.append((primary_key, record))
+        return results
+
+    def _note_stale(self, index_key: str) -> None:
+        """Lazy-mode cleanup: validation failed, so drop the entry now
+        (deferred maintenance à la DELI)."""
+        self.stale_hits_dropped += 1
+        self.index.delete(index_key)
+
+    # -- metrics --------------------------------------------------------------------
+
+    def index_entry_count(self) -> int:
+        """Live index entries (includes stale ones in lazy mode)."""
+        return len(self.index.scan("", "\U0010ffff"))
+
+    def write_amplification(self) -> float:
+        """Device bytes written per primary user byte."""
+        user = self.primary.stats.user_bytes_written
+        if user == 0:
+            return 0.0
+        return self.disk.counters.bytes_written / user

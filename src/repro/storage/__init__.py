@@ -1,0 +1,15 @@
+"""Simulated storage substrate: disk, block cache, persistence."""
+
+from .block_cache import BlockCache, CacheStats, HeatTracker
+from .disk import DEFAULT_PAGE_SIZE, DiskProfile, IOCounters, SimulatedDisk, pages_for
+
+__all__ = [
+    "BlockCache",
+    "CacheStats",
+    "HeatTracker",
+    "DEFAULT_PAGE_SIZE",
+    "DiskProfile",
+    "IOCounters",
+    "SimulatedDisk",
+    "pages_for",
+]

@@ -1,0 +1,173 @@
+"""Block cache with optional compaction-aware prefetch (§2.1.3).
+
+Commercial LSM engines keep recently read data blocks in an in-memory block
+cache. Two phenomena from the tutorial are modeled here:
+
+* **Compaction-induced eviction**: compactions rewrite files, so cached
+  blocks of the input files become useless the moment the compaction
+  commits — "it is rather frequent that the hot data pages are evicted from
+  block cache during compactions".
+* **Leaper-style predictive prefetch**: a :class:`HeatTracker` remembers
+  which key ranges were hot before the compaction, and
+  :meth:`BlockCache.prefetch_for` re-populates the cache with the output
+  blocks overlapping those ranges, immediately after compaction — the
+  mechanism (not the ML predictor) of Leaper.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Tuple
+
+#: Cache key: (sstable id, block index within the sstable).
+BlockId = Tuple[int, int]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters plus eviction breakdown."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions_capacity: int = 0
+    evictions_invalidated: int = 0
+    prefetched_blocks: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total cache probes."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of probes served from memory (0 when never probed)."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class BlockCache:
+    """Byte-capacity LRU cache of data blocks.
+
+    The cache stores no block payloads (the simulated disk meters the I/O);
+    it tracks *which* blocks are resident so reads through
+    :meth:`~repro.core.sstable.SSTable.get` can be served without charging
+    the disk.
+
+    Args:
+        capacity_bytes: Total budget; ``0`` disables the cache (every probe
+            misses, nothing is inserted).
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes < 0:
+            raise ValueError("capacity_bytes must be non-negative")
+        self.capacity_bytes = capacity_bytes
+        self.stats = CacheStats()
+        self._resident: "OrderedDict[BlockId, int]" = OrderedDict()
+        self._used_bytes = 0
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently resident."""
+        return self._used_bytes
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    def probe(self, block: BlockId) -> bool:
+        """Look up a block; promotes it on hit. Returns hit/miss."""
+        if block in self._resident:
+            self._resident.move_to_end(block)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        return False
+
+    def insert(self, block: BlockId, nbytes: int) -> None:
+        """Admit a block, evicting LRU residents to fit."""
+        if self.capacity_bytes == 0 or nbytes > self.capacity_bytes:
+            return
+        if block in self._resident:
+            self._used_bytes -= self._resident[block]
+            self._resident.move_to_end(block)
+        self._resident[block] = nbytes
+        self._used_bytes += nbytes
+        self.stats.insertions += 1
+        while self._used_bytes > self.capacity_bytes:
+            _victim, victim_bytes = self._resident.popitem(last=False)
+            self._used_bytes -= victim_bytes
+            self.stats.evictions_capacity += 1
+
+    def invalidate_table(self, sstable_id: int) -> int:
+        """Drop every resident block of a deleted SSTable.
+
+        Called when compaction retires input files; this is the
+        compaction-induced eviction the tutorial describes. Returns the
+        number of blocks dropped.
+        """
+        victims = [blk for blk in self._resident if blk[0] == sstable_id]
+        for blk in victims:
+            self._used_bytes -= self._resident.pop(blk)
+            self.stats.evictions_invalidated += 1
+        return len(victims)
+
+    def contains(self, block: BlockId) -> bool:
+        """Residency check without LRU promotion or stats."""
+        return block in self._resident
+
+
+@dataclass
+class _HotRange:
+    first_key: str
+    last_key: str
+    heat: float = 0.0
+
+
+class HeatTracker:
+    """Remembers recently hot key ranges for post-compaction prefetch.
+
+    Every cached-block access records the block's key range with a unit of
+    heat; heat decays multiplicatively so that only *recently* hot ranges
+    drive prefetch, approximating Leaper's learned predictor with a simple
+    frequency counter (see the substitution note in DESIGN.md §2).
+    """
+
+    def __init__(self, decay: float = 0.98, max_ranges: int = 512) -> None:
+        if not 0 < decay <= 1:
+            raise ValueError("decay must be in (0, 1]")
+        self.decay = decay
+        self.max_ranges = max_ranges
+        self._ranges: Dict[Hashable, _HotRange] = {}
+
+    def record_access(self, first_key: str, last_key: str) -> None:
+        """Add heat to the key range of an accessed block."""
+        for hot in self._ranges.values():
+            hot.heat *= self.decay
+        key = (first_key, last_key)
+        hot = self._ranges.get(key)
+        if hot is None:
+            if len(self._ranges) >= self.max_ranges:
+                coldest = min(self._ranges, key=lambda k: self._ranges[k].heat)
+                del self._ranges[coldest]
+            self._ranges[key] = _HotRange(first_key, last_key, 1.0)
+        else:
+            hot.heat += 1.0
+
+    def heat_of(self, first_key: str, last_key: str) -> float:
+        """Total recorded heat overlapping ``[first_key, last_key]``."""
+        return sum(
+            hot.heat
+            for hot in self._ranges.values()
+            if hot.first_key <= last_key and first_key <= hot.last_key
+        )
+
+    def hot_ranges(self, min_heat: float = 1.0) -> List[Tuple[str, str]]:
+        """Ranges whose decayed heat is at least ``min_heat``."""
+        return [
+            (hot.first_key, hot.last_key)
+            for hot in self._ranges.values()
+            if hot.heat >= min_heat
+        ]

@@ -1,0 +1,239 @@
+"""Checkpoint/restore: durable snapshots of the tree's on-disk state.
+
+The WAL (:mod:`repro.core.wal`) covers the *buffered* entries; this module
+covers the rest of a restart: serializing every SSTable and the level
+manifest to real files and rebuilding the tree from them. Together they
+give the engine the full durability story a production store has —
+checkpoint + WAL replay == crash recovery.
+
+On-disk layout of a checkpoint directory::
+
+    MANIFEST.json          # config, seqno high-water mark, level structure
+    tables/<n>.sst         # one binary file per SSTable
+
+SSTable file format (little-endian)::
+
+    magic "RSST"  | u32 version | u32 entry_count | u32 range_tombstone_count
+    per entry: u16 key_len | i32 value_len (-1 = tombstone) |
+               u64 seqno | u8 kind | f64 stamp_us | key bytes | value bytes
+    per range tombstone: u16 lo_len | u16 hi_len | u64 seqno | f64 stamp_us |
+               lo bytes | hi bytes
+    u32 crc32 of everything above
+
+Fence pointers and Bloom filters are rebuilt at load time (they are derived
+data), exactly as real engines rebuild/reload auxiliary blocks on open.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import struct
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+from ..core.config import LSMConfig
+from ..core.entry import Entry, EntryKind
+from ..core.level import Level
+from ..core.merge_operator import MergeOperator
+from ..core.range_tombstone import RangeTombstone
+from ..core.run import SortedRun
+from ..core.sstable import SSTable
+from ..core.tree import LSMTree
+from ..errors import CorruptionError
+from .disk import SimulatedDisk
+
+_MAGIC = b"RSST"
+_VERSION = 2
+_HEADER = struct.Struct("<4sIII")
+_ENTRY_FIXED = struct.Struct("<HiQBd")
+_TOMBSTONE_FIXED = struct.Struct("<HHQd")
+
+
+def _encode_table(table: SSTable) -> bytes:
+    chunks: List[bytes] = [
+        _HEADER.pack(
+            _MAGIC, _VERSION, table.entry_count, len(table.range_tombstones)
+        )
+    ]
+    for entry in table.iter_entries():
+        key_bytes = entry.key.encode("utf-8")
+        value_bytes = (
+            entry.value.encode("utf-8") if entry.value is not None else b""
+        )
+        value_len = len(value_bytes) if entry.value is not None else -1
+        chunks.append(
+            _ENTRY_FIXED.pack(
+                len(key_bytes),
+                value_len,
+                entry.seqno,
+                int(entry.kind),
+                entry.stamp_us,
+            )
+        )
+        chunks.append(key_bytes)
+        chunks.append(value_bytes)
+    for tombstone in table.range_tombstones:
+        lo_bytes = tombstone.lo.encode("utf-8")
+        hi_bytes = tombstone.hi.encode("utf-8")
+        chunks.append(
+            _TOMBSTONE_FIXED.pack(
+                len(lo_bytes), len(hi_bytes), tombstone.seqno,
+                tombstone.stamp_us,
+            )
+        )
+        chunks.append(lo_bytes)
+        chunks.append(hi_bytes)
+    payload = b"".join(chunks)
+    return payload + struct.pack("<I", zlib.crc32(payload))
+
+
+def _decode_table(
+    blob: bytes,
+) -> Tuple[List[Entry], List[RangeTombstone]]:
+    if len(blob) < _HEADER.size + 4:
+        raise CorruptionError("SSTable file truncated")
+    payload, crc_bytes = blob[:-4], blob[-4:]
+    if zlib.crc32(payload) != struct.unpack("<I", crc_bytes)[0]:
+        raise CorruptionError("SSTable file failed checksum")
+    magic, version, count, tombstone_count = _HEADER.unpack_from(payload, 0)
+    if magic != _MAGIC:
+        raise CorruptionError("not an SSTable file")
+    if version != _VERSION:
+        raise CorruptionError(f"unsupported SSTable version {version}")
+    offset = _HEADER.size
+    entries: List[Entry] = []
+    for _ in range(count):
+        key_len, value_len, seqno, kind, stamp = _ENTRY_FIXED.unpack_from(
+            payload, offset
+        )
+        offset += _ENTRY_FIXED.size
+        key = payload[offset : offset + key_len].decode("utf-8")
+        offset += key_len
+        if value_len >= 0:
+            value: Optional[str] = payload[offset : offset + value_len].decode(
+                "utf-8"
+            )
+            offset += value_len
+        else:
+            value = None
+        entries.append(Entry(key, value, seqno, EntryKind(kind), stamp))
+    tombstones: List[RangeTombstone] = []
+    for _ in range(tombstone_count):
+        lo_len, hi_len, seqno, stamp = _TOMBSTONE_FIXED.unpack_from(
+            payload, offset
+        )
+        offset += _TOMBSTONE_FIXED.size
+        lo = payload[offset : offset + lo_len].decode("utf-8")
+        offset += lo_len
+        hi = payload[offset : offset + hi_len].decode("utf-8")
+        offset += hi_len
+        tombstones.append(RangeTombstone(lo, hi, seqno, stamp))
+    return entries, tombstones
+
+
+def checkpoint(tree: LSMTree, directory: str) -> Dict[str, int]:
+    """Write a full snapshot of the tree's disk state to ``directory``.
+
+    The active and immutable buffers are flushed first so the checkpoint
+    plus an empty WAL is the complete database. Returns a small summary
+    (tables and bytes written) for logging.
+    """
+    tree.flush()
+    tables_dir = os.path.join(directory, "tables")
+    os.makedirs(tables_dir, exist_ok=True)
+
+    table_count = 0
+    byte_count = 0
+    manifest_levels = []
+    for level in tree.levels:
+        level_runs = []
+        for run in level.runs:
+            run_tables = []
+            for table in run.tables:
+                filename = f"{table.table_id}.sst"
+                blob = _encode_table(table)
+                with open(os.path.join(tables_dir, filename), "wb") as handle:
+                    handle.write(blob)
+                run_tables.append(filename)
+                table_count += 1
+                byte_count += len(blob)
+            level_runs.append(run_tables)
+        manifest_levels.append(level_runs)
+
+    manifest = {
+        "version": _VERSION,
+        "config": dataclasses.asdict(tree.config),
+        "next_seqno": tree.seqno,
+        "now_us": tree.disk.now_us,
+        "levels": manifest_levels,
+    }
+    manifest_path = os.path.join(directory, "MANIFEST.json")
+    temporary = manifest_path + ".tmp"
+    with open(temporary, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle)
+    os.replace(temporary, manifest_path)  # atomic commit of the checkpoint
+    return {"tables": table_count, "bytes": byte_count}
+
+
+def restore(
+    directory: str,
+    disk: Optional[SimulatedDisk] = None,
+    merge_operator: Optional["MergeOperator"] = None,
+) -> LSMTree:
+    """Rebuild a tree from a checkpoint directory.
+
+    Restoring does not charge flush/compaction I/O (the data was already
+    on "disk"); fence pointers and filters are rebuilt in memory.
+
+    Raises:
+        CorruptionError: On a missing/invalid manifest or table file.
+    """
+    manifest_path = os.path.join(directory, "MANIFEST.json")
+    if not os.path.exists(manifest_path):
+        raise CorruptionError(f"no MANIFEST.json under {directory}")
+    with open(manifest_path, "r", encoding="utf-8") as handle:
+        try:
+            manifest = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise CorruptionError("manifest is not valid JSON") from exc
+    if manifest.get("version") != _VERSION:
+        raise CorruptionError("unsupported manifest version")
+
+    config_fields = dict(manifest["config"])
+    config_fields["extras"] = tuple(
+        tuple(item) for item in config_fields.get("extras", [])
+    )
+    config = LSMConfig(**config_fields)
+    tree = LSMTree(config, disk=disk, merge_operator=merge_operator)
+    tree._next_seqno = int(manifest["next_seqno"])
+
+    tables_dir = os.path.join(directory, "tables")
+    for level_index, level_runs in enumerate(manifest["levels"]):
+        level = Level(level_index, config.level_capacity_bytes(level_index))
+        for run_tables in level_runs:
+            tables = []
+            for filename in run_tables:
+                path = os.path.join(tables_dir, filename)
+                try:
+                    with open(path, "rb") as handle:
+                        blob = handle.read()
+                except OSError as exc:
+                    raise CorruptionError(f"missing table file {filename}") from exc
+                entries, tombstones = _decode_table(blob)
+                tables.append(
+                    SSTable.build(
+                        entries,
+                        disk=tree.disk,
+                        block_bytes=config.block_bytes,
+                        fence_pointers=config.fence_pointers,
+                        filter_bits_per_key=config.filter_bits_per_key,
+                        charge_io=False,
+                        range_tombstones=tombstones,
+                    )
+                )
+            if tables:
+                level.add_run_oldest(SortedRun(tables))
+        tree.levels.append(level)
+    return tree

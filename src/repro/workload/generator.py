@@ -1,0 +1,242 @@
+"""Operation-stream generation: YCSB-style workload mixes.
+
+A :class:`WorkloadSpec` fixes the operation mix (reads, inserts, updates,
+scans, deletes, read-modify-writes), the key-popularity distribution, and
+the payload shape; :func:`generate` turns it into a deterministic stream of
+:class:`Operation` values that the benchmark harness replays against any
+engine. The YCSB core workloads A-F plus a delete-heavy mix (for the Lethe
+experiments, §2.3.3) are provided as presets.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Optional
+
+from .distributions import KeyDistribution, format_key, make_distribution
+
+
+class OpKind(enum.Enum):
+    """External operations an LSM store serves (§2.1.2)."""
+
+    READ = "read"
+    INSERT = "insert"
+    UPDATE = "update"
+    SCAN = "scan"
+    DELETE = "delete"
+    SINGLE_DELETE = "single_delete"
+    READ_MODIFY_WRITE = "rmw"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One operation of a workload trace."""
+
+    kind: OpKind
+    key: str
+    value: Optional[str] = None
+    end_key: Optional[str] = None  # for scans
+
+    def __repr__(self) -> str:
+        if self.kind is OpKind.SCAN:
+            return f"Operation(SCAN {self.key}..{self.end_key})"
+        return f"Operation({self.kind.name} {self.key})"
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A parameterized workload.
+
+    Attributes:
+        num_ops: Operations to generate.
+        key_count: Size of the pre-loaded key universe; inserts append new
+            keys beyond it.
+        read/update/insert/scan/delete/single_delete/rmw_fraction: The
+            operation mix; must sum to 1.
+        distribution: Key popularity: ``uniform`` | ``zipfian`` | ``latest``
+            | ``sequential``.
+        theta: Zipfian skew, when applicable.
+        value_size: Payload bytes per written value.
+        scan_width_keys: Keys spanned by each scan's interval.
+        seed: Determinism seed.
+    """
+
+    num_ops: int = 10_000
+    key_count: int = 10_000
+    read_fraction: float = 0.5
+    update_fraction: float = 0.5
+    insert_fraction: float = 0.0
+    scan_fraction: float = 0.0
+    delete_fraction: float = 0.0
+    single_delete_fraction: float = 0.0
+    rmw_fraction: float = 0.0
+    distribution: str = "zipfian"
+    theta: float = 0.99
+    value_size: int = 64
+    scan_width_keys: int = 50
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        total = (
+            self.read_fraction
+            + self.update_fraction
+            + self.insert_fraction
+            + self.scan_fraction
+            + self.delete_fraction
+            + self.single_delete_fraction
+            + self.rmw_fraction
+        )
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"operation fractions must sum to 1, got {total}")
+        if self.num_ops < 0 or self.key_count < 1:
+            raise ValueError("num_ops must be >= 0 and key_count >= 1")
+        if self.value_size < 1:
+            raise ValueError("value_size must be positive")
+
+    def with_overrides(self, **overrides: object) -> "WorkloadSpec":
+        """Copy with fields replaced (re-validated)."""
+        return replace(self, **overrides)  # type: ignore[arg-type]
+
+
+def _payload(rng: random.Random, size: int) -> str:
+    alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+    return "".join(rng.choice(alphabet) for _ in range(size))
+
+
+def generate(spec: WorkloadSpec) -> Iterator[Operation]:
+    """Yield the deterministic operation stream ``spec`` describes."""
+    rng = random.Random(spec.seed)
+    chooser: KeyDistribution = make_distribution(
+        spec.distribution, spec.key_count, seed=spec.seed + 1, theta=spec.theta
+    )
+    next_insert_index = spec.key_count
+    thresholds = []
+    cumulative = 0.0
+    for kind, fraction in [
+        (OpKind.READ, spec.read_fraction),
+        (OpKind.UPDATE, spec.update_fraction),
+        (OpKind.INSERT, spec.insert_fraction),
+        (OpKind.SCAN, spec.scan_fraction),
+        (OpKind.DELETE, spec.delete_fraction),
+        (OpKind.SINGLE_DELETE, spec.single_delete_fraction),
+        (OpKind.READ_MODIFY_WRITE, spec.rmw_fraction),
+    ]:
+        cumulative += fraction
+        thresholds.append((cumulative, kind))
+
+    for _ in range(spec.num_ops):
+        roll = rng.random()
+        kind = next(
+            op_kind for bound, op_kind in thresholds if roll <= bound + 1e-12
+        )
+        if kind is OpKind.INSERT:
+            key = format_key(next_insert_index)
+            chooser.notice_insert(next_insert_index)
+            next_insert_index += 1
+            yield Operation(kind, key, _payload(rng, spec.value_size))
+        elif kind in (OpKind.UPDATE, OpKind.READ_MODIFY_WRITE):
+            yield Operation(
+                kind, chooser.next_key(), _payload(rng, spec.value_size)
+            )
+        elif kind is OpKind.SCAN:
+            start_index = chooser.next_index()
+            yield Operation(
+                kind,
+                format_key(start_index),
+                end_key=format_key(start_index + spec.scan_width_keys),
+            )
+        else:  # READ / DELETE / SINGLE_DELETE
+            yield Operation(kind, chooser.next_key())
+
+
+def preload_operations(spec: WorkloadSpec) -> Iterator[Operation]:
+    """Inserts for the initial key universe (run before the measured mix)."""
+    rng = random.Random(spec.seed ^ 0xC0FFEE)
+    for index in range(spec.key_count):
+        yield Operation(
+            OpKind.INSERT, format_key(index), _payload(rng, spec.value_size)
+        )
+
+
+# ---------------------------------------------------------------------------
+# presets
+# ---------------------------------------------------------------------------
+
+def ycsb_a(**overrides: object) -> WorkloadSpec:
+    """YCSB-A: 50% reads, 50% updates, zipfian (session stores)."""
+    return WorkloadSpec(
+        read_fraction=0.5, update_fraction=0.5
+    ).with_overrides(**overrides)
+
+
+def ycsb_b(**overrides: object) -> WorkloadSpec:
+    """YCSB-B: 95% reads, 5% updates (photo tagging)."""
+    return WorkloadSpec(
+        read_fraction=0.95, update_fraction=0.05
+    ).with_overrides(**overrides)
+
+
+def ycsb_c(**overrides: object) -> WorkloadSpec:
+    """YCSB-C: read-only (caches)."""
+    return WorkloadSpec(
+        read_fraction=1.0, update_fraction=0.0
+    ).with_overrides(**overrides)
+
+
+def ycsb_d(**overrides: object) -> WorkloadSpec:
+    """YCSB-D: 95% reads of recent keys, 5% inserts (status feeds)."""
+    return WorkloadSpec(
+        read_fraction=0.95,
+        update_fraction=0.0,
+        insert_fraction=0.05,
+        distribution="latest",
+    ).with_overrides(**overrides)
+
+
+def ycsb_e(**overrides: object) -> WorkloadSpec:
+    """YCSB-E: 95% short scans, 5% inserts (threaded conversations)."""
+    return WorkloadSpec(
+        read_fraction=0.0,
+        update_fraction=0.0,
+        scan_fraction=0.95,
+        insert_fraction=0.05,
+    ).with_overrides(**overrides)
+
+
+def ycsb_f(**overrides: object) -> WorkloadSpec:
+    """YCSB-F: 50% reads, 50% read-modify-writes."""
+    return WorkloadSpec(
+        read_fraction=0.5, update_fraction=0.0, rmw_fraction=0.5
+    ).with_overrides(**overrides)
+
+
+def delete_heavy(**overrides: object) -> WorkloadSpec:
+    """A Lethe-style delete-intensive mix (§2.3.3): 40% deletes."""
+    return WorkloadSpec(
+        read_fraction=0.2,
+        update_fraction=0.2,
+        insert_fraction=0.2,
+        delete_fraction=0.4,
+        distribution="uniform",
+    ).with_overrides(**overrides)
+
+
+def write_only(**overrides: object) -> WorkloadSpec:
+    """Pure ingestion (bulk loading)."""
+    return WorkloadSpec(
+        read_fraction=0.0, update_fraction=0.0, insert_fraction=1.0
+    ).with_overrides(**overrides)
+
+
+PRESETS = {
+    "a": ycsb_a,
+    "b": ycsb_b,
+    "c": ycsb_c,
+    "d": ycsb_d,
+    "e": ycsb_e,
+    "f": ycsb_f,
+    "delete_heavy": delete_heavy,
+    "write_only": write_only,
+}

@@ -1,0 +1,132 @@
+"""Workload traces: record, replay, and characterize operation streams.
+
+The tutorial's workload citations lean on trace analysis — notably the
+Facebook RocksDB study ("Characterizing, Modeling, and Benchmarking RocksDB
+Key-Value Workloads", [23]) — and reproducible experiments need the same
+discipline: a workload should be a *file* you can re-run, not a seed you
+hope is stable. This module provides:
+
+* :func:`save_trace` / :func:`load_trace` — JSONL serialization of
+  operation streams (one op per line, append-friendly);
+* :func:`characterize` — the summary statistics the cited study reports:
+  operation mix, key-space footprint, key popularity skew, value sizes.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import math
+from typing import Dict, Iterable, Iterator, List
+
+from .generator import Operation, OpKind
+
+
+def save_trace(operations: Iterable[Operation], path: str) -> int:
+    """Write an operation stream to a JSONL file; returns ops written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for op in operations:
+            record = {"o": op.kind.value, "k": op.key}
+            if op.value is not None:
+                record["v"] = op.value
+            if op.end_key is not None:
+                record["e"] = op.end_key
+            handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+            count += 1
+    return count
+
+
+def load_trace(path: str) -> Iterator[Operation]:
+    """Stream operations back from a JSONL trace file.
+
+    Raises:
+        ValueError: On a malformed line (with its line number).
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                yield Operation(
+                    OpKind(record["o"]),
+                    record["k"],
+                    record.get("v"),
+                    record.get("e"),
+                )
+            except (json.JSONDecodeError, KeyError, ValueError) as exc:
+                raise ValueError(
+                    f"malformed trace record at {path}:{line_number}"
+                ) from exc
+
+
+def characterize(operations: Iterable[Operation]) -> Dict[str, object]:
+    """Summary statistics of a trace (the [23]-style characterization).
+
+    Returns a dict with:
+
+    * ``total_ops`` and ``mix`` — per-kind fractions;
+    * ``unique_keys`` — key-space footprint;
+    * ``hot_key_share`` — fraction of accesses landing on the hottest 1%
+      of keys (the skew headline number);
+    * ``zipf_theta_estimate`` — skew fitted from the rank-frequency curve;
+    * ``avg_value_bytes`` — mean written-value size.
+    """
+    kind_counts: collections.Counter = collections.Counter()
+    key_counts: collections.Counter = collections.Counter()
+    value_bytes = 0
+    value_count = 0
+    total = 0
+    for op in operations:
+        total += 1
+        kind_counts[op.kind.value] += 1
+        key_counts[op.key] += 1
+        if op.value is not None:
+            value_bytes += len(op.value)
+            value_count += 1
+
+    frequencies = sorted(key_counts.values(), reverse=True)
+    hot_keys = max(1, len(frequencies) // 100)
+    hot_share = (
+        sum(frequencies[:hot_keys]) / total if total else 0.0
+    )
+    return {
+        "total_ops": total,
+        "mix": {
+            kind: count / total for kind, count in sorted(kind_counts.items())
+        }
+        if total
+        else {},
+        "unique_keys": len(key_counts),
+        "hot_key_share": hot_share,
+        "zipf_theta_estimate": _fit_zipf_theta(frequencies),
+        "avg_value_bytes": value_bytes / value_count if value_count else 0.0,
+    }
+
+
+def _fit_zipf_theta(frequencies: List[int]) -> float:
+    """Least-squares slope of log(frequency) vs log(rank).
+
+    For a zipfian stream with skew theta, frequency(rank) ∝ rank^-theta,
+    so the negative slope estimates theta. Returns 0 for degenerate
+    inputs (uniform or tiny traces).
+    """
+    points = [
+        (math.log(rank), math.log(freq))
+        for rank, freq in enumerate(frequencies[:1000], start=1)
+        if freq > 0
+    ]
+    if len(points) < 3:
+        return 0.0
+    n = len(points)
+    sum_x = sum(x for x, _y in points)
+    sum_y = sum(y for _x, y in points)
+    sum_xx = sum(x * x for x, _y in points)
+    sum_xy = sum(x * y for x, y in points)
+    denominator = n * sum_xx - sum_x * sum_x
+    if abs(denominator) < 1e-12:
+        return 0.0
+    slope = (n * sum_xy - sum_x * sum_y) / denominator
+    return max(0.0, -slope)

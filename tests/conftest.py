@@ -1,0 +1,51 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import LSMConfig
+from repro.core.tree import LSMTree
+from repro.storage.disk import SimulatedDisk
+
+
+@pytest.fixture
+def disk() -> SimulatedDisk:
+    """A fresh SSD-profile simulated disk."""
+    return SimulatedDisk()
+
+
+@pytest.fixture
+def small_config() -> LSMConfig:
+    """A tiny configuration that reshapes quickly in tests."""
+    return LSMConfig(
+        buffer_size_bytes=1024,
+        target_file_bytes=512,
+        block_bytes=256,
+        size_ratio=3,
+        level0_run_limit=2,
+    )
+
+
+@pytest.fixture
+def small_tree(small_config: LSMConfig) -> LSMTree:
+    """An empty tree with the tiny configuration."""
+    return LSMTree(small_config)
+
+
+def shuffled_keys(count: int, seed: int = 0) -> list:
+    """Deterministically shuffled zero-padded keys."""
+    keys = [f"key{i:08d}" for i in range(count)]
+    random.Random(seed).shuffle(keys)
+    return keys
+
+
+@pytest.fixture
+def loaded_tree(small_config: LSMConfig) -> LSMTree:
+    """A tree pre-loaded with 600 shuffled keys spanning several levels."""
+    tree = LSMTree(small_config)
+    for key in shuffled_keys(600):
+        tree.put(key, f"value-of-{key}")
+    return tree

@@ -1,0 +1,111 @@
+"""Unit tests for the block cache and the heat tracker."""
+
+import pytest
+
+from repro.storage.block_cache import BlockCache, HeatTracker
+
+
+class TestBlockCache:
+    def test_miss_then_hit(self):
+        cache = BlockCache(1024)
+        assert not cache.probe((1, 0))
+        cache.insert((1, 0), 100)
+        assert cache.probe((1, 0))
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_zero_capacity_disables(self):
+        cache = BlockCache(0)
+        cache.insert((1, 0), 100)
+        assert not cache.probe((1, 0))
+        assert len(cache) == 0
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ValueError):
+            BlockCache(-1)
+
+    def test_oversized_block_not_admitted(self):
+        cache = BlockCache(100)
+        cache.insert((1, 0), 200)
+        assert not cache.probe((1, 0))
+
+    def test_lru_eviction_order(self):
+        cache = BlockCache(300)
+        cache.insert((1, 0), 100)
+        cache.insert((1, 1), 100)
+        cache.insert((1, 2), 100)
+        cache.probe((1, 0))  # promote the oldest
+        cache.insert((1, 3), 100)  # evicts (1,1), the LRU
+        assert cache.contains((1, 0))
+        assert not cache.contains((1, 1))
+        assert cache.stats.evictions_capacity == 1
+
+    def test_reinsert_updates_size(self):
+        cache = BlockCache(300)
+        cache.insert((1, 0), 100)
+        cache.insert((1, 0), 150)
+        assert cache.used_bytes == 150
+
+    def test_invalidate_table(self):
+        cache = BlockCache(1000)
+        cache.insert((1, 0), 100)
+        cache.insert((1, 1), 100)
+        cache.insert((2, 0), 100)
+        dropped = cache.invalidate_table(1)
+        assert dropped == 2
+        assert not cache.contains((1, 0))
+        assert cache.contains((2, 0))
+        assert cache.stats.evictions_invalidated == 2
+        assert cache.used_bytes == 100
+
+    def test_hit_rate(self):
+        cache = BlockCache(1000)
+        cache.insert((1, 0), 10)
+        cache.probe((1, 0))
+        cache.probe((9, 9))
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+        assert BlockCache(10).stats.hit_rate == 0.0
+
+    def test_contains_does_not_touch_stats(self):
+        cache = BlockCache(100)
+        cache.insert((1, 0), 10)
+        cache.contains((1, 0))
+        assert cache.stats.lookups == 0
+
+
+class TestHeatTracker:
+    def test_records_and_reports_overlap(self):
+        heat = HeatTracker()
+        heat.record_access("d", "f")
+        heat.record_access("d", "f")
+        assert heat.heat_of("e", "z") > 1.0
+        assert heat.heat_of("a", "b") == 0.0
+
+    def test_decay_cools_old_ranges(self):
+        heat = HeatTracker(decay=0.5)
+        heat.record_access("a", "b")
+        for _ in range(10):
+            heat.record_access("x", "y")
+        assert heat.heat_of("a", "b") < 0.01
+        assert heat.heat_of("x", "y") > 1.0
+
+    def test_hot_ranges_threshold(self):
+        heat = HeatTracker(decay=1.0)
+        heat.record_access("a", "b")
+        heat.record_access("c", "d")
+        heat.record_access("c", "d")
+        hot = heat.hot_ranges(min_heat=1.5)
+        assert ("c", "d") in hot
+        assert ("a", "b") not in hot
+
+    def test_bounded_ranges(self):
+        heat = HeatTracker(max_ranges=4, decay=1.0)
+        for index in range(20):
+            heat.record_access(f"k{index}", f"k{index}")
+        assert len(heat.hot_ranges(min_heat=0.0)) <= 4
+
+    def test_validates_decay(self):
+        with pytest.raises(ValueError):
+            HeatTracker(decay=0.0)
+        with pytest.raises(ValueError):
+            HeatTracker(decay=1.5)

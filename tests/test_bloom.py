@@ -1,0 +1,112 @@
+"""Unit tests for the Bloom filter and hash sharing."""
+
+import pytest
+
+from repro.errors import FilterError
+from repro.filters.bloom import (
+    BloomFilter,
+    bits_for_fpr,
+    key_digest,
+    optimal_num_hashes,
+    theoretical_fpr,
+)
+
+
+class TestDigest:
+    def test_stable(self):
+        assert key_digest("hello") == key_digest("hello")
+
+    def test_distinct_keys_differ(self):
+        assert key_digest("a") != key_digest("b")
+
+    def test_second_lane_is_odd(self):
+        for key in ["a", "b", "xyz"]:
+            assert key_digest(key)[1] % 2 == 1
+
+
+class TestSizing:
+    def test_optimal_hashes(self):
+        assert optimal_num_hashes(10) == 7
+        assert optimal_num_hashes(1) == 1
+        assert optimal_num_hashes(0) == 0
+
+    def test_bits_for_fpr_monotone(self):
+        assert bits_for_fpr(1000, 0.01) > bits_for_fpr(1000, 0.1)
+
+    def test_bits_for_fpr_validates(self):
+        with pytest.raises(FilterError):
+            bits_for_fpr(10, 1.5)
+
+    def test_theoretical_fpr_bounds(self):
+        assert theoretical_fpr(100, 0) == 1.0
+        assert theoretical_fpr(0, 100) == 0.0
+        assert 0 < theoretical_fpr(100, 1000) < 1
+
+
+class TestNoFalseNegatives:
+    def test_every_added_key_found(self):
+        keys = [f"key{i}" for i in range(500)]
+        bloom = BloomFilter.for_keys(keys, bits_per_key=10)
+        for key in keys:
+            assert bloom.may_contain(key)
+
+    def test_digest_probe_matches_key_probe(self):
+        keys = [f"key{i}" for i in range(100)]
+        bloom = BloomFilter.for_keys(keys, bits_per_key=8)
+        probes = [f"key{i}" for i in range(200)]
+        for key in probes:
+            assert bloom.may_contain(key) == bloom.may_contain_digest(
+                key_digest(key)
+            )
+
+
+class TestFalsePositiveRate:
+    def test_near_theoretical(self):
+        keys = [f"member{i}" for i in range(2000)]
+        bloom = BloomFilter.for_keys(keys, bits_per_key=10)
+        negatives = [f"absent{i}" for i in range(5000)]
+        false_positives = sum(bloom.may_contain(key) for key in negatives)
+        observed = false_positives / len(negatives)
+        # 10 bits/key => ~0.8-1% theoretical; allow generous slack.
+        assert observed < 0.05
+
+    def test_more_bits_fewer_false_positives(self):
+        keys = [f"m{i}" for i in range(1000)]
+        negatives = [f"a{i}" for i in range(4000)]
+
+        def observed_fpr(bits_per_key):
+            bloom = BloomFilter.for_keys(keys, bits_per_key=bits_per_key)
+            return sum(bloom.may_contain(k) for k in negatives) / len(negatives)
+
+        assert observed_fpr(12) <= observed_fpr(4) <= observed_fpr(1) + 0.05
+
+    def test_expected_fpr_reporting(self):
+        bloom = BloomFilter.for_keys([f"k{i}" for i in range(100)], 10)
+        assert 0 < bloom.expected_fpr() < 0.1
+        assert BloomFilter(64, 1).expected_fpr() == 0.0
+
+
+class TestConstruction:
+    def test_for_keys_disabled(self):
+        assert BloomFilter.for_keys(["a"], 0) is None
+
+    def test_with_fpr_builds(self):
+        bloom = BloomFilter.with_fpr([f"k{i}" for i in range(100)], 0.01)
+        assert bloom is not None
+        assert all(bloom.may_contain(f"k{i}") for i in range(100))
+
+    def test_with_fpr_one_means_no_filter(self):
+        assert BloomFilter.with_fpr(["a"], 1.0) is None
+
+    def test_invalid_params(self):
+        with pytest.raises(FilterError):
+            BloomFilter(0, 1)
+        with pytest.raises(FilterError):
+            BloomFilter(10, 0)
+
+    def test_memory_bits(self):
+        bloom = BloomFilter(1024, 3)
+        assert bloom.memory_bits == 1024
+
+    def test_repr(self):
+        assert "BloomFilter" in repr(BloomFilter(64, 2))

@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_workload_defaults(self):
+        args = build_parser().parse_args(["workload"])
+        assert args.preset == "a"
+        assert args.layout == "leveling"
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["workload", "--preset", "zz"])
+
+
+class TestCommands:
+    def test_workload_runs(self, capsys):
+        code = main(
+            ["workload", "--preset", "a", "--ops", "300", "--keys", "200",
+             "--buffer-bytes", "2048"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "write amplification" in output
+        assert "throughput" in output
+
+    def test_workload_tiering(self, capsys):
+        code = main(
+            ["workload", "--preset", "write_only", "--ops", "300",
+             "--keys", "200", "--layout", "tiering",
+             "--buffer-bytes", "2048"]
+        )
+        assert code == 0
+        assert "tiering" in capsys.readouterr().out
+
+    def test_tune_prints_recommendation(self, capsys):
+        code = main(
+            ["tune", "--reads", "0.05", "--empty-reads", "0.0",
+             "--scans", "0.0", "--writes", "0.95"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "layout" in output
+        assert "size ratio" in output
+
+    def test_robust_prints_comparison(self, capsys):
+        code = main(
+            ["robust", "--reads", "0.05", "--empty-reads", "0.0",
+             "--scans", "0.0", "--writes", "0.95", "--eta", "1.0"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "worst-case" in output
+        assert "protection" in output
+
+    def test_layouts_compares_all(self, capsys):
+        code = main(["layouts", "--keys", "1200"])
+        assert code == 0
+        output = capsys.readouterr().out
+        for layout in ["leveling", "tiering", "lazy_leveling", "hybrid", "bush"]:
+            assert layout in output
+
+    def test_bad_mix_fails_cleanly(self):
+        with pytest.raises(Exception):
+            main(
+                ["tune", "--reads", "0.9", "--empty-reads", "0.9",
+                 "--scans", "0.0", "--writes", "0.9"]
+            )

@@ -1,0 +1,282 @@
+"""Unit tests for the analytic cost model, allocation, navigator, robust."""
+
+import math
+
+import pytest
+
+from repro.cost.allocation import (
+    expected_false_positive_sum,
+    geometric_level_counts,
+    monkey_bits_per_key,
+    monkey_fprs,
+    uniform_fprs,
+)
+from repro.cost.model import CostModel, SystemEnv, Tuning, WorkloadMix
+from repro.cost.navigator import Navigator, candidate_tunings
+from repro.cost.robust import (
+    RobustTuner,
+    kl_divergence,
+    worst_case_cost,
+    worst_case_mix,
+)
+from repro.errors import ConfigError
+
+
+class TestAllocation:
+    def test_uniform_fprs_equal(self):
+        fprs = uniform_fprs([100, 400, 1600], 21_000)
+        assert len(set(fprs)) == 1
+        assert 0 < fprs[0] < 1
+
+    def test_monkey_budget_respected(self):
+        counts = [100, 400, 1600, 6400]
+        budget = 10.0 * sum(counts)
+        fprs = monkey_fprs(counts, budget)
+        used = sum(
+            n * (-math.log(p)) / (math.log(2) ** 2)
+            for n, p in zip(counts, fprs)
+            if p < 1
+        )
+        assert used <= budget * 1.001
+
+    def test_monkey_deeper_levels_higher_fpr(self):
+        fprs = monkey_fprs([100, 400, 1600, 6400], 10.0 * 8500)
+        assert fprs == sorted(fprs)
+
+    def test_monkey_beats_uniform_on_fp_sum(self):
+        counts = [100, 400, 1600, 6400]
+        budget = 8.0 * sum(counts)
+        monkey_sum = expected_false_positive_sum(monkey_fprs(counts, budget))
+        uniform_sum = expected_false_positive_sum(uniform_fprs(counts, budget))
+        assert monkey_sum < uniform_sum
+
+    def test_tight_budget_drops_deep_filters(self):
+        counts = [100, 400, 1600, 640_000]
+        fprs = monkey_fprs(counts, 2.0 * sum(counts) * 0.01)
+        assert fprs[-1] == 1.0  # no filter for the huge last level
+        assert fprs[0] < 1.0
+
+    def test_zero_budget(self):
+        assert monkey_fprs([10, 20], 0) == [1.0, 1.0]
+        assert uniform_fprs([10, 20], 0) == [1.0, 1.0]
+
+    def test_bits_per_key_conversion(self):
+        counts = [100, 400, 1600]
+        bits = monkey_bits_per_key(counts, 10.0)
+        total = sum(b * n for b, n in zip(bits, counts))
+        assert total <= 10.0 * sum(counts) * 1.001
+        assert bits[0] > bits[-1]
+
+    def test_geometric_level_counts(self):
+        counts = geometric_level_counts(1000, 4, 3)
+        assert len(counts) == 3
+        assert abs(sum(counts) - 1000) <= 2
+        assert counts[2] > counts[1] > counts[0]
+        with pytest.raises(ValueError):
+            geometric_level_counts(10, 4, 0)
+        with pytest.raises(ValueError):
+            geometric_level_counts(10, 1, 2)
+
+
+class TestSystemEnv:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SystemEnv(total_entries=0)
+
+    def test_derived(self):
+        env = SystemEnv(entry_size_bytes=64, page_size_bytes=4096)
+        assert env.entries_per_page == 64.0
+        assert env.data_bytes == env.total_entries * 64
+
+
+class TestTuningAndMix:
+    def test_tuning_validation(self):
+        with pytest.raises(ConfigError):
+            Tuning(size_ratio=1)
+        with pytest.raises(ConfigError):
+            Tuning(layout="btree")
+        with pytest.raises(ConfigError):
+            Tuning(buffer_fraction=0.0)
+
+    def test_mix_validation(self):
+        with pytest.raises(ConfigError):
+            WorkloadMix(0.5, 0.5, 0.5, 0.5)
+        with pytest.raises(ConfigError):
+            WorkloadMix(-0.5, 0.5, 0.5, 0.5)
+
+    def test_mix_vector_roundtrip(self):
+        mix = WorkloadMix(0.1, 0.2, 0.3, 0.4)
+        assert WorkloadMix.from_vector(mix.as_vector()) == mix
+
+
+class TestCostModel:
+    @pytest.fixture
+    def model(self):
+        return CostModel(SystemEnv())
+
+    def test_levels_shrink_with_bigger_buffer(self, model):
+        small = Tuning(buffer_fraction=0.05)
+        large = Tuning(buffer_fraction=0.9)
+        assert model.num_levels(small) >= model.num_levels(large)
+
+    def test_levels_shrink_with_bigger_ratio(self, model):
+        assert model.num_levels(Tuning(size_ratio=2)) > model.num_levels(
+            Tuning(size_ratio=10)
+        )
+
+    def test_tiering_writes_cheaper_than_leveling(self, model):
+        tier = Tuning(layout="tiering")
+        level = Tuning(layout="leveling")
+        assert model.write_cost(tier) < model.write_cost(level)
+
+    def test_tiering_reads_dearer_than_leveling(self, model):
+        tier = Tuning(layout="tiering", buffer_fraction=0.5)
+        level = Tuning(layout="leveling", buffer_fraction=0.5)
+        assert model.empty_lookup_cost(tier) >= model.empty_lookup_cost(level)
+        assert model.short_scan_cost(tier) > model.short_scan_cost(level)
+
+    def test_lazy_leveling_between(self, model):
+        costs = {
+            layout: model.write_cost(Tuning(layout=layout))
+            for layout in ["leveling", "lazy_leveling", "tiering"]
+        }
+        assert costs["tiering"] <= costs["lazy_leveling"] <= costs["leveling"]
+        scans = {
+            layout: model.short_scan_cost(Tuning(layout=layout))
+            for layout in ["leveling", "lazy_leveling", "tiering"]
+        }
+        assert scans["leveling"] <= scans["lazy_leveling"] <= scans["tiering"]
+
+    def test_size_ratio_navigates_tradeoff(self, model):
+        lookup_small_t = model.lookup_cost(Tuning(size_ratio=2))
+        lookup_large_t = model.lookup_cost(Tuning(size_ratio=12))
+        write_small_t = model.write_cost(Tuning(size_ratio=2))
+        write_large_t = model.write_cost(Tuning(size_ratio=12))
+        # Larger T: fewer levels -> cheaper lookups, dearer (leveled) writes.
+        assert lookup_large_t <= lookup_small_t + 1e-9
+        assert write_large_t > write_small_t
+
+    def test_monkey_improves_empty_lookup(self, model):
+        assert model.empty_lookup_cost(
+            Tuning(monkey=True)
+        ) <= model.empty_lookup_cost(Tuning(monkey=False))
+
+    def test_nonempty_lookup_at_least_one_io(self, model):
+        assert model.lookup_cost(Tuning()) >= 1.0
+
+    def test_long_scan_scales_with_selectivity(self, model):
+        tuning = Tuning()
+        assert model.long_scan_cost(tuning, 0.01) > model.long_scan_cost(
+            tuning, 0.001
+        )
+
+    def test_workload_cost_is_weighted_sum(self, model):
+        tuning = Tuning()
+        mix = WorkloadMix(1.0, 0.0, 0.0, 0.0)
+        assert model.workload_cost(tuning, mix) == pytest.approx(
+            model.empty_lookup_cost(tuning)
+        )
+
+    def test_describe_keys(self, model):
+        described = model.describe(Tuning())
+        assert {"levels", "lookup", "write", "short_scan"} <= set(described)
+
+
+class TestNavigator:
+    def test_write_heavy_prefers_tiering(self):
+        # Fix T and the memory split so the layouts differ cleanly (at
+        # T=2 leveling and tiering coincide analytically).
+        candidates = [
+            Tuning(size_ratio=6, layout=layout, buffer_fraction=0.2)
+            for layout in ("leveling", "tiering", "lazy_leveling")
+        ]
+        nav = Navigator(SystemEnv(), candidates=candidates)
+        result = nav.tune(WorkloadMix(0.02, 0.03, 0.0, 0.95))
+        assert result.tuning.layout == "tiering"
+
+    def test_read_heavy_prefers_leveling_family(self):
+        nav = Navigator(SystemEnv())
+        result = nav.tune(WorkloadMix(0.45, 0.45, 0.08, 0.02))
+        assert result.tuning.layout in ("leveling", "lazy_leveling")
+        assert result.cost <= nav.model.workload_cost(
+            Tuning(layout="tiering"), WorkloadMix(0.45, 0.45, 0.08, 0.02)
+        )
+
+    def test_result_margin(self):
+        nav = Navigator(SystemEnv())
+        result = nav.tune(WorkloadMix())
+        assert result.margin >= 0.0
+
+    def test_tradeoff_curve_trades_reads_for_writes(self):
+        nav = Navigator(SystemEnv())
+        curve = nav.tradeoff_curve("leveling")
+        reads = [r for _t, r, _w in curve]
+        writes = [w for _t, _r, w in curve]
+        # The number of levels steps down discretely with T, so the curve
+        # is sawtoothed; the endpoints still show the tradeoff direction.
+        assert writes[-1] > writes[0]
+        assert reads[-1] <= reads[0] + 1e-9
+
+    def test_memory_split_curve_has_interior_structure(self):
+        nav = Navigator(SystemEnv())
+        curve = nav.memory_split_curve(WorkloadMix(0.4, 0.3, 0.0, 0.3))
+        costs = [cost for _fraction, cost in curve]
+        assert min(costs) < costs[-1]  # all-buffer is not optimal
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            Navigator(SystemEnv(), candidates=[])
+
+    def test_candidate_grid_size(self):
+        grid = list(candidate_tunings())
+        assert len(grid) == 3 * 11 * 8
+
+
+class TestRobust:
+    def test_kl_basics(self):
+        assert kl_divergence([0.5, 0.5], [0.5, 0.5]) == 0.0
+        assert kl_divergence([1.0, 0.0], [0.5, 0.5]) == pytest.approx(
+            math.log(2)
+        )
+        assert kl_divergence([0.5, 0.5], [1.0, 0.0]) == float("inf")
+        with pytest.raises(ValueError):
+            kl_divergence([1.0], [0.5, 0.5])
+
+    def test_worst_case_bounds(self):
+        costs = [1.0, 2.0, 3.0, 10.0]
+        rho = [0.25, 0.25, 0.25, 0.25]
+        nominal = sum(w * c for w, c in zip(rho, costs))
+        assert worst_case_cost(costs, rho, 0.0) == pytest.approx(nominal)
+        mild = worst_case_cost(costs, rho, 0.1)
+        harsh = worst_case_cost(costs, rho, 5.0)
+        assert nominal < mild < harsh <= 10.0 + 1e-9
+
+    def test_worst_case_mix_satisfies_ball(self):
+        costs = [1.0, 2.0, 3.0, 10.0]
+        rho = [0.25, 0.25, 0.25, 0.25]
+        adversary = worst_case_mix(costs, rho, 0.2)
+        assert sum(adversary) == pytest.approx(1.0)
+        assert kl_divergence(adversary, rho) <= 0.2 + 1e-6
+        assert adversary[3] > rho[3]  # mass moved to the dearest op
+
+    def test_robust_tuner_tradeoffs(self):
+        tuner = RobustTuner(SystemEnv())
+        nominal = WorkloadMix(0.05, 0.05, 0.05, 0.85)  # write heavy
+        result = tuner.tune(nominal, eta=1.0)
+        # Robustness never does better at the nominal point ...
+        assert result.robust_nominal_cost >= result.nominal_nominal_cost - 1e-9
+        # ... and never does worse in the worst case.
+        assert result.robust_worst_cost <= result.nominal_worst_cost + 1e-9
+        assert -1e-9 <= result.protection
+
+    def test_eta_zero_recovers_nominal(self):
+        tuner = RobustTuner(SystemEnv())
+        nominal = WorkloadMix(0.3, 0.3, 0.2, 0.2)
+        result = tuner.tune(nominal, eta=0.0)
+        assert result.robust_worst_cost == pytest.approx(
+            result.robust_nominal_cost
+        )
+
+    def test_negative_eta_rejected(self):
+        with pytest.raises(ValueError):
+            worst_case_cost([1.0], [1.0], -0.1)

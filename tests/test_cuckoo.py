@@ -1,0 +1,101 @@
+"""Unit tests for the cuckoo filter and the Chucky combined index."""
+
+import pytest
+
+from repro.errors import FilterError
+from repro.filters.cuckoo import ChuckyIndex, CuckooFilter
+
+
+class TestCuckooFilter:
+    def test_no_false_negatives(self):
+        cuckoo = CuckooFilter(capacity=1000)
+        keys = [f"key{i}" for i in range(800)]
+        for key in keys:
+            cuckoo.add(key)
+        assert all(cuckoo.may_contain(key) for key in keys)
+        assert len(cuckoo) == 800
+
+    def test_low_false_positive_rate(self):
+        cuckoo = CuckooFilter(capacity=2000, fingerprint_bits=12)
+        for index in range(1500):
+            cuckoo.add(f"member{index}")
+        negatives = [f"absent{i}" for i in range(4000)]
+        fpr = sum(cuckoo.may_contain(k) for k in negatives) / len(negatives)
+        assert fpr < 0.02
+
+    def test_delete_restores_negative(self):
+        cuckoo = CuckooFilter(capacity=100)
+        cuckoo.add("victim")
+        assert cuckoo.may_contain("victim")
+        assert cuckoo.remove("victim")
+        assert not cuckoo.may_contain("victim")
+        assert len(cuckoo) == 0
+
+    def test_remove_missing_returns_false(self):
+        cuckoo = CuckooFilter(capacity=100)
+        assert not cuckoo.remove("never-added")
+
+    def test_full_filter_raises(self):
+        cuckoo = CuckooFilter(capacity=8, fingerprint_bits=8)
+        with pytest.raises(FilterError):
+            for index in range(10000):
+                cuckoo.add(f"key{index}")
+
+    def test_validation(self):
+        with pytest.raises(FilterError):
+            CuckooFilter(capacity=0)
+        with pytest.raises(FilterError):
+            CuckooFilter(capacity=10, fingerprint_bits=2)
+
+    def test_memory_accounting(self):
+        small = CuckooFilter(capacity=100, fingerprint_bits=8)
+        large = CuckooFilter(capacity=100, fingerprint_bits=16)
+        assert large.memory_bits == 2 * small.memory_bits
+
+    def test_duplicate_inserts_supported(self):
+        cuckoo = CuckooFilter(capacity=100)
+        cuckoo.add("dup")
+        cuckoo.add("dup")
+        assert cuckoo.remove("dup")
+        assert cuckoo.may_contain("dup")  # one copy remains
+
+
+class TestChuckyIndex:
+    def test_lookup_returns_assigned_run(self):
+        index = ChuckyIndex(capacity=1000)
+        index.assign("user1", run_id=3)
+        index.assign("user2", run_id=5)
+        assert index.lookup("user1") == 3
+        assert index.lookup("user2") == 5
+
+    def test_missing_key_none_or_collision(self):
+        index = ChuckyIndex(capacity=10000)
+        for i in range(100):
+            index.assign(f"k{i}", run_id=1)
+        misses = sum(index.lookup(f"absent{i}") is not None for i in range(1000))
+        assert misses < 20  # collisions are rare with 16-bit fingerprints
+
+    def test_update_moves_key(self):
+        index = ChuckyIndex(capacity=100)
+        index.assign("k", run_id=1)
+        index.assign("k", run_id=2)  # newest version moved runs
+        assert index.lookup("k") == 2
+
+    def test_drop_run(self):
+        index = ChuckyIndex(capacity=100)
+        index.assign("a", 1)
+        index.assign("b", 1)
+        index.assign("c", 2)
+        assert index.drop_run(1) == 2
+        assert index.lookup("a") is None
+        assert index.lookup("c") == 2
+
+    def test_memory_grows_with_entries(self):
+        index = ChuckyIndex(capacity=100)
+        before = index.memory_bits
+        index.assign("a", 1)
+        assert index.memory_bits > before
+
+    def test_validation(self):
+        with pytest.raises(FilterError):
+            ChuckyIndex(capacity=0)

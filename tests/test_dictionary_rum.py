@@ -1,0 +1,124 @@
+"""Tests for the compaction dictionary and the RUM-space utilities."""
+
+import pytest
+
+from repro.compaction.dictionary import (
+    DICTIONARY,
+    DictionaryEntry,
+    entries_for_system,
+    lookup,
+)
+from repro.core.config import LSMConfig
+from repro.core.tree import LSMTree
+from repro.cost.model import CostModel, SystemEnv, Tuning
+from repro.cost.rum import (
+    RumPoint,
+    frontier_table,
+    pareto_frontier,
+    rum_cloud,
+    rum_conjecture_holds,
+    rum_point,
+)
+
+from .conftest import shuffled_keys
+
+
+class TestDictionary:
+    def test_lookup_known(self):
+        entry = lookup("rocksdb-leveled")
+        assert entry.system.startswith("RocksDB")
+        assert entry.layout == "hybrid"
+
+    def test_lookup_unknown_lists_names(self):
+        with pytest.raises(KeyError, match="leveldb-leveled"):
+            lookup("nope")
+
+    def test_entries_for_system(self):
+        cassandra = entries_for_system("cassandra")
+        assert {entry.name for entry in cassandra} == {
+            "cassandra-stcs",
+            "cassandra-lcs",
+        }
+        assert entries_for_system("oracle") == ()
+
+    def test_specs_describe(self):
+        for entry in DICTIONARY.values():
+            text = entry.spec().describe()
+            assert entry.layout in text
+
+    @pytest.mark.parametrize("name", sorted(DICTIONARY))
+    def test_every_entry_instantiates_a_working_engine(self, name):
+        base = LSMConfig(
+            buffer_size_bytes=1024, target_file_bytes=512, block_bytes=256
+        )
+        config = DICTIONARY[name].instantiate(base)
+        tree = LSMTree(config)
+        keys = shuffled_keys(250, seed=3)
+        for key in keys:
+            tree.put(key, "v")
+        for key in keys[::5]:
+            tree.delete(key)
+        tree.verify_invariants()
+        for key in keys[1::5]:
+            assert tree.get(key) == "v"
+        for key in keys[::5]:
+            assert tree.get(key) is None
+
+    def test_lethe_entry_has_ttl(self):
+        assert lookup("lethe-fade").tombstone_ttl_us > 0
+
+
+class TestRumSpace:
+    @pytest.fixture
+    def env(self):
+        return SystemEnv(
+            total_entries=10_000_000,
+            entry_size_bytes=128,
+            memory_budget_bytes=8 * 1024 * 1024,
+        )
+
+    def test_rum_point_fields(self, env):
+        point = rum_point(CostModel(env), Tuning())
+        assert point.read >= 1.0
+        assert point.update > 0
+        assert point.memory > 0
+
+    def test_dominance(self):
+        a = RumPoint(Tuning(), 1.0, 1.0, 1.0)
+        b = RumPoint(Tuning(), 2.0, 1.0, 1.0)
+        assert a.dominates(b)
+        assert not b.dominates(a)
+        assert not a.dominates(a)
+
+    def test_frontier_is_nondominated_subset(self, env):
+        cloud = rum_cloud(env)
+        frontier = pareto_frontier(cloud)
+        assert 0 < len(frontier) <= len(cloud)
+        for point in frontier:
+            assert not any(other.dominates(point) for other in cloud)
+
+    def test_extreme_layouts_reach_the_frontier(self, env):
+        frontier = pareto_frontier(rum_cloud(env))
+        layouts = {point.tuning.layout for point in frontier}
+        # The read-optimal and write-optimal ends of the spectrum must
+        # both survive: nothing dominates both extremes at once.
+        assert "leveling" in layouts
+        assert "tiering" in layouts or "lazy_leveling" in layouts
+
+    def test_rum_conjecture_on_frontier(self, env):
+        frontier = pareto_frontier(rum_cloud(env))
+        assert rum_conjecture_holds(frontier)
+
+    def test_conjecture_detector_catches_violations(self):
+        good = [
+            RumPoint(Tuning(), 1.0, 5.0, 1.0),
+            RumPoint(Tuning(), 2.0, 3.0, 1.0),
+        ]
+        bad = good + [RumPoint(Tuning(), 3.0, 9.0, 1.0)]
+        assert rum_conjecture_holds(good)
+        assert not rum_conjecture_holds(bad)
+
+    def test_frontier_table_sorted_by_read(self, env):
+        rows = frontier_table(pareto_frontier(rum_cloud(env)))
+        reads = [row[2] for row in rows]
+        assert reads == sorted(reads)

@@ -1,0 +1,89 @@
+"""Unit tests for the simulated disk substrate."""
+
+import pytest
+
+from repro.storage.disk import DiskProfile, SimulatedDisk, pages_for
+
+
+class TestPagesFor:
+    def test_zero_and_negative(self):
+        assert pages_for(0, 4096) == 0
+        assert pages_for(-5, 4096) == 0
+
+    def test_rounds_up(self):
+        assert pages_for(1, 4096) == 1
+        assert pages_for(4096, 4096) == 1
+        assert pages_for(4097, 4096) == 2
+
+
+class TestAccounting:
+    def test_read_charges_pages_and_bytes(self):
+        disk = SimulatedDisk()
+        pages = disk.read(5000, cause="get")
+        assert pages == 2
+        assert disk.counters.pages_read == 2
+        assert disk.counters.bytes_read == 5000
+        assert disk.counters.read_requests == 1
+        assert disk.counters.reads_by_cause == {"get": 2}
+
+    def test_write_charges_pages_and_bytes(self):
+        disk = SimulatedDisk()
+        disk.write(100, cause="flush")
+        disk.write(9000, cause="compaction")
+        assert disk.counters.pages_written == 1 + 3
+        assert disk.counters.writes_by_cause == {"flush": 1, "compaction": 3}
+
+    def test_zero_byte_transfer_is_free(self):
+        disk = SimulatedDisk()
+        assert disk.read(0) == 0
+        assert disk.write(0) == 0
+        assert disk.now_us == 0.0
+
+    def test_clock_advances_with_io(self):
+        disk = SimulatedDisk(DiskProfile(4096, 8.0, 10.0, 60.0, 60.0))
+        disk.read(4096)
+        assert disk.now_us == pytest.approx(68.0)
+        disk.write(8192)
+        assert disk.now_us == pytest.approx(68.0 + 60.0 + 20.0)
+
+    def test_advance_rejects_negative(self):
+        disk = SimulatedDisk()
+        with pytest.raises(ValueError):
+            disk.advance(-1)
+
+    def test_reset(self):
+        disk = SimulatedDisk()
+        disk.read(100)
+        disk.reset()
+        assert disk.counters.pages_read == 0
+        assert disk.now_us == 0.0
+
+
+class TestSnapshots:
+    def test_delta_isolates_interval(self):
+        disk = SimulatedDisk()
+        disk.read(4096, "a")
+        before = disk.counters.snapshot()
+        disk.read(4096, "a")
+        disk.write(4096, "b")
+        delta = disk.counters.delta(before)
+        assert delta.pages_read == 1
+        assert delta.pages_written == 1
+        assert delta.reads_by_cause == {"a": 1}
+
+    def test_snapshot_is_deep(self):
+        disk = SimulatedDisk()
+        disk.read(4096, "a")
+        snap = disk.counters.snapshot()
+        disk.read(4096, "a")
+        assert snap.reads_by_cause == {"a": 1}
+
+
+class TestProfiles:
+    def test_hdd_has_higher_overhead(self):
+        assert DiskProfile.hdd().read_overhead_us > DiskProfile.ssd().read_overhead_us
+
+    def test_latency_formula(self):
+        profile = DiskProfile(4096, 2.0, 3.0, 10.0, 20.0)
+        assert profile.read_us(4) == pytest.approx(18.0)
+        assert profile.write_us(4) == pytest.approx(32.0)

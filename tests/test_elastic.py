@@ -1,0 +1,151 @@
+"""Tests for ElasticBF-style hotness-aware filters."""
+
+import pytest
+
+from repro.errors import FilterError
+from repro.filters.elastic import ElasticBloomFilter, ElasticFilterManager
+
+KEYS = [f"member{i}" for i in range(500)]
+ABSENT = [f"absent{i}" for i in range(2000)]
+
+
+def observed_fpr(filt):
+    return sum(filt.may_contain(key) for key in ABSENT) / len(ABSENT)
+
+
+class TestElasticBloomFilter:
+    def test_no_false_negatives_any_load(self):
+        filt = ElasticBloomFilter(KEYS, num_units=4, loaded_units=4)
+        for loaded in range(5):
+            filt.loaded_units = loaded
+            assert all(filt.may_contain(key) for key in KEYS)
+
+    def test_more_units_fewer_false_positives(self):
+        filt = ElasticBloomFilter(
+            KEYS, num_units=4, bits_per_key_per_unit=2.5
+        )
+        rates = []
+        for loaded in (1, 2, 4):
+            filt.loaded_units = loaded
+            rates.append(observed_fpr(filt))
+        assert rates[0] > rates[1] > rates[2]
+
+    def test_zero_loaded_units_admits_everything(self):
+        filt = ElasticBloomFilter(KEYS, loaded_units=0)
+        assert observed_fpr(filt) == 1.0
+
+    def test_memory_scales_with_loaded_prefix(self):
+        filt = ElasticBloomFilter(KEYS, num_units=4, loaded_units=2)
+        half = filt.memory_bits
+        filt.loaded_units = 4
+        assert filt.memory_bits == pytest.approx(2 * half, rel=0.01)
+        assert filt.total_bits == filt.memory_bits
+
+    def test_validation(self):
+        with pytest.raises(FilterError):
+            ElasticBloomFilter(KEYS, num_units=0)
+        with pytest.raises(FilterError):
+            ElasticBloomFilter(KEYS, num_units=2, loaded_units=3)
+        with pytest.raises(FilterError):
+            ElasticBloomFilter(KEYS).add("new")
+
+    def test_expected_fpr_multiplicative(self):
+        filt = ElasticBloomFilter(KEYS, num_units=2, loaded_units=2)
+        filt.loaded_units = 1
+        one_unit = filt.expected_fpr()
+        filt.loaded_units = 2
+        assert filt.expected_fpr() == pytest.approx(one_unit**2, rel=0.05)
+
+
+class TestManager:
+    def make_fleet(self, count=6, budget=8):
+        manager = ElasticFilterManager(budget_units=budget)
+        filters = {}
+        for file_id in range(count):
+            filt = ElasticBloomFilter(
+                KEYS, num_units=4, loaded_units=1
+            )
+            filters[file_id] = filt
+            manager.register(file_id, filt)
+        return manager, filters
+
+    def test_budget_respected(self):
+        manager, filters = self.make_fleet()
+        for _ in range(50):
+            manager.record_access(0)
+        manager.rebalance()
+        assert manager.loaded_units_total() <= manager.budget_units
+        assert all(filt.loaded_units >= 1 for filt in filters.values())
+
+    def test_hot_files_get_more_units(self):
+        manager, filters = self.make_fleet()
+        for _ in range(100):
+            manager.record_access(2)
+        for _ in range(10):
+            manager.record_access(5)
+        manager.rebalance()
+        assert filters[2].loaded_units > filters[0].loaded_units
+        assert filters[2].loaded_units >= filters[5].loaded_units
+
+    def test_heat_decays_so_hot_set_drifts(self):
+        manager, filters = self.make_fleet()
+        for _ in range(100):
+            manager.record_access(0)
+        manager.rebalance()
+        old_hot = filters[0].loaded_units
+        for _ in range(10):
+            for _ in range(100):
+                manager.record_access(1)
+            manager.rebalance()
+        assert filters[1].loaded_units >= old_hot
+        assert filters[0].loaded_units <= filters[1].loaded_units
+
+    def test_unregister(self):
+        manager, filters = self.make_fleet()
+        manager.unregister(0)
+        manager.record_access(0)  # no-op, not an error
+        manager.rebalance()
+        assert 0 not in manager._filters
+
+    def test_validation(self):
+        with pytest.raises(FilterError):
+            ElasticFilterManager(budget_units=-1)
+        with pytest.raises(FilterError):
+            ElasticFilterManager(budget_units=1, decay=0.0)
+
+    def test_skewed_access_beats_uniform_at_same_memory(self):
+        """The ElasticBF claim: under skew, elastic allocation yields fewer
+        false positives than a uniform static allocation of equal memory."""
+        import random
+
+        rng = random.Random(5)
+        num_files = 8
+        budget = 16  # average two units per file
+
+        # Uniform static: every file keeps exactly budget/num_files units.
+        uniform = {
+            file_id: ElasticBloomFilter(KEYS, num_units=4, loaded_units=2)
+            for file_id in range(num_files)
+        }
+        manager, elastic = self.make_fleet(count=num_files, budget=budget)
+
+        # Strong skew (ElasticBF's regime): file 0 gets 85% of the probes.
+        def pick_file():
+            roll = rng.random()
+            if roll < 0.85:
+                return 0
+            return 1 + rng.randrange(num_files - 1)
+
+        false_positives = {"uniform": 0, "elastic": 0}
+        for step in range(4000):
+            file_id = pick_file()
+            probe = f"absent{rng.randrange(10**6)}"
+            false_positives["uniform"] += uniform[file_id].may_contain(probe)
+            manager.record_access(file_id)
+            false_positives["elastic"] += elastic[file_id].may_contain(probe)
+            if step % 250 == 0:
+                manager.rebalance()
+        assert manager.memory_bits() <= sum(
+            filt.memory_bits for filt in uniform.values()
+        ) * 1.05
+        assert false_positives["elastic"] < false_positives["uniform"]

@@ -1,0 +1,76 @@
+"""Unit tests for repro.core.entry."""
+
+import pytest
+
+from repro.core.entry import (
+    ENTRY_OVERHEAD_BYTES,
+    TOMBSTONE_VALUE_BYTES,
+    Entry,
+    EntryKind,
+    put,
+    single_delete,
+    tombstone,
+)
+
+
+class TestConstruction:
+    def test_put_roundtrip(self):
+        entry = put("k1", "v1", 7)
+        assert entry.key == "k1"
+        assert entry.value == "v1"
+        assert entry.seqno == 7
+        assert entry.kind is EntryKind.PUT
+        assert not entry.is_tombstone
+
+    def test_tombstone_has_no_value(self):
+        entry = tombstone("k1", 3)
+        assert entry.value is None
+        assert entry.is_tombstone
+        assert entry.kind is EntryKind.DELETE
+
+    def test_single_delete_is_tombstone(self):
+        entry = single_delete("k1", 3)
+        assert entry.is_tombstone
+        assert entry.kind is EntryKind.SINGLE_DELETE
+
+    def test_put_requires_value(self):
+        with pytest.raises(ValueError):
+            Entry("k", None, 0, EntryKind.PUT)
+
+    def test_tombstone_rejects_value(self):
+        with pytest.raises(ValueError):
+            Entry("k", "v", 0, EntryKind.DELETE)
+
+    def test_negative_seqno_rejected(self):
+        with pytest.raises(ValueError):
+            put("k", "v", -1)
+
+    def test_stamp_excluded_from_equality(self):
+        assert put("k", "v", 1, stamp_us=5.0) == put("k", "v", 1, stamp_us=9.0)
+
+
+class TestSize:
+    def test_put_size_counts_key_value_overhead(self):
+        entry = put("abc", "wxyz", 0)
+        assert entry.size == 3 + 4 + ENTRY_OVERHEAD_BYTES
+
+    def test_tombstone_size_uses_one_byte_value(self):
+        entry = tombstone("abc", 0)
+        assert entry.size == 3 + TOMBSTONE_VALUE_BYTES + ENTRY_OVERHEAD_BYTES
+
+    def test_tombstone_smaller_than_typical_put(self):
+        assert tombstone("k", 0).size < put("k", "some-value", 0).size
+
+
+class TestShadowing:
+    def test_newer_seqno_shadows(self):
+        new, old = put("k", "v2", 5), put("k", "v1", 2)
+        assert new.shadows(old)
+        assert not old.shadows(new)
+
+    def test_shadows_requires_same_key(self):
+        with pytest.raises(ValueError):
+            put("a", "v", 1).shadows(put("b", "v", 0))
+
+    def test_tombstone_shadows_put(self):
+        assert tombstone("k", 9).shadows(put("k", "v", 8))

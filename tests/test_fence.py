@@ -1,0 +1,92 @@
+"""Unit tests for fence pointers."""
+
+import pytest
+
+from repro.core.fence import BlockBounds, FenceIndex
+
+
+@pytest.fixture
+def fence():
+    return FenceIndex(
+        [
+            BlockBounds("a", "c"),
+            BlockBounds("f", "h"),
+            BlockBounds("k", "m"),
+        ]
+    )
+
+
+class TestValidation:
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            FenceIndex([BlockBounds("z", "a")])
+
+    def test_rejects_overlap(self):
+        with pytest.raises(ValueError):
+            FenceIndex([BlockBounds("a", "f"), BlockBounds("c", "z")])
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            FenceIndex([BlockBounds("k", "m"), BlockBounds("a", "c")])
+
+    def test_empty_index(self):
+        fence = FenceIndex([])
+        assert len(fence) == 0
+        assert fence.min_key is None
+        assert fence.max_key is None
+        assert fence.locate("a") is None
+
+
+class TestLocate:
+    def test_hits_each_block(self, fence):
+        assert fence.locate("a") == 0
+        assert fence.locate("b") == 0
+        assert fence.locate("c") == 0
+        assert fence.locate("g") == 1
+        assert fence.locate("m") == 2
+
+    def test_gap_returns_none(self, fence):
+        assert fence.locate("d") is None
+        assert fence.locate("i") is None
+
+    def test_out_of_range_returns_none(self, fence):
+        assert fence.locate("0") is None
+        assert fence.locate("z") is None
+
+    def test_at_most_one_block(self, fence):
+        # The core fence guarantee: any key maps to <= 1 data block.
+        for key in ["a", "b", "e", "g", "j", "l", "zz"]:
+            located = fence.locate(key)
+            assert located is None or 0 <= located < len(fence)
+
+
+class TestOverlap:
+    def test_full_span(self, fence):
+        assert fence.overlap("a", "z") == (0, 3)
+
+    def test_partial_span(self, fence):
+        assert fence.overlap("b", "g") == (0, 2)
+
+    def test_gap_only(self, fence):
+        assert fence.overlap("d", "e") == (1, 1)
+
+    def test_empty_interval(self, fence):
+        assert fence.overlap("c", "c") == (0, 0)
+
+    def test_before_and_after(self, fence):
+        assert fence.overlap("0", "1") == (0, 0)
+        assert fence.overlap("x", "z") == (3, 3)
+
+
+class TestMeta:
+    def test_min_max(self, fence):
+        assert fence.min_key == "a"
+        assert fence.max_key == "m"
+
+    def test_memory_bits_positive(self, fence):
+        assert fence.memory_bits == 8 * 6  # six single-char keys
+
+    def test_bounds_copy(self, fence):
+        bounds = fence.bounds()
+        bounds.clear()
+        assert len(fence) == 3

@@ -1,0 +1,72 @@
+"""Unit tests for merge iterators and visibility resolution."""
+
+import pytest
+
+from repro.core.entry import put, tombstone
+from repro.core.iterators import merge_entries, resolve_visible
+
+
+class TestMergeEntries:
+    def test_single_source(self):
+        source = [put("a", "1", 0), put("b", "2", 1)]
+        assert list(merge_entries([source])) == source
+
+    def test_newest_version_wins(self):
+        new = [put("a", "new", 10)]
+        old = [put("a", "old", 5)]
+        merged = list(merge_entries([new, old]))
+        assert len(merged) == 1
+        assert merged[0].value == "new"
+
+    def test_order_of_sources_does_not_change_winner(self):
+        new = [put("a", "new", 10)]
+        old = [put("a", "old", 5)]
+        assert list(merge_entries([old, new]))[0].value == "new"
+
+    def test_interleaved_keys(self):
+        left = [put("a", "1", 0), put("c", "3", 2)]
+        right = [put("b", "2", 1), put("d", "4", 3)]
+        keys = [entry.key for entry in merge_entries([left, right])]
+        assert keys == ["a", "b", "c", "d"]
+
+    def test_tombstones_retained(self):
+        merged = list(merge_entries([[tombstone("a", 5)], [put("a", "x", 1)]]))
+        assert len(merged) == 1
+        assert merged[0].is_tombstone
+
+    def test_empty_sources(self):
+        assert list(merge_entries([])) == []
+        assert list(merge_entries([[], []])) == []
+
+    def test_rejects_unsorted_source(self):
+        bad = [put("b", "1", 0), put("a", "2", 1)]
+        with pytest.raises(ValueError):
+            list(merge_entries([bad]))
+
+    def test_rejects_duplicate_keys_in_one_source(self):
+        bad = [put("a", "1", 0), put("a", "2", 1)]
+        with pytest.raises(ValueError):
+            list(merge_entries([bad]))
+
+    def test_three_way_merge(self):
+        s1 = [put("a", "a2", 20), put("m", "m0", 2)]
+        s2 = [put("a", "a1", 10), put("z", "z0", 3)]
+        s3 = [put("a", "a0", 1), put("m", "m1", 15)]
+        merged = {entry.key: entry.value for entry in merge_entries([s1, s2, s3])}
+        assert merged == {"a": "a2", "m": "m1", "z": "z0"}
+
+
+class TestResolveVisible:
+    def test_drops_tombstones(self):
+        stream = [put("a", "1", 0), tombstone("b", 1), put("c", "3", 2)]
+        visible = [entry.key for entry in resolve_visible(stream)]
+        assert visible == ["a", "c"]
+
+    def test_composed_with_merge(self):
+        newer = [tombstone("a", 9), put("b", "keep", 8)]
+        older = [put("a", "dead", 1), put("c", "old", 2)]
+        result = {
+            entry.key: entry.value
+            for entry in resolve_visible(merge_entries([newer, older]))
+        }
+        assert result == {"b": "keep", "c": "old"}

@@ -1,0 +1,105 @@
+"""Tests for Lethe-style delete-aware compaction (§2.3.3)."""
+
+import random
+
+import pytest
+
+from repro.compaction.lethe import (
+    DeletePersistenceReport,
+    delete_persistence_within,
+    find_expired_files,
+    lethe_config,
+)
+from repro.core.config import LSMConfig
+from repro.core.tree import LSMTree
+
+
+def base_config():
+    return LSMConfig(
+        buffer_size_bytes=1024, target_file_bytes=512, block_bytes=256
+    )
+
+
+def churn(tree, num_keys=400, delete_every=3, seed=0):
+    """Insert keys, delete a third of them, keep inserting filler."""
+    keys = [f"key{i:08d}" for i in range(num_keys)]
+    random.Random(seed).shuffle(keys)
+    for key in keys:
+        tree.put(key, "payload")
+    deleted = keys[::delete_every]
+    for key in deleted:
+        tree.delete(key)
+    for key in keys:
+        tree.put(key + "z", "filler")
+    return deleted
+
+
+class TestConfigPreset:
+    def test_preset_fields(self):
+        config = lethe_config(5_000.0, base_config())
+        assert config.tombstone_ttl_us == 5_000.0
+        assert config.picker == "most_tombstones"
+        assert config.granularity == "file"
+
+    def test_preset_validation(self):
+        with pytest.raises(ValueError):
+            lethe_config(0.0)
+
+
+class TestTtlTrigger:
+    def test_ttl_purges_faster_than_baseline(self):
+        baseline = LSMTree(base_config())
+        churn(baseline)
+        aware = LSMTree(lethe_config(2_000.0, base_config()))
+        churn(aware)
+        # The TTL engine purges at least as many tombstones, and what it
+        # purges is younger.
+        assert aware.stats.tombstones_dropped >= baseline.stats.tombstones_dropped
+        if aware.stats.tombstone_drop_ages_us and baseline.stats.tombstone_drop_ages_us:
+            assert max(aware.stats.tombstone_drop_ages_us) <= max(
+                baseline.stats.tombstone_drop_ages_us
+            )
+
+    def test_no_expired_files_remain(self):
+        ttl = 2_000.0
+        tree = LSMTree(lethe_config(ttl, base_config()))
+        churn(tree)
+        expired = find_expired_files(tree.levels, tree.disk.now_us, ttl)
+        # Bottom-level tombstones have nowhere to go and are excluded by
+        # the planner; everything above must respect the deadline.
+        above_bottom = [
+            entry for entry in expired if entry[0] < len(tree.levels) - 1
+        ]
+        assert above_bottom == []
+
+    def test_correctness_preserved(self):
+        tree = LSMTree(lethe_config(1_500.0, base_config()))
+        deleted = churn(tree)
+        for key in deleted[:20]:
+            assert tree.get(key) is None
+        tree.verify_invariants()
+
+
+class TestReporting:
+    def test_report_shape(self):
+        tree = LSMTree(lethe_config(2_000.0, base_config()))
+        churn(tree)
+        report = DeletePersistenceReport.from_tree(tree)
+        assert report.deletes_issued > 0
+        assert report.tombstones_purged >= 0
+        assert report.p50_age_us <= report.max_age_us
+
+    def test_persistence_within_slack(self):
+        ttl = 2_000.0
+        tree = LSMTree(lethe_config(ttl, base_config()))
+        churn(tree)
+        assert delete_persistence_within(tree, ttl, slack=50.0)
+
+    def test_empty_tree_report(self):
+        tree = LSMTree(base_config())
+        report = DeletePersistenceReport.from_tree(tree)
+        assert report.deletes_issued == 0
+        assert delete_persistence_within(tree, 1.0)
+
+    def test_find_expired_empty_levels(self):
+        assert find_expired_files([], 100.0, 1.0) == []

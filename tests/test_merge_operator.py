@@ -1,0 +1,150 @@
+"""Tests for merge operators and read-modify-write (§2.2.6)."""
+
+import pytest
+
+from repro.core.config import LSMConfig
+from repro.core.merge_operator import (
+    Int64AddOperator,
+    MaxOperator,
+    StringAppendOperator,
+    resolve_merge,
+)
+from repro.core.tree import LSMTree
+from repro.errors import ConfigError
+
+from .conftest import shuffled_keys
+
+
+def counter_tree(**overrides):
+    config = LSMConfig(
+        buffer_size_bytes=1024, target_file_bytes=512, block_bytes=256
+    ).with_overrides(**overrides)
+    return LSMTree(config, merge_operator=Int64AddOperator())
+
+
+class TestOperators:
+    def test_string_append(self):
+        op = StringAppendOperator("|")
+        assert op.full_merge("k", "a", ["b", "c"]) == "a|b|c"
+        assert op.full_merge("k", None, ["b"]) == "b"
+        assert op.partial_merge("k", ["x", "y"]) == "x|y"
+
+    def test_int64_add(self):
+        op = Int64AddOperator()
+        assert op.full_merge("k", "10", ["1", "2"]) == "13"
+        assert op.full_merge("k", None, ["5"]) == "5"
+        assert op.full_merge("k", "garbage", ["5"]) == "5"
+        assert op.partial_merge("k", ["1", "2", "3"]) == "6"
+
+    def test_max(self):
+        op = MaxOperator()
+        assert op.full_merge("k", "b", ["a", "c"]) == "c"
+        assert op.partial_merge("k", ["x", "m"]) == "x"
+
+    def test_resolve_merge_reverses_operand_order(self):
+        op = StringAppendOperator(",")
+        # reads collect newest-first; resolution applies oldest-first
+        assert resolve_merge(op, "k", "base", ["new", "old"]) == "base,old,new"
+
+    def test_associativity_contract(self):
+        op = Int64AddOperator()
+        staged = op.full_merge(
+            "k", op.full_merge("k", "1", ["2", "3"]), ["4"]
+        )
+        direct = op.full_merge("k", "1", ["2", "3", "4"])
+        assert staged == direct
+
+
+class TestTreeMerge:
+    def test_requires_operator(self):
+        tree = LSMTree(LSMConfig())
+        with pytest.raises(ConfigError):
+            tree.merge("k", "1")
+
+    def test_merge_from_nothing(self):
+        tree = counter_tree()
+        tree.merge("counter", "5")
+        assert tree.get("counter") == "5"
+
+    def test_merge_onto_put(self):
+        tree = counter_tree()
+        tree.put("counter", "100")
+        tree.merge("counter", "5")
+        assert tree.get("counter") == "105"
+
+    def test_merge_after_delete_restarts(self):
+        tree = counter_tree()
+        tree.put("counter", "100")
+        tree.delete("counter")
+        tree.merge("counter", "7")
+        assert tree.get("counter") == "7"
+
+    def test_merge_stack_in_buffer(self):
+        tree = counter_tree(buffer_size_bytes=1 << 20)  # never flush
+        for _ in range(50):
+            tree.merge("counter", "2")
+        assert tree.get("counter") == "100"
+
+    def test_merge_across_flushes(self):
+        tree = counter_tree()
+        tree.put("counter", "1000")
+        tree.flush()
+        for _ in range(10):
+            tree.merge("counter", "1")
+            tree.flush()
+        assert tree.get("counter") == "1010"
+
+    def test_merge_survives_compaction(self):
+        tree = counter_tree()
+        for key in shuffled_keys(300):
+            tree.put(key, "1000")
+        for _ in range(5):
+            tree.merge("key00000042", "10")
+        for key in shuffled_keys(300):
+            tree.put(key + "f", "0")
+        tree.compact_all()
+        assert tree.get("key00000042") == "1050"
+        tree.verify_invariants()
+
+    def test_scan_resolves_merges(self):
+        tree = LSMTree(
+            LSMConfig(buffer_size_bytes=512, block_bytes=256),
+            merge_operator=StringAppendOperator("|"),
+        )
+        for index in range(60):
+            tree.merge(f"log{index % 3}", f"e{index}")
+        result = dict(tree.scan("log0", "log3"))
+        assert set(result) == {"log0", "log1", "log2"}
+        assert result["log0"].startswith("e0|e3")
+        assert result["log0"].count("|") == 19
+
+    def test_counters_at_scale(self):
+        tree = counter_tree()
+        for index in range(2000):
+            tree.merge(f"counter{index % 25:03d}", "1")
+        tree.flush()
+        for index in range(25):
+            assert tree.get(f"counter{index:03d}") == "80"
+        assert tree.stats.merges == 2000
+
+    def test_merge_then_delete_hides(self):
+        tree = counter_tree()
+        tree.merge("k", "5")
+        tree.flush()
+        tree.delete("k")
+        assert tree.get("k") is None
+
+    def test_recovery_replays_merges(self, tmp_path):
+        config = LSMConfig(buffer_size_bytes=1 << 20)
+        tree = LSMTree(
+            config, wal_dir=str(tmp_path), merge_operator=Int64AddOperator()
+        )
+        tree.put("c", "10")
+        tree.merge("c", "5")
+        tree.merge("c", "5")
+        recovered = LSMTree.recover(
+            config, str(tmp_path), merge_operator=Int64AddOperator()
+        )
+        assert recovered.get("c") == "20"
+        recovered.close()
+        tree.close()

@@ -1,0 +1,122 @@
+"""Unit tests for the range-partitioned store."""
+
+import random
+
+import pytest
+
+from repro.core.config import LSMConfig
+from repro.partition.store import PartitionedStore, range_boundaries
+from repro.workload.distributions import format_key
+
+
+def small_config():
+    return LSMConfig(
+        buffer_size_bytes=1024, target_file_bytes=512, block_bytes=256
+    )
+
+
+class TestBoundaries:
+    def test_even_split(self):
+        bounds = range_boundaries(1000, 4)
+        assert bounds == [format_key(250), format_key(500), format_key(750)]
+
+    def test_single_shard(self):
+        assert range_boundaries(100, 1) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            range_boundaries(100, 0)
+        with pytest.raises(ValueError):
+            range_boundaries(2, 4)
+
+
+class TestRouting:
+    def test_shard_for(self):
+        store = PartitionedStore(range_boundaries(100, 4), small_config())
+        assert store.num_shards == 4
+        assert store.shard_for(format_key(0)) is store.shards[0]
+        assert store.shard_for(format_key(25)) is store.shards[1]
+        assert store.shard_for(format_key(99)) is store.shards[3]
+        assert store.shard_for("zzz") is store.shards[3]
+
+    def test_unsorted_boundaries_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionedStore(["b", "a"], small_config())
+        with pytest.raises(ValueError):
+            PartitionedStore(["a", "a"], small_config())
+
+
+class TestOperations:
+    @pytest.fixture
+    def store(self):
+        return PartitionedStore(range_boundaries(400, 4), small_config())
+
+    def test_put_get_roundtrip(self, store):
+        keys = [format_key(i) for i in range(400)]
+        random.Random(1).shuffle(keys)
+        for key in keys:
+            store.put(key, f"v-{key}")
+        for key in keys[::23]:
+            assert store.get(key) == f"v-{key}"
+
+    def test_delete(self, store):
+        store.put(format_key(10), "v")
+        store.delete(format_key(10))
+        assert store.get(format_key(10)) is None
+
+    def test_scan_within_one_shard(self, store):
+        for index in range(400):
+            store.put(format_key(index), str(index))
+        result = store.scan(format_key(10), format_key(15))
+        assert [k for k, _v in result] == [format_key(i) for i in range(10, 15)]
+
+    def test_scan_across_shards(self, store):
+        for index in range(400):
+            store.put(format_key(index), str(index))
+        result = store.scan(format_key(95), format_key(205))
+        assert [k for k, _v in result] == [
+            format_key(i) for i in range(95, 205)
+        ]
+        assert [v for _k, v in result] == [str(i) for i in range(95, 205)]
+
+    def test_scan_empty_interval(self, store):
+        assert store.scan("z", "a") == []
+
+    def test_close(self, store):
+        store.close()
+
+
+class TestPartitioningBenefit:
+    def test_more_shards_less_compaction_movement(self):
+        keys = [format_key(i) for i in range(1200)]
+        random.Random(7).shuffle(keys)
+
+        def build(num_shards):
+            store = PartitionedStore(
+                range_boundaries(1200, num_shards), small_config()
+            )
+            for key in keys:
+                store.put(key, "payload-" * 3)
+            return store
+
+        single = build(1)
+        sharded = build(8)
+        assert sharded.compaction_bytes() < single.compaction_bytes()
+        assert sharded.max_depth() <= single.max_depth()
+        assert sharded.write_amplification() < single.write_amplification()
+
+    def test_shard_summary(self):
+        store = PartitionedStore(range_boundaries(100, 2), small_config())
+        for index in range(100):
+            store.put(format_key(index), "v")
+        summary = store.shard_summary()
+        assert len(summary) == 2
+        assert all("compaction_bytes" in row for row in summary)
+
+    def test_memory_footprint_scales_with_shards(self):
+        one = PartitionedStore([], small_config())
+        four = PartitionedStore(range_boundaries(100, 4), small_config())
+        for index in range(100):
+            one.put(format_key(index), "v")
+            four.put(format_key(index), "v")
+        assert four.memory_footprint_bits() >= one.memory_footprint_bits()

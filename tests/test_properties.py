@@ -1,0 +1,307 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These enforce the guarantees listed in DESIGN.md §4: the engine is always
+equivalent to an in-memory map, filters never produce false negatives, the
+merge machinery preserves ordering and recency, and the tree's structural
+invariants hold under arbitrary operation sequences.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.config import LSMConfig
+from repro.core.entry import put as put_entry
+from repro.core.iterators import merge_entries, resolve_visible
+from repro.core.tree import LSMTree
+from repro.filters.bloom import BloomFilter
+from repro.storage.block_cache import BlockCache
+
+# Small key space so updates/deletes collide often and compactions churn.
+keys_strategy = st.integers(min_value=0, max_value=60).map(
+    lambda value: f"key{value:03d}"
+)
+values_strategy = st.text(
+    alphabet="abcdefghij", min_size=0, max_size=24
+)
+
+operations_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), keys_strategy, values_strategy),
+        st.tuples(st.just("delete"), keys_strategy),
+        st.tuples(st.just("get"), keys_strategy),
+        st.tuples(st.just("scan"), keys_strategy, keys_strategy),
+        st.tuples(st.just("flush")),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+LAYOUTS = ["leveling", "tiering", "lazy_leveling", "hybrid", "bush"]
+
+
+def tiny_config(layout: str) -> LSMConfig:
+    return LSMConfig(
+        buffer_size_bytes=256,
+        target_file_bytes=192,
+        block_bytes=128,
+        size_ratio=2,
+        level0_run_limit=2,
+        layout=layout,
+        granularity="file" if layout == "leveling" else "level",
+    )
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    operations=operations_strategy,
+    layout=st.sampled_from(LAYOUTS),
+)
+def test_tree_matches_dict_model(operations, layout):
+    """Model-based check: the tree behaves exactly like a dict."""
+    tree = LSMTree(tiny_config(layout))
+    model = {}
+    for operation in operations:
+        name = operation[0]
+        if name == "put":
+            _, key, value = operation
+            tree.put(key, value)
+            model[key] = value
+        elif name == "delete":
+            _, key = operation
+            tree.delete(key)
+            model.pop(key, None)
+        elif name == "get":
+            _, key = operation
+            assert tree.get(key) == model.get(key)
+        elif name == "scan":
+            _, raw_lo, raw_hi = operation
+            lo, hi = min(raw_lo, raw_hi), max(raw_lo, raw_hi)
+            expected = sorted(
+                (key, value) for key, value in model.items() if lo <= key < hi
+            )
+            assert tree.scan(lo, hi) == expected
+        else:
+            tree.flush()
+    # Final full audit.
+    tree.verify_invariants()
+    assert tree.scan("", "zzzz") == sorted(model.items())
+    for key, value in model.items():
+        assert tree.get(key) == value
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    members=st.sets(st.text(min_size=1, max_size=12), min_size=1, max_size=80),
+    bits_per_key=st.floats(min_value=1.0, max_value=16.0),
+)
+def test_bloom_never_false_negative(members, bits_per_key):
+    bloom = BloomFilter.for_keys(members, bits_per_key)
+    assert all(bloom.may_contain(key) for key in members)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    per_source=st.lists(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=40),
+            st.text(alphabet="xy", max_size=4),
+            max_size=20,
+        ),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_merge_entries_keeps_newest_per_key(per_source):
+    """Feed disjointly-numbered versions; merge must keep the global max."""
+    seqno = 0
+    sources = []
+    expected = {}
+    for mapping in per_source:
+        source = []
+        for key_number in sorted(mapping):
+            key = f"k{key_number:03d}"
+            source.append(put_entry(key, mapping[key_number], seqno))
+            if key not in expected or seqno > expected[key][0]:
+                expected[key] = (seqno, mapping[key_number])
+            seqno += 1
+        sources.append(source)
+    merged = list(merge_entries(sources))
+    assert [entry.key for entry in merged] == sorted(
+        {entry.key for source in sources for entry in source}
+    )
+    for entry in merged:
+        assert entry.value == expected[entry.key][1]
+    # Visibility never *adds* entries.
+    assert len(list(resolve_visible(merged))) <= len(merged)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    accesses=st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=5),
+            st.integers(min_value=0, max_value=9),
+        ),
+        max_size=60,
+    ),
+    capacity=st.integers(min_value=0, max_value=2000),
+)
+def test_cache_capacity_never_exceeded(accesses, capacity):
+    cache = BlockCache(capacity)
+    for table_id, block_index in accesses:
+        if not cache.probe((table_id, block_index)):
+            cache.insert((table_id, block_index), 128)
+        assert cache.used_bytes <= capacity
+    assert cache.stats.lookups == len(accesses)
+
+
+extended_operations_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), keys_strategy, values_strategy),
+        st.tuples(st.just("delete"), keys_strategy),
+        st.tuples(st.just("delete_range"), keys_strategy, keys_strategy),
+        st.tuples(st.just("merge"), keys_strategy),
+        st.tuples(st.just("get"), keys_strategy),
+        st.tuples(st.just("scan"), keys_strategy, keys_strategy),
+        st.tuples(st.just("flush")),
+    ),
+    min_size=1,
+    max_size=100,
+)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    operations=extended_operations_strategy,
+    layout=st.sampled_from(["leveling", "tiering"]),
+)
+def test_tree_with_range_deletes_and_merges_matches_model(operations, layout):
+    """Model-based check including range deletes and counter merges."""
+    from repro.core.merge_operator import Int64AddOperator
+
+    tree = LSMTree(tiny_config(layout), merge_operator=Int64AddOperator())
+    model = {}
+    for operation in operations:
+        name = operation[0]
+        if name == "put":
+            _, key, value = operation
+            tree.put(key, value)
+            model[key] = value
+        elif name == "delete":
+            _, key = operation
+            tree.delete(key)
+            model.pop(key, None)
+        elif name == "delete_range":
+            _, raw_lo, raw_hi = operation
+            if raw_lo == raw_hi:
+                continue
+            lo, hi = min(raw_lo, raw_hi), max(raw_lo, raw_hi)
+            tree.delete_range(lo, hi)
+            for key in [k for k in model if lo <= k < hi]:
+                del model[key]
+        elif name == "merge":
+            _, key = operation
+            tree.merge(key, "1")
+            try:
+                base = int(model.get(key, "0"))
+            except ValueError:
+                base = 0
+            model[key] = str(base + 1)
+        elif name == "get":
+            _, key = operation
+            assert tree.get(key) == model.get(key)
+        elif name == "scan":
+            _, raw_lo, raw_hi = operation
+            lo, hi = min(raw_lo, raw_hi), max(raw_lo, raw_hi)
+            expected = sorted(
+                (key, value) for key, value in model.items() if lo <= key < hi
+            )
+            assert tree.scan(lo, hi) == expected
+        else:
+            tree.flush()
+    tree.verify_invariants()
+    assert tree.scan("", "zzzz") == sorted(model.items())
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(operations=operations_strategy)
+def test_checkpoint_restore_is_lossless(operations, tmp_path_factory):
+    """Property: checkpoint + restore preserves the full visible state."""
+    from repro.storage.persistence import checkpoint, restore
+
+    tree = LSMTree(tiny_config("leveling"))
+    model = {}
+    for operation in operations:
+        if operation[0] == "put":
+            _, key, value = operation
+            tree.put(key, value)
+            model[key] = value
+        elif operation[0] == "delete":
+            tree.delete(operation[1])
+            model.pop(operation[1], None)
+        elif operation[0] == "flush":
+            tree.flush()
+    directory = tmp_path_factory.mktemp("ckpt")
+    checkpoint(tree, str(directory))
+    restored = restore(str(directory))
+    assert restored.scan("", "zzzz") == sorted(model.items())
+    restored.verify_invariants()
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    operations=st.lists(
+        st.one_of(
+            st.tuples(st.just("put"), keys_strategy, values_strategy),
+            st.tuples(st.just("delete"), keys_strategy),
+            st.tuples(st.just("get"), keys_strategy),
+            st.tuples(st.just("gc"),),
+        ),
+        min_size=1,
+        max_size=80,
+    )
+)
+def test_wisckey_matches_dict_model(operations):
+    """Property: the WiscKey store is also dict-equivalent, GC included."""
+    from repro.kvsep.wisckey import WiscKeyStore
+
+    store = WiscKeyStore(
+        tiny_config("leveling"),
+        separation_threshold=8,  # separate nearly everything
+        gc_trigger_garbage_fraction=1.0,
+    )
+    model = {}
+    for operation in operations:
+        if operation[0] == "put":
+            _, key, value = operation
+            store.put(key, value + "padding-to-separate")
+            model[key] = value + "padding-to-separate"
+        elif operation[0] == "delete":
+            store.delete(operation[1])
+            model.pop(operation[1], None)
+        elif operation[0] == "get":
+            assert store.get(operation[1]) == model.get(operation[1])
+        else:
+            store.collect_garbage()
+    for key, value in model.items():
+        assert store.get(key) == value
+    assert store.scan("", "zzzz") == sorted(model.items())
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    operations=operations_strategy,
+)
+def test_write_amp_consistency(operations):
+    """Device writes are never less than flushed user payload."""
+    tree = LSMTree(tiny_config("leveling"))
+    for operation in operations:
+        if operation[0] == "put":
+            tree.put(operation[1], operation[2])
+        elif operation[0] == "delete":
+            tree.delete(operation[1])
+    tree.flush()
+    written = tree.disk.counters.bytes_written
+    assert written >= tree.stats.flushed_bytes
+    if tree.stats.user_bytes_written:
+        assert tree.write_amplification() >= 0.0

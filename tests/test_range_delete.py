@@ -1,0 +1,203 @@
+"""Tests for range deletes and range tombstones (§2.3.3)."""
+
+import pytest
+
+from repro.core.config import LSMConfig
+from repro.core.range_tombstone import (
+    RangeTombstone,
+    dedupe,
+    max_covering_seqno,
+    overlapping,
+)
+from repro.core.tree import LSMTree
+from repro.storage.persistence import checkpoint, restore
+
+from .conftest import shuffled_keys
+
+
+def small_tree(**overrides):
+    config = LSMConfig(
+        buffer_size_bytes=1024, target_file_bytes=512, block_bytes=256
+    ).with_overrides(**overrides)
+    return LSMTree(config)
+
+
+class TestRangeTombstone:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RangeTombstone("b", "a", 1)
+        with pytest.raises(ValueError):
+            RangeTombstone("a", "a", 1)
+        with pytest.raises(ValueError):
+            RangeTombstone("a", "b", -1)
+
+    def test_covers_half_open(self):
+        tombstone = RangeTombstone("b", "d", 5)
+        assert not tombstone.covers("a")
+        assert tombstone.covers("b")
+        assert tombstone.covers("c")
+        assert not tombstone.covers("d")
+
+    def test_shadows_only_older(self):
+        tombstone = RangeTombstone("a", "z", 10)
+        assert tombstone.shadows("m", 9)
+        assert not tombstone.shadows("m", 10)
+        assert not tombstone.shadows("m", 11)
+
+    def test_dedupe_by_identity(self):
+        a = RangeTombstone("a", "b", 1)
+        b = RangeTombstone("a", "b", 1)
+        c = RangeTombstone("a", "b", 2)
+        assert len(dedupe([a, b, c])) == 2
+
+    def test_max_covering_seqno(self):
+        tombstones = [
+            RangeTombstone("a", "m", 3),
+            RangeTombstone("f", "z", 7),
+        ]
+        assert max_covering_seqno(tombstones, "b") == 3
+        assert max_covering_seqno(tombstones, "g") == 7
+        assert max_covering_seqno(tombstones, "zz") == -1
+
+    def test_overlapping(self):
+        tombstones = [RangeTombstone("c", "f", 1)]
+        assert overlapping(tombstones, "a", "d") == tombstones
+        assert overlapping(tombstones, "f", "z") == []
+
+
+class TestTreeRangeDelete:
+    def test_validation(self):
+        tree = small_tree()
+        with pytest.raises(ValueError):
+            tree.delete_range("b", "a")
+        with pytest.raises(ValueError):
+            tree.delete_range("", "z")
+
+    def test_hides_covered_keys_in_buffer(self):
+        tree = small_tree(buffer_size_bytes=1 << 20)
+        for index in range(20):
+            tree.put(f"k{index:02d}", "v")
+        tree.delete_range("k05", "k10")
+        assert tree.get("k04") == "v"
+        assert tree.get("k05") is None
+        assert tree.get("k09") is None
+        assert tree.get("k10") == "v"
+
+    def test_hides_covered_keys_on_disk(self):
+        tree = small_tree()
+        keys = shuffled_keys(500)
+        for key in keys:
+            tree.put(key, "v")
+        tree.delete_range("key00000100", "key00000200")
+        for index in range(100, 200, 17):
+            assert tree.get(f"key{index:08d}") is None
+        assert tree.get("key00000099") == "v"
+        assert tree.get("key00000200") == "v"
+
+    def test_scan_skips_covered(self):
+        tree = small_tree()
+        for key in shuffled_keys(300):
+            tree.put(key, "v")
+        tree.delete_range("key00000050", "key00000060")
+        keys = [k for k, _v in tree.scan("key00000045", "key00000065")]
+        assert keys == [f"key{i:08d}" for i in range(45, 50)] + [
+            f"key{i:08d}" for i in range(60, 65)
+        ]
+
+    def test_newer_put_resurrects(self):
+        tree = small_tree()
+        for key in shuffled_keys(200):
+            tree.put(key, "v")
+        tree.delete_range("key00000000", "key00000100")
+        tree.put("key00000042", "back")
+        assert tree.get("key00000042") == "back"
+        assert tree.get("key00000041") is None
+
+    def test_range_delete_of_buffered_and_flushed(self):
+        tree = small_tree()
+        tree.put("a1", "old")
+        tree.flush()
+        tree.put("a2", "buffered")
+        tree.delete_range("a0", "a9")
+        assert tree.get("a1") is None
+        assert tree.get("a2") is None
+
+    def test_compaction_purges_covered_data(self):
+        tree = small_tree()
+        keys = shuffled_keys(400)
+        for key in keys:
+            tree.put(key, "v")
+        tree.delete_range("key00000000", "key00000200")
+        for key in keys:
+            tree.put(key + "x", "fill")
+        tree.flush()
+        tree.compact_all()
+        assert tree.stats.range_tombstones_dropped >= 1
+        assert tree.get("key00000100") is None
+        assert tree.get("key00000300") == "v"
+        breakdown = tree.space_breakdown()
+        live_original = sum(
+            1
+            for k, _ in tree.scan("key00000000", "key00000200")
+            if len(k) == len("key00000000")  # exclude the "...x" fillers
+        )
+        assert live_original == 0
+        assert breakdown["live_bytes"] > 0
+        tree.verify_invariants()
+
+    def test_multiple_overlapping_ranges(self):
+        tree = small_tree()
+        for key in shuffled_keys(300):
+            tree.put(key, "v")
+        tree.delete_range("key00000050", "key00000150")
+        tree.delete_range("key00000100", "key00000250")
+        for index in (60, 120, 200):
+            assert tree.get(f"key{index:08d}") is None
+        assert tree.get("key00000260") == "v"
+
+    def test_stats_and_wal(self, tmp_path):
+        config = LSMConfig(buffer_size_bytes=1 << 20)
+        tree = LSMTree(config, wal_dir=str(tmp_path))
+        tree.put("m1", "v")
+        tree.delete_range("m0", "m9")
+        assert tree.stats.range_deletes == 1
+        recovered = LSMTree.recover(config, str(tmp_path))
+        assert recovered.get("m1") is None
+        recovered.put("m2", "new")
+        assert recovered.get("m2") == "new"
+        recovered.close()
+        tree.close()
+
+    def test_tombstone_only_flush(self):
+        tree = small_tree()
+        tree.put("z1", "v")
+        tree.flush()
+        tree.delete_range("z0", "z9")
+        tree.flush()  # flushes a buffer holding only the range tombstone
+        assert tree.get("z1") is None
+
+    def test_checkpoint_roundtrip_with_tombstones(self, tmp_path):
+        tree = small_tree()
+        for key in shuffled_keys(300):
+            tree.put(key, "v")
+        tree.delete_range("key00000010", "key00000040")
+        checkpoint(tree, str(tmp_path))
+        restored = restore(str(tmp_path))
+        assert restored.get("key00000020") is None
+        assert restored.get("key00000050") == "v"
+        restored.verify_invariants()
+
+    def test_lethe_ttl_bounds_range_tombstones(self):
+        tree = small_tree(
+            tombstone_ttl_us=2000.0,
+            picker="most_tombstones",
+        )
+        for key in shuffled_keys(300):
+            tree.put(key, "v")
+        tree.delete_range("key00000000", "key00000150")
+        for key in shuffled_keys(300, seed=1):
+            tree.put(key + "f", "fill")
+        # The TTL trigger migrates range tombstones down and drops them.
+        assert tree.stats.range_tombstones_dropped >= 1
+        ages = tree.stats.range_tombstone_drop_ages_us
+        assert ages and max(ages) < 60_000.0

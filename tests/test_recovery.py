@@ -1,0 +1,85 @@
+"""Crash-recovery tests: WAL segments + tree rebuild."""
+
+import os
+
+from repro.core.config import LSMConfig
+from repro.core.tree import LSMTree
+
+
+def make_config():
+    return LSMConfig(
+        buffer_size_bytes=1024, target_file_bytes=512, block_bytes=256
+    )
+
+
+class TestWalSegments:
+    def test_segments_created_and_removed(self, tmp_path):
+        tree = LSMTree(make_config(), wal_dir=str(tmp_path))
+        for index in range(10):
+            tree.put(f"k{index}", "v")
+        assert any(name.startswith("wal.") for name in os.listdir(tmp_path))
+        tree.flush()
+        # All buffered data flushed: every segment except the fresh active
+        # one should be deleted.
+        live = [name for name in os.listdir(tmp_path) if name.startswith("wal.")]
+        assert len(live) == 1
+        tree.close()
+
+
+class TestRecovery:
+    def test_recover_buffered_entries(self, tmp_path):
+        tree = LSMTree(make_config(), wal_dir=str(tmp_path))
+        tree.put("k1", "v1")
+        tree.put("k2", "v2")
+        tree.delete("k1")
+        # Simulated crash: no close(), no flush. Reopen from the WAL.
+        recovered = LSMTree.recover(make_config(), str(tmp_path))
+        assert recovered.get("k1") is None
+        assert recovered.get("k2") == "v2"
+        recovered.close()
+        tree.close()
+
+    def test_recovery_preserves_seqnos(self, tmp_path):
+        tree = LSMTree(make_config(), wal_dir=str(tmp_path))
+        tree.put("k", "old")
+        tree.put("k", "new")
+        high_water = tree.seqno
+        recovered = LSMTree.recover(make_config(), str(tmp_path))
+        assert recovered.get("k") == "new"
+        assert recovered.seqno >= high_water
+        recovered.put("k", "newest")
+        assert recovered.get("k") == "newest"
+        recovered.close()
+        tree.close()
+
+    def test_recover_empty_dir(self, tmp_path):
+        recovered = LSMTree.recover(make_config(), str(tmp_path))
+        assert recovered.get("anything") is None
+        recovered.close()
+
+    def test_recover_large_buffer_spills_to_disk(self, tmp_path):
+        config = make_config().with_overrides(buffer_size_bytes=64 * 1024)
+        tree = LSMTree(config, wal_dir=str(tmp_path))
+        for index in range(500):
+            tree.put(f"key{index:06d}", "some-payload")
+        # Crash with everything still buffered (big buffer, no flush).
+        assert tree.total_disk_bytes() == 0
+        small = make_config()  # recover with a small buffer: forces flushes
+        recovered = LSMTree.recover(small, str(tmp_path))
+        assert recovered.total_disk_bytes() > 0
+        for index in range(0, 500, 41):
+            assert recovered.get(f"key{index:06d}") == "some-payload"
+        recovered.verify_invariants()
+        recovered.close()
+        tree.close()
+
+    def test_recovery_consumes_segments(self, tmp_path):
+        tree = LSMTree(make_config(), wal_dir=str(tmp_path))
+        tree.put("a", "1")
+        recovered = LSMTree.recover(make_config(), str(tmp_path))
+        # Old segments were replayed and deleted; the entry is re-logged in
+        # a fresh segment so a second crash still recovers it.
+        twice = LSMTree.recover(make_config(), str(tmp_path))
+        assert twice.get("a") == "1"
+        for handle in (tree, recovered, twice):
+            handle.close()

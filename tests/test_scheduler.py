@@ -1,0 +1,126 @@
+"""Unit tests for the flush/compaction scheduling simulation."""
+
+import pytest
+
+from repro.compaction.scheduler import (
+    FifoPolicy,
+    JobKind,
+    SchedulerSimulation,
+    SilkPolicy,
+    SimulationConfig,
+    ThrottledPolicy,
+    _Job,
+    compare_policies,
+    make_policy,
+)
+
+
+def job(kind, nbytes, sequence):
+    return _Job(kind, nbytes, 0.0, sequence)
+
+
+class TestPolicies:
+    def test_fifo_runs_first_arrival(self):
+        policy = FifoPolicy()
+        jobs = [
+            job(JobKind.DEEP_COMPACTION, 100, 0),
+            job(JobKind.FLUSH, 10, 1),
+        ]
+        allocation = policy.allocate(jobs, 5.0)
+        assert allocation == {0: 5.0}  # the deep compaction blocks the flush
+
+    def test_silk_preempts_for_flush(self):
+        policy = SilkPolicy()
+        jobs = [
+            job(JobKind.DEEP_COMPACTION, 100, 0),
+            job(JobKind.FLUSH, 10, 1),
+        ]
+        allocation = policy.allocate(jobs, 5.0)
+        assert allocation == {1: 5.0}  # flush takes the device
+
+    def test_silk_runs_deep_when_idle(self):
+        policy = SilkPolicy()
+        jobs = [job(JobKind.DEEP_COMPACTION, 100, 0)]
+        assert policy.allocate(jobs, 5.0) == {0: 5.0}
+
+    def test_throttled_shares_bandwidth(self):
+        policy = ThrottledPolicy(compaction_share=0.6)
+        jobs = [
+            job(JobKind.DEEP_COMPACTION, 100, 0),
+            job(JobKind.FLUSH, 10, 1),
+        ]
+        allocation = policy.allocate(jobs, 10.0)
+        assert allocation[1] == pytest.approx(4.0)
+        assert allocation[0] == pytest.approx(6.0)
+        assert sum(allocation.values()) <= 10.0
+
+    def test_throttled_full_band_when_alone(self):
+        policy = ThrottledPolicy()
+        assert policy.allocate([job(JobKind.FLUSH, 1, 0)], 8.0) == {0: 8.0}
+
+    def test_throttled_validation(self):
+        with pytest.raises(ValueError):
+            ThrottledPolicy(compaction_share=1.0)
+
+    def test_empty_jobs(self):
+        for name in ["fifo", "silk", "throttled"]:
+            assert make_policy(name).allocate([], 5.0) == {}
+
+    def test_make_policy_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            make_policy("edf")
+
+
+class TestSimulation:
+    @pytest.fixture
+    def config(self):
+        return SimulationConfig(num_writes=4000, seed=5)
+
+    def test_all_writes_absorbed(self, config):
+        for name in ["fifo", "silk", "throttled"]:
+            result = SchedulerSimulation(config, make_policy(name)).run()
+            assert len(result.write_latencies_us) == config.num_writes
+            assert result.duration_us > 0
+
+    def test_same_arrivals_same_work(self, config):
+        results = compare_policies(config)
+        flushes = {r.finished_jobs.get("flush", 0) for r in results}
+        assert len(flushes) == 1  # identical trace => identical flush count
+
+    def test_silk_beats_fifo_on_tail(self):
+        config = SimulationConfig(num_writes=8000, device_bandwidth=5.0)
+        results = {r.policy: r for r in compare_policies(config)}
+        assert (
+            results["silk"].latency_percentile(0.99)
+            <= results["fifo"].latency_percentile(0.99)
+        )
+        assert results["silk"].stall_events <= results["fifo"].stall_events
+
+    def test_throttled_beats_fifo_on_tail(self):
+        config = SimulationConfig(num_writes=8000, device_bandwidth=5.0)
+        results = {r.policy: r for r in compare_policies(config)}
+        assert (
+            results["throttled"].latency_percentile(0.999)
+            <= results["fifo"].latency_percentile(0.999)
+        )
+
+    def test_overload_grows_latency(self):
+        fast = SimulationConfig(num_writes=3000, device_bandwidth=20.0)
+        slow = SimulationConfig(num_writes=3000, device_bandwidth=2.0)
+        fast_result = SchedulerSimulation(fast, make_policy("fifo")).run()
+        slow_result = SchedulerSimulation(slow, make_policy("fifo")).run()
+        assert (
+            slow_result.latency_percentile(0.99)
+            >= fast_result.latency_percentile(0.99)
+        )
+
+    def test_deterministic(self, config):
+        first = SchedulerSimulation(config, make_policy("silk")).run()
+        second = SchedulerSimulation(config, make_policy("silk")).run()
+        assert first.write_latencies_us == second.write_latencies_us
+
+    def test_summary_keys(self, config):
+        result = SchedulerSimulation(config, make_policy("fifo")).run()
+        assert {"p50_us", "p99_us", "p999_us", "stalls"} <= set(
+            result.summary()
+        )

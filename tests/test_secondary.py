@@ -1,0 +1,119 @@
+"""Tests for secondary indexing (eager and lazy maintenance)."""
+
+import pytest
+
+from repro.core.config import LSMConfig
+from repro.errors import ConfigError
+from repro.secondary.index import IndexedStore, composite_key, split_composite
+
+
+def make_store(mode):
+    config = LSMConfig(
+        buffer_size_bytes=2048, target_file_bytes=1024, block_bytes=512
+    )
+    return IndexedStore("city", mode=mode, config=config)
+
+
+class TestCompositeKeys:
+    def test_roundtrip(self):
+        key = composite_key("boston", "user42")
+        assert split_composite(key) == ("boston", "user42")
+
+    def test_ordering_by_value_then_key(self):
+        assert composite_key("a", "z") < composite_key("b", "a")
+        assert composite_key("a", "1") < composite_key("a", "2")
+
+    def test_rejects_separator(self):
+        with pytest.raises(ValueError):
+            composite_key("bad\x01value", "k")
+        with pytest.raises(ValueError):
+            split_composite("no-separator")
+
+
+@pytest.mark.parametrize("mode", ["eager", "lazy"])
+class TestBothModes:
+    def test_put_then_find(self, mode):
+        store = make_store(mode)
+        store.put("u1", {"city": "boston", "name": "alice"})
+        store.put("u2", {"city": "boston", "name": "bob"})
+        store.put("u3", {"city": "paris", "name": "carol"})
+        hits = store.find_by_value("boston")
+        assert sorted(key for key, _ in hits) == ["u1", "u2"]
+        assert all(record["city"] == "boston" for _, record in hits)
+
+    def test_get_by_primary(self, mode):
+        store = make_store(mode)
+        store.put("u1", {"city": "rome", "name": "dora"})
+        assert store.get("u1")["name"] == "dora"
+        assert store.get("ghost") is None
+
+    def test_update_moves_index_entry(self, mode):
+        store = make_store(mode)
+        store.put("u1", {"city": "boston"})
+        store.put("u1", {"city": "paris"})
+        assert [k for k, _ in store.find_by_value("paris")] == ["u1"]
+        assert store.find_by_value("boston") == []
+
+    def test_delete_removes_from_queries(self, mode):
+        store = make_store(mode)
+        store.put("u1", {"city": "boston"})
+        store.delete("u1")
+        assert store.find_by_value("boston") == []
+        assert store.get("u1") is None
+
+    def test_value_range_query(self, mode):
+        store = make_store(mode)
+        for index, city in enumerate(["atlanta", "boston", "chicago", "denver"]):
+            store.put(f"u{index}", {"city": city})
+        hits = store.find_value_range("b", "d")
+        assert sorted(record["city"] for _, record in hits) == [
+            "boston",
+            "chicago",
+        ]
+
+    def test_many_records(self, mode):
+        store = make_store(mode)
+        for index in range(300):
+            store.put(f"user{index:04d}", {"city": f"city{index % 10}"})
+        hits = store.find_by_value("city3")
+        assert len(hits) == 30
+        assert all(record["city"] == "city3" for _, record in hits)
+
+    def test_unindexed_field_tolerated(self, mode):
+        store = make_store(mode)
+        store.put("u1", {"name": "no-city"})
+        assert store.get("u1") == {"name": "no-city"}
+
+    def test_validation(self, mode):
+        with pytest.raises(ConfigError):
+            IndexedStore("f", mode="batched")
+
+
+class TestModeTradeoff:
+    def test_lazy_leaves_stale_entries_until_queried(self):
+        lazy = make_store("lazy")
+        lazy.put("u1", {"city": "boston"})
+        lazy.put("u1", {"city": "paris"})
+        # Two physical entries exist until a query validates them.
+        assert lazy.index_entry_count() == 2
+        assert [k for k, _ in lazy.find_by_value("paris")] == ["u1"]
+        lazy.find_by_value("boston")  # validation drops the stale entry
+        assert lazy.stale_hits_dropped >= 1
+        assert lazy.index_entry_count() == 1
+
+    def test_eager_index_always_tight(self):
+        eager = make_store("eager")
+        eager.put("u1", {"city": "boston"})
+        eager.put("u1", {"city": "paris"})
+        assert eager.index_entry_count() == 1
+        assert eager.stale_hits_dropped == 0
+
+    def test_eager_writes_cost_more_io(self):
+        def ingest(mode):
+            store = make_store(mode)
+            for index in range(400):
+                store.put(f"u{index % 100:04d}", {"city": f"c{index % 7}"})
+            return store.disk.counters.pages_read
+
+        # Eager maintenance reads before every write; lazy never does.
+        assert ingest("eager") > ingest("lazy")

@@ -1,0 +1,70 @@
+"""Unit tests for the skip-list substrate."""
+
+import random
+
+from repro.core.memtable.skiplist import SkipList
+
+
+class TestBasics:
+    def test_empty(self):
+        sl = SkipList()
+        assert len(sl) == 0
+        assert sl.get("a") is None
+        assert list(sl.items()) == []
+
+    def test_insert_get(self):
+        sl = SkipList()
+        assert sl.insert("a", 1) is None
+        assert sl.get("a") == 1
+
+    def test_insert_replaces_and_returns_old(self):
+        sl = SkipList()
+        sl.insert("a", 1)
+        assert sl.insert("a", 2) == 1
+        assert sl.get("a") == 2
+        assert len(sl) == 1
+
+    def test_contains(self):
+        sl = SkipList()
+        sl.insert("x", 0)
+        assert "x" in sl
+        assert "y" not in sl
+
+    def test_items_sorted(self):
+        sl = SkipList()
+        for key in ["d", "a", "c", "b"]:
+            sl.insert(key, key.upper())
+        assert [k for k, _ in sl.items()] == ["a", "b", "c", "d"]
+
+    def test_items_from(self):
+        sl = SkipList()
+        for key in "abcdef":
+            sl.insert(key, key)
+        assert [k for k, _ in sl.items_from("c")] == ["c", "d", "e", "f"]
+        assert [k for k, _ in sl.items_from("cc")] == ["d", "e", "f"]
+        assert list(sl.items_from("z")) == []
+
+
+class TestScale:
+    def test_random_workload_matches_dict(self):
+        rng = random.Random(42)
+        sl = SkipList(seed=7)
+        model = {}
+        for _ in range(3000):
+            key = f"k{rng.randrange(500):04d}"
+            value = rng.randrange(10**6)
+            sl.insert(key, value)
+            model[key] = value
+        assert len(sl) == len(model)
+        for key, value in model.items():
+            assert sl.get(key) == value
+        assert [k for k, _ in sl.items()] == sorted(model)
+
+    def test_deterministic_for_seed(self):
+        def build(seed):
+            sl = SkipList(seed=seed)
+            for index in range(100):
+                sl.insert(f"k{index:03d}", index)
+            return [pair for pair in sl.items()]
+
+        assert build(3) == build(3)

@@ -1,0 +1,193 @@
+"""Unit tests for SSTables: blocks, lookups, I/O charging."""
+
+import pytest
+
+from repro.core.entry import put, tombstone
+from repro.core.sstable import Block, ReadContext, SSTable
+from repro.core.stats import TreeStats
+from repro.storage.block_cache import BlockCache
+from repro.storage.disk import SimulatedDisk
+
+
+def build_table(disk, count=100, block_bytes=256, fences=True, bits=10.0):
+    entries = [put(f"key{i:05d}", f"value-{i}", i) for i in range(count)]
+    return SSTable.build(
+        entries,
+        disk=disk,
+        block_bytes=block_bytes,
+        fence_pointers=fences,
+        filter_bits_per_key=bits,
+        cause="flush",
+    )
+
+
+class TestBlock:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Block([])
+
+    def test_bounds_and_find(self):
+        block = Block([put("a", "1", 0), put("c", "3", 1)])
+        assert block.first_key == "a"
+        assert block.last_key == "c"
+        assert block.find("a").value == "1"
+        assert block.find("b") is None
+
+
+class TestBuild:
+    def test_rejects_empty(self, disk):
+        with pytest.raises(ValueError):
+            SSTable.build([], disk=disk)
+
+    def test_rejects_unsorted(self, disk):
+        with pytest.raises(ValueError):
+            SSTable.build([put("b", "1", 0), put("a", "2", 1)], disk=disk)
+
+    def test_rejects_duplicate_keys(self, disk):
+        with pytest.raises(ValueError):
+            SSTable.build([put("a", "1", 0), put("a", "2", 1)], disk=disk)
+
+    def test_charges_write(self, disk):
+        table = build_table(disk)
+        assert disk.counters.bytes_written == table.data_bytes
+        assert "flush" in disk.counters.writes_by_cause
+
+    def test_blocks_respect_target_size(self, disk):
+        table = build_table(disk, count=200, block_bytes=128)
+        assert len(table.blocks) > 1
+        for block in table.blocks:
+            assert block.nbytes <= 128 or len(block.entries) == 1
+
+    def test_metadata(self, disk):
+        table = build_table(disk, count=50)
+        assert table.min_key == "key00000"
+        assert table.max_key == "key00049"
+        assert table.entry_count == 50
+        assert table.tombstone_count == 0
+        assert len(table) == 50
+
+    def test_tombstone_tracking(self, disk):
+        disk.advance(100.0)
+        entries = [
+            put("a", "1", 0, stamp_us=10.0),
+            tombstone("b", 1, stamp_us=50.0),
+            tombstone("c", 2, stamp_us=30.0),
+        ]
+        table = SSTable.build(entries, disk=disk)
+        assert table.tombstone_count == 2
+        assert table.oldest_tombstone_us == 30.0
+
+    def test_no_tombstones_means_no_age(self, disk):
+        assert build_table(disk, 5).oldest_tombstone_us is None
+
+
+class TestGet:
+    def test_found(self, disk):
+        table = build_table(disk)
+        ctx = ReadContext(disk, stats=TreeStats())
+        assert table.get("key00042", ctx).value == "value-42"
+
+    def test_missing_in_range(self, disk):
+        table = build_table(disk)
+        ctx = ReadContext(disk)
+        assert table.get("key00042x", ctx) is None
+
+    def test_out_of_range_free(self, disk):
+        table = build_table(disk)
+        before = disk.counters.snapshot()
+        ctx = ReadContext(disk)
+        assert table.get("zzz", ctx) is None
+        assert disk.counters.delta(before).pages_read == 0
+
+    def test_bloom_negative_avoids_io(self, disk):
+        table = build_table(disk, bits=12)
+        stats = TreeStats()
+        ctx = ReadContext(disk, stats=stats)
+        before = disk.counters.snapshot()
+        missing = [f"key{i:05d}nope" for i in range(50)]
+        hits = sum(table.get(key, ctx) is not None for key in missing)
+        assert hits == 0
+        assert stats.filter_negatives > 40  # nearly all skipped in memory
+        delta = disk.counters.delta(before)
+        assert delta.pages_read <= 5  # only the rare false positives
+
+    def test_fenced_lookup_reads_one_block(self, disk):
+        table = build_table(disk, count=300, block_bytes=128, bits=0)
+        before = disk.counters.snapshot()
+        ctx = ReadContext(disk)
+        assert table.get("key00150", ctx) is not None
+        assert disk.counters.delta(before).read_requests == 1
+
+    def test_unfenced_lookup_reads_many_blocks(self, disk):
+        fenced = build_table(disk, count=300, block_bytes=128, bits=0)
+        unfenced = build_table(
+            disk, count=300, block_bytes=128, fences=False, bits=0
+        )
+        before = disk.counters.snapshot()
+        fenced.get("key00290", ReadContext(disk))
+        fenced_reads = disk.counters.delta(before).read_requests
+        before = disk.counters.snapshot()
+        unfenced.get("key00290", ReadContext(disk))
+        unfenced_reads = disk.counters.delta(before).read_requests
+        assert unfenced_reads > fenced_reads
+
+    def test_false_positive_counted(self, disk):
+        table = build_table(disk, count=200, bits=2)  # high FPR
+        stats = TreeStats()
+        ctx = ReadContext(disk, stats=stats)
+        for index in range(150):
+            table.get(f"key{index:05d}x", ctx)  # in-range but absent
+        assert stats.filter_probes == 150
+        assert (
+            stats.filter_negatives
+            + stats.filter_false_positives
+            + stats.fence_misses
+            >= stats.filter_negatives
+        )
+
+    def test_cache_hit_skips_disk(self, disk):
+        table = build_table(disk)
+        cache = BlockCache(1 << 20)
+        stats = TreeStats()
+        ctx = ReadContext(disk, cache=cache, stats=stats)
+        table.get("key00010", ctx)
+        before = disk.counters.snapshot()
+        table.get("key00010", ctx)
+        assert disk.counters.delta(before).pages_read == 0
+        assert stats.blocks_from_cache == 1
+
+
+class TestIterators:
+    def test_iter_entries_ordered(self, disk):
+        table = build_table(disk, count=40)
+        keys = [entry.key for entry in table.iter_entries()]
+        assert keys == sorted(keys)
+        assert len(keys) == 40
+
+    def test_iter_range(self, disk):
+        table = build_table(disk, count=100, block_bytes=128)
+        ctx = ReadContext(disk)
+        keys = [e.key for e in table.iter_range("key00010", "key00015", ctx)]
+        assert keys == [f"key{i:05d}" for i in range(10, 15)]
+
+    def test_iter_range_empty_interval(self, disk):
+        table = build_table(disk)
+        assert list(table.iter_range("b", "a", ReadContext(disk))) == []
+
+    def test_iter_range_charges_only_overlap(self, disk):
+        table = build_table(disk, count=400, block_bytes=128)
+        before = disk.counters.snapshot()
+        list(table.iter_range("key00000", "key00005", ReadContext(disk)))
+        assert disk.counters.delta(before).read_requests <= 2
+
+
+class TestOverlap:
+    def test_key_range_overlaps(self, disk):
+        table = build_table(disk, count=10)
+        assert table.key_range_overlaps("key00005", "zzz")
+        assert not table.key_range_overlaps("zz1", "zz2")
+
+    def test_overlaps_table(self, disk):
+        a = build_table(disk, count=10)
+        b = build_table(disk, count=10)
+        assert a.overlaps_table(b)

@@ -1,0 +1,116 @@
+"""Tests for trace record/replay/characterization."""
+
+import pytest
+
+from repro.workload.generator import Operation, OpKind, WorkloadSpec, generate, ycsb_a
+from repro.workload.traces import characterize, load_trace, save_trace
+
+
+class TestRoundtrip:
+    def test_save_load_identical(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        operations = list(generate(ycsb_a(num_ops=300, key_count=100)))
+        written = save_trace(operations, path)
+        assert written == 300
+        assert list(load_trace(path)) == operations
+
+    def test_all_kinds_roundtrip(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        operations = [
+            Operation(OpKind.READ, "k1"),
+            Operation(OpKind.INSERT, "k2", "v2"),
+            Operation(OpKind.UPDATE, "k3", "v3"),
+            Operation(OpKind.SCAN, "a", end_key="z"),
+            Operation(OpKind.DELETE, "k4"),
+            Operation(OpKind.SINGLE_DELETE, "k5"),
+            Operation(OpKind.READ_MODIFY_WRITE, "k6", "+1"),
+        ]
+        save_trace(operations, path)
+        assert list(load_trace(path)) == operations
+
+    def test_empty_trace(self, tmp_path):
+        path = str(tmp_path / "empty.jsonl")
+        assert save_trace([], path) == 0
+        assert list(load_trace(path)) == []
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        save_trace([Operation(OpKind.READ, "k")], path)
+        with open(path, "a") as handle:
+            handle.write("\n\n")
+        assert len(list(load_trace(path))) == 1
+
+    def test_malformed_line_raises_with_location(self, tmp_path):
+        path = str(tmp_path / "bad.jsonl")
+        save_trace([Operation(OpKind.READ, "k")], path)
+        with open(path, "a") as handle:
+            handle.write("{not json\n")
+        with pytest.raises(ValueError, match=":2"):
+            list(load_trace(path))
+
+    def test_replayable_through_harness(self, tmp_path):
+        from repro.bench.harness import Harness
+        from repro.core.config import LSMConfig
+        from repro.core.tree import LSMTree
+
+        path = str(tmp_path / "trace.jsonl")
+        spec = ycsb_a(num_ops=200, key_count=100, value_size=16)
+        save_trace(generate(spec), path)
+        tree = LSMTree(
+            LSMConfig(buffer_size_bytes=1024, block_bytes=256)
+        )
+        harness = Harness(tree)
+        harness.preload(spec)
+        metrics = harness.run(load_trace(path))
+        assert metrics.operations == 200
+
+
+class TestCharacterize:
+    def test_mix_fractions(self):
+        spec = WorkloadSpec(
+            num_ops=2000,
+            read_fraction=0.7,
+            update_fraction=0.3,
+            distribution="uniform",
+        )
+        profile = characterize(generate(spec))
+        assert profile["total_ops"] == 2000
+        assert abs(profile["mix"]["read"] - 0.7) < 0.05
+        assert abs(profile["mix"]["update"] - 0.3) < 0.05
+
+    def test_footprint_and_values(self):
+        spec = WorkloadSpec(
+            num_ops=1000, key_count=50, value_size=32,
+            distribution="uniform",
+        )
+        profile = characterize(generate(spec))
+        assert profile["unique_keys"] <= 50
+        assert profile["avg_value_bytes"] == 32.0
+
+    def test_skew_detected(self):
+        uniform = characterize(
+            generate(
+                WorkloadSpec(
+                    num_ops=5000, key_count=1000, distribution="uniform"
+                )
+            )
+        )
+        zipfian = characterize(
+            generate(
+                WorkloadSpec(
+                    num_ops=5000, key_count=1000, distribution="zipfian",
+                    theta=0.99,
+                )
+            )
+        )
+        assert zipfian["hot_key_share"] > uniform["hot_key_share"] * 2
+        assert (
+            zipfian["zipf_theta_estimate"]
+            > uniform["zipf_theta_estimate"]
+        )
+        assert zipfian["zipf_theta_estimate"] > 0.5
+
+    def test_empty(self):
+        profile = characterize([])
+        assert profile["total_ops"] == 0
+        assert profile["unique_keys"] == 0

@@ -1,0 +1,247 @@
+"""Integration tests for the LSM tree engine."""
+
+import pytest
+
+from repro.core.config import (
+    LSMConfig,
+    cassandra_like,
+    dostoevsky_like,
+    leveldb_like,
+    rocksdb_like,
+)
+from repro.core.tree import LSMTree
+from repro.errors import ClosedError
+
+from .conftest import shuffled_keys
+
+
+class TestBasicOperations:
+    def test_put_get(self, small_tree):
+        small_tree.put("alpha", "1")
+        assert small_tree.get("alpha") == "1"
+
+    def test_get_missing(self, small_tree):
+        assert small_tree.get("ghost") is None
+
+    def test_update_returns_latest(self, small_tree):
+        small_tree.put("k", "v1")
+        small_tree.put("k", "v2")
+        assert small_tree.get("k") == "v2"
+
+    def test_delete_hides_key(self, small_tree):
+        small_tree.put("k", "v")
+        small_tree.delete("k")
+        assert small_tree.get("k") is None
+
+    def test_delete_of_missing_key_is_fine(self, small_tree):
+        small_tree.delete("never-existed")
+        assert small_tree.get("never-existed") is None
+
+    def test_reinsert_after_delete(self, small_tree):
+        small_tree.put("k", "v1")
+        small_tree.delete("k")
+        small_tree.put("k", "v2")
+        assert small_tree.get("k") == "v2"
+
+    def test_empty_key_rejected(self, small_tree):
+        with pytest.raises(ValueError):
+            small_tree.put("", "v")
+        with pytest.raises(ValueError):
+            small_tree.delete("")
+        with pytest.raises(ValueError):
+            small_tree.single_delete("")
+
+    def test_none_value_rejected(self, small_tree):
+        with pytest.raises(ValueError):
+            small_tree.put("k", None)
+
+    def test_close_makes_operations_fail(self, small_tree):
+        small_tree.put("k", "v")
+        small_tree.close()
+        with pytest.raises(ClosedError):
+            small_tree.put("k2", "v")
+        with pytest.raises(ClosedError):
+            small_tree.get("k")
+        small_tree.close()  # idempotent
+
+    def test_context_manager(self, small_config):
+        with LSMTree(small_config) as tree:
+            tree.put("a", "1")
+        with pytest.raises(ClosedError):
+            tree.get("a")
+
+
+class TestAcrossFlushesAndCompactions:
+    def test_reads_span_all_levels(self, small_config):
+        tree = LSMTree(small_config)
+        keys = shuffled_keys(500)
+        for key in keys:
+            tree.put(key, f"val-{key}")
+        assert len(tree.levels) >= 2  # data actually reached disk levels
+        for key in keys[::17]:
+            assert tree.get(key) == f"val-{key}"
+
+    def test_update_survives_compaction(self, small_config):
+        tree = LSMTree(small_config)
+        for key in shuffled_keys(300):
+            tree.put(key, "old")
+        for key in shuffled_keys(300)[:50]:
+            tree.put(key, "new")
+        for key in shuffled_keys(300):
+            tree.put(key + "x", "filler")  # force more compactions
+        for key in shuffled_keys(300)[:50]:
+            assert tree.get(key) == "new"
+
+    def test_delete_survives_compaction(self, small_config):
+        tree = LSMTree(small_config)
+        keys = shuffled_keys(300)
+        for key in keys:
+            tree.put(key, "v")
+        for key in keys[:40]:
+            tree.delete(key)
+        for key in keys:
+            tree.put(key + "y", "filler")
+        for key in keys[:40]:
+            assert tree.get(key) is None
+        for key in keys[40:60]:
+            assert tree.get(key) == "v"
+
+    def test_explicit_flush(self, small_tree):
+        small_tree.put("k", "v")
+        small_tree.flush()
+        assert small_tree.total_disk_bytes() > 0
+        assert small_tree.get("k") == "v"
+
+    def test_compact_all_reduces_runs(self, small_config):
+        tree = LSMTree(small_config.with_overrides(layout="tiering"))
+        for key in shuffled_keys(400):
+            tree.put(key, "v")
+        tree.flush()
+        before = tree.total_run_count()
+        tree.compact_all()
+        assert tree.total_run_count() <= before
+        assert tree.total_run_count() == 1
+        for key in shuffled_keys(400)[::37]:
+            assert tree.get(key) == "v"
+
+    def test_invariants_after_heavy_churn(self, small_config):
+        tree = LSMTree(small_config)
+        keys = shuffled_keys(250)
+        for round_number in range(3):
+            for key in keys:
+                tree.put(key, f"r{round_number}")
+            for key in keys[::5]:
+                tree.delete(key)
+            tree.verify_invariants()
+        for key in keys:
+            expected = None if key in set(keys[::5]) else "r2"
+            assert tree.get(key) == expected
+
+
+class TestScan:
+    def test_scan_across_components(self, small_config):
+        tree = LSMTree(small_config)
+        for key in shuffled_keys(200):
+            tree.put(key, f"v-{key}")
+        result = tree.scan("key00000050", "key00000060")
+        assert [k for k, _ in result] == [f"key{i:08d}" for i in range(50, 60)]
+        assert all(v == f"v-{k}" for k, v in result)
+
+    def test_scan_sees_latest_version(self, small_config):
+        tree = LSMTree(small_config)
+        for key in shuffled_keys(200):
+            tree.put(key, "old")
+        tree.put("key00000055", "new")
+        result = dict(tree.scan("key00000055", "key00000056"))
+        assert result == {"key00000055": "new"}
+
+    def test_scan_hides_deleted(self, small_config):
+        tree = LSMTree(small_config)
+        for key in shuffled_keys(100):
+            tree.put(key, "v")
+        tree.delete("key00000010")
+        keys = [k for k, _ in tree.scan("key00000009", "key00000012")]
+        assert keys == ["key00000009", "key00000011"]
+
+    def test_empty_scan(self, small_tree):
+        assert small_tree.scan("a", "z") == []
+        small_tree.put("m", "v")
+        assert small_tree.scan("x", "a") == []
+
+
+class TestSingleDelete:
+    def test_hides_key(self, small_tree):
+        small_tree.put("k", "v")
+        small_tree.single_delete("k")
+        assert small_tree.get("k") is None
+
+    def test_annihilates_during_compaction(self, small_config):
+        tree = LSMTree(small_config)
+        keys = shuffled_keys(200)
+        for key in keys:
+            tree.put(key, "v")
+        for key in keys[:30]:
+            tree.single_delete(key)
+        tree.flush()
+        tree.compact_all()
+        for key in keys[:30]:
+            assert tree.get(key) is None
+        # After a major compaction the single-delete tombstones are gone.
+        assert tree.levels[-1].tombstone_count == 0 or tree.stats.tombstones_dropped > 0
+
+
+class TestStatsAndIntrospection:
+    def test_write_amplification_grows_past_one(self, loaded_tree):
+        assert loaded_tree.write_amplification() > 1.0
+
+    def test_space_breakdown(self, loaded_tree):
+        breakdown = loaded_tree.space_breakdown()
+        assert breakdown["live_bytes"] > 0
+        assert breakdown["total_bytes"] >= breakdown["live_bytes"]
+
+    def test_space_amp_of_empty_tree(self, small_tree):
+        assert small_tree.space_amplification() == 0.0
+
+    def test_level_summary_shape(self, loaded_tree):
+        summary = loaded_tree.level_summary()
+        assert summary[0]["level"] == 0
+        assert all(
+            {"level", "runs", "files", "bytes", "capacity", "tombstones"}
+            <= set(row)
+            for row in summary
+        )
+
+    def test_memory_footprint_positive(self, loaded_tree):
+        assert loaded_tree.memory_footprint_bits() > 0
+
+    def test_latency_samples_recorded(self, loaded_tree):
+        assert len(loaded_tree.stats.write_latencies_us) == 600
+        loaded_tree.get("key00000001")
+        assert len(loaded_tree.stats.read_latencies_us) == 1
+
+    def test_counters(self, small_tree):
+        small_tree.put("a", "1")
+        small_tree.delete("a")
+        small_tree.single_delete("b")
+        small_tree.get("a")
+        small_tree.scan("a", "z")
+        stats = small_tree.stats
+        assert (stats.puts, stats.deletes, stats.single_deletes) == (1, 1, 1)
+        assert stats.gets == 1 and stats.scans == 1
+
+
+class TestPresetConfigs:
+    @pytest.mark.parametrize(
+        "factory", [rocksdb_like, cassandra_like, leveldb_like, dostoevsky_like]
+    )
+    def test_presets_ingest_and_read(self, factory):
+        config = factory().with_overrides(
+            buffer_size_bytes=1024, target_file_bytes=512, block_bytes=256
+        )
+        tree = LSMTree(config)
+        keys = shuffled_keys(300, seed=9)
+        for key in keys:
+            tree.put(key, "payload")
+        tree.verify_invariants()
+        for key in keys[::29]:
+            assert tree.get(key) == "payload"

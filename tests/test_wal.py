@@ -1,0 +1,112 @@
+"""Unit tests for the write-ahead log and its recovery contract."""
+
+import pytest
+
+from repro.core.entry import put, tombstone
+from repro.core.wal import WriteAheadLog, _decode, _encode
+from repro.errors import ClosedError, CorruptionError
+from repro.storage.disk import SimulatedDisk
+
+
+class TestCodec:
+    def test_roundtrip_put(self):
+        entry = put("key", "value", 42, stamp_us=17.5)
+        assert _decode(_encode(entry)) == entry
+
+    def test_roundtrip_tombstone(self):
+        entry = tombstone("key", 1)
+        decoded = _decode(_encode(entry))
+        assert decoded == entry
+        assert decoded.is_tombstone
+
+    def test_detects_corruption(self):
+        line = _encode(put("k", "v", 0))
+        corrupted = line.replace("v", "x", 1)
+        with pytest.raises(CorruptionError):
+            _decode(corrupted)
+
+    def test_detects_missing_separator(self):
+        with pytest.raises(CorruptionError):
+            _decode("deadbeef\n")
+
+    def test_detects_bad_checksum_format(self):
+        with pytest.raises(CorruptionError):
+            _decode('zzzz,{"k":"a"}\n')
+
+
+class TestInMemoryWal:
+    def test_append_tracks_pending(self, disk):
+        wal = WriteAheadLog(disk)
+        entries = [put(f"k{i}", "v", i) for i in range(5)]
+        for entry in entries:
+            wal.append(entry)
+        assert wal.pending_entries == entries
+
+    def test_reset_clears(self, disk):
+        wal = WriteAheadLog(disk)
+        wal.append(put("k", "v", 0))
+        wal.reset()
+        assert wal.pending_entries == []
+
+    def test_charges_disk_per_page(self, disk):
+        wal = WriteAheadLog(disk)
+        # Each record is ~60 bytes; a 4096-byte page fills after ~70.
+        for index in range(200):
+            wal.append(put(f"key{index:06d}", "some-value-payload", index))
+        assert disk.counters.writes_by_cause.get("wal", 0) >= 1
+
+    def test_closed_wal_rejects_appends(self, disk):
+        wal = WriteAheadLog(disk)
+        wal.close()
+        with pytest.raises(ClosedError):
+            wal.append(put("k", "v", 0))
+        with pytest.raises(ClosedError):
+            wal.reset()
+
+
+class TestFileWal:
+    def test_replay_roundtrip(self, disk, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(disk, path)
+        entries = [put(f"k{i}", f"v{i}", i) for i in range(10)]
+        for entry in entries:
+            wal.append(entry)
+        wal.close()
+        assert list(WriteAheadLog.replay(path)) == entries
+
+    def test_replay_missing_file(self):
+        assert list(WriteAheadLog.replay("/nonexistent/wal.log")) == []
+
+    def test_replay_tolerates_torn_tail(self, disk, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(disk, path)
+        for index in range(5):
+            wal.append(put(f"k{index}", "v", index))
+        wal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("0badc0de,{\"truncat")  # simulated crash mid-write
+        replayed = list(WriteAheadLog.replay(path))
+        assert len(replayed) == 5
+
+    def test_replay_raises_on_mid_file_corruption(self, disk, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(disk, path)
+        for index in range(5):
+            wal.append(put(f"k{index}", "v", index))
+        wal.close()
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        lines[2] = "00000000," + lines[2].partition(",")[2]
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.writelines(lines)
+        with pytest.raises(CorruptionError):
+            list(WriteAheadLog.replay(path))
+
+    def test_reset_truncates_file(self, disk, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(disk, path)
+        wal.append(put("k", "v", 0))
+        wal.reset()
+        wal.append(put("k2", "v2", 1))
+        wal.close()
+        assert [entry.key for entry in WriteAheadLog.replay(path)] == ["k2"]

@@ -1,0 +1,160 @@
+"""Unit tests for the workload generator."""
+
+import collections
+
+import pytest
+
+from repro.workload.distributions import (
+    LatestKeys,
+    SequentialKeys,
+    UniformKeys,
+    ZipfianKeys,
+    estimate_theta_for_hot_share,
+    format_key,
+    make_distribution,
+    zipf_hot_fraction,
+)
+from repro.workload.generator import (
+    PRESETS,
+    OpKind,
+    WorkloadSpec,
+    delete_heavy,
+    generate,
+    preload_operations,
+    ycsb_a,
+    ycsb_d,
+    ycsb_e,
+)
+
+
+class TestDistributions:
+    def test_uniform_covers_space(self):
+        dist = UniformKeys(100, seed=1)
+        seen = {dist.next_index() for _ in range(3000)}
+        assert len(seen) > 90
+        assert all(0 <= index < 100 for index in seen)
+
+    def test_zipfian_is_skewed(self):
+        dist = ZipfianKeys(10_000, theta=0.99, scramble=False, seed=2)
+        counts = collections.Counter(dist.next_index() for _ in range(20_000))
+        top_share = sum(count for _key, count in counts.most_common(100))
+        assert top_share / 20_000 > 0.3  # top 1% of keys get >30%
+
+    def test_zipfian_scramble_spreads_hot_keys(self):
+        plain = ZipfianKeys(1000, scramble=False, seed=3)
+        hot_plain = collections.Counter(
+            plain.next_index() for _ in range(5000)
+        ).most_common(1)[0][0]
+        assert hot_plain == 0  # unscrambled hot key is rank 0
+        scrambled = ZipfianKeys(1000, scramble=True, seed=3)
+        hot_scrambled = collections.Counter(
+            scrambled.next_index() for _ in range(5000)
+        ).most_common(1)[0][0]
+        assert 0 <= hot_scrambled < 1000
+
+    def test_zipfian_validates_theta(self):
+        with pytest.raises(ValueError):
+            ZipfianKeys(10, theta=1.5)
+
+    def test_latest_tracks_inserts(self):
+        dist = LatestKeys(100, seed=4)
+        dist.notice_insert(5000)
+        samples = [dist.next_index() for _ in range(500)]
+        assert max(samples) == 5000
+        assert sum(1 for s in samples if s > 4900) > 250  # recency skew
+
+    def test_sequential_wraps(self):
+        dist = SequentialKeys(3)
+        assert [dist.next_index() for _ in range(5)] == [0, 1, 2, 0, 1]
+
+    def test_factory(self):
+        for name in ["uniform", "zipfian", "latest", "sequential"]:
+            assert make_distribution(name, 10).next_index() in range(10)
+        with pytest.raises(ValueError):
+            make_distribution("pareto", 10)
+
+    def test_key_count_validated(self):
+        with pytest.raises(ValueError):
+            UniformKeys(0)
+
+    def test_zipf_hot_fraction_monotone(self):
+        assert zipf_hot_fraction(1000, 0.99, 100) > zipf_hot_fraction(
+            1000, 0.5, 100
+        )
+
+    def test_estimate_theta(self):
+        theta = estimate_theta_for_hot_share(10_000, 0.01, 0.5)
+        share = zipf_hot_fraction(10_000, theta, 100)
+        assert abs(share - 0.5) < 0.05
+
+
+class TestSpecValidation:
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(read_fraction=0.9, update_fraction=0.0)
+
+    def test_negative_ops_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(num_ops=-1)
+
+    def test_with_overrides_revalidates(self):
+        spec = ycsb_a()
+        with pytest.raises(ValueError):
+            spec.with_overrides(read_fraction=0.9)
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        spec = ycsb_a(num_ops=200, key_count=50)
+        assert list(generate(spec)) == list(generate(spec))
+
+    def test_mix_approximates_fractions(self):
+        spec = WorkloadSpec(
+            num_ops=5000,
+            read_fraction=0.6,
+            update_fraction=0.3,
+            delete_fraction=0.1,
+            distribution="uniform",
+        )
+        counts = collections.Counter(op.kind for op in generate(spec))
+        assert abs(counts[OpKind.READ] / 5000 - 0.6) < 0.05
+        assert abs(counts[OpKind.UPDATE] / 5000 - 0.3) < 0.05
+        assert abs(counts[OpKind.DELETE] / 5000 - 0.1) < 0.02
+
+    def test_inserts_extend_key_space(self):
+        spec = ycsb_d(num_ops=2000, key_count=100)
+        inserted = [
+            op.key for op in generate(spec) if op.kind is OpKind.INSERT
+        ]
+        assert inserted[0] == format_key(100)
+        assert inserted == sorted(inserted)
+
+    def test_scans_have_end_keys(self):
+        spec = ycsb_e(num_ops=100, key_count=100, scan_width_keys=10)
+        for op in generate(spec):
+            if op.kind is OpKind.SCAN:
+                assert op.end_key is not None and op.end_key > op.key
+
+    def test_writes_have_values_of_requested_size(self):
+        spec = ycsb_a(num_ops=100, value_size=32)
+        for op in generate(spec):
+            if op.kind is OpKind.UPDATE:
+                assert len(op.value) == 32
+
+    def test_preload_covers_universe(self):
+        spec = ycsb_a(key_count=25)
+        ops = list(preload_operations(spec))
+        assert len(ops) == 25
+        assert all(op.kind is OpKind.INSERT for op in ops)
+        assert ops[0].key == format_key(0)
+
+    def test_delete_heavy_preset(self):
+        spec = delete_heavy(num_ops=1000)
+        counts = collections.Counter(op.kind for op in generate(spec))
+        assert counts[OpKind.DELETE] > 300
+
+    def test_all_presets_generate(self):
+        for name, factory in PRESETS.items():
+            spec = factory(num_ops=50, key_count=20)
+            ops = list(generate(spec))
+            assert len(ops) == 50, name
