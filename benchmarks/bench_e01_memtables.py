@@ -19,10 +19,10 @@ from repro.core.entry import put as put_entry
 from repro.core.memtable import make_memtable
 from repro.bench.report import format_table, ratio
 
-from common import save_and_print
+from common import save_and_print, scaled
 
 KINDS = ["vector", "skiplist", "hash_skiplist", "hash_linkedlist"]
-NUM_OPS = 30_000
+NUM_OPS = scaled(30_000)
 KEY_SPACE = 8_000
 
 

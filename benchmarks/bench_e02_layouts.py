@@ -12,12 +12,12 @@ from __future__ import annotations
 from repro.bench.report import format_table
 from repro.core.tree import LSMTree
 
-from common import bench_config, save_and_print, shuffled_keys
+from common import bench_config, save_and_print, scaled, shuffled_keys
 
 LAYOUTS = ["leveling", "lazy_leveling", "hybrid", "tiering"]
-NUM_KEYS = 12_000
+NUM_KEYS = scaled(12_000)
 UPDATE_ROUNDS = 2  # full update passes: the duplicates space amp feeds on
-LOOKUPS = 400
+LOOKUPS = scaled(400)
 
 
 def _run_layout(layout: str):

@@ -11,10 +11,10 @@ from __future__ import annotations
 from repro.bench.report import format_table, ratio
 from repro.core.tree import LSMTree
 
-from common import bench_config, save_and_print, shuffled_keys
+from common import bench_config, save_and_print, scaled, shuffled_keys
 
-NUM_KEYS = 12_000
-LOOKUPS = 300
+NUM_KEYS = scaled(12_000)
+LOOKUPS = scaled(300)
 
 
 def _run(fences: bool, filters: bool):

@@ -13,10 +13,10 @@ from repro.core.tree import LSMTree
 from repro.bench.report import format_table
 from repro.workload.distributions import ZipfianKeys
 
-from common import bench_config, save_and_print, shuffled_keys
+from common import QUICK, bench_config, save_and_print, scaled, shuffled_keys
 
-NUM_KEYS = 10_000
-PHASE_READS = 4_000
+NUM_KEYS = scaled(10_000)
+PHASE_READS = scaled(4_000)
 INSERT_EVERY = 2  # one insert per two reads keeps compactions coming
 
 SETTINGS = [
@@ -85,6 +85,8 @@ def test_e05_block_cache_and_prefetch(benchmark):
     by_label = {row["label"]: row for row in results}
     plain = by_label["cache 96 KiB"]
     prefetching = by_label["cache 96 KiB + prefetch"]
+    if QUICK:
+        return  # the claim checks below need full scale
     # (a) Caching cuts read I/O versus no cache.
     assert plain["get_pages"] < by_label["no cache"]["get_pages"]
     # (b) Compactions really do evict cached blocks.

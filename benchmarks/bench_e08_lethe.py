@@ -13,9 +13,9 @@ from repro.bench.report import format_table
 from repro.compaction.lethe import DeletePersistenceReport, lethe_config
 from repro.core.tree import LSMTree
 
-from common import bench_config, save_and_print, shuffled_keys
+from common import bench_config, save_and_print, scaled, shuffled_keys
 
-NUM_KEYS = 12_000
+NUM_KEYS = scaled(12_000)
 DELETE_FRACTION = 3  # delete every 3rd key
 
 TTLS_US = [20_000.0, 60_000.0, 150_000.0]

@@ -20,7 +20,7 @@ from repro.filters.prefix_bloom import PrefixBloomFilter
 from repro.filters.rosetta import RosettaFilter
 from repro.filters.surf import SurfFilter
 
-from common import save_and_print
+from common import save_and_print, scaled
 
 DOMAIN_BITS = 20
 DOMAIN = 1 << DOMAIN_BITS
@@ -28,7 +28,7 @@ NUM_CLUSTERS = 40
 CLUSTER_SIZE = 50
 SHORT_WIDTH = 8
 LONG_WIDTH = 1 << 14  # 16384-wide ranges
-PROBES = 400
+PROBES = scaled(400)
 
 
 def _key(value: int) -> str:

@@ -14,11 +14,11 @@ from repro.bench.report import format_table
 from repro.partition.store import PartitionedStore, range_boundaries
 from repro.workload.distributions import format_key
 
-from common import bench_config, save_and_print
+from common import bench_config, save_and_print, scaled
 
-NUM_KEYS = 15_000
+NUM_KEYS = scaled(15_000)
 SHARD_COUNTS = [1, 4, 16]
-LOOKUPS = 300
+LOOKUPS = scaled(300)
 
 
 def _run(num_shards: int):

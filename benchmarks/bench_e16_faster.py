@@ -17,12 +17,12 @@ from repro.faster.store import FasterStore
 from repro.storage.disk import SimulatedDisk
 from repro.workload.distributions import ZipfianKeys
 
-from common import bench_config, save_and_print, shuffled_keys
+from common import QUICK, bench_config, save_and_print, scaled, shuffled_keys
 
-NUM_KEYS = 8_000
-RMW_OPS = 12_000
-POINT_READS = 2_000
-SCANS = 40
+NUM_KEYS = scaled(8_000)
+RMW_OPS = scaled(12_000)
+POINT_READS = scaled(2_000)
+SCANS = scaled(40)
 
 
 def _load(store, keys):
@@ -114,6 +114,8 @@ def test_e16_faster_vs_lsm(benchmark):
     save_and_print("E16", table)
 
     classic, merge_based, faster = results
+    if QUICK:
+        return  # the claim checks below need full scale
     # FASTER beats the classic read-modify-write loop handily; the LSM's
     # blind merge operator closes the gap on the write side (§2.2.6).
     assert faster["rmw_ms"] < classic["rmw_ms"]

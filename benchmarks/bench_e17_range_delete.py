@@ -14,9 +14,9 @@ from __future__ import annotations
 from repro.bench.report import format_table
 from repro.core.tree import LSMTree
 
-from common import bench_config, save_and_print, shuffled_keys
+from common import bench_config, save_and_print, scaled, shuffled_keys
 
-NUM_KEYS = 10_000
+NUM_KEYS = scaled(10_000)
 DELETED_SPAN = 3_000  # keys [2000, 5000) get deleted
 TTL_US = 30_000.0
 

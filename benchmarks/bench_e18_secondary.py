@@ -16,11 +16,11 @@ from repro.bench.report import format_table
 from repro.core.config import LSMConfig
 from repro.secondary.index import IndexedStore
 
-from common import save_and_print
+from common import save_and_print, scaled
 
-NUM_RECORDS = 2_500
-UPDATES = 2_500
-QUERIES = 120
+NUM_RECORDS = scaled(2_500)
+UPDATES = scaled(2_500)
+QUERIES = scaled(120)
 CITIES = 25
 
 

@@ -20,6 +20,22 @@ from repro.core.config import LSMConfig
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
+#: CI smoke mode: set ``REPRO_BENCH_QUICK=1`` to shrink every experiment's
+#: operation counts via :func:`scaled`. Quick runs only check that the
+#: benchmarks *execute*; ordering claims that need full scale to stabilize
+#: are gated behind ``if not QUICK``.
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+#: Divisor applied by :func:`scaled` in quick mode.
+QUICK_DIVISOR = 20
+
+
+def scaled(count: int, floor: int = 50) -> int:
+    """``count`` at full scale; ``count / QUICK_DIVISOR`` (>= floor) quick."""
+    if not QUICK:
+        return count
+    return max(floor, count // QUICK_DIVISOR)
+
 
 def bench_config(**overrides: object) -> LSMConfig:
     """The standard configuration the experiments perturb."""

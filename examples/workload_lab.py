@@ -47,7 +47,7 @@ def main() -> None:
 
         profile = characterize(load_trace(trace_path))
         print("trace characterization (the [23]-style profile):")
-        print(f"   operation mix      : " + ", ".join(
+        print("   operation mix      : " + ", ".join(
             f"{kind} {fraction:.0%}"
             for kind, fraction in profile["mix"].items()
         ))

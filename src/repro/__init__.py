@@ -37,6 +37,7 @@ from .core.range_tombstone import RangeTombstone
 from .core.stats import TreeStats
 from .core.tree import LSMTree
 from .errors import (
+    BackgroundError,
     ClosedError,
     CompactionError,
     ConfigError,
@@ -66,6 +67,7 @@ __all__ = [
     "SimulatedDisk",
     "DiskProfile",
     "ReproError",
+    "BackgroundError",
     "ClosedError",
     "ConfigError",
     "CorruptionError",

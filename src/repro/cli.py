@@ -135,8 +135,10 @@ def command_robust(args: argparse.Namespace) -> int:
             [
                 (
                     "tuning",
-                    f"{result.nominal_tuning.layout}/T={result.nominal_tuning.size_ratio}",
-                    f"{result.robust_tuning.layout}/T={result.robust_tuning.size_ratio}",
+                    f"{result.nominal_tuning.layout}"
+                    f"/T={result.nominal_tuning.size_ratio}",
+                    f"{result.robust_tuning.layout}"
+                    f"/T={result.robust_tuning.size_ratio}",
                 ),
                 (
                     "cost at expected workload",

@@ -209,29 +209,64 @@ class CompactionExecutor:
         Returns the output tables (empty when everything was GC'd or the
         job was a trivial move).
         """
-        # A trivial move relinks files without rewriting them — which must
-        # not happen when the job's purpose is garbage collection: a
-        # bottommost job carrying tombstones has to pass through the merge
-        # so they are actually dropped (otherwise a TTL-triggered bottom
-        # rewrite would relink forever without ever purging).
+        if self.trivial_move_applies(job, bottommost, target_leveled):
+            self.trivial_move(job, levels)
+            return list(job.source_tables)
+
+        output_tables = self.merge_job(job, bottommost)
+        self.install_job(job, levels, output_tables, target_leveled)
+        self.refresh_cache(job, output_tables)
+        return output_tables
+
+    def trivial_move_applies(
+        self, job: CompactionJob, bottommost: bool, target_leveled: bool
+    ) -> bool:
+        """Whether the job can relink files instead of rewriting them.
+
+        A trivial move must not happen when the job's purpose is garbage
+        collection: a bottommost job carrying tombstones has to pass
+        through the merge so they are actually dropped (otherwise a
+        TTL-triggered bottom rewrite would relink forever without ever
+        purging).
+        """
         carries_tombstones = any(
             table.tombstone_count or table.range_tombstones
             for table in job.source_tables
         )
-        if (
+        return (
             job.is_trivial_move
             and not job.source_runs
             and target_leveled
             and not (bottommost and carries_tombstones)
-        ):
-            self._trivial_move(job, levels)
-            return list(job.source_tables)
+        )
 
-        output_tables = self._merge_and_write(job, bottommost)
-        self._splice(job, levels, output_tables, target_leveled)
-        self._refresh_cache(job, output_tables)
-        self.stats.compactions += 1
-        return output_tables
+    def merge_job(self, job: CompactionJob, bottommost: bool) -> List[SSTable]:
+        """Sort-merge the job's inputs into new tables (no level splicing).
+
+        This is the long, I/O-heavy half of a compaction. It only *reads*
+        the immutable input tables, so background workers run it without
+        holding the tree's manifest lock; :meth:`install_job` then commits
+        the result under the lock.
+        """
+        return self._merge_and_write(job, bottommost)
+
+    def install_job(
+        self,
+        job: CompactionJob,
+        levels: List[Level],
+        outputs: List[SSTable],
+        target_leveled: bool,
+    ) -> None:
+        """Atomically swap the job's inputs for ``outputs`` in the levels."""
+        self._splice(job, levels, outputs, target_leveled)
+        self.stats.incr("compactions")
+
+    def trivial_move(self, job: CompactionJob, levels: List[Level]) -> None:
+        """Relink non-overlapping files into the target level, I/O-free.
+
+        Not counted in ``stats.compactions`` — a relink does no merge work.
+        """
+        self._trivial_move(job, levels)
 
     # -- internals ----------------------------------------------------------
 
@@ -239,7 +274,7 @@ class CompactionExecutor:
         self, job: CompactionJob, bottommost: bool
     ) -> List[SSTable]:
         self.disk.read(job.input_bytes, cause="compaction")
-        self.stats.compaction_bytes_read += job.input_bytes
+        self.stats.incr("compaction_bytes_read", job.input_bytes)
 
         sources: List[Iterator[Entry]] = []
         input_tables: List[SSTable] = list(job.source_tables) + list(
@@ -267,8 +302,8 @@ class CompactionExecutor:
             cover_seqno = max_covering_seqno(job_tombstones, key)
             if cover_seqno >= 0:
                 live = [v for v in versions if v.seqno > cover_seqno]
-                self.stats.entries_garbage_collected += len(versions) - len(
-                    live
+                self.stats.incr(
+                    "entries_garbage_collected", len(versions) - len(live)
                 )
                 versions = live
                 if not versions:
@@ -276,21 +311,23 @@ class CompactionExecutor:
             survivor, garbage, dropped = reconcile(
                 versions, bottommost, self.merge_operator
             )
-            self.stats.entries_garbage_collected += garbage
+            self.stats.incr("entries_garbage_collected", garbage)
             if dropped:
-                self.stats.tombstones_dropped += dropped
-                self.stats.tombstone_drop_ages_us.append(
-                    self.disk.now_us - versions[0].stamp_us
+                self.stats.incr("tombstones_dropped", dropped)
+                self.stats.add_sample(
+                    "tombstone_drop_ages_us",
+                    self.disk.now_us - versions[0].stamp_us,
                 )
             if survivor is not None:
                 survivors.append(survivor)
 
         if bottommost and job_tombstones:
-            self.stats.range_tombstones_dropped += len(job_tombstones)
-            self.stats.range_tombstone_drop_ages_us.extend(
-                self.disk.now_us - tombstone.stamp_us
-                for tombstone in job_tombstones
-            )
+            self.stats.incr("range_tombstones_dropped", len(job_tombstones))
+            for tombstone in job_tombstones:
+                self.stats.add_sample(
+                    "range_tombstone_drop_ages_us",
+                    self.disk.now_us - tombstone.stamp_us,
+                )
             carried_tombstones: List[RangeTombstone] = []
         else:
             carried_tombstones = job_tombstones
@@ -301,8 +338,9 @@ class CompactionExecutor:
             level_index=job.target_level,
             range_tombstones=carried_tombstones,
         )
-        self.stats.compaction_bytes_written += sum(
-            table.data_bytes for table in output_tables
+        self.stats.incr(
+            "compaction_bytes_written",
+            sum(table.data_bytes for table in output_tables),
         )
         return output_tables
 
@@ -452,7 +490,7 @@ class CompactionExecutor:
                     remaining_runs.append(run)
             source.runs = remaining_runs
 
-    def _refresh_cache(
+    def refresh_cache(
         self, job: CompactionJob, outputs: List[SSTable]
     ) -> None:
         """Invalidate retired files; optionally prefetch hot output blocks.

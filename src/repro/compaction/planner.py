@@ -16,16 +16,17 @@ runs, exactly as RocksDB merges all L0 files.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import AbstractSet, FrozenSet, List, Optional
 
 from ..core.config import LSMConfig
 from ..core.level import Level
-from ..core.run import SortedRun
 from ..core.sstable import SSTable
 from ..errors import CompactionError
 from .layouts import LayoutPolicy
 from .picker import FilePicker
 from .primitives import CompactionJob, Granularity, Trigger
+
+_NO_BUSY: FrozenSet[int] = frozenset()
 
 
 @dataclass
@@ -66,9 +67,27 @@ class CompactionPlanner:
         self, levels: List[Level], now_us: float
     ) -> Optional[PlanResult]:
         """The next due job, or ``None`` when the tree satisfies its shape."""
+        return self.plan_background(levels, now_us, _NO_BUSY)
+
+    def plan_background(
+        self,
+        levels: List[Level],
+        now_us: float,
+        busy: AbstractSet[int],
+    ) -> Optional[PlanResult]:
+        """The next due job avoiding ``busy`` levels, or ``None``.
+
+        Background compaction workers pass the set of level indices already
+        involved in an in-flight job: a level being read or rewritten by
+        one worker must not be planned as another job's source or target,
+        but *disjoint* jobs may run in parallel (§2.2.3's concurrent
+        compactions). With no busy levels this is exactly :meth:`plan`.
+        """
         last = last_data_level(levels)
         for level in levels:
             if level.is_empty:
+                continue
+            if level.index in busy or level.index + 1 in busy:
                 continue
             max_runs = self.layout.max_runs(level.index, last)
             if level.run_count > max_runs:
@@ -83,7 +102,7 @@ class CompactionPlanner:
             if level.data_bytes > capacity * allowance:
                 return self._plan_overflow(levels, level, last)
         if self.config.tombstone_ttl_us > 0:
-            return self._plan_ttl(levels, last, now_us)
+            return self._plan_ttl(levels, last, now_us, busy)
         return None
 
     def plan_manual(
@@ -118,12 +137,18 @@ class CompactionPlanner:
         return self._plan_drain(levels, level, last, Trigger.LEVEL_SATURATION)
 
     def _plan_ttl(
-        self, levels: List[Level], last: int, now_us: float
+        self,
+        levels: List[Level],
+        last: int,
+        now_us: float,
+        busy: AbstractSet[int] = _NO_BUSY,
     ) -> Optional[PlanResult]:
         """Lethe: compact the file whose tombstones exceeded their TTL."""
         ttl = self.config.tombstone_ttl_us
         for level in levels:
             if level.is_empty:
+                continue
+            if level.index in busy or level.index + 1 in busy:
                 continue
             # The bottom level is included too: compacting it one level
             # down (into an empty level, hence bottommost) purges expired

@@ -215,11 +215,10 @@ class SchedulerSimulation:
     ) -> None:
         self.config = config
         self.policy = policy
-        self._rng = random.Random(config.seed)
 
     # -- arrival process ------------------------------------------------------
 
-    def _arrival_times(self) -> List[float]:
+    def _arrival_times(self, rng: random.Random) -> List[float]:
         """Poisson arrivals with a square-wave rate (burst / quiet)."""
         cfg = self.config
         times: List[float] = []
@@ -227,17 +226,23 @@ class SchedulerSimulation:
         while len(times) < cfg.num_writes:
             phase = (now % (cfg.burst_us + cfg.quiet_us))
             rate = cfg.burst_rate if phase < cfg.burst_us else cfg.quiet_rate
-            now += -math.log(1.0 - self._rng.random()) / rate
+            now += -math.log(1.0 - rng.random()) / rate
             times.append(now)
         return times
 
     # -- main loop -------------------------------------------------------------
 
     def run(self) -> SimulationResult:
-        """Simulate the full write stream; returns latency statistics."""
+        """Simulate the full write stream; returns latency statistics.
+
+        Deterministic: every randomness flows from a ``random.Random``
+        seeded with ``config.seed`` and created afresh per call, so
+        repeated ``run()`` calls on one instance — and runs on separate
+        instances with equal configs — produce identical results.
+        """
         cfg = self.config
         result = SimulationResult(policy=self.policy.name)
-        arrivals = self._arrival_times()
+        arrivals = self._arrival_times(random.Random(cfg.seed))
 
         now = 0.0
         next_sequence = 0

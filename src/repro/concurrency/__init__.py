@@ -1,0 +1,32 @@
+"""Background execution of flushes and compactions (§2.1.2, §2.2.3).
+
+The synchronous engine charges flush and compaction time to the triggering
+write — which is exactly how write stalls manifest, and what experiment
+E13's discrete-event simulation then relaxes *in simulation*. This package
+relaxes it *for real*: :class:`BackgroundWorkerPool` runs configurable
+flush and compaction worker threads, and :class:`BackgroundCoordinator`
+wires them into an :class:`~repro.core.tree.LSMTree` with
+
+* SILK-style priority — flushes have dedicated workers, and compaction
+  workers drain L0→L1 before deeper levels (the planner's scan order),
+  so ingestion's critical path is served first;
+* a bounded immutable-buffer queue with slowdown/stop backpressure
+  accounted in :class:`~repro.core.stats.TreeStats`;
+* version-style snapshot reads — gets and scans never block behind a
+  running compaction;
+* graceful shutdown — ``close()`` drains pending work and joins workers —
+  and RocksDB-style background-error surfacing via
+  :class:`~repro.errors.BackgroundError`.
+
+Enable it with ``LSMConfig(background_mode=True, flush_threads=...,
+compaction_threads=...)``; benchmark E21 compares the two modes.
+"""
+
+from .coordinator import BackgroundCoordinator, ImmutableBuffer
+from .pool import BackgroundWorkerPool
+
+__all__ = [
+    "BackgroundCoordinator",
+    "BackgroundWorkerPool",
+    "ImmutableBuffer",
+]

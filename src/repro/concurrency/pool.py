@@ -1,0 +1,119 @@
+"""A small pool of background worker threads with cooperative scheduling.
+
+Workers repeatedly call a *step* function that performs one unit of work
+(claim-and-flush one buffer, plan-and-run one compaction) and reports
+whether any work was available. Idle workers park on a condition variable
+until :meth:`BackgroundWorkerPool.kick` announces new work; a short wait
+timeout backstops missed wakeups. Exceptions escaping a step are captured —
+never propagated into the thread — so the owning tree can surface them on
+the next foreground operation (see :class:`~repro.errors.BackgroundError`).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, List, Optional
+
+#: Seconds an idle worker sleeps before re-polling, as a missed-wakeup
+#: backstop; real wakeups come from :meth:`BackgroundWorkerPool.kick`.
+IDLE_WAIT_S = 0.02
+
+#: A unit of background work: returns True if it found work to do.
+WorkStep = Callable[[], bool]
+
+
+class BackgroundWorkerPool:
+    """Named worker threads stepping work functions until stopped.
+
+    The pool is deliberately policy-free: *what* a worker does (and in
+    which priority order) lives in the step callables the coordinator
+    provides. The pool owns thread lifecycle — spawn, park/wake, pause for
+    tests, drain-friendly idleness tracking, and join on stop.
+    """
+
+    def __init__(self, name: str = "lsm-bg") -> None:
+        self.name = name
+        self._threads: List[threading.Thread] = []
+        self._cv = threading.Condition()
+        self._stopped = False
+        self._paused = False
+        self._active_workers = 0
+        self._errors: List[BaseException] = []
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def spawn(self, role: str, count: int, step: WorkStep) -> None:
+        """Start ``count`` daemon threads running ``step`` in a loop."""
+        for index in range(count):
+            thread = threading.Thread(
+                target=self._run,
+                args=(step,),
+                name=f"{self.name}-{role}-{index}",
+                daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    def stop(self) -> None:
+        """Stop all workers and join them. Idempotent."""
+        with self._cv:
+            self._stopped = True
+            self._cv.notify_all()
+        for thread in self._threads:
+            thread.join()
+        self._threads = []
+
+    # -- coordination -------------------------------------------------------
+
+    def kick(self) -> None:
+        """Wake idle workers: new work may be available."""
+        with self._cv:
+            self._cv.notify_all()
+
+    def pause(self) -> None:
+        """Park all workers after their current step (test/maintenance)."""
+        with self._cv:
+            self._paused = True
+
+    def resume(self) -> None:
+        """Undo :meth:`pause`."""
+        with self._cv:
+            self._paused = False
+            self._cv.notify_all()
+
+    def quiescent(self) -> bool:
+        """Whether no worker is currently inside a step."""
+        with self._cv:
+            return self._active_workers == 0
+
+    @property
+    def first_error(self) -> Optional[BaseException]:
+        """The first exception captured from any worker, if any."""
+        with self._cv:
+            return self._errors[0] if self._errors else None
+
+    # -- worker loop --------------------------------------------------------
+
+    def _run(self, step: WorkStep) -> None:
+        while True:
+            with self._cv:
+                while self._paused and not self._stopped:
+                    self._cv.wait()
+                if self._stopped:
+                    return
+                self._active_workers += 1
+            did_work = False
+            try:
+                did_work = step()
+            except BaseException as exc:  # surfaced via first_error
+                with self._cv:
+                    self._errors.append(exc)
+            finally:
+                with self._cv:
+                    self._active_workers -= 1
+                    self._cv.notify_all()
+            if not did_work:
+                with self._cv:
+                    if self._stopped:
+                        return
+                    self._cv.wait(IDLE_WAIT_S)

@@ -93,6 +93,20 @@ class LSMConfig:
             tombstones older than the TTL (§2.3.3).
         max_levels: Safety cap on tree depth.
         seed: Seed for any randomized tie-breaking, for reproducibility.
+        background_mode: Run flushes and compactions on background worker
+            threads (§2.1.2, §2.2.3) instead of charging them to the
+            triggering write. The default keeps the engine synchronous so
+            experiments stay deterministic; background mode trades that
+            determinism for real SILK-style asynchrony with write-stall
+            backpressure (see :mod:`repro.concurrency`).
+        flush_threads: Background flush workers (``background_mode`` only).
+        compaction_threads: Background compaction workers
+            (``background_mode`` only). Disjoint-level jobs run in
+            parallel; flushes and L0→L1 jobs take priority (SILK, §2.2.3).
+        slowdown_sleep_us: Wall-clock delay injected per write while
+            Level 0 is at its run limit but below the stop trigger
+            (RocksDB's slowdown trigger, §2.2.3). ``0`` disables the
+            slowdown; writes then only block at the hard stop.
     """
 
     buffer_size_bytes: int = 64 * 1024
@@ -114,6 +128,10 @@ class LSMConfig:
     tombstone_ttl_us: float = 0.0
     max_levels: int = 16
     seed: int = 7
+    background_mode: bool = False
+    flush_threads: int = 1
+    compaction_threads: int = 1
+    slowdown_sleep_us: float = 500.0
     extras: Tuple[Tuple[str, object], ...] = field(default=())
 
     def __post_init__(self) -> None:
@@ -162,6 +180,12 @@ class LSMConfig:
             raise ConfigError("tombstone_ttl_us must be non-negative")
         if self.max_levels < 2:
             raise ConfigError("max_levels must be at least 2")
+        if self.flush_threads < 1:
+            raise ConfigError("flush_threads must be at least 1")
+        if self.compaction_threads < 1:
+            raise ConfigError("compaction_threads must be at least 1")
+        if self.slowdown_sleep_us < 0:
+            raise ConfigError("slowdown_sleep_us must be non-negative")
 
     def with_overrides(self, **overrides: object) -> "LSMConfig":
         """Return a copy with the given fields replaced (re-validated)."""

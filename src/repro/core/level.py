@@ -103,6 +103,16 @@ class Level:
         """Runs in recency order (index 0 is newest)."""
         return iter(self.runs)
 
+    def runs_snapshot(self) -> List[SortedRun]:
+        """A point-in-time copy of the run list, newest first.
+
+        Runs and their SSTables are immutable once built, so copying the
+        list under the tree's manifest lock yields a consistent version
+        that reads can traverse while background compactions swap the live
+        list (version-style snapshot isolation, §2.2.3).
+        """
+        return list(self.runs)
+
     def overlapping_run_bytes(self, lo: str, hi: str) -> int:
         """Bytes of this level's files overlapping ``[lo, hi]``.
 

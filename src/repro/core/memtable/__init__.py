@@ -1,6 +1,7 @@
 """Memory-buffer implementations (§2.1.1-A, §2.2.1)."""
 
 from .base import MemTable
+from .locked import LockedMemTable
 from .skiplist import SkipList
 from .variants import (
     HashLinkedListMemTable,
@@ -13,6 +14,7 @@ from .variants import (
 __all__ = [
     "MemTable",
     "SkipList",
+    "LockedMemTable",
     "VectorMemTable",
     "SkipListMemTable",
     "HashSkipListMemTable",

@@ -1,0 +1,63 @@
+"""A thread-safe decorator for memory buffers (background mode, §2.2.3).
+
+The four buffer implementations are single-threaded by design — the
+synchronous engine never reads and writes one concurrently. Background mode
+does: client threads insert into (and read) the active buffer while flush
+workers drain rotated ones and concurrent readers probe both.
+:class:`LockedMemTable` wraps any :class:`~repro.core.memtable.base.MemTable`
+with one reentrant lock per buffer, the granularity RocksDB uses for its
+non-concurrent memtable representations (only its skip-list arena supports
+lock-free concurrent inserts).
+
+Scans materialize under the lock so iteration never observes a buffer
+mid-insert.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator, List, Optional
+
+from ..entry import Entry
+from .base import MemTable
+
+
+class LockedMemTable(MemTable):
+    """Serializes every operation of a wrapped buffer on one RLock."""
+
+    def __init__(self, inner: MemTable) -> None:
+        super().__init__()
+        self._inner = inner
+        self._lock = threading.RLock()
+
+    @property
+    def inner(self) -> MemTable:
+        """The wrapped single-threaded buffer."""
+        return self._inner
+
+    @property
+    def size_bytes(self) -> int:
+        return self._inner.size_bytes
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+    def insert(self, entry: Entry) -> None:
+        with self._lock:
+            self._inner.insert(entry)
+
+    def get(self, key: str) -> Optional[Entry]:
+        with self._lock:
+            return self._inner.get(key)
+
+    def entries(self) -> List[Entry]:
+        with self._lock:
+            return self._inner.entries()
+
+    def scan(self, lo: str, hi: str) -> Iterator[Entry]:
+        with self._lock:
+            return iter(list(self._inner.scan(lo, hi)))
+
+    @property
+    def supports_point_reads_cheaply(self) -> bool:
+        return self._inner.supports_point_reads_cheaply

@@ -258,7 +258,9 @@ class SSTable:
         """
         return max_covering_seqno(self.range_tombstones, key)
 
-    def get(self, key: str, ctx: ReadContext, digest: Optional[Digest] = None) -> Optional[Entry]:
+    def get(
+        self, key: str, ctx: ReadContext, digest: Optional[Digest] = None
+    ) -> Optional[Entry]:
         """Point lookup inside this table, charging I/O as it goes.
 
         The probe order mirrors a real engine (§2.1.3): key-range check

@@ -13,6 +13,7 @@ experiment reports:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List
 
@@ -35,6 +36,13 @@ class TreeStats:
     All byte quantities are user-visible payload bytes; the paired
     :class:`~repro.storage.disk.SimulatedDisk` counters hold the
     device-level page-granular totals.
+
+    Thread safety: in background mode (:mod:`repro.concurrency`) counters
+    are bumped from client threads *and* flush/compaction workers. The
+    engine's own hot paths go through :meth:`incr` / :meth:`add_sample`,
+    which serialize on an internal lock; per-probe read-path counters
+    (filter/fence/cache) remain plain attributes and are best-effort under
+    concurrency — they steer no control flow.
     """
 
     # -- write path -------------------------------------------------------
@@ -48,6 +56,10 @@ class TreeStats:
     flushed_bytes: int = 0
     stall_us: float = 0.0
     stall_events: int = 0
+    #: Writes delayed (not stopped) by the L0 slowdown trigger (§2.2.3);
+    #: only background mode produces these — the synchronous engine stalls.
+    slowdown_us: float = 0.0
+    slowdown_events: int = 0
 
     # -- compaction -------------------------------------------------------
     compactions: int = 0
@@ -75,17 +87,33 @@ class TreeStats:
     blocks_from_cache: int = 0
     blocks_from_disk: int = 0
 
-    # -- latency samples (simulated microseconds) --------------------------
+    # -- latency samples (simulated us; wall-clock us in background mode) --
     write_latencies_us: List[float] = field(default_factory=list)
     read_latencies_us: List[float] = field(default_factory=list)
 
+    #: Serializes cross-thread counter updates; excluded from equality and
+    #: repr so two stats objects still compare by their counters alone.
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def incr(self, counter: str, amount: float = 1) -> None:
+        """Atomically add ``amount`` to the named counter."""
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + amount)
+
+    def add_sample(self, series: str, value: float) -> None:
+        """Atomically append ``value`` to the named sample list."""
+        with self._lock:
+            getattr(self, series).append(value)
+
     def record_write_latency(self, micros: float) -> None:
-        """Record the simulated latency of one external write."""
-        self.write_latencies_us.append(micros)
+        """Record the latency of one external write."""
+        self.add_sample("write_latencies_us", micros)
 
     def record_read_latency(self, micros: float) -> None:
-        """Record the simulated latency of one external read."""
-        self.read_latencies_us.append(micros)
+        """Record the latency of one external read."""
+        self.add_sample("read_latencies_us", micros)
 
     def write_amplification(self, device_bytes_written: int) -> float:
         """Device bytes written per user byte ingested."""

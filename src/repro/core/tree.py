@@ -6,30 +6,38 @@ logging, flushing and compaction (§2.1.2), the auxiliary read structures
 I/O flows through one :class:`~repro.storage.disk.SimulatedDisk`, so every
 experiment can read write/read/space amplification directly off the tree.
 
-The engine is synchronous: flushes and compactions run inline and their
-simulated time is charged to the triggering write, which is precisely how
-write stalls manifest (§2.2.3) and what experiment E13's scheduler
-simulation then relaxes.
+By default the engine is synchronous: flushes and compactions run inline
+and their simulated time is charged to the triggering write, which is
+precisely how write stalls manifest (§2.2.3) and what experiment E13's
+scheduler simulation then relaxes. With
+``LSMConfig(background_mode=True)`` they instead run on worker threads
+(:mod:`repro.concurrency`): writers only pay WAL + buffer time plus
+explicit backpressure, and reads snapshot the tree's structure under the
+manifest lock so they never block behind a running compaction.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict, Iterator, List, Optional, Tuple
+import threading
+import time
+from contextlib import nullcontext
+from typing import ContextManager, Dict, Iterator, List, Optional, Tuple
 
 from ..compaction.executor import CompactionExecutor, iter_all_versions
 from ..compaction.layouts import make_layout
 from ..compaction.picker import make_picker
 from ..compaction.planner import CompactionPlanner, last_data_level
+from ..concurrency import BackgroundCoordinator, ImmutableBuffer
 from ..cost.allocation import monkey_bits_per_key
-from ..errors import ClosedError, ConfigError
+from ..errors import BackgroundError, ClosedError, ConfigError
 from ..filters.bloom import key_digest
 from ..storage.block_cache import BlockCache, HeatTracker
 from ..storage.disk import SimulatedDisk
 from .config import LSMConfig
 from .entry import Entry, EntryKind
 from .level import Level
-from .memtable import MemTable, make_memtable
+from .memtable import LockedMemTable, MemTable, make_memtable
 from .merge_operator import MergeOperator
 from .range_tombstone import RangeTombstone, dedupe, max_covering_seqno
 from .run import SortedRun
@@ -93,19 +101,24 @@ class LSMTree:
         self.levels: List[Level] = []
         self._wal_dir = wal_dir
         self._wal_segment_id = 0
-        self._active: MemTable = make_memtable(
-            self.config.memtable_kind, self.config.seed
-        )
+        #: Serializes writers: seqno claim + WAL append + buffer insert are
+        #: one atomic step. Uncontended (and therefore cheap) in sync mode.
+        self._write_mutex = threading.RLock()
+        self._rotation_seq = 0
+        self._active: MemTable = self._make_buffer()
         self._active_wal = self._new_wal_segment()
         #: Range tombstones issued against the active buffer (flushed with
         #: it; the memtable itself holds only point entries).
         self._active_tombstones: List[RangeTombstone] = []
         #: Immutable (rotated) buffers awaiting flush, oldest first.
-        self._immutable: List[
-            Tuple[MemTable, WriteAheadLog, List[RangeTombstone]]
-        ] = []
+        self._immutable: List[ImmutableBuffer] = []
         self._next_seqno = 0
         self._closed = False
+        #: Worker threads for flush/compaction; ``None`` in sync mode.
+        #: Created last — workers see a fully constructed tree.
+        self._background: Optional[BackgroundCoordinator] = (
+            BackgroundCoordinator(self) if self.config.background_mode else None
+        )
 
     # ------------------------------------------------------------------
     # external operations (§2.1.2): put / get / scan / delete
@@ -117,21 +130,33 @@ class LSMTree:
             raise ValueError("keys must be non-empty")
         if value is None:
             raise ValueError("use delete() to remove a key")
-        entry = Entry(
-            key, value, self._claim_seqno(), EntryKind.PUT, self.disk.now_us
-        )
-        self.stats.puts += 1
-        self._write(entry)
+        self._before_write()
+        with self._write_mutex:
+            entry = Entry(
+                key,
+                value,
+                self._claim_seqno(),
+                EntryKind.PUT,
+                self.disk.now_us,
+            )
+            self.stats.incr("puts")
+            self._write(entry)
 
     def delete(self, key: str) -> None:
         """Logically delete ``key`` by inserting a tombstone (§2.1.2)."""
         if not key:
             raise ValueError("keys must be non-empty")
-        entry = Entry(
-            key, None, self._claim_seqno(), EntryKind.DELETE, self.disk.now_us
-        )
-        self.stats.deletes += 1
-        self._write(entry)
+        self._before_write()
+        with self._write_mutex:
+            entry = Entry(
+                key,
+                None,
+                self._claim_seqno(),
+                EntryKind.DELETE,
+                self.disk.now_us,
+            )
+            self.stats.incr("deletes")
+            self._write(entry)
 
     def single_delete(self, key: str) -> None:
         """Single-delete: for keys written at most once (§2.3.3).
@@ -141,15 +166,17 @@ class LSMTree:
         """
         if not key:
             raise ValueError("keys must be non-empty")
-        entry = Entry(
-            key,
-            None,
-            self._claim_seqno(),
-            EntryKind.SINGLE_DELETE,
-            self.disk.now_us,
-        )
-        self.stats.single_deletes += 1
-        self._write(entry)
+        self._before_write()
+        with self._write_mutex:
+            entry = Entry(
+                key,
+                None,
+                self._claim_seqno(),
+                EntryKind.SINGLE_DELETE,
+                self.disk.now_us,
+            )
+            self.stats.incr("single_deletes")
+            self._write(entry)
 
     def merge(self, key: str, operand: str) -> None:
         """Read-modify-write without the read (§2.2.6): append an operand.
@@ -165,6 +192,13 @@ class LSMTree:
             raise ConfigError(
                 "merge() requires a merge_operator at tree construction"
             )
+        self._before_write()
+        with self._write_mutex:
+            self._merge_locked(key, operand)
+
+    def _merge_locked(self, key: str, operand: str) -> None:
+        """The read-combine-write of :meth:`merge`, under the write mutex
+        so the buffered-entry read and the write are one atomic step."""
         seqno = self._claim_seqno()
         now = self.disk.now_us
         buffered = self._active.get(key)
@@ -196,7 +230,7 @@ class LSMTree:
                 EntryKind.PUT,
                 now,
             )
-        self.stats.merges += 1
+        self.stats.incr("merges")
         self._write(entry)
 
     def delete_range(self, lo: str, hi: str) -> None:
@@ -209,15 +243,17 @@ class LSMTree:
         """
         if not lo or hi <= lo:
             raise ValueError("delete_range needs non-empty lo < hi")
-        seqno = self._claim_seqno()
-        tombstone = RangeTombstone(lo, hi, seqno, self.disk.now_us)
-        # Range deletes are journaled like any write (value = end key).
-        self._active_wal.append(
-            Entry(lo, hi, seqno, EntryKind.RANGE_DELETE, self.disk.now_us)
-        )
-        self._active_tombstones.append(tombstone)
-        self.stats.range_deletes += 1
-        self.stats.user_bytes_written += tombstone.size
+        self._before_write()
+        with self._write_mutex:
+            seqno = self._claim_seqno()
+            tombstone = RangeTombstone(lo, hi, seqno, self.disk.now_us)
+            # Range deletes are journaled like any write (value = end key).
+            self._active_wal.append(
+                Entry(lo, hi, seqno, EntryKind.RANGE_DELETE, self.disk.now_us)
+            )
+            self._active_tombstones.append(tombstone)
+            self.stats.incr("range_deletes")
+            self.stats.incr("user_bytes_written", tombstone.size)
 
     def get(self, key: str) -> Optional[str]:
         """Point lookup: the most recent value of ``key``, or ``None``.
@@ -230,13 +266,13 @@ class LSMTree:
         merge operands until their base value is reached.
         """
         self._check_open()
-        started_us = self.disk.now_us
-        self.stats.gets += 1
+        started_us = self._clock_us()
+        self.stats.incr("gets")
         value = self._lookup_resolved(key)
-        self.stats.record_read_latency(self.disk.now_us - started_us)
+        self.stats.record_read_latency(self._clock_us() - started_us)
         if value is None:
             return None
-        self.stats.gets_found += 1
+        self.stats.incr("gets_found")
         return value
 
     def scan(self, lo: str, hi: str) -> List[Tuple[str, str]]:
@@ -246,20 +282,24 @@ class LSMTree:
         returning only the newest visible version of each key.
         """
         self._check_open()
-        started_us = self.disk.now_us
-        self.stats.scans += 1
+        started_us = self._clock_us()
+        self.stats.incr("scans")
         ctx = ReadContext(
             self.disk, self.cache, self.heat, self.stats, cause="scan"
         )
-        sources: List[Iterator[Entry]] = [self._active.scan(lo, hi)]
-        for memtable, _wal, _tombstones in reversed(self._immutable):
-            sources.append(memtable.scan(lo, hi))
-        for level in self.levels:
-            for run in level.iter_runs_newest_first():
+        with self._manifest():
+            sources: List[Iterator[Entry]] = [self._active.scan(lo, hi)]
+            for buffer in reversed(self._immutable):
+                sources.append(buffer.memtable.scan(lo, hi))
+            run_lists = [
+                list(level.iter_runs_newest_first()) for level in self.levels
+            ]
+            tombstones = [
+                t for t in self.all_range_tombstones() if t.overlaps(lo, hi)
+            ]
+        for runs in run_lists:
+            for run in runs:
                 sources.append(run.iter_range(lo, hi, ctx))
-        tombstones = [
-            t for t in self.all_range_tombstones() if t.overlaps(lo, hi)
-        ]
         results: List[Tuple[str, str]] = []
         for key, versions in iter_all_versions(sources):
             cover_seqno = max_covering_seqno(tombstones, key)
@@ -267,7 +307,7 @@ class LSMTree:
             value = self._resolve_versions(key, live)
             if value is not None:
                 results.append((key, value))
-        self.stats.record_read_latency(self.disk.now_us - started_us)
+        self.stats.record_read_latency(self._clock_us() - started_us)
         return results
 
     def _resolve_versions(
@@ -297,13 +337,30 @@ class LSMTree:
         return base.value
 
     def close(self) -> None:
-        """Release WAL file handles. Further operations raise."""
+        """Release WAL file handles. Further operations raise.
+
+        In background mode, first drains every rotated buffer and pending
+        compaction, then joins the workers; a worker failure is re-raised
+        as :class:`~repro.errors.BackgroundError` after cleanup finishes.
+        The active buffer is *not* flushed (same as sync mode) — its WAL
+        segment survives for :meth:`recover`.
+        """
         if self._closed:
             return
+        background_error: Optional[BackgroundError] = None
+        if self._background is not None:
+            try:
+                self._background.drain()
+            except BackgroundError as exc:
+                background_error = exc
+            finally:
+                self._background.stop()
         self._active_wal.close()
-        for _memtable, wal, _tombstones in self._immutable:
-            wal.close()
+        for buffer in self._immutable:
+            buffer.wal.close()
         self._closed = True
+        if background_error is not None:
+            raise background_error
 
     def __enter__(self) -> "LSMTree":
         return self
@@ -316,15 +373,41 @@ class LSMTree:
     # ------------------------------------------------------------------
 
     def flush(self) -> None:
-        """Force the active buffer to disk (tests/benchmarks convenience)."""
+        """Force the active buffer to disk (tests/benchmarks convenience).
+
+        In background mode this rotates the active buffer and blocks until
+        the flush workers have installed every rotated buffer in Level 0.
+        """
         self._check_open()
+        if self._background is not None:
+            self._background.check_error()
+            with self._write_mutex:
+                self._background.rotate()
+            self._background.wait_for_flushes()
+            return
         self._rotate_active()
         while self._immutable:
             self._flush_oldest()
 
     def compact_all(self) -> None:
-        """Major compaction: push every level's data to the bottom."""
+        """Major compaction: push every level's data to the bottom.
+
+        In background mode the workers are first drained, then paused, so
+        the manual plan/execute loop below owns the tree exclusively.
+        """
         self._check_open()
+        if self._background is not None:
+            self._background.drain()
+            self._background.pool.pause()
+            try:
+                with self._background.manifest_lock:
+                    self._compact_all_levels()
+            finally:
+                self._background.pool.resume()
+            return
+        self._compact_all_levels()
+
+    def _compact_all_levels(self) -> None:
         for index in range(len(self.levels)):
             while True:
                 plan = self.planner.plan_manual(self.levels, index)
@@ -347,41 +430,44 @@ class LSMTree:
 
     def total_disk_bytes(self) -> int:
         """Payload bytes currently on disk across all levels."""
-        return sum(level.data_bytes for level in self.levels)
+        with self._manifest():
+            return sum(level.data_bytes for level in self.levels)
 
     def total_run_count(self) -> int:
         """Number of sorted runs on disk (the quantity compaction bounds)."""
-        return sum(level.run_count for level in self.levels)
+        with self._manifest():
+            return sum(level.run_count for level in self.levels)
 
     def memory_footprint_bits(self) -> int:
         """RUM memory: buffers + filters + fence pointers, in bits."""
-        bits = 8 * self._active.size_bytes
-        bits += sum(
-            8 * memtable.size_bytes
-            for memtable, _wal, _tombstones in self._immutable
-        )
-        for level in self.levels:
-            for run in level.runs:
-                for table in run.tables:
-                    if table.bloom is not None:
-                        bits += table.bloom.memory_bits
-                    if table.fence is not None:
-                        bits += table.fence.memory_bits
-        return bits
+        with self._manifest():
+            bits = 8 * self._active.size_bytes
+            bits += sum(
+                8 * buffer.memtable.size_bytes for buffer in self._immutable
+            )
+            for level in self.levels:
+                for run in level.runs:
+                    for table in run.tables:
+                        if table.bloom is not None:
+                            bits += table.bloom.memory_bits
+                        if table.fence is not None:
+                            bits += table.fence.memory_bits
+            return bits
 
     def level_summary(self) -> List[Dict[str, object]]:
         """One dict per level: runs, files, bytes, capacity, tombstones."""
-        return [
-            {
-                "level": level.index,
-                "runs": level.run_count,
-                "files": sum(len(run.tables) for run in level.runs),
-                "bytes": level.data_bytes,
-                "capacity": level.capacity_bytes,
-                "tombstones": level.tombstone_count,
-            }
-            for level in self.levels
-        ]
+        with self._manifest():
+            return [
+                {
+                    "level": level.index,
+                    "runs": level.run_count,
+                    "files": sum(len(run.tables) for run in level.runs),
+                    "bytes": level.data_bytes,
+                    "capacity": level.capacity_bytes,
+                    "tombstones": level.tombstone_count,
+                }
+                for level in self.levels
+            ]
 
     def space_breakdown(self) -> Dict[str, int]:
         """Live vs. logically-invalidated bytes on disk (space amp, §2.3).
@@ -498,6 +584,45 @@ class LSMTree:
         if self._closed:
             raise ClosedError("tree is closed")
 
+    def _manifest(self) -> ContextManager:
+        """The manifest lock in background mode; a no-op context in sync.
+
+        Guards the tree's structural state: the active-buffer reference,
+        the immutable queue, and every level's run list. Reads hold it only
+        long enough to snapshot list references (runs and SSTables are
+        immutable once built), giving version-style snapshot isolation.
+        """
+        if self._background is not None:
+            return self._background.manifest_lock
+        return nullcontext()
+
+    def _before_write(self) -> None:
+        """Background mode: surface worker errors, apply backpressure."""
+        if self._background is not None:
+            self._background.before_write()
+
+    def _clock_us(self) -> float:
+        """Clock for client-visible latencies.
+
+        Sync mode uses the simulated disk clock (the write is charged its
+        flush/compaction time). In background mode the simulated clock
+        advances concurrently on worker threads, so client latencies are
+        wall-clock instead.
+        """
+        if self._background is not None:
+            return time.perf_counter() * 1e6
+        return self.disk.now_us
+
+    def _make_buffer(self) -> MemTable:
+        """A fresh active memtable, lock-wrapped in background mode."""
+        memtable = make_memtable(
+            self.config.memtable_kind,
+            self.config.seed + self._wal_segment_id,
+        )
+        if self.config.background_mode:
+            return LockedMemTable(memtable)
+        return memtable
+
     def _claim_seqno(self) -> int:
         self._check_open()
         seqno = self._next_seqno
@@ -514,8 +639,12 @@ class LSMTree:
         return WriteAheadLog(self.disk, path)
 
     def _write(self, entry: Entry) -> None:
+        """Apply one journaled write; caller holds the write mutex."""
+        self.stats.incr("user_bytes_written", entry.size)
+        if self._background is not None:
+            self._background.buffer_entry(entry)
+            return
         started_us = self.disk.now_us
-        self.stats.user_bytes_written += entry.size
         self._active_wal.append(entry)
         self._active.insert(entry)
         if self._active.size_bytes >= self.config.buffer_size_bytes:
@@ -526,42 +655,57 @@ class LSMTree:
 
     def _ingest_recovered(self, entry: Entry) -> None:
         """Re-buffer one replayed entry, preserving its sequence number."""
-        self._next_seqno = max(self._next_seqno, entry.seqno + 1)
-        self.stats.user_bytes_written += entry.size
-        self._active_wal.append(entry)
-        if entry.kind is EntryKind.RANGE_DELETE:
-            self._active_tombstones.append(
-                RangeTombstone(
-                    entry.key,
-                    entry.value,  # type: ignore[arg-type]
-                    entry.seqno,
-                    entry.stamp_us,
+        self._before_write()
+        with self._write_mutex:
+            self._next_seqno = max(self._next_seqno, entry.seqno + 1)
+            self.stats.incr("user_bytes_written", entry.size)
+            self._active_wal.append(entry)
+            if entry.kind is EntryKind.RANGE_DELETE:
+                self._active_tombstones.append(
+                    RangeTombstone(
+                        entry.key,
+                        entry.value,  # type: ignore[arg-type]
+                        entry.seqno,
+                        entry.stamp_us,
+                    )
                 )
-            )
-            return
-        self._active.insert(entry)
-        if self._active.size_bytes >= self.config.buffer_size_bytes:
+                return
+            self._active.insert(entry)
+            if self._active.size_bytes < self.config.buffer_size_bytes:
+                return
+            if self._background is not None:
+                self._background.rotate()
+                return
             self._rotate_active()
-        if len(self._immutable) >= self.config.num_buffers:
-            self._flush_oldest()
+            if len(self._immutable) >= self.config.num_buffers:
+                self._flush_oldest()
 
     def _rotate_active(self) -> None:
-        """Swap in a fresh buffer so ingestion never edits a flushing one."""
+        """Swap in a fresh buffer so ingestion never edits a flushing one.
+
+        Background mode callers must hold both the write mutex and the
+        manifest lock (:meth:`BackgroundCoordinator.rotate` does).
+        """
         if len(self._active) == 0 and not self._active_tombstones:
             return
         self._immutable.append(
-            (self._active, self._active_wal, self._active_tombstones)
+            ImmutableBuffer(
+                self._active,
+                self._active_wal,
+                self._active_tombstones,
+                self._rotation_seq,
+            )
         )
-        self._active = make_memtable(
-            self.config.memtable_kind, self.config.seed + self._wal_segment_id
-        )
+        self._rotation_seq += 1
+        self._active = self._make_buffer()
         self._active_wal = self._new_wal_segment()
         self._active_tombstones = []
 
     def _flush_oldest(self) -> None:
         """Flush the oldest immutable buffer into a new Level-0 run."""
-        memtable, wal, tombstones = self._immutable.pop(0)
-        entries = memtable.entries()
+        buffer = self._immutable.pop(0)
+        entries = buffer.memtable.entries()
+        tombstones = buffer.tombstones
         if entries or tombstones:
             level0 = self._ensure_level(0)
             stalled = level0.run_count >= self.config.level0_run_limit
@@ -569,19 +713,21 @@ class LSMTree:
             if stalled:
                 # Ingestion must wait for Level 0 to drain (§2.2.3): the
                 # synchronous compactions below are the stall.
-                self.stats.stall_events += 1
+                self.stats.incr("stall_events")
                 self._run_compactions()
-                self.stats.stall_us += self.disk.now_us - stall_started_us
+                self.stats.incr(
+                    "stall_us", self.disk.now_us - stall_started_us
+                )
             tables = self.executor.build_tables(
                 entries, cause="flush", range_tombstones=dedupe(tombstones)
             )
             self._ensure_level(0).add_run_newest(SortedRun(tables))
-            self.stats.flushes += 1
-            self.stats.flushed_bytes += sum(
-                table.data_bytes for table in tables
+            self.stats.incr("flushes")
+            self.stats.incr(
+                "flushed_bytes", sum(table.data_bytes for table in tables)
             )
-        wal.close()
-        self._delete_wal_file(wal)
+        buffer.wal.close()
+        self._delete_wal_file(buffer.wal)
         self._run_compactions()
 
     def _delete_wal_file(self, wal: WriteAheadLog) -> None:
@@ -615,16 +761,16 @@ class LSMTree:
         built, so the allocation adapts as the tree deepens (§2.1.3).
         Empty or future levels are estimated geometrically.
         """
-        depth = max(level_index + 1, len(self.levels), 2)
+        with self._manifest():
+            entry_counts = [level.entry_count for level in self.levels]
+        depth = max(level_index + 1, len(entry_counts), 2)
         counts: List[int] = []
         previous = max(
             1, self.config.buffer_size_bytes // 64
         )  # rough entries-per-buffer estimate
         for index in range(depth):
             actual = (
-                self.levels[index].entry_count
-                if index < len(self.levels)
-                else 0
+                entry_counts[index] if index < len(entry_counts) else 0
             )
             estimate = previous * (
                 self.config.size_ratio if index > 0 else 1
@@ -659,7 +805,7 @@ class LSMTree:
                 shadow_seqno, max_covering_seqno(tombstones, key)
             )
             if counts_as_run:
-                self.stats.runs_probed += 1
+                self.stats.incr("runs_probed")
             entry = getter()
             if entry is None:
                 continue
@@ -692,16 +838,29 @@ class LSMTree:
 
     def _lookup_units(self, key, ctx, digest):
         """Yield (range tombstones, point getter, counts-as-run) per
-        component, newest first."""
-        yield (
-            self._active_tombstones,
-            lambda: self._active.get(key),
-            False,
-        )
-        for memtable, _wal, tombstones in reversed(self._immutable):
+        component, newest first.
+
+        The component list is snapshotted under the manifest lock, then
+        probed lock-free: runs and their SSTables are immutable, and a
+        rotated memtable is frozen, so the snapshot stays valid however
+        long the walk takes (a compaction finishing mid-walk only leaves
+        the snapshot reading superseded-but-consistent runs).
+        """
+        with self._manifest():
+            active = self._active
+            active_tombstones = list(self._active_tombstones)
+            immutables = [
+                (buffer.memtable, list(buffer.tombstones))
+                for buffer in reversed(self._immutable)
+            ]
+            run_lists = [
+                list(level.iter_runs_newest_first()) for level in self.levels
+            ]
+        yield (active_tombstones, lambda: active.get(key), False)
+        for memtable, tombstones in immutables:
             yield (tombstones, lambda m=memtable: m.get(key), False)
-        for level in self.levels:
-            for run in level.iter_runs_newest_first():
+        for runs in run_lists:
+            for run in runs:
                 yield (
                     run.range_tombstones,
                     lambda r=run: r.get(key, ctx, digest),
@@ -710,19 +869,26 @@ class LSMTree:
 
     def all_range_tombstones(self) -> List[RangeTombstone]:
         """Every live range tombstone, deduplicated (analysis + scans)."""
-        collected = list(self._active_tombstones)
-        for _memtable, _wal, tombstones in self._immutable:
-            collected.extend(tombstones)
-        for level in self.levels:
-            for run in level.runs:
-                collected.extend(run.range_tombstones)
+        with self._manifest():
+            collected = list(self._active_tombstones)
+            for buffer in self._immutable:
+                collected.extend(buffer.tombstones)
+            for level in self.levels:
+                for run in level.runs:
+                    collected.extend(run.range_tombstones)
         return dedupe(collected)
 
     def _all_components(self) -> Iterator[Iterator[Entry]]:
         """Every entry source, newest component first (analysis only)."""
-        yield iter(self._active.entries())
-        for memtable, _wal, _tombstones in reversed(self._immutable):
+        with self._manifest():
+            memtables = [self._active] + [
+                buffer.memtable for buffer in reversed(self._immutable)
+            ]
+            run_lists = [
+                list(level.iter_runs_newest_first()) for level in self.levels
+            ]
+        for memtable in memtables:
             yield iter(memtable.entries())
-        for level in self.levels:
-            for run in level.iter_runs_newest_first():
+        for runs in run_lists:
+            for run in runs:
                 yield run.iter_entries()

@@ -30,3 +30,13 @@ class ConfigError(ReproError):
 
 class FilterError(ReproError):
     """A probabilistic filter was constructed or probed incorrectly."""
+
+
+class BackgroundError(ReproError):
+    """A background flush or compaction worker failed.
+
+    Raised on the next foreground operation after the failure, wrapping the
+    worker's original exception as ``__cause__`` (RocksDB's background-error
+    contract). The tree stays readable for diagnosis but refuses further
+    writes until it is closed.
+    """

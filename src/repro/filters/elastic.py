@@ -16,11 +16,11 @@ constant while hot files enjoy low FPRs.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List
 
 from ..errors import FilterError
 from .base import PointFilter
-from .bloom import BloomFilter, Digest, key_digest
+from .bloom import BloomFilter, Digest
 
 
 class ElasticBloomFilter(PointFilter):

@@ -18,7 +18,7 @@ throughout the library.
 from __future__ import annotations
 
 import re
-from typing import Callable, Iterable, List, Sequence, Tuple
+from typing import Callable, Iterable, List, Tuple
 
 from ..errors import FilterError
 from .base import RangeFilter

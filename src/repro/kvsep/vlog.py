@@ -15,7 +15,7 @@ re-append the survivors at the head, advance the tail.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Tuple
 
 from ..errors import CorruptionError
 from ..storage.disk import SimulatedDisk

@@ -16,8 +16,9 @@ cache. Two phenomena from the tutorial are modeled here:
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Hashable, List, Tuple
 
 #: Cache key: (sstable id, block index within the sstable).
@@ -56,6 +57,10 @@ class BlockCache:
     :meth:`~repro.core.sstable.SSTable.get` can be served without charging
     the disk.
 
+    The cache is shared between foreground reads and background
+    compactions (which invalidate and prefetch), so every operation
+    serializes on an internal lock.
+
     Args:
         capacity_bytes: Total budget; ``0`` disables the cache (every probe
             misses, nothing is inserted).
@@ -68,6 +73,7 @@ class BlockCache:
         self.stats = CacheStats()
         self._resident: "OrderedDict[BlockId, int]" = OrderedDict()
         self._used_bytes = 0
+        self._lock = threading.Lock()
 
     @property
     def used_bytes(self) -> int:
@@ -79,27 +85,29 @@ class BlockCache:
 
     def probe(self, block: BlockId) -> bool:
         """Look up a block; promotes it on hit. Returns hit/miss."""
-        if block in self._resident:
-            self._resident.move_to_end(block)
-            self.stats.hits += 1
-            return True
-        self.stats.misses += 1
-        return False
+        with self._lock:
+            if block in self._resident:
+                self._resident.move_to_end(block)
+                self.stats.hits += 1
+                return True
+            self.stats.misses += 1
+            return False
 
     def insert(self, block: BlockId, nbytes: int) -> None:
         """Admit a block, evicting LRU residents to fit."""
         if self.capacity_bytes == 0 or nbytes > self.capacity_bytes:
             return
-        if block in self._resident:
-            self._used_bytes -= self._resident[block]
-            self._resident.move_to_end(block)
-        self._resident[block] = nbytes
-        self._used_bytes += nbytes
-        self.stats.insertions += 1
-        while self._used_bytes > self.capacity_bytes:
-            _victim, victim_bytes = self._resident.popitem(last=False)
-            self._used_bytes -= victim_bytes
-            self.stats.evictions_capacity += 1
+        with self._lock:
+            if block in self._resident:
+                self._used_bytes -= self._resident[block]
+                self._resident.move_to_end(block)
+            self._resident[block] = nbytes
+            self._used_bytes += nbytes
+            self.stats.insertions += 1
+            while self._used_bytes > self.capacity_bytes:
+                _victim, victim_bytes = self._resident.popitem(last=False)
+                self._used_bytes -= victim_bytes
+                self.stats.evictions_capacity += 1
 
     def invalidate_table(self, sstable_id: int) -> int:
         """Drop every resident block of a deleted SSTable.
@@ -108,11 +116,12 @@ class BlockCache:
         compaction-induced eviction the tutorial describes. Returns the
         number of blocks dropped.
         """
-        victims = [blk for blk in self._resident if blk[0] == sstable_id]
-        for blk in victims:
-            self._used_bytes -= self._resident.pop(blk)
-            self.stats.evictions_invalidated += 1
-        return len(victims)
+        with self._lock:
+            victims = [blk for blk in self._resident if blk[0] == sstable_id]
+            for blk in victims:
+                self._used_bytes -= self._resident.pop(blk)
+                self.stats.evictions_invalidated += 1
+            return len(victims)
 
     def contains(self, block: BlockId) -> bool:
         """Residency check without LRU promotion or stats."""

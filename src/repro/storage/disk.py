@@ -13,6 +13,7 @@ exactly the quantities the paper reasons about.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
 from typing import Dict
 
@@ -121,12 +122,17 @@ class SimulatedDisk:
     it only *meters* transfers. Components call :meth:`read` / :meth:`write`
     with a byte count and a ``cause`` tag; the disk rounds to pages, bumps
     counters, and advances the simulated clock.
+
+    One device is shared by the foreground path and, in background mode,
+    the flush/compaction workers; charging methods serialize on an internal
+    lock so counters and the clock stay consistent under concurrency.
     """
 
     def __init__(self, profile: DiskProfile | None = None) -> None:
         self.profile = profile or DiskProfile.ssd()
         self.counters = IOCounters()
         self._now_us = 0.0
+        self._lock = threading.Lock()
 
     @property
     def page_size(self) -> int:
@@ -143,14 +149,15 @@ class SimulatedDisk:
         pages = pages_for(nbytes, self.page_size)
         if pages == 0:
             return 0
-        counters = self.counters
-        counters.pages_read += pages
-        counters.bytes_read += nbytes
-        counters.read_requests += 1
-        counters.reads_by_cause[cause] = (
-            counters.reads_by_cause.get(cause, 0) + pages
-        )
-        self._now_us += self.profile.read_us(pages)
+        with self._lock:
+            counters = self.counters
+            counters.pages_read += pages
+            counters.bytes_read += nbytes
+            counters.read_requests += 1
+            counters.reads_by_cause[cause] = (
+                counters.reads_by_cause.get(cause, 0) + pages
+            )
+            self._now_us += self.profile.read_us(pages)
         return pages
 
     def read_pages(self, pages: int, cause: str = "other") -> int:
@@ -162,23 +169,26 @@ class SimulatedDisk:
         pages = pages_for(nbytes, self.page_size)
         if pages == 0:
             return 0
-        counters = self.counters
-        counters.pages_written += pages
-        counters.bytes_written += nbytes
-        counters.write_requests += 1
-        counters.writes_by_cause[cause] = (
-            counters.writes_by_cause.get(cause, 0) + pages
-        )
-        self._now_us += self.profile.write_us(pages)
+        with self._lock:
+            counters = self.counters
+            counters.pages_written += pages
+            counters.bytes_written += nbytes
+            counters.write_requests += 1
+            counters.writes_by_cause[cause] = (
+                counters.writes_by_cause.get(cause, 0) + pages
+            )
+            self._now_us += self.profile.write_us(pages)
         return pages
 
     def advance(self, micros: float) -> None:
         """Advance the simulated clock without any transfer (CPU time)."""
         if micros < 0:
             raise ValueError("time cannot move backwards")
-        self._now_us += micros
+        with self._lock:
+            self._now_us += micros
 
     def reset(self) -> None:
         """Zero all counters and the clock; device profile is kept."""
-        self.counters = IOCounters()
-        self._now_us = 0.0
+        with self._lock:
+            self.counters = IOCounters()
+            self._now_us = 0.0

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import enum
 import random
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Iterator, Optional
 
 from .distributions import KeyDistribution, format_key, make_distribution

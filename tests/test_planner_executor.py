@@ -15,7 +15,6 @@ from repro.core.sstable import SSTable
 from repro.core.stats import TreeStats
 from repro.errors import CompactionError
 from repro.storage.block_cache import BlockCache
-from repro.storage.disk import SimulatedDisk
 
 
 def config_for(layout="leveling", **overrides):

@@ -200,4 +200,7 @@ class TestSurf:
 
     def test_memory_accounting(self):
         keys = [f"user{i:04d}" for i in range(50)]
-        assert SurfFilter(keys, suffix_bits=8).memory_bits > SurfFilter(keys).memory_bits
+        assert (
+            SurfFilter(keys, suffix_bits=8).memory_bits
+            > SurfFilter(keys).memory_bits
+        )

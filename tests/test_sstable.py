@@ -6,7 +6,6 @@ from repro.core.entry import put, tombstone
 from repro.core.sstable import Block, ReadContext, SSTable
 from repro.core.stats import TreeStats
 from repro.storage.block_cache import BlockCache
-from repro.storage.disk import SimulatedDisk
 
 
 def build_table(disk, count=100, block_bytes=256, fences=True, bits=10.0):

@@ -5,7 +5,6 @@ import pytest
 from repro.core.entry import put, tombstone
 from repro.core.wal import WriteAheadLog, _decode, _encode
 from repro.errors import ClosedError, CorruptionError
-from repro.storage.disk import SimulatedDisk
 
 
 class TestCodec:
