@@ -95,7 +95,13 @@ def test_a2_buffer_count(benchmark):
 def test_a3_block_size(benchmark):
     def run(block_bytes):
         tree = LSMTree(
-            bench_config(block_bytes=block_bytes, filter_bits_per_key=10.0)
+            bench_config(
+                block_bytes=block_bytes,
+                # A file must hold at least one block; grow files with the
+                # block size so the sweep stays coherent at 16 KiB blocks.
+                target_file_bytes=max(4096, block_bytes),
+                filter_bits_per_key=10.0,
+            )
         )
         for key in shuffled_keys(NUM_KEYS):
             tree.put(key, "v" * 24)

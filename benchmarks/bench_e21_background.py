@@ -64,15 +64,15 @@ def _ingest(background: bool):
         # The valley: background workers drain; the sync engine has
         # nothing pending (it already paid inline), so it just idles.
         time.sleep(VALLEY_S)
-    stats = tree.stats
+    snapshot = tree.stats.to_dict()  # atomic: workers may still be running
     row = {
         "mode": "background" if background else "sync",
         "p50_us": percentile(latencies, 0.50),
         "p99_us": percentile(latencies, 0.99),
         "p999_us": percentile(latencies, 0.999),
         "max_us": max(latencies),
-        "stalls": stats.stall_events,
-        "slowdowns": stats.slowdown_events,
+        "stalls": snapshot["stall_events"],
+        "slowdowns": snapshot["slowdown_events"],
     }
     tree.close()
     return row

@@ -1,0 +1,134 @@
+"""End-to-end smoke test of the serving layer (run by CI).
+
+Two phases:
+
+1. **Real process boundary** — spawn ``python -m repro.cli serve`` as a
+   subprocess, wait for its listening banner, run a pipelined client
+   session (PUT/GET/SCAN/BATCH/DELETE/INFO) against it, then SIGINT it
+   and assert a clean, orderly shutdown (exit code 0).
+2. **BUSY retry path** — an in-process server whose tree is forced to
+   report the write-stop backpressure state for the first few admission
+   checks; the client's exponential-backoff retry must absorb the BUSY
+   replies and land the write.
+
+Exits non-zero on any failure, so it doubles as a CI job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import subprocess
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro import LSMConfig, LSMTree  # noqa: E402
+from repro.server import KVClient, KVServer  # noqa: E402
+
+
+async def pipelined_session(port: int) -> None:
+    """The round-trip CI asserts: pipelined mixed ops over one connection."""
+    async with await KVClient.connect("127.0.0.1", port) as kv:
+        assert await kv.ping()
+        # 40 pipelined puts + interleaved reads over one connection.
+        await asyncio.gather(
+            *(kv.put(f"user{i:04d}", f"profile-{i}") for i in range(40))
+        )
+        values = await asyncio.gather(
+            *(kv.get(f"user{i:04d}") for i in range(40))
+        )
+        assert values == [f"profile-{i}" for i in range(40)]
+        assert await kv.batch(
+            [("put", "batch-a", "1"), ("delete", "user0000", None)]
+        ) == 2
+        pairs = await kv.scan("user0000", "user0005")
+        assert pairs == [(f"user{i:04d}", f"profile-{i}") for i in (1, 2, 3, 4)]
+        await kv.delete("user0001")
+        assert await kv.get("user0001") is None
+        info = await kv.info()
+        assert info["server"]["requests_total"] > 80
+        assert info["backpressure"]["state"] in ("ok", "slowdown", "stop")
+    print("pipelined round-trip: ok")
+
+
+def subprocess_server_phase() -> None:
+    """Start the CLI server, drive it, SIGINT it, assert clean shutdown."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        os.path.join(REPO_ROOT, "src")
+        + os.pathsep
+        + env.get("PYTHONPATH", "")
+    )
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         "--background"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    try:
+        banner = process.stdout.readline()
+        assert "listening on" in banner, f"unexpected banner: {banner!r}"
+        port = int(banner.split("listening on", 1)[1].split()[0].rsplit(":", 1)[1])
+        asyncio.run(pipelined_session(port))
+    finally:
+        process.send_signal(signal.SIGINT)
+        try:
+            process.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            raise AssertionError("server did not shut down on SIGINT")
+    output = process.stdout.read()
+    assert process.returncode == 0, (
+        f"server exited {process.returncode}; output: {output}"
+    )
+    assert "shutting down" in output
+    print("subprocess serve + SIGINT shutdown: ok")
+
+
+async def busy_retry_phase() -> None:
+    """Force the write-stop state; the client must retry through BUSY."""
+    tree = LSMTree(LSMConfig(background_mode=True, num_buffers=4))
+    server = KVServer(tree, owns_tree=True)
+
+    real_backpressure = tree.backpressure
+    stops_remaining = 3
+
+    def stubbed_backpressure():
+        nonlocal stops_remaining
+        if stops_remaining > 0:
+            stops_remaining -= 1
+            state = real_backpressure()
+            state["state"] = "stop"
+            return state
+        return real_backpressure()
+
+    tree.backpressure = stubbed_backpressure
+    await server.start()
+    try:
+        async with await KVClient.connect("127.0.0.1", server.port) as kv:
+            await kv.put("resilient", "yes")  # absorbs 3 BUSY replies
+            assert kv.busy_retries >= 1
+            assert await kv.get("resilient") == "yes"
+        assert server.metrics.busy_rejections >= 1
+    finally:
+        await server.stop()
+    print("BUSY retry path: ok")
+
+
+def main() -> int:
+    started = time.perf_counter()
+    subprocess_server_phase()
+    asyncio.run(busy_retry_phase())
+    print(f"server smoke passed in {time.perf_counter() - started:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

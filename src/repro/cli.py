@@ -8,6 +8,8 @@ Usage::
     python -m repro.cli robust --writes 0.9 --reads 0.05 --empty-reads 0.05 \
         --eta 1.0
     python -m repro.cli layouts --ops 20000
+    python -m repro.cli serve --port 7379 --background
+    python -m repro.cli bench-serve --clients 8 --pipeline 8
 
 Every subcommand prints the same ASCII tables the benchmark suite uses, so
 shell exploration and the archived experiment results read identically.
@@ -16,6 +18,9 @@ shell exploration and the archived experiment results read identically.
 from __future__ import annotations
 
 import argparse
+import asyncio
+import contextlib
+import signal
 import sys
 from typing import List, Optional
 
@@ -71,6 +76,7 @@ def command_workload(args: argparse.Namespace) -> int:
     spec = factory(num_ops=args.ops, key_count=args.keys)
     tree = LSMTree(_config_from(args))
     metrics = Harness(tree).run_spec(spec)
+    engine_snapshot = tree.stats.to_dict()
     print(
         format_table(
             ["metric", "value"],
@@ -83,8 +89,8 @@ def command_workload(args: argparse.Namespace) -> int:
                 ("pages read/op", metrics.pages_read_per_op()),
                 ("write p99 (us)", metrics.write_latencies_us.get("p99", 0.0)),
                 ("read p99 (us)", metrics.read_latencies_us.get("p99", 0.0)),
-                ("compactions", tree.stats.compactions),
-                ("stall events", tree.stats.stall_events),
+                ("compactions", engine_snapshot["compactions"]),
+                ("stall events", engine_snapshot["stall_events"]),
             ],
             title=f"workload '{args.preset}' on {args.layout}/T={args.size_ratio}",
         )
@@ -183,7 +189,7 @@ def command_layouts(args: argparse.Namespace) -> int:
                 tree.write_amplification(),
                 tree.space_amplification(),
                 tree.total_run_count(),
-                tree.stats.compactions,
+                tree.stats.to_dict()["compactions"],
             )
         )
     print(
@@ -191,6 +197,95 @@ def command_layouts(args: argparse.Namespace) -> int:
             ["layout", "write amp", "space amp", "runs", "compactions"],
             rows,
             title=f"layout comparison, {args.keys} random inserts",
+        )
+    )
+    return 0
+
+
+def command_serve(args: argparse.Namespace) -> int:
+    """Run the asyncio KV server until SIGINT/SIGTERM (clean shutdown)."""
+    from .core.config import LSMConfig
+    from .server import KVServer
+
+    config = LSMConfig(
+        background_mode=args.background,
+        num_buffers=args.num_buffers,
+        buffer_size_bytes=args.buffer_bytes,
+        flush_threads=args.flush_threads,
+        compaction_threads=args.compaction_threads,
+        wal_fsync=args.wal_fsync,
+    )
+    tree = LSMTree(config, wal_dir=args.wal_dir)
+    server = KVServer(
+        tree,
+        host=args.host,
+        port=args.port,
+        max_connections=args.max_connections,
+        executor_threads=args.executor_threads,
+        group_commit=not args.no_group_commit,
+        owns_tree=True,
+    )
+
+    async def run() -> None:
+        await server.start()
+        print(
+            f"repro-server listening on {server.host}:{server.port} "
+            f"(group_commit={server.group_commit}, "
+            f"background={args.background})",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError):
+                loop.add_signal_handler(signum, stop.set)
+        try:
+            await stop.wait()
+        finally:
+            print("repro-server shutting down", flush=True)
+            await server.stop()
+
+    asyncio.run(run())
+    return 0
+
+
+def command_bench_serve(args: argparse.Namespace) -> int:
+    """Closed-loop server benchmark: group commit on vs. off."""
+    import tempfile
+
+    from .server.loadgen import measure_server
+
+    rows = []
+    for group_commit in (False, True):
+        with tempfile.TemporaryDirectory(prefix="repro-serve-") as wal_dir:
+            rows.append(
+                measure_server(
+                    clients=args.clients,
+                    pipeline_depth=args.pipeline,
+                    ops_per_client=args.ops,
+                    group_commit=group_commit,
+                    wal_dir=wal_dir,
+                    value_bytes=args.value_bytes,
+                )
+            )
+    print(
+        format_table(
+            ["commit mode", "throughput (ops/s)", "p50 (us)", "p99 (us)",
+             "ops/commit"],
+            [
+                (
+                    "group" if row["group_commit"] else "per-request",
+                    row["throughput_ops_s"],
+                    row["p50_us"],
+                    row["p99_us"],
+                    row["ops_per_commit"],
+                )
+                for row in rows
+            ],
+            title=(
+                f"bench-serve: {args.clients} clients x pipeline "
+                f"{args.pipeline}, {args.ops} writes each (durable WAL)"
+            ),
         )
     )
     return 0
@@ -240,6 +335,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     layouts.add_argument("--keys", type=int, default=8_000)
     layouts.set_defaults(func=command_layouts)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the asyncio KV server over one LSM tree"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7379)
+    serve.add_argument(
+        "--background",
+        action="store_true",
+        help="run flush/compaction on worker threads (recommended)",
+    )
+    serve.add_argument("--num-buffers", type=int, default=4)
+    serve.add_argument("--buffer-bytes", type=int, default=64 * 1024)
+    serve.add_argument("--flush-threads", type=int, default=2)
+    serve.add_argument("--compaction-threads", type=int, default=2)
+    serve.add_argument(
+        "--wal-dir", default=None, help="directory for durable WAL segments"
+    )
+    serve.add_argument(
+        "--wal-fsync",
+        action="store_true",
+        help="fsync the WAL on every commit (needs --wal-dir)",
+    )
+    serve.add_argument("--max-connections", type=int, default=128)
+    serve.add_argument("--executor-threads", type=int, default=4)
+    serve.add_argument(
+        "--no-group-commit",
+        action="store_true",
+        help="commit every request separately (benchmark baseline)",
+    )
+    serve.set_defaults(func=command_serve)
+
+    bench_serve = subparsers.add_parser(
+        "bench-serve",
+        help="closed-loop server benchmark: group commit on vs. off",
+    )
+    bench_serve.add_argument("--clients", type=int, default=8)
+    bench_serve.add_argument("--pipeline", type=int, default=8)
+    bench_serve.add_argument(
+        "--ops", type=int, default=300, help="writes per client"
+    )
+    bench_serve.add_argument("--value-bytes", type=int, default=64)
+    bench_serve.set_defaults(func=command_bench_serve)
     return parser
 
 

@@ -156,6 +156,51 @@ class BackgroundCoordinator:
             (time.perf_counter() - started) * 1e6
         )
 
+    def buffer_entries(self, entries: List["Entry"]) -> None:
+        """Batch variant of :meth:`buffer_entry`: one WAL flush for all.
+
+        Must be called under the tree's write mutex. This is the group
+        commit path: the whole batch is journaled with a single log sync
+        before the entries enter the memtable, and the rotation check
+        runs once at the end.
+        """
+        tree = self.tree
+        started = time.perf_counter()
+        tree._active_wal.append_batch(entries)
+        for entry in entries:
+            tree._active.insert(entry)
+        if tree._active.size_bytes >= tree.config.buffer_size_bytes:
+            self.rotate()
+        tree.stats.record_write_latency(
+            (time.perf_counter() - started) * 1e6
+        )
+
+    def backpressure_state(self) -> dict:
+        """Snapshot the slowdown/stop triggers without blocking.
+
+        Unlike :meth:`before_write` this never waits: it reports what a
+        write issued right now would experience, so admission-control
+        layers (the server) can convert ``"stop"`` into a retryable BUSY
+        reply instead of parking a thread on the condition variable.
+        """
+        with self._cv:
+            immutable = len(self.tree._immutable)
+            l0_runs = self._l0_run_count()
+        queue_full = immutable >= self.tree.config.num_buffers
+        if queue_full or l0_runs >= self._stop_runs:
+            state = "stop"
+        elif l0_runs >= self._slowdown_runs:
+            state = "slowdown"
+        else:
+            state = "ok"
+        return {
+            "state": state,
+            "level0_runs": l0_runs,
+            "immutable_buffers": immutable,
+            "slowdown_trigger": self._slowdown_runs,
+            "stop_trigger": self._stop_runs,
+        }
+
     def rotate(self) -> None:
         """Freeze the active buffer (if non-empty) and wake flush workers."""
         with self._cv:

@@ -107,6 +107,11 @@ class LSMConfig:
             Level 0 is at its run limit but below the stop trigger
             (RocksDB's slowdown trigger, §2.2.3). ``0`` disables the
             slowdown; writes then only block at the hard stop.
+        wal_fsync: ``os.fsync`` the real WAL file on every commit (only
+            meaningful when the tree is given a ``wal_dir``). This is the
+            durability cost that group commit
+            (:meth:`~repro.core.wal.WriteAheadLog.append_batch`)
+            amortizes: one sync per batch instead of one per write.
     """
 
     buffer_size_bytes: int = 64 * 1024
@@ -132,9 +137,22 @@ class LSMConfig:
     flush_threads: int = 1
     compaction_threads: int = 1
     slowdown_sleep_us: float = 500.0
+    wal_fsync: bool = False
     extras: Tuple[Tuple[str, object], ...] = field(default=())
 
     def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Reject invalid values *and* incoherent combinations.
+
+        Called automatically at construction and again by
+        :class:`~repro.core.tree.LSMTree` before it wires components
+        together, so a config that was built via ``__new__``/pickling or
+        mutated through ``object.__setattr__`` still cannot reach the
+        engine. Raises :class:`~repro.errors.ConfigError` with an
+        actionable message naming the offending knob(s).
+        """
         if self.buffer_size_bytes <= 0:
             raise ConfigError("buffer_size_bytes must be positive")
         if self.num_buffers < 1:
@@ -186,6 +204,31 @@ class LSMConfig:
             raise ConfigError("compaction_threads must be at least 1")
         if self.slowdown_sleep_us < 0:
             raise ConfigError("slowdown_sleep_us must be non-negative")
+        # -- cross-field coherence ---------------------------------------
+        if self.background_mode and self.num_buffers < 2:
+            raise ConfigError(
+                "background_mode=True with num_buffers=1 leaves a "
+                "zero-size immutable queue: every rotation would hit the "
+                "write-stop trigger immediately; use num_buffers >= 2"
+            )
+        if self.target_file_bytes < self.block_bytes:
+            raise ConfigError(
+                f"target_file_bytes ({self.target_file_bytes}) smaller "
+                f"than block_bytes ({self.block_bytes}) would make "
+                "SSTables smaller than one data block; raise "
+                "target_file_bytes or shrink block_bytes"
+            )
+        if self.filter_allocation == "monkey" and self.filter_bits_per_key == 0:
+            raise ConfigError(
+                "filter_allocation='monkey' with filter_bits_per_key=0 "
+                "allocates a zero filter budget; give the filters bits or "
+                "use filter_allocation='none'"
+            )
+        if self.cache_prefetch and self.block_cache_bytes == 0:
+            raise ConfigError(
+                "cache_prefetch=True needs a block cache to prefetch "
+                "into; set block_cache_bytes > 0"
+            )
 
     def with_overrides(self, **overrides: object) -> "LSMConfig":
         """Return a copy with the given fields replaced (re-validated)."""

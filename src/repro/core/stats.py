@@ -14,7 +14,7 @@ experiment reports:
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, List
 
 
@@ -133,6 +133,39 @@ class TreeStats:
         if self.filter_probes == 0:
             return 0.0
         return self.filter_negatives / self.filter_probes
+
+    def to_dict(self) -> Dict[str, object]:
+        """A stable, JSON-serializable snapshot of every counter.
+
+        Scalar counters appear under their field names; the latency and
+        tombstone-age sample lists are summarized (count + percentiles)
+        rather than dumped raw, so the snapshot stays small no matter how
+        long the tree has run. Taken atomically under the stats lock, so
+        the snapshot is internally consistent even while background
+        workers are bumping counters — this is what the server's ``INFO``
+        command and the benchmark reports consume.
+        """
+        scalars: Dict[str, object] = {}
+        samples: Dict[str, List[float]] = {}
+        with self._lock:
+            for spec in fields(self):
+                if spec.name.startswith("_"):
+                    continue
+                value = getattr(self, spec.name)
+                if isinstance(value, list):
+                    samples[spec.name] = list(value)
+                else:
+                    scalars[spec.name] = value
+        for name, series in samples.items():
+            scalars[name.replace("_us", "") + "_summary_us"] = {
+                "count": len(series),
+                "p50": percentile(series, 0.50),
+                "p99": percentile(series, 0.99),
+                "p999": percentile(series, 0.999),
+                "max": max(series) if series else 0.0,
+            }
+        scalars["filter_skip_rate"] = self.filter_skip_rate
+        return scalars
 
     def latency_summary(self) -> Dict[str, float]:
         """p50/p99/p999 of the recorded write and read latencies."""

@@ -74,6 +74,7 @@ class LSMTree:
         merge_operator: Optional[MergeOperator] = None,
     ) -> None:
         self.config = config or LSMConfig()
+        self.config.validate()
         self.disk = disk or SimulatedDisk()
         self.stats = TreeStats()
         self.cache: Optional[BlockCache] = (
@@ -232,6 +233,60 @@ class LSMTree:
             )
         self.stats.incr("merges")
         self._write(entry)
+
+    def write_batch(
+        self, ops: List[Tuple[str, str, Optional[str]]]
+    ) -> None:
+        """Apply several writes as one atomic group commit (§2.1.1-A).
+
+        ``ops`` is a list of ``(op, key, value)`` tuples where ``op`` is
+        ``"put"`` (value required) or ``"delete"`` (value ignored). The
+        whole batch claims consecutive sequence numbers under one
+        acquisition of the write mutex and is journaled with a single
+        WAL flush (:meth:`~repro.core.wal.WriteAheadLog.append_batch`),
+        which is the engine-side half of the server's group commit. The
+        batch is validated up front: a malformed op raises ``ValueError``
+        before any entry is applied.
+        """
+        if not ops:
+            return
+        normalized: List[Tuple[EntryKind, str, Optional[str]]] = []
+        for op, key, value in ops:
+            if not key:
+                raise ValueError("keys must be non-empty")
+            if op == "put":
+                if value is None:
+                    raise ValueError("put ops need a value")
+                normalized.append((EntryKind.PUT, key, value))
+            elif op == "delete":
+                normalized.append((EntryKind.DELETE, key, None))
+            else:
+                raise ValueError(f"unknown batch op {op!r}")
+        self._before_write()
+        with self._write_mutex:
+            entries = []
+            for kind, key, value in normalized:
+                entry = Entry(
+                    key, value, self._claim_seqno(), kind, self.disk.now_us
+                )
+                self.stats.incr(
+                    "puts" if kind is EntryKind.PUT else "deletes"
+                )
+                self.stats.incr("user_bytes_written", entry.size)
+                entries.append(entry)
+            if self._background is not None:
+                self._background.buffer_entries(entries)
+                return
+            started_us = self.disk.now_us
+            self._active_wal.append_batch(entries)
+            for entry in entries:
+                self._active.insert(entry)
+            if self._active.size_bytes >= self.config.buffer_size_bytes:
+                self._rotate_active()
+            while len(self._immutable) >= self.config.num_buffers:
+                self._flush_oldest()
+            # One latency sample per batch: the batch is one commit.
+            self.stats.record_write_latency(self.disk.now_us - started_us)
 
     def delete_range(self, lo: str, hi: str) -> None:
         """Logically delete every key in ``[lo, hi)`` (§2.3.3).
@@ -427,6 +482,31 @@ class LSMTree:
     def seqno(self) -> int:
         """Next sequence number to be assigned."""
         return self._next_seqno
+
+    def backpressure(self) -> Dict[str, object]:
+        """Non-blocking admission-control snapshot for serving layers.
+
+        Returns a dict with ``state`` (``"ok"``, ``"slowdown"``, or
+        ``"stop"``) plus the raw quantities behind it (Level-0 run count,
+        immutable-queue depth, and the two triggers). In background mode
+        the state mirrors exactly what :meth:`put` would experience —
+        ``"stop"`` means a write issued now would block until workers
+        drain — so a server can shed load *before* tying up a thread.
+        The synchronous engine never blocks writers (it charges
+        maintenance inline), so its state is always ``"ok"``.
+        """
+        if self._background is not None:
+            return self._background.backpressure_state()
+        with self._manifest():
+            l0_runs = self.levels[0].run_count if self.levels else 0
+            immutable = len(self._immutable)
+        return {
+            "state": "ok",
+            "level0_runs": l0_runs,
+            "immutable_buffers": immutable,
+            "slowdown_trigger": self.config.level0_run_limit * 2,
+            "stop_trigger": self.config.level0_run_limit * 4,
+        }
 
     def total_disk_bytes(self) -> int:
         """Payload bytes currently on disk across all levels."""
@@ -636,7 +716,7 @@ class LSMTree:
                 self._wal_dir, f"wal.{self._wal_segment_id:06d}.log"
             )
         self._wal_segment_id += 1
-        return WriteAheadLog(self.disk, path)
+        return WriteAheadLog(self.disk, path, fsync=self.config.wal_fsync)
 
     def _write(self, entry: Entry) -> None:
         """Apply one journaled write; caller holds the write mutex."""

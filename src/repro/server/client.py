@@ -1,0 +1,218 @@
+"""Asyncio client for the KV server: pipelining, timeouts, BUSY retry.
+
+:class:`KVClient` keeps one TCP connection and correlates replies to
+requests purely by order (the server answers strictly in arrival order).
+Because each operation coroutine writes its request *before* awaiting its
+reply future, running many operations concurrently — for example with
+``asyncio.gather`` — pipelines them over the single connection::
+
+    client = await KVClient.connect("127.0.0.1", port)
+    await asyncio.gather(*(client.put(f"k{i}", "v") for i in range(64)))
+
+A ``BUSY`` reply (the server's admission control shedding a write while
+the engine is write-stopped) is retried transparently with exponential
+backoff; every other ``ERR`` surfaces as :class:`ServerError` carrying the
+structured code. A reply timeout poisons the connection (ordering can no
+longer be trusted) and fails all in-flight requests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+from ..errors import ReproError
+from .protocol import (
+    MAX_FRAME_BYTES,
+    BatchOp,
+    FrameParser,
+    ProtocolError,
+    encode_batch,
+    encode_message,
+)
+
+
+class ServerError(ReproError):
+    """The server answered with a structured ``ERR code message`` reply."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.detail = message
+
+
+class BusyError(ServerError):
+    """The server kept answering ``BUSY`` past the retry budget.
+
+    BUSY is the admission-control signal for the engine's write-stop
+    state; it is always safe to retry later.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__("BUSY", message)
+
+
+class KVClient:
+    """One pipelined connection to a :class:`~repro.server.KVServer`."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        timeout_s: float = 10.0,
+        max_busy_retries: int = 8,
+        backoff_base_s: float = 0.005,
+        backoff_max_s: float = 0.25,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self.timeout_s = timeout_s
+        self.max_busy_retries = max_busy_retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_max_s = backoff_max_s
+        #: BUSY replies absorbed by the retry loop (observability).
+        self.busy_retries = 0
+        self._parser = FrameParser(MAX_FRAME_BYTES)
+        self._pending: Deque[asyncio.Future] = deque()
+        self._broken: Optional[Exception] = None
+        self._read_task = asyncio.get_running_loop().create_task(
+            self._read_loop()
+        )
+
+    @classmethod
+    async def connect(
+        cls, host: str, port: int, **options: object
+    ) -> "KVClient":
+        """Open a connection and return a ready client."""
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer, **options)  # type: ignore[arg-type]
+
+    async def close(self) -> None:
+        """Close the connection; in-flight requests fail."""
+        self._poison(ConnectionError("client closed"))
+        self._read_task.cancel()
+        try:
+            await self._read_task
+        except asyncio.CancelledError:
+            pass
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "KVClient":
+        return self
+
+    async def __aexit__(self, *_exc_info: object) -> None:
+        await self.close()
+
+    # -- operations ---------------------------------------------------------
+
+    async def ping(self) -> bool:
+        """Round-trip liveness check."""
+        return (await self._call(["PING"]))[0] == "PONG"
+
+    async def get(self, key: str) -> Optional[str]:
+        """Point lookup; ``None`` when the key is absent."""
+        reply = await self._call(["GET", key])
+        if reply[0] == "VALUE":
+            return reply[1]
+        if reply[0] == "NONE":
+            return None
+        raise ProtocolError(f"unexpected GET reply {reply[0]!r}")
+
+    async def put(self, key: str, value: str) -> None:
+        """Insert or update one key (retried on BUSY)."""
+        await self._call(["PUT", key, value])
+
+    async def delete(self, key: str) -> None:
+        """Delete one key (retried on BUSY)."""
+        await self._call(["DELETE", key])
+
+    async def scan(self, lo: str, hi: str) -> List[Tuple[str, str]]:
+        """Range lookup over ``[lo, hi)``."""
+        reply = await self._call(["SCAN", lo, hi])
+        if reply[0] != "PAIRS" or len(reply) % 2 != 1:
+            raise ProtocolError("malformed SCAN reply")
+        return [
+            (reply[index], reply[index + 1])
+            for index in range(1, len(reply), 2)
+        ]
+
+    async def batch(self, ops: Iterable[BatchOp]) -> int:
+        """Apply several writes as one request; returns the op count."""
+        reply = await self._call(encode_batch(ops))
+        return int(reply[1]) if len(reply) > 1 else 0
+
+    async def info(self) -> Dict[str, object]:
+        """The server's INFO snapshot, parsed from JSON."""
+        reply = await self._call(["INFO"])
+        return json.loads(reply[1])
+
+    # -- plumbing -----------------------------------------------------------
+
+    async def _call(self, fields: List[str]) -> List[str]:
+        """Send a request; retry on BUSY; raise ServerError on ERR."""
+        delay = self.backoff_base_s
+        reply = ["BUSY", "never sent"]
+        for attempt in range(self.max_busy_retries + 1):
+            reply = await self._request(fields)
+            if reply[0] != "BUSY":
+                break
+            self.busy_retries += 1
+            if attempt == self.max_busy_retries:
+                raise BusyError(reply[1] if len(reply) > 1 else "busy")
+            await asyncio.sleep(delay)
+            delay = min(delay * 2, self.backoff_max_s)
+        if reply[0] == "ERR":
+            code = reply[1] if len(reply) > 1 else "UNKNOWN"
+            detail = reply[2] if len(reply) > 2 else ""
+            raise ServerError(code, detail)
+        return reply
+
+    async def _request(self, fields: List[str]) -> List[str]:
+        if self._broken is not None:
+            raise self._broken
+        future = asyncio.get_running_loop().create_future()
+        self._pending.append(future)
+        self._writer.write(encode_message(fields))
+        await self._writer.drain()
+        try:
+            return await asyncio.wait_for(future, self.timeout_s)
+        except asyncio.TimeoutError:
+            # Ordering is lost once a reply is missing: poison everything.
+            self._poison(
+                ConnectionError(
+                    f"no reply within {self.timeout_s}s; connection poisoned"
+                )
+            )
+            raise
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                data = await self._reader.read(64 * 1024)
+                if not data:
+                    self._poison(ConnectionError("server closed connection"))
+                    return
+                for message in self._parser.feed(data):
+                    if self._pending:
+                        future = self._pending.popleft()
+                        if not future.done():
+                            future.set_result(message)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # ProtocolError, ConnectionError, ...
+            self._poison(exc)
+
+    def _poison(self, exc: Exception) -> None:
+        if self._broken is None:
+            self._broken = exc
+        while self._pending:
+            future = self._pending.popleft()
+            if not future.done():
+                future.set_exception(exc)

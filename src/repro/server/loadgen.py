@@ -1,0 +1,175 @@
+"""Closed-loop load generation against a live KV server.
+
+Shared by the ``bench-serve`` CLI subcommand and experiment E22
+(``benchmarks/bench_e22_server.py``): start a server over a fresh tree,
+drive it with N concurrent client connections each keeping a fixed
+pipeline depth outstanding, and report wall-clock throughput plus
+client-observed latency percentiles.
+
+The loop is *closed*: every client issues ``pipeline_depth`` requests,
+awaits all their replies, then issues the next window — so throughput
+reflects the full request/commit/reply cycle, and the group-commit
+contrast isolates the serving layer (same engine, same protocol, only
+the commit coalescing differs).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict, List, Optional
+
+from ..core.config import LSMConfig
+from ..core.stats import percentile
+from ..core.tree import LSMTree
+from .client import KVClient
+from .server import KVServer
+
+
+async def _client_worker(
+    host: str,
+    port: int,
+    client_id: int,
+    ops: int,
+    pipeline_depth: int,
+    value: str,
+    get_every: int,
+    latencies_us: List[float],
+) -> None:
+    """One closed-loop client: windows of ``pipeline_depth`` requests."""
+
+    async def timed(coroutine) -> None:
+        started = time.perf_counter()
+        await coroutine
+        latencies_us.append((time.perf_counter() - started) * 1e6)
+
+    client = await KVClient.connect(host, port)
+    try:
+        issued = 0
+        while issued < ops:
+            window = min(pipeline_depth, ops - issued)
+            requests = []
+            for offset in range(window):
+                sequence = issued + offset
+                key = f"c{client_id:03d}-{sequence:09d}"
+                if get_every and sequence % get_every == get_every - 1:
+                    requests.append(timed(client.get(key)))
+                else:
+                    requests.append(timed(client.put(key, value)))
+            await asyncio.gather(*requests)
+            issued += window
+    finally:
+        await client.close()
+
+
+async def run_closed_loop(
+    host: str,
+    port: int,
+    *,
+    clients: int,
+    pipeline_depth: int,
+    ops_per_client: int,
+    value_bytes: int = 64,
+    get_every: int = 0,
+) -> Dict[str, float]:
+    """Drive a running server; return throughput + latency percentiles.
+
+    ``get_every`` > 0 turns every Nth request into a GET of an
+    already-written key, mixing reads into the closed loop.
+    """
+    value = "v" * value_bytes
+    latencies_us: List[float] = []
+    started = time.perf_counter()
+    await asyncio.gather(
+        *(
+            _client_worker(
+                host,
+                port,
+                client_id,
+                ops_per_client,
+                pipeline_depth,
+                value,
+                get_every,
+                latencies_us,
+            )
+            for client_id in range(clients)
+        )
+    )
+    wall_s = time.perf_counter() - started
+    total_ops = clients * ops_per_client
+    return {
+        "clients": clients,
+        "pipeline_depth": pipeline_depth,
+        "ops": total_ops,
+        "wall_s": wall_s,
+        "throughput_ops_s": total_ops / wall_s if wall_s > 0 else 0.0,
+        "p50_us": percentile(latencies_us, 0.50),
+        "p99_us": percentile(latencies_us, 0.99),
+        "max_us": max(latencies_us) if latencies_us else 0.0,
+    }
+
+
+def measure_server(
+    *,
+    clients: int,
+    pipeline_depth: int,
+    ops_per_client: int,
+    group_commit: bool,
+    config: Optional[LSMConfig] = None,
+    wal_dir: Optional[str] = None,
+    value_bytes: int = 64,
+    get_every: int = 0,
+    executor_threads: int = 4,
+) -> Dict[str, float]:
+    """Start a fresh server+tree, run one closed-loop measurement, stop.
+
+    A synchronous convenience wrapper: everything (server and clients)
+    runs on one fresh event loop, so callers — benchmarks, the CLI —
+    need no asyncio plumbing of their own.
+    """
+
+    async def measurement() -> Dict[str, float]:
+        tree = LSMTree(
+            config
+            or LSMConfig(
+                background_mode=True,
+                num_buffers=4,
+                flush_threads=2,
+                compaction_threads=2,
+                # Durable commits: the cost group commit amortizes. Only
+                # takes effect when the caller provides a wal_dir.
+                wal_fsync=True,
+            ),
+            wal_dir=wal_dir,
+        )
+        server = KVServer(
+            tree,
+            group_commit=group_commit,
+            executor_threads=executor_threads,
+            owns_tree=True,
+        )
+        await server.start()
+        try:
+            row = await run_closed_loop(
+                server.host,
+                server.port,
+                clients=clients,
+                pipeline_depth=pipeline_depth,
+                ops_per_client=ops_per_client,
+                value_bytes=value_bytes,
+                get_every=get_every,
+            )
+            row["group_commit"] = group_commit
+            row["group_commits"] = server.metrics.group_commits
+            row["ops_per_commit"] = (
+                server.metrics.group_committed_ops
+                / server.metrics.group_commits
+                if server.metrics.group_commits
+                else 0.0
+            )
+            row["busy_rejections"] = server.metrics.busy_rejections
+            return row
+        finally:
+            await server.stop()
+
+    return asyncio.run(measurement())

@@ -1,0 +1,178 @@
+"""Wire protocol for the KV server: length-prefixed string frames.
+
+The protocol is RESP-like in spirit — every message is a flat array of
+UTF-8 strings whose first element is the verb (requests) or status
+(replies) — but framed with explicit binary lengths instead of sentinel
+characters, so keys and values may contain *any* text, including newlines
+and commas, without escaping.
+
+Frame layout (all integers big-endian)::
+
+    u32  payload length (bytes that follow; bounded by max_frame_bytes)
+    u32  field count (>= 1)
+    then per field:  u32 byte length, UTF-8 bytes
+
+Because frames are self-delimiting, any number of requests can be written
+back-to-back on one connection before the first reply arrives — that is
+pipelining, and :class:`FrameParser` is the incremental decoder that makes
+it work: feed it whatever bytes the transport produced and it yields every
+complete message, buffering the tail of a partial frame for the next feed.
+
+Requests::
+
+    PING | GET k | PUT k v | DELETE k | SCAN lo hi | INFO
+    BATCH (PUT k v | DELETE k)...
+
+Replies::
+
+    PONG | OK [n] | VALUE v | NONE | PAIRS k v ... | INFO json
+    BUSY message            -- retryable: the engine is write-stopped
+    ERR code message        -- structured failure, connection stays usable
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import ReproError
+
+#: Default ceiling on one frame's payload; the server may lower/raise it.
+MAX_FRAME_BYTES = 4 * 1024 * 1024
+
+#: Request verbs the server dispatches.
+REQUEST_VERBS = ("PING", "GET", "PUT", "DELETE", "SCAN", "BATCH", "INFO")
+
+#: Reply statuses a client must understand.
+REPLY_STATUSES = ("PONG", "OK", "VALUE", "NONE", "PAIRS", "INFO", "BUSY", "ERR")
+
+_U32 = struct.Struct(">I")
+
+
+class ProtocolError(ReproError):
+    """A frame violated the wire protocol (malformed, oversized, …).
+
+    Unlike an ``ERR`` reply this is not recoverable on the same
+    connection: once framing is lost the stream cannot be re-synchronized,
+    so both ends close the connection on it.
+    """
+
+
+def encode_message(fields: Sequence[str]) -> bytes:
+    """Encode one message (a non-empty list of strings) as a frame."""
+    if not fields:
+        raise ProtocolError("messages need at least one field")
+    chunks: List[bytes] = [b"", _U32.pack(len(fields))]
+    for item in fields:
+        raw = item.encode("utf-8")
+        chunks.append(_U32.pack(len(raw)))
+        chunks.append(raw)
+    payload_len = sum(len(chunk) for chunk in chunks)  # chunks[0] is empty
+    chunks[0] = _U32.pack(payload_len)
+    return b"".join(chunks)
+
+
+class FrameParser:
+    """Incremental frame decoder: bytes in, complete messages out.
+
+    One parser per connection. :meth:`feed` accepts arbitrary byte chunks
+    (a TCP stream fragments frames however it likes) and returns every
+    message completed by that chunk, keeping partial-frame bytes buffered.
+    A frame whose declared payload exceeds ``max_frame_bytes`` raises
+    :class:`ProtocolError` *before* the payload is buffered, bounding
+    memory per connection.
+    """
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+        self.max_frame_bytes = max_frame_bytes
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[List[str]]:
+        """Consume ``data``; return the messages it completed (in order)."""
+        self._buffer.extend(data)
+        messages: List[List[str]] = []
+        while True:
+            frame = self._next_frame()
+            if frame is None:
+                return messages
+            messages.append(self._decode_payload(frame))
+
+    def _next_frame(self) -> Optional[bytes]:
+        if len(self._buffer) < _U32.size:
+            return None
+        (payload_len,) = _U32.unpack_from(self._buffer)
+        if payload_len > self.max_frame_bytes:
+            raise ProtocolError(
+                f"frame of {payload_len} bytes exceeds the "
+                f"{self.max_frame_bytes}-byte limit"
+            )
+        end = _U32.size + payload_len
+        if len(self._buffer) < end:
+            return None
+        frame = bytes(self._buffer[_U32.size : end])
+        del self._buffer[:end]
+        return frame
+
+    def _decode_payload(self, payload: bytes) -> List[str]:
+        if len(payload) < _U32.size:
+            raise ProtocolError("frame payload too short for a field count")
+        (count,) = _U32.unpack_from(payload)
+        if count < 1:
+            raise ProtocolError("messages need at least one field")
+        fields: List[str] = []
+        offset = _U32.size
+        for _ in range(count):
+            if len(payload) < offset + _U32.size:
+                raise ProtocolError("frame truncated inside a field header")
+            (length,) = _U32.unpack_from(payload, offset)
+            offset += _U32.size
+            if len(payload) < offset + length:
+                raise ProtocolError("frame truncated inside a field body")
+            try:
+                fields.append(payload[offset : offset + length].decode("utf-8"))
+            except UnicodeDecodeError as exc:
+                raise ProtocolError("field is not valid UTF-8") from exc
+            offset += length
+        if offset != len(payload):
+            raise ProtocolError("frame has trailing bytes after last field")
+        return fields
+
+
+# -- BATCH sub-op (de)serialization -----------------------------------------
+
+#: One batch write as the engine consumes it: (op, key, value-or-None).
+BatchOp = Tuple[str, str, Optional[str]]
+
+
+def encode_batch(ops: Iterable[BatchOp]) -> List[str]:
+    """Flatten batch ops into a BATCH request's field list."""
+    fields = ["BATCH"]
+    for op, key, value in ops:
+        if op == "put":
+            fields.extend(("PUT", key, value if value is not None else ""))
+        elif op == "delete":
+            fields.extend(("DELETE", key))
+        else:
+            raise ProtocolError(f"unknown batch op {op!r}")
+    return fields
+
+
+def decode_batch(fields: Sequence[str]) -> List[BatchOp]:
+    """Parse a BATCH request's fields back into engine batch ops."""
+    ops: List[BatchOp] = []
+    index = 1  # fields[0] == "BATCH"
+    while index < len(fields):
+        verb = fields[index]
+        if verb == "PUT":
+            if index + 2 >= len(fields):
+                raise ProtocolError("BATCH PUT needs a key and a value")
+            ops.append(("put", fields[index + 1], fields[index + 2]))
+            index += 3
+        elif verb == "DELETE":
+            if index + 1 >= len(fields):
+                raise ProtocolError("BATCH DELETE needs a key")
+            ops.append(("delete", fields[index + 1], None))
+            index += 2
+        else:
+            raise ProtocolError(f"unknown BATCH sub-op {verb!r}")
+    return ops

@@ -1,0 +1,467 @@
+"""Asyncio TCP front-end for one LSM tree: pipelining, group commit,
+admission control.
+
+This is the process boundary the ROADMAP's "serving heavy traffic" goal
+needs: a :class:`KVServer` owns an :class:`~repro.core.tree.LSMTree`
+(typically in ``background_mode``) and speaks the length-prefixed protocol
+of :mod:`repro.server.protocol` to any number of concurrent connections.
+
+Three serving-layer mechanisms do the heavy lifting:
+
+* **Pipelining** — each connection's requests are decoded incrementally
+  and answered strictly in arrival order, so clients may write many
+  requests before reading the first reply. Ordering is per-connection;
+  different connections interleave freely.
+* **Group commit** — writes (PUT/DELETE/BATCH) from all connections are
+  coalesced by a single committer task into one
+  :meth:`~repro.core.tree.LSMTree.write_batch` call per engine round
+  trip: one write-mutex acquisition and one WAL flush for N client
+  writes (Luo & Carey's ingestion-batching observation applied at the
+  serving boundary).
+* **Admission control** — before a write is admitted the server consults
+  :meth:`~repro.core.tree.LSMTree.backpressure`: the *slowdown* state
+  delays the reply (client-visible pushback that costs no thread), and
+  the *stop* state is converted into a retryable ``BUSY`` reply instead
+  of parking an executor thread on the engine's stall condition.
+  Connection count and per-request frame size are bounded the same way.
+
+Engine calls run on a bounded thread-pool executor so the event loop
+never blocks on storage work; a failing background flush/compaction
+surfaces as a structured ``ERR BACKGROUND`` reply (the tree stays
+readable), never as a hung or dropped connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Deque, List, Optional, Sequence, Set, Tuple
+
+from ..core.tree import LSMTree
+from ..errors import BackgroundError, ClosedError
+from .metrics import ServerMetrics
+from .protocol import (
+    MAX_FRAME_BYTES,
+    BatchOp,
+    FrameParser,
+    ProtocolError,
+    decode_batch,
+    encode_message,
+)
+
+#: Verbs the in-order dispatcher treats as writes (group-commit eligible).
+_WRITE_VERBS = ("PUT", "DELETE", "BATCH")
+
+
+class _GroupCommitter:
+    """Coalesces concurrent write submissions into engine batch commits.
+
+    Connections submit ``(ops, future)`` pairs; a single drain task folds
+    everything queued at that moment into one
+    :meth:`~repro.core.tree.LSMTree.write_batch` call on the executor and
+    resolves every submitter's future with the outcome. While one commit
+    is on the executor, new submissions pile up and ride the next commit
+    — exactly the classic group-commit window, sized by load instead of
+    by a timer.
+    """
+
+    def __init__(
+        self,
+        tree: LSMTree,
+        executor: ThreadPoolExecutor,
+        metrics: ServerMetrics,
+        max_ops_per_commit: int,
+    ) -> None:
+        self._tree = tree
+        self._executor = executor
+        self._metrics = metrics
+        self._max_ops = max_ops_per_commit
+        self._queue: Deque[Tuple[List[BatchOp], asyncio.Future]] = deque()
+        self._wakeup = asyncio.Event()
+        self._task: Optional[asyncio.Task] = None
+
+    def start(self) -> None:
+        """Spawn the drain task on the running loop."""
+        self._task = asyncio.get_running_loop().create_task(self._drain())
+
+    async def stop(self) -> None:
+        """Cancel the drain task, failing any not-yet-committed writes."""
+        if self._task is None:
+            return
+        self._task.cancel()
+        try:
+            await self._task
+        except asyncio.CancelledError:
+            pass
+        self._task = None
+        while self._queue:
+            _, future = self._queue.popleft()
+            if not future.done():
+                future.set_exception(ClosedError("server is shutting down"))
+
+    async def submit(self, ops: List[BatchOp]) -> None:
+        """Queue ``ops`` for the next commit; resolves when durable."""
+        future = asyncio.get_running_loop().create_future()
+        self._queue.append((ops, future))
+        self._wakeup.set()
+        await future
+
+    async def _drain(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            await self._wakeup.wait()
+            self._wakeup.clear()
+            while self._queue:
+                batch: List[Tuple[List[BatchOp], asyncio.Future]] = []
+                ops: List[BatchOp] = []
+                while self._queue and len(ops) < self._max_ops:
+                    sub_ops, future = self._queue.popleft()
+                    batch.append((sub_ops, future))
+                    ops.extend(sub_ops)
+                try:
+                    await loop.run_in_executor(
+                        self._executor, self._tree.write_batch, ops
+                    )
+                except Exception as exc:  # surfaced per submitter
+                    for _, future in batch:
+                        if not future.done():
+                            future.set_exception(exc)
+                else:
+                    self._metrics.group_commits += 1
+                    self._metrics.group_committed_ops += len(ops)
+                    for _, future in batch:
+                        if not future.done():
+                            future.set_result(None)
+
+
+class KVServer:
+    """An asyncio TCP server fronting one LSM tree.
+
+    Args:
+        tree: The engine to serve. The server does *not* close it unless
+            ``owns_tree=True`` (the CLI sets that).
+        host / port: Bind address; ``port=0`` picks a free port, readable
+            from :attr:`port` after :meth:`start`.
+        max_connections: Connections beyond this are answered with one
+            ``ERR MAXCONN`` frame and closed immediately.
+        max_request_bytes: Per-request frame-size ceiling; an oversized
+            frame gets ``ERR PROTOCOL`` and the connection is closed
+            (framing cannot be trusted past that point).
+        executor_threads: Bound on concurrent engine calls.
+        group_commit: Coalesce concurrent writes into shared engine
+            commits (on by default; off = one engine call per request,
+            the contrast ``bench_e22`` measures).
+        group_commit_max_ops: Cap on client ops folded into one commit.
+        slowdown_delay_s: Reply delay applied per write while the engine
+            reports the *slowdown* state.
+    """
+
+    def __init__(
+        self,
+        tree: LSMTree,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_connections: int = 128,
+        max_request_bytes: int = MAX_FRAME_BYTES,
+        executor_threads: int = 4,
+        group_commit: bool = True,
+        group_commit_max_ops: int = 512,
+        slowdown_delay_s: float = 0.002,
+        owns_tree: bool = False,
+    ) -> None:
+        self.tree = tree
+        self.host = host
+        self.port = port
+        self.max_connections = max_connections
+        self.max_request_bytes = max_request_bytes
+        self.group_commit = group_commit
+        self.slowdown_delay_s = slowdown_delay_s
+        self.metrics = ServerMetrics()
+        self._owns_tree = owns_tree
+        self._executor = ThreadPoolExecutor(
+            max_workers=executor_threads, thread_name_prefix="kv-engine"
+        )
+        self._committer = _GroupCommitter(
+            tree, self._executor, self.metrics, group_commit_max_ops
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self._started_at = time.time()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        if self.group_commit:
+            self._committer.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Stop accepting, close live connections, release the executor."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self._committer.stop()
+        for writer in list(self._writers):
+            writer.close()
+        for writer in list(self._writers):
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        self._writers.clear()
+        self._executor.shutdown(wait=True)
+        if self._owns_tree:
+            self.tree.close()
+
+    async def serve_forever(self) -> None:
+        """Block until the server is cancelled (CLI entry point)."""
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    # -- connection handling ------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if len(self._writers) >= self.max_connections:
+            self.metrics.connections_rejected += 1
+            writer.write(
+                encode_message(
+                    ["ERR", "MAXCONN", "connection limit reached; retry later"]
+                )
+            )
+            await self._close_writer(writer)
+            return
+        self._writers.add(writer)
+        self.metrics.connection_opened()
+        parser = FrameParser(self.max_request_bytes)
+        pending: Deque[List[str]] = deque()
+        try:
+            while True:
+                data = await reader.read(64 * 1024)
+                if not data:
+                    break
+                try:
+                    pending.extend(parser.feed(data))
+                except ProtocolError as exc:
+                    self.metrics.protocol_errors += 1
+                    writer.write(
+                        encode_message(["ERR", "PROTOCOL", str(exc)])
+                    )
+                    await writer.drain()
+                    break
+                while pending:
+                    await self._serve_next(pending, writer)
+                await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self.metrics.connection_closed()
+            self._writers.discard(writer)
+            await self._close_writer(writer)
+
+    @staticmethod
+    async def _close_writer(writer: asyncio.StreamWriter) -> None:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def _serve_next(
+        self, pending: Deque[List[str]], writer: asyncio.StreamWriter
+    ) -> None:
+        """Answer the head request; coalesce a run of pipelined writes."""
+        if pending[0] and pending[0][0] in _WRITE_VERBS:
+            run: List[List[str]] = []
+            while (
+                pending
+                and pending[0]
+                and pending[0][0] in _WRITE_VERBS
+            ):
+                run.append(pending.popleft())
+            for reply in await self._dispatch_writes(run):
+                writer.write(encode_message(reply))
+            return
+        request = pending.popleft()
+        writer.write(encode_message(await self._dispatch_read(request)))
+
+    # -- write path ---------------------------------------------------------
+
+    async def _dispatch_writes(
+        self, requests: List[List[str]]
+    ) -> List[List[str]]:
+        """Admit, commit, and answer a run of pipelined write requests."""
+        started = time.perf_counter()
+        ops: List[BatchOp] = []
+        per_request: List[Tuple[str, int]] = []  # (verb, op count)
+        for request in requests:
+            try:
+                sub_ops = self._parse_write(request)
+            except (ProtocolError, ValueError) as exc:
+                # A malformed write poisons the whole coalesced run; fall
+                # back to answering each request individually so only the
+                # bad one errors.
+                if len(requests) > 1:
+                    replies = []
+                    for single in requests:
+                        replies.extend(await self._dispatch_writes([single]))
+                    return replies
+                self.metrics.errors_total += 1
+                return [["ERR", "BADREQ", str(exc)]]
+            ops.extend(sub_ops)
+            per_request.append((request[0], len(sub_ops)))
+
+        busy = self._admission_check()
+        if busy is not None:
+            self.metrics.busy_rejections += len(requests)
+            return [list(busy) for _ in requests]
+        if await self._apply_slowdown():
+            self.metrics.slowdown_delays += len(requests)
+
+        try:
+            if self.group_commit:
+                await self._committer.submit(ops)
+            else:
+                # Per-request commit: one engine call — one write-mutex
+                # acquisition and one WAL sync — per client request, the
+                # baseline bench_e22 contrasts group commit against.
+                loop = asyncio.get_running_loop()
+                offset = 0
+                for _, op_count in per_request:
+                    await loop.run_in_executor(
+                        self._executor,
+                        self.tree.write_batch,
+                        ops[offset : offset + op_count],
+                    )
+                    offset += op_count
+        except Exception as exc:
+            failure = self._error_reply(exc)
+            self.metrics.errors_total += len(requests)
+            return [list(failure) for _ in requests]
+
+        micros = (time.perf_counter() - started) * 1e6
+        replies: List[List[str]] = []
+        for verb, op_count in per_request:
+            self.metrics.record_op(verb, micros)
+            replies.append(
+                ["OK", str(op_count)] if verb == "BATCH" else ["OK"]
+            )
+        return replies
+
+    @staticmethod
+    def _parse_write(request: Sequence[str]) -> List[BatchOp]:
+        verb = request[0]
+        if verb == "PUT":
+            if len(request) != 3:
+                raise ProtocolError("PUT needs exactly a key and a value")
+            return [("put", request[1], request[2])]
+        if verb == "DELETE":
+            if len(request) != 2:
+                raise ProtocolError("DELETE needs exactly a key")
+            return [("delete", request[1], None)]
+        return decode_batch(request)
+
+    def _admission_check(self) -> Optional[List[str]]:
+        """BUSY reply if the engine is write-stopped, else ``None``."""
+        state = self.tree.backpressure()
+        if state["state"] != "stop":
+            return None
+        return [
+            "BUSY",
+            "engine write-stopped "
+            f"(level0_runs={state['level0_runs']}, "
+            f"immutable_buffers={state['immutable_buffers']}); retry",
+        ]
+
+    async def _apply_slowdown(self) -> bool:
+        """Delay the reply while the engine reports the slowdown state."""
+        if self.slowdown_delay_s <= 0:
+            return False
+        if self.tree.backpressure()["state"] != "slowdown":
+            return False
+        await asyncio.sleep(self.slowdown_delay_s)
+        return True
+
+    # -- read path ----------------------------------------------------------
+
+    async def _dispatch_read(self, request: List[str]) -> List[str]:
+        started = time.perf_counter()
+        verb = request[0]
+        try:
+            if verb == "PING":
+                reply = ["PONG"]
+            elif verb == "GET":
+                if len(request) != 2:
+                    raise ProtocolError("GET needs exactly a key")
+                value = await self._run_engine(self.tree.get, request[1])
+                reply = ["NONE"] if value is None else ["VALUE", value]
+            elif verb == "SCAN":
+                if len(request) != 3:
+                    raise ProtocolError("SCAN needs exactly lo and hi")
+                pairs = await self._run_engine(
+                    self.tree.scan, request[1], request[2]
+                )
+                reply = ["PAIRS"]
+                for key, value in pairs:
+                    reply.extend((key, value))
+            elif verb == "INFO":
+                reply = ["INFO", json.dumps(self.info(), sort_keys=True)]
+            else:
+                self.metrics.errors_total += 1
+                return ["ERR", "BADREQ", f"unknown command {verb!r}"]
+        except Exception as exc:
+            self.metrics.errors_total += 1
+            return self._error_reply(exc)
+        self.metrics.record_op(
+            verb, (time.perf_counter() - started) * 1e6
+        )
+        return reply
+
+    async def _run_engine(self, fn, *args):
+        return await asyncio.get_running_loop().run_in_executor(
+            self._executor, fn, *args
+        )
+
+    def _error_reply(self, exc: Exception) -> List[str]:
+        """Map an engine exception onto a structured ERR reply.
+
+        :class:`~repro.errors.BackgroundError` gets its own code — a
+        failed background flush/compaction must reach the client as data,
+        not as a hung connection — and includes the worker's root cause.
+        """
+        if isinstance(exc, BackgroundError):
+            self.metrics.background_errors += 1
+            cause = exc.__cause__
+            detail = f"{exc} (cause: {cause!r})" if cause else str(exc)
+            return ["ERR", "BACKGROUND", detail]
+        if isinstance(exc, ClosedError):
+            return ["ERR", "CLOSED", str(exc)]
+        if isinstance(exc, (ProtocolError, ValueError)):
+            return ["ERR", "BADREQ", str(exc)]
+        return ["ERR", "INTERNAL", f"{type(exc).__name__}: {exc}"]
+
+    # -- introspection ------------------------------------------------------
+
+    def info(self) -> dict:
+        """The INFO payload: serving metrics + engine snapshot."""
+        return {
+            "server": {
+                "uptime_s": time.time() - self._started_at,
+                "group_commit": self.group_commit,
+                "max_connections": self.max_connections,
+                **self.metrics.to_dict(),
+            },
+            "backpressure": self.tree.backpressure(),
+            "engine": self.tree.stats.to_dict(),
+            "levels": self.tree.level_summary(),
+        }

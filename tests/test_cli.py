@@ -19,6 +19,29 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["workload", "--preset", "zz"])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 7379
+        assert args.num_buffers == 4
+        assert args.no_group_commit is False
+
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--background", "--wal-fsync",
+             "--no-group-commit", "--max-connections", "7"]
+        )
+        assert args.port == 0
+        assert args.background is True
+        assert args.wal_fsync is True
+        assert args.no_group_commit is True
+        assert args.max_connections == 7
+
+    def test_bench_serve_defaults(self):
+        args = build_parser().parse_args(["bench-serve"])
+        assert args.clients == 8
+        assert args.pipeline == 8
+
 
 class TestCommands:
     def test_workload_runs(self, capsys):
@@ -66,6 +89,17 @@ class TestCommands:
         output = capsys.readouterr().out
         for layout in ["leveling", "tiering", "lazy_leveling", "hybrid", "bush"]:
             assert layout in output
+
+    def test_bench_serve_runs(self, capsys):
+        code = main(
+            ["bench-serve", "--clients", "2", "--pipeline", "2",
+             "--ops", "20", "--value-bytes", "16"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "per-request" in output
+        assert "group" in output
+        assert "ops/commit" in output
 
     def test_bad_mix_fails_cleanly(self):
         with pytest.raises(Exception):

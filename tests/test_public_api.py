@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.cost",
     "repro.workload",
     "repro.bench",
+    "repro.server",
 ]
 
 

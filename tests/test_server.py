@@ -1,0 +1,650 @@
+"""Tests for the serving layer: protocol, metrics, server, and client.
+
+The asyncio pieces are exercised with ``asyncio.run`` inside synchronous
+test functions (the suite has no asyncio plugin); every server test binds
+to port 0 on localhost and tears the server down in a ``finally``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from typing import List, Optional
+
+import pytest
+
+from repro.core.config import LSMConfig
+from repro.core.tree import LSMTree
+from repro.errors import ClosedError
+from repro.server import (
+    BusyError,
+    FrameParser,
+    KVClient,
+    KVServer,
+    LatencyHistogram,
+    ProtocolError,
+    ServerError,
+    ServerMetrics,
+    decode_batch,
+    encode_batch,
+    encode_message,
+)
+
+# ---------------------------------------------------------------------------
+# Wire protocol
+# ---------------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_roundtrip_single_message(self):
+        parser = FrameParser()
+        assert parser.feed(encode_message(["PING"])) == [["PING"]]
+
+    def test_roundtrip_preserves_awkward_text(self):
+        fields = ["PUT", "key,with\nnewline", "value with \x00 and ünïcode"]
+        assert FrameParser().feed(encode_message(fields)) == [fields]
+
+    def test_roundtrip_empty_field(self):
+        fields = ["PUT", "k", ""]
+        assert FrameParser().feed(encode_message(fields)) == [fields]
+
+    def test_pipelined_frames_in_one_feed(self):
+        data = encode_message(["GET", "a"]) + encode_message(["GET", "b"])
+        assert FrameParser().feed(data) == [["GET", "a"], ["GET", "b"]]
+
+    def test_byte_by_byte_incremental_parse(self):
+        """A TCP stream may fragment frames arbitrarily, down to 1 byte."""
+        data = encode_message(["PUT", "key", "value"]) + encode_message(
+            ["SCAN", "a", "z"]
+        )
+        parser = FrameParser()
+        messages: List[List[str]] = []
+        for index in range(len(data)):
+            messages.extend(parser.feed(data[index : index + 1]))
+        assert messages == [["PUT", "key", "value"], ["SCAN", "a", "z"]]
+
+    def test_partial_frame_is_buffered_not_lost(self):
+        data = encode_message(["GET", "key"])
+        parser = FrameParser()
+        assert parser.feed(data[:5]) == []
+        assert parser.feed(data[5:]) == [["GET", "key"]]
+
+    def test_empty_message_rejected_at_encode(self):
+        with pytest.raises(ProtocolError):
+            encode_message([])
+
+    def test_oversized_frame_rejected_before_buffering(self):
+        parser = FrameParser(max_frame_bytes=64)
+        with pytest.raises(ProtocolError, match="exceeds"):
+            parser.feed(encode_message(["PUT", "k", "x" * 1000]))
+
+    def test_zero_field_count_rejected(self):
+        import struct
+
+        payload = struct.pack(">I", 0)
+        frame = struct.pack(">I", len(payload)) + payload
+        with pytest.raises(ProtocolError, match="at least one field"):
+            FrameParser().feed(frame)
+
+    def test_truncated_field_body_rejected(self):
+        import struct
+
+        # One field claiming 10 bytes but carrying only 2.
+        payload = struct.pack(">I", 1) + struct.pack(">I", 10) + b"ab"
+        frame = struct.pack(">I", len(payload)) + payload
+        with pytest.raises(ProtocolError, match="truncated"):
+            FrameParser().feed(frame)
+
+    def test_trailing_bytes_rejected(self):
+        import struct
+
+        payload = struct.pack(">I", 1) + struct.pack(">I", 1) + b"a" + b"junk"
+        frame = struct.pack(">I", len(payload)) + payload
+        with pytest.raises(ProtocolError, match="trailing"):
+            FrameParser().feed(frame)
+
+    def test_invalid_utf8_rejected(self):
+        import struct
+
+        payload = struct.pack(">I", 1) + struct.pack(">I", 2) + b"\xff\xfe"
+        frame = struct.pack(">I", len(payload)) + payload
+        with pytest.raises(ProtocolError, match="UTF-8"):
+            FrameParser().feed(frame)
+
+
+class TestBatchCodec:
+    def test_roundtrip(self):
+        ops = [("put", "a", "1"), ("delete", "b", None), ("put", "c", "")]
+        assert decode_batch(encode_batch(ops)) == ops
+
+    def test_empty_batch(self):
+        assert decode_batch(encode_batch([])) == []
+
+    def test_unknown_op_rejected_at_encode(self):
+        with pytest.raises(ProtocolError):
+            encode_batch([("merge", "k", "v")])
+
+    def test_truncated_put_rejected_at_decode(self):
+        with pytest.raises(ProtocolError):
+            decode_batch(["BATCH", "PUT", "key-only"])
+
+    def test_unknown_sub_op_rejected_at_decode(self):
+        with pytest.raises(ProtocolError):
+            decode_batch(["BATCH", "FROB", "k"])
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+
+
+class TestLatencyHistogram:
+    def test_percentiles_bound_samples(self):
+        histogram = LatencyHistogram()
+        for micros in [10, 20, 30, 40, 1000]:
+            histogram.record(micros)
+        assert histogram.count == 5
+        # Bucketed percentiles report an upper bound, never an underestimate.
+        assert histogram.percentile_us(0.50) >= 20
+        assert histogram.percentile_us(0.99) >= 1000
+        assert histogram.mean_us == pytest.approx(220.0)
+
+    def test_empty_histogram(self):
+        histogram = LatencyHistogram()
+        assert histogram.percentile_us(0.99) == 0.0
+        assert histogram.mean_us == 0.0
+
+    def test_to_dict_is_json_shaped(self):
+        histogram = LatencyHistogram()
+        histogram.record(123.4)
+        snapshot = histogram.to_dict()
+        assert snapshot["count"] == 1
+        assert set(snapshot) >= {"count", "mean_us", "p50_us", "p99_us"}
+
+
+class TestServerMetrics:
+    def test_record_op_and_snapshot(self):
+        metrics = ServerMetrics()
+        metrics.record_op("PUT", 100.0)
+        metrics.record_op("PUT", 300.0)
+        metrics.record_op("GET", 50.0)
+        metrics.group_commits = 2
+        metrics.group_committed_ops = 10
+        snapshot = metrics.to_dict()
+        assert snapshot["requests_total"] == 3
+        assert snapshot["ops_per_group_commit"] == pytest.approx(5.0)
+        assert snapshot["latency_us"]["PUT"]["count"] == 2
+        assert snapshot["latency_us"]["GET"]["count"] == 1
+
+    def test_connection_gauges(self):
+        metrics = ServerMetrics()
+        metrics.connection_opened()
+        metrics.connection_opened()
+        metrics.connection_closed()
+        assert metrics.connections_open == 1
+        assert metrics.connections_peak == 2
+        assert metrics.connections_total == 2
+
+
+# ---------------------------------------------------------------------------
+# Server + client, end to end
+# ---------------------------------------------------------------------------
+
+
+def bg_config(**overrides) -> LSMConfig:
+    defaults = dict(
+        background_mode=True,
+        num_buffers=4,
+        buffer_size_bytes=64 * 1024,
+        flush_threads=1,
+        compaction_threads=1,
+    )
+    defaults.update(overrides)
+    return LSMConfig(**defaults)
+
+
+@contextlib.asynccontextmanager
+async def serving(tree: Optional[LSMTree] = None, **server_options):
+    """A started server (owning its tree) that always gets stopped."""
+    server = KVServer(
+        tree if tree is not None else LSMTree(bg_config()),
+        owns_tree=True,
+        **server_options,
+    )
+    await server.start()
+    try:
+        yield server
+    finally:
+        await server.stop()
+
+
+async def raw_exchange(
+    port: int, requests: List[List[str]], reply_count: int
+) -> List[List[str]]:
+    """Write all requests at once (pipelined), read replies in order."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        for fields in requests:
+            writer.write(encode_message(fields))
+        await writer.drain()
+        parser = FrameParser()
+        replies: List[List[str]] = []
+        while len(replies) < reply_count:
+            data = await reader.read(64 * 1024)
+            if not data:
+                break
+            replies.extend(parser.feed(data))
+        return replies
+    finally:
+        writer.close()
+        with contextlib.suppress(ConnectionError, OSError):
+            await writer.wait_closed()
+
+
+class TestServerRoundTrip:
+    def test_crud_over_client(self):
+        async def scenario():
+            async with serving() as server:
+                async with await KVClient.connect(
+                    "127.0.0.1", server.port
+                ) as kv:
+                    assert await kv.ping()
+                    await kv.put("alpha", "1")
+                    await kv.put("beta", "2")
+                    assert await kv.get("alpha") == "1"
+                    assert await kv.get("missing") is None
+                    assert await kv.scan("a", "z") == [
+                        ("alpha", "1"),
+                        ("beta", "2"),
+                    ]
+                    await kv.delete("alpha")
+                    assert await kv.get("alpha") is None
+                    count = await kv.batch(
+                        [("put", "gamma", "3"), ("delete", "beta", None)]
+                    )
+                    assert count == 2
+                    assert await kv.scan("a", "z") == [("gamma", "3")]
+
+        asyncio.run(scenario())
+
+    def test_info_reports_all_sections(self):
+        async def scenario():
+            async with serving() as server:
+                async with await KVClient.connect(
+                    "127.0.0.1", server.port
+                ) as kv:
+                    await kv.put("k", "v")
+                    info = await kv.info()
+                    assert info["server"]["group_commit"] is True
+                    assert info["server"]["requests_total"] >= 1
+                    assert info["backpressure"]["state"] == "ok"
+                    assert info["engine"]["puts"] >= 1
+                    assert isinstance(info["levels"], list)
+
+        asyncio.run(scenario())
+
+    def test_sync_mode_tree_also_servable(self, small_config):
+        """The server works over a synchronous (non-background) engine."""
+
+        async def scenario():
+            async with serving(LSMTree(small_config)) as server:
+                async with await KVClient.connect(
+                    "127.0.0.1", server.port
+                ) as kv:
+                    for index in range(50):
+                        await kv.put(f"key{index:04d}", f"v{index}")
+                    assert await kv.get("key0007") == "v7"
+
+        asyncio.run(scenario())
+
+    def test_stop_closes_owned_tree_and_connections(self):
+        async def scenario():
+            server = KVServer(LSMTree(bg_config()), owns_tree=True)
+            await server.start()
+            kv = await KVClient.connect("127.0.0.1", server.port)
+            await kv.put("k", "v")
+            await server.stop()
+            assert server.tree._closed
+            with pytest.raises((ConnectionError, asyncio.TimeoutError)):
+                await kv.put("k2", "v2")
+            await kv.close()
+
+        asyncio.run(scenario())
+
+
+class TestPipelining:
+    def test_mixed_pipeline_preserves_order(self):
+        """GET/PUT/SCAN/BATCH written back-to-back answer strictly in order."""
+        requests = [
+            ["PUT", "a", "1"],
+            ["GET", "a"],
+            ["PUT", "b", "2"],
+            ["SCAN", "a", "c"],
+            ["BATCH", "PUT", "c", "3", "DELETE", "a"],
+            ["GET", "a"],
+            ["GET", "c"],
+            ["PING"],
+        ]
+        expected = [
+            ["OK"],
+            ["VALUE", "1"],
+            ["OK"],
+            ["PAIRS", "a", "1", "b", "2"],
+            ["OK", "2"],
+            ["NONE"],
+            ["VALUE", "3"],
+            ["PONG"],
+        ]
+
+        async def scenario():
+            async with serving() as server:
+                replies = await raw_exchange(
+                    server.port, requests, len(expected)
+                )
+                assert replies == expected
+
+        asyncio.run(scenario())
+
+    def test_concurrent_puts_coalesce_into_group_commits(self):
+        async def scenario():
+            async with serving() as server:
+                async with await KVClient.connect(
+                    "127.0.0.1", server.port
+                ) as kv:
+                    await asyncio.gather(
+                        *(kv.put(f"k{i:04d}", "v") for i in range(200))
+                    )
+                    assert await kv.get("k0199") == "v"
+                assert server.metrics.group_committed_ops == 200
+                # Coalescing means far fewer engine commits than requests.
+                assert 1 <= server.metrics.group_commits < 200
+
+        asyncio.run(scenario())
+
+    def test_per_request_commit_mode(self):
+        async def scenario():
+            async with serving(group_commit=False) as server:
+                async with await KVClient.connect(
+                    "127.0.0.1", server.port
+                ) as kv:
+                    await asyncio.gather(
+                        *(kv.put(f"k{i}", "v") for i in range(20))
+                    )
+                    assert await kv.get("k7") == "v"
+                assert server.metrics.group_commits == 0
+
+        asyncio.run(scenario())
+
+    def test_malformed_write_in_pipeline_fails_alone(self):
+        """One bad request in a coalesced write run errors individually."""
+        requests = [
+            ["PUT", "good1", "v"],
+            ["PUT", "only-a-key"],  # malformed: missing value
+            ["PUT", "good2", "v"],
+            ["GET", "good2"],
+        ]
+
+        async def scenario():
+            async with serving() as server:
+                replies = await raw_exchange(server.port, requests, 4)
+                assert replies[0] == ["OK"]
+                assert replies[1][:2] == ["ERR", "BADREQ"]
+                assert replies[2] == ["OK"]
+                assert replies[3] == ["VALUE", "v"]
+
+        asyncio.run(scenario())
+
+
+class TestAdmissionControl:
+    @staticmethod
+    def stub_backpressure(tree: LSMTree, states: List[str]):
+        """Make ``tree.backpressure`` pop from ``states`` then report ok."""
+        real = tree.backpressure
+
+        def stubbed():
+            snapshot = real()
+            if states:
+                snapshot["state"] = states.pop(0)
+            return snapshot
+
+        tree.backpressure = stubbed
+
+    def test_busy_reply_is_retried_by_client(self):
+        async def scenario():
+            tree = LSMTree(bg_config())
+            self.stub_backpressure(tree, ["stop", "stop", "stop"])
+            async with serving(tree) as server:
+                async with await KVClient.connect(
+                    "127.0.0.1",
+                    server.port,
+                    backoff_base_s=0.001,
+                ) as kv:
+                    await kv.put("resilient", "yes")
+                    assert kv.busy_retries >= 1
+                    assert await kv.get("resilient") == "yes"
+                assert server.metrics.busy_rejections >= 1
+
+        asyncio.run(scenario())
+
+    def test_busy_exhausts_into_busy_error(self):
+        async def scenario():
+            tree = LSMTree(bg_config())
+            self.stub_backpressure(tree, ["stop"] * 100)
+            async with serving(tree) as server:
+                async with await KVClient.connect(
+                    "127.0.0.1",
+                    server.port,
+                    max_busy_retries=2,
+                    backoff_base_s=0.001,
+                ) as kv:
+                    with pytest.raises(BusyError) as excinfo:
+                        await kv.put("k", "v")
+                    assert excinfo.value.code == "BUSY"
+
+        asyncio.run(scenario())
+
+    def test_slowdown_state_delays_but_admits(self):
+        async def scenario():
+            tree = LSMTree(bg_config())
+            # One snapshot for admission, one for the slowdown check.
+            self.stub_backpressure(tree, ["slowdown", "slowdown"])
+            async with serving(tree, slowdown_delay_s=0.001) as server:
+                async with await KVClient.connect(
+                    "127.0.0.1", server.port
+                ) as kv:
+                    await kv.put("k", "v")
+                    assert await kv.get("k") == "v"
+                assert server.metrics.slowdown_delays >= 1
+
+        asyncio.run(scenario())
+
+    def test_connection_limit_rejects_with_maxconn(self):
+        async def scenario():
+            async with serving(max_connections=1) as server:
+                kv = await KVClient.connect("127.0.0.1", server.port)
+                try:
+                    await kv.ping()  # the one admitted connection
+                    reader, writer = await asyncio.open_connection(
+                        "127.0.0.1", server.port
+                    )
+                    try:
+                        data = await asyncio.wait_for(
+                            reader.read(64 * 1024), timeout=5
+                        )
+                        (reply,) = FrameParser().feed(data)
+                        assert reply[:2] == ["ERR", "MAXCONN"]
+                        assert server.metrics.connections_rejected == 1
+                    finally:
+                        writer.close()
+                        with contextlib.suppress(ConnectionError, OSError):
+                            await writer.wait_closed()
+                finally:
+                    await kv.close()
+
+        asyncio.run(scenario())
+
+    def test_oversized_request_closes_connection(self):
+        async def scenario():
+            async with serving(max_request_bytes=1024) as server:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                try:
+                    writer.write(encode_message(["PUT", "k", "x" * 4096]))
+                    await writer.drain()
+                    data = await asyncio.wait_for(
+                        reader.read(64 * 1024), timeout=5
+                    )
+                    (reply,) = FrameParser().feed(data)
+                    assert reply[:2] == ["ERR", "PROTOCOL"]
+                    # Framing is unrecoverable: the server hangs up.
+                    assert await reader.read(64 * 1024) == b""
+                finally:
+                    writer.close()
+                    with contextlib.suppress(ConnectionError, OSError):
+                        await writer.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_unknown_verb_keeps_connection_usable(self):
+        async def scenario():
+            async with serving() as server:
+                replies = await raw_exchange(
+                    server.port, [["FROBNICATE", "x"], ["PING"]], 2
+                )
+                assert replies[0][:2] == ["ERR", "BADREQ"]
+                assert replies[1] == ["PONG"]
+
+        asyncio.run(scenario())
+
+
+class TestBackgroundErrorBoundary:
+    def test_worker_failure_becomes_structured_reply(self):
+        """A failed background worker reaches the client as ERR BACKGROUND
+        — carrying the root cause — and the connection stays usable."""
+
+        async def scenario():
+            tree = LSMTree(bg_config())
+            async with serving(tree) as server:
+                async with await KVClient.connect(
+                    "127.0.0.1", server.port
+                ) as kv:
+                    await kv.put("before", "ok")
+                    # Inject a worker failure the way a real flush crash
+                    # would record it: into the pool's error slot.
+                    tree._background.pool._errors.append(
+                        RuntimeError("injected flush failure")
+                    )
+                    with pytest.raises(ServerError) as excinfo:
+                        await kv.put("after", "nope")
+                    assert excinfo.value.code == "BACKGROUND"
+                    assert "injected flush failure" in excinfo.value.detail
+                    assert server.metrics.background_errors >= 1
+                    # The failure is data, not a dropped connection: reads
+                    # and liveness checks still answer on the same socket.
+                    assert await kv.ping()
+                    assert await kv.get("before") == "ok"
+                # Clear the injected error so the owned tree closes cleanly.
+                tree._background.pool._errors.clear()
+
+        asyncio.run(scenario())
+
+    def test_batch_write_also_surfaces_background_error(self):
+        async def scenario():
+            tree = LSMTree(bg_config())
+            async with serving(tree) as server:
+                async with await KVClient.connect(
+                    "127.0.0.1", server.port
+                ) as kv:
+                    tree._background.pool._errors.append(
+                        RuntimeError("worker died")
+                    )
+                    with pytest.raises(ServerError) as excinfo:
+                        await kv.batch([("put", "a", "1")])
+                    assert excinfo.value.code == "BACKGROUND"
+                tree._background.pool._errors.clear()
+
+        asyncio.run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# Engine-side primitives the server builds on
+# ---------------------------------------------------------------------------
+
+
+class TestWriteBatch:
+    def test_applies_all_ops_atomically(self, small_tree):
+        before = small_tree.seqno
+        small_tree.write_batch(
+            [
+                ("put", "a", "1"),
+                ("put", "b", "2"),
+                ("delete", "a", None),
+                ("put", "c", "3"),
+            ]
+        )
+        # Consecutive seqnos claimed under one mutex acquisition.
+        assert small_tree.seqno == before + 4
+        assert small_tree.get("a") is None
+        assert small_tree.get("b") == "2"
+        assert small_tree.get("c") == "3"
+
+    def test_empty_batch_is_noop(self, small_tree):
+        before = small_tree.seqno
+        small_tree.write_batch([])
+        assert small_tree.seqno == before
+
+    def test_validates_before_applying(self, small_tree):
+        with pytest.raises(ValueError):
+            small_tree.write_batch(
+                [("put", "good", "v"), ("merge?", "bad", "v")]
+            )
+        with pytest.raises(ValueError):
+            small_tree.write_batch([("put", "k", None)])
+        with pytest.raises(ValueError):
+            small_tree.write_batch([("put", "", "v")])
+        # Validation failed before any op was applied.
+        assert small_tree.get("good") is None
+
+    def test_background_mode_batch(self):
+        tree = LSMTree(bg_config())
+        try:
+            tree.write_batch(
+                [("put", f"k{i:04d}", f"v{i}") for i in range(300)]
+            )
+            for i in range(0, 300, 37):
+                assert tree.get(f"k{i:04d}") == f"v{i}"
+        finally:
+            tree.close()
+
+    def test_closed_tree_rejects_batch(self, small_tree):
+        small_tree.close()
+        with pytest.raises(ClosedError):
+            small_tree.write_batch([("put", "k", "v")])
+
+
+class TestBackpressureSnapshot:
+    def test_sync_engine_is_always_ok(self, small_tree):
+        for index in range(200):
+            small_tree.put(f"key{index:05d}", "v")
+        state = small_tree.backpressure()
+        assert state["state"] == "ok"
+        assert state["stop_trigger"] == 2 * state["slowdown_trigger"]
+
+    def test_background_engine_reports_stop_when_queue_full(self):
+        tree = LSMTree(bg_config(num_buffers=2))
+        try:
+            tree._background.pool.pause()
+            assert tree.backpressure()["state"] == "ok"
+            # Fill the immutable queue (flush workers are paused, so
+            # nothing drains it behind the snapshot's back).
+            while len(tree._immutable) < tree.config.num_buffers:
+                tree.put("filler", "v" * 64)
+                tree._background.rotate()
+            state = tree.backpressure()
+            assert state["state"] == "stop"
+            assert state["immutable_buffers"] >= tree.config.num_buffers
+        finally:
+            tree._immutable.clear()
+            tree._background.pool.resume()
+            tree.close()

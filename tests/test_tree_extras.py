@@ -1,11 +1,14 @@
 """Additional cross-module integration tests on the tree."""
 
+import json
+
 import pytest
 
 from repro.core.config import LSMConfig
 from repro.core.merge_operator import Int64AddOperator
 from repro.core.stats import percentile
 from repro.core.tree import LSMTree
+from repro.errors import ConfigError
 from repro.storage.persistence import checkpoint, restore
 
 from .conftest import shuffled_keys
@@ -164,6 +167,65 @@ class TestPercentileEdges:
         tree.get("a")
         summary = tree.stats.latency_summary()
         assert {"write_p50_us", "read_p99_us"} <= set(summary)
+
+
+class TestConfigValidate:
+    """validate() rejects incoherent knob combinations with clear errors."""
+
+    def test_background_needs_immutable_queue_room(self):
+        with pytest.raises(ConfigError, match="num_buffers"):
+            LSMConfig(background_mode=True, num_buffers=1)
+
+    def test_file_must_hold_at_least_one_block(self):
+        with pytest.raises(ConfigError, match="target_file_bytes"):
+            LSMConfig(target_file_bytes=128, block_bytes=4096)
+
+    def test_monkey_needs_a_filter_budget(self):
+        with pytest.raises(ConfigError, match="monkey"):
+            LSMConfig(filter_allocation="monkey", filter_bits_per_key=0)
+
+    def test_prefetch_needs_a_cache(self):
+        with pytest.raises(ConfigError, match="cache_prefetch"):
+            LSMConfig(cache_prefetch=True, block_cache_bytes=0)
+
+    def test_tree_revalidates_a_mutated_config(self):
+        """A config corrupted after construction cannot reach the engine."""
+        config = config_with()
+        object.__setattr__(config, "size_ratio", 1)
+        with pytest.raises(ConfigError, match="size_ratio"):
+            LSMTree(config)
+
+    def test_coherent_combinations_pass(self):
+        LSMConfig(background_mode=True, num_buffers=2).validate()
+        LSMConfig(filter_allocation="monkey", filter_bits_per_key=8).validate()
+        LSMConfig(cache_prefetch=True, block_cache_bytes=1 << 16).validate()
+
+
+class TestStatsSnapshot:
+    def test_to_dict_is_json_serializable_and_stable(self):
+        tree = LSMTree(config_with())
+        for index in range(300):
+            tree.put(f"key{index:06d}", f"value-{index}")
+        tree.get("key000007")
+        tree.delete("key000008")
+        snapshot = tree.stats.to_dict()
+        json.dumps(snapshot)  # must round-trip as JSON
+        assert snapshot["puts"] == 300
+        assert snapshot["deletes"] == 1
+        assert snapshot["gets"] == 1
+        # Sample lists are summarized, never dumped raw.
+        assert "write_latencies_us" not in snapshot
+        summary = snapshot["write_latencies_summary_us"]
+        assert summary["count"] > 0
+        assert summary["p50"] <= summary["p99"] <= summary["max"]
+        assert 0.0 <= snapshot["filter_skip_rate"] <= 1.0
+
+    def test_snapshot_is_a_copy(self):
+        tree = LSMTree(config_with())
+        tree.put("a", "1")
+        snapshot = tree.stats.to_dict()
+        tree.put("b", "2")
+        assert snapshot["puts"] == 1  # unaffected by later writes
 
 
 class TestCheckpointWithNewEntryKinds:

@@ -63,6 +63,65 @@ class TestInMemoryWal:
             wal.reset()
 
 
+class TestAppendBatch:
+    def test_batch_matches_sequential_appends(self, disk):
+        entries = [put(f"k{i}", f"v{i}", i) for i in range(8)]
+        batched = WriteAheadLog(disk)
+        batched.append_batch(entries)
+        sequential = WriteAheadLog(disk)
+        for entry in entries:
+            sequential.append(entry)
+        assert batched.pending_entries == sequential.pending_entries
+
+    def test_single_sync_for_whole_batch(self, disk, tmp_path):
+        """The group-commit contract: N entries, one log sync."""
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(disk, path)
+        assert wal.sync_count == 0
+        wal.append_batch([put(f"k{i}", "v", i) for i in range(50)])
+        assert wal.sync_count == 1
+        # The per-entry path pays one sync each — what batching amortizes.
+        for index in range(5):
+            wal.append(put(f"x{index}", "v", 100 + index))
+        assert wal.sync_count == 6
+
+    def test_batch_is_replayable(self, disk, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(disk, path)
+        entries = [put(f"k{i}", f"v{i}", i) for i in range(10)]
+        wal.append_batch(entries)
+        wal.close()
+        assert list(WriteAheadLog.replay(path)) == entries
+
+    def test_empty_batch_is_noop(self, disk, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(disk, path)
+        wal.append_batch([])
+        assert wal.sync_count == 0
+        assert wal.pending_entries == []
+
+    def test_batch_charges_disk_pages(self, disk):
+        wal = WriteAheadLog(disk)
+        wal.append_batch(
+            [put(f"key{i:06d}", "some-value-payload", i) for i in range(200)]
+        )
+        assert disk.counters.writes_by_cause.get("wal", 0) >= 1
+
+    def test_closed_wal_rejects_batch(self, disk):
+        wal = WriteAheadLog(disk)
+        wal.close()
+        with pytest.raises(ClosedError):
+            wal.append_batch([put("k", "v", 0)])
+
+    def test_fsync_mode_counts_syncs(self, disk, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(disk, path, fsync=True)
+        wal.append_batch([put(f"k{i}", "v", i) for i in range(20)])
+        assert wal.sync_count == 1
+        wal.close()
+        assert len(list(WriteAheadLog.replay(path))) == 20
+
+
 class TestFileWal:
     def test_replay_roundtrip(self, disk, tmp_path):
         path = str(tmp_path / "wal.log")
