@@ -16,6 +16,7 @@ Exits non-zero on any failure, so it doubles as a CI job.
 
 from __future__ import annotations
 
+import argparse
 import asyncio
 import os
 import signal
@@ -30,7 +31,7 @@ from repro import LSMConfig, LSMTree  # noqa: E402
 from repro.server import KVClient, KVServer  # noqa: E402
 
 
-async def pipelined_session(port: int) -> None:
+async def pipelined_session(port: int, shards: int) -> None:
     """The round-trip CI asserts: pipelined mixed ops over one connection."""
     async with await KVClient.connect("127.0.0.1", port) as kv:
         assert await kv.ping()
@@ -47,15 +48,22 @@ async def pipelined_session(port: int) -> None:
         ) == 2
         pairs = await kv.scan("user0000", "user0005")
         assert pairs == [(f"user{i:04d}", f"profile-{i}") for i in (1, 2, 3, 4)]
+        limited = await kv.scan("user0000", "user0099", 2)
+        assert limited == pairs[:2]
         await kv.delete("user0001")
         assert await kv.get("user0001") is None
         info = await kv.info()
         assert info["server"]["requests_total"] > 80
         assert info["backpressure"]["state"] in ("ok", "slowdown", "stop")
-    print("pipelined round-trip: ok")
+        assert info["server"]["committers"] == shards
+        if shards > 1:
+            assert len(info["shards"]) == shards
+            # Hash routing spread the 40 keys over several shards.
+            assert sum(1 for row in info["shards"] if row["puts"]) > 1
+    print(f"pipelined round-trip ({shards} shard(s)): ok")
 
 
-def subprocess_server_phase() -> None:
+def subprocess_server_phase(shards: int) -> None:
     """Start the CLI server, drive it, SIGINT it, assert clean shutdown."""
     env = dict(os.environ)
     env["PYTHONPATH"] = (
@@ -65,7 +73,7 @@ def subprocess_server_phase() -> None:
     )
     process = subprocess.Popen(
         [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
-         "--background"],
+         "--background", "--shards", str(shards)],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
         text=True,
@@ -76,7 +84,7 @@ def subprocess_server_phase() -> None:
         banner = process.stdout.readline()
         assert "listening on" in banner, f"unexpected banner: {banner!r}"
         port = int(banner.split("listening on", 1)[1].split()[0].rsplit(":", 1)[1])
-        asyncio.run(pipelined_session(port))
+        asyncio.run(pipelined_session(port, shards))
     finally:
         process.send_signal(signal.SIGINT)
         try:
@@ -123,8 +131,14 @@ async def busy_retry_phase() -> None:
 
 
 def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--shards", type=int, default=1,
+        help="shard count passed to `serve` (default: 1, the plain tree)",
+    )
+    args = parser.parse_args()
     started = time.perf_counter()
-    subprocess_server_phase()
+    subprocess_server_phase(args.shards)
     asyncio.run(busy_retry_phase())
     print(f"server smoke passed in {time.perf_counter() - started:.1f}s")
     return 0

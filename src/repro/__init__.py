@@ -19,6 +19,7 @@ Quickstart::
     tree.write_amplification()
 """
 
+from .api import BatchOp, KVStore
 from .core.config import (
     LSMConfig,
     cassandra_like,
@@ -45,12 +46,19 @@ from .errors import (
     FilterError,
     ReproError,
 )
+from .partition import PartitionedStore, range_boundaries
+from .shard import ShardedStore
 from .storage.disk import DiskProfile, SimulatedDisk
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "KVStore",
+    "BatchOp",
     "LSMTree",
+    "ShardedStore",
+    "PartitionedStore",
+    "range_boundaries",
     "LSMConfig",
     "rocksdb_like",
     "cassandra_like",

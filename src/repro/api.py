@@ -1,0 +1,109 @@
+"""The unified store protocol: one contract, many engines.
+
+Every storage engine in this repository — the single
+:class:`~repro.core.tree.LSMTree`, the range-partitioned forest
+(:class:`~repro.partition.PartitionedStore`), and the parallel sharded
+engine (:class:`~repro.shard.ShardedStore`) — exposes the same key-value
+surface. :class:`KVStore` names that surface as a runtime-checkable
+:class:`typing.Protocol`, so serving layers, benchmarks, and tests can be
+written once against the protocol and run unmodified over any engine:
+
+    >>> from repro import KVStore, LSMTree
+    >>> isinstance(LSMTree(), KVStore)
+    True
+
+The contract, beyond the method signatures:
+
+* ``scan`` returns key-sorted pairs; ``limit`` (when not ``None``) caps
+  the number of pairs returned, counted after tombstone resolution.
+* ``write_batch`` validates every op before applying any, and is atomic
+  *per routing unit*: a single tree commits the whole batch under one
+  mutex acquisition with one WAL sync; a sharded store guarantees
+  atomicity only within each shard's sub-batch (see
+  :meth:`repro.shard.ShardedStore.write_batch` for the exact contract).
+* ``backpressure`` never blocks and always carries a ``state`` key with
+  one of ``"ok"``, ``"slowdown"``, or ``"stop"``.
+* ``stats`` is a :class:`~repro.core.stats.TreeStats` — aggregating
+  stores return a merged rollup (:meth:`TreeStats.merged`), so
+  ``store.stats.to_dict()`` is uniform across engines.
+* Stores are context managers; leaving the ``with`` block calls
+  :meth:`~KVStore.close`, after which operations raise
+  :class:`~repro.errors.ClosedError`.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
+
+from .core.stats import TreeStats
+
+#: One batched write as every engine consumes it: (op, key, value-or-None)
+#: where ``op`` is ``"put"`` (value required) or ``"delete"``.
+BatchOp = Tuple[str, str, Optional[str]]
+
+
+@runtime_checkable
+class KVStore(Protocol):
+    """The key-value surface shared by every storage engine.
+
+    Runtime-checkable: ``isinstance(obj, KVStore)`` verifies the full
+    method surface is present (signatures are enforced statically, not at
+    ``isinstance`` time — that is the usual :mod:`typing` protocol
+    semantics).
+    """
+
+    def put(self, key: str, value: str) -> None:
+        """Insert or update one key."""
+        ...
+
+    def get(self, key: str) -> Optional[str]:
+        """Point lookup; ``None`` when the key is absent."""
+        ...
+
+    def delete(self, key: str) -> None:
+        """Logically delete one key."""
+        ...
+
+    def scan(
+        self, lo: str, hi: str, limit: Optional[int] = None
+    ) -> List[Tuple[str, str]]:
+        """Key-sorted live pairs in ``[lo, hi)``, at most ``limit``."""
+        ...
+
+    def write_batch(self, ops: Sequence[BatchOp]) -> None:
+        """Apply several writes as one group commit (validated up front)."""
+        ...
+
+    def flush(self) -> None:
+        """Force buffered writes to disk."""
+        ...
+
+    def close(self) -> None:
+        """Release resources; further operations raise ``ClosedError``."""
+        ...
+
+    def backpressure(self) -> Dict[str, object]:
+        """Non-blocking admission snapshot with a ``state`` key."""
+        ...
+
+    @property
+    def stats(self) -> TreeStats:
+        """Engine counters (a merged rollup for aggregating stores)."""
+        ...
+
+    def __enter__(self) -> "KVStore":
+        ...
+
+    def __exit__(self, *exc_info: object) -> None:
+        ...
+
+
+__all__ = ["KVStore", "BatchOp"]

@@ -8,7 +8,7 @@ Usage::
     python -m repro.cli robust --writes 0.9 --reads 0.05 --empty-reads 0.05 \
         --eta 1.0
     python -m repro.cli layouts --ops 20000
-    python -m repro.cli serve --port 7379 --background
+    python -m repro.cli serve --port 7379 --background --shards 4
     python -m repro.cli bench-serve --clients 8 --pipeline 8
 
 Every subcommand prints the same ASCII tables the benchmark suite uses, so
@@ -204,9 +204,13 @@ def command_layouts(args: argparse.Namespace) -> int:
 
 def command_serve(args: argparse.Namespace) -> int:
     """Run the asyncio KV server until SIGINT/SIGTERM (clean shutdown)."""
+    from .api import KVStore
     from .core.config import LSMConfig
     from .server import KVServer
+    from .shard import ShardedStore
 
+    if args.shards < 1:
+        raise SystemExit("--shards must be at least 1")
     config = LSMConfig(
         background_mode=args.background,
         num_buffers=args.num_buffers,
@@ -215,9 +219,13 @@ def command_serve(args: argparse.Namespace) -> int:
         compaction_threads=args.compaction_threads,
         wal_fsync=args.wal_fsync,
     )
-    tree = LSMTree(config, wal_dir=args.wal_dir)
+    store: KVStore
+    if args.shards > 1:
+        store = ShardedStore(args.shards, config, wal_dir=args.wal_dir)
+    else:
+        store = LSMTree(config, wal_dir=args.wal_dir)
     server = KVServer(
-        tree,
+        store,
         host=args.host,
         port=args.port,
         max_connections=args.max_connections,
@@ -231,7 +239,7 @@ def command_serve(args: argparse.Namespace) -> int:
         print(
             f"repro-server listening on {server.host}:{server.port} "
             f"(group_commit={server.group_commit}, "
-            f"background={args.background})",
+            f"shards={args.shards}, background={args.background})",
             flush=True,
         )
         stop = asyncio.Event()
@@ -266,16 +274,19 @@ def command_bench_serve(args: argparse.Namespace) -> int:
                     group_commit=group_commit,
                     wal_dir=wal_dir,
                     value_bytes=args.value_bytes,
+                    shards=args.shards,
                 )
             )
     print(
         format_table(
-            ["commit mode", "throughput (ops/s)", "p50 (us)", "p99 (us)",
-             "ops/commit"],
+            ["commit mode", "throughput (ops/s)", "drain (s)",
+             "sustained (ops/s)", "p50 (us)", "p99 (us)", "ops/commit"],
             [
                 (
                     "group" if row["group_commit"] else "per-request",
                     row["throughput_ops_s"],
+                    row["drain_s"],
+                    row["sustained_ops_s"],
                     row["p50_us"],
                     row["p99_us"],
                     row["ops_per_commit"],
@@ -284,7 +295,8 @@ def command_bench_serve(args: argparse.Namespace) -> int:
             ],
             title=(
                 f"bench-serve: {args.clients} clients x pipeline "
-                f"{args.pipeline}, {args.ops} writes each (durable WAL)"
+                f"{args.pipeline}, {args.ops} writes each "
+                f"({args.shards} shard(s), durable WAL)"
             ),
         )
     )
@@ -359,7 +371,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="fsync the WAL on every commit (needs --wal-dir)",
     )
     serve.add_argument("--max-connections", type=int, default=128)
-    serve.add_argument("--executor-threads", type=int, default=4)
+    serve.add_argument(
+        "--executor-threads",
+        type=int,
+        default=None,
+        help="engine thread pool size (default: max(4, shard count))",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="hash-shard the engine into N independent trees, each with "
+        "its own WAL and group committer",
+    )
     serve.add_argument(
         "--no-group-commit",
         action="store_true",
@@ -377,6 +401,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--ops", type=int, default=300, help="writes per client"
     )
     bench_serve.add_argument("--value-bytes", type=int, default=64)
+    bench_serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="back the server with N hash-routed shards",
+    )
     bench_serve.set_defaults(func=command_bench_serve)
     return parser
 

@@ -115,6 +115,34 @@ class TreeStats:
         """Record the latency of one external read."""
         self.add_sample("read_latencies_us", micros)
 
+    @classmethod
+    def merged(cls, parts: List["TreeStats"]) -> "TreeStats":
+        """A rollup: every counter summed, every sample list concatenated.
+
+        Aggregating stores (:class:`~repro.partition.PartitionedStore`,
+        :class:`~repro.shard.ShardedStore`) expose this as their
+        ``stats``, so ``store.stats.to_dict()`` has the same shape no
+        matter how many trees sit behind the store. Each part is copied
+        under its own lock, so the rollup is per-shard consistent even
+        while background workers are bumping counters.
+        """
+        total = cls()
+        for part in parts:
+            with part._lock:
+                for spec in fields(cls):
+                    if spec.name.startswith("_"):
+                        continue
+                    value = getattr(part, spec.name)
+                    if isinstance(value, list):
+                        getattr(total, spec.name).extend(value)
+                    else:
+                        setattr(
+                            total,
+                            spec.name,
+                            getattr(total, spec.name) + value,
+                        )
+        return total
+
     def write_amplification(self, device_bytes_written: int) -> float:
         """Device bytes written per user byte ingested."""
         if self.user_bytes_written == 0:

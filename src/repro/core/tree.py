@@ -203,7 +203,22 @@ class LSMTree:
         seqno = self._claim_seqno()
         now = self.disk.now_us
         buffered = self._active.get(key)
-        if buffered is None:
+        if buffered is not None and buffered.seqno <= max_covering_seqno(
+            self._active_tombstones, key
+        ):
+            # A newer range tombstone shadows the buffered entry; combining
+            # with it would resurrect deleted state. Start from an empty
+            # base, exactly as the buffered point-tombstone branch does.
+            # (Tombstones newer than an active-buffer entry can only live
+            # in _active_tombstones: rotation moves both together.)
+            entry = Entry(
+                key,
+                self.merge_operator.full_merge(key, None, [operand]),
+                seqno,
+                EntryKind.PUT,
+                now,
+            )
+        elif buffered is None:
             entry = Entry(key, operand, seqno, EntryKind.MERGE, now)
         elif buffered.kind is EntryKind.PUT:
             entry = Entry(
@@ -330,15 +345,26 @@ class LSMTree:
         self.stats.incr("gets_found")
         return value
 
-    def scan(self, lo: str, hi: str) -> List[Tuple[str, str]]:
+    def scan(
+        self, lo: str, hi: str, limit: Optional[int] = None
+    ) -> List[Tuple[str, str]]:
         """Range lookup: latest versions of all keys in ``[lo, hi)``.
 
         Merges one iterator per buffer and per sorted run (§2.1.2, "Scan"),
-        returning only the newest visible version of each key.
+        returning only the newest visible version of each key. ``limit``
+        (when given) caps the number of pairs returned — counted after
+        tombstone resolution, so the caller always gets the first ``limit``
+        *live* keys of the range — and stops the merge early, which is the
+        point: a paginated reader does not pay for the whole range.
         """
         self._check_open()
+        if limit is not None and limit < 0:
+            raise ValueError("limit must be non-negative (or None)")
         started_us = self._clock_us()
         self.stats.incr("scans")
+        if limit == 0:
+            self.stats.record_read_latency(self._clock_us() - started_us)
+            return []
         ctx = ReadContext(
             self.disk, self.cache, self.heat, self.stats, cause="scan"
         )
@@ -362,6 +388,8 @@ class LSMTree:
             value = self._resolve_versions(key, live)
             if value is not None:
                 results.append((key, value))
+                if limit is not None and len(results) >= limit:
+                    break
         self.stats.record_read_latency(self._clock_us() - started_us)
         return results
 

@@ -20,9 +20,13 @@ import bisect
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import LSMConfig
+from ..core.stats import TreeStats
 from ..core.tree import LSMTree
 from ..storage.disk import SimulatedDisk
 from ..workload.distributions import format_key
+
+#: One batched write: ("put" | "delete", key, value-or-None).
+BatchOp = Tuple[str, str, Optional[str]]
 
 
 def range_boundaries(key_count: int, num_shards: int) -> List[str]:
@@ -72,9 +76,13 @@ class PartitionedStore:
         """Number of independent trees."""
         return len(self.shards)
 
+    def shard_index(self, key: str) -> int:
+        """Index of the shard owning ``key``."""
+        return bisect.bisect_right(self.boundaries, key)
+
     def shard_for(self, key: str) -> LSMTree:
         """The tree owning ``key``."""
-        return self.shards[bisect.bisect_right(self.boundaries, key)]
+        return self.shards[self.shard_index(key)]
 
     # -- external operations --------------------------------------------------
 
@@ -91,23 +99,99 @@ class PartitionedStore:
         """Logical delete in the owning shard."""
         self.shard_for(key).delete(key)
 
-    def scan(self, lo: str, hi: str) -> List[Tuple[str, str]]:
-        """Range scan stitched across the shards it overlaps."""
-        if lo >= hi:
+    def scan(
+        self, lo: str, hi: str, limit: Optional[int] = None
+    ) -> List[Tuple[str, str]]:
+        """Range scan stitched across the shards it overlaps.
+
+        Shards hold disjoint, ordered key ranges, so concatenating the
+        per-shard results in shard order is already globally sorted;
+        ``limit`` propagates to each shard and stops the walk early.
+        """
+        if limit is not None and limit < 0:
+            raise ValueError("limit must be non-negative (or None)")
+        if lo >= hi or limit == 0:
             return []
         first = bisect.bisect_right(self.boundaries, lo)
         last = bisect.bisect_right(self.boundaries, hi)
         results: List[Tuple[str, str]] = []
         for index in range(first, min(last, len(self.shards) - 1) + 1):
-            results.extend(self.shards[index].scan(lo, hi))
+            remaining = None if limit is None else limit - len(results)
+            if remaining == 0:
+                break
+            results.extend(self.shards[index].scan(lo, hi, remaining))
         return results
+
+    def write_batch(self, ops: Sequence[BatchOp]) -> None:
+        """Split a batch by shard and commit one sub-batch per shard.
+
+        Validation happens up front (a malformed op raises ``ValueError``
+        with nothing applied). Atomicity is **per shard**, exactly as in
+        :meth:`repro.shard.ShardedStore.write_batch`: each shard commits
+        its sub-batch under one mutex acquisition with one WAL sync, but
+        there is no cross-shard commit point.
+        """
+        if not ops:
+            return
+        for op, key, value in ops:
+            if not key:
+                raise ValueError("keys must be non-empty")
+            if op == "put":
+                if value is None:
+                    raise ValueError("put ops need a value")
+            elif op != "delete":
+                raise ValueError(f"unknown batch op {op!r}")
+        self.user_bytes_written += sum(
+            len(key) + (len(value) if value is not None else 0)
+            for _op, key, value in ops
+        )
+        by_shard: Dict[int, List[BatchOp]] = {}
+        for batch_op in ops:
+            by_shard.setdefault(
+                self.shard_index(batch_op[1]), []
+            ).append(batch_op)
+        for index, sub_ops in by_shard.items():
+            self.shards[index].write_batch(sub_ops)
+
+    def flush(self) -> None:
+        """Force every shard's active buffer to disk."""
+        for shard in self.shards:
+            shard.flush()
 
     def close(self) -> None:
         """Close every shard."""
         for shard in self.shards:
             shard.close()
 
+    def __enter__(self) -> "PartitionedStore":
+        return self
+
+    def __exit__(self, *_exc_info: object) -> None:
+        self.close()
+
     # -- metrics ---------------------------------------------------------------
+
+    @property
+    def stats(self) -> TreeStats:
+        """Rollup of every shard's counters (:meth:`TreeStats.merged`)."""
+        return TreeStats.merged([shard.stats for shard in self.shards])
+
+    def backpressure(self) -> Dict[str, object]:
+        """Aggregate admission snapshot: the worst shard state governs."""
+        severity = {"ok": 0, "slowdown": 1, "stop": 2}
+        per_shard = [shard.backpressure() for shard in self.shards]
+        worst = max(
+            per_shard, key=lambda s: severity.get(str(s["state"]), 0)
+        )
+        return {
+            "state": worst["state"],
+            "level0_runs": max(int(s["level0_runs"]) for s in per_shard),
+            "immutable_buffers": sum(
+                int(s["immutable_buffers"]) for s in per_shard
+            ),
+            "slowdown_trigger": worst["slowdown_trigger"],
+            "stop_trigger": worst["stop_trigger"],
+        }
 
     def write_amplification(self) -> float:
         """Aggregate device bytes written per user byte."""

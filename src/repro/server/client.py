@@ -133,9 +133,14 @@ class KVClient:
         """Delete one key (retried on BUSY)."""
         await self._call(["DELETE", key])
 
-    async def scan(self, lo: str, hi: str) -> List[Tuple[str, str]]:
-        """Range lookup over ``[lo, hi)``."""
-        reply = await self._call(["SCAN", lo, hi])
+    async def scan(
+        self, lo: str, hi: str, limit: Optional[int] = None
+    ) -> List[Tuple[str, str]]:
+        """Range lookup over ``[lo, hi)``; ``limit`` caps the result."""
+        request = ["SCAN", lo, hi]
+        if limit is not None:
+            request.append(str(limit))
+        reply = await self._call(request)
         if reply[0] != "PAIRS" or len(reply) % 2 != 1:
             raise ProtocolError("malformed SCAN reply")
         return [

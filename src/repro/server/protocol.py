@@ -20,8 +20,12 @@ complete message, buffering the tail of a partial frame for the next feed.
 
 Requests::
 
-    PING | GET k | PUT k v | DELETE k | SCAN lo hi | INFO
+    PING | GET k | PUT k v | DELETE k | SCAN lo hi [limit] | INFO
     BATCH (PUT k v | DELETE k)...
+
+``SCAN``'s optional fourth field is a non-negative decimal integer capping
+the number of returned pairs; the two-field form is unchanged and means
+"no limit".
 
 Replies::
 

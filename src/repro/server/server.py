@@ -1,10 +1,13 @@
-"""Asyncio TCP front-end for one LSM tree: pipelining, group commit,
-admission control.
+"""Asyncio TCP front-end for any KV store: pipelining, parallel group
+commit, admission control.
 
 This is the process boundary the ROADMAP's "serving heavy traffic" goal
-needs: a :class:`KVServer` owns an :class:`~repro.core.tree.LSMTree`
-(typically in ``background_mode``) and speaks the length-prefixed protocol
-of :mod:`repro.server.protocol` to any number of concurrent connections.
+needs: a :class:`KVServer` owns any :class:`~repro.api.KVStore` — a single
+:class:`~repro.core.tree.LSMTree` (typically in ``background_mode``), a
+:class:`~repro.partition.PartitionedStore`, or a
+:class:`~repro.shard.ShardedStore` — and speaks the length-prefixed
+protocol of :mod:`repro.server.protocol` to any number of concurrent
+connections.
 
 Three serving-layer mechanisms do the heavy lifting:
 
@@ -12,22 +15,26 @@ Three serving-layer mechanisms do the heavy lifting:
   and answered strictly in arrival order, so clients may write many
   requests before reading the first reply. Ordering is per-connection;
   different connections interleave freely.
-* **Group commit** — writes (PUT/DELETE/BATCH) from all connections are
-  coalesced by a single committer task into one
-  :meth:`~repro.core.tree.LSMTree.write_batch` call per engine round
-  trip: one write-mutex acquisition and one WAL flush for N client
-  writes (Luo & Carey's ingestion-batching observation applied at the
-  serving boundary).
+* **Parallel group commit** — writes (PUT/DELETE/BATCH) from all
+  connections are coalesced into shared
+  :meth:`~repro.api.KVStore.write_batch` calls: one write-mutex
+  acquisition and one WAL flush for N client writes (Luo & Carey's
+  ingestion-batching observation applied at the serving boundary). When
+  the store is sharded (it exposes ``num_shards``/``shard_index``), the
+  server runs **one committer per shard**: each write is routed to its
+  shard's committer, so different shards' commits — including their WAL
+  fsyncs — are in flight simultaneously instead of serializing on one
+  commit pipeline.
 * **Admission control** — before a write is admitted the server consults
-  :meth:`~repro.core.tree.LSMTree.backpressure`: the *slowdown* state
-  delays the reply (client-visible pushback that costs no thread), and
-  the *stop* state is converted into a retryable ``BUSY`` reply instead
-  of parking an executor thread on the engine's stall condition.
-  Connection count and per-request frame size are bounded the same way.
+  :meth:`~repro.api.KVStore.backpressure`: the *slowdown* state delays
+  the reply (client-visible pushback that costs no thread), and the
+  *stop* state is converted into a retryable ``BUSY`` reply instead of
+  parking an executor thread on the engine's stall condition. Connection
+  count and per-request frame size are bounded the same way.
 
 Engine calls run on a bounded thread-pool executor so the event loop
 never blocks on storage work; a failing background flush/compaction
-surfaces as a structured ``ERR BACKGROUND`` reply (the tree stays
+surfaces as a structured ``ERR BACKGROUND`` reply (the store stays
 readable), never as a hung or dropped connection.
 """
 
@@ -38,9 +45,9 @@ import json
 import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from typing import Deque, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Set, Tuple
 
-from ..core.tree import LSMTree
+from ..api import KVStore
 from ..errors import BackgroundError, ClosedError
 from .metrics import ServerMetrics
 from .protocol import (
@@ -61,21 +68,25 @@ class _GroupCommitter:
 
     Connections submit ``(ops, future)`` pairs; a single drain task folds
     everything queued at that moment into one
-    :meth:`~repro.core.tree.LSMTree.write_batch` call on the executor and
+    :meth:`~repro.api.KVStore.write_batch` call on the executor and
     resolves every submitter's future with the outcome. While one commit
     is on the executor, new submissions pile up and ride the next commit
     — exactly the classic group-commit window, sized by load instead of
     by a timer.
+
+    A sharded server runs one committer per shard (every op a committer
+    sees belongs to its shard), so the per-shard commit pipelines proceed
+    in parallel while each stays a serial group-commit window.
     """
 
     def __init__(
         self,
-        tree: LSMTree,
+        store: KVStore,
         executor: ThreadPoolExecutor,
         metrics: ServerMetrics,
         max_ops_per_commit: int,
     ) -> None:
-        self._tree = tree
+        self._store = store
         self._executor = executor
         self._metrics = metrics
         self._max_ops = max_ops_per_commit
@@ -123,7 +134,7 @@ class _GroupCommitter:
                     ops.extend(sub_ops)
                 try:
                     await loop.run_in_executor(
-                        self._executor, self._tree.write_batch, ops
+                        self._executor, self._store.write_batch, ops
                     )
                 except Exception as exc:  # surfaced per submitter
                     for _, future in batch:
@@ -138,11 +149,16 @@ class _GroupCommitter:
 
 
 class KVServer:
-    """An asyncio TCP server fronting one LSM tree.
+    """An asyncio TCP server fronting any :class:`~repro.api.KVStore`.
 
     Args:
-        tree: The engine to serve. The server does *not* close it unless
-            ``owns_tree=True`` (the CLI sets that).
+        store: The engine to serve — an ``LSMTree``, ``PartitionedStore``,
+            ``ShardedStore``, or anything else satisfying the protocol.
+            When the store is sharded (exposes ``num_shards`` and
+            ``shard_index``), group commit runs one committer per shard so
+            commits on different shards proceed in parallel. The server
+            does *not* close the store unless ``owns_tree=True`` (the CLI
+            sets that).
         host / port: Bind address; ``port=0`` picks a free port, readable
             from :attr:`port` after :meth:`start`.
         max_connections: Connections beyond this are answered with one
@@ -150,30 +166,33 @@ class KVServer:
         max_request_bytes: Per-request frame-size ceiling; an oversized
             frame gets ``ERR PROTOCOL`` and the connection is closed
             (framing cannot be trusted past that point).
-        executor_threads: Bound on concurrent engine calls.
+        executor_threads: Bound on concurrent engine calls. ``None``
+            (default) sizes it to ``max(4, num_shards)`` so every shard's
+            commit can be in flight at once.
         group_commit: Coalesce concurrent writes into shared engine
             commits (on by default; off = one engine call per request,
             the contrast ``bench_e22`` measures).
         group_commit_max_ops: Cap on client ops folded into one commit.
         slowdown_delay_s: Reply delay applied per write while the engine
             reports the *slowdown* state.
+        owns_tree: Close the store on :meth:`stop`.
     """
 
     def __init__(
         self,
-        tree: LSMTree,
+        store: KVStore,
         host: str = "127.0.0.1",
         port: int = 0,
         *,
         max_connections: int = 128,
         max_request_bytes: int = MAX_FRAME_BYTES,
-        executor_threads: int = 4,
+        executor_threads: Optional[int] = None,
         group_commit: bool = True,
         group_commit_max_ops: int = 512,
         slowdown_delay_s: float = 0.002,
         owns_tree: bool = False,
     ) -> None:
-        self.tree = tree
+        self.store = store
         self.host = host
         self.port = port
         self.max_connections = max_connections
@@ -182,22 +201,43 @@ class KVServer:
         self.slowdown_delay_s = slowdown_delay_s
         self.metrics = ServerMetrics()
         self._owns_tree = owns_tree
+        #: One committer per shard when the store routes by shard; a
+        #: single committer (index 0) otherwise.
+        self._shard_index: Optional[Callable[[str], int]] = getattr(
+            store, "shard_index", None
+        )
+        num_committers = (
+            int(getattr(store, "num_shards", 1))
+            if self._shard_index is not None
+            else 1
+        )
+        if executor_threads is None:
+            executor_threads = max(4, num_committers)
         self._executor = ThreadPoolExecutor(
             max_workers=executor_threads, thread_name_prefix="kv-engine"
         )
-        self._committer = _GroupCommitter(
-            tree, self._executor, self.metrics, group_commit_max_ops
-        )
+        self._committers = [
+            _GroupCommitter(
+                store, self._executor, self.metrics, group_commit_max_ops
+            )
+            for _ in range(num_committers)
+        ]
         self._server: Optional[asyncio.AbstractServer] = None
         self._writers: Set[asyncio.StreamWriter] = set()
         self._started_at = time.time()
+
+    @property
+    def tree(self) -> KVStore:
+        """Backward-compatible alias for :attr:`store`."""
+        return self.store
 
     # -- lifecycle ----------------------------------------------------------
 
     async def start(self) -> None:
         """Bind and start accepting connections."""
         if self.group_commit:
-            self._committer.start()
+            for committer in self._committers:
+                committer.start()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
@@ -209,7 +249,8 @@ class KVServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        await self._committer.stop()
+        for committer in self._committers:
+            await committer.stop()
         for writer in list(self._writers):
             writer.close()
         for writer in list(self._writers):
@@ -220,7 +261,7 @@ class KVServer:
         self._writers.clear()
         self._executor.shutdown(wait=True)
         if self._owns_tree:
-            self.tree.close()
+            self.store.close()
 
     async def serve_forever(self) -> None:
         """Block until the server is cancelled (CLI entry point)."""
@@ -330,7 +371,7 @@ class KVServer:
 
         try:
             if self.group_commit:
-                await self._committer.submit(ops)
+                await self._submit_grouped(ops)
             else:
                 # Per-request commit: one engine call — one write-mutex
                 # acquisition and one WAL sync — per client request, the
@@ -340,7 +381,7 @@ class KVServer:
                 for _, op_count in per_request:
                     await loop.run_in_executor(
                         self._executor,
-                        self.tree.write_batch,
+                        self.store.write_batch,
                         ops[offset : offset + op_count],
                     )
                     offset += op_count
@@ -358,6 +399,38 @@ class KVServer:
             )
         return replies
 
+    async def _submit_grouped(self, ops: List[BatchOp]) -> None:
+        """Route ops to their shards' committers; await every commit.
+
+        Non-sharded stores have exactly one committer, so this degenerates
+        to the classic single group-commit pipeline. For sharded stores
+        each sub-list rides its own shard's commit window — the windows
+        fill and drain concurrently, which is where the write parallelism
+        of ``bench_e23`` comes from. A multi-shard client batch resolves
+        when *all* its sub-commits have settled; per-shard atomicity is
+        the store's documented contract.
+        """
+        if len(self._committers) == 1 or self._shard_index is None:
+            await self._committers[0].submit(ops)
+            return
+        by_shard: Dict[int, List[BatchOp]] = {}
+        for op in ops:
+            by_shard.setdefault(self._shard_index(op[1]), []).append(op)
+        if len(by_shard) == 1:
+            index, sub_ops = next(iter(by_shard.items()))
+            await self._committers[index].submit(sub_ops)
+            return
+        outcomes = await asyncio.gather(
+            *(
+                self._committers[index].submit(sub_ops)
+                for index, sub_ops in by_shard.items()
+            ),
+            return_exceptions=True,
+        )
+        for outcome in outcomes:
+            if isinstance(outcome, BaseException):
+                raise outcome
+
     @staticmethod
     def _parse_write(request: Sequence[str]) -> List[BatchOp]:
         verb = request[0]
@@ -372,8 +445,14 @@ class KVServer:
         return decode_batch(request)
 
     def _admission_check(self) -> Optional[List[str]]:
-        """BUSY reply if the engine is write-stopped, else ``None``."""
-        state = self.tree.backpressure()
+        """BUSY reply if the engine is write-stopped, else ``None``.
+
+        For sharded stores the check is conservative: the aggregate state
+        is the worst shard's, so one write-stopped shard sheds writes for
+        all — the simple policy that can never admit a write its shard
+        cannot take.
+        """
+        state = self.store.backpressure()
         if state["state"] != "stop":
             return None
         return [
@@ -387,7 +466,7 @@ class KVServer:
         """Delay the reply while the engine reports the slowdown state."""
         if self.slowdown_delay_s <= 0:
             return False
-        if self.tree.backpressure()["state"] != "slowdown":
+        if self.store.backpressure()["state"] != "slowdown":
             return False
         await asyncio.sleep(self.slowdown_delay_s)
         return True
@@ -403,13 +482,27 @@ class KVServer:
             elif verb == "GET":
                 if len(request) != 2:
                     raise ProtocolError("GET needs exactly a key")
-                value = await self._run_engine(self.tree.get, request[1])
+                value = await self._run_engine(self.store.get, request[1])
                 reply = ["NONE"] if value is None else ["VALUE", value]
             elif verb == "SCAN":
-                if len(request) != 3:
-                    raise ProtocolError("SCAN needs exactly lo and hi")
+                if len(request) not in (3, 4):
+                    raise ProtocolError(
+                        "SCAN needs lo, hi, and an optional limit"
+                    )
+                limit: Optional[int] = None
+                if len(request) == 4:
+                    try:
+                        limit = int(request[3])
+                    except ValueError:
+                        raise ProtocolError(
+                            "SCAN limit must be an integer"
+                        ) from None
+                    if limit < 0:
+                        raise ProtocolError(
+                            "SCAN limit must be non-negative"
+                        )
                 pairs = await self._run_engine(
-                    self.tree.scan, request[1], request[2]
+                    self.store.scan, request[1], request[2], limit
                 )
                 reply = ["PAIRS"]
                 for key, value in pairs:
@@ -453,15 +546,29 @@ class KVServer:
     # -- introspection ------------------------------------------------------
 
     def info(self) -> dict:
-        """The INFO payload: serving metrics + engine snapshot."""
-        return {
+        """The INFO payload: serving metrics + engine snapshot.
+
+        ``engine`` is uniform across store kinds (a
+        :meth:`~repro.core.stats.TreeStats.to_dict` snapshot — a merged
+        rollup for aggregating stores); ``levels`` appears for stores
+        exposing a level summary (single trees) and ``shards`` carries the
+        per-shard breakdown for sharded/partitioned stores.
+        """
+        payload = {
             "server": {
                 "uptime_s": time.time() - self._started_at,
                 "group_commit": self.group_commit,
+                "committers": len(self._committers),
                 "max_connections": self.max_connections,
                 **self.metrics.to_dict(),
             },
-            "backpressure": self.tree.backpressure(),
-            "engine": self.tree.stats.to_dict(),
-            "levels": self.tree.level_summary(),
+            "backpressure": self.store.backpressure(),
+            "engine": self.store.stats.to_dict(),
         }
+        level_summary = getattr(self.store, "level_summary", None)
+        if callable(level_summary):
+            payload["levels"] = level_summary()
+        shard_summary = getattr(self.store, "shard_summary", None)
+        if callable(shard_summary):
+            payload["shards"] = shard_summary()
+        return payload

@@ -1,0 +1,5 @@
+"""Sharded engine: independent LSM trees committing in parallel (§2.2.2)."""
+
+from .store import ShardedStore, hash_shard_index
+
+__all__ = ["ShardedStore", "hash_shard_index"]

@@ -1,0 +1,461 @@
+"""Sharded LSM engine: N independent trees committing in parallel.
+
+The tutorial's partitioning discussion (§2.2.2) — realized by PebblesDB's
+guards and Nova-LSM's shard-per-component design — observes that splitting
+the key space into independent trees makes each tree shallower *and* makes
+the trees independent failure and concurrency domains. The
+:class:`~repro.partition.PartitionedStore` exploits the first property on
+one simulated device; :class:`ShardedStore` exploits the second: every
+shard owns its *own* write-ahead log, write mutex, simulated device, and
+(in background mode) background flush/compaction coordinator, so commits,
+flushes, and compactions on different shards proceed genuinely in
+parallel. This is the engine the serving layer's per-shard group commit
+(:class:`~repro.server.KVServer`) fans out over.
+
+Routing is pluggable:
+
+* ``"hash"`` (default) — ``crc32(key) % num_shards``. Spreads any
+  workload evenly, including sequential writers; scans must scatter to
+  every shard and k-way merge.
+* ``"range"`` — sorted split keys (reuse
+  :func:`repro.partition.range_boundaries` to derive them). Keys stay
+  clustered, so scans touch only the shards they overlap — range routing
+  beats hash whenever scans dominate and the key distribution is known.
+
+Atomicity contract: :meth:`ShardedStore.write_batch` validates the whole
+batch up front, then splits it by shard and commits the sub-batches
+concurrently. Each *sub-batch* is atomic and durable as a unit (one write
+mutex acquisition, one WAL sync on its shard), but the batch as a whole is
+not: a crash can persist shard A's sub-batch and lose shard B's. Callers
+needing cross-key atomicity must route those keys to one shard (range
+routing makes that controllable) or layer a transaction log above.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import os
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+from heapq import merge as heap_merge
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.config import LSMConfig
+from ..core.merge_operator import MergeOperator
+from ..core.stats import TreeStats
+from ..core.tree import LSMTree
+from ..errors import ClosedError, ConfigError
+
+#: One batched write: ("put" | "delete", key, value-or-None).
+BatchOp = Tuple[str, str, Optional[str]]
+
+#: Name of the routing manifest written next to the shard WAL directories.
+MANIFEST_NAME = "shards.json"
+
+_ROUTINGS = ("hash", "range")
+
+#: Backpressure states ordered from healthy to write-stopped.
+_STATE_SEVERITY = {"ok": 0, "slowdown": 1, "stop": 2}
+
+
+def hash_shard_index(key: str, num_shards: int) -> int:
+    """Stable hash routing: ``crc32(key) % num_shards``.
+
+    Deliberately not Python's builtin ``hash`` — that is salted per
+    process (``PYTHONHASHSEED``), which would route the same key to
+    different shards across restarts and break WAL recovery.
+    """
+    return zlib.crc32(key.encode("utf-8")) % num_shards
+
+
+class ShardedStore:
+    """N independent :class:`~repro.core.tree.LSMTree` shards, one store.
+
+    Args:
+        num_shards: Shard count (>= 1). Derived from ``boundaries`` when
+            those are given instead.
+        config: Per-shard configuration (shared instance). With
+            ``background_mode=True`` every shard runs its own flush and
+            compaction workers.
+        routing: ``"hash"`` (default) or ``"range"``.
+        boundaries: Sorted split keys for range routing
+            (``len(boundaries) + 1`` shards); reuse
+            :func:`repro.partition.range_boundaries` to derive them.
+        wal_dir: Directory for durable WALs. Each shard journals into its
+            own ``shard-NN/`` subdirectory, and a ``shards.json`` manifest
+            records the routing so :meth:`recover` replays each shard's
+            log with the same key placement.
+        merge_operator: Passed through to every shard.
+
+    Example:
+        >>> store = ShardedStore(4)
+        >>> store.put("user42", "hello")
+        >>> store.get("user42")
+        'hello'
+        >>> store.num_shards
+        4
+    """
+
+    def __init__(
+        self,
+        num_shards: Optional[int] = None,
+        config: Optional[LSMConfig] = None,
+        *,
+        routing: str = "hash",
+        boundaries: Optional[Sequence[str]] = None,
+        wal_dir: Optional[str] = None,
+        merge_operator: Optional[MergeOperator] = None,
+        _recover: bool = False,
+    ) -> None:
+        if routing not in _ROUTINGS:
+            raise ConfigError(f"routing must be one of {_ROUTINGS}")
+        if boundaries is not None:
+            routing = "range"
+            ordered = list(boundaries)
+            if ordered != sorted(ordered) or len(set(ordered)) != len(ordered):
+                raise ValueError("boundaries must be sorted and distinct")
+            derived = len(ordered) + 1
+            if num_shards is not None and num_shards != derived:
+                raise ValueError(
+                    f"num_shards={num_shards} contradicts "
+                    f"{len(ordered)} boundaries ({derived} shards)"
+                )
+            num_shards = derived
+            self.boundaries: List[str] = ordered
+        elif routing == "range":
+            raise ConfigError("range routing needs explicit boundaries")
+        else:
+            self.boundaries = []
+        if num_shards is None or num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        self.routing = routing
+        self._wal_dir = wal_dir
+        self._closed = False
+        shard_dirs: List[Optional[str]] = [None] * num_shards
+        if wal_dir is not None:
+            shard_dirs = [
+                os.path.join(wal_dir, f"shard-{index:02d}")
+                for index in range(num_shards)
+            ]
+            for path in shard_dirs:
+                os.makedirs(path, exist_ok=True)
+            self._write_manifest(wal_dir, num_shards)
+        if _recover:
+            self.shards: List[LSMTree] = [
+                LSMTree.recover(
+                    config, path, merge_operator=merge_operator
+                )
+                for path in shard_dirs  # type: ignore[union-attr]
+            ]
+        else:
+            self.shards = [
+                LSMTree(
+                    config, wal_dir=path, merge_operator=merge_operator
+                )
+                for path in shard_dirs
+            ]
+        #: Commits sub-batches (and hash-routed scans) concurrently; one
+        #: worker per shard, so every shard can have a commit in flight.
+        self._executor = ThreadPoolExecutor(
+            max_workers=num_shards, thread_name_prefix="shard"
+        )
+
+    def _write_manifest(self, wal_dir: str, num_shards: int) -> None:
+        manifest = {
+            "num_shards": num_shards,
+            "routing": self.routing,
+            "boundaries": self.boundaries,
+        }
+        path = os.path.join(wal_dir, MANIFEST_NAME)
+        if os.path.exists(path):
+            with open(path, "r", encoding="utf-8") as handle:
+                existing = json.load(handle)
+            if existing != manifest:
+                raise ConfigError(
+                    f"{path} records a different sharding "
+                    f"({existing}); recover with ShardedStore.recover or "
+                    "use a fresh directory"
+                )
+            return
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle)
+
+    # -- routing -------------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        """Number of independent trees."""
+        return len(self.shards)
+
+    def shard_index(self, key: str) -> int:
+        """Index of the shard owning ``key`` (stable across restarts)."""
+        if self.routing == "hash":
+            return hash_shard_index(key, len(self.shards))
+        return bisect.bisect_right(self.boundaries, key)
+
+    def shard_for(self, key: str) -> LSMTree:
+        """The tree owning ``key``."""
+        return self.shards[self.shard_index(key)]
+
+    # -- external operations -------------------------------------------------
+
+    def put(self, key: str, value: str) -> None:
+        """Insert or update ``key`` in its owning shard."""
+        self.shard_for(key).put(key, value)
+
+    def get(self, key: str) -> Optional[str]:
+        """Point lookup in the owning shard only."""
+        return self.shard_for(key).get(key)
+
+    def delete(self, key: str) -> None:
+        """Logical delete in the owning shard."""
+        self.shard_for(key).delete(key)
+
+    def write_batch(self, ops: Sequence[BatchOp]) -> None:
+        """Split a batch by shard; commit the sub-batches concurrently.
+
+        The whole batch is validated before any sub-batch is submitted, so
+        a malformed op raises ``ValueError`` with nothing applied. Each
+        sub-batch then commits on its own shard — one write-mutex
+        acquisition and one WAL sync per *shard touched*, all in flight at
+        once on the store's executor. **Atomicity is per shard**: if one
+        shard's commit fails (or the process dies mid-flight), sub-batches
+        on other shards may already be durable. The first shard failure is
+        re-raised after every sub-batch has settled.
+        """
+        self._check_open()
+        if not ops:
+            return
+        for op, key, value in ops:
+            if not key:
+                raise ValueError("keys must be non-empty")
+            if op == "put":
+                if value is None:
+                    raise ValueError("put ops need a value")
+            elif op != "delete":
+                raise ValueError(f"unknown batch op {op!r}")
+        by_shard: Dict[int, List[BatchOp]] = {}
+        for batch_op in ops:
+            by_shard.setdefault(
+                self.shard_index(batch_op[1]), []
+            ).append(batch_op)
+        if len(by_shard) == 1:
+            index, sub_ops = next(iter(by_shard.items()))
+            self.shards[index].write_batch(sub_ops)
+            return
+        futures = [
+            self._executor.submit(self.shards[index].write_batch, sub_ops)
+            for index, sub_ops in by_shard.items()
+        ]
+        failure: Optional[BaseException] = None
+        for future in futures:
+            error = future.exception()
+            if error is not None and failure is None:
+                failure = error
+        if failure is not None:
+            raise failure
+
+    def scan(
+        self, lo: str, hi: str, limit: Optional[int] = None
+    ) -> List[Tuple[str, str]]:
+        """Scatter-gather range lookup, k-way merged across shards.
+
+        Range routing touches only the shards overlapping ``[lo, hi)``, in
+        key order, stopping as soon as ``limit`` pairs are collected. Hash
+        routing must scatter to every shard (any shard may own any key in
+        the range) — the per-shard scans run concurrently on the store's
+        executor, each individually capped at ``limit``, and the sorted
+        partial results are k-way merged (shards own disjoint keys, so the
+        merge never sees duplicates).
+        """
+        self._check_open()
+        if limit is not None and limit < 0:
+            raise ValueError("limit must be non-negative (or None)")
+        if lo >= hi or limit == 0:
+            return []
+        if self.routing == "range":
+            first = bisect.bisect_right(self.boundaries, lo)
+            last = bisect.bisect_right(self.boundaries, hi)
+            results: List[Tuple[str, str]] = []
+            for index in range(first, min(last, len(self.shards) - 1) + 1):
+                remaining = None if limit is None else limit - len(results)
+                if remaining == 0:
+                    break
+                results.extend(self.shards[index].scan(lo, hi, remaining))
+            return results
+        if len(self.shards) == 1:
+            return self.shards[0].scan(lo, hi, limit)
+        partials = list(
+            self._executor.map(
+                lambda shard: shard.scan(lo, hi, limit), self.shards
+            )
+        )
+        merged = list(heap_merge(*partials))
+        return merged if limit is None else merged[:limit]
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def flush(self) -> None:
+        """Force every shard's active buffer to disk."""
+        self._check_open()
+        for shard in self.shards:
+            shard.flush()
+
+    def compact_all(self) -> None:
+        """Major compaction on every shard."""
+        self._check_open()
+        for shard in self.shards:
+            shard.compact_all()
+
+    def close(self) -> None:
+        """Close every shard and release the commit executor. Idempotent.
+
+        Shards close concurrently on the commit executor: each close
+        drains that shard's rotated buffers and pending compactions
+        (:meth:`LSMTree.close`), so the drains overlap exactly like the
+        background work itself did. Shard close errors (e.g. a failed
+        background worker surfacing as
+        :class:`~repro.errors.BackgroundError`) are collected so every
+        shard still gets closed; the first error is re-raised.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        failure: Optional[BaseException] = None
+        futures = [
+            self._executor.submit(shard.close) for shard in self.shards
+        ]
+        for future in futures:
+            try:
+                future.result()
+            except BaseException as exc:
+                if failure is None:
+                    failure = exc
+        self._executor.shutdown(wait=True)
+        if failure is not None:
+            raise failure
+
+    def __enter__(self) -> "ShardedStore":
+        return self
+
+    def __exit__(self, *_exc_info: object) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ClosedError("store is closed")
+
+    # -- recovery ------------------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls,
+        config: Optional[LSMConfig],
+        wal_dir: str,
+        *,
+        merge_operator: Optional[MergeOperator] = None,
+    ) -> "ShardedStore":
+        """Rebuild every shard from its own WAL after a crash.
+
+        The ``shards.json`` manifest fixes shard count and routing, so
+        keys re-route exactly as they did before the crash; each shard
+        then replays only the segments in its own ``shard-NN/`` directory
+        (:meth:`LSMTree.recover`), preserving its independent sequence
+        numbers. Shards recover independently — one shard's surviving
+        writes are never visible to, or blocked by, another's replay.
+        """
+        path = os.path.join(wal_dir, MANIFEST_NAME)
+        if not os.path.exists(path):
+            raise ConfigError(
+                f"no {MANIFEST_NAME} in {wal_dir}; not a sharded WAL "
+                "directory"
+            )
+        with open(path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        return cls(
+            manifest["num_shards"],
+            config,
+            routing=manifest["routing"],
+            boundaries=manifest["boundaries"] or None,
+            wal_dir=wal_dir,
+            merge_operator=merge_operator,
+            _recover=True,
+        )
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def stats(self) -> TreeStats:
+        """Rollup of every shard's counters (:meth:`TreeStats.merged`)."""
+        return TreeStats.merged([shard.stats for shard in self.shards])
+
+    def backpressure(self) -> Dict[str, object]:
+        """Aggregate admission snapshot: the *worst* shard state governs.
+
+        ``state`` is the most severe of the shard states (``stop`` beats
+        ``slowdown`` beats ``ok``) — conservative on purpose, since a
+        serving layer that admits a write cannot know which shard it will
+        route to until it parses the key. The raw quantities aggregate
+        (max Level-0 depth, summed immutable buffers) and ``shards``
+        carries the full per-shard breakdown for operators.
+        """
+        per_shard = [shard.backpressure() for shard in self.shards]
+        worst = max(
+            per_shard, key=lambda s: _STATE_SEVERITY.get(str(s["state"]), 0)
+        )
+        return {
+            "state": worst["state"],
+            "level0_runs": max(int(s["level0_runs"]) for s in per_shard),
+            "immutable_buffers": sum(
+                int(s["immutable_buffers"]) for s in per_shard
+            ),
+            "slowdown_trigger": worst["slowdown_trigger"],
+            "stop_trigger": worst["stop_trigger"],
+            "shards": [
+                {"shard": index, **snapshot}
+                for index, snapshot in enumerate(per_shard)
+            ],
+        }
+
+    def shard_summary(self) -> List[Dict[str, object]]:
+        """Per-shard breakdown served through the server's ``INFO``."""
+        return [
+            {
+                "shard": index,
+                "routing": self.routing,
+                "levels": len(shard.levels),
+                "disk_bytes": shard.total_disk_bytes(),
+                "seqno": shard.seqno,
+                "puts": shard.stats.puts,
+                "deletes": shard.stats.deletes,
+                "flushes": shard.stats.flushes,
+                "compactions": shard.stats.compactions,
+                "backpressure": shard.backpressure()["state"],
+            }
+            for index, shard in enumerate(self.shards)
+        ]
+
+    def total_disk_bytes(self) -> int:
+        """Payload bytes across all shards."""
+        return sum(shard.total_disk_bytes() for shard in self.shards)
+
+    def max_depth(self) -> int:
+        """Deepest shard's level count."""
+        return max((len(shard.levels) for shard in self.shards), default=0)
+
+    def write_amplification(self) -> float:
+        """Aggregate device bytes written per user byte, across shards."""
+        user_bytes = sum(
+            shard.stats.user_bytes_written for shard in self.shards
+        )
+        if user_bytes == 0:
+            return 0.0
+        device_bytes = sum(
+            shard.disk.counters.bytes_written for shard in self.shards
+        )
+        return device_bytes / user_bytes
+
+    def memory_footprint_bits(self) -> int:
+        """Aggregate buffer + filter + fence memory across shards."""
+        return sum(shard.memory_footprint_bits() for shard in self.shards)

@@ -1,0 +1,164 @@
+"""Protocol-conformance tests: every store satisfies KVStore.
+
+The :class:`repro.api.KVStore` protocol is the contract the serving layer
+programs against. These tests pin it structurally (``isinstance`` against
+the runtime-checkable protocol) and behaviorally (the same CRUD scenario
+runs against every store kind, and :class:`~repro.server.KVServer` serves
+each one unmodified).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro import (
+    BatchOp,
+    KVStore,
+    LSMConfig,
+    LSMTree,
+    PartitionedStore,
+    ShardedStore,
+    TreeStats,
+    range_boundaries,
+)
+from repro.server import KVClient, KVServer
+from repro.workload.distributions import format_key
+
+
+def small_config() -> LSMConfig:
+    return LSMConfig(
+        buffer_size_bytes=1024, target_file_bytes=512, block_bytes=256
+    )
+
+
+def make_store(kind: str) -> KVStore:
+    if kind == "tree":
+        return LSMTree(small_config())
+    if kind == "sharded":
+        return ShardedStore(4, small_config())
+    return PartitionedStore(range_boundaries(400, 4), small_config())
+
+
+STORE_KINDS = ("tree", "sharded", "partitioned")
+
+
+@pytest.mark.parametrize("kind", STORE_KINDS)
+class TestConformance:
+    def test_isinstance_of_protocol(self, kind):
+        store = make_store(kind)
+        try:
+            assert isinstance(store, KVStore)
+        finally:
+            store.close()
+
+    def test_crud_scenario(self, kind):
+        with make_store(kind) as store:
+            keys = [format_key(i) for i in range(120)]
+            for key in keys:
+                store.put(key, f"v-{key}")
+            assert store.get(keys[7]) == f"v-{keys[7]}"
+            assert store.get("missing-key") is None
+            store.delete(keys[7])
+            assert store.get(keys[7]) is None
+            store.flush()
+            assert store.get(keys[11]) == f"v-{keys[11]}"
+
+    def test_scan_sorted_with_limit(self, kind):
+        with make_store(kind) as store:
+            for index in range(100):
+                store.put(format_key(index), str(index))
+            full = store.scan(format_key(10), format_key(60))
+            assert [k for k, _v in full] == [
+                format_key(i) for i in range(10, 60)
+            ]
+            limited = store.scan(format_key(10), format_key(60), 5)
+            assert limited == full[:5]
+            assert store.scan(format_key(10), format_key(60), 0) == []
+            with pytest.raises(ValueError):
+                store.scan("a", "z", -1)
+
+    def test_write_batch_validates_first(self, kind):
+        ops: list[BatchOp] = [
+            ("put", "a", "1"),
+            ("put", "b", "2"),
+            ("delete", "a", None),
+        ]
+        with make_store(kind) as store:
+            store.write_batch(ops)
+            assert store.get("a") is None
+            assert store.get("b") == "2"
+            with pytest.raises(ValueError):
+                store.write_batch([("put", "c", "3"), ("frob", "d", None)])
+            assert store.get("c") is None
+            store.write_batch([])  # no-op
+
+    def test_stats_and_backpressure_shape(self, kind):
+        with make_store(kind) as store:
+            store.put("k", "v")
+            stats = store.stats
+            assert isinstance(stats, TreeStats)
+            assert stats.puts >= 1
+            state = store.backpressure()
+            assert state["state"] in ("ok", "slowdown", "stop")
+            assert "level0_runs" in state
+            assert "immutable_buffers" in state
+
+    def test_context_manager_closes(self, kind):
+        store = make_store(kind)
+        with store:
+            store.put("k", "v")
+        # Closed: LSMTree raises ClosedError on further writes; the
+        # aggregate stores either raise or have closed shards underneath.
+        with pytest.raises(Exception):
+            store.put("k2", "v2")
+            store.flush()
+
+
+class TestNonConformance:
+    def test_arbitrary_object_is_not_a_kvstore(self):
+        assert not isinstance(object(), KVStore)
+
+    def test_dict_is_not_a_kvstore(self):
+        assert not isinstance({}, KVStore)
+
+
+@pytest.mark.parametrize("kind", STORE_KINDS)
+def test_server_runs_unmodified_over_any_store(kind):
+    """The acceptance check: KVServer serves each store kind as-is."""
+
+    async def scenario():
+        server = KVServer(make_store(kind), owns_tree=True)
+        await server.start()
+        try:
+            async with await KVClient.connect(
+                "127.0.0.1", server.port
+            ) as kv:
+                for index in range(40):
+                    await kv.put(format_key(index), f"v{index}")
+                assert await kv.get(format_key(3)) == "v3"
+                assert await kv.get("missing") is None
+                pairs = await kv.scan(format_key(0), format_key(40))
+                assert [k for k, _v in pairs] == [
+                    format_key(i) for i in range(40)
+                ]
+                limited = await kv.scan(format_key(0), format_key(40), 7)
+                assert limited == pairs[:7]
+                count = await kv.batch(
+                    [("put", "zz-batch", "1"), ("delete", format_key(0), None)]
+                )
+                assert count == 2
+                assert await kv.get("zz-batch") == "1"
+                assert await kv.get(format_key(0)) is None
+                info = await kv.info()
+                assert info["backpressure"]["state"] == "ok"
+                assert info["engine"]["puts"] >= 40
+                if kind == "tree":
+                    assert isinstance(info["levels"], list)
+                else:
+                    assert len(info["shards"]) == 4
+        finally:
+            await server.stop()
+
+    asyncio.run(scenario())

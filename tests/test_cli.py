@@ -25,22 +25,27 @@ class TestParser:
         assert args.port == 7379
         assert args.num_buffers == 4
         assert args.no_group_commit is False
+        assert args.shards == 1
+        assert args.executor_threads is None
 
     def test_serve_flags(self):
         args = build_parser().parse_args(
             ["serve", "--port", "0", "--background", "--wal-fsync",
-             "--no-group-commit", "--max-connections", "7"]
+             "--no-group-commit", "--max-connections", "7",
+             "--shards", "4"]
         )
         assert args.port == 0
         assert args.background is True
         assert args.wal_fsync is True
         assert args.no_group_commit is True
         assert args.max_connections == 7
+        assert args.shards == 4
 
     def test_bench_serve_defaults(self):
         args = build_parser().parse_args(["bench-serve"])
         assert args.clients == 8
         assert args.pipeline == 8
+        assert args.shards == 1
 
 
 class TestCommands:
@@ -100,6 +105,20 @@ class TestCommands:
         assert "per-request" in output
         assert "group" in output
         assert "ops/commit" in output
+        # Drain-inclusive ingest metric (see benchmarks/bench_e23_sharding).
+        assert "sustained" in output
+
+    def test_bench_serve_sharded_runs(self, capsys):
+        code = main(
+            ["bench-serve", "--clients", "2", "--pipeline", "2",
+             "--ops", "20", "--value-bytes", "16", "--shards", "2"]
+        )
+        assert code == 0
+        assert "2 shard(s)" in capsys.readouterr().out
+
+    def test_serve_rejects_zero_shards(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--shards", "0"])
 
     def test_bad_mix_fails_cleanly(self):
         with pytest.raises(Exception):

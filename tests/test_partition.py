@@ -82,6 +82,48 @@ class TestOperations:
     def test_scan_empty_interval(self, store):
         assert store.scan("z", "a") == []
 
+    def test_scan_limit_stops_across_shards(self, store):
+        for index in range(400):
+            store.put(format_key(index), str(index))
+        # The limit spans the shard-0/shard-1 boundary at key 100.
+        result = store.scan(format_key(95), format_key(205), 10)
+        assert [k for k, _v in result] == [
+            format_key(i) for i in range(95, 105)
+        ]
+        assert store.scan(format_key(0), format_key(400), 0) == []
+        with pytest.raises(ValueError):
+            store.scan("a", "z", -1)
+
+    def test_write_batch_routes_and_validates(self, store):
+        ops = [("put", format_key(i), str(i)) for i in range(0, 400, 4)]
+        ops.append(("delete", format_key(0), None))
+        store.write_batch(ops)
+        assert store.get(format_key(0)) is None
+        assert store.get(format_key(200)) == "200"
+        assert all(shard.stats.puts > 0 for shard in store.shards)
+        before = store.user_bytes_written
+        with pytest.raises(ValueError):
+            store.write_batch([("put", "good", "v"), ("put", "bad", None)])
+        assert store.get("good") is None
+        assert store.user_bytes_written == before
+
+    def test_stats_rollup(self, store):
+        for index in range(100):
+            store.put(format_key(index), "v")
+        assert store.stats.puts == 100
+
+    def test_backpressure_aggregate(self, store):
+        state = store.backpressure()
+        assert state["state"] == "ok"
+        assert state["stop_trigger"] == 2 * state["slowdown_trigger"]
+
+    def test_context_manager(self):
+        with PartitionedStore(
+            range_boundaries(100, 2), small_config()
+        ) as store:
+            store.put(format_key(1), "v")
+            assert store.get(format_key(1)) == "v"
+
     def test_close(self, store):
         store.close()
 

@@ -16,6 +16,7 @@ import pytest
 from repro.core.config import LSMConfig
 from repro.core.tree import LSMTree
 from repro.errors import ClosedError
+from repro.shard import ShardedStore
 from repro.server import (
     BusyError,
     FrameParser,
@@ -563,6 +564,102 @@ class TestBackgroundErrorBoundary:
                         await kv.batch([("put", "a", "1")])
                     assert excinfo.value.code == "BACKGROUND"
                 tree._background.pool._errors.clear()
+
+        asyncio.run(scenario())
+
+
+class TestShardedServing:
+    """The server over a ShardedStore: per-shard committers in parallel."""
+
+    def test_one_committer_per_shard(self):
+        async def scenario():
+            async with serving(ShardedStore(4, bg_config())) as server:
+                assert len(server._committers) == 4
+                async with await KVClient.connect(
+                    "127.0.0.1", server.port
+                ) as kv:
+                    await asyncio.gather(
+                        *(kv.put(f"k{i:04d}", "v") for i in range(200))
+                    )
+                    assert await kv.get("k0123") == "v"
+                # Every op rode some shard's group commit.
+                assert server.metrics.group_committed_ops == 200
+                assert server.metrics.group_commits >= 1
+
+        asyncio.run(scenario())
+
+    def test_unsharded_store_gets_single_committer(self):
+        async def scenario():
+            async with serving(LSMTree(bg_config())) as server:
+                assert len(server._committers) == 1
+
+        asyncio.run(scenario())
+
+    def test_multi_shard_batch_commits_every_sub_batch(self):
+        async def scenario():
+            store = ShardedStore(4, bg_config())
+            async with serving(store) as server:
+                async with await KVClient.connect(
+                    "127.0.0.1", server.port
+                ) as kv:
+                    ops = [("put", f"key{i:05d}", str(i)) for i in range(80)]
+                    assert await kv.batch(ops) == 80
+                    for _, key, value in ops[::13]:
+                        assert await kv.get(key) == value
+
+        asyncio.run(scenario())
+
+    def test_info_reports_shard_breakdown(self):
+        async def scenario():
+            async with serving(ShardedStore(4, bg_config())) as server:
+                async with await KVClient.connect(
+                    "127.0.0.1", server.port
+                ) as kv:
+                    await kv.put("k", "v")
+                    info = await kv.info()
+                    assert info["server"]["committers"] == 4
+                    assert len(info["shards"]) == 4
+                    assert len(info["backpressure"]["shards"]) == 4
+                    assert "levels" not in info
+
+        asyncio.run(scenario())
+
+
+class TestScanLimitOverWire:
+    def test_scan_with_limit_field(self):
+        requests = [
+            ["BATCH"]
+            + [f for i in range(10) for f in ("PUT", f"k{i}", str(i))],
+            ["SCAN", "k0", "k9", "3"],
+            ["SCAN", "k0", "k9"],
+            ["SCAN", "k0", "k9", "0"],
+        ]
+
+        async def scenario():
+            async with serving() as server:
+                replies = await raw_exchange(server.port, requests, 4)
+                assert replies[0] == ["OK", "10"]
+                assert replies[1] == ["PAIRS", "k0", "0", "k1", "1", "k2", "2"]
+                assert len(replies[2]) == 1 + 2 * 9  # k0..k8 (hi exclusive)
+                assert replies[3] == ["PAIRS"]
+
+        asyncio.run(scenario())
+
+    def test_bad_limit_is_badreq_not_disconnect(self):
+        requests = [
+            ["SCAN", "a", "z", "three"],
+            ["SCAN", "a", "z", "-1"],
+            ["SCAN", "a", "z", "1", "extra"],
+            ["PING"],
+        ]
+
+        async def scenario():
+            async with serving() as server:
+                replies = await raw_exchange(server.port, requests, 4)
+                assert replies[0][:2] == ["ERR", "BADREQ"]
+                assert replies[1][:2] == ["ERR", "BADREQ"]
+                assert replies[2][:2] == ["ERR", "BADREQ"]
+                assert replies[3] == ["PONG"]
 
         asyncio.run(scenario())
 

@@ -168,6 +168,24 @@ class TestScan:
         small_tree.put("m", "v")
         assert small_tree.scan("x", "a") == []
 
+    def test_scan_limit_counts_live_keys(self, small_config):
+        tree = LSMTree(small_config)
+        for key in shuffled_keys(200):
+            tree.put(key, "v")
+        tree.delete("key00000051")
+        result = tree.scan("key00000050", "key00000060", 3)
+        # The deleted key does not consume the limit.
+        assert [k for k, _ in result] == [
+            "key00000050", "key00000052", "key00000053"
+        ]
+        assert tree.scan("key00000050", "key00000060", 0) == []
+        full = tree.scan("key00000050", "key00000060", 1000)
+        assert len(full) == 9
+
+    def test_scan_limit_validation(self, small_tree):
+        with pytest.raises(ValueError):
+            small_tree.scan("a", "z", -1)
+
 
 class TestSingleDelete:
     def test_hides_key(self, small_tree):
