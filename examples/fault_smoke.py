@@ -1,0 +1,108 @@
+"""Degraded-mode smoke test: kill one shard's workers under live serving.
+
+Run with::
+
+    python examples/fault_smoke.py
+
+The robustness drill CI runs end to end:
+
+1. A 3-shard background-mode store behind the TCP server, with a
+   pipelined client writing across the whole key space.
+2. Mid-run, shard 1's flush/compaction workers are killed through the
+   fault-injection hook — the process-internal analogue of a disk dying
+   under one shard.
+3. Assertions: keys on the dead shard answer with the retryable
+   ``ERR UNAVAILABLE 1`` (surfaced as :class:`UnavailableError`), every
+   other shard keeps serving reads *and* writes, ``HEALTH`` reports the
+   quarantine, and the connection itself never drops.
+
+Exits non-zero on any failure, so it doubles as a CI job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro import LSMConfig  # noqa: E402
+from repro.faults import inject_worker_death  # noqa: E402
+from repro.server import KVClient, KVServer, UnavailableError  # noqa: E402
+from repro.shard import ShardedStore  # noqa: E402
+
+NUM_SHARDS = 3
+DEAD_SHARD = 1
+
+
+async def main() -> None:
+    config = LSMConfig(
+        background_mode=True,
+        buffer_size_bytes=16 * 1024,
+        flush_threads=1,
+        compaction_threads=1,
+    )
+    with tempfile.TemporaryDirectory(prefix="fault-smoke-") as wal_dir:
+        store = ShardedStore(NUM_SHARDS, config, wal_dir=wal_dir)
+        server = KVServer(store, owns_tree=False)
+        await server.start()
+        client = await KVClient.connect("127.0.0.1", server.port)
+        try:
+            keys = [f"key-{i:04d}" for i in range(120)]
+            await asyncio.gather(
+                *(client.put(key, f"value-{key}") for key in keys)
+            )
+            health = await client.health()
+            assert health["state"] == "healthy", health
+
+            inject_worker_death(
+                store.shards[DEAD_SHARD], "fault_smoke: injected worker death"
+            )
+
+            dead = [k for k in keys if store.shard_index(k) == DEAD_SHARD]
+            live = [k for k in keys if store.shard_index(k) != DEAD_SHARD]
+            assert dead and live, "workload must span the dead shard"
+
+            # Writes to the dead shard fail with the structured, retryable
+            # UNAVAILABLE error naming the shard; the connection survives.
+            unavailable = 0
+            for key in dead[:10]:
+                try:
+                    await client.put(key, "post-kill")
+                except UnavailableError as exc:
+                    assert exc.shard == DEAD_SHARD, exc
+                    unavailable += 1
+            assert unavailable == 10, f"only {unavailable}/10 errored"
+
+            # Every other shard still serves writes and reads in full.
+            await asyncio.gather(
+                *(client.put(key, "post-kill") for key in live)
+            )
+            values = await asyncio.gather(
+                *(client.get(key) for key in live)
+            )
+            assert all(value == "post-kill" for value in values)
+
+            # The same connection keeps working; HEALTH names the victim.
+            assert await client.ping()
+            health = await client.health()
+            assert health["state"] == "degraded", health
+            assert health["quarantined"] == [DEAD_SHARD], health
+            info = await client.info()
+            assert info["server"]["unavailable_errors"] >= 10
+            print(
+                f"fault_smoke OK: shard {DEAD_SHARD} quarantined, "
+                f"{len(live)} keys on {NUM_SHARDS - 1} live shards kept "
+                "serving, connection survived"
+            )
+        finally:
+            await client.close()
+            await server.stop()
+            store.kill()
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

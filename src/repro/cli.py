@@ -10,6 +10,7 @@ Usage::
     python -m repro.cli layouts --ops 20000
     python -m repro.cli serve --port 7379 --background --shards 4
     python -m repro.cli bench-serve --clients 8 --pipeline 8
+    python -m repro.cli fault-sweep --quick --seed 7
 
 Every subcommand prints the same ASCII tables the benchmark suite uses, so
 shell exploration and the archived experiment results read identically.
@@ -303,6 +304,23 @@ def command_bench_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def command_fault_sweep(args: argparse.Namespace) -> int:
+    """Run the crash-consistency sweep; non-zero exit on any violation."""
+    import os
+
+    from .faults.sweep import run_sweep
+
+    quick = args.quick or os.environ.get("REPRO_SWEEP_QUICK", "") not in (
+        "",
+        "0",
+    )
+    report = run_sweep(quick=quick, seed=args.seed)
+    mode = "quick" if quick else "full"
+    print(f"fault sweep ({mode}, seed={args.seed})")
+    print(report.summary())
+    return 1 if report.violations else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -408,6 +426,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="back the server with N hash-routed shards",
     )
     bench_serve.set_defaults(func=command_bench_serve)
+
+    fault_sweep = subparsers.add_parser(
+        "fault-sweep",
+        help="crash at every failpoint crossing and verify recovery",
+    )
+    fault_sweep.add_argument(
+        "--quick",
+        action="store_true",
+        help="sample the crossing set (also via REPRO_SWEEP_QUICK=1)",
+    )
+    fault_sweep.add_argument("--seed", type=int, default=7)
+    fault_sweep.set_defaults(func=command_fault_sweep)
     return parser
 
 

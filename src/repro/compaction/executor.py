@@ -30,6 +30,7 @@ from ..core.run import SortedRun
 from ..core.sstable import SSTable
 from ..core.stats import TreeStats
 from ..errors import CompactionError
+from ..faults.registry import fault_point
 from ..storage.block_cache import BlockCache, HeatTracker
 from ..storage.disk import SimulatedDisk
 from .primitives import CompactionJob
@@ -213,7 +214,9 @@ class CompactionExecutor:
             self.trivial_move(job, levels)
             return list(job.source_tables)
 
+        fault_point("compact.merge", scope=f"L{job.source_level}")
         output_tables = self.merge_job(job, bottommost)
+        fault_point("compact.install", scope=f"L{job.source_level}")
         self.install_job(job, levels, output_tables, target_leveled)
         self.refresh_cache(job, output_tables)
         return output_tables

@@ -32,6 +32,7 @@ from ..core.range_tombstone import RangeTombstone, dedupe
 from ..core.run import SortedRun
 from ..core.wal import WriteAheadLog
 from ..errors import BackgroundError, ClosedError
+from ..faults.registry import fault_point
 from .pool import BackgroundWorkerPool
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -247,6 +248,18 @@ class BackgroundCoordinator:
             self._cv.notify_all()
         self.pool.stop()
 
+    def kill_workers(self, exc: BaseException) -> None:
+        """Fault-injection hook: kill the workers as a hardware fault would.
+
+        Unlike :meth:`stop`, the pool records ``exc`` as its first error,
+        so foreground operations start raising
+        :class:`~repro.errors.BackgroundError` — the trigger for shard
+        quarantine in :class:`~repro.shard.ShardedStore`.
+        """
+        self.pool.inject_failure(exc)
+        with self._cv:
+            self._cv.notify_all()
+
     # -- worker steps -------------------------------------------------------
 
     def _flush_step(self) -> bool:
@@ -265,6 +278,7 @@ class BackgroundCoordinator:
                 return False
             buffer.state = FLUSHING
         try:
+            fault_point("flush.build", scope=f"rot-{buffer.seq}")
             entries = buffer.memtable.entries()
             tombstones = dedupe(buffer.tombstones)
             tables = (
@@ -274,6 +288,7 @@ class BackgroundCoordinator:
                 if entries or tombstones
                 else []
             )
+            fault_point("flush.install", scope=f"rot-{buffer.seq}")
         except BaseException:
             with self._cv:
                 buffer.state = FAILED
@@ -333,7 +348,9 @@ class BackgroundCoordinator:
                 with self._cv:
                     executor.trivial_move(job, tree.levels)
             else:
+                fault_point("compact.merge", scope=f"L{job.source_level}")
                 outputs = executor.merge_job(job, plan.bottommost)
+                fault_point("compact.install", scope=f"L{job.source_level}")
                 with self._cv:
                     executor.install_job(
                         job, tree.levels, outputs, plan.target_leveled

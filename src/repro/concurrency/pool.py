@@ -70,6 +70,20 @@ class BackgroundWorkerPool:
         with self._cv:
             self._cv.notify_all()
 
+    def inject_failure(self, exc: BaseException) -> None:
+        """Record ``exc`` as a worker failure and stop the pool.
+
+        The fault-injection hook behind degraded-mode tests: equivalent
+        to every worker dying mid-step. ``first_error`` reports the
+        exception, so the owning tree's next foreground operation raises
+        :class:`~repro.errors.BackgroundError` exactly as it would for an
+        organic worker death.
+        """
+        with self._cv:
+            self._errors.append(exc)
+            self._cv.notify_all()
+        self.stop()
+
     def pause(self) -> None:
         """Park all workers after their current step (test/maintenance)."""
         with self._cv:

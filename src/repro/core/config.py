@@ -112,6 +112,15 @@ class LSMConfig:
             durability cost that group commit
             (:meth:`~repro.core.wal.WriteAheadLog.append_batch`)
             amortizes: one sync per batch instead of one per write.
+        wal_preserve_segments: Keep flushed WAL segment files on disk
+            instead of deleting them at flush time (only meaningful with
+            a ``wal_dir``). Preserved segments make recovery independent
+            of flush durability — a crash *during or after* a flush can
+            still replay the segment — at the cost of unbounded log
+            growth until a checkpoint
+            (:func:`~repro.storage.persistence.checkpoint`) prunes the
+            segments it covers. The crash-consistency sweep runs with
+            this on.
     """
 
     buffer_size_bytes: int = 64 * 1024
@@ -138,6 +147,7 @@ class LSMConfig:
     compaction_threads: int = 1
     slowdown_sleep_us: float = 500.0
     wal_fsync: bool = False
+    wal_preserve_segments: bool = False
     extras: Tuple[Tuple[str, object], ...] = field(default=())
 
     def __post_init__(self) -> None:

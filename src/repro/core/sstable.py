@@ -31,6 +31,18 @@ from .stats import TreeStats
 _table_ids = itertools.count(1)
 
 
+def reset_table_ids(start: int = 1) -> None:
+    """Restart the process-global table-id counter (crash-simulation hook).
+
+    Checkpoint filenames derive from table ids, and a real process
+    restart resets the counter — so crash harnesses that simulate many
+    boots inside one process call this before each simulated boot to
+    keep runs byte-for-byte reproducible.
+    """
+    global _table_ids
+    _table_ids = itertools.count(start)
+
+
 @dataclass
 class ReadContext:
     """Everything a read needs: the device, caches, and stat counters.

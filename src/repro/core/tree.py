@@ -31,6 +31,7 @@ from ..compaction.planner import CompactionPlanner, last_data_level
 from ..concurrency import BackgroundCoordinator, ImmutableBuffer
 from ..cost.allocation import monkey_bits_per_key
 from ..errors import BackgroundError, ClosedError, ConfigError
+from ..faults.registry import fault_point
 from ..filters.bloom import key_digest
 from ..storage.block_cache import BlockCache, HeatTracker
 from ..storage.disk import SimulatedDisk
@@ -445,6 +446,44 @@ class LSMTree:
         if background_error is not None:
             raise background_error
 
+    def kill(self) -> None:
+        """Abandon the tree as a process crash would. Idempotent.
+
+        No drain, no flush, no error propagation: background workers are
+        told to stop, file handles are released (Python cannot safely
+        leak them), and *no logical state is persisted* — the WAL files
+        are line-buffered, so exactly the records already written survive.
+        Recovery must work from what is on disk. This is the
+        crash-consistency harness's "pull the plug" primitive.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._background is not None:
+            try:
+                self._background.stop()
+            except Exception:
+                pass
+        try:
+            self._active_wal.close()
+        except Exception:
+            pass
+        for buffer in self._immutable:
+            try:
+                buffer.wal.close()
+            except Exception:
+                pass
+
+    def background_error(self) -> Optional[BaseException]:
+        """The first background-worker failure, or ``None``.
+
+        Non-raising health probe: lets a sharded store poll for dead
+        workers without tripping the :class:`BackgroundError` contract.
+        """
+        if self._background is None:
+            return None
+        return self._background.pool.first_error
+
     def __enter__(self) -> "LSMTree":
         return self
 
@@ -666,6 +705,12 @@ class LSMTree:
         additionally reloads SSTables via
         :mod:`repro.storage.persistence`. Entries keep their original
         sequence numbers so recovery is idempotent.
+
+        Crash-safe ordering: every replayed entry is re-journaled into a
+        *fresh* segment (numbered above all existing ones) before any old
+        segment is deleted, so a crash at any point during recovery —
+        including mid-deletion, see the ``wal.recover.before_delete``
+        failpoint — leaves a WAL set that replays to the same state.
         """
         segments = sorted(
             name
@@ -675,14 +720,44 @@ class LSMTree:
         entries: List[Entry] = []
         for name in segments:
             entries.extend(WriteAheadLog.replay(os.path.join(wal_dir, name)))
-        for name in segments:
-            os.remove(os.path.join(wal_dir, name))
         tree = cls(
-            config, disk=disk, wal_dir=wal_dir, merge_operator=merge_operator
+            config, disk=disk, wal_dir=None, merge_operator=merge_operator
         )
+        tree.attach_wal_dir(wal_dir)
         for entry in entries:
             tree._ingest_recovered(entry)
+        for name in segments:
+            path = os.path.join(wal_dir, name)
+            fault_point("wal.recover.before_delete", path=path)
+            if os.path.exists(path):
+                os.remove(path)
         return tree
+
+    def attach_wal_dir(self, wal_dir: str) -> None:
+        """Start journaling into ``wal_dir`` mid-life.
+
+        New segments are numbered above every segment already present, so
+        the directory's existing files (pre-crash segments a recovery is
+        still consuming, or preserved flushed segments) are never
+        appended to or clobbered. Entries already buffered in the active
+        memtable are re-journaled into the first new segment.
+        """
+        with self._write_mutex:
+            existing = [
+                int(name[4:-4])
+                for name in os.listdir(wal_dir)
+                if name.startswith("wal.")
+                and name.endswith(".log")
+                and name[4:-4].isdigit()
+            ]
+            old_wal = self._active_wal
+            self._wal_dir = wal_dir
+            self._wal_segment_id = max(existing, default=-1) + 1
+            self._active_wal = self._new_wal_segment()
+            pending = old_wal.pending_entries
+            if pending:
+                self._active_wal.append_batch(pending)
+            old_wal.close()
 
     # ------------------------------------------------------------------
     # internals
@@ -826,9 +901,11 @@ class LSMTree:
                 self.stats.incr(
                     "stall_us", self.disk.now_us - stall_started_us
                 )
+            fault_point("flush.build", scope=f"rot-{buffer.seq}")
             tables = self.executor.build_tables(
                 entries, cause="flush", range_tombstones=dedupe(tombstones)
             )
+            fault_point("flush.install", scope=f"rot-{buffer.seq}")
             self._ensure_level(0).add_run_newest(SortedRun(tables))
             self.stats.incr("flushes")
             self.stats.incr(
@@ -839,9 +916,33 @@ class LSMTree:
         self._run_compactions()
 
     def _delete_wal_file(self, wal: WriteAheadLog) -> None:
+        if self.config.wal_preserve_segments:
+            return  # kept until a checkpoint prunes it (wal_preserve_segments)
         path = getattr(wal, "_path", None)
         if path is not None and os.path.exists(path):
+            fault_point("flush.wal_delete", path=path)
             os.remove(path)
+
+    def flushed_wal_segments(self) -> List[str]:
+        """Segment files in ``wal_dir`` not backing a live buffer.
+
+        Non-empty only with ``wal_preserve_segments`` (or mid-recovery):
+        these are the files a checkpoint may prune once its manifest
+        covers their entries.
+        """
+        if self._wal_dir is None:
+            return []
+        with self._write_mutex:
+            live = {getattr(self._active_wal, "_path", None)}
+            for buffer in self._immutable:
+                live.add(getattr(buffer.wal, "_path", None))
+        flushed = []
+        for name in sorted(os.listdir(self._wal_dir)):
+            if name.startswith("wal.") and name.endswith(".log"):
+                path = os.path.join(self._wal_dir, name)
+                if path not in live:
+                    flushed.append(path)
+        return flushed
 
     def _ensure_level(self, index: int) -> Level:
         while len(self.levels) <= index:
@@ -857,6 +958,7 @@ class LSMTree:
             plan = self.planner.plan(self.levels, self.disk.now_us)
             if plan is None:
                 return
+            fault_point("compact.step", scope=f"L{plan.job.source_level}")
             self._ensure_level(plan.job.target_level)
             self.executor.execute(
                 plan.job, self.levels, plan.bottommost, plan.target_leveled

@@ -10,8 +10,28 @@ File format (one record per line)::
 
     <crc32 hex>,<json payload>\n
 
-Recovery tolerates a torn final record (a crash mid-append) but treats any
-earlier corruption as fatal, mirroring the usual WAL contract.
+A batch append additionally writes a *batch header* record —
+``crc,{"b":N}`` — before its N entry records, making the group atomic
+under recovery: a torn batch (crash before its single sync) is discarded
+whole, never replayed partially.
+
+Recovery tolerates a torn tail — the unparseable suffix a crash
+mid-append leaves behind, including trailing garbage after the tear —
+but treats corruption followed by any valid record as fatal, mirroring
+the usual WAL contract.
+
+Durability contract (fsyncgate semantics): an entry only joins
+:attr:`WriteAheadLog.pending_entries` — i.e. is only *acknowledged* —
+after its sync succeeds. A flush that keeps failing (bounded retry) or a
+failed ``fsync`` poisons the segment: the failed write is not acked, and
+every later append raises :class:`~repro.errors.DurabilityError`, because
+after one failed sync the OS may have dropped the dirty pages and the
+segment tail can no longer be trusted.
+
+The failpoints declared here (``wal.append.*``, ``wal.batch.*``,
+``wal.sync``, ``wal.fsync``) are catalogued in
+:mod:`repro.faults.registry` and exercised by the crash-consistency
+sweep.
 """
 
 from __future__ import annotations
@@ -19,11 +39,16 @@ from __future__ import annotations
 import json
 import os
 import zlib
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Union
 
-from ..errors import ClosedError, CorruptionError
+from ..errors import ClosedError, CorruptionError, DurabilityError
+from ..faults.registry import fault_point
 from ..storage.disk import SimulatedDisk
 from .entry import Entry, EntryKind
+
+#: Transient flush failures tolerated per sync before the segment is
+#: declared poisoned (bounded retry for flaky-I/O injection).
+SYNC_RETRIES = 3
 
 
 def _encode(entry: Entry) -> str:
@@ -41,18 +66,67 @@ def _encode(entry: Entry) -> str:
     return f"{crc:08x},{payload}\n"
 
 
-def _decode(line: str) -> Entry:
+def _encode_batch_header(count: int) -> str:
+    payload = json.dumps({"b": count}, separators=(",", ":"))
+    crc = zlib.crc32(payload.encode("utf-8"))
+    return f"{crc:08x},{payload}\n"
+
+
+def _decode_line(
+    line: str,
+    *,
+    path: Optional[str] = None,
+    record_index: Optional[int] = None,
+    byte_offset: Optional[int] = None,
+) -> Union[Entry, int]:
+    """Decode one WAL line into an :class:`Entry` or a batch-header count."""
     crc_hex, _sep, payload = line.rstrip("\n").partition(",")
     if not _sep:
-        raise CorruptionError("WAL record missing checksum separator")
+        raise CorruptionError(
+            "WAL record missing checksum separator",
+            path=path,
+            record_index=record_index,
+            byte_offset=byte_offset,
+        )
     try:
         expected = int(crc_hex, 16)
     except ValueError as exc:
-        raise CorruptionError("WAL record has malformed checksum") from exc
-    if zlib.crc32(payload.encode("utf-8")) != expected:
-        raise CorruptionError("WAL record failed checksum")
+        raise CorruptionError(
+            "WAL record has malformed checksum",
+            path=path,
+            record_index=record_index,
+            byte_offset=byte_offset,
+        ) from exc
+    actual = zlib.crc32(payload.encode("utf-8"))
+    if actual != expected:
+        raise CorruptionError(
+            "WAL record failed checksum",
+            path=path,
+            record_index=record_index,
+            byte_offset=byte_offset,
+            expected_crc=expected,
+            actual_crc=actual,
+        )
     try:
         fields = json.loads(payload)
+    except ValueError as exc:
+        raise CorruptionError(
+            "WAL record failed to decode",
+            path=path,
+            record_index=record_index,
+            byte_offset=byte_offset,
+        ) from exc
+    if isinstance(fields, dict) and "b" in fields and "k" not in fields:
+        try:
+            return int(fields["b"])
+        except (TypeError, ValueError) as exc:
+            raise CorruptionError(
+                "WAL batch header failed to decode",
+                path=path,
+                record_index=record_index,
+                byte_offset=byte_offset,
+            ) from exc
+    try:
         return Entry(
             key=fields["k"],
             value=fields["v"],
@@ -61,7 +135,19 @@ def _decode(line: str) -> Entry:
             stamp_us=fields.get("u", 0.0),
         )
     except (KeyError, TypeError, ValueError) as exc:
-        raise CorruptionError("WAL record failed to decode") from exc
+        raise CorruptionError(
+            "WAL record failed to decode",
+            path=path,
+            record_index=record_index,
+            byte_offset=byte_offset,
+        ) from exc
+
+
+def _decode(line: str) -> Entry:
+    decoded = _decode_line(line)
+    if not isinstance(decoded, Entry):
+        raise CorruptionError("expected a WAL entry record, got a batch header")
+    return decoded
 
 
 class WriteAheadLog:
@@ -73,7 +159,11 @@ class WriteAheadLog:
             pending bytes cross a page boundary, modeling group commit.
         path: Optional real file to mirror records into, enabling
             :meth:`replay` after a simulated crash. ``None`` keeps the log
-            purely in memory (the common case for experiments).
+            purely in memory (the common case for experiments). The file
+            is opened line-buffered, so every completed record reaches the
+            OS as soon as it is written — the crash model is "everything
+            written survives a process death; fsync decides what survives
+            power loss".
         fsync: When mirroring to a real file, also ``os.fsync`` it on
             every sync. This is the durability cost group commit exists
             to amortize: one fsync per :meth:`append_batch` instead of
@@ -92,73 +182,152 @@ class WriteAheadLog:
         self._pending: List[Entry] = []
         self._unaccounted_bytes = 0
         self._closed = False
-        self._file = open(path, "a", encoding="utf-8") if path else None
+        self._poison_cause: Optional[BaseException] = None
+        self._file = (
+            open(path, "a", encoding="utf-8", buffering=1) if path else None
+        )
         #: File flushes performed so far (0 for in-memory logs). One per
         #: :meth:`append`, but only one per :meth:`append_batch` — the
         #: observable benefit of group commit.
         self.sync_count = 0
+        #: Failed flush attempts that were retried (transient-I/O events).
+        self.sync_retries = 0
 
     @property
     def pending_entries(self) -> List[Entry]:
-        """Entries appended since the last :meth:`reset` (oldest first)."""
+        """Entries *acknowledged* since the last :meth:`reset` (oldest
+        first). An entry joins this list only after its sync succeeded; a
+        write whose sync failed is absent, by the durability contract."""
         return list(self._pending)
 
-    def append(self, entry: Entry) -> None:
-        """Durably record one entry before it enters the memtable."""
+    @property
+    def poisoned(self) -> bool:
+        """Whether a failed sync has poisoned this segment."""
+        return self._poison_cause is not None
+
+    def _check_writable(self) -> None:
         if self._closed:
             raise ClosedError("WAL is closed")
-        record = _encode(entry)
-        self._pending.append(entry)
-        self._unaccounted_bytes += len(record)
+        if self._poison_cause is not None:
+            raise DurabilityError(
+                f"WAL segment poisoned by an earlier failed sync"
+                f" ({self._path})"
+            ) from self._poison_cause
+
+    def _charge(self, nbytes: int) -> None:
+        self._unaccounted_bytes += nbytes
         page = self._disk.page_size
         while self._unaccounted_bytes >= page:
             self._disk.write(page, cause="wal")
             self._unaccounted_bytes -= page
+
+    def append(self, entry: Entry) -> None:
+        """Durably record one entry before it enters the memtable."""
+        self._check_writable()
+        record = _encode(entry)
         if self._file is not None:
+            fault_point("wal.append.start", path=self._path)
             self._file.write(record)
+            fault_point(
+                "wal.append.written",
+                path=self._path,
+                tail_bytes=len(record),
+                handle=self._file,
+            )
             self._sync()
+        self._charge(len(record))
+        self._pending.append(entry)
 
     def append_batch(self, entries: List[Entry]) -> None:
         """Durably record several entries with a single log flush.
 
-        The group-commit primitive: all records are encoded and written as
-        one contiguous burst, and the backing file (when present) is
-        flushed exactly once, so N concurrent writers coalesced into one
-        batch pay one sync instead of N. Device accounting is identical to
-        appending the entries one by one — the log is sequential either
-        way; only the sync count changes.
+        The group-commit primitive: a batch header plus all records are
+        written as one contiguous burst, and the backing file (when
+        present) is flushed exactly once, so N concurrent writers
+        coalesced into one batch pay one sync instead of N. The header
+        makes the group atomic: recovery replays all N records or none.
+        Device accounting matches appending the entries one by one plus
+        the small header — the log is sequential either way; only the
+        sync count changes.
         """
-        if self._closed:
-            raise ClosedError("WAL is closed")
+        self._check_writable()
         if not entries:
             return
         records = [_encode(entry) for entry in entries]
-        self._pending.extend(entries)
-        self._unaccounted_bytes += sum(len(record) for record in records)
-        page = self._disk.page_size
-        while self._unaccounted_bytes >= page:
-            self._disk.write(page, cause="wal")
-            self._unaccounted_bytes -= page
+        header = _encode_batch_header(len(entries))
         if self._file is not None:
-            self._file.write("".join(records))
+            fault_point("wal.batch.start", path=self._path)
+            self._file.write(header)
+            written = len(header)
+            for record in records:
+                self._file.write(record)
+                written += len(record)
+                fault_point(
+                    "wal.batch.record",
+                    path=self._path,
+                    tail_bytes=written,
+                    handle=self._file,
+                )
+            fault_point(
+                "wal.batch.written",
+                path=self._path,
+                tail_bytes=written,
+                handle=self._file,
+            )
             self._sync()
+        self._charge(len(header) + sum(len(record) for record in records))
+        self._pending.extend(entries)
 
     def _sync(self) -> None:
-        """One log sync: flush (and optionally fsync) the backing file."""
-        self._file.flush()
+        """One log sync: flush (and optionally fsync) the backing file.
+
+        A transient flush failure is retried up to :data:`SYNC_RETRIES`
+        times; exhausted retries — or any ``fsync`` failure, which is
+        never retried (fsyncgate: a failed fsync may have dropped the
+        dirty pages, so retrying can silently succeed on lost data) —
+        poison the segment and raise
+        :class:`~repro.errors.DurabilityError`.
+        """
+        error: Optional[OSError] = None
+        for _attempt in range(1 + SYNC_RETRIES):
+            try:
+                fault_point("wal.sync", path=self._path)
+                self._file.flush()
+                error = None
+                break
+            except OSError as exc:
+                error = exc
+                self.sync_retries += 1
+        if error is not None:
+            self._poison(error)
         if self._fsync:
-            os.fsync(self._file.fileno())
+            try:
+                fault_point("wal.fsync", path=self._path)
+                os.fsync(self._file.fileno())
+            except OSError as exc:
+                self._poison(exc)
         self.sync_count += 1
 
+    def _poison(self, cause: OSError) -> None:
+        self._poison_cause = cause
+        raise DurabilityError(
+            f"WAL sync failed; segment poisoned ({self._path})"
+        ) from cause
+
     def reset(self) -> None:
-        """Discard the log after its entries were flushed to an SSTable."""
+        """Discard the log after its entries were flushed to an SSTable.
+
+        Truncating gives the segment a fresh file, which also clears any
+        sync poison: the untrustworthy tail is gone.
+        """
         if self._closed:
             raise ClosedError("WAL is closed")
         self._pending.clear()
         self._unaccounted_bytes = 0
         if self._file is not None and self._path is not None:
             self._file.close()
-            self._file = open(self._path, "w", encoding="utf-8")
+            self._file = open(self._path, "w", encoding="utf-8", buffering=1)
+        self._poison_cause = None
 
     def close(self) -> None:
         """Close the backing file, if any. Idempotent."""
@@ -171,18 +340,79 @@ class WriteAheadLog:
     def replay(path: str) -> Iterator[Entry]:
         """Yield the entries recorded in a WAL file, oldest first.
 
-        A torn (unparseable) *final* record is skipped — that is the normal
-        signature of a crash mid-append. Corruption anywhere else raises
-        :class:`~repro.errors.CorruptionError`.
+        Tolerated (the normal signatures of a crash mid-append):
+
+        * a torn tail — an unparseable final record, optionally followed
+          by more garbage lines (nothing valid may follow the tear);
+        * an incomplete trailing batch group — a batch header whose N
+          records were not all written (or were torn); the whole group is
+          discarded, preserving batch atomicity.
+
+        Corruption *followed by a valid record* means the damage is not a
+        crash artifact and raises :class:`~repro.errors.CorruptionError`
+        with the file path, record index, and byte offset.
         """
         if not os.path.exists(path):
             return
         with open(path, "r", encoding="utf-8") as handle:
             lines = handle.readlines()
-        for index, line in enumerate(lines):
+        offsets = [0]
+        for line in lines:
+            offsets.append(offsets[-1] + len(line.encode("utf-8")))
+
+        def decode_at(index: int) -> Union[Entry, int]:
+            return _decode_line(
+                lines[index],
+                path=path,
+                record_index=index,
+                byte_offset=offsets[index],
+            )
+
+        def tail_is_torn(start: int) -> bool:
+            """True when nothing from ``start`` onward decodes — i.e. the
+            damage is confined to the crash tail."""
+            for j in range(start, len(lines)):
+                try:
+                    decode_at(j)
+                except CorruptionError:
+                    continue
+                return False
+            return True
+
+        index = 0
+        while index < len(lines):
             try:
-                yield _decode(line)
+                decoded = decode_at(index)
             except CorruptionError:
-                if index == len(lines) - 1:
+                if tail_is_torn(index + 1):
                     return
                 raise
+            if isinstance(decoded, Entry):
+                yield decoded
+                index += 1
+                continue
+            # Batch header: the next `decoded` lines form one atomic group.
+            group_end = index + 1 + decoded
+            if group_end > len(lines):
+                # Crash mid-batch: the group's sync never happened, so
+                # nothing in it was acked. Discard it whole.
+                return
+            group: List[Entry] = []
+            for j in range(index + 1, group_end):
+                try:
+                    member = decode_at(j)
+                except CorruptionError:
+                    member = None
+                if not isinstance(member, Entry):
+                    if tail_is_torn(j):
+                        return
+                    raise CorruptionError(
+                        "WAL batch group corrupted mid-file",
+                        path=path,
+                        record_index=j,
+                        byte_offset=offsets[j],
+                    )
+                group.append(member)
+            for entry in group:
+                yield entry
+            index = group_end

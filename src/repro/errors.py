@@ -17,7 +17,54 @@ class ClosedError(ReproError):
 
 
 class CorruptionError(ReproError):
-    """Persistent state (WAL, manifest, or SSTable file) failed validation."""
+    """Persistent state (WAL, manifest, or SSTable file) failed validation.
+
+    Carries structured context for diagnosis — which file, which record,
+    at what byte offset, and the expected-vs-actual checksum when the
+    failure was a CRC mismatch. All fields are optional; whatever is known
+    at the raise site is folded into the message and kept as attributes.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: "str | None" = None,
+        record_index: "int | None" = None,
+        byte_offset: "int | None" = None,
+        expected_crc: "int | None" = None,
+        actual_crc: "int | None" = None,
+    ) -> None:
+        context = []
+        if path is not None:
+            context.append(f"path={path}")
+        if record_index is not None:
+            context.append(f"record={record_index}")
+        if byte_offset is not None:
+            context.append(f"offset={byte_offset}")
+        if expected_crc is not None:
+            context.append(f"expected_crc={expected_crc:#010x}")
+        if actual_crc is not None:
+            context.append(f"actual_crc={actual_crc:#010x}")
+        if context:
+            message = f"{message} ({', '.join(context)})"
+        super().__init__(message)
+        self.path = path
+        self.record_index = record_index
+        self.byte_offset = byte_offset
+        self.expected_crc = expected_crc
+        self.actual_crc = actual_crc
+
+
+class DurabilityError(ReproError):
+    """A WAL sync (flush or fsync) failed; the write was *not* acknowledged.
+
+    Follows the fsyncgate contract: once a segment's sync has failed, the
+    OS may have silently dropped the dirty pages, so the segment is
+    poisoned — every later append to it raises this error too — and the
+    caller must treat the failed write (and the segment's tail) as not
+    durable. The original ``OSError`` is chained as ``__cause__``.
+    """
 
 
 class CompactionError(ReproError):
@@ -40,3 +87,18 @@ class BackgroundError(ReproError):
     contract). The tree stays readable for diagnosis but refuses further
     writes until it is closed.
     """
+
+
+class ShardUnavailableError(ReproError):
+    """An operation routed to a quarantined shard of a sharded store.
+
+    A shard is quarantined when its background workers die
+    (:class:`BackgroundError`); the rest of the store keeps serving. The
+    failure is retryable in the sense that *other* keys stay available —
+    the serving layer maps it to ``ERR UNAVAILABLE <shard>`` so clients
+    can distinguish a dead shard from a dead store.
+    """
+
+    def __init__(self, shard: int, message: str) -> None:
+        super().__init__(f"shard {shard} unavailable: {message}")
+        self.shard = shard

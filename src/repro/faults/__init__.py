@@ -1,0 +1,36 @@
+"""Deterministic fault injection and crash-consistency testing.
+
+Two modules:
+
+* :mod:`repro.faults.registry` — the failpoint registry. Engine code
+  declares crossings with :func:`fault_point`; a test arms a
+  :class:`FaultPlan` to crash, tear, bit-flip, or error at a named
+  crossing. Import-light on purpose: this package pulls in no engine
+  modules, so ``core``/``storage``/``shard`` can import it freely.
+* :mod:`repro.faults.sweep` — the crash-consistency harness (imported
+  explicitly; it imports the whole engine). It enumerates every
+  crossing a scripted workload passes, crashes at each one, reopens,
+  and checks recovery invariants.
+"""
+
+from repro.faults.registry import (
+    FAILPOINTS,
+    Failpoint,
+    FaultPlan,
+    InjectedCrash,
+    InjectedWorkerDeath,
+    fault_plan,
+    fault_point,
+    inject_worker_death,
+)
+
+__all__ = [
+    "FAILPOINTS",
+    "Failpoint",
+    "FaultPlan",
+    "InjectedCrash",
+    "InjectedWorkerDeath",
+    "fault_plan",
+    "fault_point",
+    "inject_worker_death",
+]

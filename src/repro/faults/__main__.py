@@ -1,0 +1,12 @@
+"""``python -m repro.faults`` — run the crash-consistency sweep.
+
+Thin alias for ``python -m repro.cli fault-sweep`` so the fault
+subsystem is runnable on its own.
+"""
+
+import sys
+
+from ..cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["fault-sweep", *sys.argv[1:]]))

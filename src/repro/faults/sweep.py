@@ -1,0 +1,656 @@
+"""Crash-consistency sweep: crash at every failpoint crossing, then prove
+recovery.
+
+The ALICE/CrashMonkey idea, sized for this engine: run a scripted
+workload once under an armed :class:`~repro.faults.registry.FaultPlan` to
+*enumerate* every failpoint crossing it passes; then, for each crossing,
+re-run the same workload in a fresh directory with a crash scheduled at
+exactly that crossing, "pull the plug" (:meth:`LSMTree.kill`), reopen via
+the real recovery path, and check the recovery invariants:
+
+* **acked durability** — every write acknowledged before the crash is
+  recovered with its acknowledged value;
+* **atomicity of the in-flight op** — the single operation the crash
+  interrupted is, per atomic unit (one key for singles, one shard's
+  sub-batch for sharded batches, the whole batch for a single tree),
+  either fully present or fully absent — never partially applied;
+* **no resurrection** — a key deleted (and acked) before the crash stays
+  gone, even when older values of it sit in earlier WAL segments,
+  checkpoints, or deeper levels.
+
+On top of plain crashes the sweep re-runs *tearable* crossings with a
+torn-write mutation, plants mid-file bit flips that recovery must refuse
+(:class:`~repro.errors.CorruptionError`, not silent data loss), injects
+transient flush errors that bounded retry must absorb, and injects fsync
+failures that must never be acked (fsyncgate).
+
+Determinism: crossing ids depend only on the workload (per-site ordinal
+counters, run-root-relative paths), so the same seed enumerates the same
+crossings and schedules the same crashes on every machine. Quick mode
+(``REPRO_SWEEP_QUICK=1`` / ``run_sweep(quick=True)``) samples the
+crossing set with a seeded RNG instead of covering all of it.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.config import LSMConfig
+from ..core.sstable import reset_table_ids
+from ..core.tree import LSMTree
+from ..errors import (
+    BackgroundError,
+    ConfigError,
+    CorruptionError,
+    DurabilityError,
+)
+from ..shard.store import ShardedStore, hash_shard_index
+from ..storage import persistence
+from .registry import FAILPOINTS, TEARABLE, FaultPlan, InjectedCrash, fault_plan
+
+#: ("put", key, value) | ("delete", key, None) | ("batch", ops) |
+#: ("checkpoint", None, None)
+_Op = Tuple
+
+ABSENT = None  # a missing key reads as None, same as a deleted one
+
+
+class WorkloadTracker:
+    """What the workload believes about the store, ack by ack.
+
+    ``acked`` maps key → last acknowledged value (``None`` = deleted).
+    ``inflight`` holds the key→value effects of the one operation the
+    crash interrupted: acknowledged never, so recovery may apply it fully
+    or not at all (per atomic unit), but nothing in between.
+    """
+
+    def __init__(self) -> None:
+        self.acked: Dict[str, Optional[str]] = {}
+        self.inflight: List[Tuple[str, Optional[str]]] = []
+
+    def begin(self, effects: List[Tuple[str, Optional[str]]]) -> None:
+        self.inflight = list(effects)
+
+    def commit(self) -> None:
+        for key, value in self.inflight:
+            self.acked[key] = value
+        self.inflight = []
+
+
+def _effects(op: _Op) -> List[Tuple[str, Optional[str]]]:
+    kind = op[0]
+    if kind == "put":
+        return [(op[1], op[2])]
+    if kind == "delete":
+        return [(op[1], None)]
+    if kind == "batch":
+        return [
+            (key, value if sub == "put" else None)
+            for sub, key, value in op[1]
+        ]
+    return []  # checkpoint: no logical effect
+
+
+def check_invariants(
+    tracker: WorkloadTracker,
+    get: Callable[[str], Optional[str]],
+    unit_of: Callable[[str], object],
+) -> List[str]:
+    """Check acked durability, in-flight atomicity, and no-resurrection.
+
+    Returns human-readable violation strings (empty = consistent). The
+    in-flight op is judged per atomic unit: each of its keys must read as
+    either the pre-op (*old*) or post-op (*new*) value, and one
+    consistent choice must exist for the whole unit.
+    """
+    violations: List[str] = []
+    inflight_keys = {key for key, _ in tracker.inflight}
+    for key, value in tracker.acked.items():
+        if key in inflight_keys:
+            continue  # judged under unit atomicity below
+        observed = get(key)
+        if observed != value:
+            kind = "resurrected" if value is None else "lost/mangled"
+            violations.append(
+                f"acked write {kind}: {key!r} acked as {value!r}, "
+                f"recovered as {observed!r}"
+            )
+    units: Dict[object, List[Tuple[str, Optional[str]]]] = {}
+    for key, value in tracker.inflight:
+        units.setdefault(unit_of(key), []).append((key, value))
+    for unit, pairs in units.items():
+        choices = {"old", "new"}
+        broken = False
+        for key, new_value in pairs:
+            old_value = tracker.acked.get(key, ABSENT)
+            observed = get(key)
+            labels = set()
+            if observed == old_value:
+                labels.add("old")
+            if observed == new_value:
+                labels.add("new")
+            if not labels:
+                violations.append(
+                    f"in-flight key {key!r} recovered as {observed!r}, "
+                    f"neither old {old_value!r} nor new {new_value!r}"
+                )
+                broken = True
+                break
+            choices &= labels
+        if not broken and not choices:
+            violations.append(
+                f"atomic unit {unit!r} partially applied: "
+                f"{[key for key, _ in pairs]}"
+            )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# scenarios
+# ---------------------------------------------------------------------------
+
+
+class SingleTreeScenario:
+    """One synchronous tree with tiny buffers: flushes, compactions, and
+    checkpoints all happen inside the scripted workload, so the WAL,
+    flush, compaction, and checkpoint failpoints are all crossed."""
+
+    name = "single-tree"
+
+    def __init__(self, fsync: bool = False) -> None:
+        self.fsync = fsync
+        if fsync:
+            self.name = "single-tree-fsync"
+
+    def config(self) -> LSMConfig:
+        return LSMConfig(
+            buffer_size_bytes=2048,
+            num_buffers=2,
+            level0_run_limit=1,  # second flush forces a compaction
+            target_file_bytes=1024,
+            block_bytes=256,
+            wal_preserve_segments=True,
+            wal_fsync=self.fsync,
+        )
+
+    def script(self) -> List[_Op]:
+        ops: List[_Op] = []
+        # Phase 1: bulk ingest — enough bytes for rotations and flushes.
+        for i in range(9):
+            ops.append(("put", f"a{i:02d}", f"v1-{i:02d}-" + "x" * 150))
+        ops.append(
+            (
+                "batch",
+                [("put", f"b{i:02d}", f"vb1-{i}-" + "y" * 60) for i in range(4)],
+            )
+        )
+        ops.append(("checkpoint", None, None))
+        # Phase 2: deletes, overwrites, a mixed batch — the resurrection
+        # and lost-update traps.
+        ops.append(("delete", "a00", None))
+        ops.append(("delete", "b01", None))
+        ops.append(("put", "a01", "v2-a01-" + "x" * 90))
+        ops.append(
+            (
+                "batch",
+                [
+                    ("put", "a02", "v2-a02"),
+                    ("delete", "a03", None),
+                    ("put", "d00", "v2-d00-" + "w" * 50),
+                ],
+            )
+        )
+        for i in range(5):
+            ops.append(("put", f"e{i:02d}", f"v2-{i}-" + "q" * 160))
+        ops.append(("checkpoint", None, None))
+        # Phase 3: write over the checkpoint — a re-put of a deleted key,
+        # a delete of a checkpointed key, fresh keys.
+        ops.append(("put", "a00", "v3-a00-after-delete"))
+        ops.append(("delete", "e01", None))
+        ops.append(("batch", [("put", f"f{i}", f"v3-f{i}") for i in range(3)]))
+        for i in range(4):
+            ops.append(("put", f"g{i:02d}", "r" * 170))
+        return ops
+
+    def open(self, root: str):
+        wal_dir = os.path.join(root, "wal")
+        os.makedirs(wal_dir, exist_ok=True)
+        os.makedirs(os.path.join(root, "ckpt"), exist_ok=True)
+        return LSMTree(self.config(), wal_dir=wal_dir)
+
+    def apply(self, tree: LSMTree, op: _Op, root: str) -> None:
+        kind = op[0]
+        if kind == "put":
+            tree.put(op[1], op[2])
+        elif kind == "delete":
+            tree.delete(op[1])
+        elif kind == "batch":
+            tree.write_batch(op[1])
+        elif kind == "checkpoint":
+            persistence.checkpoint(tree, os.path.join(root, "ckpt"))
+        else:  # pragma: no cover - script bug
+            raise ValueError(f"unknown op {kind!r}")
+
+    def kill(self, tree: LSMTree) -> None:
+        tree.kill()
+
+    def close(self, tree: LSMTree) -> None:
+        tree.close()
+
+    def recover(self, root: str) -> LSMTree:
+        return persistence.recover_full(
+            self.config(),
+            os.path.join(root, "wal"),
+            os.path.join(root, "ckpt"),
+        )
+
+    def unit_of(self, _key: str) -> object:
+        return 0  # one tree: whole batches are atomic (one WAL group)
+
+
+class ShardedScenario:
+    """Three sync shards, big buffers (no flushes): cross-shard batches
+    exercise shards.json, per-shard sub-batch commits, and per-shard WAL
+    group atomicity."""
+
+    name = "sharded"
+    num_shards = 3
+
+    def config(self) -> LSMConfig:
+        return LSMConfig()  # 64 KiB buffers: nothing flushes mid-workload
+
+    def script(self) -> List[_Op]:
+        ops: List[_Op] = []
+        for i in range(7):
+            ops.append(("put", f"s{i:02d}", f"sv1-{i}"))
+        for b in range(4):
+            ops.append(
+                (
+                    "batch",
+                    [
+                        ("put", f"batch{b}-{j}", f"bv-{b}-{j}")
+                        for j in range(6)
+                    ],
+                )
+            )
+        ops.append(("delete", "s01", None))
+        ops.append(
+            (
+                "batch",
+                [
+                    ("put", "s02", "sv2-updated"),
+                    ("delete", "s03", None),
+                    ("put", "mix-0", "mv0"),
+                    ("put", "mix-1", "mv1"),
+                    ("delete", "batch0-0", None),
+                ],
+            )
+        )
+        for i in range(3):
+            ops.append(("put", f"t{i:02d}", f"tv-{i}"))
+        return ops
+
+    def open(self, root: str):
+        wal_dir = os.path.join(root, "wal")
+        os.makedirs(wal_dir, exist_ok=True)
+        return ShardedStore(self.num_shards, self.config(), wal_dir=wal_dir)
+
+    def apply(self, store: ShardedStore, op: _Op, root: str) -> None:
+        kind = op[0]
+        if kind == "put":
+            store.put(op[1], op[2])
+        elif kind == "delete":
+            store.delete(op[1])
+        elif kind == "batch":
+            store.write_batch(op[1])
+        else:  # pragma: no cover - script bug
+            raise ValueError(f"unknown op {kind!r}")
+
+    def kill(self, store: ShardedStore) -> None:
+        store.kill()
+
+    def close(self, store: ShardedStore) -> None:
+        store.close()
+
+    def recover(self, root: str) -> ShardedStore:
+        return ShardedStore.recover(self.config(), os.path.join(root, "wal"))
+
+    def unit_of(self, key: str) -> object:
+        # Cross-shard batches are atomic per shard's sub-batch only.
+        return hash_shard_index(key, self.num_shards)
+
+
+# ---------------------------------------------------------------------------
+# orchestration
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SweepReport:
+    """Outcome of one sweep: coverage numbers and every violation found."""
+
+    crossings: Dict[str, List[str]] = field(default_factory=dict)
+    runs: int = 0
+    crash_runs: int = 0
+    torn_runs: int = 0
+    bitflip_runs: int = 0
+    fsync_runs: int = 0
+    transient_runs: int = 0
+    violations: List[str] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def total_crossings(self) -> int:
+        return sum(len(ids) for ids in self.crossings.values())
+
+    @property
+    def distinct_names(self) -> List[str]:
+        names = set()
+        for ids in self.crossings.values():
+            names.update(crossing.split("@", 1)[0] for crossing in ids)
+        return sorted(names)
+
+    def summary(self) -> str:
+        lines = [
+            f"crash points enumerated : {self.total_crossings} "
+            f"({', '.join(f'{s}={len(c)}' for s, c in self.crossings.items())})",
+            f"failpoint names covered : {len(self.distinct_names)} "
+            f"of {len(FAILPOINTS)} catalogued",
+            f"runs executed           : {self.runs} "
+            f"(crash={self.crash_runs} torn={self.torn_runs} "
+            f"bitflip={self.bitflip_runs} fsync={self.fsync_runs} "
+            f"transient={self.transient_runs})",
+            f"invariant violations    : {len(self.violations)}",
+            f"elapsed                 : {self.elapsed_s:.1f}s",
+        ]
+        lines.extend(f"  VIOLATION: {v}" for v in self.violations[:50])
+        return "\n".join(lines)
+
+
+def _run_workload(scenario, root: str, tracker: WorkloadTracker):
+    """Execute the scripted workload; return (ctx, completed, failure).
+
+    A crash (or durability failure-stop) leaves the interrupted op in
+    ``tracker.inflight``; the caller kills the ctx and recovers.
+
+    Every call simulates a fresh process boot: the global table-id
+    counter restarts so checkpoint filenames (and thus crossing ids) are
+    identical between the enumeration run and every crash run.
+    """
+    reset_table_ids()
+    ctx = scenario.open(root)
+    try:
+        for op in scenario.script():
+            tracker.begin(_effects(op))
+            scenario.apply(ctx, op, root)
+            tracker.commit()
+    except (InjectedCrash, DurabilityError, BackgroundError) as exc:
+        return ctx, False, exc
+    return ctx, True, None
+
+
+def _enumerate(scenario, seed: int) -> List[str]:
+    """Pass 1: run the workload cleanly under a recording plan."""
+    with tempfile.TemporaryDirectory(prefix="sweep-enum-") as root:
+        plan = FaultPlan(root=root, seed=seed)
+        ctx = None
+        with fault_plan(plan):
+            ctx, completed, failure = _run_workload(
+                scenario, root, WorkloadTracker()
+            )
+            if not completed:  # pragma: no cover - enumeration must be clean
+                raise RuntimeError(
+                    f"enumeration run failed for {scenario.name}: {failure!r}"
+                )
+            scenario.close(ctx)
+        unknown = [
+            name for name in plan.crossing_names() if name not in FAILPOINTS
+        ]
+        if unknown:  # pragma: no cover - catalog drift guard
+            raise RuntimeError(f"uncatalogued failpoints crossed: {unknown}")
+        return plan.crossing_ids()
+
+
+def _crash_run(
+    scenario,
+    crossing: str,
+    mode: str,
+    seed: int,
+    report: SweepReport,
+    *,
+    fsync_fail: bool = False,
+    transient_times: int = 0,
+) -> None:
+    """Pass 2: one fresh workload with a fault scheduled at ``crossing``."""
+    with tempfile.TemporaryDirectory(prefix="sweep-run-") as root:
+        kwargs: Dict[str, object] = {"root": root, "seed": seed}
+        if fsync_fail:
+            kwargs["fsync_fail_at"] = crossing
+        elif transient_times:
+            kwargs["transient_at"] = crossing
+            kwargs["transient_times"] = transient_times
+        else:
+            kwargs["crash_at"] = crossing
+            kwargs["crash_mode"] = mode
+        plan = FaultPlan(**kwargs)  # type: ignore[arg-type]
+        tracker = WorkloadTracker()
+        ctx = None
+        completed = False
+        try:
+            with fault_plan(plan):
+                try:
+                    ctx, completed, _failure = _run_workload(
+                        scenario, root, tracker
+                    )
+                except InjectedCrash:
+                    pass  # crash during scenario.open (ctx never returned)
+        finally:
+            if ctx is not None:
+                scenario.kill(ctx)
+        report.runs += 1
+        if not fsync_fail and not transient_times and not plan.fired:
+            report.violations.append(
+                f"[{scenario.name}] crossing {crossing} never fired in the "
+                "crash run — the sweep is not deterministic"
+            )
+            return
+        if fsync_fail and plan.fsyncs_failed and completed:
+            report.violations.append(
+                f"[{scenario.name}] workload completed cleanly although the "
+                f"sync at {crossing} failed — a failed sync was acked"
+            )
+        expected_transients = 0
+        if transient_times:
+            expected_transients = transient_times
+            if transient_times <= 3 and not completed:
+                report.violations.append(
+                    f"[{scenario.name}] {transient_times} transient sync "
+                    f"errors at {crossing} were not absorbed by retry"
+                )
+            if plan.transients_injected != expected_transients and completed:
+                report.violations.append(
+                    f"[{scenario.name}] expected {expected_transients} "
+                    f"transient injections at {crossing}, saw "
+                    f"{plan.transients_injected}"
+                )
+        if completed:
+            tracker.inflight = []
+        _recover_and_check(scenario, root, tracker, crossing, report)
+
+
+def _recover_and_check(
+    scenario, root: str, tracker: WorkloadTracker, label: str, report: SweepReport
+) -> None:
+    recovered = None
+    try:
+        recovered = scenario.recover(root)
+    except ConfigError:
+        # Acceptable only if the crash predates any acknowledged state
+        # (e.g. shards.json never committed): nothing durable was promised.
+        if tracker.acked or tracker.inflight:
+            report.violations.append(
+                f"[{scenario.name}] recovery after {label} refused "
+                "(ConfigError) although writes had been acknowledged"
+            )
+        return
+    except Exception as exc:
+        report.violations.append(
+            f"[{scenario.name}] recovery after {label} raised {exc!r}"
+        )
+        return
+    try:
+        for violation in check_invariants(
+            tracker, recovered.get, scenario.unit_of
+        ):
+            report.violations.append(
+                f"[{scenario.name}] after crash at {label}: {violation}"
+            )
+    finally:
+        scenario.kill(recovered)
+
+
+def _bitflip_runs(seed: int, report: SweepReport, count: int) -> None:
+    """Flip one bit mid-WAL after a clean run; recovery must refuse.
+
+    The flip lands inside the *second* line of a multi-record segment, so
+    valid records follow the damage — the signature of real corruption,
+    not a crash tail. Silent acceptance would be data loss.
+    """
+    scenario = SingleTreeScenario()
+    rng = random.Random(seed * 31 + 5)
+    for attempt in range(count):
+        with tempfile.TemporaryDirectory(prefix="sweep-flip-") as root:
+            ctx, completed, failure = _run_workload(
+                scenario, root, WorkloadTracker()
+            )
+            scenario.close(ctx)
+            assert completed, failure
+            wal_dir = os.path.join(root, "wal")
+            target = None
+            for name in sorted(os.listdir(wal_dir)):
+                path = os.path.join(wal_dir, name)
+                with open(path, "rb") as handle:
+                    lines = handle.readlines()
+                if len(lines) >= 3:
+                    target = (path, lines)
+                    break
+            if target is None:  # pragma: no cover - workload guarantees one
+                report.violations.append(
+                    "bitflip setup: no multi-record WAL segment found"
+                )
+                return
+            path, lines = target
+            # Corrupt a byte of line 1 (0-indexed): records 2.. stay valid.
+            line_start = len(lines[0])
+            offset = line_start + rng.randrange(1, len(lines[1]) - 1)
+            with open(path, "r+b") as handle:
+                handle.seek(offset)
+                byte = handle.read(1)[0]
+                flipped = byte ^ 0x04
+                if flipped == 0x0A or byte == 0x0A:
+                    flipped = byte ^ 0x01
+                handle.seek(offset)
+                handle.write(bytes([flipped]))
+            report.runs += 1
+            report.bitflip_runs += 1
+            try:
+                recovered = scenario.recover(root)
+            except CorruptionError as exc:
+                # Expected: refused, with diagnosable context.
+                if exc.path is None:
+                    report.violations.append(
+                        f"bitflip #{attempt}: CorruptionError raised without "
+                        "a file path in its context"
+                    )
+                continue
+            except Exception as exc:
+                report.violations.append(
+                    f"bitflip #{attempt}: recovery raised {exc!r} instead of "
+                    "CorruptionError"
+                )
+                continue
+            scenario.kill(recovered)
+            report.violations.append(
+                f"bitflip #{attempt}: recovery silently accepted a "
+                f"mid-file bit flip in {os.path.basename(path)}"
+            )
+
+
+def _sample(items: List[str], count: int, rng: random.Random) -> List[str]:
+    if count >= len(items):
+        return list(items)
+    return sorted(rng.sample(items, count))
+
+
+def run_sweep(quick: bool = False, seed: int = 7) -> SweepReport:
+    """Run the whole crash-consistency sweep; return its report.
+
+    Full mode crashes at *every* enumerated crossing (plus torn variants
+    at tearable sites, bit flips, fsync failures, and transient-error
+    runs). Quick mode samples the crossing set with a seeded RNG —
+    deterministic, CI-sized. Zero ``report.violations`` is the pass
+    criterion.
+    """
+    started = time.perf_counter()
+    report = SweepReport()
+    rng = random.Random(seed)
+
+    scenarios = [SingleTreeScenario(), ShardedScenario()]
+    for scenario in scenarios:
+        crossings = _enumerate(scenario, seed)
+        report.crossings[scenario.name] = crossings
+        crash_targets = _sample(crossings, 24, rng) if quick else crossings
+        for crossing in crash_targets:
+            _crash_run(scenario, crossing, "crash", seed, report)
+            report.crash_runs += 1
+        tearable = [
+            crossing
+            for crossing in crossings
+            if crossing.split("@", 1)[0] in TEARABLE
+        ]
+        torn_targets = _sample(tearable, 6, rng) if quick else tearable
+        for crossing in torn_targets:
+            _crash_run(scenario, crossing, "torn", seed, report)
+            report.torn_runs += 1
+
+    _bitflip_runs(seed, report, count=1 if quick else 4)
+
+    # fsync-failure runs: the engine must never ack a write whose sync
+    # failed (fsyncgate). Uses the fsync-enabled single-tree scenario.
+    fsync_scenario = SingleTreeScenario(fsync=True)
+    fsync_crossings = [
+        crossing
+        for crossing in _enumerate(fsync_scenario, seed)
+        if crossing.startswith("wal.fsync@")
+    ]
+    report.crossings[fsync_scenario.name] = fsync_crossings
+    fsync_targets = _sample(fsync_crossings, 2 if quick else 8, rng)
+    for crossing in fsync_targets:
+        _crash_run(
+            fsync_scenario, crossing, "crash", seed, report, fsync_fail=True
+        )
+        report.fsync_runs += 1
+
+    # Transient-I/O runs on a mid-workload sync: 2 consecutive failures
+    # must be absorbed by bounded retry; 5 (> retry budget) must poison.
+    scenario = SingleTreeScenario()
+    syncs = [
+        crossing
+        for crossing in report.crossings[scenario.name]
+        if crossing.startswith("wal.sync@")
+    ]
+    if syncs:
+        target = syncs[len(syncs) // 2]
+        for times in ((2,) if quick else (2, 5)):
+            _crash_run(
+                scenario, target, "crash", seed, report, transient_times=times
+            )
+            report.transient_runs += 1
+
+    report.elapsed_s = time.perf_counter() - started
+    return report

@@ -45,11 +45,16 @@ class ValuePointer:
         """
         parts = token.split(":")
         if len(parts) != 3 or parts[0] != "@vlog":
-            raise CorruptionError(f"not a value pointer: {token!r}")
+            raise CorruptionError(
+                f"not a value pointer (expected '@vlog:<offset>:<size>', "
+                f"got {token!r})"
+            )
         try:
             return ValuePointer(int(parts[1]), int(parts[2]))
         except ValueError as exc:
-            raise CorruptionError(f"bad value pointer: {token!r}") from exc
+            raise CorruptionError(
+                f"value pointer fields are not integers: {token!r}"
+            ) from exc
 
     @staticmethod
     def is_pointer(token: str) -> bool:
@@ -119,8 +124,12 @@ class ValueLog:
         """
         record = self._records.get(pointer.offset)
         if record is None or pointer.offset < self._tail:
+            zone = "reclaimed" if pointer.offset < self._tail else "unknown"
             raise CorruptionError(
-                f"dangling value pointer at offset {pointer.offset}"
+                f"dangling value pointer into {zone} log space "
+                f"(size {pointer.size}, tail {self._tail}, "
+                f"head {self._head})",
+                byte_offset=pointer.offset,
             )
         self._disk.read(pointer.size, cause)
         return record[1]
@@ -155,7 +164,11 @@ class ValueLog:
         while offset < window_end:
             record = self._records.get(offset)
             if record is None:
-                raise CorruptionError(f"log hole at offset {offset}")
+                raise CorruptionError(
+                    f"value-log hole during GC (no record boundary; "
+                    f"tail {self._tail}, window end {window_end})",
+                    byte_offset=offset,
+                )
             key, value = record
             size = len(key) + len(value) + RECORD_OVERHEAD_BYTES
             old_pointer = ValuePointer(offset, size)

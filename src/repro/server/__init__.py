@@ -25,7 +25,7 @@ Quickstart::
     asyncio.run(main())
 """
 
-from .client import BusyError, KVClient, ServerError
+from .client import BusyError, KVClient, ServerError, UnavailableError
 from .metrics import LatencyHistogram, ServerMetrics
 from .protocol import (
     FrameParser,
@@ -41,6 +41,7 @@ __all__ = [
     "KVClient",
     "ServerError",
     "BusyError",
+    "UnavailableError",
     "ProtocolError",
     "FrameParser",
     "encode_message",

@@ -1,4 +1,4 @@
-"""Asyncio client for the KV server: pipelining, timeouts, BUSY retry.
+"""Asyncio client for the KV server: pipelining, timeouts, retry, reconnect.
 
 :class:`KVClient` keeps one TCP connection and correlates replies to
 requests purely by order (the server answers strictly in arrival order).
@@ -9,17 +9,36 @@ reply future, running many operations concurrently — for example with
     client = await KVClient.connect("127.0.0.1", port)
     await asyncio.gather(*(client.put(f"k{i}", "v") for i in range(64)))
 
-A ``BUSY`` reply (the server's admission control shedding a write while
-the engine is write-stopped) is retried transparently with exponential
-backoff; every other ``ERR`` surfaces as :class:`ServerError` carrying the
-structured code. A reply timeout poisons the connection (ordering can no
-longer be trusted) and fails all in-flight requests.
+Failure handling, from transient to terminal:
+
+* A ``BUSY`` reply (admission control shedding a write while the engine
+  is write-stopped) is retried transparently with jittered exponential
+  backoff.
+* A connection reset or EOF — including mid-pipeline, where every
+  in-flight request fails with ``ConnectionError`` — triggers a bounded
+  reconnect loop (``reconnect_retries`` attempts with jittered backoff)
+  when the client was built via :meth:`connect`, after which the failed
+  call is resent. **At-least-once caveat:** a write whose reply was lost
+  to the reset may have committed before the crash; resending it applies
+  it again. That is idempotent for PUT/DELETE but double-applies
+  merge-style batches.
+* ``retry_deadline_s`` bounds the *total* time one call spends across
+  BUSY retries and reconnects; past it the last error surfaces.
+* ``ERR UNAVAILABLE <shard>`` (a quarantined shard in degraded mode)
+  raises :class:`UnavailableError` immediately — it is retryable *by the
+  application* once the operator restores the shard, but the client does
+  not spin on it because quarantine rarely clears within a backoff
+  window. Every other ``ERR`` surfaces as :class:`ServerError` carrying
+  the structured code.
+* A reply timeout poisons the connection (ordering can no longer be
+  trusted) and fails all in-flight requests; it is not auto-retried.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import random
 from collections import deque
 from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
@@ -54,8 +73,39 @@ class BusyError(ServerError):
         super().__init__("BUSY", message)
 
 
+class UnavailableError(ServerError):
+    """The key's shard is quarantined (``ERR UNAVAILABLE <shard>``).
+
+    Degraded-mode serving: the connection and every other shard keep
+    working; only operations touching ``shard`` fail. Safe to retry once
+    the shard is restored, but not auto-retried (quarantine clears on
+    operator action, not within a backoff window).
+    """
+
+    def __init__(self, shard: int, message: str) -> None:
+        super().__init__("UNAVAILABLE", f"shard {shard}: {message}")
+        self.shard = shard
+
+
 class KVClient:
-    """One pipelined connection to a :class:`~repro.server.KVServer`."""
+    """One pipelined connection to a :class:`~repro.server.KVServer`.
+
+    Args:
+        timeout_s: Per-request reply timeout; expiry poisons the
+            connection (reply ordering is lost past a missing reply).
+        max_busy_retries: BUSY replies absorbed per call before
+            :class:`BusyError`.
+        backoff_base_s / backoff_max_s: BUSY retry backoff window.
+        reconnect_retries: Reconnect attempts per call after a
+            connection reset/EOF (0 disables; reconnection also requires
+            the client to have been built via :meth:`connect`, which
+            records the address).
+        reconnect_backoff_s: Base delay between reconnect attempts
+            (jittered, doubled per attempt).
+        retry_deadline_s: Wall-clock bound on one call's total retrying
+            (BUSY + reconnect); ``None`` means bounded only by the retry
+            counts.
+    """
 
     def __init__(
         self,
@@ -66,6 +116,9 @@ class KVClient:
         max_busy_retries: int = 8,
         backoff_base_s: float = 0.005,
         backoff_max_s: float = 0.25,
+        reconnect_retries: int = 3,
+        reconnect_backoff_s: float = 0.05,
+        retry_deadline_s: Optional[float] = None,
     ) -> None:
         self._reader = reader
         self._writer = writer
@@ -73,8 +126,16 @@ class KVClient:
         self.max_busy_retries = max_busy_retries
         self.backoff_base_s = backoff_base_s
         self.backoff_max_s = backoff_max_s
+        self.reconnect_retries = reconnect_retries
+        self.reconnect_backoff_s = reconnect_backoff_s
+        self.retry_deadline_s = retry_deadline_s
         #: BUSY replies absorbed by the retry loop (observability).
         self.busy_retries = 0
+        #: Successful reconnects performed by the retry loop.
+        self.reconnects = 0
+        self._address: Optional[Tuple[str, int]] = None
+        self._closed = False
+        self._reconnect_lock = asyncio.Lock()
         self._parser = FrameParser(MAX_FRAME_BYTES)
         self._pending: Deque[asyncio.Future] = deque()
         self._broken: Optional[Exception] = None
@@ -86,12 +147,20 @@ class KVClient:
     async def connect(
         cls, host: str, port: int, **options: object
     ) -> "KVClient":
-        """Open a connection and return a ready client."""
+        """Open a connection and return a ready client.
+
+        Clients built this way remember the address and transparently
+        reconnect after a connection reset (see the module docstring for
+        the at-least-once caveat on resent writes).
+        """
         reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer, **options)  # type: ignore[arg-type]
+        client = cls(reader, writer, **options)  # type: ignore[arg-type]
+        client._address = (host, port)
+        return client
 
     async def close(self) -> None:
-        """Close the connection; in-flight requests fail."""
+        """Close the connection; in-flight requests fail, no reconnect."""
+        self._closed = True
         self._poison(ConnectionError("client closed"))
         self._read_task.cancel()
         try:
@@ -158,26 +227,115 @@ class KVClient:
         reply = await self._call(["INFO"])
         return json.loads(reply[1])
 
+    async def health(self) -> Dict[str, object]:
+        """The server's HEALTH payload (degraded-mode state), parsed."""
+        reply = await self._call(["HEALTH"])
+        return json.loads(reply[1])
+
     # -- plumbing -----------------------------------------------------------
 
     async def _call(self, fields: List[str]) -> List[str]:
-        """Send a request; retry on BUSY; raise ServerError on ERR."""
-        delay = self.backoff_base_s
-        reply = ["BUSY", "never sent"]
-        for attempt in range(self.max_busy_retries + 1):
-            reply = await self._request(fields)
-            if reply[0] != "BUSY":
-                break
-            self.busy_retries += 1
-            if attempt == self.max_busy_retries:
-                raise BusyError(reply[1] if len(reply) > 1 else "busy")
-            await asyncio.sleep(delay)
-            delay = min(delay * 2, self.backoff_max_s)
-        if reply[0] == "ERR":
-            code = reply[1] if len(reply) > 1 else "UNKNOWN"
-            detail = reply[2] if len(reply) > 2 else ""
-            raise ServerError(code, detail)
-        return reply
+        """Send a request; absorb BUSY and connection resets; raise ERR.
+
+        One loop, two retry budgets: ``max_busy_retries`` BUSY replies
+        and ``reconnect_retries`` reconnects, both additionally bounded
+        by ``retry_deadline_s`` of total wall-clock time.
+        """
+        loop = asyncio.get_running_loop()
+        deadline = (
+            loop.time() + self.retry_deadline_s
+            if self.retry_deadline_s is not None
+            else None
+        )
+        busy_attempts = 0
+        reconnect_attempts = 0
+        busy_delay = self.backoff_base_s
+        while True:
+            try:
+                reply = await self._request(fields)
+            except asyncio.TimeoutError:
+                raise  # connection poisoned; ordering lost, never resend
+            except (ConnectionError, OSError) as exc:
+                self._poison(exc)
+                if (
+                    self._closed
+                    or self._address is None
+                    or reconnect_attempts >= self.reconnect_retries
+                ):
+                    raise
+                reconnect_attempts += 1
+                delay = self.reconnect_backoff_s * (
+                    2 ** (reconnect_attempts - 1)
+                )
+                await self._backoff(delay, deadline, exc)
+                await self._reconnect()
+                continue
+            if reply[0] == "BUSY":
+                self.busy_retries += 1
+                busy_attempts += 1
+                message = reply[1] if len(reply) > 1 else "busy"
+                if busy_attempts > self.max_busy_retries:
+                    raise BusyError(message)
+                await self._backoff(busy_delay, deadline, BusyError(message))
+                busy_delay = min(busy_delay * 2, self.backoff_max_s)
+                continue
+            if reply[0] == "ERR":
+                code = reply[1] if len(reply) > 1 else "UNKNOWN"
+                if code == "UNAVAILABLE" and len(reply) > 2:
+                    try:
+                        shard = int(reply[2])
+                    except ValueError:
+                        shard = -1
+                    raise UnavailableError(
+                        shard, reply[3] if len(reply) > 3 else ""
+                    )
+                raise ServerError(code, reply[2] if len(reply) > 2 else "")
+            return reply
+
+    @staticmethod
+    async def _backoff(
+        delay: float, deadline: Optional[float], error: Exception
+    ) -> None:
+        """Sleep ``delay`` plus jitter, or raise ``error`` past deadline."""
+        loop = asyncio.get_running_loop()
+        if deadline is not None and loop.time() + delay >= deadline:
+            raise error
+        await asyncio.sleep(delay + random.uniform(0, delay))
+
+    async def _reconnect(self) -> None:
+        """Replace the dead transport with a fresh connection.
+
+        Serialized on a lock so concurrent pipelined calls that all hit
+        the same reset perform one reconnect between them: the first
+        caller rebuilds the transport, the rest see ``_broken is None``
+        and simply resend on the new connection.
+        """
+        async with self._reconnect_lock:
+            if self._closed:
+                raise ConnectionError("client closed")
+            if self._broken is None:
+                return  # another caller already reconnected
+            assert self._address is not None
+            self._read_task.cancel()
+            try:
+                await self._read_task
+            except asyncio.CancelledError:
+                pass
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            reader, writer = await asyncio.open_connection(*self._address)
+            self._reader = reader
+            self._writer = writer
+            self._parser = FrameParser(MAX_FRAME_BYTES)
+            self._pending = deque()  # poisoned futures have already failed
+            self._broken = None
+            self.reconnects += 1
+            self._read_task = asyncio.get_running_loop().create_task(
+                self._read_loop()
+            )
 
     async def _request(self, fields: List[str]) -> List[str]:
         if self._broken is not None:

@@ -78,6 +78,8 @@ class ServerMetrics:
         self.errors_total = 0
         self.protocol_errors = 0
         self.background_errors = 0
+        #: Writes/reads refused because their shard is quarantined.
+        self.unavailable_errors = 0
         #: Writes rejected with BUSY because the engine was write-stopped.
         self.busy_rejections = 0
         #: Writes delayed (reply postponed) by the slowdown trigger.
@@ -118,6 +120,7 @@ class ServerMetrics:
             "errors_total": self.errors_total,
             "protocol_errors": self.protocol_errors,
             "background_errors": self.background_errors,
+            "unavailable_errors": self.unavailable_errors,
             "busy_rejections": self.busy_rejections,
             "slowdown_delays": self.slowdown_delays,
             "group_commits": self.group_commits,

@@ -20,18 +20,31 @@ complete message, buffering the tail of a partial frame for the next feed.
 
 Requests::
 
-    PING | GET k | PUT k v | DELETE k | SCAN lo hi [limit] | INFO
+    PING | GET k | PUT k v | DELETE k | SCAN lo hi [limit] | INFO | HEALTH
     BATCH (PUT k v | DELETE k)...
 
 ``SCAN``'s optional fourth field is a non-negative decimal integer capping
 the number of returned pairs; the two-field form is unchanged and means
-"no limit".
+"no limit". ``HEALTH`` reports the store's degraded-mode state without
+touching data paths, so it works even while every shard is quarantined.
 
 Replies::
 
     PONG | OK [n] | VALUE v | NONE | PAIRS k v ... | INFO json
+    HEALTH json             -- {"state", "num_shards", "quarantined", ...}
     BUSY message            -- retryable: the engine is write-stopped
     ERR code message        -- structured failure, connection stays usable
+
+Error codes a client should know:
+
+* ``ERR UNAVAILABLE <shard> <detail>`` — the key's shard is quarantined
+  after a background failure; the *connection* and every other shard stay
+  usable, so clients should fail only the affected keys (and may retry
+  after an operator restores the shard). The third field is the decimal
+  shard index.
+* ``ERR BACKGROUND <detail>`` — a background flush/compaction failed on a
+  non-sharded store; the store stays readable but refuses writes.
+* ``ERR BADREQ | PROTOCOL | CLOSED | INTERNAL`` — see the server module.
 """
 
 from __future__ import annotations
@@ -45,10 +58,14 @@ from ..errors import ReproError
 MAX_FRAME_BYTES = 4 * 1024 * 1024
 
 #: Request verbs the server dispatches.
-REQUEST_VERBS = ("PING", "GET", "PUT", "DELETE", "SCAN", "BATCH", "INFO")
+REQUEST_VERBS = (
+    "PING", "GET", "PUT", "DELETE", "SCAN", "BATCH", "INFO", "HEALTH",
+)
 
 #: Reply statuses a client must understand.
-REPLY_STATUSES = ("PONG", "OK", "VALUE", "NONE", "PAIRS", "INFO", "BUSY", "ERR")
+REPLY_STATUSES = (
+    "PONG", "OK", "VALUE", "NONE", "PAIRS", "INFO", "HEALTH", "BUSY", "ERR",
+)
 
 _U32 = struct.Struct(">I")
 

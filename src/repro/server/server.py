@@ -48,7 +48,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..api import KVStore
-from ..errors import BackgroundError, ClosedError
+from ..errors import BackgroundError, ClosedError, ShardUnavailableError
 from .metrics import ServerMetrics
 from .protocol import (
     MAX_FRAME_BYTES,
@@ -343,11 +343,10 @@ class KVServer:
     ) -> List[List[str]]:
         """Admit, commit, and answer a run of pipelined write requests."""
         started = time.perf_counter()
-        ops: List[BatchOp] = []
-        per_request: List[Tuple[str, int]] = []  # (verb, op count)
+        parsed: List[List[BatchOp]] = []
         for request in requests:
             try:
-                sub_ops = self._parse_write(request)
+                parsed.append(self._parse_write(request))
             except (ProtocolError, ValueError) as exc:
                 # A malformed write poisons the whole coalesced run; fall
                 # back to answering each request individually so only the
@@ -359,8 +358,6 @@ class KVServer:
                     return replies
                 self.metrics.errors_total += 1
                 return [["ERR", "BADREQ", str(exc)]]
-            ops.extend(sub_ops)
-            per_request.append((request[0], len(sub_ops)))
 
         busy = self._admission_check()
         if busy is not None:
@@ -369,33 +366,48 @@ class KVServer:
         if await self._apply_slowdown():
             self.metrics.slowdown_delays += len(requests)
 
-        try:
-            if self.group_commit:
-                await self._submit_grouped(ops)
-            else:
-                # Per-request commit: one engine call — one write-mutex
-                # acquisition and one WAL sync — per client request, the
-                # baseline bench_e22 contrasts group commit against.
-                loop = asyncio.get_running_loop()
-                offset = 0
-                for _, op_count in per_request:
+        # Per-request fault isolation: each request commits (and fails)
+        # on its own, so one quarantined shard errors only the writes
+        # that touch it — the requests next to them in the pipeline
+        # still succeed. Group commit still coalesces: all submissions
+        # below enter the committer queues before the drain task runs.
+        outcomes: List[Optional[BaseException]]
+        if self.group_commit:
+            raw = await asyncio.gather(
+                *(self._submit_grouped(sub_ops) for sub_ops in parsed),
+                return_exceptions=True,
+            )
+            outcomes = [
+                result if isinstance(result, BaseException) else None
+                for result in raw
+            ]
+        else:
+            # Per-request commit: one engine call — one write-mutex
+            # acquisition and one WAL sync — per client request, the
+            # baseline bench_e22 contrasts group commit against.
+            loop = asyncio.get_running_loop()
+            outcomes = []
+            for sub_ops in parsed:
+                try:
                     await loop.run_in_executor(
-                        self._executor,
-                        self.store.write_batch,
-                        ops[offset : offset + op_count],
+                        self._executor, self.store.write_batch, sub_ops
                     )
-                    offset += op_count
-        except Exception as exc:
-            failure = self._error_reply(exc)
-            self.metrics.errors_total += len(requests)
-            return [list(failure) for _ in requests]
+                except Exception as exc:
+                    outcomes.append(exc)
+                else:
+                    outcomes.append(None)
 
         micros = (time.perf_counter() - started) * 1e6
         replies: List[List[str]] = []
-        for verb, op_count in per_request:
+        for request, sub_ops, outcome in zip(requests, parsed, outcomes):
+            verb = request[0]
+            if outcome is not None:
+                self.metrics.errors_total += 1
+                replies.append(self._error_reply(outcome))
+                continue
             self.metrics.record_op(verb, micros)
             replies.append(
-                ["OK", str(op_count)] if verb == "BATCH" else ["OK"]
+                ["OK", str(len(sub_ops))] if verb == "BATCH" else ["OK"]
             )
         return replies
 
@@ -509,6 +521,11 @@ class KVServer:
                     reply.extend((key, value))
             elif verb == "INFO":
                 reply = ["INFO", json.dumps(self.info(), sort_keys=True)]
+            elif verb == "HEALTH":
+                if len(request) != 1:
+                    raise ProtocolError("HEALTH takes no arguments")
+                payload = await self._run_engine(self.health)
+                reply = ["HEALTH", json.dumps(payload, sort_keys=True)]
             else:
                 self.metrics.errors_total += 1
                 return ["ERR", "BADREQ", f"unknown command {verb!r}"]
@@ -525,13 +542,20 @@ class KVServer:
             self._executor, fn, *args
         )
 
-    def _error_reply(self, exc: Exception) -> List[str]:
+    def _error_reply(self, exc: BaseException) -> List[str]:
         """Map an engine exception onto a structured ERR reply.
 
-        :class:`~repro.errors.BackgroundError` gets its own code — a
-        failed background flush/compaction must reach the client as data,
-        not as a hung connection — and includes the worker's root cause.
+        :class:`~repro.errors.ShardUnavailableError` becomes the
+        retryable ``ERR UNAVAILABLE <shard> <detail>`` — the degraded
+        mode's wire form: only the affected shard's keys fail and the
+        connection stays usable. :class:`~repro.errors.BackgroundError`
+        gets its own code — a failed background flush/compaction must
+        reach the client as data, not as a hung connection — and
+        includes the worker's root cause.
         """
+        if isinstance(exc, ShardUnavailableError):
+            self.metrics.unavailable_errors += 1
+            return ["ERR", "UNAVAILABLE", str(exc.shard), str(exc)]
         if isinstance(exc, BackgroundError):
             self.metrics.background_errors += 1
             cause = exc.__cause__
@@ -544,6 +568,28 @@ class KVServer:
         return ["ERR", "INTERNAL", f"{type(exc).__name__}: {exc}"]
 
     # -- introspection ------------------------------------------------------
+
+    def health(self) -> dict:
+        """The HEALTH payload: degraded-mode state of the backing store.
+
+        Sharded stores report per-shard quarantine state via
+        ``check_health``; single-tree stores are probed through
+        ``background_error`` (non-raising), so the reply works even while
+        the engine refuses all data operations.
+        """
+        check = getattr(self.store, "check_health", None)
+        if callable(check):
+            return check()
+        probe = getattr(self.store, "background_error", None)
+        error = probe() if callable(probe) else None
+        payload: dict = {
+            "state": "healthy" if error is None else "failed",
+            "num_shards": int(getattr(self.store, "num_shards", 1)),
+            "quarantined": [],
+        }
+        if error is not None:
+            payload["error"] = f"{type(error).__name__}: {error}"
+        return payload
 
     def info(self) -> dict:
         """The INFO payload: serving metrics + engine snapshot.
@@ -563,6 +609,7 @@ class KVServer:
                 **self.metrics.to_dict(),
             },
             "backpressure": self.store.backpressure(),
+            "health": self.health(),
             "engine": self.store.stats.to_dict(),
         }
         level_summary = getattr(self.store, "level_summary", None)

@@ -29,6 +29,16 @@ mutex acquisition, one WAL sync on its shard), but the batch as a whole is
 not: a crash can persist shard A's sub-batch and lose shard B's. Callers
 needing cross-key atomicity must route those keys to one shard (range
 routing makes that controllable) or layer a transaction log above.
+
+Failure isolation (degraded mode): shards are independent failure domains,
+and the store treats them that way. When a shard's background workers die
+(:class:`~repro.errors.BackgroundError`), the shard is *quarantined* — a
+per-shard :class:`HealthState` flips to ``"quarantined"``, operations
+routed to it raise :class:`~repro.errors.ShardUnavailableError`, and the
+other N−1 shards keep serving reads and writes. The serving layer maps the
+error to a retryable ``ERR UNAVAILABLE <shard>`` reply and exposes the
+rollup through its ``HEALTH`` command. Before this machinery, one dead
+worker bricked the entire store.
 """
 
 from __future__ import annotations
@@ -36,16 +46,26 @@ from __future__ import annotations
 import bisect
 import json
 import os
+import threading
+import time
 import zlib
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
 from heapq import merge as heap_merge
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from ..core.config import LSMConfig
 from ..core.merge_operator import MergeOperator
 from ..core.stats import TreeStats
 from ..core.tree import LSMTree
-from ..errors import ClosedError, ConfigError
+from ..errors import (
+    BackgroundError,
+    ClosedError,
+    ConfigError,
+    CorruptionError,
+    ShardUnavailableError,
+)
+from ..faults.registry import fault_point
 
 #: One batched write: ("put" | "delete", key, value-or-None).
 BatchOp = Tuple[str, str, Optional[str]]
@@ -57,6 +77,29 @@ _ROUTINGS = ("hash", "range")
 
 #: Backpressure states ordered from healthy to write-stopped.
 _STATE_SEVERITY = {"ok": 0, "slowdown": 1, "stop": 2}
+
+HEALTHY = "healthy"
+QUARANTINED = "quarantined"
+
+_T = TypeVar("_T")
+
+
+@dataclass
+class HealthState:
+    """Failure-domain status of one shard.
+
+    ``since_s`` is a monotonic timestamp (``time.monotonic()``) of the
+    quarantine moment, letting operators and the availability benchmark
+    compute time-to-detection.
+    """
+
+    state: str = HEALTHY
+    reason: Optional[str] = None
+    since_s: float = field(default_factory=time.monotonic)
+
+    @property
+    def healthy(self) -> bool:
+        return self.state == HEALTHY
 
 
 def hash_shard_index(key: str, num_shards: int) -> int:
@@ -132,6 +175,8 @@ class ShardedStore:
         self.routing = routing
         self._wal_dir = wal_dir
         self._closed = False
+        self._health = [HealthState() for _ in range(num_shards)]
+        self._health_lock = threading.Lock()
         shard_dirs: List[Optional[str]] = [None] * num_shards
         if wal_dir is not None:
             shard_dirs = [
@@ -170,7 +215,14 @@ class ShardedStore:
         path = os.path.join(wal_dir, MANIFEST_NAME)
         if os.path.exists(path):
             with open(path, "r", encoding="utf-8") as handle:
-                existing = json.load(handle)
+                try:
+                    existing = json.load(handle)
+                except json.JSONDecodeError as exc:
+                    raise CorruptionError(
+                        "shard manifest is not valid JSON",
+                        path=path,
+                        byte_offset=exc.pos,
+                    ) from exc
             if existing != manifest:
                 raise ConfigError(
                     f"{path} records a different sharding "
@@ -178,8 +230,15 @@ class ShardedStore:
                     "use a fresh directory"
                 )
             return
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(manifest, handle)
+        blob = json.dumps(manifest)
+        temporary = path + ".tmp"
+        with open(temporary, "w", encoding="utf-8") as handle:
+            handle.write(blob)
+        fault_point(
+            "shard.manifest.tmp", path=temporary, tail_bytes=len(blob)
+        )
+        os.replace(temporary, path)  # atomic: readers never see a torn file
+        fault_point("shard.manifest.done", path=path)
 
     # -- routing -------------------------------------------------------------
 
@@ -198,31 +257,129 @@ class ShardedStore:
         """The tree owning ``key``."""
         return self.shards[self.shard_index(key)]
 
+    # -- failure isolation ----------------------------------------------------
+
+    def _quarantine(self, index: int, cause: BaseException) -> None:
+        with self._health_lock:
+            health = self._health[index]
+            if health.healthy:
+                health.state = QUARANTINED
+                health.reason = str(cause) or type(cause).__name__
+                health.since_s = time.monotonic()
+
+    def _check_available(self, index: int) -> None:
+        health = self._health[index]
+        if not health.healthy:
+            raise ShardUnavailableError(
+                index, health.reason or "quarantined"
+            )
+
+    def _shard_op(self, index: int, op: Callable[[], _T]) -> _T:
+        """Run one shard-routed operation with quarantine semantics.
+
+        A shard whose background workers have died is unavailable for
+        reads *and* writes: reads would serve from a tree whose
+        maintenance stopped (unbounded staleness of structure, stalled
+        flushes), so the degraded contract is explicit unavailability
+        rather than silent best-effort.
+        """
+        self._check_available(index)
+        shard = self.shards[index]
+        error = shard.background_error()
+        if error is not None:
+            self._quarantine(index, error)
+            raise ShardUnavailableError(
+                index, f"background workers died: {error}"
+            )
+        try:
+            return op()
+        except BackgroundError as exc:
+            self._quarantine(index, exc)
+            raise ShardUnavailableError(index, str(exc)) from exc
+
+    def check_health(self) -> Dict[str, object]:
+        """Poll every shard for dead workers; return the health rollup.
+
+        Quarantines any shard whose background pool reports an error, so
+        a failure is detected even if no operation has routed to that
+        shard since it died. ``state`` is ``"healthy"`` (all shards up),
+        ``"degraded"`` (some quarantined), or ``"failed"`` (all
+        quarantined).
+        """
+        self._check_open()
+        for index, shard in enumerate(self.shards):
+            if self._health[index].healthy:
+                error = shard.background_error()
+                if error is not None:
+                    self._quarantine(index, error)
+        quarantined = [
+            index
+            for index, health in enumerate(self._health)
+            if not health.healthy
+        ]
+        if not quarantined:
+            state = "healthy"
+        elif len(quarantined) == len(self.shards):
+            state = "failed"
+        else:
+            state = "degraded"
+        return {
+            "state": state,
+            "num_shards": len(self.shards),
+            "quarantined": quarantined,
+            "shards": [
+                {
+                    "shard": index,
+                    "state": health.state,
+                    "reason": health.reason,
+                }
+                for index, health in enumerate(self._health)
+            ],
+        }
+
+    def quarantined_shards(self) -> List[int]:
+        """Indices of currently quarantined shards."""
+        return [
+            index
+            for index, health in enumerate(self._health)
+            if not health.healthy
+        ]
+
     # -- external operations -------------------------------------------------
 
     def put(self, key: str, value: str) -> None:
         """Insert or update ``key`` in its owning shard."""
-        self.shard_for(key).put(key, value)
+        self._check_open()
+        index = self.shard_index(key)
+        self._shard_op(index, lambda: self.shards[index].put(key, value))
 
     def get(self, key: str) -> Optional[str]:
         """Point lookup in the owning shard only."""
-        return self.shard_for(key).get(key)
+        self._check_open()
+        index = self.shard_index(key)
+        return self._shard_op(index, lambda: self.shards[index].get(key))
 
     def delete(self, key: str) -> None:
         """Logical delete in the owning shard."""
-        self.shard_for(key).delete(key)
+        self._check_open()
+        index = self.shard_index(key)
+        self._shard_op(index, lambda: self.shards[index].delete(key))
 
     def write_batch(self, ops: Sequence[BatchOp]) -> None:
         """Split a batch by shard; commit the sub-batches concurrently.
 
         The whole batch is validated before any sub-batch is submitted, so
-        a malformed op raises ``ValueError`` with nothing applied. Each
-        sub-batch then commits on its own shard — one write-mutex
-        acquisition and one WAL sync per *shard touched*, all in flight at
-        once on the store's executor. **Atomicity is per shard**: if one
-        shard's commit fails (or the process dies mid-flight), sub-batches
-        on other shards may already be durable. The first shard failure is
-        re-raised after every sub-batch has settled.
+        a malformed op raises ``ValueError`` with nothing applied — and a
+        batch touching a *known-quarantined* shard raises
+        :class:`~repro.errors.ShardUnavailableError` up front, also with
+        nothing applied. Each sub-batch then commits on its own shard —
+        one write-mutex acquisition and one WAL sync per *shard touched*,
+        all in flight at once on the store's executor. **Atomicity is per
+        shard**: if one shard's commit fails (or the process dies
+        mid-flight), sub-batches on other shards may already be durable.
+        The first shard failure is re-raised after every sub-batch has
+        settled; a shard dying mid-commit is quarantined, so later
+        batches fail fast.
         """
         self._check_open()
         if not ops:
@@ -240,12 +397,14 @@ class ShardedStore:
             by_shard.setdefault(
                 self.shard_index(batch_op[1]), []
             ).append(batch_op)
+        for index in by_shard:
+            self._check_available(index)
         if len(by_shard) == 1:
             index, sub_ops = next(iter(by_shard.items()))
-            self.shards[index].write_batch(sub_ops)
+            self._commit_sub_batch(index, sub_ops)
             return
         futures = [
-            self._executor.submit(self.shards[index].write_batch, sub_ops)
+            self._executor.submit(self._commit_sub_batch, index, sub_ops)
             for index, sub_ops in by_shard.items()
         ]
         failure: Optional[BaseException] = None
@@ -255,6 +414,12 @@ class ShardedStore:
                 failure = error
         if failure is not None:
             raise failure
+
+    def _commit_sub_batch(self, index: int, sub_ops: List[BatchOp]) -> None:
+        fault_point("shard.commit", scope=f"shard-{index:02d}")
+        self._shard_op(
+            index, lambda: self.shards[index].write_batch(sub_ops)
+        )
 
     def scan(
         self, lo: str, hi: str, limit: Optional[int] = None
@@ -267,7 +432,11 @@ class ShardedStore:
         the range) — the per-shard scans run concurrently on the store's
         executor, each individually capped at ``limit``, and the sorted
         partial results are k-way merged (shards own disjoint keys, so the
-        merge never sees duplicates).
+        merge never sees duplicates). Any quarantined shard the scan
+        would touch makes it fail with
+        :class:`~repro.errors.ShardUnavailableError` — a partial scan
+        silently missing one shard's keys would be corruption, not
+        degradation.
         """
         self._check_open()
         if limit is not None and limit < 0:
@@ -277,18 +446,33 @@ class ShardedStore:
         if self.routing == "range":
             first = bisect.bisect_right(self.boundaries, lo)
             last = bisect.bisect_right(self.boundaries, hi)
+            involved = range(first, min(last, len(self.shards) - 1) + 1)
+            for index in involved:
+                self._check_available(index)
             results: List[Tuple[str, str]] = []
-            for index in range(first, min(last, len(self.shards) - 1) + 1):
+            for index in involved:
                 remaining = None if limit is None else limit - len(results)
                 if remaining == 0:
                     break
-                results.extend(self.shards[index].scan(lo, hi, remaining))
+                results.extend(
+                    self._shard_op(
+                        index,
+                        lambda i=index, r=remaining: self.shards[i].scan(
+                            lo, hi, r
+                        ),
+                    )
+                )
             return results
+        for index in range(len(self.shards)):
+            self._check_available(index)
         if len(self.shards) == 1:
-            return self.shards[0].scan(lo, hi, limit)
+            return self._shard_op(0, lambda: self.shards[0].scan(lo, hi, limit))
         partials = list(
             self._executor.map(
-                lambda shard: shard.scan(lo, hi, limit), self.shards
+                lambda index: self._shard_op(
+                    index, lambda: self.shards[index].scan(lo, hi, limit)
+                ),
+                range(len(self.shards)),
             )
         )
         merged = list(heap_merge(*partials))
@@ -297,16 +481,25 @@ class ShardedStore:
     # -- lifecycle -----------------------------------------------------------
 
     def flush(self) -> None:
-        """Force every shard's active buffer to disk."""
+        """Force every *healthy* shard's active buffer to disk.
+
+        Quarantined shards are skipped: their workers are gone, so a
+        flush would only re-raise the failure the quarantine already
+        recorded.
+        """
         self._check_open()
-        for shard in self.shards:
-            shard.flush()
+        self.check_health()
+        for index, shard in enumerate(self.shards):
+            if self._health[index].healthy:
+                self._shard_op(index, shard.flush)
 
     def compact_all(self) -> None:
-        """Major compaction on every shard."""
+        """Major compaction on every healthy shard."""
         self._check_open()
-        for shard in self.shards:
-            shard.compact_all()
+        self.check_health()
+        for index, shard in enumerate(self.shards):
+            if self._health[index].healthy:
+                self._shard_op(index, shard.compact_all)
 
     def close(self) -> None:
         """Close every shard and release the commit executor. Idempotent.
@@ -314,27 +507,55 @@ class ShardedStore:
         Shards close concurrently on the commit executor: each close
         drains that shard's rotated buffers and pending compactions
         (:meth:`LSMTree.close`), so the drains overlap exactly like the
-        background work itself did. Shard close errors (e.g. a failed
-        background worker surfacing as
-        :class:`~repro.errors.BackgroundError`) are collected so every
-        shard still gets closed; the first error is re-raised.
+        background work itself did. Shard close errors are collected so
+        every shard still gets closed. A
+        :class:`~repro.errors.BackgroundError` from an
+        *already-quarantined* shard is swallowed — the failure was
+        surfaced when the shard was quarantined, and degraded-mode
+        shutdown must succeed — while an unexpected first-time failure is
+        re-raised.
         """
         if self._closed:
             return
+        for index, shard in enumerate(self.shards):
+            if self._health[index].healthy:
+                error = shard.background_error()
+                if error is not None:
+                    self._quarantine(index, error)
         self._closed = True
         failure: Optional[BaseException] = None
         futures = [
-            self._executor.submit(shard.close) for shard in self.shards
+            (index, self._executor.submit(shard.close))
+            for index, shard in enumerate(self.shards)
         ]
-        for future in futures:
+        for index, future in futures:
             try:
                 future.result()
+            except BackgroundError as exc:
+                # Not quarantined before close: a genuinely new failure
+                # the caller has never seen. Surface it.
+                if self._health[index].healthy and failure is None:
+                    failure = exc
             except BaseException as exc:
                 if failure is None:
                     failure = exc
         self._executor.shutdown(wait=True)
         if failure is not None:
             raise failure
+
+    def kill(self) -> None:
+        """Abandon every shard as a process crash would. Idempotent.
+
+        The sharded counterpart of :meth:`LSMTree.kill`: no drains, no
+        flushes, no error propagation — used by the crash-consistency
+        harness to model whole-process death.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self.shards:
+            shard.kill()
+        self._executor.shutdown(wait=False)
 
     def __enter__(self) -> "ShardedStore":
         return self
@@ -372,7 +593,14 @@ class ShardedStore:
                 "directory"
             )
         with open(path, "r", encoding="utf-8") as handle:
-            manifest = json.load(handle)
+            try:
+                manifest = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise CorruptionError(
+                    "shard manifest is not valid JSON",
+                    path=path,
+                    byte_offset=exc.pos,
+                ) from exc
         return cls(
             manifest["num_shards"],
             config,
@@ -391,27 +619,42 @@ class ShardedStore:
         return TreeStats.merged([shard.stats for shard in self.shards])
 
     def backpressure(self) -> Dict[str, object]:
-        """Aggregate admission snapshot: the *worst* shard state governs.
+        """Aggregate admission snapshot: the *worst healthy* shard governs.
 
-        ``state`` is the most severe of the shard states (``stop`` beats
-        ``slowdown`` beats ``ok``) — conservative on purpose, since a
-        serving layer that admits a write cannot know which shard it will
-        route to until it parses the key. The raw quantities aggregate
-        (max Level-0 depth, summed immutable buffers) and ``shards``
-        carries the full per-shard breakdown for operators.
+        ``state`` is the most severe of the healthy shard states (``stop``
+        beats ``slowdown`` beats ``ok``) — conservative on purpose, since
+        a serving layer that admits a write cannot know which shard it
+        will route to until it parses the key. Quarantined shards are
+        excluded from the backpressure verdict (their unavailability is
+        reported per-operation, not as store-wide pushback) and listed
+        under ``quarantined_shards``; with *no* healthy shard left the
+        state degrades to ``"stop"``. The raw quantities aggregate (max
+        Level-0 depth, summed immutable buffers) and ``shards`` carries
+        the full per-shard breakdown for operators.
         """
-        per_shard = [shard.backpressure() for shard in self.shards]
-        worst = max(
-            per_shard, key=lambda s: _STATE_SEVERITY.get(str(s["state"]), 0)
-        )
+        per_shard = []
+        for index, shard in enumerate(self.shards):
+            snapshot = shard.backpressure()
+            snapshot["healthy"] = self._health[index].healthy
+            per_shard.append(snapshot)
+        healthy = [s for s in per_shard if s["healthy"]]
+        if healthy:
+            worst = max(
+                healthy, key=lambda s: _STATE_SEVERITY.get(str(s["state"]), 0)
+            )
+            state = worst["state"]
+        else:
+            worst = per_shard[0]
+            state = "stop"
         return {
-            "state": worst["state"],
+            "state": state,
             "level0_runs": max(int(s["level0_runs"]) for s in per_shard),
             "immutable_buffers": sum(
                 int(s["immutable_buffers"]) for s in per_shard
             ),
             "slowdown_trigger": worst["slowdown_trigger"],
             "stop_trigger": worst["stop_trigger"],
+            "quarantined_shards": self.quarantined_shards(),
             "shards": [
                 {"shard": index, **snapshot}
                 for index, snapshot in enumerate(per_shard)
@@ -432,6 +675,8 @@ class ShardedStore:
                 "flushes": shard.stats.flushes,
                 "compactions": shard.stats.compactions,
                 "backpressure": shard.backpressure()["state"],
+                "health": self._health[index].state,
+                "health_reason": self._health[index].reason,
             }
             for index, shard in enumerate(self.shards)
         ]

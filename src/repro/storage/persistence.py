@@ -41,7 +41,9 @@ from ..core.range_tombstone import RangeTombstone
 from ..core.run import SortedRun
 from ..core.sstable import SSTable
 from ..core.tree import LSMTree
+from ..core.wal import WriteAheadLog
 from ..errors import CorruptionError
+from ..faults.registry import fault_point
 from .disk import SimulatedDisk
 
 _MAGIC = b"RSST"
@@ -91,17 +93,30 @@ def _encode_table(table: SSTable) -> bytes:
 
 def _decode_table(
     blob: bytes,
+    path: Optional[str] = None,
 ) -> Tuple[List[Entry], List[RangeTombstone]]:
     if len(blob) < _HEADER.size + 4:
-        raise CorruptionError("SSTable file truncated")
+        raise CorruptionError(
+            "SSTable file truncated", path=path, byte_offset=len(blob)
+        )
     payload, crc_bytes = blob[:-4], blob[-4:]
-    if zlib.crc32(payload) != struct.unpack("<I", crc_bytes)[0]:
-        raise CorruptionError("SSTable file failed checksum")
+    expected = struct.unpack("<I", crc_bytes)[0]
+    actual = zlib.crc32(payload)
+    if actual != expected:
+        raise CorruptionError(
+            "SSTable file failed checksum",
+            path=path,
+            byte_offset=len(payload),
+            expected_crc=expected,
+            actual_crc=actual,
+        )
     magic, version, count, tombstone_count = _HEADER.unpack_from(payload, 0)
     if magic != _MAGIC:
-        raise CorruptionError("not an SSTable file")
+        raise CorruptionError("not an SSTable file", path=path, byte_offset=0)
     if version != _VERSION:
-        raise CorruptionError(f"unsupported SSTable version {version}")
+        raise CorruptionError(
+            f"unsupported SSTable version {version}", path=path
+        )
     offset = _HEADER.size
     entries: List[Entry] = []
     for _ in range(count):
@@ -133,16 +148,44 @@ def _decode_table(
     return entries, tombstones
 
 
+def _clear_stale_temporaries(directory: str, tables_dir: str) -> None:
+    """Remove ``*.tmp`` leftovers of a checkpoint that crashed mid-write.
+
+    Safe at any time: a ``.tmp`` file is by construction uncommitted — the
+    manifest never references one, so deleting it cannot lose covered data.
+    """
+    candidates = [os.path.join(directory, "MANIFEST.json.tmp")]
+    if os.path.isdir(tables_dir):
+        candidates.extend(
+            os.path.join(tables_dir, name)
+            for name in os.listdir(tables_dir)
+            if name.endswith(".tmp")
+        )
+    for path in candidates:
+        if os.path.exists(path):
+            os.remove(path)
+
+
 def checkpoint(tree: LSMTree, directory: str) -> Dict[str, int]:
     """Write a full snapshot of the tree's disk state to ``directory``.
 
     The active and immutable buffers are flushed first so the checkpoint
     plus an empty WAL is the complete database. Returns a small summary
     (tables and bytes written) for logging.
+
+    Crash-safe ordering: each SSTable is written to a ``.tmp`` file and
+    atomically renamed; the manifest referencing them is committed last,
+    also via tmp+rename; only then are checkpoint-covered WAL segments
+    pruned (with ``wal_preserve_segments``). A crash anywhere leaves
+    either the previous checkpoint fully intact or the new one fully
+    committed — never a manifest pointing at missing tables, never a
+    pruned segment that the surviving manifest does not cover. Stale
+    ``.tmp`` files from an earlier crashed checkpoint are cleared first.
     """
     tree.flush()
     tables_dir = os.path.join(directory, "tables")
     os.makedirs(tables_dir, exist_ok=True)
+    _clear_stale_temporaries(directory, tables_dir)
 
     table_count = 0
     byte_count = 0
@@ -154,8 +197,15 @@ def checkpoint(tree: LSMTree, directory: str) -> Dict[str, int]:
             for table in run.tables:
                 filename = f"{table.table_id}.sst"
                 blob = _encode_table(table)
-                with open(os.path.join(tables_dir, filename), "wb") as handle:
+                final_path = os.path.join(tables_dir, filename)
+                temporary = final_path + ".tmp"
+                with open(temporary, "wb") as handle:
                     handle.write(blob)
+                fault_point(
+                    "ckpt.table.tmp", path=temporary, tail_bytes=len(blob)
+                )
+                os.replace(temporary, final_path)
+                fault_point("ckpt.table.done", path=final_path)
                 run_tables.append(filename)
                 table_count += 1
                 byte_count += len(blob)
@@ -171,10 +221,29 @@ def checkpoint(tree: LSMTree, directory: str) -> Dict[str, int]:
     }
     manifest_path = os.path.join(directory, "MANIFEST.json")
     temporary = manifest_path + ".tmp"
+    blob = json.dumps(manifest)
     with open(temporary, "w", encoding="utf-8") as handle:
-        json.dump(manifest, handle)
+        handle.write(blob)
+    fault_point("ckpt.manifest.tmp", path=temporary, tail_bytes=len(blob))
     os.replace(temporary, manifest_path)  # atomic commit of the checkpoint
+    fault_point("ckpt.manifest.done", path=manifest_path)
+    _prune_wal_segments(tree)
     return {"tables": table_count, "bytes": byte_count}
+
+
+def _prune_wal_segments(tree: LSMTree) -> None:
+    """Delete WAL segments a just-committed checkpoint fully covers.
+
+    Only preserved (already-flushed) segments qualify — the active
+    segment backs the post-checkpoint writes and always survives. Runs
+    after the manifest rename, so a crash mid-prune leaves extra
+    segments whose replay is idempotent (their entries' seqnos are below
+    the manifest's ``next_seqno`` and are filtered on recovery).
+    """
+    for path in tree.flushed_wal_segments():
+        fault_point("ckpt.wal_prune", path=path)
+        if os.path.exists(path):
+            os.remove(path)
 
 
 def restore(
@@ -192,14 +261,22 @@ def restore(
     """
     manifest_path = os.path.join(directory, "MANIFEST.json")
     if not os.path.exists(manifest_path):
-        raise CorruptionError(f"no MANIFEST.json under {directory}")
+        raise CorruptionError(
+            f"no MANIFEST.json under {directory}", path=manifest_path
+        )
     with open(manifest_path, "r", encoding="utf-8") as handle:
         try:
             manifest = json.load(handle)
         except json.JSONDecodeError as exc:
-            raise CorruptionError("manifest is not valid JSON") from exc
+            raise CorruptionError(
+                "manifest is not valid JSON",
+                path=manifest_path,
+                byte_offset=exc.pos,
+            ) from exc
     if manifest.get("version") != _VERSION:
-        raise CorruptionError("unsupported manifest version")
+        raise CorruptionError(
+            "unsupported manifest version", path=manifest_path
+        )
 
     config_fields = dict(manifest["config"])
     config_fields["extras"] = tuple(
@@ -220,8 +297,11 @@ def restore(
                     with open(path, "rb") as handle:
                         blob = handle.read()
                 except OSError as exc:
-                    raise CorruptionError(f"missing table file {filename}") from exc
-                entries, tombstones = _decode_table(blob)
+                    raise CorruptionError(
+                        f"manifest references missing table file {filename}",
+                        path=path,
+                    ) from exc
+                entries, tombstones = _decode_table(blob, path=path)
                 tables.append(
                     SSTable.build(
                         entries,
@@ -236,4 +316,52 @@ def restore(
             if tables:
                 level.add_run_oldest(SortedRun(tables))
         tree.levels.append(level)
+    return tree
+
+
+def recover_full(
+    config: Optional[LSMConfig],
+    wal_dir: str,
+    checkpoint_dir: str,
+    disk: Optional[SimulatedDisk] = None,
+    merge_operator: Optional["MergeOperator"] = None,
+) -> LSMTree:
+    """Full restart: latest committed checkpoint plus WAL replay.
+
+    The complete crash-recovery path the consistency sweep exercises:
+
+    1. If ``checkpoint_dir`` holds a committed ``MANIFEST.json``, restore
+       it (the manifest's stored config is authoritative; ``config`` is
+       only used when no checkpoint exists). The manifest's
+       ``next_seqno`` is the high-water mark the checkpoint *covers*.
+    2. Replay every WAL segment in ``wal_dir``, re-journaling into a
+       fresh segment and skipping entries the checkpoint already covers
+       — so replaying segments an interrupted prune left behind is
+       idempotent.
+
+    Old segments are not deleted here; the next :func:`checkpoint` prunes
+    them once its manifest covers their entries. Recovery itself is
+    therefore repeatable: crashing *during* recovery and recovering again
+    reaches the same state.
+    """
+    manifest_path = os.path.join(checkpoint_dir, "MANIFEST.json")
+    if not os.path.exists(manifest_path):
+        # No committed checkpoint: the WAL is the whole database. (A
+        # MANIFEST.json.tmp from a crashed first checkpoint is
+        # uncommitted by definition and deliberately ignored.)
+        return LSMTree.recover(
+            config, wal_dir, disk=disk, merge_operator=merge_operator
+        )
+    tree = restore(checkpoint_dir, disk=disk, merge_operator=merge_operator)
+    covered = tree.seqno
+    segments = sorted(
+        name
+        for name in os.listdir(wal_dir)
+        if name.startswith("wal.") and name.endswith(".log")
+    )
+    tree.attach_wal_dir(wal_dir)
+    for name in segments:
+        for entry in WriteAheadLog.replay(os.path.join(wal_dir, name)):
+            if entry.seqno >= covered:
+                tree._ingest_recovered(entry)
     return tree

@@ -1,0 +1,606 @@
+"""Tests for the fault-injection subsystem and crash-consistency sweep.
+
+Three layers: the failpoint registry itself (determinism, crash modes,
+transient/fsync injection), direct engine-level fault drills (fsyncgate
+never-ack, bounded retry, worker-death quarantine, kill/close
+idempotency, recovery-time crashes), and the sweep harness (full sweep
+over every enumerated crossing with zero invariant violations).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.config import LSMConfig
+from repro.core.tree import LSMTree
+from repro.errors import (
+    BackgroundError,
+    ConfigError,
+    CorruptionError,
+    DurabilityError,
+    ShardUnavailableError,
+)
+from repro.faults import (
+    FAILPOINTS,
+    FaultPlan,
+    InjectedCrash,
+    fault_plan,
+    fault_point,
+    inject_worker_death,
+)
+from repro.faults.registry import TEARABLE
+from repro.faults.sweep import (
+    SingleTreeScenario,
+    WorkloadTracker,
+    check_invariants,
+    run_sweep,
+)
+from repro.shard import ShardedStore
+from repro.storage import persistence
+
+
+def small_config(**overrides) -> LSMConfig:
+    defaults = dict(
+        buffer_size_bytes=2048,
+        num_buffers=2,
+        target_file_bytes=1024,
+        block_bytes=256,
+    )
+    defaults.update(overrides)
+    return LSMConfig(**defaults)
+
+
+# ---------------------------------------------------------------------------
+# Failpoint registry
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_catalog_covers_the_advertised_sites(self):
+        names = set(FAILPOINTS)
+        for prefix in ("wal.", "flush.", "compact.", "ckpt.", "shard."):
+            assert any(name.startswith(prefix) for name in names), prefix
+        assert set(TEARABLE) <= names
+        for name, failpoint in FAILPOINTS.items():
+            assert failpoint.name == name
+            assert failpoint.description
+
+    def test_crossing_ids_have_per_site_ordinals(self, tmp_path):
+        plan = FaultPlan(root=str(tmp_path))
+        with fault_plan(plan):
+            path = os.path.join(str(tmp_path), "wal", "seg.log")
+            fault_point("wal.append.start", path=path)
+            fault_point("wal.append.start", path=path)
+            fault_point("wal.sync", path=path)
+            fault_point("flush.build", scope="rot-0")
+        assert plan.crossings == [
+            "wal.append.start@wal/seg.log#0",
+            "wal.append.start@wal/seg.log#1",
+            "wal.sync@wal/seg.log#0",
+            "flush.build@rot-0#0",
+        ]
+        assert plan.crossing_ids() == sorted(plan.crossings)
+
+    def test_unarmed_fault_point_is_a_no_op(self):
+        fault_point("wal.sync", path="/nowhere")  # no active plan
+
+    def test_crash_fires_exactly_once_then_goes_inert(self):
+        plan = FaultPlan(crash_at="flush.build@rot-0#0")
+        with fault_plan(plan):
+            with pytest.raises(InjectedCrash) as excinfo:
+                fault_point("flush.build", scope="rot-0")
+            assert excinfo.value.crossing == "flush.build@rot-0#0"
+            # Inert afterwards: other threads/ops proceed unharmed.
+            fault_point("flush.build", scope="rot-0")
+        assert plan.fired
+        assert plan.fired_crossing == "flush.build@rot-0#0"
+
+    def test_nested_plans_are_rejected(self):
+        with fault_plan(FaultPlan()):
+            with pytest.raises(RuntimeError):
+                with fault_plan(FaultPlan()):
+                    pass
+
+    def test_torn_crash_truncates_the_in_flight_tail(self, tmp_path):
+        victim = tmp_path / "seg.log"
+        victim.write_bytes(b"committed\n" + b"in-flight-tail")
+        plan = FaultPlan(
+            root=str(tmp_path),
+            crash_at="wal.append.written@seg.log#0",
+            crash_mode="torn",
+        )
+        with fault_plan(plan):
+            with pytest.raises(InjectedCrash):
+                fault_point(
+                    "wal.append.written", path=str(victim), tail_bytes=14
+                )
+        survived = victim.read_bytes()
+        assert survived.startswith(b"committed\n")
+        assert len(survived) < len(b"committed\n" + b"in-flight-tail")
+
+    def test_bitflip_crash_flips_one_tail_bit(self, tmp_path):
+        victim = tmp_path / "seg.log"
+        original = b"committed\n" + b"in-flight-tail"
+        victim.write_bytes(original)
+        plan = FaultPlan(
+            root=str(tmp_path),
+            crash_at="wal.append.written@seg.log#0",
+            crash_mode="bitflip",
+        )
+        with fault_plan(plan):
+            with pytest.raises(InjectedCrash):
+                fault_point(
+                    "wal.append.written", path=str(victim), tail_bytes=14
+                )
+        survived = victim.read_bytes()
+        assert len(survived) == len(original)
+        flipped = [
+            index
+            for index, (a, b) in enumerate(zip(original, survived))
+            if a != b
+        ]
+        assert len(flipped) == 1
+        assert flipped[0] >= len(original) - 14
+
+    def test_transient_injection_is_bounded_and_counted(self):
+        plan = FaultPlan(transient_at="wal.sync@-#1", transient_times=2)
+        with fault_plan(plan):
+            fault_point("wal.sync")  # ordinal 0: clean
+            for _ in range(2):
+                with pytest.raises(OSError):
+                    fault_point("wal.sync")
+            fault_point("wal.sync")  # budget spent: clean again
+        assert plan.transients_injected == 2
+
+    def test_fsync_failure_is_an_exact_crossing(self):
+        plan = FaultPlan(fsync_fail_at="wal.fsync@-#1")
+        with fault_plan(plan):
+            fault_point("wal.fsync")
+            with pytest.raises(OSError):
+                fault_point("wal.fsync")
+            fault_point("wal.fsync")
+        assert plan.fsyncs_failed == 1
+
+
+# ---------------------------------------------------------------------------
+# Engine-level fault drills
+# ---------------------------------------------------------------------------
+
+
+class TestFsyncNeverAck:
+    """fsyncgate: a write whose fsync failed must never be acknowledged."""
+
+    def test_failed_fsync_poisons_segment_and_raises(self, tmp_path):
+        config = small_config(wal_fsync=True)
+        tree = LSMTree(config, wal_dir=str(tmp_path))
+        tree.put("before", "v")
+        # Ordinals count crossings observed by *this* plan: the put above
+        # happened before arming, so the doomed put's fsync is #0.
+        plan = FaultPlan(
+            root=str(tmp_path),
+            fsync_fail_at="wal.fsync@wal.000000.log#0",
+        )
+        with fault_plan(plan):
+            with pytest.raises(DurabilityError):
+                tree.put("doomed", "v")
+        assert plan.fsyncs_failed == 1
+        # Failure-stop: the poisoned segment refuses all further writes
+        # (a failed fsync must not be retried — the page cache state is
+        # unknowable), even outside the plan.
+        with pytest.raises(DurabilityError):
+            tree.put("after", "v")
+        assert tree._active_wal.poisoned
+        tree.kill()
+        # The unacked write may be present or absent; the acked one must
+        # survive. Recovery itself must succeed.
+        recovered = LSMTree.recover(config, str(tmp_path))
+        assert recovered.get("before") == "v"
+        recovered.close()
+
+    def test_sync_flush_failure_retries_then_poisons(self, tmp_path):
+        config = small_config()
+        tree = LSMTree(config, wal_dir=str(tmp_path))
+        plan = FaultPlan(
+            root=str(tmp_path),
+            transient_at="wal.sync@wal.000000.log#0",
+            transient_times=5,  # > 1 initial try + 3 retries
+        )
+        with fault_plan(plan):
+            with pytest.raises(DurabilityError):
+                tree.put("doomed", "v")
+        assert tree._active_wal.poisoned
+        # Every failed attempt counts: the initial try plus 3 retries.
+        assert tree._active_wal.sync_retries == 4
+        tree.kill()
+
+    def test_transient_sync_errors_absorbed_by_retry(self, tmp_path):
+        tree = LSMTree(small_config(), wal_dir=str(tmp_path))
+        plan = FaultPlan(
+            root=str(tmp_path),
+            transient_at="wal.sync@wal.000000.log#0",
+            transient_times=2,
+        )
+        with fault_plan(plan):
+            tree.put("k", "v")  # retried transparently
+        assert plan.transients_injected == 2
+        assert tree._active_wal.sync_retries == 2
+        assert not tree._active_wal.poisoned
+        assert tree.get("k") == "v"
+        tree.close()
+
+
+class TestWorkerDeathQuarantine:
+    """Degraded mode: one dead shard, N-1 keep serving."""
+
+    @staticmethod
+    def bg_config() -> LSMConfig:
+        return LSMConfig(
+            background_mode=True, flush_threads=1, compaction_threads=1
+        )
+
+    def key_on_shard(self, store: ShardedStore, shard: int) -> str:
+        for i in range(10_000):
+            key = f"probe-{i}"
+            if store.shard_index(key) == shard:
+                return key
+        raise AssertionError("no key found")  # pragma: no cover
+
+    def test_dead_shard_quarantined_others_serve(self):
+        store = ShardedStore(3, self.bg_config())
+        try:
+            for i in range(30):
+                store.put(f"k{i}", "v")
+            inject_worker_death(store.shards[1], "test: dead worker")
+            dead_key = self.key_on_shard(store, 1)
+            live_key = self.key_on_shard(store, 0)
+            with pytest.raises(ShardUnavailableError) as excinfo:
+                store.put(dead_key, "x")
+            assert excinfo.value.shard == 1
+            # Reads on the dead shard are refused too (its recovered
+            # state may be stale); healthy shards are untouched.
+            with pytest.raises(ShardUnavailableError):
+                store.get(dead_key)
+            store.put(live_key, "still-writable")
+            assert store.get(live_key) == "still-writable"
+            health = store.check_health()
+            assert health["state"] == "degraded"
+            assert health["quarantined"] == [1]
+            assert store.quarantined_shards() == [1]
+        finally:
+            store.kill()
+
+    def test_batch_touching_dead_shard_fails_before_any_commit(self):
+        store = ShardedStore(3, self.bg_config())
+        try:
+            inject_worker_death(store.shards[2], "test: dead worker")
+            # Quarantine is lazy: poke the dead shard once.
+            with pytest.raises(ShardUnavailableError):
+                store.put(self.key_on_shard(store, 2), "x")
+            dead_key = self.key_on_shard(store, 2)
+            live_key = self.key_on_shard(store, 0)
+            with pytest.raises(ShardUnavailableError):
+                store.write_batch(
+                    [("put", live_key, "v"), ("put", dead_key, "v")]
+                )
+            # Fail-fast atomicity: the live shard's sub-batch was never
+            # submitted, so the live key is absent.
+            assert store.get(live_key) is None
+        finally:
+            store.kill()
+
+    def test_scan_involving_dead_shard_is_refused(self):
+        store = ShardedStore(3, self.bg_config())
+        try:
+            store.put("a", "1")
+            inject_worker_death(store.shards[0], "test: dead worker")
+            with pytest.raises(ShardUnavailableError):
+                store.put(self.key_on_shard(store, 0), "x")
+            # Hash routing scatters every range across all shards: a scan
+            # with a quarantined shard would silently drop its keys, so
+            # it is refused as unavailable rather than served partially.
+            with pytest.raises(ShardUnavailableError):
+                store.scan("a", "zzz")
+        finally:
+            store.kill()
+
+    def test_flush_and_close_skip_quarantined_shards(self):
+        store = ShardedStore(3, self.bg_config())
+        for i in range(30):
+            store.put(f"k{i}", "v")
+        inject_worker_death(store.shards[1], "test: dead worker")
+        store.flush()  # quarantines shard 1 via the health poll, skips it
+        assert store.quarantined_shards() == [1]
+        store.compact_all()
+        # Degraded-mode shutdown succeeds: the quarantined shard's
+        # BackgroundError was already surfaced at quarantine time.
+        store.close()
+        store.close()  # idempotent
+
+
+class TestKillAndCloseIdempotency:
+    def test_tree_close_after_background_failure_then_again(self, tmp_path):
+        tree = LSMTree(
+            self_config := LSMConfig(
+                background_mode=True, flush_threads=1, compaction_threads=1
+            ),
+            wal_dir=str(tmp_path),
+        )
+        assert self_config.background_mode
+        tree.put("k", "v")
+        inject_worker_death(tree, "test: dead worker")
+        with pytest.raises(BackgroundError):
+            tree.close()
+        tree.close()  # second close: clean no-op, nothing re-raised
+        tree.kill()  # and kill after close stays safe
+
+    def test_tree_kill_is_idempotent_and_silences_failures(self, tmp_path):
+        tree = LSMTree(
+            LSMConfig(
+                background_mode=True, flush_threads=1, compaction_threads=1
+            ),
+            wal_dir=str(tmp_path),
+        )
+        tree.put("k", "v")
+        inject_worker_death(tree, "test: dead worker")
+        tree.kill()  # never raises: models pulling the plug
+        tree.kill()
+
+    def test_sharded_kill_idempotent(self):
+        store = ShardedStore(2, LSMConfig())
+        store.put("k", "v")
+        store.kill()
+        store.kill()
+
+    def test_background_error_probe_is_non_raising(self, tmp_path):
+        tree = LSMTree(
+            LSMConfig(
+                background_mode=True, flush_threads=1, compaction_threads=1
+            ),
+            wal_dir=str(tmp_path),
+        )
+        assert tree.background_error() is None
+        inject_worker_death(tree, "test: dead worker")
+        assert tree.background_error() is not None
+        tree.kill()
+
+
+class TestRecoveryTimeFaults:
+    def test_crash_before_segment_delete_is_idempotent(self, tmp_path):
+        config = small_config()
+        tree = LSMTree(config, wal_dir=str(tmp_path))
+        for i in range(8):
+            tree.put(f"k{i}", f"v{i}")
+        tree.kill()
+        plan = FaultPlan(
+            root=str(tmp_path),
+            crash_at="wal.recover.before_delete@wal.000000.log#0",
+        )
+        with fault_plan(plan):
+            with pytest.raises(InjectedCrash):
+                LSMTree.recover(config, str(tmp_path))
+        assert plan.fired
+        # The old segment survived the crash; replaying it again must
+        # converge to the same state.
+        recovered = LSMTree.recover(config, str(tmp_path))
+        for i in range(8):
+            assert recovered.get(f"k{i}") == f"v{i}"
+        recovered.close()
+
+    def test_crash_at_flush_wal_delete_loses_nothing(self, tmp_path):
+        config = small_config(num_buffers=1)
+        tree = LSMTree(config, wal_dir=str(tmp_path))
+        plan = FaultPlan(root=str(tmp_path), crash_at=None)
+        with fault_plan(plan):
+            for i in range(40):
+                tree.put(f"k{i:02d}", "x" * 150)
+            tree.close()
+        target = next(
+            (c for c in plan.crossings if c.startswith("flush.wal_delete@")),
+            None,
+        )
+        assert target is not None, "workload never crossed flush.wal_delete"
+
+        import shutil
+
+        shutil.rmtree(tmp_path)
+        tmp_path.mkdir()
+        plan = FaultPlan(root=str(tmp_path), crash_at=target)
+        tree = LSMTree(config, wal_dir=str(tmp_path))
+        tracker = WorkloadTracker()
+        with fault_plan(plan):
+            try:
+                for i in range(40):
+                    tracker.begin([(f"k{i:02d}", "x" * 150)])
+                    tree.put(f"k{i:02d}", "x" * 150)
+                    tracker.commit()
+            except InjectedCrash:
+                pass
+        assert plan.fired
+        tree.kill()
+        recovered = LSMTree.recover(config, str(tmp_path))
+        assert not check_invariants(tracker, recovered.get, lambda _k: 0)
+        recovered.close()
+
+
+# ---------------------------------------------------------------------------
+# Recovery edge cases (satellite: adversarial on-disk states)
+# ---------------------------------------------------------------------------
+
+
+class TestRecoveryEdgeCases:
+    def test_shard_manifest_mismatch_is_refused(self, tmp_path):
+        store = ShardedStore(3, LSMConfig(), wal_dir=str(tmp_path))
+        store.put("k", "v")
+        store.close()
+        with pytest.raises(ConfigError):
+            ShardedStore(2, LSMConfig(), wal_dir=str(tmp_path))
+
+    def test_corrupt_shard_manifest_is_corruption_not_config(self, tmp_path):
+        store = ShardedStore(2, LSMConfig(), wal_dir=str(tmp_path))
+        store.close()
+        manifest = tmp_path / "shards.json"
+        manifest.write_text("{not json", encoding="utf-8")
+        with pytest.raises(CorruptionError) as excinfo:
+            ShardedStore.recover(LSMConfig(), str(tmp_path))
+        assert excinfo.value.path == str(manifest)
+
+    def test_empty_wal_file_recovers_to_empty_tree(self, tmp_path):
+        (tmp_path / "wal.000000.log").write_text("", encoding="utf-8")
+        tree = LSMTree.recover(small_config(), str(tmp_path))
+        assert tree.seqno == 0
+        tree.put("works", "v")
+        assert tree.get("works") == "v"
+        tree.close()
+
+    def test_trailing_garbage_after_torn_final_record(self, tmp_path):
+        tree = LSMTree(small_config(), wal_dir=str(tmp_path))
+        tree.put("a", "1")
+        tree.put("b", "2")
+        tree.kill()
+        segment = tmp_path / "wal.000000.log"
+        with open(segment, "ab") as handle:
+            handle.write(b"93bb2c,{\"k\": \"half-a-rec")  # torn tail
+        recovered = LSMTree.recover(small_config(), str(tmp_path))
+        assert recovered.get("a") == "1"
+        assert recovered.get("b") == "2"
+        recovered.close()
+
+    def test_valid_record_after_garbage_is_corruption(self, tmp_path):
+        tree = LSMTree(small_config(), wal_dir=str(tmp_path))
+        tree.put("a", "1")
+        tree.put("b", "2")
+        tree.put("c", "3")
+        tree.kill()
+        segment = tmp_path / "wal.000000.log"
+        lines = segment.read_bytes().splitlines(keepends=True)
+        assert len(lines) == 3
+        lines[1] = b"garbage-line\n"  # valid record follows => corruption
+        segment.write_bytes(b"".join(lines))
+        with pytest.raises(CorruptionError) as excinfo:
+            LSMTree.recover(small_config(), str(tmp_path))
+        err = excinfo.value
+        assert err.path == str(segment)
+        assert err.record_index == 1
+        assert err.byte_offset == len(lines[0])
+
+    def test_manifest_referencing_missing_table(self, tmp_path):
+        config = small_config()
+        wal_dir = tmp_path / "wal"
+        ckpt_dir = tmp_path / "ckpt"
+        wal_dir.mkdir()
+        tree = LSMTree(config, wal_dir=str(wal_dir))
+        for i in range(20):
+            tree.put(f"k{i:02d}", "x" * 120)
+        persistence.checkpoint(tree, str(ckpt_dir))
+        tree.close()
+        victims = list((ckpt_dir / "tables").glob("*.sst"))
+        assert victims
+        victims[0].unlink()
+        with pytest.raises(CorruptionError) as excinfo:
+            persistence.recover_full(config, str(wal_dir), str(ckpt_dir))
+        assert victims[0].name in str(excinfo.value)
+
+    def test_recover_full_checkpoint_plus_wal_tail(self, tmp_path):
+        config = small_config(wal_preserve_segments=True)
+        wal_dir = tmp_path / "wal"
+        ckpt_dir = tmp_path / "ckpt"
+        wal_dir.mkdir()
+        tree = LSMTree(config, wal_dir=str(wal_dir))
+        for i in range(12):
+            tree.put(f"k{i:02d}", f"ckpt-{i}")
+        persistence.checkpoint(tree, str(ckpt_dir))
+        tree.put("k00", "post-ckpt-overwrite")
+        tree.delete("k01")
+        tree.put("fresh", "post-ckpt")
+        tree.kill()  # crash: post-checkpoint writes only in the WAL
+        recovered = persistence.recover_full(
+            config, str(wal_dir), str(ckpt_dir)
+        )
+        assert recovered.get("k00") == "post-ckpt-overwrite"
+        assert recovered.get("k01") is None
+        assert recovered.get("fresh") == "post-ckpt"
+        assert recovered.get("k02") == "ckpt-2"
+        recovered.close()
+
+
+# ---------------------------------------------------------------------------
+# The sweep
+# ---------------------------------------------------------------------------
+
+
+class TestSweep:
+    def test_full_sweep_is_clean_and_broad(self):
+        report = run_sweep(quick=False, seed=7)
+        assert report.violations == []
+        # Acceptance: >= 100 distinct crash points spanning the WAL,
+        # SSTable/manifest checkpoint, and shard-commit sites.
+        assert report.total_crossings >= 100
+        names = set(report.distinct_names)
+        for required in (
+            "wal.append.written",
+            "wal.batch.written",
+            "wal.sync",
+            "wal.fsync",
+            "ckpt.table.tmp",
+            "ckpt.manifest.tmp",
+            "shard.commit",
+            "shard.manifest.tmp",
+            "flush.build",
+            "compact.merge",
+        ):
+            assert required in names, required
+        assert report.torn_runs > 0
+        assert report.bitflip_runs > 0
+        assert report.fsync_runs > 0
+        assert report.transient_runs > 0
+
+    def test_quick_sweep_is_deterministic(self):
+        first = run_sweep(quick=True, seed=11)
+        second = run_sweep(quick=True, seed=11)
+        assert first.violations == second.violations == []
+        assert first.crossings == second.crossings
+        assert first.runs == second.runs
+
+    def test_invariant_checker_catches_violations(self):
+        tracker = WorkloadTracker()
+        tracker.acked = {"a": "1", "gone": None}
+        tracker.inflight = [("x", "new-x"), ("y", "new-y")]
+        state = {"a": "1", "gone": "resurrected", "x": "new-x", "y": None}
+        violations = check_invariants(tracker, state.get, lambda _k: 0)
+        assert len(violations) == 2
+        assert any("resurrected" in v for v in violations)
+        assert any("partially applied" in v for v in violations)
+        # The same in-flight outcome is fine when the keys live in
+        # different atomic units (per-shard sub-batches).
+        violations = check_invariants(tracker, state.get, lambda k: k)
+        assert len(violations) == 1
+
+    def test_single_tree_scenario_replays_cleanly(self):
+        # The enumeration contract: the scripted workload completes and
+        # crosses only catalogued failpoints.
+        import tempfile
+
+        scenario = SingleTreeScenario()
+        with tempfile.TemporaryDirectory() as root:
+            plan = FaultPlan(root=root)
+            tracker = WorkloadTracker()
+            with fault_plan(plan):
+                ctx = scenario.open(root)
+                for op in scenario.script():
+                    from repro.faults.sweep import _effects
+
+                    tracker.begin(_effects(op))
+                    scenario.apply(ctx, op, root)
+                    tracker.commit()
+                scenario.close(ctx)
+            assert all(
+                crossing.split("@", 1)[0] in FAILPOINTS
+                for crossing in plan.crossings
+            )
+            recovered = scenario.recover(root)
+            assert not check_invariants(
+                tracker, recovered.get, scenario.unit_of
+            )
+            recovered.kill()

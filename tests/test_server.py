@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import json
 from typing import List, Optional
 
 import pytest
@@ -16,6 +17,7 @@ import pytest
 from repro.core.config import LSMConfig
 from repro.core.tree import LSMTree
 from repro.errors import ClosedError
+from repro.faults import inject_worker_death
 from repro.shard import ShardedStore
 from repro.server import (
     BusyError,
@@ -26,6 +28,7 @@ from repro.server import (
     ProtocolError,
     ServerError,
     ServerMetrics,
+    UnavailableError,
     decode_batch,
     encode_batch,
     encode_message,
@@ -745,3 +748,236 @@ class TestBackpressureSnapshot:
             tree._immutable.clear()
             tree._background.pool.resume()
             tree.close()
+
+
+# ---------------------------------------------------------------------------
+# Degraded-mode serving (fault isolation across shards)
+# ---------------------------------------------------------------------------
+
+
+def key_on_shard(store: ShardedStore, shard: int) -> str:
+    for i in range(10_000):
+        key = f"probe-{i}"
+        if store.shard_index(key) == shard:
+            return key
+    raise AssertionError("no key found")  # pragma: no cover
+
+
+class TestDegradedServing:
+    """One dead shard: UNAVAILABLE for its keys, full service elsewhere."""
+
+    def test_dead_shard_unavailable_rest_keep_serving(self):
+        async def scenario():
+            store = ShardedStore(3, bg_config())
+            async with serving(store) as server:
+                async with await KVClient.connect(
+                    "127.0.0.1", server.port
+                ) as kv:
+                    await asyncio.gather(
+                        *(kv.put(f"k{i:04d}", "v") for i in range(60))
+                    )
+                    assert (await kv.health())["state"] == "healthy"
+
+                    inject_worker_death(store.shards[1], "test: dead worker")
+                    dead_key = key_on_shard(store, 1)
+                    live_key = key_on_shard(store, 0)
+
+                    with pytest.raises(UnavailableError) as excinfo:
+                        await kv.put(dead_key, "x")
+                    assert excinfo.value.shard == 1
+                    assert excinfo.value.code == "UNAVAILABLE"
+                    with pytest.raises(UnavailableError):
+                        await kv.get(dead_key)
+
+                    # The other two shards serve reads AND writes on the
+                    # very same connection — the error was data, not a
+                    # dropped socket.
+                    await kv.put(live_key, "still-writable")
+                    assert await kv.get(live_key) == "still-writable"
+                    assert await kv.ping()
+
+                    health = await kv.health()
+                    assert health["state"] == "degraded"
+                    assert health["quarantined"] == [1]
+                    info = await kv.info()
+                    assert info["server"]["unavailable_errors"] >= 2
+                    assert info["health"]["state"] == "degraded"
+
+        asyncio.run(scenario())
+
+    def test_pipelined_writes_fail_per_request_not_per_pipeline(self):
+        """A quarantined shard must not poison unrelated requests that
+        happen to share its group-commit window."""
+
+        async def scenario():
+            store = ShardedStore(3, bg_config())
+            async with serving(store) as server:
+                async with await KVClient.connect(
+                    "127.0.0.1", server.port
+                ) as kv:
+                    inject_worker_death(store.shards[2], "test: dead worker")
+                    keys = [f"mix-{i:03d}" for i in range(40)]
+                    results = await asyncio.gather(
+                        *(kv.put(key, "v") for key in keys),
+                        return_exceptions=True,
+                    )
+                    by_shard = [store.shard_index(key) for key in keys]
+                    assert any(shard == 2 for shard in by_shard)
+                    for key_shard, result in zip(by_shard, results):
+                        if key_shard == 2:
+                            assert isinstance(result, UnavailableError)
+                            assert result.shard == 2
+                        else:
+                            assert not isinstance(result, BaseException)
+
+        asyncio.run(scenario())
+
+    def test_health_wire_shape(self):
+        requests = [["HEALTH"], ["HEALTH", "extra"]]
+
+        async def scenario():
+            async with serving() as server:
+                replies = await raw_exchange(server.port, requests, 2)
+                assert replies[0][0] == "HEALTH"
+                payload = json.loads(replies[0][1])
+                assert payload["state"] == "healthy"
+                assert payload["num_shards"] == 1
+                assert payload["quarantined"] == []
+                assert replies[1][:2] == ["ERR", "BADREQ"]
+
+        asyncio.run(scenario())
+
+    def test_single_tree_health_reports_failed(self):
+        async def scenario():
+            # Not the serving() helper: a clean owned-tree close would
+            # (correctly) re-raise the injected worker death at teardown.
+            tree = LSMTree(bg_config())
+            server = KVServer(tree, owns_tree=False)
+            await server.start()
+            try:
+                async with await KVClient.connect(
+                    "127.0.0.1", server.port
+                ) as kv:
+                    assert (await kv.health())["state"] == "healthy"
+                    inject_worker_death(tree, "test: dead worker")
+                    health = await kv.health()
+                    assert health["state"] == "failed"
+                    assert "dead worker" in health["error"]
+            finally:
+                await server.stop()
+                tree.kill()
+
+        asyncio.run(scenario())
+
+
+class TestClientReconnect:
+    """Bounded reconnect-with-jitter on connection loss mid-stream."""
+
+    def test_put_survives_a_server_restart(self):
+        async def scenario():
+            tree = LSMTree(bg_config())
+            try:
+                first = KVServer(tree, owns_tree=False)
+                await first.start()
+                port = first.port
+                kv = await KVClient.connect(
+                    "127.0.0.1",
+                    port,
+                    reconnect_retries=5,
+                    reconnect_backoff_s=0.01,
+                )
+                try:
+                    await kv.put("before", "v")
+                    await first.stop()
+                    second = KVServer(tree, port=port, owns_tree=False)
+                    await second.start()
+                    try:
+                        # The dead socket surfaces on this call; the client
+                        # redials the recorded address and resends.
+                        await kv.put("after", "v")
+                        assert kv.reconnects >= 1
+                        assert await kv.get("after") == "v"
+                        assert await kv.ping()
+                    finally:
+                        await kv.close()
+                        await second.stop()
+                finally:
+                    if not kv._closed:
+                        await kv.close()
+            finally:
+                tree.close()
+
+        asyncio.run(scenario())
+
+    def test_reconnect_gives_up_when_nobody_listens(self):
+        async def scenario():
+            tree = LSMTree(bg_config())
+            try:
+                server = KVServer(tree, owns_tree=False)
+                await server.start()
+                kv = await KVClient.connect(
+                    "127.0.0.1",
+                    server.port,
+                    reconnect_retries=2,
+                    reconnect_backoff_s=0.01,
+                )
+                try:
+                    await kv.put("k", "v")
+                    await server.stop()
+                    with pytest.raises((ConnectionError, OSError)):
+                        await kv.put("k2", "v")
+                finally:
+                    await kv.close()
+            finally:
+                tree.close()
+
+        asyncio.run(scenario())
+
+    def test_retry_deadline_bounds_total_retry_time(self):
+        async def scenario():
+            tree = LSMTree(bg_config())
+            try:
+                server = KVServer(tree, owns_tree=False)
+                await server.start()
+                kv = await KVClient.connect(
+                    "127.0.0.1",
+                    server.port,
+                    reconnect_retries=50,
+                    reconnect_backoff_s=0.2,
+                    retry_deadline_s=0.3,
+                )
+                try:
+                    await server.stop()
+                    loop = asyncio.get_running_loop()
+                    started = loop.time()
+                    with pytest.raises((ConnectionError, OSError)):
+                        await kv.put("k", "v")
+                    # Far less than 50 retries' worth of backoff: the
+                    # deadline cut the ladder short.
+                    assert loop.time() - started < 2.0
+                finally:
+                    await kv.close()
+            finally:
+                tree.close()
+
+        asyncio.run(scenario())
+
+    def test_closed_client_does_not_reconnect(self):
+        async def scenario():
+            tree = LSMTree(bg_config())
+            try:
+                server = KVServer(tree, owns_tree=False)
+                await server.start()
+                kv = await KVClient.connect(
+                    "127.0.0.1", server.port, reconnect_retries=5
+                )
+                await kv.put("k", "v")
+                await kv.close()
+                await server.stop()
+                with pytest.raises((ConnectionError, OSError)):
+                    await kv.put("k2", "v")
+                assert kv.reconnects == 0
+            finally:
+                tree.close()
+
+        asyncio.run(scenario())
