@@ -47,6 +47,7 @@ from .errors import (
     ReproError,
 )
 from .partition import PartitionedStore, range_boundaries
+from .replication import ReplicatedStore
 from .shard import ShardedStore
 from .storage.disk import DiskProfile, SimulatedDisk
 
@@ -57,6 +58,7 @@ __all__ = [
     "BatchOp",
     "LSMTree",
     "ShardedStore",
+    "ReplicatedStore",
     "PartitionedStore",
     "range_boundaries",
     "LSMConfig",

@@ -221,7 +221,18 @@ def command_serve(args: argparse.Namespace) -> int:
         wal_fsync=args.wal_fsync,
     )
     store: KVStore
-    if args.shards > 1:
+    if args.replication != "off":
+        if args.wal_dir is None:
+            raise SystemExit("--replication needs --wal-dir")
+        from .replication import ReplicatedStore
+
+        store = ReplicatedStore(
+            args.shards,
+            config,
+            mode=args.replication,
+            wal_dir=args.wal_dir,
+        )
+    elif args.shards > 1:
         store = ShardedStore(args.shards, config, wal_dir=args.wal_dir)
     else:
         store = LSMTree(config, wal_dir=args.wal_dir)
@@ -240,7 +251,8 @@ def command_serve(args: argparse.Namespace) -> int:
         print(
             f"repro-server listening on {server.host}:{server.port} "
             f"(group_commit={server.group_commit}, "
-            f"shards={args.shards}, background={args.background})",
+            f"shards={args.shards}, background={args.background}, "
+            f"replication={args.replication})",
             flush=True,
         )
         stop = asyncio.Event()
@@ -310,6 +322,27 @@ def command_fault_sweep(args: argparse.Namespace) -> int:
 
     from .faults.sweep import run_sweep
 
+    if args.list:
+        from .faults.registry import FAILPOINTS, failpoint_kinds
+
+        print(
+            format_table(
+                ["failpoint", "site", "kinds", "description"],
+                [
+                    (
+                        fp.name,
+                        fp.site,
+                        ",".join(failpoint_kinds(fp.name)),
+                        fp.description,
+                    )
+                    for fp in sorted(
+                        FAILPOINTS.values(), key=lambda fp: fp.name
+                    )
+                ],
+                title=f"failpoint catalog ({len(FAILPOINTS)} sites)",
+            )
+        )
+        return 0
     quick = args.quick or os.environ.get("REPRO_SWEEP_QUICK", "") not in (
         "",
         "0",
@@ -403,6 +436,13 @@ def build_parser() -> argparse.ArgumentParser:
         "its own WAL and group committer",
     )
     serve.add_argument(
+        "--replication",
+        choices=("off", "sync", "async"),
+        default="off",
+        help="give every shard a WAL-shipping replica with automatic "
+        "failover (needs --wal-dir; sync acks after replica durability)",
+    )
+    serve.add_argument(
         "--no-group-commit",
         action="store_true",
         help="commit every request separately (benchmark baseline)",
@@ -435,6 +475,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick",
         action="store_true",
         help="sample the crossing set (also via REPRO_SWEEP_QUICK=1)",
+    )
+    fault_sweep.add_argument(
+        "--list",
+        action="store_true",
+        help="print the failpoint catalog (name, site, supported fault "
+        "kinds) and exit without running the sweep",
     )
     fault_sweep.add_argument("--seed", type=int, default=7)
     fault_sweep.set_defaults(func=command_fault_sweep)

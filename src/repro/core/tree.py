@@ -44,7 +44,7 @@ from .range_tombstone import RangeTombstone, dedupe, max_covering_seqno
 from .run import SortedRun
 from .sstable import ReadContext
 from .stats import TreeStats
-from .wal import WriteAheadLog
+from .wal import CommitHook, WriteAheadLog
 
 
 class LSMTree:
@@ -107,6 +107,9 @@ class LSMTree:
         #: one atomic step. Uncontended (and therefore cheap) in sync mode.
         self._write_mutex = threading.RLock()
         self._rotation_seq = 0
+        #: Post-commit tap installed by replication (see
+        #: :meth:`set_wal_commit_hook`); threaded into every WAL segment.
+        self._wal_commit_hook: Optional[CommitHook] = None
         self._active: MemTable = self._make_buffer()
         self._active_wal = self._new_wal_segment()
         #: Range tombstones issued against the active buffer (flushed with
@@ -760,6 +763,64 @@ class LSMTree:
             old_wal.close()
 
     # ------------------------------------------------------------------
+    # replication taps
+    # ------------------------------------------------------------------
+
+    def set_wal_commit_hook(self, hook: Optional[CommitHook]) -> None:
+        """Install (or clear) the post-commit WAL tap.
+
+        The hook fires with the entries of each acknowledged commit group
+        — after the group's WAL sync succeeded — and is carried across
+        segment rotations. This is how a replicated store ships committed
+        records off a primary; see
+        :class:`~repro.core.wal.WriteAheadLog` for the exact contract.
+        Taking the write mutex orders the install against in-flight
+        writers: every group committed after this returns is observed.
+        """
+        with self._write_mutex:
+            self._wal_commit_hook = hook
+            self._active_wal.on_commit = hook
+
+    def apply_replicated(self, entries: List[Entry]) -> None:
+        """Apply one shipped commit group to this tree as a replica.
+
+        Entries keep the sequence numbers the primary assigned (like
+        :meth:`_ingest_recovered`), and the whole group is journaled with
+        one :meth:`~repro.core.wal.WriteAheadLog.append_batch` so the
+        replica's own recovery preserves the group's atomicity: a torn
+        tail drops the group whole, never half of it.
+        """
+        if not entries:
+            return
+        self._before_write()
+        with self._write_mutex:
+            self._check_open()
+            for entry in entries:
+                self._next_seqno = max(self._next_seqno, entry.seqno + 1)
+                self.stats.incr("user_bytes_written", entry.size)
+            self._active_wal.append_batch(entries)
+            for entry in entries:
+                if entry.kind is EntryKind.RANGE_DELETE:
+                    self._active_tombstones.append(
+                        RangeTombstone(
+                            entry.key,
+                            entry.value,  # type: ignore[arg-type]
+                            entry.seqno,
+                            entry.stamp_us,
+                        )
+                    )
+                else:
+                    self._active.insert(entry)
+            if self._active.size_bytes < self.config.buffer_size_bytes:
+                return
+            if self._background is not None:
+                self._background.rotate()
+                return
+            self._rotate_active()
+            while len(self._immutable) >= self.config.num_buffers:
+                self._flush_oldest()
+
+    # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
 
@@ -819,7 +880,12 @@ class LSMTree:
                 self._wal_dir, f"wal.{self._wal_segment_id:06d}.log"
             )
         self._wal_segment_id += 1
-        return WriteAheadLog(self.disk, path, fsync=self.config.wal_fsync)
+        return WriteAheadLog(
+            self.disk,
+            path,
+            fsync=self.config.wal_fsync,
+            on_commit=self._wal_commit_hook,
+        )
 
     def _write(self, entry: Entry) -> None:
         """Apply one journaled write; caller holds the write mutex."""

@@ -39,7 +39,7 @@ from __future__ import annotations
 import json
 import os
 import zlib
-from typing import Iterator, List, Optional, Union
+from typing import Callable, Iterator, List, Optional, Union
 
 from ..errors import ClosedError, CorruptionError, DurabilityError
 from ..faults.registry import fault_point
@@ -49,6 +49,9 @@ from .entry import Entry, EntryKind
 #: Transient flush failures tolerated per sync before the segment is
 #: declared poisoned (bounded retry for flaky-I/O injection).
 SYNC_RETRIES = 3
+
+#: Post-commit hook signature: one call per acknowledged commit group.
+CommitHook = Callable[[List["Entry"]], None]
 
 
 def _encode(entry: Entry) -> str:
@@ -168,6 +171,15 @@ class WriteAheadLog:
             every sync. This is the durability cost group commit exists
             to amortize: one fsync per :meth:`append_batch` instead of
             one per write.
+        on_commit: Post-commit hook called with the list of entries of
+            each successful :meth:`append` / :meth:`append_batch` —
+            after the record bytes are written *and* the sync succeeded,
+            i.e. with exactly the records the durability contract has
+            acknowledged. This is the WAL-shipping tap replication uses:
+            one call per commit group, so the group can be re-applied
+            atomically on a replica. A hook exception propagates to the
+            writer (sync replication surfaces its ack failure here) but
+            never un-commits the local records.
     """
 
     def __init__(
@@ -175,10 +187,12 @@ class WriteAheadLog:
         disk: SimulatedDisk,
         path: Optional[str] = None,
         fsync: bool = False,
+        on_commit: Optional[CommitHook] = None,
     ) -> None:
         self._disk = disk
         self._path = path
         self._fsync = fsync
+        self.on_commit = on_commit
         self._pending: List[Entry] = []
         self._unaccounted_bytes = 0
         self._closed = False
@@ -237,6 +251,8 @@ class WriteAheadLog:
             self._sync()
         self._charge(len(record))
         self._pending.append(entry)
+        if self.on_commit is not None:
+            self.on_commit([entry])
 
     def append_batch(self, entries: List[Entry]) -> None:
         """Durably record several entries with a single log flush.
@@ -277,6 +293,8 @@ class WriteAheadLog:
             self._sync()
         self._charge(len(header) + sum(len(record) for record in records))
         self._pending.extend(entries)
+        if self.on_commit is not None:
+            self.on_commit(list(entries))
 
     def _sync(self) -> None:
         """One log sync: flush (and optionally fsync) the backing file.

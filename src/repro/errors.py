@@ -89,6 +89,19 @@ class BackgroundError(ReproError):
     """
 
 
+class ReplicationError(ReproError):
+    """Shipping a committed WAL group to a shard's replica failed.
+
+    Raised on the primary's write path: the write *is* durable locally
+    (its WAL sync already succeeded), but the replica did not — or could
+    not — acknowledge it. In sync mode that means the caller must not
+    treat the write as replicated; the store responds by dropping the
+    shard to primary-only service (``replica-lost``), so later writes
+    succeed without replication until an operator intervenes. The
+    applier's root cause is chained as ``__cause__``.
+    """
+
+
 class ShardUnavailableError(ReproError):
     """An operation routed to a quarantined shard of a sharded store.
 

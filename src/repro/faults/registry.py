@@ -40,6 +40,7 @@ __all__ = [
     "FaultPlan",
     "InjectedCrash",
     "InjectedWorkerDeath",
+    "failpoint_kinds",
     "fault_plan",
     "fault_point",
     "inject_worker_death",
@@ -190,6 +191,48 @@ FAILPOINTS: Dict[str, Failpoint] = {
             "shard/store.py write_batch",
             "before a per-shard sub-batch commit",
         ),
+        Failpoint(
+            "repl.ship",
+            "replication/store.py ship",
+            "commit group durable on the primary, before enqueueing it "
+            "for the replica",
+        ),
+        Failpoint(
+            "repl.apply",
+            "replication/store.py applier",
+            "group dequeued on the replica applier, before its "
+            "replica-WAL append",
+        ),
+        Failpoint(
+            "repl.applied",
+            "replication/store.py applier",
+            "group durable on the replica, before the primary's ack",
+        ),
+        Failpoint(
+            "repl.promote.start",
+            "replication/store.py promote",
+            "failover decided, before the replicator is detached",
+        ),
+        Failpoint(
+            "repl.promote.drain",
+            "replication/store.py promote",
+            "replicator stopped, before the replica swaps in as serving",
+        ),
+        Failpoint(
+            "repl.promote.done",
+            "replication/store.py promote",
+            "replica promoted and serving, before health is rewritten",
+        ),
+        Failpoint(
+            "repl.manifest.tmp",
+            "replication/store.py _write_replica_manifest",
+            "replica-side shards.json tmp written, before its rename",
+        ),
+        Failpoint(
+            "repl.manifest.done",
+            "replication/store.py _write_replica_manifest",
+            "after the replica-side shards.json rename",
+        ),
     )
 }
 
@@ -199,6 +242,27 @@ TEARABLE = ("wal.append.written", "wal.batch.record", "wal.batch.written")
 
 #: Crash flavors a plan can fire at its crossing.
 CRASH_MODES = ("crash", "torn", "bitflip")
+
+
+def failpoint_kinds(name: str) -> List[str]:
+    """The fault kinds meaningfully injectable at failpoint ``name``.
+
+    Every site supports a hard ``crash``; :data:`TEARABLE` sites add
+    ``torn``/``bitflip`` (they have an un-synced file tail to mutate);
+    the sync sites add the retry/poison flavors a
+    :class:`FaultPlan` can schedule there. Powers
+    ``repro.cli fault-sweep --list``.
+    """
+    if name not in FAILPOINTS:
+        raise KeyError(f"unknown failpoint {name!r}")
+    kinds = ["crash"]
+    if name in TEARABLE:
+        kinds += ["torn", "bitflip"]
+    if name == "wal.sync":
+        kinds.append("transient")
+    if name in ("wal.sync", "wal.fsync"):
+        kinds.append("fsync-fail")
+    return kinds
 
 
 class FaultPlan:

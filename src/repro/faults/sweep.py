@@ -48,7 +48,9 @@ from ..errors import (
     ConfigError,
     CorruptionError,
     DurabilityError,
+    ReplicationError,
 )
+from ..replication import ReplicatedStore
 from ..shard.store import ShardedStore, hash_shard_index
 from ..storage import persistence
 from .registry import FAILPOINTS, TEARABLE, FaultPlan, InjectedCrash, fault_plan
@@ -325,6 +327,96 @@ class ShardedScenario:
         return hash_shard_index(key, self.num_shards)
 
 
+class ReplicatedScenario:
+    """Two sync-replicated shards; recovery reads the *replica* side only.
+
+    This models total loss of the primary disk: every crossing — primary
+    WAL, shipping, replica apply, mid-promotion — crashes the process,
+    and the store is rebuilt from ``replica/`` alone via
+    ``ShardedStore.recover``. Sync mode's contract makes that sound:
+    every acked write reached the replica's WAL before its ack, so the
+    standbys must reconstruct all acked state by themselves. The script
+    includes a scripted failover (``promote``) so the promotion
+    failpoints are enumerated, plus post-promotion writes and deletes
+    (the promoted replica serves directly — its WAL keeps journaling).
+
+    Replica appliers run on their own threads, but crossings stay
+    deterministic: sync mode serializes each commit group's ship → apply
+    → ack before the next op starts, and per-``(name, discriminator)``
+    ordinals are interleaving-independent by construction.
+    """
+
+    name = "replicated-sync"
+    num_shards = 2
+
+    def config(self) -> LSMConfig:
+        return LSMConfig()  # 64 KiB buffers: nothing flushes mid-workload
+
+    def script(self) -> List[_Op]:
+        ops: List[_Op] = []
+        for i in range(4):
+            ops.append(("put", f"r{i:02d}", f"rv1-{i}"))
+        ops.append(
+            (
+                "batch",
+                [("put", f"rb-{j}", f"rbv-{j}") for j in range(4)],
+            )
+        )
+        ops.append(("delete", "r01", None))
+        ops.append(
+            (
+                "batch",
+                [
+                    ("put", "r02", "rv2-updated"),
+                    ("delete", "rb-0", None),
+                    ("put", "rmix", "rmv"),
+                ],
+            )
+        )
+        # Scripted failover of shard 0: its replica becomes the serving
+        # tree; later shard-0 writes journal straight into replica/.
+        ops.append(("promote", 0, None))
+        for i in range(3):
+            ops.append(("put", f"p{i:02d}", f"pv-{i}"))
+        ops.append(("delete", "r02", None))
+        ops.append(("put", "r01", "rv3-after-promote"))
+        return ops
+
+    def open(self, root: str):
+        wal_dir = os.path.join(root, "repl")
+        os.makedirs(wal_dir, exist_ok=True)
+        return ReplicatedStore(
+            self.num_shards, self.config(), mode="sync", wal_dir=wal_dir
+        )
+
+    def apply(self, store: ReplicatedStore, op: _Op, root: str) -> None:
+        kind = op[0]
+        if kind == "put":
+            store.put(op[1], op[2])
+        elif kind == "delete":
+            store.delete(op[1])
+        elif kind == "batch":
+            store.write_batch(op[1])
+        elif kind == "promote":
+            store.promote(op[1], reason="scripted failover")
+        else:  # pragma: no cover - script bug
+            raise ValueError(f"unknown op {kind!r}")
+
+    def kill(self, store: ReplicatedStore) -> None:
+        store.kill()
+
+    def close(self, store: ReplicatedStore) -> None:
+        store.close()
+
+    def recover(self, root: str) -> ShardedStore:
+        return ShardedStore.recover(
+            self.config(), os.path.join(root, "repl", "replica")
+        )
+
+    def unit_of(self, key: str) -> object:
+        return hash_shard_index(key, self.num_shards)
+
+
 # ---------------------------------------------------------------------------
 # orchestration
 # ---------------------------------------------------------------------------
@@ -389,7 +481,15 @@ def _run_workload(scenario, root: str, tracker: WorkloadTracker):
             tracker.begin(_effects(op))
             scenario.apply(ctx, op, root)
             tracker.commit()
-    except (InjectedCrash, DurabilityError, BackgroundError) as exc:
+    except (
+        InjectedCrash,
+        DurabilityError,
+        BackgroundError,
+        ReplicationError,
+    ) as exc:
+        # ReplicationError is sync mode's failure-stop: the write is
+        # locally durable but unreplicated, so it stays in-flight (maybe
+        # state) for the replica-side recovery check.
         return ctx, False, exc
     return ctx, True, None
 
@@ -600,7 +700,7 @@ def run_sweep(quick: bool = False, seed: int = 7) -> SweepReport:
     report = SweepReport()
     rng = random.Random(seed)
 
-    scenarios = [SingleTreeScenario(), ShardedScenario()]
+    scenarios = [SingleTreeScenario(), ShardedScenario(), ReplicatedScenario()]
     for scenario in scenarios:
         crossings = _enumerate(scenario, seed)
         report.crossings[scenario.name] = crossings

@@ -1,0 +1,10 @@
+"""Per-shard WAL-shipping replication with automatic failover.
+
+See :mod:`repro.replication.store` for the design discussion;
+:class:`ReplicatedStore` is the public entry point and satisfies the
+same :class:`~repro.api.KVStore` protocol as the engines it wraps.
+"""
+
+from .store import ReplicatedStore, ShardReplicator
+
+__all__ = ["ReplicatedStore", "ShardReplicator"]

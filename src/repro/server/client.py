@@ -257,18 +257,30 @@ class KVClient:
                 raise  # connection poisoned; ordering lost, never resend
             except (ConnectionError, OSError) as exc:
                 self._poison(exc)
-                if (
-                    self._closed
-                    or self._address is None
-                    or reconnect_attempts >= self.reconnect_retries
-                ):
-                    raise
-                reconnect_attempts += 1
-                delay = self.reconnect_backoff_s * (
-                    2 ** (reconnect_attempts - 1)
-                )
-                await self._backoff(delay, deadline, exc)
-                await self._reconnect()
+                # The reconnect attempt itself may fail — during a full
+                # server restart the listener is down, so open_connection
+                # raises too. Each such failure consumes one attempt from
+                # the same budget instead of aborting the call, so a
+                # client outlives a restart as long as the listener is
+                # back within its retry window.
+                while True:
+                    if (
+                        self._closed
+                        or self._address is None
+                        or reconnect_attempts >= self.reconnect_retries
+                    ):
+                        raise
+                    reconnect_attempts += 1
+                    delay = self.reconnect_backoff_s * (
+                        2 ** (reconnect_attempts - 1)
+                    )
+                    await self._backoff(delay, deadline, exc)
+                    try:
+                        await self._reconnect()
+                    except (ConnectionError, OSError) as retry_exc:
+                        exc = retry_exc
+                        continue
+                    break
                 continue
             if reply[0] == "BUSY":
                 self.busy_retries += 1

@@ -80,6 +80,9 @@ class ServerMetrics:
         self.background_errors = 0
         #: Writes/reads refused because their shard is quarantined.
         self.unavailable_errors = 0
+        #: Sync-mode writes whose replica ack failed (locally durable,
+        #: not replicated; the store degrades to primary-only service).
+        self.replication_errors = 0
         #: Writes rejected with BUSY because the engine was write-stopped.
         self.busy_rejections = 0
         #: Writes delayed (reply postponed) by the slowdown trigger.
@@ -121,6 +124,7 @@ class ServerMetrics:
             "protocol_errors": self.protocol_errors,
             "background_errors": self.background_errors,
             "unavailable_errors": self.unavailable_errors,
+            "replication_errors": self.replication_errors,
             "busy_rejections": self.busy_rejections,
             "slowdown_delays": self.slowdown_delays,
             "group_commits": self.group_commits,

@@ -48,7 +48,12 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..api import KVStore
-from ..errors import BackgroundError, ClosedError, ShardUnavailableError
+from ..errors import (
+    BackgroundError,
+    ClosedError,
+    ReplicationError,
+    ShardUnavailableError,
+)
 from .metrics import ServerMetrics
 from .protocol import (
     MAX_FRAME_BYTES,
@@ -556,6 +561,13 @@ class KVServer:
         if isinstance(exc, ShardUnavailableError):
             self.metrics.unavailable_errors += 1
             return ["ERR", "UNAVAILABLE", str(exc.shard), str(exc)]
+        if isinstance(exc, ReplicationError):
+            # Sync replication: the write is durable on the primary but
+            # its replica ack failed; the client must not assume it is
+            # replicated. The store has already dropped the shard to
+            # primary-only service, so a retry will succeed.
+            self.metrics.replication_errors += 1
+            return ["ERR", "REPLICATION", str(exc)]
         if isinstance(exc, BackgroundError):
             self.metrics.background_errors += 1
             cause = exc.__cause__
@@ -618,4 +630,7 @@ class KVServer:
         shard_summary = getattr(self.store, "shard_summary", None)
         if callable(shard_summary):
             payload["shards"] = shard_summary()
+        replication_summary = getattr(self.store, "replication_summary", None)
+        if callable(replication_summary):
+            payload["replication"] = replication_summary()
         return payload

@@ -102,6 +102,30 @@ class HealthState:
         return self.state == HEALTHY
 
 
+class PartialScanResult(List[Tuple[str, str]]):
+    """A scan result that may be missing quarantined shards' keys.
+
+    Behaves as the ordinary ``[(key, value), ...]`` list, with the
+    shards that were skipped recorded on the side — callers opting into
+    ``allow_partial`` scans must be able to tell a complete result from
+    a degraded one.
+    """
+
+    def __init__(
+        self,
+        pairs: Sequence[Tuple[str, str]],
+        skipped_shards: Sequence[int],
+    ) -> None:
+        super().__init__(pairs)
+        #: Indices of quarantined shards whose keys are absent.
+        self.skipped_shards: List[int] = sorted(skipped_shards)
+
+    @property
+    def partial(self) -> bool:
+        """Whether any involved shard was skipped."""
+        return bool(self.skipped_shards)
+
+
 def hash_shard_index(key: str, num_shards: int) -> int:
     """Stable hash routing: ``crc32(key) % num_shards``.
 
@@ -422,7 +446,12 @@ class ShardedStore:
         )
 
     def scan(
-        self, lo: str, hi: str, limit: Optional[int] = None
+        self,
+        lo: str,
+        hi: str,
+        limit: Optional[int] = None,
+        *,
+        allow_partial: bool = False,
     ) -> List[Tuple[str, str]]:
         """Scatter-gather range lookup, k-way merged across shards.
 
@@ -432,51 +461,78 @@ class ShardedStore:
         the range) — the per-shard scans run concurrently on the store's
         executor, each individually capped at ``limit``, and the sorted
         partial results are k-way merged (shards own disjoint keys, so the
-        merge never sees duplicates). Any quarantined shard the scan
-        would touch makes it fail with
+        merge never sees duplicates).
+
+        Quarantined shards: by default (``allow_partial=False``) any
+        quarantined shard the scan would touch makes it fail with
         :class:`~repro.errors.ShardUnavailableError` — a partial scan
-        silently missing one shard's keys would be corruption, not
-        degradation.
+        *silently* missing one shard's keys would be corruption, not
+        degradation. With ``allow_partial=True`` the dead shards are
+        skipped instead and the result is a :class:`PartialScanResult`
+        whose ``partial`` flag and ``skipped_shards`` list say exactly
+        what is missing — explicit degradation the caller opted into.
         """
         self._check_open()
         if limit is not None and limit < 0:
             raise ValueError("limit must be non-negative (or None)")
         if lo >= hi or limit == 0:
-            return []
+            return PartialScanResult([], []) if allow_partial else []
         if self.routing == "range":
             first = bisect.bisect_right(self.boundaries, lo)
             last = bisect.bisect_right(self.boundaries, hi)
-            involved = range(first, min(last, len(self.shards) - 1) + 1)
-            for index in involved:
+            involved = list(
+                range(first, min(last, len(self.shards) - 1) + 1)
+            )
+        else:
+            involved = list(range(len(self.shards)))
+        available: List[int] = []
+        skipped: List[int] = []
+        for index in involved:
+            try:
                 self._check_available(index)
-            results: List[Tuple[str, str]] = []
-            for index in involved:
-                remaining = None if limit is None else limit - len(results)
+            except ShardUnavailableError:
+                if not allow_partial:
+                    raise
+                skipped.append(index)
+                continue
+            available.append(index)
+
+        def scan_shard(
+            index: int, remaining: Optional[int]
+        ) -> List[Tuple[str, str]]:
+            try:
+                return self._shard_op(
+                    index,
+                    lambda: self.shards[index].scan(lo, hi, remaining),
+                )
+            except ShardUnavailableError:
+                # Quarantined mid-scan (after the up-front check).
+                if not allow_partial:
+                    raise
+                skipped.append(index)
+                return []
+
+        if self.routing == "range":
+            merged: List[Tuple[str, str]] = []
+            for index in available:
+                remaining = None if limit is None else limit - len(merged)
                 if remaining == 0:
                     break
-                results.extend(
-                    self._shard_op(
-                        index,
-                        lambda i=index, r=remaining: self.shards[i].scan(
-                            lo, hi, r
-                        ),
-                    )
+                merged.extend(scan_shard(index, remaining))
+        elif len(available) <= 1:
+            merged = scan_shard(available[0], limit) if available else []
+        else:
+            partials = list(
+                self._executor.map(
+                    lambda index: scan_shard(index, limit), available
                 )
-            return results
-        for index in range(len(self.shards)):
-            self._check_available(index)
-        if len(self.shards) == 1:
-            return self._shard_op(0, lambda: self.shards[0].scan(lo, hi, limit))
-        partials = list(
-            self._executor.map(
-                lambda index: self._shard_op(
-                    index, lambda: self.shards[index].scan(lo, hi, limit)
-                ),
-                range(len(self.shards)),
             )
-        )
-        merged = list(heap_merge(*partials))
-        return merged if limit is None else merged[:limit]
+            merged = list(heap_merge(*partials))
+            if limit is not None:
+                merged = merged[:limit]
+        if allow_partial:
+            return PartialScanResult(merged, skipped)
+        return merged
 
     # -- lifecycle -----------------------------------------------------------
 

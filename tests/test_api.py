@@ -10,6 +10,7 @@ each one unmodified).
 from __future__ import annotations
 
 import asyncio
+import tempfile
 
 import pytest
 
@@ -19,6 +20,7 @@ from repro import (
     LSMConfig,
     LSMTree,
     PartitionedStore,
+    ReplicatedStore,
     ShardedStore,
     TreeStats,
     range_boundaries,
@@ -38,10 +40,17 @@ def make_store(kind: str) -> KVStore:
         return LSMTree(small_config())
     if kind == "sharded":
         return ShardedStore(4, small_config())
+    if kind == "replicated":
+        return ReplicatedStore(
+            4,
+            small_config(),
+            mode="sync",
+            wal_dir=tempfile.mkdtemp(prefix="repro-api-repl-"),
+        )
     return PartitionedStore(range_boundaries(400, 4), small_config())
 
 
-STORE_KINDS = ("tree", "sharded", "partitioned")
+STORE_KINDS = ("tree", "sharded", "replicated", "partitioned")
 
 
 @pytest.mark.parametrize("kind", STORE_KINDS)

@@ -120,6 +120,36 @@ class TestCommands:
         with pytest.raises(SystemExit):
             main(["serve", "--shards", "0"])
 
+    def test_serve_replication_requires_wal_dir(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--replication", "sync"])
+
+    def test_fault_sweep_list_prints_catalog_without_running(
+        self, capsys
+    ):
+        code = main(["fault-sweep", "--list"])
+        assert code == 0
+        output = capsys.readouterr().out
+        # Catalog columns, one row per failpoint, no sweep executed.
+        assert "failpoint" in output
+        assert "site" in output
+        assert "kinds" in output
+        for name in [
+            "wal.sync",
+            "flush.install",
+            "compact.install",
+            "shard.commit",
+            "repl.ship",
+            "repl.promote.done",
+        ]:
+            assert name in output
+        assert "crash" in output
+        assert "torn" in output
+        assert "fsync-fail" in output
+        # A listing, not a sweep: no run/violation reporting.
+        assert "violations" not in output
+        assert "crossings" not in output
+
     def test_bad_mix_fails_cleanly(self):
         with pytest.raises(Exception):
             main(

@@ -551,6 +551,27 @@ class TestSweep:
             "compact.merge",
         ):
             assert required in names, required
+        # Replication acceptance: the replicated scenario crosses every
+        # ship/apply/promote site, >= 20 crossings total, zero sync-mode
+        # durability violations (covered by report.violations == []).
+        for required in (
+            "repl.ship",
+            "repl.apply",
+            "repl.applied",
+            "repl.promote.start",
+            "repl.promote.drain",
+            "repl.promote.done",
+            "repl.manifest.tmp",
+            "repl.manifest.done",
+        ):
+            assert required in names, required
+        repl_crossings = [
+            crossing
+            for ids in report.crossings.values()
+            for crossing in ids
+            if crossing.startswith("repl.")
+        ]
+        assert len(repl_crossings) >= 20
         assert report.torn_runs > 0
         assert report.bitflip_runs > 0
         assert report.fsync_runs > 0

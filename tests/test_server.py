@@ -18,6 +18,7 @@ from repro.core.config import LSMConfig
 from repro.core.tree import LSMTree
 from repro.errors import ClosedError
 from repro.faults import inject_worker_death
+from repro.replication import ReplicatedStore
 from repro.shard import ShardedStore
 from repro.server import (
     BusyError,
@@ -870,6 +871,56 @@ class TestDegradedServing:
         asyncio.run(scenario())
 
 
+class TestReplicatedServing:
+    """Replicated store behind the server: failover is invisible on the
+    wire, and INFO/HEALTH expose the replication watermarks."""
+
+    def test_failover_keeps_serving_and_shows_in_health(self, tmp_path):
+        async def scenario():
+            store = ReplicatedStore(
+                3, bg_config(), mode="sync", wal_dir=str(tmp_path)
+            )
+            server = KVServer(store, owns_tree=False)
+            await server.start()
+            try:
+                async with await KVClient.connect(
+                    "127.0.0.1", server.port
+                ) as kv:
+                    await asyncio.gather(
+                        *(kv.put(f"k{i:04d}", "v") for i in range(60))
+                    )
+                    info = await kv.info()
+                    repl = info["replication"]
+                    assert repl["mode"] == "sync"
+                    assert repl["promotions"] == 0
+                    assert len(repl["shards"]) == 3
+                    for row in repl["shards"]:
+                        assert row["state"] == "sync"
+                        assert row["lag_records"] == 0
+                        assert row["acked_seqno"] == row["applied_seqno"]
+
+                    inject_worker_death(store.shards[1], "test: dead worker")
+                    dead_key = key_on_shard(store, 1)
+                    # Unlike the unreplicated store, this put succeeds:
+                    # the server-side retry lands on the promoted replica.
+                    await kv.put(dead_key, "post-failover")
+                    assert await kv.get(dead_key) == "post-failover"
+
+                    health = await kv.health()
+                    assert health["state"] == "healthy"
+                    assert health["quarantined"] == []
+                    assert health["replication"]["promotions"] == 1
+                    assert (
+                        health["replication"]["shards"][1]["state"]
+                        == "promoted"
+                    )
+            finally:
+                await server.stop()
+                store.kill()
+
+        asyncio.run(scenario())
+
+
 class TestClientReconnect:
     """Bounded reconnect-with-jitter on connection loss mid-stream."""
 
@@ -955,6 +1006,100 @@ class TestClientReconnect:
                     # Far less than 50 retries' worth of backoff: the
                     # deadline cut the ladder short.
                     assert loop.time() - started < 2.0
+                finally:
+                    await kv.close()
+            finally:
+                tree.close()
+
+        asyncio.run(scenario())
+
+    def test_survives_full_restart_with_listener_gap(self):
+        """Unlike a bare connection reset, a full restart leaves a window
+        with *nothing listening*: the first redials fail outright. Those
+        failed dials must consume retry budget and keep retrying, so the
+        client rides out the gap and succeeds once the listener is back."""
+
+        async def scenario():
+            tree = LSMTree(bg_config())
+            try:
+                first = KVServer(tree, owns_tree=False)
+                await first.start()
+                port = first.port
+                kv = await KVClient.connect(
+                    "127.0.0.1",
+                    port,
+                    reconnect_retries=20,
+                    reconnect_backoff_s=0.05,
+                )
+                restarted: List[KVServer] = []
+                try:
+                    await kv.put("before", "v")
+                    await first.stop()
+
+                    async def restart_later():
+                        # Long enough that several redials fail first.
+                        await asyncio.sleep(0.3)
+                        second = KVServer(
+                            tree, port=port, owns_tree=False
+                        )
+                        await second.start()
+                        restarted.append(second)
+
+                    restart_task = asyncio.create_task(restart_later())
+                    loop = asyncio.get_running_loop()
+                    started = loop.time()
+                    await kv.put("after", "v")
+                    # The write blocked across the listener gap rather
+                    # than failing fast on the first refused dial.
+                    assert loop.time() - started >= 0.25
+                    assert kv.reconnects >= 1
+                    assert await kv.get("after") == "v"
+                    await restart_task
+                finally:
+                    await kv.close()
+                    for server in restarted:
+                        await server.stop()
+            finally:
+                tree.close()
+
+        asyncio.run(scenario())
+
+    def test_retry_deadline_expires_during_listener_gap(self):
+        """If the listener stays down past the retry deadline, the call
+        fails even though the server comes back later — the deadline
+        bounds how long a single call may ride a restart."""
+
+        async def scenario():
+            tree = LSMTree(bg_config())
+            try:
+                server = KVServer(tree, owns_tree=False)
+                await server.start()
+                port = server.port
+                kv = await KVClient.connect(
+                    "127.0.0.1",
+                    port,
+                    reconnect_retries=50,
+                    reconnect_backoff_s=0.05,
+                    retry_deadline_s=0.2,
+                )
+                try:
+                    await kv.put("k", "v")
+                    await server.stop()
+                    loop = asyncio.get_running_loop()
+                    started = loop.time()
+                    with pytest.raises((ConnectionError, OSError)):
+                        await kv.put("k2", "v")
+                    assert loop.time() - started < 2.0
+                    # The listener returning afterwards does not retro-
+                    # actively rescue the failed call, but the client
+                    # object itself is still usable for new calls.
+                    second = KVServer(tree, port=port, owns_tree=False)
+                    await second.start()
+                    try:
+                        await kv.put("k3", "v3")
+                        assert await kv.get("k3") == "v3"
+                    finally:
+                        await second.stop()
                 finally:
                     await kv.close()
             finally:

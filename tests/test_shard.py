@@ -8,10 +8,11 @@ import random
 import pytest
 
 from repro.core.config import LSMConfig
-from repro.errors import ClosedError, ConfigError
+from repro.errors import ClosedError, ConfigError, ShardUnavailableError
+from repro.faults import inject_worker_death
 from repro.partition import range_boundaries
 from repro.shard import ShardedStore, hash_shard_index
-from repro.shard.store import MANIFEST_NAME
+from repro.shard.store import MANIFEST_NAME, PartialScanResult
 from repro.workload.distributions import format_key
 
 
@@ -276,6 +277,101 @@ class TestCrashRecovery:
             ]
         finally:
             recovered.close()
+
+
+class TestPartialScan:
+    def bg_config(self) -> LSMConfig:
+        return LSMConfig(
+            background_mode=True, flush_threads=1, compaction_threads=1
+        )
+
+    def _store_with_dead_shard(self) -> ShardedStore:
+        store = ShardedStore(3, self.bg_config())
+        for i in range(120):
+            store.put(format_key(i), str(i))
+        inject_worker_death(store.shards[1], "test: dead worker")
+        store.check_health()  # quarantine the dead shard
+        assert store.quarantined_shards() == [1]
+        return store
+
+    def test_default_scan_refuses_dead_shard(self):
+        store = self._store_with_dead_shard()
+        try:
+            with pytest.raises(ShardUnavailableError):
+                store.scan(format_key(0), format_key(120))
+        finally:
+            store.kill()
+
+    def test_allow_partial_skips_dead_shard_and_marks_result(self):
+        store = self._store_with_dead_shard()
+        try:
+            result = store.scan(
+                format_key(0), format_key(120), allow_partial=True
+            )
+            assert isinstance(result, PartialScanResult)
+            assert result.partial
+            assert result.skipped_shards == [1]
+            # Exactly the live shards' keys, still globally sorted.
+            expected = [
+                format_key(i)
+                for i in range(120)
+                if store.shard_index(format_key(i)) != 1
+            ]
+            assert [k for k, _v in result] == expected
+            assert expected  # the scan did return the live shards
+            # Limits still apply to what is served.
+            limited = store.scan(
+                format_key(0), format_key(120), 5, allow_partial=True
+            )
+            assert len(limited) == 5
+            assert limited.partial
+        finally:
+            store.kill()
+
+    def test_allow_partial_on_healthy_store_is_complete(self):
+        with ShardedStore(3, small_config()) as store:
+            for i in range(60):
+                store.put(format_key(i), str(i))
+            result = store.scan(
+                format_key(0), format_key(60), allow_partial=True
+            )
+            assert isinstance(result, PartialScanResult)
+            assert not result.partial
+            assert result.skipped_shards == []
+            assert [k for k, _v in result] == [
+                format_key(i) for i in range(60)
+            ]
+
+    def test_allow_partial_range_routing_skips_only_owner(self):
+        bounds = range_boundaries(90, 3)
+        store = ShardedStore(
+            boundaries=bounds, config=self.bg_config()
+        )
+        try:
+            for i in range(90):
+                store.put(format_key(i), str(i))
+            inject_worker_death(store.shards[1], "test: dead worker")
+            store.check_health()
+            # A range entirely inside shard 0 is untouched by the death.
+            intact = store.scan(
+                format_key(0), format_key(20), allow_partial=True
+            )
+            assert not intact.partial
+            assert [k for k, _v in intact] == [
+                format_key(i) for i in range(20)
+            ]
+            # A full-range scan skips exactly the dead middle shard.
+            result = store.scan(
+                format_key(0), format_key(90), allow_partial=True
+            )
+            assert result.skipped_shards == [1]
+            assert [k for k, _v in result] == [
+                format_key(i)
+                for i in range(90)
+                if store.shard_index(format_key(i)) != 1
+            ]
+        finally:
+            store.kill()
 
 
 class TestShardingBenefit:

@@ -33,6 +33,37 @@ class TestCodec:
             _decode('zzzz,{"k":"a"}\n')
 
 
+class TestCommitHook:
+    def test_hook_fires_once_per_commit_group(self, disk):
+        groups = []
+        wal = WriteAheadLog(disk, on_commit=groups.append)
+        wal.append(put("a", "1", 0))
+        batch = [put("b", "2", 1), tombstone("a", 2)]
+        wal.append_batch(batch)
+        assert [len(group) for group in groups] == [1, 2]
+        assert groups[1] == batch
+
+    def test_hook_failure_does_not_uncommit(self, disk):
+        wal = WriteAheadLog(disk)
+
+        def explode(_entries):
+            raise RuntimeError("ship failed")
+
+        wal.on_commit = explode
+        entry = put("k", "v", 0)
+        with pytest.raises(RuntimeError):
+            wal.append(entry)
+        # The record was journaled before the hook ran: it is pending
+        # (and durable) despite the hook's failure.
+        assert wal.pending_entries == [entry]
+
+    def test_empty_batch_does_not_fire(self, disk):
+        groups = []
+        wal = WriteAheadLog(disk, on_commit=groups.append)
+        wal.append_batch([])
+        assert groups == []
+
+
 class TestInMemoryWal:
     def test_append_tracks_pending(self, disk):
         wal = WriteAheadLog(disk)
