@@ -1,0 +1,237 @@
+"""E26 — Hot-path speed blitz: where do single-shard server cycles go?
+
+Claim under reproduction: in an LSM store the *storage* engine is rarely
+the single-shard ceiling — the serving hot path (framing, request
+scheduling, commit hand-off) costs more per op than the tree itself, so
+a profile-driven pass over that path moves end-to-end ops/s by integer
+factors without touching the storage algorithms (the engine/serving
+split argued by KV-Tandem, and Luo & Carey's observation that ingestion
+overheads dominate writes).
+
+What this benchmark measures, from the outside in:
+
+* The e22 closed-loop grid (clients x pipeline depth over a durable
+  fsync WAL, group commit on) — end-to-end ops/s, the headline.
+* One-shot frame parse and encode throughput — the zero-copy
+  ``FrameParser`` and pre-packed ``encode_message`` in isolation.
+* The columnar entry codec (``pack_entries``/``unpack_entries``) that
+  checkpoint persistence rides.
+* Raw engine ``write_batch`` ops/s — the ceiling the serving layer
+  approaches as its own overhead shrinks.
+
+Output: the usual table under ``benchmarks/results/e26.txt`` plus
+machine-readable ``benchmarks/results/e26.json`` for the CI perf gate
+(``benchmarks/perf_gate.py``). Before/after evidence from the
+optimization pass itself is committed as ``results/e26-before*.json``
+and ``results/e26-profile-*.txt``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+
+from repro.bench.report import format_table
+from repro.core.entry import Entry, EntryKind, pack_entries, unpack_entries
+from repro.core.tree import LSMTree
+from repro.server.loadgen import measure_server
+from repro.server.protocol import FrameParser, MAX_FRAME_BYTES, encode_message
+
+from common import QUICK, bench_config, save_and_print, scaled
+
+#: (clients, pipeline depth) — e22's grid, group commit only.
+GRID = [(2, 1), (2, 8), (8, 1), (8, 8)]
+#: The grid point whose sustained ops/s is the regression-gate headline.
+HEADLINE_POINT = (8, 8)
+OPS_PER_CLIENT = scaled(400, floor=60)
+VALUE_BYTES = 64
+#: Messages per protocol microbench round.
+PROTO_MESSAGES = scaled(20_000, floor=2_000)
+#: Entries per codec microbench round.
+CODEC_ENTRIES = scaled(20_000, floor=2_000)
+#: Ops per engine microbench round (committed in groups of 64).
+ENGINE_OPS = scaled(8_000, floor=1_000)
+
+
+def _measure_point(clients: int, pipeline: int):
+    with tempfile.TemporaryDirectory(prefix="repro-e26-") as wal_dir:
+        return measure_server(
+            clients=clients,
+            pipeline_depth=pipeline,
+            ops_per_client=OPS_PER_CLIENT,
+            group_commit=True,
+            wal_dir=wal_dir,
+            value_bytes=VALUE_BYTES,
+        )
+
+
+def _bench_protocol():
+    """One-shot parse and encode throughput over a pipelined burst."""
+    messages = [
+        ["PUT", f"key{i:09d}", "v" * VALUE_BYTES]
+        for i in range(PROTO_MESSAGES)
+    ]
+    started = time.perf_counter()
+    frames = [encode_message(fields) for fields in messages]
+    encode_s = time.perf_counter() - started
+    buffer = b"".join(frames)
+
+    parser = FrameParser(MAX_FRAME_BYTES)
+    started = time.perf_counter()
+    decoded = parser.feed(buffer)
+    parse_s = time.perf_counter() - started
+    assert len(decoded) == len(messages)
+    return {
+        "encode_msgs_per_s": len(messages) / encode_s,
+        "parse_msgs_per_s": len(messages) / parse_s,
+        "burst_bytes": len(buffer),
+    }
+
+
+def _bench_codec():
+    """Columnar entry block pack/unpack (checkpoint file hot loop)."""
+    entries = [
+        Entry(f"key{i:09d}", "v" * VALUE_BYTES, i, EntryKind.PUT, 1.0)
+        for i in range(CODEC_ENTRIES)
+    ]
+    started = time.perf_counter()
+    blob = pack_entries(entries)
+    pack_s = time.perf_counter() - started
+    started = time.perf_counter()
+    decoded, _ = unpack_entries(blob, len(entries))
+    unpack_s = time.perf_counter() - started
+    assert decoded == entries
+    return {
+        "pack_entries_per_s": len(entries) / pack_s,
+        "unpack_entries_per_s": len(entries) / unpack_s,
+    }
+
+
+def _bench_engine():
+    """Raw ``write_batch`` ops/s with a durable WAL, 64-op groups."""
+    group = 64
+    with tempfile.TemporaryDirectory(prefix="repro-e26-wal-") as wal_dir:
+        tree = LSMTree(
+            bench_config(background_mode=True, wal_fsync=True),
+            wal_dir=wal_dir,
+        )
+        try:
+            value = "v" * VALUE_BYTES
+            started = time.perf_counter()
+            for base in range(0, ENGINE_OPS, group):
+                tree.write_batch(
+                    [
+                        ("put", f"key{base + i:09d}", value)
+                        for i in range(min(group, ENGINE_OPS - base))
+                    ]
+                )
+            elapsed = time.perf_counter() - started
+        finally:
+            tree.close()
+    return {"write_batch_ops_per_s": ENGINE_OPS / elapsed}
+
+
+def test_e26_hotpath(benchmark):
+    def experiment():
+        rows = [
+            _measure_point(clients, pipeline) for clients, pipeline in GRID
+        ]
+        return rows, _bench_protocol(), _bench_codec(), _bench_engine()
+
+    rows, proto, codec, engine = benchmark.pedantic(
+        experiment, rounds=1, iterations=1
+    )
+
+    table = format_table(
+        ["clients", "pipeline", "tput (ops/s)", "sustained (ops/s)",
+         "p50 (us)", "p99 (us)", "ops/commit"],
+        [
+            (
+                row["clients"],
+                row["pipeline_depth"],
+                row["throughput_ops_s"],
+                row["sustained_ops_s"],
+                row["p50_us"],
+                row["p99_us"],
+                row["ops_per_commit"],
+            )
+            for row in rows
+        ],
+        title=(
+            "E26: single-shard closed-loop serving after the hot-path "
+            "pass (durable WAL, group commit) — headline point is "
+            "8 clients x pipeline 8"
+        ),
+    )
+    save_and_print("E26", table)
+    save_and_print(
+        "E26-micro",
+        "protocol encode {encode:.0f} msgs/s, one-shot parse {parse:.0f} "
+        "msgs/s; entry codec pack {pack:.0f} / unpack {unpack:.0f} "
+        "entries/s; engine write_batch {engine:.0f} ops/s".format(
+            encode=proto["encode_msgs_per_s"],
+            parse=proto["parse_msgs_per_s"],
+            pack=codec["pack_entries_per_s"],
+            unpack=codec["unpack_entries_per_s"],
+            engine=engine["write_batch_ops_per_s"],
+        ),
+    )
+
+    headline = next(
+        row
+        for row in rows
+        if (row["clients"], row["pipeline_depth"]) == HEADLINE_POINT
+    )
+    document = {
+        "experiment": "e26",
+        "quick": QUICK,
+        "ops_per_client": OPS_PER_CLIENT,
+        "value_bytes": VALUE_BYTES,
+        "headline": {
+            "clients": headline["clients"],
+            "pipeline_depth": headline["pipeline_depth"],
+            "throughput_ops_s": round(headline["throughput_ops_s"], 1),
+            "sustained_ops_s": round(headline["sustained_ops_s"], 1),
+            "p50_us": round(headline["p50_us"], 1),
+            "p99_us": round(headline["p99_us"], 1),
+        },
+        "grid": [
+            {
+                "clients": row["clients"],
+                "pipeline_depth": row["pipeline_depth"],
+                "throughput_ops_s": round(row["throughput_ops_s"], 1),
+                "sustained_ops_s": round(row["sustained_ops_s"], 1),
+                "p50_us": round(row["p50_us"], 1),
+                "p99_us": round(row["p99_us"], 1),
+                "ops_per_commit": round(row["ops_per_commit"], 1),
+            }
+            for row in rows
+        ],
+        "micro": {
+            "encode_msgs_per_s": round(proto["encode_msgs_per_s"], 1),
+            "parse_msgs_per_s": round(proto["parse_msgs_per_s"], 1),
+            "pack_entries_per_s": round(codec["pack_entries_per_s"], 1),
+            "unpack_entries_per_s": round(
+                codec["unpack_entries_per_s"], 1
+            ),
+            "write_batch_ops_per_s": round(
+                engine["write_batch_ops_per_s"], 1
+            ),
+        },
+    }
+    results_dir = os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(results_dir, exist_ok=True)
+    with open(
+        os.path.join(results_dir, "e26.json"), "w", encoding="utf-8"
+    ) as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+
+    # Sanity floor, not the perf gate (perf_gate.py compares against the
+    # checked-in baseline): group commit must actually coalesce, and the
+    # serving layer must stay within an order of magnitude of the raw
+    # engine — both hold even in quick mode on a slow runner.
+    assert headline["ops_per_commit"] > 2.0
+    assert headline["throughput_ops_s"] > 0

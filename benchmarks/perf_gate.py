@@ -1,0 +1,140 @@
+"""CI perf-regression gate for the e26 hot-path benchmark.
+
+Compares the machine-readable results of ``bench_e26_hotpath.py``
+(``benchmarks/results/e26.json``) against the checked-in baseline
+(``benchmarks/baselines/e26-baseline.json``) and exits non-zero when any
+gated metric regressed by more than the threshold (default 25%).
+
+The baseline stores *floors*, not point estimates: values from a
+reference quick-mode run multiplied by ``HARDWARE_HEADROOM`` so that a
+slower CI runner does not flap the gate, while a genuine hot-path
+regression (the O(n^2) reconcatenation class this PR removed) still
+trips it decisively. Refresh after an intentional perf change or a
+hardware move with::
+
+    python benchmarks/perf_gate.py --update-baseline
+
+which re-derives the floors (headroom included) from the latest
+``results/e26.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict
+
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+DEFAULT_RESULTS = os.path.join(BENCH_DIR, "results", "e26.json")
+DEFAULT_BASELINE = os.path.join(
+    BENCH_DIR, "baselines", "e26-baseline.json"
+)
+
+#: Fraction of a reference run kept as the baseline floor, absorbing the
+#: spread between the reference machine and CI runners.
+HARDWARE_HEADROOM = 0.5
+
+#: Metric name -> how to read it out of the results document. All gated
+#: metrics are throughputs: higher is better, a drop is a regression.
+GATED_METRICS = {
+    "sustained_ops_s": lambda doc: doc["headline"]["sustained_ops_s"],
+    "throughput_ops_s": lambda doc: doc["headline"]["throughput_ops_s"],
+    "parse_msgs_per_s": lambda doc: doc["micro"]["parse_msgs_per_s"],
+    "encode_msgs_per_s": lambda doc: doc["micro"]["encode_msgs_per_s"],
+    "pack_entries_per_s": lambda doc: doc["micro"]["pack_entries_per_s"],
+    "unpack_entries_per_s": lambda doc: doc["micro"][
+        "unpack_entries_per_s"
+    ],
+    "write_batch_ops_per_s": lambda doc: doc["micro"][
+        "write_batch_ops_per_s"
+    ],
+}
+
+
+def extract(doc: Dict[str, object]) -> Dict[str, float]:
+    return {name: float(read(doc)) for name, read in GATED_METRICS.items()}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--results", default=DEFAULT_RESULTS)
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed fractional regression below the baseline floor",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline floors from the current results",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.results, encoding="utf-8") as handle:
+        results = json.load(handle)
+    current = extract(results)
+
+    if args.update_baseline:
+        floors = {
+            name: round(value * HARDWARE_HEADROOM, 1)
+            for name, value in current.items()
+        }
+        document = {
+            "experiment": "e26",
+            "note": (
+                "Floors = reference quick-mode run x "
+                f"{HARDWARE_HEADROOM} hardware headroom. Refresh with "
+                "`python benchmarks/perf_gate.py --update-baseline`."
+            ),
+            "quick": results.get("quick", True),
+            "floors": floors,
+        }
+        os.makedirs(os.path.dirname(args.baseline), exist_ok=True)
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+        print(f"baseline floors written to {args.baseline}")
+        return 0
+
+    with open(args.baseline, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    floors = baseline["floors"]
+
+    failures = []
+    width = max(len(name) for name in GATED_METRICS)
+    print(f"{'metric':<{width}}  {'floor':>14}  {'current':>14}  ratio")
+    for name in GATED_METRICS:
+        floor = float(floors[name])
+        value = current[name]
+        ratio = value / floor if floor else float("inf")
+        allowed = floor * (1.0 - args.threshold)
+        status = "ok" if value >= allowed else "REGRESSED"
+        print(
+            f"{name:<{width}}  {floor:>14,.1f}  {value:>14,.1f}  "
+            f"{ratio:>5.2f}x  {status}"
+        )
+        if value < allowed:
+            failures.append(
+                f"{name}: {value:,.1f} < {allowed:,.1f} "
+                f"(floor {floor:,.1f} - {args.threshold:.0%})"
+            )
+
+    if failures:
+        print(
+            "\nperf gate FAILED — hot-path throughput regressed past "
+            f"the {args.threshold:.0%} threshold:",
+            file=sys.stderr,
+        )
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -207,11 +207,15 @@ def command_serve(args: argparse.Namespace) -> int:
     """Run the asyncio KV server until SIGINT/SIGTERM (clean shutdown)."""
     from .api import KVStore
     from .core.config import LSMConfig
-    from .server import KVServer
+    from .server import KVServer, maybe_install_uvloop
     from .shard import ShardedStore
 
     if args.shards < 1:
         raise SystemExit("--shards must be at least 1")
+    if maybe_install_uvloop(True if args.uvloop else None):
+        print("repro-server: uvloop event loop enabled", flush=True)
+    elif args.uvloop:
+        raise SystemExit("--uvloop requested but uvloop is not installed")
     config = LSMConfig(
         background_mode=args.background,
         num_buffers=args.num_buffers,
@@ -274,8 +278,13 @@ def command_bench_serve(args: argparse.Namespace) -> int:
     """Closed-loop server benchmark: group commit on vs. off."""
     import tempfile
 
+    from .server import maybe_install_uvloop
     from .server.loadgen import measure_server
 
+    if maybe_install_uvloop(True if args.uvloop else None):
+        print("bench-serve: uvloop event loop enabled", flush=True)
+    elif args.uvloop:
+        raise SystemExit("--uvloop requested but uvloop is not installed")
     rows = []
     for group_commit in (False, True):
         with tempfile.TemporaryDirectory(prefix="repro-serve-") as wal_dir:
@@ -447,6 +456,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="commit every request separately (benchmark baseline)",
     )
+    serve.add_argument(
+        "--uvloop",
+        action="store_true",
+        help="run on uvloop (fails if uvloop is not installed; "
+        "REPRO_UVLOOP=1 requests it opportunistically instead)",
+    )
     serve.set_defaults(func=command_serve)
 
     bench_serve = subparsers.add_parser(
@@ -464,6 +479,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="back the server with N hash-routed shards",
+    )
+    bench_serve.add_argument(
+        "--uvloop",
+        action="store_true",
+        help="run on uvloop (fails if uvloop is not installed; "
+        "REPRO_UVLOOP=1 requests it opportunistically instead)",
     )
     bench_serve.set_defaults(func=command_bench_serve)
 

@@ -10,8 +10,9 @@ logical invalidation to be applied lazily during compaction (§2.1.2).
 from __future__ import annotations
 
 import enum
+import struct
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple, Union
 
 #: Fixed per-entry metadata overhead charged by the size model, covering the
 #: sequence number, kind tag, and length headers an on-disk format would hold.
@@ -131,3 +132,105 @@ def tombstone(key: str, seqno: int, stamp_us: float = 0.0) -> Entry:
 def single_delete(key: str, seqno: int, stamp_us: float = 0.0) -> Entry:
     """Build a ``SINGLE_DELETE`` tombstone; convenience constructor."""
     return Entry(key, None, seqno, EntryKind.SINGLE_DELETE, stamp_us)
+
+
+# -- batched binary codec ----------------------------------------------------
+#
+# The hot-path block codec shared by the SSTable file format (and any other
+# caller serializing runs of entries): a *columnar* layout — all fixed-width
+# fields first, then one string heap — so a whole block is encoded with one
+# ``struct.pack`` call and decoded with one ``struct.iter_unpack`` call,
+# instead of one pack/unpack per entry. Layout (little-endian, no padding)::
+#
+#     per entry, in the fixed section:
+#         u16 key_len | i32 value_len (-1 = tombstone) | u64 seqno |
+#         u8 kind | f64 stamp_us
+#     then the heap: key bytes, value bytes, entry after entry
+#
+# ``pack_entries`` returns the fixed section + heap; callers prepend their
+# own headers/checksums. Chunked packing bounds the dynamically built format
+# string (the per-chunk format is cached by the ``struct`` module).
+
+#: Fixed-width per-entry header of the batched codec.
+ENTRY_FIXED = struct.Struct("<HiQBd")
+
+_FIXED_FMT = "HiQBd"
+
+#: Entries packed per ``struct.pack`` call (bounds the format-string size).
+_PACK_CHUNK = 512
+
+
+def pack_entries(entries: Sequence[Entry]) -> bytes:
+    """Serialize ``entries`` into the columnar block layout.
+
+    One ``struct.pack`` call per :data:`_PACK_CHUNK` entries for the fixed
+    section and one ``bytes.join`` for the string heap — the per-entry
+    Python cost is just the UTF-8 encodes.
+    """
+    fixed_parts: List[bytes] = []
+    heap_parts: List[bytes] = []
+    heap_append = heap_parts.append
+    for start in range(0, len(entries), _PACK_CHUNK):
+        chunk = entries[start : start + _PACK_CHUNK]
+        flat: List[Union[int, float]] = []
+        extend = flat.extend
+        for entry in chunk:
+            key_bytes = entry.key.encode("utf-8")
+            value = entry.value
+            if value is None:
+                value_bytes = b""
+                value_len = -1
+            else:
+                value_bytes = value.encode("utf-8")
+                value_len = len(value_bytes)
+            extend(
+                (len(key_bytes), value_len, entry.seqno, entry.kind,
+                 entry.stamp_us)
+            )
+            heap_append(key_bytes)
+            heap_append(value_bytes)
+        fixed_parts.append(struct.pack("<" + _FIXED_FMT * len(chunk), *flat))
+    return b"".join(fixed_parts) + b"".join(heap_parts)
+
+
+def unpack_entries(
+    buffer: Union[bytes, memoryview], count: int, offset: int = 0
+) -> Tuple[List[Entry], int]:
+    """Deserialize ``count`` entries packed by :func:`pack_entries`.
+
+    Returns the entries and the total number of bytes consumed from
+    ``offset``. The fixed section is decoded with a single
+    ``struct.iter_unpack`` over a ``memoryview`` (no intermediate per-entry
+    bytes objects); heap strings are decoded straight from view slices.
+
+    Raises:
+        ValueError: If the buffer is too short for the declared count
+            (``struct.error`` surfaces as its ``ValueError`` subclass
+            behavior via an explicit length check here).
+    """
+    view = memoryview(buffer)
+    fixed_size = ENTRY_FIXED.size * count
+    heap_start = offset + fixed_size
+    if heap_start > len(view):
+        raise ValueError("entry block truncated inside its fixed section")
+    entries: List[Entry] = []
+    append = entries.append
+    position = heap_start
+    kind_of = EntryKind
+    for key_len, value_len, seqno, kind, stamp_us in ENTRY_FIXED.iter_unpack(
+        view[offset:heap_start]
+    ):
+        key_end = position + key_len
+        if value_len >= 0:
+            value_end = key_end + value_len
+        else:
+            value_end = key_end
+        if value_end > len(view):
+            raise ValueError("entry block truncated inside its heap")
+        key = str(view[position:key_end], "utf-8")
+        value: Optional[str] = (
+            str(view[key_end:value_end], "utf-8") if value_len >= 0 else None
+        )
+        append(Entry(key, value, seqno, kind_of(kind), stamp_us))
+        position = value_end
+    return entries, position - offset

@@ -8,6 +8,12 @@ serves interleaved reads and writes well, unlike an unsorted vector.
 The implementation is a standard Pugh skip list with randomized tower
 heights; nodes store a payload object so callers can attach an
 :class:`~repro.core.entry.Entry` (or anything else).
+
+Two RocksDB-style fast paths keep the common ingest shape cheap without
+changing the structure: appends past the current tail link straight off a
+cached rightmost-tower array (sequential upserts skip the descent
+entirely), and tower heights come from one ``getrandbits`` draw instead of
+one RNG call per level.
 """
 
 from __future__ import annotations
@@ -40,14 +46,24 @@ class SkipList(Generic[V]):
         self._head: _Node[V] = _Node("", None, _MAX_HEIGHT)  # type: ignore[arg-type]
         self._height = 1
         self._count = 0
+        #: Largest-keyed node, or ``None`` while empty (append fast path).
+        self._tail: Optional[_Node[V]] = None
+        #: Rightmost node on every list level; the ready-made predecessor
+        #: array for inserts beyond the tail.
+        self._rightmost: List[_Node[V]] = [self._head] * _MAX_HEIGHT
 
     def __len__(self) -> int:
         return self._count
 
     def _random_height(self) -> int:
+        # One RNG draw instead of one per level: consume the bit stream
+        # two bits at a time; each 1-in-_BRANCHING (=4) pair grows the
+        # tower, matching the per-level geometric distribution.
+        bits = self._rng.getrandbits(2 * (_MAX_HEIGHT - 1))
         height = 1
-        while height < _MAX_HEIGHT and self._rng.randrange(_BRANCHING) == 0:
+        while height < _MAX_HEIGHT and bits & 3 == 0:
             height += 1
+            bits >>= 2
         return height
 
     def _find_predecessors(self, key: str) -> List[_Node[V]]:
@@ -64,24 +80,43 @@ class SkipList(Generic[V]):
 
     def insert(self, key: str, value: V) -> Optional[V]:
         """Insert or replace; returns the replaced value, if any."""
-        preds = self._find_predecessors(key)
-        candidate = preds[0].nexts[0]
-        if candidate is not None and candidate.key == key:
-            old = candidate.value
-            candidate.value = value
-            return old
+        tail = self._tail
+        if tail is not None and key > tail.key:
+            # Append past the tail: the rightmost towers *are* the
+            # predecessors — no descent, and no equal-key check needed
+            # because the key is strictly larger than every stored key.
+            preds = self._rightmost
+        else:
+            preds = self._find_predecessors(key)
+            candidate = preds[0].nexts[0]
+            if candidate is not None and candidate.key == key:
+                old = candidate.value
+                candidate.value = value
+                return old
         height = self._random_height()
         if height > self._height:
             self._height = height
         node: _Node[V] = _Node(key, value, height)
+        rightmost = self._rightmost
+        node_nexts = node.nexts
         for lvl in range(height):
-            node.nexts[lvl] = preds[lvl].nexts[lvl]
-            preds[lvl].nexts[lvl] = node
+            pred = preds[lvl]
+            node_nexts[lvl] = pred.nexts[lvl]
+            pred.nexts[lvl] = node
+            if node_nexts[lvl] is None:
+                rightmost[lvl] = node
+        if node_nexts[0] is None:
+            self._tail = node
         self._count += 1
         return None
 
     def get(self, key: str) -> Optional[V]:
         """Value stored at ``key``, or ``None``."""
+        tail = self._tail
+        if tail is None or key > tail.key:
+            return None
+        if key == tail.key:
+            return tail.value
         node = self._head
         for lvl in range(self._height - 1, -1, -1):
             nxt = node.nexts[lvl]

@@ -80,12 +80,25 @@ class Block:
 
     __slots__ = ("entries", "nbytes", "_keys")
 
-    def __init__(self, entries: Sequence[Entry]) -> None:
+    def __init__(
+        self,
+        entries: Sequence[Entry],
+        nbytes: Optional[int] = None,
+        keys: Optional[List[str]] = None,
+    ) -> None:
+        """``nbytes``/``keys`` may be precomputed by the caller (the
+        table builder already has both) to skip a second pass here."""
         if not entries:
             raise ValueError("a block holds at least one entry")
         self.entries = list(entries)
-        self.nbytes = sum(entry.size for entry in self.entries)
-        self._keys = [entry.key for entry in self.entries]
+        self.nbytes = (
+            sum(entry.size for entry in self.entries)
+            if nbytes is None
+            else nbytes
+        )
+        self._keys = (
+            [entry.key for entry in self.entries] if keys is None else keys
+        )
 
     @property
     def first_key(self) -> str:
@@ -194,31 +207,39 @@ class SSTable:
         """
         if not entries and not range_tombstones:
             raise ValueError("cannot build an empty SSTable")
-        for left, right in zip(entries, entries[1:]):
-            if left.key >= right.key:
+        # One pass each for keys and charged sizes; the block splitter,
+        # the Block constructors, the fence index, and the Bloom filter
+        # all reuse them instead of re-deriving per entry.
+        keys = [entry.key for entry in entries]
+        for left, right in zip(keys, keys[1:]):
+            if left >= right:
                 raise ValueError("entries must be strictly sorted by key")
+        sizes = [entry.size for entry in entries]
 
         blocks: List[Block] = []
-        current: List[Entry] = []
+        start = 0
         current_bytes = 0
-        for entry in entries:
-            if current and current_bytes + entry.size > block_bytes:
-                blocks.append(Block(current))
-                current = []
+        for index, size in enumerate(sizes):
+            if index > start and current_bytes + size > block_bytes:
+                blocks.append(
+                    Block(
+                        entries[start:index],
+                        current_bytes,
+                        keys[start:index],
+                    )
+                )
+                start = index
                 current_bytes = 0
-            current.append(entry)
-            current_bytes += entry.size
-        if current:
-            blocks.append(Block(current))
+            current_bytes += size
+        if start < len(sizes):
+            blocks.append(Block(entries[start:], current_bytes, keys[start:]))
 
         fence = None
         if fence_pointers:
             fence = FenceIndex(
                 [BlockBounds(blk.first_key, blk.last_key) for blk in blocks]
             )
-        bloom = BloomFilter.for_keys(
-            (entry.key for entry in entries), filter_bits_per_key
-        )
+        bloom = BloomFilter.for_keys(keys, filter_bits_per_key)
         table = cls(
             blocks,
             fence,

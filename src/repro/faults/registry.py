@@ -94,12 +94,12 @@ FAILPOINTS: Dict[str, Failpoint] = {
         Failpoint(
             "wal.batch.start",
             "core/wal.py append_batch",
-            "before the batch header record is written",
+            "before the group record is written",
         ),
         Failpoint(
             "wal.batch.record",
             "core/wal.py append_batch",
-            "after each batch record, before the batch sync (tearable)",
+            "group record written, before the batch sync (tearable)",
         ),
         Failpoint(
             "wal.batch.written",

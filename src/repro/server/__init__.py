@@ -33,8 +33,9 @@ from .protocol import (
     decode_batch,
     encode_batch,
     encode_message,
+    encode_messages,
 )
-from .server import KVServer
+from .server import KVServer, maybe_install_uvloop
 
 __all__ = [
     "KVServer",
@@ -45,8 +46,10 @@ __all__ = [
     "ProtocolError",
     "FrameParser",
     "encode_message",
+    "encode_messages",
     "encode_batch",
     "decode_batch",
     "ServerMetrics",
     "LatencyHistogram",
+    "maybe_install_uvloop",
 ]

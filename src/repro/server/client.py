@@ -137,8 +137,25 @@ class KVClient:
         self._closed = False
         self._reconnect_lock = asyncio.Lock()
         self._parser = FrameParser(MAX_FRAME_BYTES)
-        self._pending: Deque[asyncio.Future] = deque()
+        #: FIFO of ``(reply_future, deadline, expected, accumulator)``;
+        #: replies match by order. Single requests carry ``expected=1`` and
+        #: no accumulator (the future resolves with the reply itself); a
+        #: :meth:`request_many` window carries one entry for the whole
+        #: window and accumulates its replies into the list.
+        self._pending: Deque[
+            Tuple[asyncio.Future, float, int, Optional[List[List[str]]]]
+        ] = deque()
+        #: One timer watching the *oldest* pending deadline, instead of
+        #: one ``wait_for`` wrapper (a task plus a timer) per request —
+        #: FIFO ordering means the head is always the first to expire.
+        self._timeout_handle: Optional[asyncio.TimerHandle] = None
         self._broken: Optional[Exception] = None
+        #: Write cork: frames written in one event-loop tick are coalesced
+        #: into a single transport write (one ``send(2)`` per pipelined
+        #: window instead of one per request). Flushed by a ``call_soon``
+        #: callback, so ordering against the pending-reply queue holds.
+        self._outbuf = bytearray()
+        self._flush_scheduled = False
         self._read_task = asyncio.get_running_loop().create_task(
             self._read_loop()
         )
@@ -201,6 +218,63 @@ class KVClient:
     async def delete(self, key: str) -> None:
         """Delete one key (retried on BUSY)."""
         await self._call(["DELETE", key])
+
+    def request_nowait(self, fields: List[str]) -> "asyncio.Future":
+        """Issue one raw request on the pipeline; return its reply future.
+
+        The hot-path issue API: a plain synchronous call that queues the
+        encoded frame on the write cork and registers a reply future — no
+        per-request coroutine, task, or flow-control await. A window of
+        these rides one transport write and one gather::
+
+            futures = [client.request_nowait(["PUT", k, v]) for k, v in kvs]
+            replies = await asyncio.gather(*futures)
+
+        The future resolves with the raw reply fields (``["OK"]``,
+        ``["BUSY", ...]``, ``["ERR", ...]``, ...) — unlike :meth:`put` /
+        :meth:`get`, nothing is retried or raised for error replies, and
+        transport backpressure is not awaited; callers that need those
+        guarantees use the coroutine API. Raises the poisoning error
+        immediately if the connection is already broken.
+        """
+        if self._broken is not None:
+            raise self._broken
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        self._pending.append((future, loop.time() + self.timeout_s, 1, None))
+        if self._timeout_handle is None:
+            self._arm_timeout()
+        self._send_frame(encode_message(fields))
+        return future
+
+    def request_many(self, requests: List[List[str]]) -> "asyncio.Future":
+        """Issue a whole pipelined window; one future for all its replies.
+
+        The window-granular sibling of :meth:`request_nowait`: N requests
+        ride one encoded buffer, one pending-queue entry, and one reply
+        future that resolves to the N raw replies in request order. This
+        is the cheapest way to drive a deep pipeline — per *window* cost
+        replaces per *request* cost for the future, the timeout
+        accounting, and the gather bookkeeping the caller no longer
+        needs. Same contract as :meth:`request_nowait` otherwise: raw
+        replies (BUSY/ERR included), no retries, no flow-control await.
+        """
+        if self._broken is not None:
+            raise self._broken
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        if not requests:
+            future.set_result([])
+            return future
+        self._pending.append(
+            (future, loop.time() + self.timeout_s, len(requests), [])
+        )
+        if self._timeout_handle is None:
+            self._arm_timeout()
+        self._send_frame(
+            b"".join(encode_message(fields) for fields in requests)
+        )
+        return future
 
     async def scan(
         self, lo: str, hi: str, limit: Optional[int] = None
@@ -343,29 +417,80 @@ class KVClient:
             self._writer = writer
             self._parser = FrameParser(MAX_FRAME_BYTES)
             self._pending = deque()  # poisoned futures have already failed
+            self._outbuf.clear()  # corked frames belong to failed calls
             self._broken = None
             self.reconnects += 1
             self._read_task = asyncio.get_running_loop().create_task(
                 self._read_loop()
             )
 
+    def _send_frame(self, data: bytes) -> None:
+        """Queue one encoded frame on the write cork.
+
+        The actual transport write happens in :meth:`_flush_outbuf` on the
+        next loop iteration, so every request issued in the same tick — a
+        pipelined ``asyncio.gather`` window, typically — rides one write.
+        """
+        self._outbuf += data
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            asyncio.get_running_loop().call_soon(self._flush_outbuf)
+
+    def _flush_outbuf(self) -> None:
+        self._flush_scheduled = False
+        if not self._outbuf:
+            return
+        data = bytes(self._outbuf)
+        self._outbuf.clear()
+        if (
+            self._closed
+            or self._broken is not None
+            or self._writer.is_closing()
+        ):
+            return  # the owning calls have already failed or are retrying
+        self._writer.write(data)
+
     async def _request(self, fields: List[str]) -> List[str]:
         if self._broken is not None:
             raise self._broken
-        future = asyncio.get_running_loop().create_future()
-        self._pending.append(future)
-        self._writer.write(encode_message(fields))
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        self._pending.append((future, loop.time() + self.timeout_s, 1, None))
+        if self._timeout_handle is None:
+            self._arm_timeout()
+        self._send_frame(encode_message(fields))
         await self._writer.drain()
-        try:
-            return await asyncio.wait_for(future, self.timeout_s)
-        except asyncio.TimeoutError:
-            # Ordering is lost once a reply is missing: poison everything.
-            self._poison(
-                ConnectionError(
-                    f"no reply within {self.timeout_s}s; connection poisoned"
-                )
+        # On expiry the sweeper sets TimeoutError on the head future and
+        # poisons the rest, matching the old per-request wait_for shape.
+        return await future
+
+    def _arm_timeout(self) -> None:
+        """Schedule the sweeper for the oldest pending deadline."""
+        if not self._pending:
+            return
+        loop = asyncio.get_running_loop()
+        delay = self._pending[0][1] - loop.time()
+        self._timeout_handle = loop.call_later(
+            max(0.0, delay), self._on_timeout
+        )
+
+    def _on_timeout(self) -> None:
+        self._timeout_handle = None
+        if self._broken is not None or not self._pending:
+            return
+        head_future, deadline = self._pending[0][:2]
+        if asyncio.get_running_loop().time() < deadline:
+            self._arm_timeout()  # head changed since the timer was set
+            return
+        # Ordering is lost once a reply is missing: the overdue request
+        # times out, everything behind it is poisoned.
+        if not head_future.done():
+            head_future.set_exception(asyncio.TimeoutError())
+        self._poison(
+            ConnectionError(
+                f"no reply within {self.timeout_s}s; connection poisoned"
             )
-            raise
+        )
 
     async def _read_loop(self) -> None:
         try:
@@ -374,11 +499,21 @@ class KVClient:
                 if not data:
                     self._poison(ConnectionError("server closed connection"))
                     return
+                pending = self._pending
                 for message in self._parser.feed(data):
-                    if self._pending:
-                        future = self._pending.popleft()
+                    if not pending:
+                        continue
+                    future, _deadline, expected, replies = pending[0]
+                    if replies is None:
+                        pending.popleft()
                         if not future.done():
                             future.set_result(message)
+                        continue
+                    replies.append(message)
+                    if len(replies) == expected:
+                        pending.popleft()
+                        if not future.done():
+                            future.set_result(replies)
         except asyncio.CancelledError:
             raise
         except Exception as exc:  # ProtocolError, ConnectionError, ...
@@ -387,7 +522,10 @@ class KVClient:
     def _poison(self, exc: Exception) -> None:
         if self._broken is None:
             self._broken = exc
+        if self._timeout_handle is not None:
+            self._timeout_handle.cancel()
+            self._timeout_handle = None
         while self._pending:
-            future = self._pending.popleft()
+            future = self._pending.popleft()[0]
             if not future.done():
                 future.set_exception(exc)

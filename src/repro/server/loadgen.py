@@ -25,7 +25,7 @@ from ..core.stats import percentile
 from ..core.tree import LSMTree
 from ..shard import ShardedStore
 from .client import KVClient
-from .server import KVServer
+from .server import KVServer, maybe_install_uvloop
 
 
 async def _client_worker(
@@ -38,27 +38,45 @@ async def _client_worker(
     get_every: int,
     latencies_us: List[float],
 ) -> None:
-    """One closed-loop client: windows of ``pipeline_depth`` requests."""
+    """One closed-loop client: windows of ``pipeline_depth`` requests.
 
-    async def timed(coroutine) -> None:
-        started = time.perf_counter()
-        await coroutine
-        latencies_us.append((time.perf_counter() - started) * 1e6)
-
+    Each window is issued through :meth:`KVClient.request_many` — one
+    synchronous call, one reply future, and one transport write for the
+    whole window instead of a task (or even a future) per request. BUSY
+    and error replies fall back to the retrying coroutine API
+    (:meth:`~KVClient.put` / :meth:`~KVClient.get`), so backpressure
+    semantics match the per-request path.
+    """
+    perf_counter = time.perf_counter
     client = await KVClient.connect(host, port)
     try:
         issued = 0
         while issued < ops:
             window = min(pipeline_depth, ops - issued)
-            requests = []
+            requests: List[List[str]] = []
             for offset in range(window):
                 sequence = issued + offset
                 key = f"c{client_id:03d}-{sequence:09d}"
                 if get_every and sequence % get_every == get_every - 1:
-                    requests.append(timed(client.get(key)))
+                    requests.append(["GET", key])
                 else:
-                    requests.append(timed(client.put(key, value)))
-            await asyncio.gather(*requests)
+                    requests.append(["PUT", key, value])
+            started = perf_counter()
+            replies = await client.request_many(requests)
+            window_us = (perf_counter() - started) * 1e6
+            retries = []
+            for fields, reply in zip(requests, replies):
+                if reply[0] in ("BUSY", "ERR"):
+                    retries.append(fields)
+                else:
+                    latencies_us.append(window_us)
+            for fields in retries:  # rare: ride the retrying slow path
+                started = perf_counter()
+                if fields[0] == "GET":
+                    await client.get(fields[1])
+                else:
+                    await client.put(fields[1], fields[2])
+                latencies_us.append((perf_counter() - started) * 1e6)
             issued += window
     finally:
         await client.close()
@@ -130,8 +148,10 @@ def measure_server(
     runs on one fresh event loop, so callers — benchmarks, the CLI —
     need no asyncio plumbing of their own. ``shards`` > 1 backs the
     server with a hash-routed :class:`~repro.shard.ShardedStore` whose
-    per-shard group committers run in parallel.
+    per-shard group committers run in parallel. Setting ``REPRO_UVLOOP=1``
+    runs the measurement on uvloop when it is installed.
     """
+    maybe_install_uvloop()
 
     async def measurement() -> Dict[str, float]:
         engine_config = config or LSMConfig(

@@ -42,6 +42,8 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
+import socket
 import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
@@ -62,10 +64,60 @@ from .protocol import (
     ProtocolError,
     decode_batch,
     encode_message,
+    encode_messages,
 )
 
 #: Verbs the in-order dispatcher treats as writes (group-commit eligible).
 _WRITE_VERBS = ("PUT", "DELETE", "BATCH")
+
+#: Transport write-buffer high-water mark. Raised above asyncio's 64 KiB
+#: default so a burst of coalesced pipelined replies does not flap the
+#: flow-control pause/resume machinery.
+_WRITE_BUFFER_HIGH = 256 * 1024
+
+
+def maybe_install_uvloop(force: Optional[bool] = None) -> bool:
+    """Install uvloop's event-loop policy when opted in and available.
+
+    Opt-in because uvloop is an optional dependency: ``force=True`` (the
+    ``--uvloop`` CLI flag) or ``REPRO_UVLOOP=1`` requests it; when the
+    import fails the stock asyncio loop is silently kept, so the fast
+    path degrades instead of breaking environments without the wheel.
+    Returns whether uvloop is now the active policy. Call before the
+    event loop is created (e.g. before ``asyncio.run``).
+    """
+    if force is None:
+        force = os.environ.get("REPRO_UVLOOP", "") not in ("", "0")
+    if not force:
+        return False
+    try:
+        import uvloop
+    except ImportError:
+        return False
+    asyncio.set_event_loop_policy(uvloop.EventLoopPolicy())
+    return True
+
+
+def tune_transport(writer: asyncio.StreamWriter) -> None:
+    """Apply hot-path socket/transport tuning to one connection.
+
+    ``TCP_NODELAY`` disables Nagle so a coalesced reply burst leaves
+    immediately (asyncio enables it by default for TCP since 3.6; set
+    explicitly so the guarantee does not depend on loop implementation),
+    and the write-buffer high-water mark is raised so pipelined reply
+    bursts don't bounce off flow control.
+    """
+    transport = writer.transport
+    sock = transport.get_extra_info("socket")
+    if sock is not None and sock.family in (socket.AF_INET, socket.AF_INET6):
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
+    try:
+        transport.set_write_buffer_limits(high=_WRITE_BUFFER_HIGH)
+    except (NotImplementedError, RuntimeError):
+        pass
 
 
 class _GroupCommitter:
@@ -118,12 +170,20 @@ class _GroupCommitter:
             if not future.done():
                 future.set_exception(ClosedError("server is shutting down"))
 
-    async def submit(self, ops: List[BatchOp]) -> None:
-        """Queue ``ops`` for the next commit; resolves when durable."""
+    def submit_nowait(self, ops: List[BatchOp]) -> asyncio.Future:
+        """Queue ``ops``; the returned future resolves when durable.
+
+        Returning the bare future (instead of a coroutine) lets callers
+        gather a pipelined window without creating one task per request.
+        """
         future = asyncio.get_running_loop().create_future()
         self._queue.append((ops, future))
         self._wakeup.set()
-        await future
+        return future
+
+    async def submit(self, ops: List[BatchOp]) -> None:
+        """Queue ``ops`` for the next commit; resolves when durable."""
+        await self.submit_nowait(ops)
 
     async def _drain(self) -> None:
         loop = asyncio.get_running_loop()
@@ -289,6 +349,7 @@ class KVServer:
             return
         self._writers.add(writer)
         self.metrics.connection_opened()
+        tune_transport(writer)
         parser = FrameParser(self.max_request_bytes)
         pending: Deque[List[str]] = deque()
         try:
@@ -305,8 +366,13 @@ class KVServer:
                     )
                     await writer.drain()
                     break
+                # Reply cork: everything this chunk's requests produce is
+                # written as one buffer — one send(2) per pipelined run.
+                replies: List[List[str]] = []
                 while pending:
-                    await self._serve_next(pending, writer)
+                    await self._serve_next(pending, replies)
+                if replies:
+                    writer.write(encode_messages(replies))
                 await writer.drain()
         except (ConnectionError, asyncio.CancelledError):
             pass
@@ -324,9 +390,10 @@ class KVServer:
             pass
 
     async def _serve_next(
-        self, pending: Deque[List[str]], writer: asyncio.StreamWriter
+        self, pending: Deque[List[str]], replies: List[List[str]]
     ) -> None:
-        """Answer the head request; coalesce a run of pipelined writes."""
+        """Answer the head request into ``replies``; coalesce a run of
+        pipelined writes into one dispatch."""
         if pending[0] and pending[0][0] in _WRITE_VERBS:
             run: List[List[str]] = []
             while (
@@ -335,11 +402,10 @@ class KVServer:
                 and pending[0][0] in _WRITE_VERBS
             ):
                 run.append(pending.popleft())
-            for reply in await self._dispatch_writes(run):
-                writer.write(encode_message(reply))
+            replies.extend(await self._dispatch_writes(run))
             return
         request = pending.popleft()
-        writer.write(encode_message(await self._dispatch_read(request)))
+        replies.append(await self._dispatch_read(request))
 
     # -- write path ---------------------------------------------------------
 
@@ -377,7 +443,21 @@ class KVServer:
         # still succeed. Group commit still coalesces: all submissions
         # below enter the committer queues before the drain task runs.
         outcomes: List[Optional[BaseException]]
-        if self.group_commit:
+        if self.group_commit and len(self._committers) == 1:
+            # Single committer: the drain loop folds every submission in
+            # this run into one commit and resolves them all with the
+            # same outcome, so one combined submission (one future, no
+            # gather) is behaviorally identical and much cheaper.
+            combined: List[BatchOp] = []
+            for sub_ops in parsed:
+                combined.extend(sub_ops)
+            try:
+                await self._committers[0].submit_nowait(combined)
+            except Exception as exc:
+                outcomes = [exc] * len(parsed)
+            else:
+                outcomes = [None] * len(parsed)
+        elif self.group_commit:
             raw = await asyncio.gather(
                 *(self._submit_grouped(sub_ops) for sub_ops in parsed),
                 return_exceptions=True,
@@ -416,8 +496,8 @@ class KVServer:
             )
         return replies
 
-    async def _submit_grouped(self, ops: List[BatchOp]) -> None:
-        """Route ops to their shards' committers; await every commit.
+    def _submit_grouped(self, ops: List[BatchOp]) -> "asyncio.Future":
+        """Route ops to their shards' committers; resolve when committed.
 
         Non-sharded stores have exactly one committer, so this degenerates
         to the classic single group-commit pipeline. For sharded stores
@@ -426,27 +506,25 @@ class KVServer:
         of ``bench_e23`` comes from. A multi-shard client batch resolves
         when *all* its sub-commits have settled; per-shard atomicity is
         the store's documented contract.
+
+        Returns an awaitable future rather than running as a coroutine:
+        the write dispatcher gathers one of these per pipelined request,
+        and futures ride the gather without a task apiece.
         """
         if len(self._committers) == 1 or self._shard_index is None:
-            await self._committers[0].submit(ops)
-            return
+            return self._committers[0].submit_nowait(ops)
         by_shard: Dict[int, List[BatchOp]] = {}
         for op in ops:
             by_shard.setdefault(self._shard_index(op[1]), []).append(op)
         if len(by_shard) == 1:
             index, sub_ops = next(iter(by_shard.items()))
-            await self._committers[index].submit(sub_ops)
-            return
-        outcomes = await asyncio.gather(
+            return self._committers[index].submit_nowait(sub_ops)
+        return asyncio.gather(
             *(
-                self._committers[index].submit(sub_ops)
+                self._committers[index].submit_nowait(sub_ops)
                 for index, sub_ops in by_shard.items()
-            ),
-            return_exceptions=True,
+            )
         )
-        for outcome in outcomes:
-            if isinstance(outcome, BaseException):
-                raise outcome
 
     @staticmethod
     def _parse_write(request: Sequence[str]) -> List[BatchOp]:

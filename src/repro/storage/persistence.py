@@ -11,14 +11,21 @@ On-disk layout of a checkpoint directory::
     MANIFEST.json          # config, seqno high-water mark, level structure
     tables/<n>.sst         # one binary file per SSTable
 
-SSTable file format (little-endian)::
+SSTable file format, version 3 (little-endian)::
 
     magic "RSST"  | u32 version | u32 entry_count | u32 range_tombstone_count
-    per entry: u16 key_len | i32 value_len (-1 = tombstone) |
-               u64 seqno | u8 kind | f64 stamp_us | key bytes | value bytes
+    entry block (columnar, see repro.core.entry.pack_entries):
+        per entry: u16 key_len | i32 value_len (-1 = tombstone) |
+                   u64 seqno | u8 kind | f64 stamp_us
+        then the string heap: key bytes, value bytes, entry after entry
     per range tombstone: u16 lo_len | u16 hi_len | u64 seqno | f64 stamp_us |
                lo bytes | hi bytes
     u32 crc32 of everything above
+
+The columnar entry block lets a whole table be encoded/decoded with a
+handful of batched ``struct`` calls instead of one pack/unpack per entry.
+Version 2 files (fixed fields and strings interleaved per entry) remain
+readable; new checkpoints always write version 3.
 
 Fence pointers and Bloom filters are rebuilt at load time (they are derived
 data), exactly as real engines rebuild/reload auxiliary blocks on open.
@@ -34,7 +41,7 @@ import zlib
 from typing import Dict, List, Optional, Tuple
 
 from ..core.config import LSMConfig
-from ..core.entry import Entry, EntryKind
+from ..core.entry import Entry, EntryKind, pack_entries, unpack_entries
 from ..core.level import Level
 from ..core.merge_operator import MergeOperator
 from ..core.range_tombstone import RangeTombstone
@@ -47,7 +54,9 @@ from ..faults.registry import fault_point
 from .disk import SimulatedDisk
 
 _MAGIC = b"RSST"
-_VERSION = 2
+_VERSION = 3
+#: Versions ``_decode_table`` accepts; only ``_VERSION`` is ever written.
+_SUPPORTED_VERSIONS = (2, 3)
 _HEADER = struct.Struct("<4sIII")
 _ENTRY_FIXED = struct.Struct("<HiQBd")
 _TOMBSTONE_FIXED = struct.Struct("<HHQd")
@@ -57,25 +66,9 @@ def _encode_table(table: SSTable) -> bytes:
     chunks: List[bytes] = [
         _HEADER.pack(
             _MAGIC, _VERSION, table.entry_count, len(table.range_tombstones)
-        )
+        ),
+        pack_entries(list(table.iter_entries())),
     ]
-    for entry in table.iter_entries():
-        key_bytes = entry.key.encode("utf-8")
-        value_bytes = (
-            entry.value.encode("utf-8") if entry.value is not None else b""
-        )
-        value_len = len(value_bytes) if entry.value is not None else -1
-        chunks.append(
-            _ENTRY_FIXED.pack(
-                len(key_bytes),
-                value_len,
-                entry.seqno,
-                int(entry.kind),
-                entry.stamp_us,
-            )
-        )
-        chunks.append(key_bytes)
-        chunks.append(value_bytes)
     for tombstone in table.range_tombstones:
         lo_bytes = tombstone.lo.encode("utf-8")
         hi_bytes = tombstone.hi.encode("utf-8")
@@ -113,27 +106,39 @@ def _decode_table(
     magic, version, count, tombstone_count = _HEADER.unpack_from(payload, 0)
     if magic != _MAGIC:
         raise CorruptionError("not an SSTable file", path=path, byte_offset=0)
-    if version != _VERSION:
+    if version not in _SUPPORTED_VERSIONS:
         raise CorruptionError(
             f"unsupported SSTable version {version}", path=path
         )
     offset = _HEADER.size
-    entries: List[Entry] = []
-    for _ in range(count):
-        key_len, value_len, seqno, kind, stamp = _ENTRY_FIXED.unpack_from(
-            payload, offset
-        )
-        offset += _ENTRY_FIXED.size
-        key = payload[offset : offset + key_len].decode("utf-8")
-        offset += key_len
-        if value_len >= 0:
-            value: Optional[str] = payload[offset : offset + value_len].decode(
-                "utf-8"
+    entries: List[Entry]
+    if version >= 3:
+        try:
+            entries, consumed = unpack_entries(payload, count, offset)
+        except (ValueError, struct.error) as exc:
+            raise CorruptionError(
+                "SSTable entry block failed to decode",
+                path=path,
+                byte_offset=offset,
+            ) from exc
+        offset += consumed
+    else:
+        entries = []
+        for _ in range(count):
+            key_len, value_len, seqno, kind, stamp = _ENTRY_FIXED.unpack_from(
+                payload, offset
             )
-            offset += value_len
-        else:
-            value = None
-        entries.append(Entry(key, value, seqno, EntryKind(kind), stamp))
+            offset += _ENTRY_FIXED.size
+            key = payload[offset : offset + key_len].decode("utf-8")
+            offset += key_len
+            if value_len >= 0:
+                value: Optional[str] = payload[
+                    offset : offset + value_len
+                ].decode("utf-8")
+                offset += value_len
+            else:
+                value = None
+            entries.append(Entry(key, value, seqno, EntryKind(kind), stamp))
     tombstones: List[RangeTombstone] = []
     for _ in range(tombstone_count):
         lo_len, hi_len, seqno, stamp = _TOMBSTONE_FIXED.unpack_from(
@@ -273,7 +278,7 @@ def restore(
                 path=manifest_path,
                 byte_offset=exc.pos,
             ) from exc
-    if manifest.get("version") != _VERSION:
+    if manifest.get("version") not in _SUPPORTED_VERSIONS:
         raise CorruptionError(
             "unsupported manifest version", path=manifest_path
         )

@@ -1126,3 +1126,96 @@ class TestClientReconnect:
                 tree.close()
 
         asyncio.run(scenario())
+
+
+class TestWindowIssueAPIs:
+    """request_nowait / request_many: the raw pipelined hot-path APIs."""
+
+    def test_request_nowait_resolves_raw_replies(self):
+        async def scenario():
+            async with serving() as server:
+                async with await KVClient.connect(
+                    "127.0.0.1", server.port
+                ) as kv:
+                    futures = [
+                        kv.request_nowait(["PUT", "a", "1"]),
+                        kv.request_nowait(["GET", "a"]),
+                        kv.request_nowait(["GET", "missing"]),
+                    ]
+                    replies = await asyncio.gather(*futures)
+                    assert replies == [["OK"], ["VALUE", "1"], ["NONE"]]
+
+        asyncio.run(scenario())
+
+    def test_request_many_window_in_order(self):
+        async def scenario():
+            async with serving() as server:
+                async with await KVClient.connect(
+                    "127.0.0.1", server.port
+                ) as kv:
+                    window = [["PUT", f"k{i}", str(i)] for i in range(16)]
+                    window.append(["GET", "k3"])
+                    window.append(["SCAN", "k0", "k1"])
+                    replies = await kv.request_many(window)
+                    assert replies[:16] == [["OK"]] * 16
+                    assert replies[16] == ["VALUE", "3"]
+                    assert replies[17] == ["PAIRS", "k0", "0"]
+
+        asyncio.run(scenario())
+
+    def test_request_many_empty_window(self):
+        async def scenario():
+            async with serving() as server:
+                async with await KVClient.connect(
+                    "127.0.0.1", server.port
+                ) as kv:
+                    assert await kv.request_many([]) == []
+                    # The empty window must not desync reply matching.
+                    assert await kv.request_many([["PING"]]) == [["PONG"]]
+
+        asyncio.run(scenario())
+
+    def test_error_replies_are_returned_not_raised(self):
+        async def scenario():
+            async with serving() as server:
+                async with await KVClient.connect(
+                    "127.0.0.1", server.port
+                ) as kv:
+                    replies = await kv.request_many(
+                        [["PUT", "good", "1"], ["BOGUS"], ["GET", "good"]]
+                    )
+                    assert replies[0] == ["OK"]
+                    assert replies[1][0] == "ERR"
+                    assert replies[2] == ["VALUE", "1"]
+
+        asyncio.run(scenario())
+
+    def test_windows_interleave_with_coroutine_api(self):
+        async def scenario():
+            async with serving() as server:
+                async with await KVClient.connect(
+                    "127.0.0.1", server.port
+                ) as kv:
+                    window = kv.request_many(
+                        [["PUT", f"w{i}", "x"] for i in range(8)]
+                    )
+                    await kv.put("single", "y")  # rides the same pipeline
+                    assert await window == [["OK"]] * 8
+                    assert await kv.get("single") == "y"
+                    assert await kv.get("w7") == "x"
+
+        asyncio.run(scenario())
+
+    def test_broken_connection_raises_immediately(self):
+        async def scenario():
+            async with serving() as server:
+                kv = await KVClient.connect(
+                    "127.0.0.1", server.port, reconnect_retries=0
+                )
+                await kv.close()
+                with pytest.raises(ConnectionError):
+                    kv.request_nowait(["PING"])
+                with pytest.raises(ConnectionError):
+                    kv.request_many([["PING"]])
+
+        asyncio.run(scenario())

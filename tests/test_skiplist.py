@@ -68,3 +68,55 @@ class TestScale:
             return [pair for pair in sl.items()]
 
         assert build(3) == build(3)
+
+
+class TestAppendFastPath:
+    """The rightmost-tower append path (sequential inserts skip the full
+    descent) must be invisible: any interleaving of in-order appends and
+    random inserts behaves exactly like the general path."""
+
+    def test_sequential_append_matches_dict(self):
+        sl = SkipList(seed=11)
+        for index in range(2000):
+            sl.insert(f"k{index:05d}", index)
+        assert len(sl) == 2000
+        assert [k for k, _ in sl.items()] == [
+            f"k{i:05d}" for i in range(2000)
+        ]
+        assert sl.get("k01999") == 1999
+        assert sl.get("k02000") is None  # past the tail
+
+    def test_append_then_random_backfill(self):
+        rng = random.Random(5)
+        sl = SkipList(seed=13)
+        model = {}
+        # Warm the tail path with an ascending run...
+        for index in range(500):
+            key = f"m{index:05d}"
+            sl.insert(key, index)
+            model[key] = index
+        # ...then interleave random inserts (before, between, after the
+        # tail) with more appends, including tail-key overwrites.
+        for _ in range(3000):
+            choice = rng.random()
+            if choice < 0.4:
+                key = f"m{rng.randrange(1000):05d}"
+            elif choice < 0.7:
+                key = f"a{rng.randrange(1000):05d}"  # all before the run
+            else:
+                key = f"z{rng.randrange(1000):05d}"  # all after the run
+            value = rng.randrange(10**6)
+            sl.insert(key, value)
+            model[key] = value
+        assert len(sl) == len(model)
+        for key, value in model.items():
+            assert sl.get(key) == value
+        assert [k for k, _ in sl.items()] == sorted(model)
+
+    def test_tail_overwrite_returns_old_value(self):
+        sl = SkipList(seed=1)
+        sl.insert("a", 1)
+        sl.insert("b", 2)  # tail
+        assert sl.insert("b", 3) == 2  # overwrite via the tail shortcut
+        assert sl.get("b") == 3
+        assert len(sl) == 2
