@@ -1,0 +1,382 @@
+"""E27 — Multi-node serving: ingest scaling and live-migration timeline.
+
+Claims under reproduction (Nova-LSM-style disaggregated serving):
+
+1. **Ingest scaling.** A single Python server process is GIL-bound no
+   matter how many shards it hosts; partitioning the same shards across
+   three *processes* (``repro.cluster``) lets ingest use three cores.
+   Part A drives three pipelined loadgen processes (each its own GIL)
+   against a 3-node cluster (three subprocesses via the ``cluster
+   serve`` CLI, routed by ``ClusterClient``) and against one
+   single-process ``--shards 6`` server, and reports aggregate ops/s
+   each way. The result is core-count honest: on a multi-core host the
+   cluster wins by using them; on a single core the same number instead
+   measures the *overhead* of distribution (extra processes, cluster
+   routing, per-node rather than per-connection commit batching) — both
+   are reported against the host's core count.
+
+2. **Migration is invisible.** Part B runs a 2-node in-process cluster,
+   writes through a ``ClusterClient`` continuously, live-migrates a
+   shard mid-stream, and reconstructs the ack timeline. The headline
+   metrics are the **max ack gap** (write-unavailability window — the
+   fence plus one MOVED round-trip, well under a second) and
+   **acked-write loss** (must be zero: every acknowledged write reads
+   back after the flip).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from typing import Dict, List
+
+from repro.cluster import ClusterClient, ClusterMap, ClusterNode, NodeInfo, NodeStore
+from repro.core.config import LSMConfig
+from repro.server import KVClient
+
+from common import QUICK, save_and_print
+from repro.bench.report import format_table
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_DIR = os.path.join(REPO_ROOT, "src")
+
+INGEST_OPS = 600 if QUICK else 6000
+WINDOW = 32
+MIGRATE_WRITES = 150 if QUICK else 600
+VALUE = "v" * 64
+NUM_SHARDS = 6
+CPUS = os.cpu_count() or 1
+
+
+def _free_ports(count: int) -> List[int]:
+    sockets = []
+    try:
+        for _ in range(count):
+            sock = socket.socket()
+            sock.bind(("127.0.0.1", 0))
+            sockets.append(sock)
+        return [sock.getsockname()[1] for sock in sockets]
+    finally:
+        for sock in sockets:
+            sock.close()
+
+
+def _spawn(args: List[str]) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *args],
+        env=env,
+        cwd=REPO_ROOT,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.STDOUT,
+    )
+
+
+async def _wait_listening(port: int, deadline_s: float = 15.0) -> None:
+    started = time.monotonic()
+    while True:
+        try:
+            _, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.close()
+            return
+        except OSError:
+            if time.monotonic() - started > deadline_s:
+                raise TimeoutError(f"port {port} never came up")
+            await asyncio.sleep(0.05)
+
+
+#: Stand-alone loadgen worker run via ``python -c`` — its own process,
+#: its own GIL, so N workers genuinely load the servers from N cores.
+_WORKER_SOURCE = """
+import asyncio, sys, time
+
+async def main():
+    mode, host, port, count, prefix = sys.argv[1:6]
+    port, count = int(port), int(count)
+    if mode == "cluster":
+        from repro.cluster import ClusterClient
+        client = await ClusterClient.connect(host, port)
+    else:
+        from repro.server import KVClient
+        client = await KVClient.connect(host, port)
+    value = "v" * 64
+    window = 32
+    started = time.perf_counter()
+    for base in range(0, count, window):
+        await asyncio.gather(*(
+            client.put(f"{prefix}{i:06d}", value)
+            for i in range(base, min(base + window, count))
+        ))
+    elapsed = time.perf_counter() - started
+    await client.close()
+    print(f"{elapsed:.6f}", flush=True)
+
+asyncio.run(main())
+"""
+
+
+def _parallel_ingest(mode: str, port: int, workers: int = 3) -> float:
+    """Aggregate ops/s of ``workers`` loadgen processes, wall-clocked
+    on the slowest (they start together and run the same op count)."""
+    per_worker = INGEST_OPS // workers
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    procs = [
+        subprocess.Popen(
+            [sys.executable, "-c", _WORKER_SOURCE, mode, "127.0.0.1",
+             str(port), str(per_worker), f"w{index}-"],
+            env=env,
+            cwd=REPO_ROOT,
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        for index in range(workers)
+    ]
+    elapsed = []
+    for proc in procs:
+        out, _ = proc.communicate(timeout=300)
+        if proc.returncode != 0:
+            raise RuntimeError(f"ingest worker failed: {out}")
+        elapsed.append(float(out.strip()))
+    return (per_worker * workers) / max(elapsed)
+
+
+async def _ingest_cluster(data_dir: str) -> Dict[str, float]:
+    """Part A, cluster side: three node processes, three loadgens."""
+    ports = _free_ports(3)
+    node_specs = [
+        f"{name}=127.0.0.1:{port}"
+        for name, port in zip("abc", ports)
+    ]
+    init = _spawn(
+        ["cluster", "init", "--data-dir", data_dir,
+         "--shards", str(NUM_SHARDS),
+         *[arg for spec in node_specs for arg in ("--node", spec)]]
+    )
+    if init.wait(timeout=60) != 0:
+        raise RuntimeError("cluster init failed")
+    nodes = [
+        _spawn(
+            ["cluster", "serve", "--data-dir", data_dir,
+             "--node-id", name, "--background"]
+        )
+        for name in "abc"
+    ]
+    try:
+        for port in ports:
+            await _wait_listening(port)
+        ops_s = await asyncio.to_thread(
+            _parallel_ingest, "cluster", ports[0]
+        )
+        async with await ClusterClient.connect(
+            "127.0.0.1", ports[0]
+        ) as client:
+            assert await client.get("w0-000000") == VALUE
+        return {"mode": "3-node cluster", "ops_s": ops_s}
+    finally:
+        for node in nodes:
+            node.terminate()
+        for node in nodes:
+            node.wait(timeout=20)
+
+
+async def _ingest_single(wal_dir: str) -> Dict[str, float]:
+    """Part A, baseline: one process hosting all shards, same loadgens."""
+    (port,) = _free_ports(1)
+    server = _spawn(
+        ["serve", "--port", str(port), "--shards", str(NUM_SHARDS),
+         "--background", "--wal-dir", wal_dir]
+    )
+    try:
+        await _wait_listening(port)
+        ops_s = await asyncio.to_thread(_parallel_ingest, "single", port)
+        client = await KVClient.connect("127.0.0.1", port)
+        try:
+            assert await client.get("w0-000000") == VALUE
+        finally:
+            await client.close()
+        return {"mode": "1-process sharded", "ops_s": ops_s}
+    finally:
+        server.terminate()
+        server.wait(timeout=20)
+
+
+async def _migration_timeline(tmp_dir: str) -> Dict[str, object]:
+    """Part B: continuous writes with a live migration mid-stream."""
+    boot = ClusterMap.even(
+        4, [NodeInfo(n, "127.0.0.1", 0) for n in ("a", "b")]
+    )
+    config = LSMConfig(buffer_size_bytes=64 * 1024)
+    stores = [
+        NodeStore(n, boot, config, wal_dir=os.path.join(tmp_dir, n))
+        for n in ("a", "b")
+    ]
+    servers = [
+        ClusterNode(store, host="127.0.0.1", port=0) for store in stores
+    ]
+    for server in servers:
+        await server.start()
+    live = ClusterMap.even(
+        4,
+        [
+            NodeInfo(n, "127.0.0.1", server.port)
+            for n, server in zip("ab", servers)
+        ],
+        epoch=1,
+    )
+    for store in stores:
+        store.install_map(live)
+    try:
+        client = await ClusterClient.connect("127.0.0.1", servers[0].port)
+        async with client:
+            for index in range(50):
+                await client.put(f"pre{index:04d}", VALUE)
+            moving = stores[0].owned_shards()[0]
+            acks: List[float] = []
+            acked_keys: List[str] = []
+            stop = asyncio.Event()
+
+            async def writer() -> None:
+                index = 0
+                while not stop.is_set():
+                    key = f"mig{index:05d}"
+                    await client.put(key, VALUE)
+                    acks.append(time.perf_counter())
+                    acked_keys.append(key)
+                    index += 1
+                    await asyncio.sleep(0)
+
+            task = asyncio.create_task(writer())
+            while len(acks) < 20:  # a steady stream before the move
+                await asyncio.sleep(0.005)
+            admin = await KVClient.connect("127.0.0.1", servers[0].port)
+            try:
+                migrate_started = time.perf_counter()
+                await admin.command(["MIGRATE", str(moving), "b"])
+                migrate_s = time.perf_counter() - migrate_started
+            finally:
+                await admin.close()
+            while len(acks) < MIGRATE_WRITES:  # post-flip traffic too
+                if task.done():
+                    task.result()  # surface a crashed writer
+                await asyncio.sleep(0.005)
+            stop.set()
+            await task
+
+            gaps = [
+                (later - earlier) * 1000.0
+                for earlier, later in zip(acks, acks[1:])
+            ]
+            lost = [
+                key
+                for key in acked_keys
+                if await client.get(key) != VALUE
+            ]
+            stats = servers[0].migrations[-1]
+            return {
+                "acked_writes": len(acked_keys),
+                "lost_writes": len(lost),
+                "max_gap_ms": max(gaps),
+                "fence_ms": stats["fence_ms"],
+                "migrate_s": migrate_s,
+                "snapshot_pairs": stats["snapshot_pairs"],
+                "tail_ops": stats["tail_ops"],
+                "moved_redirects": client.moved_redirects,
+                "epoch": stores[1].map.epoch,
+            }
+    finally:
+        for server in servers:
+            await server.stop()
+
+
+def test_e27_cluster(benchmark):
+    def experiment():
+        with tempfile.TemporaryDirectory(prefix="repro-e27-") as tmp:
+            cluster_row = asyncio.run(
+                _ingest_cluster(os.path.join(tmp, "cluster"))
+            )
+            single_row = asyncio.run(
+                _ingest_single(os.path.join(tmp, "single"))
+            )
+            timeline = asyncio.run(
+                _migration_timeline(os.path.join(tmp, "mig"))
+            )
+        return cluster_row, single_row, timeline
+
+    cluster_row, single_row, timeline = benchmark.pedantic(
+        experiment, rounds=1, iterations=1
+    )
+
+    scaling = cluster_row["ops_s"] / single_row["ops_s"]
+    table_a = format_table(
+        ["serving topology", "ingest ops/s"],
+        [
+            (row["mode"], round(row["ops_s"], 0))
+            for row in (cluster_row, single_row)
+        ],
+        title=(
+            f"E27a: {INGEST_OPS} pipelined writes from 3 loadgen "
+            f"processes, {NUM_SHARDS} shards total, {CPUS} core(s) — "
+            "three node processes vs one GIL-bound process (with one "
+            "core the cluster cannot scale; the ratio is then the pure "
+            "cost of distribution)"
+        ),
+    )
+    table_b = format_table(
+        ["metric", "value"],
+        [
+            ("acked writes during run", timeline["acked_writes"]),
+            ("acked writes lost", timeline["lost_writes"]),
+            ("max ack gap (ms)", round(timeline["max_gap_ms"], 1)),
+            ("write fence (ms)", round(timeline["fence_ms"], 2)),
+            ("whole migration (s)", round(timeline["migrate_s"], 3)),
+            ("snapshot pairs shipped", timeline["snapshot_pairs"]),
+            ("tail ops shipped", timeline["tail_ops"]),
+            ("client MOVED redirects", timeline["moved_redirects"]),
+            ("map epoch after flip", timeline["epoch"]),
+        ],
+        title=(
+            "E27b: live shard migration under continuous writes "
+            "(2-node cluster; unavailability = max gap between "
+            "consecutive write acks)"
+        ),
+    )
+    save_and_print("E27", table_a + "\n\n" + table_b)
+    save_and_print(
+        "E27-factor",
+        f"3-node cluster ingests {scaling:.2f}x the single-process "
+        f"sharded server ({cluster_row['ops_s']:.0f} vs "
+        f"{single_row['ops_s']:.0f} ops/s on {CPUS} core(s); < 1x on a "
+        "single core is the pure distribution overhead, > 1x needs real "
+        "cores to scale onto); live migration under load: "
+        f"{timeline['lost_writes']} acked writes lost of "
+        f"{timeline['acked_writes']}, max write stall "
+        f"{timeline['max_gap_ms']:.1f}ms (fence "
+        f"{timeline['fence_ms']:.2f}ms) — well under the 1s acceptance "
+        "bound",
+    )
+
+    # Acceptance: zero acked-write loss, sub-second unavailability.
+    assert timeline["lost_writes"] == 0
+    assert timeline["max_gap_ms"] < 1000.0, timeline
+    assert timeline["epoch"] == 2  # exactly one flip happened
+    assert cluster_row["ops_s"] > 0 and single_row["ops_s"] > 0
+    if not QUICK:
+        # A conservative floor: distribution overhead must stay bounded
+        # (the cluster serves from N processes — even one core should
+        # cost well under 2x). With >= 3 cores the cluster must win.
+        assert scaling > 0.5, (
+            f"3-node ingest at {scaling:.2f}x single-process is "
+            "implausibly slow"
+        )
+        if CPUS >= 3:
+            assert scaling > 1.0, (
+                f"{CPUS} cores available but the 3-node cluster "
+                f"ingested only {scaling:.2f}x the single process"
+            )

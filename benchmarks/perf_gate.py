@@ -15,7 +15,11 @@ hardware move with::
     python benchmarks/perf_gate.py --update-baseline
 
 which re-derives the floors (headroom included) from the latest
-``results/e26.json``.
+``results/e26.json``. Add ``--fresh`` to run the benchmark first so the
+floors (or the gate check) come from this machine, this commit — not
+whatever results file happened to be lying around::
+
+    python benchmarks/perf_gate.py --fresh --update-baseline
 """
 
 from __future__ import annotations
@@ -23,6 +27,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import subprocess
 import sys
 from typing import Dict
 
@@ -57,6 +62,28 @@ def extract(doc: Dict[str, object]) -> Dict[str, float]:
     return {name: float(read(doc)) for name, read in GATED_METRICS.items()}
 
 
+def run_benchmark() -> int:
+    """Run bench_e26 in quick mode to regenerate ``results/e26.json``."""
+    env = dict(os.environ)
+    env["REPRO_BENCH_QUICK"] = "1"
+    env["PYTHONPATH"] = (
+        os.path.join(os.path.dirname(BENCH_DIR), "src")
+        + os.pathsep
+        + env.get("PYTHONPATH", "")
+    )
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        os.path.join(BENCH_DIR, "bench_e26_hotpath.py"),
+        "--benchmark-only",
+        "-q",
+        "-s",
+    ]
+    print("perf gate: running", " ".join(command), flush=True)
+    return subprocess.run(command, env=env, check=False).returncode
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--results", default=DEFAULT_RESULTS)
@@ -72,7 +99,22 @@ def main(argv=None) -> int:
         action="store_true",
         help="rewrite the baseline floors from the current results",
     )
+    parser.add_argument(
+        "--fresh",
+        action="store_true",
+        help="run the e26 benchmark (quick mode) first, so the results "
+        "compared or baselined come from this machine and commit",
+    )
     args = parser.parse_args(argv)
+
+    if args.fresh:
+        returncode = run_benchmark()
+        if returncode != 0:
+            print(
+                f"perf gate: benchmark run failed (exit {returncode})",
+                file=sys.stderr,
+            )
+            return returncode
 
     with open(args.results, encoding="utf-8") as handle:
         results = json.load(handle)

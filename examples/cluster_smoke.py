@@ -1,0 +1,249 @@
+"""Cluster smoke test: 3 nodes, live migration under load, node loss.
+
+Run with::
+
+    python examples/cluster_smoke.py
+
+The distributed-serving drill CI runs end to end, against real
+``python -m repro.cli cluster serve`` subprocesses (one per node):
+
+1. ``cluster init`` a 6-shard map over three nodes a/b/c, start all
+   three servers, and bootstrap a :class:`ClusterClient` over the wire
+   from one node's ``CLUSTER`` reply.
+2. Write across the whole key space through the client and read it all
+   back — every key lands on its owner without a single redirect.
+3. Migrate shard 0 from a to b *while a writer keeps acking puts*;
+   assert zero acked-write loss, a bumped map epoch, and that the
+   client chased the ``MOVED`` redirect to the new owner.
+4. Kill node c outright; assert every shard owned by a/b keeps serving
+   reads and writes while c's shards fail with a connection error —
+   loud and retryable, never silently wrong.
+
+Exits non-zero on any failure, so it doubles as a CI job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.cluster import ClusterClient  # noqa: E402
+from repro.server import KVClient  # noqa: E402
+
+NUM_SHARDS = 6
+NODE_IDS = ("a", "b", "c")
+MOVING_SHARD = 0  # owned by a under the even 6-shard map
+
+
+def _free_ports(count: int) -> list:
+    sockets, ports = [], []
+    for _ in range(count):
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        sockets.append(sock)
+        ports.append(sock.getsockname()[1])
+    for sock in sockets:
+        sock.close()
+    return ports
+
+
+def _cli_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        os.path.join(REPO_ROOT, "src")
+        + os.pathsep
+        + env.get("PYTHONPATH", "")
+    )
+    return env
+
+
+def _run_cli(args: list) -> None:
+    subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        env=_cli_env(),
+        cwd=REPO_ROOT,
+        check=True,
+    )
+
+
+def _spawn_node(data_dir: str, node_id: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "cluster", "serve",
+         "--data-dir", data_dir, "--node-id", node_id, "--background"],
+        env=_cli_env(),
+        cwd=REPO_ROOT,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _wait_listening(port: int, deadline_s: float = 20.0) -> None:
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        try:
+            with socket.create_connection(("127.0.0.1", port), timeout=0.5):
+                return
+        except OSError:
+            time.sleep(0.05)
+    raise AssertionError(f"no listener on port {port} after {deadline_s}s")
+
+
+async def write_and_read_back(client: ClusterClient) -> None:
+    keys = [f"user-{i:04d}" for i in range(120)]
+    for start in range(0, len(keys), 24):
+        window = keys[start:start + 24]
+        await asyncio.gather(
+            *(client.put(key, f"value-{key}") for key in window)
+        )
+    values = await asyncio.gather(*(client.get(key) for key in keys))
+    assert values == [f"value-{key}" for key in keys]
+    assert client.moved_redirects == 0, "fresh map should route first try"
+    shards_touched = {client.map.shard_index(key) for key in keys}
+    assert shards_touched == set(range(NUM_SHARDS))
+    print(f"phase 1 ok: {len(keys)} keys across all {NUM_SHARDS} shards")
+
+
+async def migrate_under_load(client: ClusterClient, admin_port: int) -> None:
+    acked: list = []
+    stop = asyncio.Event()
+
+    async def writer() -> None:
+        index = 0
+        while not stop.is_set():
+            window = [f"mig-{index + j:05d}" for j in range(8)]
+            await asyncio.gather(
+                *(client.put(key, "during-migration") for key in window)
+            )
+            acked.extend(window)
+            index += 8
+
+    task = asyncio.create_task(writer())
+    while len(acked) < 24:  # writer is demonstrably in flight
+        if task.done():
+            task.result()
+        await asyncio.sleep(0.01)
+
+    admin = await KVClient.connect("127.0.0.1", admin_port)
+    try:
+        reply = await admin.command(["MIGRATE", str(MOVING_SHARD), "b"])
+    finally:
+        await admin.close()
+    assert reply[0] == "OK", reply
+    stats = json.loads(reply[1])
+
+    stop.set()
+    await task
+    values = await asyncio.gather(*(client.get(key) for key in acked))
+    lost = [k for k, v in zip(acked, values) if v != "during-migration"]
+    assert not lost, f"{len(lost)} acked writes lost across migration"
+
+    await client.refresh()
+    assert client.map.epoch >= 1, client.map.epoch
+    assert client.map.owner_id(MOVING_SHARD) == "b"
+    # The writer spans every shard, so some put hit the moved shard and
+    # was bounced to its new owner via MOVED.
+    assert client.moved_redirects >= 1
+    print(
+        f"phase 2 ok: shard {MOVING_SHARD} a->b with {len(acked)} acked "
+        f"writes, 0 lost; {stats['snapshot_pairs']} snapshot pairs, "
+        f"{stats['tail_ops']} tail ops, fence {stats['fence_ms']:.2f}ms, "
+        f"epoch {client.map.epoch}"
+    )
+
+
+async def survive_node_loss(
+    client: ClusterClient, victim: subprocess.Popen
+) -> None:
+    victim.kill()
+    victim.wait(timeout=10)
+
+    dead_shards = set(client.map.shards_of("c"))
+    assert dead_shards, "c must still own shards for the drill to bite"
+    live, dead = [], []
+    for i in range(400):
+        key = f"post-loss-{i:04d}"
+        (dead if client.map.shard_index(key) in dead_shards else live).append(
+            key
+        )
+        if len(live) >= 40 and len(dead) >= 2:
+            break
+    assert len(live) >= 40 and len(dead) >= 2
+
+    # Every shard on the surviving nodes keeps serving writes and reads.
+    await asyncio.gather(*(client.put(key, "survivor") for key in live))
+    values = await asyncio.gather(*(client.get(key) for key in live))
+    assert all(value == "survivor" for value in values)
+
+    # The dead node's shards fail loudly with a connection error.
+    failures = 0
+    for key in dead[:2]:
+        try:
+            await client.put(key, "lost-node")
+        except (ConnectionError, OSError):
+            failures += 1
+    assert failures == 2, f"only {failures}/2 dead-shard writes errored"
+    print(
+        f"phase 3 ok: node c killed; {len(live)} keys on surviving "
+        f"shards kept serving, {len(dead_shards)} dead shards error "
+        "loudly"
+    )
+
+
+async def drive(ports: list, processes: dict) -> None:
+    async with await ClusterClient.connect("127.0.0.1", ports[0]) as client:
+        await write_and_read_back(client)
+        await migrate_under_load(client, ports[0])
+        await survive_node_loss(client, processes["c"])
+
+
+def main() -> int:
+    started = time.perf_counter()
+    ports = _free_ports(len(NODE_IDS))
+    with tempfile.TemporaryDirectory(prefix="cluster-smoke-") as data_dir:
+        _run_cli(
+            ["cluster", "init", "--data-dir", data_dir,
+             "--shards", str(NUM_SHARDS)]
+            + [
+                arg
+                for node_id, port in zip(NODE_IDS, ports)
+                for arg in ("--node", f"{node_id}=127.0.0.1:{port}")
+            ]
+        )
+        processes = {
+            node_id: _spawn_node(data_dir, node_id) for node_id in NODE_IDS
+        }
+        try:
+            for port in ports:
+                _wait_listening(port)
+            asyncio.run(drive(ports, processes))
+        finally:
+            for node_id, process in processes.items():
+                if process.poll() is None:
+                    process.send_signal(signal.SIGINT)
+            for node_id, process in processes.items():
+                try:
+                    process.wait(timeout=15)
+                except subprocess.TimeoutExpired:
+                    process.kill()
+                    raise AssertionError(f"node {node_id} hung on SIGINT")
+        # a and b were SIGINT'd and must have shut down in good order;
+        # c was killed mid-run, so any exit status goes.
+        for node_id in ("a", "b"):
+            code = processes[node_id].returncode
+            assert code == 0, f"node {node_id} exited {code}"
+    print(f"cluster smoke passed in {time.perf_counter() - started:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

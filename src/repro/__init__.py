@@ -20,6 +20,13 @@ Quickstart::
 """
 
 from .api import BatchOp, KVStore
+from .cluster import (
+    ClusterClient,
+    ClusterMap,
+    ClusterNode,
+    NodeInfo,
+    NodeStore,
+)
 from .core.config import (
     LSMConfig,
     cassandra_like,
@@ -61,6 +68,11 @@ __all__ = [
     "ReplicatedStore",
     "PartitionedStore",
     "range_boundaries",
+    "ClusterMap",
+    "NodeInfo",
+    "NodeStore",
+    "ClusterNode",
+    "ClusterClient",
     "LSMConfig",
     "rocksdb_like",
     "cassandra_like",

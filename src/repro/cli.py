@@ -11,6 +11,11 @@ Usage::
     python -m repro.cli serve --port 7379 --background --shards 4
     python -m repro.cli bench-serve --clients 8 --pipeline 8
     python -m repro.cli fault-sweep --quick --seed 7
+    python -m repro.cli cluster init --data-dir /tmp/c --shards 8 \
+        --node a=127.0.0.1:7401 --node b=127.0.0.1:7402
+    python -m repro.cli cluster serve --data-dir /tmp/c --node-id a
+    python -m repro.cli cluster migrate --port 7401 --shard 3 --to b
+    python -m repro.cli cluster status --port 7401
 
 Every subcommand prints the same ASCII tables the benchmark suite uses, so
 shell exploration and the archived experiment results read identically.
@@ -363,6 +368,340 @@ def command_fault_sweep(args: argparse.Namespace) -> int:
     return 1 if report.violations else 0
 
 
+def _parse_node_specs(specs: List[str]):
+    """``ID=HOST:PORT`` specs → NodeInfo list (SystemExit on bad input)."""
+    from .cluster import NodeInfo
+
+    nodes = []
+    for spec in specs:
+        try:
+            node_id, _, address = spec.partition("=")
+            host, _, port_text = address.rpartition(":")
+            if not (node_id and host and port_text):
+                raise ValueError(spec)
+            nodes.append(NodeInfo(node_id, host, int(port_text)))
+        except ValueError:
+            raise SystemExit(
+                f"--node wants ID=HOST:PORT, got {spec!r}"
+            ) from None
+    return nodes
+
+
+def command_cluster_init(args: argparse.Namespace) -> int:
+    """Lay out a fresh cluster: one directory + map copy per node."""
+    import os
+
+    from .cluster import ClusterMap
+
+    nodes = _parse_node_specs(args.node)
+    if not nodes:
+        raise SystemExit("cluster init needs at least one --node ID=HOST:PORT")
+    cluster_map = ClusterMap.even(args.shards, nodes)
+    for node in nodes:
+        node_dir = os.path.join(args.data_dir, node.node_id)
+        os.makedirs(node_dir, exist_ok=True)
+        cluster_map.save(node_dir)
+    print(
+        format_table(
+            ["node", "address", "shards"],
+            [
+                (
+                    node.node_id,
+                    node.address,
+                    ",".join(map(str, cluster_map.shards_of(node.node_id))),
+                )
+                for node in nodes
+            ],
+            title=(
+                f"cluster initialised under {args.data_dir} "
+                f"({args.shards} shards, epoch {cluster_map.epoch})"
+            ),
+        )
+    )
+    return 0
+
+
+def _cluster_join(args: argparse.Namespace, node_dir: str) -> None:
+    """Bootstrap ``node_dir`` by joining via an existing member.
+
+    Fetches the member's map; when this node is not yet in the directory
+    it publishes a membership-only successor map (epoch + 1) naming the
+    node at ``--host:--port`` to every current member, then saves the
+    result locally so the ordinary recovery path can take over. Shards
+    arrive later via ``cluster rebalance``.
+    """
+    import os
+
+    from .cluster import ClusterMap, NodeInfo
+    from .server.client import KVClient
+
+    join_host, _, join_port = args.join.rpartition(":")
+    if not (join_host and join_port):
+        raise SystemExit(f"--join wants HOST:PORT, got {args.join!r}")
+
+    async def run() -> None:
+        seed = await KVClient.connect(join_host, int(join_port))
+        try:
+            cluster_map = ClusterMap.from_json(
+                (await seed.command(["CLUSTER"]))[1]
+            )
+        finally:
+            await seed.close()
+        if args.node_id not in cluster_map.nodes:
+            if args.host is None or args.port is None:
+                raise SystemExit(
+                    "--join for a new node needs --host and --port "
+                    "(the address other members will reach it at)"
+                )
+            cluster_map = ClusterMap(
+                cluster_map.assignments,
+                list(cluster_map.nodes.values())
+                + [NodeInfo(args.node_id, args.host, args.port)],
+                epoch=cluster_map.epoch + 1,
+                routing=cluster_map.routing,
+                boundaries=cluster_map.boundaries or None,
+            )
+            payload = cluster_map.to_json()
+            for node in cluster_map.nodes.values():
+                if node.node_id == args.node_id:
+                    continue
+                member = await KVClient.connect(node.host, node.port)
+                try:
+                    await member.command(["CLUSTER", payload])
+                finally:
+                    await member.close()
+        os.makedirs(node_dir, exist_ok=True)
+        cluster_map.save(node_dir)
+
+    asyncio.run(run())
+
+
+def command_cluster_serve(args: argparse.Namespace) -> int:
+    """Run one cluster node until SIGINT/SIGTERM (clean shutdown)."""
+    import os
+
+    from .cluster import ClusterNode, NodeStore
+    from .server import maybe_install_uvloop
+
+    if maybe_install_uvloop(True if args.uvloop else None):
+        print("repro-cluster: uvloop event loop enabled", flush=True)
+    elif args.uvloop:
+        raise SystemExit("--uvloop requested but uvloop is not installed")
+    config = LSMConfig(
+        background_mode=args.background,
+        num_buffers=args.num_buffers,
+        buffer_size_bytes=args.buffer_bytes,
+        flush_threads=args.flush_threads,
+        compaction_threads=args.compaction_threads,
+        wal_fsync=args.wal_fsync,
+    )
+    node_dir = os.path.join(args.data_dir, args.node_id)
+    if args.join:
+        _cluster_join(args, node_dir)
+    store = NodeStore.recover(args.node_id, config, node_dir)
+    options = {
+        "max_connections": args.max_connections,
+        "executor_threads": args.executor_threads,
+        "group_commit": not args.no_group_commit,
+        "owns_tree": True,
+    }
+    if args.host is not None:
+        options["host"] = args.host
+    if args.port is not None:
+        options["port"] = args.port
+    server = ClusterNode(store, **options)
+
+    async def run() -> None:
+        await server.start()
+        print(
+            f"repro-cluster node {store.node_id} listening on "
+            f"{server.host}:{server.port} (epoch {store.map.epoch}, "
+            f"shards {store.owned_shards()})",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError):
+                loop.add_signal_handler(signum, stop.set)
+        try:
+            await stop.wait()
+        finally:
+            print(f"repro-cluster node {store.node_id} shutting down",
+                  flush=True)
+            await server.stop()
+
+    asyncio.run(run())
+    return 0
+
+
+def command_cluster_status(args: argparse.Namespace) -> int:
+    """Fetch the map from one node, then poll every member's HEALTH."""
+    import json
+
+    from .cluster import ClusterMap
+    from .server.client import KVClient
+
+    async def run() -> int:
+        seed = await KVClient.connect(args.host, args.port)
+        try:
+            reply = await seed.command(["CLUSTER"])
+            cluster_map = ClusterMap.from_json(reply[1])
+        finally:
+            await seed.close()
+        rows = []
+        for node_id, node in sorted(cluster_map.nodes.items()):
+            shards = ",".join(map(str, cluster_map.shards_of(node_id)))
+            try:
+                client = await KVClient.connect(node.host, node.port)
+                try:
+                    health = json.loads(
+                        (await client.command(["HEALTH"]))[1]
+                    )
+                finally:
+                    await client.close()
+                rows.append(
+                    (node_id, node.address, shards,
+                     health.get("state", "?"),
+                     health.get("epoch", "?"))
+                )
+            except (ConnectionError, OSError) as exc:
+                rows.append((node_id, node.address, shards,
+                             f"unreachable ({exc})", "-"))
+        print(
+            format_table(
+                ["node", "address", "shards", "health", "epoch"],
+                rows,
+                title=(
+                    f"cluster status via {args.host}:{args.port} "
+                    f"(epoch {cluster_map.epoch}, "
+                    f"{cluster_map.num_shards} shards, "
+                    f"{cluster_map.routing} routing)"
+                ),
+            )
+        )
+        return 0
+
+    return asyncio.run(run())
+
+
+def command_cluster_migrate(args: argparse.Namespace) -> int:
+    """Ask the contacted node to live-migrate one shard it owns."""
+    import json
+
+    from .server.client import KVClient
+
+    async def run() -> int:
+        client = await KVClient.connect(args.host, args.port)
+        try:
+            reply = await client.command(
+                ["MIGRATE", str(args.shard), args.to]
+            )
+        finally:
+            await client.close()
+        stats = json.loads(reply[1])
+        print(
+            format_table(
+                ["stat", "value"],
+                sorted(stats.items()),
+                title=f"migrated shard {args.shard} -> {args.to}",
+            )
+        )
+        return 0
+
+    return asyncio.run(run())
+
+
+def command_cluster_rebalance(args: argparse.Namespace) -> int:
+    """Plan (and unless --dry-run, execute) moves onto a target membership."""
+    import json
+
+    from .cluster import ClusterMap
+    from .server.client import KVClient
+
+    async def run() -> int:
+        seed = await KVClient.connect(args.host, args.port)
+        try:
+            cluster_map = ClusterMap.from_json(
+                (await seed.command(["CLUSTER"]))[1]
+            )
+        finally:
+            await seed.close()
+        desired = (
+            _parse_node_specs(args.node)
+            if args.node
+            else sorted(cluster_map.nodes.values(), key=lambda n: n.node_id)
+        )
+        moves = cluster_map.plan_moves(desired)
+        if not moves:
+            print("cluster already balanced; nothing to move")
+            return 0
+        if args.dry_run:
+            print(
+                format_table(
+                    ["shard", "from", "to"],
+                    [
+                        (shard, cluster_map.owner_id(shard), dest)
+                        for shard, dest in moves
+                    ],
+                    title=f"rebalance plan ({len(moves)} moves, dry run)",
+                )
+            )
+            return 0
+        joining = [n for n in desired if n.node_id not in cluster_map.nodes]
+        if joining:
+            # Joining nodes must be in the directory before MIGRATE can
+            # target them: publish a membership-only map (epoch + 1) to
+            # every member, old and new.
+            cluster_map = ClusterMap(
+                cluster_map.assignments,
+                list(cluster_map.nodes.values()) + joining,
+                epoch=cluster_map.epoch + 1,
+                routing=cluster_map.routing,
+                boundaries=cluster_map.boundaries or None,
+            )
+            payload = cluster_map.to_json()
+            for node in cluster_map.nodes.values():
+                client = await KVClient.connect(node.host, node.port)
+                try:
+                    await client.command(["CLUSTER", payload])
+                finally:
+                    await client.close()
+        rows = []
+        for shard, dest in moves:
+            owner = cluster_map.owner(shard)
+            client = await KVClient.connect(owner.host, owner.port)
+            try:
+                reply = await client.command(
+                    ["MIGRATE", str(shard), dest]
+                )
+                cluster_map = ClusterMap.from_json(
+                    (await client.command(["CLUSTER"]))[1]
+                )
+            finally:
+                await client.close()
+            stats = json.loads(reply[1])
+            rows.append(
+                (shard, owner.node_id, dest,
+                 stats["snapshot_pairs"], stats["tail_ops"],
+                 f"{stats['fence_ms']:.1f}")
+            )
+        print(
+            format_table(
+                ["shard", "from", "to", "snapshot pairs", "tail ops",
+                 "fence (ms)"],
+                rows,
+                title=(
+                    f"rebalanced {len(moves)} shards "
+                    f"(map now epoch {cluster_map.epoch})"
+                ),
+            )
+        )
+        return 0
+
+    return asyncio.run(run())
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -505,6 +844,97 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fault_sweep.add_argument("--seed", type=int, default=7)
     fault_sweep.set_defaults(func=command_fault_sweep)
+
+    cluster = subparsers.add_parser(
+        "cluster",
+        help="multi-node serving: init, serve, status, migrate, rebalance",
+    )
+    cluster_sub = cluster.add_subparsers(dest="cluster_command", required=True)
+
+    cluster_init = cluster_sub.add_parser(
+        "init", help="write an even cluster map into every node directory"
+    )
+    cluster_init.add_argument("--data-dir", required=True)
+    cluster_init.add_argument("--shards", type=int, default=8)
+    cluster_init.add_argument(
+        "--node",
+        action="append",
+        default=[],
+        metavar="ID=HOST:PORT",
+        help="cluster member (repeat once per node)",
+    )
+    cluster_init.set_defaults(func=command_cluster_init)
+
+    cluster_serve = cluster_sub.add_parser(
+        "serve", help="run one cluster node from its data directory"
+    )
+    cluster_serve.add_argument("--data-dir", required=True)
+    cluster_serve.add_argument("--node-id", required=True)
+    cluster_serve.add_argument(
+        "--host", default=None, help="bind address override (default: map)"
+    )
+    cluster_serve.add_argument(
+        "--port", type=int, default=None,
+        help="bind port override (default: map)",
+    )
+    cluster_serve.add_argument(
+        "--join", default=None, metavar="HOST:PORT",
+        help="bootstrap by joining via an existing member (a new node "
+        "also needs --host/--port; give it shards with rebalance)",
+    )
+    cluster_serve.add_argument("--background", action="store_true")
+    cluster_serve.add_argument("--num-buffers", type=int, default=4)
+    cluster_serve.add_argument("--buffer-bytes", type=int, default=64 * 1024)
+    cluster_serve.add_argument("--flush-threads", type=int, default=2)
+    cluster_serve.add_argument("--compaction-threads", type=int, default=2)
+    cluster_serve.add_argument("--wal-fsync", action="store_true")
+    cluster_serve.add_argument("--max-connections", type=int, default=128)
+    cluster_serve.add_argument(
+        "--executor-threads", type=int, default=None
+    )
+    cluster_serve.add_argument("--no-group-commit", action="store_true")
+    cluster_serve.add_argument("--uvloop", action="store_true")
+    cluster_serve.set_defaults(func=command_cluster_serve)
+
+    cluster_status = cluster_sub.add_parser(
+        "status", help="print the map and every member's health"
+    )
+    cluster_status.add_argument("--host", default="127.0.0.1")
+    cluster_status.add_argument("--port", type=int, default=7401)
+    cluster_status.set_defaults(func=command_cluster_status)
+
+    cluster_migrate = cluster_sub.add_parser(
+        "migrate", help="live-migrate one shard to another node"
+    )
+    cluster_migrate.add_argument("--host", default="127.0.0.1")
+    cluster_migrate.add_argument(
+        "--port", type=int, default=7401,
+        help="address of the shard's current owner",
+    )
+    cluster_migrate.add_argument("--shard", type=int, required=True)
+    cluster_migrate.add_argument(
+        "--to", required=True, metavar="NODE_ID"
+    )
+    cluster_migrate.set_defaults(func=command_cluster_migrate)
+
+    cluster_rebalance = cluster_sub.add_parser(
+        "rebalance",
+        help="migrate shards until the membership is evenly loaded",
+    )
+    cluster_rebalance.add_argument("--host", default="127.0.0.1")
+    cluster_rebalance.add_argument("--port", type=int, default=7401)
+    cluster_rebalance.add_argument(
+        "--node",
+        action="append",
+        default=[],
+        metavar="ID=HOST:PORT",
+        help="desired membership after the rebalance (repeat; default: "
+        "current members)",
+    )
+    cluster_rebalance.add_argument(
+        "--dry-run", action="store_true", help="print the plan, move nothing"
+    )
+    cluster_rebalance.set_defaults(func=command_cluster_rebalance)
     return parser
 
 

@@ -1,0 +1,37 @@
+"""Multi-node distributed serving: epoch'd cluster map, MOVED redirects,
+and live shard migration.
+
+The cluster layer scales the serving story past one Python process by
+partitioning the key space across N :class:`~repro.server.KVServer`
+processes, Nova-LSM-style. Four pieces, smallest first:
+
+* :class:`ClusterMap` — the epoch-versioned shard → node assignment
+  every participant routes by (``cluster.json``);
+* :class:`NodeStore` — one node's engine: exactly its assigned shards,
+  ``MOVED`` for everything else, plus the migration primitives;
+* :class:`ClusterNode` — a ``KVServer`` subclass speaking the cluster
+  verbs (``CLUSTER``, ``MIGRATE``, ``MIG.*``) over the same wire
+  protocol;
+* :class:`ClusterClient` — map-driven routing with MOVED-redirect
+  chasing and one pooled connection per node.
+
+:func:`migrate_local` is the in-process twin of the wire migration
+driver, built for the crash-consistency sweep.
+"""
+
+from .client import ClusterClient, ClusterError
+from .map import CLUSTER_MANIFEST, ClusterMap, NodeInfo
+from .node import ClusterNode
+from .store import SNAPSHOT_CHUNK, NodeStore, migrate_local
+
+__all__ = [
+    "CLUSTER_MANIFEST",
+    "SNAPSHOT_CHUNK",
+    "ClusterClient",
+    "ClusterError",
+    "ClusterMap",
+    "ClusterNode",
+    "NodeInfo",
+    "NodeStore",
+    "migrate_local",
+]

@@ -1,0 +1,262 @@
+"""Cluster-aware client: map-driven routing, MOVED redirects, pooling.
+
+:class:`ClusterClient` is to a cluster what
+:class:`~repro.server.KVClient` is to one server. It bootstraps its
+:class:`~repro.cluster.ClusterMap` from any seed node's ``CLUSTER``
+reply, routes each key to its owning node (identical shard placement to
+the servers), and keeps **one pooled, pipelined KVClient per node** — so
+per-node pipelining, BUSY absorption, and bounded reconnect all come for
+free from the underlying clients.
+
+Staleness is handled Redis-Cluster-style: a request landing on the wrong
+node answers ``ERR MOVED <shard> <host>:<port> <epoch>``, the client
+refreshes its map from the redirect target (which, being the node the
+*newer* map names, always has a map at least that new) and retries —
+bounded by ``max_redirects`` hops. A live migration is therefore
+invisible end-to-end: writes during the fence answer BUSY (absorbed by
+the per-node client), the first post-flip request answers MOVED, the map
+refreshes once, and traffic continues on the new owner.
+
+Scans fan out to every node in parallel — each node answers for exactly
+the shards it owns — and the fragments are merged by key. During the
+seal-to-release instant of a migration both ends may answer reads for
+the moving shard; the merge deduplicates by key, and zero-loss shipping
+makes both answers equal, so the race is harmless.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Dict, List, Optional, Tuple, TypeVar
+
+from ..errors import ConfigError, ReproError
+from ..server.client import KVClient, MovedError
+from ..server.protocol import BatchOp
+from .map import ClusterMap, NodeInfo
+
+T = TypeVar("T")
+
+
+class ClusterError(ReproError):
+    """A cluster operation failed beyond per-node retry (e.g. the
+    redirect budget was exhausted while the map kept changing)."""
+
+
+class ClusterClient:
+    """Routes KV operations across a cluster by its epoch'd map.
+
+    Args:
+        cluster_map: The routing map to start from (normally fetched by
+            :meth:`connect`).
+        max_redirects: MOVED hops absorbed per operation before
+            :class:`ClusterError` — more than one or two means the map
+            is churning faster than the client can chase it.
+        client_options: Forwarded to every pooled
+            :class:`~repro.server.KVClient` (timeouts, retry budgets).
+    """
+
+    def __init__(
+        self,
+        cluster_map: ClusterMap,
+        *,
+        max_redirects: int = 5,
+        **client_options: object,
+    ) -> None:
+        self.map = cluster_map
+        self.max_redirects = max_redirects
+        self._client_options = client_options
+        self._pool: Dict[Tuple[str, int], KVClient] = {}
+        self._pool_lock = asyncio.Lock()
+        self._closed = False
+        #: MOVED redirects followed (observability).
+        self.moved_redirects = 0
+        #: Map refreshes performed (observability).
+        self.map_refreshes = 0
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        max_redirects: int = 5,
+        **client_options: object,
+    ) -> "ClusterClient":
+        """Bootstrap from any one cluster node's ``CLUSTER`` reply."""
+        seed = await KVClient.connect(host, port, **client_options)
+        try:
+            reply = await seed.command(["CLUSTER"])
+            if reply[0] != "CLUSTER" or len(reply) < 2:
+                raise ConfigError(
+                    f"{host}:{port} is not a cluster node "
+                    f"(CLUSTER answered {reply[0]!r})"
+                )
+            cluster_map = ClusterMap.from_json(reply[1])
+        except BaseException:
+            await seed.close()
+            raise
+        client = cls(
+            cluster_map, max_redirects=max_redirects, **client_options
+        )
+        client._pool[(host, port)] = seed
+        return client
+
+    async def close(self) -> None:
+        """Close every pooled connection."""
+        self._closed = True
+        clients = list(self._pool.values())
+        self._pool.clear()
+        for client in clients:
+            await client.close()
+
+    async def __aenter__(self) -> "ClusterClient":
+        return self
+
+    async def __aexit__(self, *_exc_info: object) -> None:
+        await self.close()
+
+    # -- operations -----------------------------------------------------------
+
+    async def get(self, key: str) -> Optional[str]:
+        """Point lookup on the key's owning node."""
+        return await self._on_owner(
+            self.map.shard_index(key), lambda c: c.get(key)
+        )
+
+    async def put(self, key: str, value: str) -> None:
+        """Write-through to the key's owning node."""
+        await self._on_owner(
+            self.map.shard_index(key), lambda c: c.put(key, value)
+        )
+
+    async def delete(self, key: str) -> None:
+        """Delete on the key's owning node."""
+        await self._on_owner(
+            self.map.shard_index(key), lambda c: c.delete(key)
+        )
+
+    async def batch(self, ops: List[BatchOp]) -> int:
+        """Apply a batch, split by owning node; returns the op count.
+
+        Atomicity is per shard (the engine contract) — a multi-node
+        batch is N independent per-node batches issued concurrently.
+        """
+        by_shard: Dict[int, List[BatchOp]] = {}
+        for op in ops:
+            by_shard.setdefault(self.map.shard_index(op[1]), []).append(op)
+        counts = await asyncio.gather(
+            *(
+                self._on_owner(
+                    shard,
+                    lambda c, sub_ops=sub_ops: c.batch(sub_ops),
+                )
+                for shard, sub_ops in by_shard.items()
+            )
+        )
+        return sum(counts)
+
+    async def scan(
+        self, lo: str, hi: str, limit: Optional[int] = None
+    ) -> List[Tuple[str, str]]:
+        """Cluster-wide range lookup: fan out, merge by key, cap."""
+        nodes = list(self.map.nodes.values())
+        fragments = await asyncio.gather(
+            *(self._scan_node(node, lo, hi, limit) for node in nodes)
+        )
+        merged: Dict[str, str] = {}
+        for fragment in fragments:
+            merged.update(fragment)
+        pairs = sorted(merged.items())
+        return pairs if limit is None else pairs[:limit]
+
+    async def _scan_node(
+        self, node: NodeInfo, lo: str, hi: str, limit: Optional[int]
+    ) -> List[Tuple[str, str]]:
+        client = await self._client_for(node.host, node.port)
+        return await client.scan(lo, hi, limit)
+
+    async def refresh(
+        self, host: Optional[str] = None, port: Optional[int] = None
+    ) -> ClusterMap:
+        """Re-fetch the map — from ``host:port`` when given (a redirect
+        target), else from the first reachable known node — and install
+        it if newer. Returns the map now in effect."""
+        candidates: List[Tuple[str, int]]
+        if host is not None and port is not None:
+            candidates = [(host, port)]
+        else:
+            candidates = [
+                (node.host, node.port)
+                for _, node in sorted(self.map.nodes.items())
+            ]
+        last_error: Optional[Exception] = None
+        for candidate_host, candidate_port in candidates:
+            try:
+                client = await self._client_for(
+                    candidate_host, candidate_port
+                )
+                reply = await client.command(["CLUSTER"])
+                fetched = ClusterMap.from_json(reply[1])
+            except (ConnectionError, OSError, ReproError) as exc:
+                last_error = exc
+                continue
+            self.map_refreshes += 1
+            if fetched.epoch > self.map.epoch:
+                self.map = fetched
+            return self.map
+        raise ClusterError(
+            f"no cluster node reachable for a map refresh: {last_error}"
+        )
+
+    # -- plumbing -------------------------------------------------------------
+
+    async def _on_owner(
+        self,
+        shard: int,
+        op: Callable[[KVClient], Awaitable[T]],
+    ) -> T:
+        """Run ``op`` against the shard's owner, chasing MOVED redirects."""
+        last_moved: Optional[MovedError] = None
+        for _ in range(self.max_redirects + 1):
+            owner = self.map.owner(shard)
+            client = await self._client_for(owner.host, owner.port)
+            try:
+                return await op(client)
+            except MovedError as moved:
+                self.moved_redirects += 1
+                last_moved = moved
+                # The redirect target is (as of the replying node's map)
+                # the owner — its own map is at least that new, so
+                # refreshing from it both fixes this shard's route and
+                # picks up whatever else changed.
+                await self.refresh(moved.host, moved.port)
+                if self.map.epoch < moved.epoch:
+                    # Refresh could not reach a map as new as the
+                    # redirect claims; fall back to following it blindly
+                    # next loop by patching the route we were given.
+                    self.map = self.map.with_assignment(
+                        shard,
+                        f"{moved.host}:{moved.port}",
+                        host=moved.host,
+                        port=moved.port,
+                    )
+        raise ClusterError(
+            f"shard {shard} still MOVED after {self.max_redirects} "
+            f"redirects: {last_moved}"
+        )
+
+    async def _client_for(self, host: str, port: int) -> KVClient:
+        if self._closed:
+            raise ConnectionError("cluster client closed")
+        key = (host, port)
+        client = self._pool.get(key)
+        if client is not None:
+            return client
+        async with self._pool_lock:
+            client = self._pool.get(key)
+            if client is None:
+                client = await KVClient.connect(
+                    host, port, **self._client_options
+                )
+                self._pool[key] = client
+            return client

@@ -1,0 +1,254 @@
+"""ClusterNode: a :class:`~repro.server.KVServer` speaking cluster verbs.
+
+One ClusterNode fronts one :class:`~repro.cluster.NodeStore` — everything
+the serving layer already does (pipelining, per-shard group commit,
+admission control, degraded-mode replies) applies unchanged, because the
+NodeStore satisfies the same :class:`~repro.api.KVStore` protocol and
+exposes ``num_shards``/``shard_index`` for the per-shard committers. On
+top of that, this subclass:
+
+* maps :class:`~repro.errors.ShardMovedError` to the retryable
+  ``ERR MOVED <shard> <host>:<port> <epoch>`` reply and
+  :class:`~repro.errors.ShardFencedError` to ``BUSY`` (a fenced shard is
+  milliseconds from flipping, so the client's ordinary BUSY backoff
+  absorbs the handoff invisibly);
+* serves ``CLUSTER`` — fetch the node's epoch'd map, or push a newer map
+  (membership changes ride this; ownership changes are rejected unless
+  they come through the migration protocol);
+* serves the node-to-node migration stream ``MIG.BEGIN`` / ``MIG.APPLY``
+  / ``MIG.SEAL`` (the destination role);
+* serves ``MIGRATE <shard> <node_id>`` — the source role: drive a full
+  live migration of one owned shard to a peer and reply with its stats.
+
+The ``MIG.*`` stream relies on a protocol guarantee the server already
+provides: requests on one connection are answered strictly in order, so
+the driver's single peer connection gives BEGIN → APPLY* → SEAL exactly
+the ordering the primitives need. ``MIGRATE`` itself is handled inline on
+the requesting connection — only that connection blocks for the duration;
+every other connection (including the writes being migrated under) keeps
+being served by the event loop.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional
+
+from ..errors import ConfigError, ShardFencedError, ShardMovedError
+from ..server.client import KVClient
+from ..server.protocol import BatchOp, ProtocolError, decode_batch, encode_batch
+from ..server.server import KVServer
+from .map import ClusterMap
+from .store import SNAPSHOT_CHUNK, NodeStore
+
+#: Verbs this subclass dispatches ahead of the base server.
+_CLUSTER_VERBS = ("CLUSTER", "MIGRATE", "MIG.BEGIN", "MIG.APPLY", "MIG.SEAL")
+
+
+class ClusterNode(KVServer):
+    """One cluster member: a KVServer bound at its map address.
+
+    Args:
+        store: The node's :class:`~repro.cluster.NodeStore`; its map
+            entry provides the default bind address (pass ``host`` /
+            ``port`` to override, e.g. ``port=0`` in tests — but then
+            the map the *other* members route by must be built from the
+            resolved :attr:`port`).
+        options: Forwarded to :class:`~repro.server.KVServer`.
+    """
+
+    def __init__(self, store: NodeStore, **options: object) -> None:
+        info = store.map.nodes[store.node_id]
+        options.setdefault("host", info.host)
+        options.setdefault("port", info.port)
+        super().__init__(store, **options)  # type: ignore[arg-type]
+        self.node_store = store
+        #: Completed outbound migrations (stats dicts), oldest first.
+        self.migrations: List[Dict[str, object]] = []
+
+    # -- error mapping --------------------------------------------------------
+
+    def _error_reply(self, exc: BaseException) -> List[str]:
+        if isinstance(exc, ShardMovedError):
+            return [
+                "ERR",
+                "MOVED",
+                str(exc.shard),
+                f"{exc.host}:{exc.port}",
+                str(exc.epoch),
+                str(exc),
+            ]
+        if isinstance(exc, ShardFencedError):
+            # Not an error to the client: the shard flips owners within
+            # milliseconds, and BUSY is the "retry shortly" signal the
+            # client already absorbs with jittered backoff.
+            return ["BUSY", str(exc)]
+        return super()._error_reply(exc)
+
+    # -- cluster verbs --------------------------------------------------------
+
+    async def _dispatch_read(self, request: List[str]) -> List[str]:
+        verb = request[0]
+        if verb not in _CLUSTER_VERBS:
+            return await super()._dispatch_read(request)
+        started = time.perf_counter()
+        try:
+            reply = await self._dispatch_cluster(request)
+        except Exception as exc:
+            self.metrics.errors_total += 1
+            return self._error_reply(exc)
+        self.metrics.record_op(
+            verb, (time.perf_counter() - started) * 1e6
+        )
+        return reply
+
+    async def _dispatch_cluster(self, request: List[str]) -> List[str]:
+        verb = request[0]
+        store = self.node_store
+        if verb == "CLUSTER":
+            if len(request) == 1:
+                return ["CLUSTER", store.map.to_json()]
+            if len(request) == 2:
+                pushed = ClusterMap.from_json(request[1])
+                changed = await self._run_engine(store.install_map, pushed)
+                return ["OK", "installed" if changed else "ignored"]
+            raise ProtocolError("CLUSTER takes at most a map payload")
+        if verb == "MIGRATE":
+            if len(request) != 3:
+                raise ProtocolError(
+                    "MIGRATE needs a shard index and a destination node id"
+                )
+            stats = await self._migrate_shard(
+                self._parse_shard(request[1]), request[2]
+            )
+            return ["OK", json.dumps(stats, sort_keys=True)]
+        if verb == "MIG.BEGIN":
+            if len(request) != 2:
+                raise ProtocolError("MIG.BEGIN needs exactly a shard index")
+            shard = self._parse_shard(request[1])
+            await self._run_engine(store.migration_begin, shard)
+            # Reply with our map too: a source whose map lags ours (it
+            # missed migrations we took part in) fast-forwards before
+            # computing the flip epoch, which must exceed *both* maps.
+            return ["OK", store.node_id, store.map.to_json()]
+        if verb == "MIG.APPLY":
+            if len(request) < 2:
+                raise ProtocolError("MIG.APPLY needs a shard index")
+            shard = self._parse_shard(request[1])
+            ops = decode_batch(["BATCH", *request[2:]])
+            await self._run_engine(store.migration_apply, shard, ops)
+            return ["OK", str(len(ops))]
+        if verb == "MIG.SEAL":
+            if len(request) != 3:
+                raise ProtocolError(
+                    "MIG.SEAL needs a shard index and a map payload"
+                )
+            shard = self._parse_shard(request[1])
+            sealed = ClusterMap.from_json(request[2])
+            await self._run_engine(store.migration_seal, shard, sealed)
+            return ["OK", str(sealed.epoch)]
+        raise ProtocolError(f"unknown command {verb!r}")  # unreachable
+
+    @staticmethod
+    def _parse_shard(text: str) -> int:
+        try:
+            return int(text)
+        except ValueError:
+            raise ProtocolError(
+                f"shard index must be an integer, got {text!r}"
+            ) from None
+
+    # -- outbound migration driver -------------------------------------------
+
+    async def _migrate_shard(
+        self, shard: int, dest_id: str
+    ) -> Dict[str, object]:
+        """Drive one live migration: warm the peer, fence, flip, release.
+
+        Engine-touching steps run on the executor so the event loop — and
+        with it the writes being migrated under — never stalls; the only
+        write-visible window is the fence, measured and reported as
+        ``fence_ms``.
+        """
+        store = self.node_store
+        if dest_id == store.node_id:
+            raise ConfigError(f"shard {shard} already lives on {dest_id}")
+        dest = store.map.nodes.get(dest_id)
+        if dest is None:
+            raise ConfigError(
+                f"unknown destination node {dest_id!r}; push a map that "
+                "adds it first (CLUSTER <map>)"
+            )
+        peer = await KVClient.connect(dest.host, dest.port)
+        try:
+            begun = await peer.command(["MIG.BEGIN", str(shard)])
+            if len(begun) > 2:
+                peer_map = ClusterMap.from_json(begun[2])
+                if peer_map.epoch > store.map.epoch:
+                    # The peer's map is newer (every change to *our*
+                    # shards goes through us, so it can only differ in
+                    # other nodes' placements — installable). Adopting
+                    # it keeps the flip epoch above the peer's.
+                    await self._run_engine(store.install_map, peer_map)
+            tail = await self._run_engine(store.migration_attach_tail, shard)
+            try:
+                snapshot_pairs = 0
+                tail_ops = 0
+                after: Optional[str] = None
+                while True:
+                    pairs = await self._run_engine(
+                        store.migration_snapshot_chunk,
+                        shard,
+                        after,
+                        SNAPSHOT_CHUNK,
+                    )
+                    if pairs:
+                        await self._ship(
+                            peer,
+                            shard,
+                            [("put", key, value) for key, value in pairs],
+                        )
+                        snapshot_pairs += len(pairs)
+                        after = pairs[-1][0]
+                    tail_ops += await self._ship(peer, shard, tail.drain())
+                    if len(pairs) < SNAPSHOT_CHUNK:
+                        break
+                fence_started = time.perf_counter()
+                await self._run_engine(store.fence, shard)
+                await self._run_engine(store.migration_detach_tail, shard)
+                tail_ops += await self._ship(peer, shard, tail.drain())
+                new_map = store.map.with_assignment(shard, dest_id)
+                await peer.command(
+                    ["MIG.SEAL", str(shard), new_map.to_json()]
+                )
+                await self._run_engine(store.release_shard, shard, new_map)
+                fence_ms = (time.perf_counter() - fence_started) * 1000.0
+            except BaseException:
+                await self._run_engine(store.abort_migration, shard)
+                raise
+        finally:
+            await peer.close()
+        stats: Dict[str, object] = {
+            "shard": shard,
+            "from": store.node_id,
+            "to": dest_id,
+            "epoch": store.map.epoch,
+            "snapshot_pairs": snapshot_pairs,
+            "tail_ops": tail_ops,
+            "fence_ms": fence_ms,
+        }
+        self.migrations.append(stats)
+        return stats
+
+    @staticmethod
+    async def _ship(
+        peer: KVClient, shard: int, ops: List[BatchOp]
+    ) -> int:
+        """MIG.APPLY one batch to the peer; returns the op count."""
+        if not ops:
+            return 0
+        await peer.command(
+            ["MIG.APPLY", str(shard), *encode_batch(ops)[1:]]
+        )
+        return len(ops)

@@ -1,0 +1,852 @@
+"""One cluster node's engine: the shards the map assigns it, nothing else.
+
+:class:`NodeStore` is the per-node sibling of
+:class:`~repro.shard.ShardedStore`. Both satisfy the
+:class:`~repro.api.KVStore` protocol and route keys identically (same
+hash / range placement, driven by the :class:`~repro.cluster.ClusterMap`),
+but a NodeStore opens only the trees for the shards *assigned to its
+node id* — requests for any other shard raise
+:class:`~repro.errors.ShardMovedError` carrying the owning node's
+address and the map epoch, which the serving layer turns into the
+retryable ``ERR MOVED`` redirect. ``num_shards`` still reports the
+*global* shard count, so the serving layer's per-shard group committers
+line up with cluster-wide shard indices unchanged.
+
+Live migration is built from five small primitives, driven either
+in-process (:func:`migrate_local`, which the crash-consistency sweep
+crashes at every crossing) or over the wire (the ``MIGRATE`` driver in
+:mod:`repro.cluster.node`):
+
+1. destination :meth:`~NodeStore.migration_begin` — wipe any stale
+   leftovers and open a fresh *receiving* tree that is journaled but not
+   serving;
+2. source :meth:`~NodeStore.migration_attach_tail` — tap the shard's
+   WAL commit hook so every group committed from now on is buffered in
+   commit order, then ship a chunked snapshot scan (tail groups are
+   drained and shipped between chunks, so the backlog never grows);
+3. source :meth:`~NodeStore.fence` — writes to the shard now raise
+   :class:`~repro.errors.ShardFencedError` (served as ``BUSY``, absorbed
+   by client retry); detaching the tail takes the tree's write mutex, so
+   after it returns every in-flight commit has been observed;
+4. destination :meth:`~NodeStore.migration_seal` — persist the
+   bumped-epoch map and atomically adopt the receiving tree as serving;
+5. source :meth:`~NodeStore.release_shard` — persist the same map,
+   close the local tree, answer ``MOVED`` thereafter.
+
+Correctness argument, in one paragraph: all data flows to the
+destination over a single ordered channel, snapshot chunks interleaved
+with drained tail batches. A snapshot chunk read at time *t* carries a
+value at least as new as any tail group shipped before *t* (the scan
+reads the live tree), and every tail group shipped after it is a newer
+commit — so per key, the *last arrival wins* and applying everything in
+arrival order (duplicates included, applies are last-write-wins)
+reproduces the source's latest state. The fence plus the write-mutex
+barrier in the hook detach guarantee the final drain is complete. The
+destination seals *before* the source releases; a crash between the two
+leaves both nodes claiming the shard on disk, and the bumped epoch —
+higher wins — arbitrates to exactly one owner, with both claimants
+holding every acknowledged write.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import threading
+import time
+from heapq import merge as heap_merge
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.config import LSMConfig
+from ..core.entry import Entry, EntryKind
+from ..core.merge_operator import MergeOperator
+from ..core.stats import TreeStats
+from ..core.tree import LSMTree
+from ..errors import (
+    BackgroundError,
+    ClosedError,
+    ConfigError,
+    ShardFencedError,
+    ShardMovedError,
+    ShardUnavailableError,
+)
+from ..faults.registry import fault_point
+from ..shard.store import HEALTHY, BatchOp, HealthState
+from .map import ClusterMap
+
+#: Upper bound for snapshot pagination: no real key sorts above a run of
+#: maximal code points, so ``scan(after, _MAX_KEY)`` reads "the rest".
+_MAX_KEY = "\U0010ffff" * 8
+
+#: Key/value pairs shipped per snapshot chunk by the migration drivers.
+SNAPSHOT_CHUNK = 256
+
+
+class _TailBuffer:
+    """Thread-safe FIFO of batch ops tapped off a shard's WAL commits.
+
+    The WAL commit hook fires on the committing thread, after the
+    group's sync, in commit order; the buffer just records that order so
+    the migration driver can drain and ship in the same order. Merge and
+    range-delete entries are refused — the serving layer only produces
+    put/delete, and shipping a merge operand without its base would
+    change its meaning on the destination.
+    """
+
+    def __init__(self, shard: int) -> None:
+        self.shard = shard
+        self._ops: List[BatchOp] = []
+        self._lock = threading.Lock()
+        #: Total ops ever buffered (driver observability).
+        self.total_ops = 0
+
+    def on_commit(self, entries: List[Entry]) -> None:
+        converted: List[BatchOp] = []
+        for entry in entries:
+            if entry.kind is EntryKind.PUT:
+                converted.append(("put", entry.key, entry.value))
+            elif entry.kind in (
+                EntryKind.DELETE,
+                EntryKind.SINGLE_DELETE,
+            ):
+                converted.append(("delete", entry.key, None))
+            else:
+                raise ConfigError(
+                    f"live migration cannot ship {entry.kind.name} "
+                    "entries; migrate shards with put/delete workloads"
+                )
+        with self._lock:
+            self._ops.extend(converted)
+            self.total_ops += len(converted)
+
+    def drain(self) -> List[BatchOp]:
+        """Take everything buffered so far, in commit order."""
+        with self._lock:
+            ops, self._ops = self._ops, []
+            return ops
+
+
+class NodeStore:
+    """The shards of one cluster node, routed by a shared ClusterMap.
+
+    Args:
+        node_id: This node's identity; must appear in ``cluster_map``.
+        cluster_map: The epoch-versioned assignment to serve under; it
+            is persisted into ``wal_dir`` as ``cluster.json``.
+        config: Per-shard engine configuration (shared instance).
+        wal_dir: Required — a cluster node is durable by definition.
+            Each owned shard journals into ``shard-NN/`` underneath.
+        merge_operator: Passed to every shard tree (note that *live
+            migration* refuses merge entries; see :class:`_TailBuffer`).
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        cluster_map: ClusterMap,
+        config: Optional[LSMConfig] = None,
+        *,
+        wal_dir: str,
+        merge_operator: Optional[MergeOperator] = None,
+        _recover: bool = False,
+    ) -> None:
+        if node_id not in cluster_map.nodes:
+            raise ConfigError(
+                f"node {node_id!r} is not in the cluster map "
+                f"({sorted(cluster_map.nodes)})"
+            )
+        self.node_id = node_id
+        self.map = cluster_map
+        self._config = config
+        self._merge_operator = merge_operator
+        self._wal_dir = wal_dir
+        self._closed = False
+        os.makedirs(wal_dir, exist_ok=True)
+        cluster_map.save(wal_dir)
+        #: Serving trees, keyed by *global* shard index.
+        self.trees: Dict[int, LSMTree] = {}
+        self._health: Dict[int, HealthState] = {}
+        for shard in cluster_map.shards_of(node_id):
+            path = self._shard_dir(shard)
+            os.makedirs(path, exist_ok=True)
+            if _recover:
+                tree = LSMTree.recover(
+                    config, path, merge_operator=merge_operator
+                )
+            else:
+                tree = LSMTree(
+                    config, wal_dir=path, merge_operator=merge_operator
+                )
+            self.trees[shard] = tree
+            self._health[shard] = HealthState()
+        #: Per-shard write serialization point: the fence check and the
+        #: commit it guards happen under this lock, and :meth:`fence`
+        #: sets its flag under the same lock — so once ``fence`` returns,
+        #: every admitted write has fully committed (and hence been
+        #: captured by the attached tail) and every later write raises.
+        #: Without it a write could pass the check, lose the CPU, and
+        #: commit *after* the tail detached: acknowledged yet never
+        #: shipped. The serving layer already runs one committer per
+        #: shard, so the lock is uncontended in the common case.
+        self._write_locks: Dict[int, threading.Lock] = {
+            shard: threading.Lock() for shard in self.trees
+        }
+        #: Migration state: trees being warmed (not serving), shards
+        #: fenced for handoff, and attached WAL-tail buffers.
+        self._receiving: Dict[int, LSMTree] = {}
+        self._fenced: Set[int] = set()
+        self._tails: Dict[int, _TailBuffer] = {}
+        self._transition_lock = threading.Lock()
+        self._health_lock = threading.Lock()
+
+    def _shard_dir(self, shard: int) -> str:
+        return os.path.join(self._wal_dir, f"shard-{shard:02d}")
+
+    # -- routing --------------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        """*Global* shard count (the serving layer's committer fan-out)."""
+        return self.map.num_shards
+
+    def shard_index(self, key: str) -> int:
+        """Global shard index of ``key`` (identical to ShardedStore)."""
+        return self.map.shard_index(key)
+
+    def owned_shards(self) -> List[int]:
+        """Shards this node currently serves, ascending."""
+        return sorted(self.trees)
+
+    def _owned_tree(self, shard: int) -> LSMTree:
+        """The serving tree for ``shard``; MOVED when it lives elsewhere."""
+        tree = self.trees.get(shard)
+        if tree is None:
+            owner = self.map.owner(shard)
+            raise ShardMovedError(
+                shard, owner.node_id, owner.host, owner.port, self.map.epoch
+            )
+        return tree
+
+    # -- failure isolation (mirrors ShardedStore) -----------------------------
+
+    def _quarantine(self, shard: int, cause: BaseException) -> None:
+        with self._health_lock:
+            health = self._health[shard]
+            if health.healthy:
+                health.state = "quarantined"
+                health.reason = str(cause) or type(cause).__name__
+                health.since_s = time.monotonic()
+
+    def _check_available(self, shard: int) -> None:
+        health = self._health.get(shard)
+        if health is not None and not health.healthy:
+            raise ShardUnavailableError(
+                shard, health.reason or "quarantined"
+            )
+
+    def _shard_op(self, shard: int, op: Callable[[], object]):
+        self._check_available(shard)
+        tree = self._owned_tree(shard)
+        error = tree.background_error()
+        if error is not None:
+            self._quarantine(shard, error)
+            raise ShardUnavailableError(
+                shard, f"background workers died: {error}"
+            )
+        try:
+            return op()
+        except BackgroundError as exc:
+            self._quarantine(shard, exc)
+            raise ShardUnavailableError(shard, str(exc)) from exc
+
+    # -- KVStore operations ---------------------------------------------------
+
+    def put(self, key: str, value: str) -> None:
+        self.write_batch([("put", key, value)])
+
+    def delete(self, key: str) -> None:
+        self.write_batch([("delete", key, None)])
+
+    def get(self, key: str) -> Optional[str]:
+        self._check_open()
+        shard = self.shard_index(key)
+        tree = self._owned_tree(shard)
+        return self._shard_op(shard, lambda: tree.get(key))
+
+    def write_batch(self, ops: Sequence[BatchOp]) -> None:
+        """Commit ``ops`` on their owned shards; MOVED/fenced up front.
+
+        Validation and ownership/fence checks run before anything is
+        applied, so a batch touching a moved or fenced shard fails with
+        nothing written. Per-shard sub-batches then commit one at a time
+        — the serving layer already runs one committer per shard, so
+        batches arriving here are almost always single-shard.
+        """
+        self._check_open()
+        if not ops:
+            return
+        for op, key, value in ops:
+            if not key:
+                raise ValueError("keys must be non-empty")
+            if op == "put":
+                if value is None:
+                    raise ValueError("put ops need a value")
+            elif op != "delete":
+                raise ValueError(f"unknown batch op {op!r}")
+        by_shard: Dict[int, List[BatchOp]] = {}
+        for batch_op in ops:
+            by_shard.setdefault(
+                self.shard_index(batch_op[1]), []
+            ).append(batch_op)
+        for shard in by_shard:
+            self._owned_tree(shard)
+            if shard in self._fenced:
+                raise ShardFencedError(shard)
+            self._check_available(shard)
+        for shard, sub_ops in by_shard.items():
+            tree = self._owned_tree(shard)
+            lock = self._write_locks.get(shard)
+            if lock is None:  # released between the check and here
+                raise ShardFencedError(shard)
+            with lock:
+                if shard in self._fenced:
+                    raise ShardFencedError(shard)
+                self._shard_op(shard, lambda: tree.write_batch(sub_ops))
+
+    def scan(
+        self, lo: str, hi: str, limit: Optional[int] = None
+    ) -> List[Tuple[str, str]]:
+        """Range lookup over the shards *this node owns*.
+
+        A node answers for its slice of the key space only; the
+        cluster-wide merge across nodes is the
+        :class:`~repro.cluster.ClusterClient`'s job. Range routing skips
+        owned shards outside ``[lo, hi)``.
+        """
+        self._check_open()
+        if limit is not None and limit < 0:
+            raise ValueError("limit must be non-negative (or None)")
+        if lo >= hi or limit == 0:
+            return []
+        involved = sorted(self.trees)
+        if self.map.routing == "range":
+            import bisect
+
+            first = bisect.bisect_right(self.map.boundaries, lo)
+            # hi is exclusive, so bisect_left: a scan ending exactly on
+            # a boundary skips the next shard (it owns keys >= hi).
+            last = bisect.bisect_left(self.map.boundaries, hi)
+            involved = [s for s in involved if first <= s <= last]
+        partials: List[List[Tuple[str, str]]] = []
+        for shard in involved:
+            tree = self.trees[shard]
+            partials.append(
+                self._shard_op(shard, lambda: tree.scan(lo, hi, limit))
+            )
+        merged = list(heap_merge(*partials))
+        if limit is not None:
+            merged = merged[:limit]
+        return merged
+
+    # -- migration primitives: destination side -------------------------------
+
+    def migration_begin(self, shard: int) -> str:
+        """Open a fresh receiving tree for ``shard``; returns our node id.
+
+        Any leftover state for the shard — an abandoned earlier
+        migration attempt, or debris from a previous ownership stint —
+        is wiped first, so the warm-up always starts from empty (which is
+        what makes re-shipping after a failed attempt safe).
+        """
+        self._check_open()
+        with self._transition_lock:
+            if shard in self.trees:
+                raise ConfigError(
+                    f"node {self.node_id} already owns shard {shard}"
+                )
+            stale = self._receiving.pop(shard, None)
+            if stale is not None:
+                stale.kill()
+            path = self._shard_dir(shard)
+            shutil.rmtree(path, ignore_errors=True)
+            os.makedirs(path, exist_ok=True)
+            fault_point(
+                "cluster.migrate.begin",
+                scope=f"{self.node_id}/shard-{shard:02d}",
+            )
+            self._receiving[shard] = LSMTree(
+                self._config,
+                wal_dir=path,
+                merge_operator=self._merge_operator,
+            )
+        return self.node_id
+
+    def migration_apply(self, shard: int, ops: Sequence[BatchOp]) -> None:
+        """Apply one shipped batch (snapshot chunk or tail drain)."""
+        self._check_open()
+        tree = self._receiving.get(shard)
+        if tree is None:
+            raise ConfigError(
+                f"no migration in progress for shard {shard} on "
+                f"{self.node_id}"
+            )
+        if ops:
+            tree.write_batch(list(ops))
+
+    def migration_seal(self, shard: int, new_map: ClusterMap) -> None:
+        """Atomically adopt the warmed shard under the bumped-epoch map.
+
+        The map is persisted *before* the tree starts serving: after any
+        crash, disk ownership (the freshest ``cluster.json``) and the
+        shard data (the receiving tree's WAL, already durable in the
+        shard directory) agree.
+        """
+        self._check_open()
+        with self._transition_lock:
+            tree = self._receiving.get(shard)
+            if tree is None:
+                raise ConfigError(
+                    f"no migration in progress for shard {shard} on "
+                    f"{self.node_id}"
+                )
+            if new_map.epoch <= self.map.epoch:
+                raise ConfigError(
+                    f"seal map epoch {new_map.epoch} is not newer than "
+                    f"current epoch {self.map.epoch}"
+                )
+            if new_map.owner_id(shard) != self.node_id:
+                raise ConfigError(
+                    f"seal map assigns shard {shard} to "
+                    f"{new_map.owner_id(shard)!r}, not {self.node_id!r}"
+                )
+            fault_point(
+                "cluster.migrate.seal",
+                scope=f"{self.node_id}/shard-{shard:02d}",
+            )
+            new_map.save(self._wal_dir)
+            self.map = new_map
+            del self._receiving[shard]
+            self.trees[shard] = tree
+            self._health[shard] = HealthState()
+            self._write_locks[shard] = threading.Lock()
+            self._fenced.discard(shard)
+
+    # -- migration primitives: source side ------------------------------------
+
+    def migration_attach_tail(self, shard: int) -> _TailBuffer:
+        """Tap ``shard``'s WAL commits into a buffer; returns the buffer.
+
+        Installing the hook takes the tree's write mutex, so every
+        commit group that completes after this returns is captured.
+        """
+        self._check_open()
+        with self._transition_lock:
+            if shard in self._tails:
+                raise ConfigError(
+                    f"shard {shard} is already migrating off "
+                    f"{self.node_id}"
+                )
+            tree = self._owned_tree(shard)
+            tail = _TailBuffer(shard)
+            tree.set_wal_commit_hook(tail.on_commit)
+            self._tails[shard] = tail
+        return tail
+
+    def migration_snapshot_chunk(
+        self,
+        shard: int,
+        after: Optional[str],
+        limit: int = SNAPSHOT_CHUNK,
+    ) -> List[Tuple[str, str]]:
+        """The next ``limit`` live pairs of ``shard`` strictly after
+        ``after`` (``None`` starts from the beginning)."""
+        self._check_open()
+        tree = self._owned_tree(shard)
+        lo = "" if after is None else after + "\x00"
+        return self._shard_op(
+            shard, lambda: tree.scan(lo, _MAX_KEY, limit)
+        )
+
+    def fence(self, shard: int) -> None:
+        """Refuse new writes to ``shard`` (``ShardFencedError`` → BUSY).
+
+        Setting the flag under the shard's write lock is the handoff's
+        linearization point: acquiring the lock waits out any write that
+        already passed its fence check, so when this returns, every
+        acknowledged write has committed (and fired the attached tail
+        hook) and every later write raises.
+        """
+        self._check_open()
+        self._owned_tree(shard)
+        fault_point(
+            "cluster.migrate.fence",
+            scope=f"{self.node_id}/shard-{shard:02d}",
+        )
+        with self._write_locks[shard]:
+            self._fenced.add(shard)
+
+    def migration_detach_tail(self, shard: int) -> None:
+        """Remove the WAL tap. Taking the write mutex inside
+        ``set_wal_commit_hook`` doubles as the drain barrier: when this
+        returns, every in-flight commit has already fired the hook."""
+        self._check_open()
+        tree = self._owned_tree(shard)
+        tree.set_wal_commit_hook(None)
+
+    def release_shard(self, shard: int, new_map: ClusterMap) -> None:
+        """Persist the flip and stop serving ``shard`` (MOVED hereafter).
+
+        The local tree is closed but its directory is *kept*: until the
+        operator prunes it, the released data backs the crash window in
+        which the destination sealed but this node had not yet released
+        — either side alone can satisfy every acknowledged write, and
+        the epoch decides who answers.
+        """
+        self._check_open()
+        with self._transition_lock:
+            tree = self.trees.get(shard)
+            if tree is None:
+                raise ConfigError(
+                    f"node {self.node_id} does not own shard {shard}"
+                )
+            if new_map.epoch <= self.map.epoch:
+                raise ConfigError(
+                    f"release map epoch {new_map.epoch} is not newer "
+                    f"than current epoch {self.map.epoch}"
+                )
+            if new_map.owner_id(shard) == self.node_id:
+                raise ConfigError(
+                    f"release map still assigns shard {shard} to "
+                    f"{self.node_id!r}"
+                )
+            fault_point(
+                "cluster.migrate.release",
+                scope=f"{self.node_id}/shard-{shard:02d}",
+            )
+            new_map.save(self._wal_dir)
+            self.map = new_map
+            del self.trees[shard]
+            self._health.pop(shard, None)
+            self._write_locks.pop(shard, None)
+            # The fence flag is deliberately *kept*: a racing write that
+            # grabbed the tree before the flip answers FencedError (→
+            # BUSY, retried) instead of committing to the closed tree;
+            # its retry re-routes and gets the MOVED redirect.
+            self._tails.pop(shard, None)
+            tree.close()
+
+    def abort_migration(self, shard: int) -> None:
+        """Undo source-side migration state after a failed attempt:
+        detach the tail, lift the fence, keep serving."""
+        with self._transition_lock:
+            tree = self.trees.get(shard)
+            if tree is not None and shard in self._tails:
+                tree.set_wal_commit_hook(None)
+            self._tails.pop(shard, None)
+            self._fenced.discard(shard)
+
+    def migrating_shards(self) -> List[int]:
+        """Shards with an attached outbound tail (source side)."""
+        return sorted(self._tails)
+
+    # -- map installation -----------------------------------------------------
+
+    def install_map(self, new_map: ClusterMap) -> bool:
+        """Adopt a pushed map when it is newer and consistent; returns
+        whether anything changed.
+
+        Guard: the pushed map must assign this node exactly the shards
+        it is actually serving — a map that would orphan a live tree (or
+        claim a tree we don't have) is rejected, because ownership
+        changes must go through the migration protocol, not a push.
+        """
+        self._check_open()
+        with self._transition_lock:
+            if new_map.epoch <= self.map.epoch:
+                return False
+            if self.node_id not in new_map.nodes:
+                raise ConfigError(
+                    f"pushed map (epoch {new_map.epoch}) drops node "
+                    f"{self.node_id!r} while it is serving"
+                )
+            if set(new_map.shards_of(self.node_id)) != set(self.trees):
+                raise ConfigError(
+                    f"pushed map (epoch {new_map.epoch}) assigns "
+                    f"{new_map.shards_of(self.node_id)} to "
+                    f"{self.node_id!r} which serves "
+                    f"{sorted(self.trees)}; ownership changes require "
+                    "migration"
+                )
+            new_map.save(self._wal_dir)
+            self.map = new_map
+            return True
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def flush(self) -> None:
+        self._check_open()
+        for shard in sorted(self.trees):
+            if self._health[shard].healthy:
+                self._shard_op(shard, self.trees[shard].flush)
+
+    def close(self) -> None:
+        """Close every tree (serving and receiving). Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        failure: Optional[BaseException] = None
+        for tree in list(self._receiving.values()):
+            tree.kill()  # never served; nothing promised
+        for shard, tree in sorted(self.trees.items()):
+            try:
+                tree.close()
+            except BackgroundError as exc:
+                if self._health[shard].healthy and failure is None:
+                    failure = exc
+            except BaseException as exc:
+                if failure is None:
+                    failure = exc
+        if failure is not None:
+            raise failure
+
+    def kill(self) -> None:
+        """Abandon everything as a process crash would. Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for tree in list(self._receiving.values()):
+            tree.kill()
+        for tree in self.trees.values():
+            tree.kill()
+
+    def __enter__(self) -> "NodeStore":
+        return self
+
+    def __exit__(self, *_exc_info: object) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ClosedError("node store is closed")
+
+    # -- recovery -------------------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls,
+        node_id: str,
+        config: Optional[LSMConfig],
+        wal_dir: str,
+        *,
+        merge_operator: Optional[MergeOperator] = None,
+    ) -> "NodeStore":
+        """Rebuild this node from its directory after a crash.
+
+        The persisted ``cluster.json`` (the freshest map this node ever
+        saved) decides which shards to open; each owned shard replays
+        its own WAL. Shard directories the map does *not* assign to this
+        node are left untouched — they are either an interrupted inbound
+        migration (re-wiped by the next ``migration_begin``) or data
+        this node released, kept as the crash-window backstop.
+        """
+        cluster_map = ClusterMap.load(wal_dir)
+        return cls(
+            node_id,
+            cluster_map,
+            config,
+            wal_dir=wal_dir,
+            merge_operator=merge_operator,
+            _recover=True,
+        )
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def stats(self) -> TreeStats:
+        owned = [tree.stats for tree in self.trees.values()]
+        return TreeStats.merged(owned) if owned else TreeStats()
+
+    def backpressure(self) -> Dict[str, object]:
+        """Aggregate admission snapshot over *owned, healthy* shards."""
+        per_shard = []
+        for shard, tree in sorted(self.trees.items()):
+            snapshot = tree.backpressure()
+            snapshot["shard"] = shard
+            snapshot["healthy"] = self._health[shard].healthy
+            per_shard.append(snapshot)
+        healthy = [s for s in per_shard if s["healthy"]]
+        severity = {"ok": 0, "slowdown": 1, "stop": 2}
+        if healthy:
+            worst = max(
+                healthy, key=lambda s: severity.get(str(s["state"]), 0)
+            )
+            state = worst["state"]
+        elif per_shard:
+            worst = per_shard[0]
+            state = "stop"
+        else:  # a node can legitimately own zero shards (drained member)
+            return {
+                "state": "ok",
+                "level0_runs": 0,
+                "immutable_buffers": 0,
+                "slowdown_trigger": 0,
+                "stop_trigger": 0,
+                "quarantined_shards": [],
+                "shards": [],
+            }
+        return {
+            "state": state,
+            "level0_runs": max(int(s["level0_runs"]) for s in per_shard),
+            "immutable_buffers": sum(
+                int(s["immutable_buffers"]) for s in per_shard
+            ),
+            "slowdown_trigger": worst["slowdown_trigger"],
+            "stop_trigger": worst["stop_trigger"],
+            "quarantined_shards": self.quarantined_shards(),
+            "shards": per_shard,
+        }
+
+    def quarantined_shards(self) -> List[int]:
+        return sorted(
+            shard
+            for shard, health in self._health.items()
+            if not health.healthy
+        )
+
+    def check_health(self) -> Dict[str, object]:
+        """HEALTH payload: cluster placement plus per-shard quarantine."""
+        self._check_open()
+        for shard, tree in self.trees.items():
+            if self._health[shard].healthy:
+                error = tree.background_error()
+                if error is not None:
+                    self._quarantine(shard, error)
+        quarantined = self.quarantined_shards()
+        if not self.trees:
+            state = HEALTHY
+        elif not quarantined:
+            state = HEALTHY
+        elif len(quarantined) == len(self.trees):
+            state = "failed"
+        else:
+            state = "degraded"
+        return {
+            "state": state,
+            "node_id": self.node_id,
+            "epoch": self.map.epoch,
+            "num_shards": self.map.num_shards,
+            "owned_shards": self.owned_shards(),
+            "migrating_shards": self.migrating_shards(),
+            "receiving_shards": sorted(self._receiving),
+            "quarantined": quarantined,
+            "shards": [
+                {
+                    "shard": shard,
+                    "state": self._health[shard].state,
+                    "reason": self._health[shard].reason,
+                }
+                for shard in sorted(self.trees)
+            ],
+        }
+
+    def shard_summary(self) -> List[Dict[str, object]]:
+        return [
+            {
+                "shard": shard,
+                "routing": self.map.routing,
+                "levels": len(tree.levels),
+                "disk_bytes": tree.total_disk_bytes(),
+                "seqno": tree.seqno,
+                "puts": tree.stats.puts,
+                "deletes": tree.stats.deletes,
+                "flushes": tree.stats.flushes,
+                "compactions": tree.stats.compactions,
+                "backpressure": tree.backpressure()["state"],
+                "health": self._health[shard].state,
+                "health_reason": self._health[shard].reason,
+            }
+            for shard, tree in sorted(self.trees.items())
+        ]
+
+    def total_disk_bytes(self) -> int:
+        return sum(tree.total_disk_bytes() for tree in self.trees.values())
+
+
+def migrate_local(
+    source: NodeStore,
+    dest: NodeStore,
+    shard: int,
+    *,
+    chunk: int = SNAPSHOT_CHUNK,
+    during: Optional[Callable[[], None]] = None,
+) -> Dict[str, object]:
+    """Migrate ``shard`` between two in-process NodeStores.
+
+    The synchronous twin of the wire driver in
+    :mod:`repro.cluster.node` — same primitive sequence, same failpoint
+    crossings, no sockets — which is exactly what the crash-consistency
+    sweep needs: it crashes this function at every crossing and proves
+    that recovery lands every acknowledged write on exactly one owner.
+    ``during`` (tests/sweep only) runs extra source-side writes after the
+    snapshot but before the fence, forcing data through the tail path.
+    """
+    dest.migration_begin(shard)
+    if dest.map.epoch > source.map.epoch:
+        # The destination's map is newer (it took part in migrations we
+        # missed; none can have touched our shards without us). Adopt it
+        # so the flip epoch exceeds both maps.
+        source.install_map(dest.map)
+    tail = source.migration_attach_tail(shard)
+    snapshot_pairs = 0
+    try:
+        after: Optional[str] = None
+        while True:
+            pairs = source.migration_snapshot_chunk(shard, after, chunk)
+            if pairs:
+                fault_point(
+                    "cluster.migrate.snapshot",
+                    scope=f"{source.node_id}/shard-{shard:02d}",
+                )
+                dest.migration_apply(
+                    shard, [("put", key, value) for key, value in pairs]
+                )
+                snapshot_pairs += len(pairs)
+                after = pairs[-1][0]
+            drained = tail.drain()
+            if drained:
+                fault_point(
+                    "cluster.migrate.tail",
+                    scope=f"{source.node_id}/shard-{shard:02d}",
+                )
+                dest.migration_apply(shard, drained)
+            if len(pairs) < chunk:
+                break
+        if during is not None:
+            during()
+        fence_started = time.monotonic()
+        source.fence(shard)
+        source.migration_detach_tail(shard)
+        final_tail = tail.drain()
+        if final_tail:
+            fault_point(
+                "cluster.migrate.tail",
+                scope=f"{source.node_id}/shard-{shard:02d}",
+            )
+            dest.migration_apply(shard, final_tail)
+        new_map = source.map.with_assignment(shard, dest.node_id)
+        dest.migration_seal(shard, new_map)
+        source.release_shard(shard, new_map)
+    except BaseException:
+        # InjectedCrash included: leave fences/tails as the crash found
+        # them for serving-path failures, but only clean up when the
+        # source still runs (abort is a no-op post-release).
+        if not source._closed and shard in source.trees:
+            source.abort_migration(shard)
+        raise
+    return {
+        "shard": shard,
+        "epoch": source.map.epoch,
+        "snapshot_pairs": snapshot_pairs,
+        "tail_ops": tail.total_ops,
+        "fence_ms": (time.monotonic() - fence_started) * 1000.0,
+    }

@@ -102,6 +102,49 @@ class ReplicationError(ReproError):
     """
 
 
+class ShardMovedError(ReproError):
+    """An operation routed to a shard this node no longer (or never) owns.
+
+    The cluster-mode sibling of :class:`ShardUnavailableError`: the data
+    is alive and serving, just on *another node*. Carries everything a
+    client needs to redirect — the owning node's identity and address and
+    the cluster-map epoch the verdict is based on — and the serving layer
+    maps it to the retryable ``ERR MOVED <shard> <host>:<port> <epoch>``
+    reply (Redis-Cluster semantics: follow the redirect, refresh the map
+    when the epoch is newer than yours).
+    """
+
+    def __init__(
+        self, shard: int, node_id: str, host: str, port: int, epoch: int
+    ) -> None:
+        super().__init__(
+            f"shard {shard} is owned by {node_id} at {host}:{port} "
+            f"(epoch {epoch})"
+        )
+        self.shard = shard
+        self.node_id = node_id
+        self.host = host
+        self.port = port
+        self.epoch = epoch
+
+
+class ShardFencedError(ReproError):
+    """A write routed to a shard briefly fenced for migration handoff.
+
+    Raised only inside the atomic ownership flip at the end of a live
+    shard migration, while the source drains its in-flight commits. The
+    condition clears within milliseconds, so the serving layer maps it to
+    the retryable ``BUSY`` reply — clients absorb the fence with their
+    ordinary backoff loop and never observe an error.
+    """
+
+    def __init__(self, shard: int) -> None:
+        super().__init__(
+            f"shard {shard} is fenced for migration handoff; retry"
+        )
+        self.shard = shard
+
+
 class ShardUnavailableError(ReproError):
     """An operation routed to a quarantined shard of a sharded store.
 

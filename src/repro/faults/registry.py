@@ -233,6 +233,48 @@ FAILPOINTS: Dict[str, Failpoint] = {
             "replication/store.py _write_replica_manifest",
             "after the replica-side shards.json rename",
         ),
+        Failpoint(
+            "cluster.map.tmp",
+            "cluster/map.py save",
+            "cluster.json tmp written, before the atomic rename",
+        ),
+        Failpoint(
+            "cluster.map.done",
+            "cluster/map.py save",
+            "after the cluster.json rename",
+        ),
+        Failpoint(
+            "cluster.migrate.begin",
+            "cluster/store.py migration_begin",
+            "destination wiped, before the receiving tree opens",
+        ),
+        Failpoint(
+            "cluster.migrate.snapshot",
+            "cluster/store.py migrate_local / node.py driver",
+            "before shipping one snapshot chunk to the destination",
+        ),
+        Failpoint(
+            "cluster.migrate.tail",
+            "cluster/store.py migrate_local / node.py driver",
+            "before shipping one drained WAL-tail batch",
+        ),
+        Failpoint(
+            "cluster.migrate.fence",
+            "cluster/store.py fence",
+            "source write fence raised, before the final tail drain",
+        ),
+        Failpoint(
+            "cluster.migrate.seal",
+            "cluster/store.py migration_seal",
+            "destination warm, before it persists the bumped-epoch map "
+            "and adopts the shard",
+        ),
+        Failpoint(
+            "cluster.migrate.release",
+            "cluster/store.py release_shard",
+            "destination sealed, before the source persists the new map "
+            "and releases the shard",
+        ),
     )
 }
 

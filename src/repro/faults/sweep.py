@@ -40,6 +40,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..cluster import ClusterMap, NodeInfo, NodeStore, migrate_local
 from ..core.config import LSMConfig
 from ..core.sstable import reset_table_ids
 from ..core.tree import LSMTree
@@ -49,6 +50,7 @@ from ..errors import (
     CorruptionError,
     DurabilityError,
     ReplicationError,
+    ShardMovedError,
 )
 from ..replication import ReplicatedStore
 from ..shard.store import ShardedStore, hash_shard_index
@@ -95,7 +97,21 @@ def _effects(op: _Op) -> List[Tuple[str, Optional[str]]]:
             (key, value if sub == "put" else None)
             for sub, key, value in op[1]
         ]
-    return []  # checkpoint: no logical effect
+    if kind == "migrate":
+        # The writes applied *during* the migration are the migrate op's
+        # in-flight effects: the ones the WAL-tail shipping must carry
+        # across the ownership flip. They deliberately overwrite
+        # already-acked keys, so a lost tail reads as neither-old-nor-new
+        # on the overwritten key's shard — a caught violation — instead
+        # of blending into "op not applied".
+        return [(key, value) for key, value in op[2]]
+    if kind == "stale":
+        # A write through the *old* owner after the flip must be refused
+        # (MOVED), so it has no effects anywhere; if it silently lands,
+        # the routed read returns the stale value and the acked check
+        # flags it.
+        return []
+    return []  # checkpoint/promote: no logical key effect
 
 
 def check_invariants(
@@ -417,6 +433,235 @@ class ReplicatedScenario:
         return hash_shard_index(key, self.num_shards)
 
 
+class _ClusterCtx:
+    """Two in-process cluster nodes plus map-driven routing for the script."""
+
+    def __init__(self, stores: Dict[str, NodeStore]) -> None:
+        self.stores = stores
+
+    @property
+    def map(self) -> ClusterMap:
+        """The freshest map any live node holds (epochs only grow)."""
+        return max(
+            (store.map for store in self.stores.values()),
+            key=lambda m: m.epoch,
+        )
+
+    def route(self, key: str) -> NodeStore:
+        cluster_map = self.map
+        return self.stores[
+            cluster_map.owner_id(cluster_map.shard_index(key))
+        ]
+
+    def owner_store(self, shard: int) -> NodeStore:
+        return self.stores[self.map.owner_id(shard)]
+
+    def other_store(self, shard: int) -> NodeStore:
+        owner = self.map.owner_id(shard)
+        (other,) = [nid for nid in self.stores if nid != owner]
+        return self.stores[other]
+
+    def kill(self) -> None:
+        for store in self.stores.values():
+            store.kill()
+
+    def close(self) -> None:
+        for store in self.stores.values():
+            store.close()
+
+    def get(self, key: str) -> Optional[str]:
+        return self.route(key).get(key)
+
+
+class ClusterScenario:
+    """Two cluster nodes, four shards, one live migration mid-workload.
+
+    The cluster crossings this enumerates: the per-node ``cluster.json``
+    saves at open, every ``cluster.migrate.*`` step of a live migration
+    of shard 0 (node ``a`` → node ``b``) driven by
+    :func:`~repro.cluster.migrate_local` — snapshot chunks, the WAL-tail
+    ship, the fence, the destination seal, the source release — plus the
+    ordinary WAL crossings of writes landing on both nodes, including a
+    write batch applied *during* the migration that must ride the tail.
+
+    Recovery models operators restarting every node from disk: both node
+    directories are recovered independently and reads route by the
+    **freshest** persisted map — the epoch-precedence rule that resolves
+    the deliberate dual-claim window between the destination's seal and
+    the source's release. A crash anywhere must leave every acked write
+    readable through that routing, on exactly one serving owner.
+
+    The script also drives a stale-map client through the MOVED window:
+    after the flip, a write through the old owner must be refused with
+    :class:`~repro.errors.ShardMovedError`; silent acceptance (dual
+    ownership) aborts the sweep loudly.
+    """
+
+    name = "cluster"
+    num_shards = 4
+    node_ids = ("a", "b")
+
+    def config(self) -> LSMConfig:
+        return LSMConfig()  # 64 KiB buffers: nothing flushes mid-workload
+
+    def _keys_for_shard(self, shard: int, count: int) -> List[str]:
+        keys: List[str] = []
+        index = 0
+        while len(keys) < count:
+            key = f"ck{index:03d}"
+            if hash_shard_index(key, self.num_shards) == shard:
+                keys.append(key)
+            index += 1
+        return keys
+
+    def script(self) -> List[_Op]:
+        s0 = self._keys_for_shard(0, 6)
+        s1 = self._keys_for_shard(1, 3)
+        s2 = self._keys_for_shard(2, 2)
+        ops: List[_Op] = []
+        # Phase 1: seed both nodes — singles and a cross-node batch.
+        for i, key in enumerate(s0[:4]):
+            ops.append(("put", key, f"cv1-{i}"))
+        for i, key in enumerate(s1):
+            ops.append(("put", key, f"cv1-s1-{i}"))
+        ops.append(
+            (
+                "batch",
+                [("put", key, f"cvb-{key}") for key in s2 + [s0[4], s1[0]]],
+            )
+        )
+        ops.append(("delete", s0[3], None))
+        # Phase 2: migrate shard 0 (a → b) with a tail-riding batch that
+        # overwrites acked keys and lands fresh ones mid-migration.
+        ops.append(
+            (
+                "migrate",
+                0,
+                [
+                    (s0[0], "cv2-tail-overwrite"),
+                    (s0[2], "cv2-tail-overwrite-2"),
+                    (s0[5], "cv2-tail-fresh"),
+                ],
+            )
+        )
+        # Phase 3: a stale-map client writes through the *old* owner.
+        ops.append(("stale", s0[0], "stale-dual-write"))
+        # Phase 4: traffic on the new layout — the migrated shard via its
+        # new owner, the untouched shards via their old ones.
+        ops.append(("put", s0[1], "cv3-post-migrate"))
+        ops.append(("delete", s0[2], None))
+        ops.append(
+            (
+                "batch",
+                [
+                    ("put", s1[1], "cv3-s1-updated"),
+                    ("delete", s2[0], None),
+                    ("put", s0[4], "cv3-crossnode"),
+                ],
+            )
+        )
+        return ops
+
+    def open(self, root: str) -> _ClusterCtx:
+        base = os.path.join(root, "cluster")
+        nodes = [
+            NodeInfo("a", "127.0.0.1", 7401),
+            NodeInfo("b", "127.0.0.1", 7402),
+        ]
+        cluster_map = ClusterMap.even(self.num_shards, nodes)
+        config = self.config()
+        stores: Dict[str, NodeStore] = {}
+        try:
+            for node_id in self.node_ids:
+                stores[node_id] = NodeStore(
+                    node_id,
+                    cluster_map,
+                    config,
+                    wal_dir=os.path.join(base, node_id),
+                )
+        except BaseException:
+            for store in stores.values():
+                store.kill()
+            raise
+        return _ClusterCtx(stores)
+
+    def apply(self, ctx: _ClusterCtx, op: _Op, root: str) -> None:
+        kind = op[0]
+        if kind == "put":
+            ctx.route(op[1]).put(op[1], op[2])
+        elif kind == "delete":
+            ctx.route(op[1]).delete(op[1])
+        elif kind == "batch":
+            by_store: Dict[str, List[Tuple]] = {}
+            for sub in op[1]:
+                cluster_map = ctx.map
+                owner = cluster_map.owner_id(
+                    cluster_map.shard_index(sub[1])
+                )
+                by_store.setdefault(owner, []).append(sub)
+            for owner in sorted(by_store):
+                ctx.stores[owner].write_batch(by_store[owner])
+        elif kind == "migrate":
+            shard, during_pairs = op[1], op[2]
+            source = ctx.owner_store(shard)
+            dest = ctx.other_store(shard)
+
+            def during() -> None:
+                # One atomic batch on the source, committed after the
+                # snapshot pass: it can only reach the destination via
+                # the WAL-tail ship.
+                source.write_batch(
+                    [
+                        ("put", key, value)
+                        if value is not None
+                        else ("delete", key, None)
+                        for key, value in during_pairs
+                    ]
+                )
+
+            migrate_local(source, dest, shard, chunk=4, during=during)
+        elif kind == "stale":
+            key, value = op[1], op[2]
+            stale_owner = ctx.other_store(ctx.map.shard_index(key))
+            try:
+                stale_owner.put(key, value)
+            except ShardMovedError:
+                pass  # the only correct answer
+            else:
+                raise RuntimeError(
+                    f"dual ownership: stale write of {key!r} accepted by "
+                    f"node {stale_owner.node_id!r} after the flip"
+                )
+        else:  # pragma: no cover - script bug
+            raise ValueError(f"unknown op {kind!r}")
+
+    def kill(self, ctx: _ClusterCtx) -> None:
+        ctx.kill()
+
+    def close(self, ctx: _ClusterCtx) -> None:
+        ctx.close()
+
+    def recover(self, root: str) -> _ClusterCtx:
+        base = os.path.join(root, "cluster")
+        config = self.config()
+        stores: Dict[str, NodeStore] = {}
+        try:
+            for node_id in self.node_ids:
+                stores[node_id] = NodeStore.recover(
+                    node_id, config, os.path.join(base, node_id)
+                )
+        except BaseException:
+            for store in stores.values():
+                store.kill()
+            raise
+        return _ClusterCtx(stores)
+
+    def unit_of(self, key: str) -> object:
+        # Batches (the during-migration one included) are atomic per
+        # shard sub-batch, same as the sharded store.
+        return hash_shard_index(key, self.num_shards)
+
+
 # ---------------------------------------------------------------------------
 # orchestration
 # ---------------------------------------------------------------------------
@@ -700,7 +945,12 @@ def run_sweep(quick: bool = False, seed: int = 7) -> SweepReport:
     report = SweepReport()
     rng = random.Random(seed)
 
-    scenarios = [SingleTreeScenario(), ShardedScenario(), ReplicatedScenario()]
+    scenarios = [
+        SingleTreeScenario(),
+        ShardedScenario(),
+        ReplicatedScenario(),
+        ClusterScenario(),
+    ]
     for scenario in scenarios:
         crossings = _enumerate(scenario, seed)
         report.crossings[scenario.name] = crossings

@@ -113,7 +113,9 @@ class PartitionedStore:
         if lo >= hi or limit == 0:
             return []
         first = bisect.bisect_right(self.boundaries, lo)
-        last = bisect.bisect_right(self.boundaries, hi)
+        # hi is exclusive, so bisect_left: a scan ending exactly on a
+        # boundary never touches the next shard (it owns keys >= hi).
+        last = bisect.bisect_left(self.boundaries, hi)
         results: List[Tuple[str, str]] = []
         for index in range(first, min(last, len(self.shards) - 1) + 1):
             remaining = None if limit is None else limit - len(results)

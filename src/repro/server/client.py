@@ -87,6 +87,31 @@ class UnavailableError(ServerError):
         self.shard = shard
 
 
+class MovedError(ServerError):
+    """The shard lives on another node (``ERR MOVED`` redirect).
+
+    Cluster mode's routing signal, not a failure: the reply names the
+    owning node's address and the cluster-map epoch it is based on, so
+    the caller can retry immediately at ``host:port`` (and refresh its
+    map when ``epoch`` is newer than its own). A plain :class:`KVClient`
+    surfaces it — following redirects is the
+    :class:`~repro.cluster.ClusterClient`'s job.
+    """
+
+    def __init__(
+        self, shard: int, host: str, port: int, epoch: int, message: str
+    ) -> None:
+        super().__init__(
+            "MOVED",
+            f"shard {shard} moved to {host}:{port} (epoch {epoch})"
+            + (f": {message}" if message else ""),
+        )
+        self.shard = shard
+        self.host = host
+        self.port = port
+        self.epoch = epoch
+
+
 class KVClient:
     """One pipelined connection to a :class:`~repro.server.KVServer`.
 
@@ -296,6 +321,16 @@ class KVClient:
         reply = await self._call(encode_batch(ops))
         return int(reply[1]) if len(reply) > 1 else 0
 
+    async def command(self, fields: List[str]) -> List[str]:
+        """Issue a raw request through the full retry machinery.
+
+        Same BUSY/reconnect absorption and structured-ERR raising as the
+        typed operations, for verbs without a dedicated method (the
+        cluster layer's ``CLUSTER``/``MIGRATE``/``MIG.*`` traffic).
+        Returns the raw reply fields.
+        """
+        return await self._call(fields)
+
     async def info(self) -> Dict[str, object]:
         """The server's INFO snapshot, parsed from JSON."""
         reply = await self._call(["INFO"])
@@ -375,8 +410,26 @@ class KVClient:
                     raise UnavailableError(
                         shard, reply[3] if len(reply) > 3 else ""
                     )
+                if code == "MOVED" and len(reply) > 4:
+                    raise self._parse_moved(reply)
                 raise ServerError(code, reply[2] if len(reply) > 2 else "")
             return reply
+
+    @staticmethod
+    def _parse_moved(reply: List[str]) -> ServerError:
+        """``["ERR","MOVED",shard,"host:port",epoch,detail...]`` →
+        :class:`MovedError` (or a generic ``ServerError`` when the reply
+        fields don't parse)."""
+        try:
+            shard = int(reply[2])
+            host, _, port_text = reply[3].rpartition(":")
+            port = int(port_text)
+            epoch = int(reply[4])
+        except (ValueError, IndexError):
+            return ServerError("MOVED", " ".join(reply[2:]))
+        return MovedError(
+            shard, host, port, epoch, reply[5] if len(reply) > 5 else ""
+        )
 
     @staticmethod
     async def _backoff(

@@ -22,16 +22,25 @@ Requests::
 
     PING | GET k | PUT k v | DELETE k | SCAN lo hi [limit] | INFO | HEALTH
     BATCH (PUT k v | DELETE k)...
+    CLUSTER | MIGRATE shard node_id
+    MIG.BEGIN shard | MIG.APPLY shard (PUT k v | DELETE k)... | MIG.SEAL map
 
 ``SCAN``'s optional fourth field is a non-negative decimal integer capping
 the number of returned pairs; the two-field form is unchanged and means
 "no limit". ``HEALTH`` reports the store's degraded-mode state without
 touching data paths, so it works even while every shard is quarantined.
 
+The last two request lines exist only on cluster nodes
+(:mod:`repro.cluster`): ``CLUSTER`` fetches the node's cluster map,
+``MIGRATE`` asks the owning node to migrate one shard to a peer, and the
+``MIG.*`` verbs are the node-to-node migration stream (begin a receiving
+shard, apply a shipped batch, seal ownership under a bumped-epoch map).
+
 Replies::
 
     PONG | OK [n] | VALUE v | NONE | PAIRS k v ... | INFO json
     HEALTH json             -- {"state", "num_shards", "quarantined", ...}
+    CLUSTER json            -- the node's ClusterMap (epoch'd shard→node)
     BUSY message            -- retryable: the engine is write-stopped
     ERR code message        -- structured failure, connection stays usable
 
@@ -42,6 +51,10 @@ Error codes a client should know:
   usable, so clients should fail only the affected keys (and may retry
   after an operator restores the shard). The third field is the decimal
   shard index.
+* ``ERR MOVED <shard> <host>:<port> <epoch> <detail>`` — cluster mode:
+  the shard is alive but owned by the node at ``host:port`` (as of map
+  epoch ``epoch``). Retryable immediately *at that address*; a client
+  whose map epoch is older should refresh via ``CLUSTER``.
 * ``ERR BACKGROUND <detail>`` — a background flush/compaction failed on a
   non-sharded store; the store stays readable but refuses writes.
 * ``ERR BADREQ | PROTOCOL | CLOSED | INTERNAL`` — see the server module.
@@ -57,14 +70,17 @@ from ..errors import ReproError
 #: Default ceiling on one frame's payload; the server may lower/raise it.
 MAX_FRAME_BYTES = 4 * 1024 * 1024
 
-#: Request verbs the server dispatches.
+#: Request verbs the server dispatches (``CLUSTER``/``MIGRATE``/``MIG.*``
+#: only on cluster nodes).
 REQUEST_VERBS = (
     "PING", "GET", "PUT", "DELETE", "SCAN", "BATCH", "INFO", "HEALTH",
+    "CLUSTER", "MIGRATE", "MIG.BEGIN", "MIG.APPLY", "MIG.SEAL",
 )
 
 #: Reply statuses a client must understand.
 REPLY_STATUSES = (
-    "PONG", "OK", "VALUE", "NONE", "PAIRS", "INFO", "HEALTH", "BUSY", "ERR",
+    "PONG", "OK", "VALUE", "NONE", "PAIRS", "INFO", "HEALTH", "CLUSTER",
+    "BUSY", "ERR",
 )
 
 _U32 = struct.Struct(">I")

@@ -479,7 +479,11 @@ class ShardedStore:
             return PartialScanResult([], []) if allow_partial else []
         if self.routing == "range":
             first = bisect.bisect_right(self.boundaries, lo)
-            last = bisect.bisect_right(self.boundaries, hi)
+            # hi is exclusive: bisect_left keeps a scan ending exactly on
+            # a boundary from involving the next shard, which owns only
+            # keys >= hi and so can never contribute (and must not fail
+            # or degrade the scan when quarantined).
+            last = bisect.bisect_left(self.boundaries, hi)
             involved = list(
                 range(first, min(last, len(self.shards) - 1) + 1)
             )

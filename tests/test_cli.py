@@ -47,6 +47,50 @@ class TestParser:
         assert args.pipeline == 8
         assert args.shards == 1
 
+    def test_cluster_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster"])
+
+    def test_cluster_init_collects_nodes(self):
+        args = build_parser().parse_args(
+            ["cluster", "init", "--data-dir", "/tmp/x", "--shards", "6",
+             "--node", "a=127.0.0.1:7401", "--node", "b=127.0.0.1:7402"]
+        )
+        assert args.shards == 6
+        assert args.node == ["a=127.0.0.1:7401", "b=127.0.0.1:7402"]
+
+    def test_cluster_serve_flags(self):
+        args = build_parser().parse_args(
+            ["cluster", "serve", "--data-dir", "/tmp/x",
+             "--node-id", "a", "--port", "0",
+             "--join", "127.0.0.1:7401", "--background"]
+        )
+        assert args.node_id == "a"
+        assert args.port == 0
+        assert args.host is None  # defaults to the map's address
+        assert args.join == "127.0.0.1:7401"
+        assert args.background is True
+
+    def test_cluster_serve_requires_identity(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["cluster", "serve", "--data-dir", "/tmp/x"]
+            )
+
+    def test_cluster_migrate_flags(self):
+        args = build_parser().parse_args(
+            ["cluster", "migrate", "--port", "7401",
+             "--shard", "3", "--to", "b"]
+        )
+        assert args.shard == 3
+        assert args.to == "b"
+
+    def test_cluster_rebalance_defaults(self):
+        args = build_parser().parse_args(["cluster", "rebalance"])
+        assert args.port == 7401
+        assert args.node == []
+        assert args.dry_run is False
+
 
 class TestCommands:
     def test_workload_runs(self, capsys):
@@ -149,6 +193,30 @@ class TestCommands:
         # A listing, not a sweep: no run/violation reporting.
         assert "violations" not in output
         assert "crossings" not in output
+
+    def test_cluster_init_writes_a_map_per_node(self, capsys, tmp_path):
+        code = main(
+            ["cluster", "init", "--data-dir", str(tmp_path),
+             "--shards", "4",
+             "--node", "a=127.0.0.1:7401", "--node", "b=127.0.0.1:7402"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "epoch 0" in output
+        from repro.cluster import ClusterMap
+
+        for node_id, shards in (("a", [0, 2]), ("b", [1, 3])):
+            loaded = ClusterMap.load(str(tmp_path / node_id))
+            assert loaded.shards_of(node_id) == shards
+
+    def test_cluster_init_rejects_bad_node_spec(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                ["cluster", "init", "--data-dir", str(tmp_path),
+                 "--node", "a@nowhere"]
+            )
+        with pytest.raises(SystemExit):
+            main(["cluster", "init", "--data-dir", str(tmp_path)])
 
     def test_bad_mix_fails_cleanly(self):
         with pytest.raises(Exception):

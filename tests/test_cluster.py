@@ -1,0 +1,684 @@
+"""Tests for the cluster layer: map, node store, migration, wire, client.
+
+Wire tests follow the server-suite conventions: ``asyncio.run`` inside
+synchronous tests, every node bound to port 0 on localhost, teardown in
+``finally``. Because each NodeStore persists its boot map at
+construction, the port-0 pattern installs a *successor* map (epoch 1)
+built from the resolved ports once the servers are listening.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import List, Optional, Sequence, Tuple
+
+import pytest
+
+from repro.cluster import (
+    ClusterClient,
+    ClusterError,
+    ClusterMap,
+    ClusterNode,
+    NodeInfo,
+    NodeStore,
+    migrate_local,
+)
+from repro.core.config import LSMConfig
+from repro.errors import (
+    ConfigError,
+    ShardFencedError,
+    ShardMovedError,
+)
+from repro.server.client import KVClient, MovedError
+from repro.shard.store import hash_shard_index
+
+
+def _nodes(*specs: Tuple[str, int]) -> List[NodeInfo]:
+    return [NodeInfo(node_id, "127.0.0.1", port) for node_id, port in specs]
+
+
+def _keys_for_shard(
+    shard: int, count: int, num_shards: int, prefix: str = "tk"
+) -> List[str]:
+    keys = []
+    index = 0
+    while len(keys) < count:
+        key = f"{prefix}{index:04d}"
+        if hash_shard_index(key, num_shards) == shard:
+            keys.append(key)
+        index += 1
+    return keys
+
+
+# ---------------------------------------------------------------------------
+# ClusterMap
+# ---------------------------------------------------------------------------
+
+
+class TestClusterMap:
+    def test_even_round_robins_shards(self):
+        cmap = ClusterMap.even(5, _nodes(("a", 1), ("b", 2)))
+        assert cmap.assignments == ("a", "b", "a", "b", "a")
+        assert cmap.shards_of("a") == [0, 2, 4]
+        assert cmap.epoch == 0
+
+    def test_shard_index_matches_sharded_store_placement(self):
+        cmap = ClusterMap.even(8, _nodes(("a", 1)))
+        for key in ("alpha", "beta", "gamma", ""):
+            if key:
+                assert cmap.shard_index(key) == hash_shard_index(key, 8)
+
+    def test_range_routing_uses_boundaries(self):
+        cmap = ClusterMap.even(
+            3, _nodes(("a", 1)), boundaries=["g", "p"]
+        )
+        assert cmap.shard_index("apple") == 0
+        assert cmap.shard_index("melon") == 1
+        assert cmap.shard_index("zebra") == 2
+
+    def test_with_assignment_bumps_epoch_and_moves_shard(self):
+        cmap = ClusterMap.even(4, _nodes(("a", 1), ("b", 2)))
+        moved = cmap.with_assignment(0, "b")
+        assert moved.epoch == 1
+        assert moved.owner_id(0) == "b"
+        assert cmap.owner_id(0) == "a"  # original untouched
+
+    def test_with_assignment_unknown_node_needs_address(self):
+        cmap = ClusterMap.even(2, _nodes(("a", 1)))
+        with pytest.raises(ConfigError):
+            cmap.with_assignment(0, "ghost")
+        joined = cmap.with_assignment(0, "c", host="127.0.0.1", port=9)
+        assert joined.nodes["c"].port == 9
+
+    def test_assignments_must_name_known_nodes(self):
+        with pytest.raises(ConfigError):
+            ClusterMap(["a", "ghost"], _nodes(("a", 1)))
+
+    def test_plan_moves_balances_a_join(self):
+        cmap = ClusterMap.even(6, _nodes(("a", 1), ("b", 2)))
+        moves = cmap.plan_moves(_nodes(("a", 1), ("b", 2), ("c", 3)))
+        assert len(moves) == 2
+        assert all(dest == "c" for _, dest in moves)
+        for shard, dest in moves:
+            cmap = cmap.with_assignment(shard, dest, host="h", port=3)
+        loads = [len(cmap.shards_of(n)) for n in ("a", "b", "c")]
+        assert max(loads) - min(loads) <= 1
+
+    def test_plan_moves_evacuates_a_leaver(self):
+        cmap = ClusterMap.even(4, _nodes(("a", 1), ("b", 2)))
+        moves = cmap.plan_moves(_nodes(("a", 1)))
+        assert sorted(shard for shard, _ in moves) == cmap.shards_of("b")
+        assert all(dest == "a" for _, dest in moves)
+
+    def test_plan_moves_balanced_cluster_is_a_noop(self):
+        cmap = ClusterMap.even(4, _nodes(("a", 1), ("b", 2)))
+        assert cmap.plan_moves(_nodes(("a", 1), ("b", 2))) == []
+
+    def test_json_roundtrip(self):
+        cmap = ClusterMap.even(
+            3, _nodes(("a", 1), ("b", 2)), boundaries=["g", "p"]
+        ).with_assignment(1, "a")
+        assert ClusterMap.from_json(cmap.to_json()) == cmap
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(ConfigError):
+            ClusterMap.from_json("not json")
+        with pytest.raises(ConfigError):
+            ClusterMap.from_json("{}")
+
+    def test_from_dict_rejects_shard_count_mismatch(self):
+        doc = ClusterMap.even(2, _nodes(("a", 1))).to_dict()
+        doc["num_shards"] = 3
+        with pytest.raises(ConfigError):
+            ClusterMap.from_dict(doc)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        cmap = ClusterMap.even(4, _nodes(("a", 1), ("b", 2)))
+        cmap.save(str(tmp_path))
+        assert ClusterMap.load(str(tmp_path)) == cmap
+
+    def test_save_refuses_epoch_regression(self, tmp_path):
+        cmap = ClusterMap.even(2, _nodes(("a", 1), ("b", 2)))
+        newer = cmap.with_assignment(0, "b")
+        newer.save(str(tmp_path))
+        with pytest.raises(ConfigError):
+            cmap.save(str(tmp_path))
+
+    def test_save_refuses_same_epoch_different_map(self, tmp_path):
+        ClusterMap.even(2, _nodes(("a", 1), ("b", 2))).save(str(tmp_path))
+        rival = ClusterMap(
+            ["b", "a"], _nodes(("a", 1), ("b", 2)), epoch=0
+        )
+        with pytest.raises(ConfigError):
+            rival.save(str(tmp_path))
+
+    def test_save_identical_map_is_a_noop(self, tmp_path):
+        cmap = ClusterMap.even(2, _nodes(("a", 1)))
+        cmap.save(str(tmp_path))
+        cmap.save(str(tmp_path))  # no raise, no rewrite
+        assert ClusterMap.load(str(tmp_path)) == cmap
+
+    def test_load_missing_directory_raises(self, tmp_path):
+        with pytest.raises(ConfigError):
+            ClusterMap.load(str(tmp_path / "nope"))
+
+
+# ---------------------------------------------------------------------------
+# NodeStore (in-process)
+# ---------------------------------------------------------------------------
+
+NUM_SHARDS = 4
+
+
+def _two_node_stores(tmp_path, config: Optional[LSMConfig] = None):
+    cmap = ClusterMap.even(
+        NUM_SHARDS, _nodes(("a", 7611), ("b", 7612))
+    )
+    config = config or LSMConfig()
+    store_a = NodeStore(
+        "a", cmap, config, wal_dir=str(tmp_path / "a")
+    )
+    store_b = NodeStore(
+        "b", cmap, config, wal_dir=str(tmp_path / "b")
+    )
+    return store_a, store_b
+
+
+class TestNodeStore:
+    def test_serves_owned_shards_only(self, tmp_path):
+        store_a, store_b = _two_node_stores(tmp_path)
+        try:
+            key0 = _keys_for_shard(0, 1, NUM_SHARDS)[0]
+            key1 = _keys_for_shard(1, 1, NUM_SHARDS)[0]
+            store_a.put(key0, "v0")
+            assert store_a.get(key0) == "v0"
+            with pytest.raises(ShardMovedError) as excinfo:
+                store_a.put(key1, "nope")
+            assert excinfo.value.node_id == "b"
+            assert excinfo.value.port == 7612
+            assert excinfo.value.epoch == 0
+            with pytest.raises(ShardMovedError):
+                store_b.get(key0)
+        finally:
+            store_a.close()
+            store_b.close()
+
+    def test_num_shards_is_global_for_committer_fanout(self, tmp_path):
+        store_a, store_b = _two_node_stores(tmp_path)
+        try:
+            assert store_a.num_shards == NUM_SHARDS
+            assert store_a.owned_shards() == [0, 2]
+            assert store_b.owned_shards() == [1, 3]
+        finally:
+            store_a.close()
+            store_b.close()
+
+    def test_batch_split_across_owned_shards(self, tmp_path):
+        store_a, _unused = _two_node_stores(tmp_path)
+        try:
+            keys = _keys_for_shard(0, 2, NUM_SHARDS) + _keys_for_shard(
+                2, 2, NUM_SHARDS
+            )
+            store_a.write_batch([("put", key, "v") for key in keys])
+            assert all(store_a.get(key) == "v" for key in keys)
+        finally:
+            store_a.close()
+            _unused.close()
+
+    def test_batch_touching_moved_shard_writes_nothing(self, tmp_path):
+        store_a, store_b = _two_node_stores(tmp_path)
+        try:
+            mine = _keys_for_shard(0, 1, NUM_SHARDS)[0]
+            theirs = _keys_for_shard(1, 1, NUM_SHARDS)[0]
+            with pytest.raises(ShardMovedError):
+                store_a.write_batch(
+                    [("put", mine, "v"), ("put", theirs, "v")]
+                )
+            assert store_a.get(mine) is None
+        finally:
+            store_a.close()
+            store_b.close()
+
+    def test_fenced_shard_rejects_writes_still_reads(self, tmp_path):
+        store_a, store_b = _two_node_stores(tmp_path)
+        try:
+            key = _keys_for_shard(0, 1, NUM_SHARDS)[0]
+            store_a.put(key, "v")
+            store_a.fence(0)
+            with pytest.raises(ShardFencedError):
+                store_a.put(key, "v2")
+            assert store_a.get(key) == "v"
+        finally:
+            store_a.close()
+            store_b.close()
+
+    def test_scan_covers_owned_shards_only(self, tmp_path):
+        store_a, store_b = _two_node_stores(tmp_path)
+        try:
+            for shard in range(NUM_SHARDS):
+                target = store_a if shard in (0, 2) else store_b
+                for key in _keys_for_shard(shard, 3, NUM_SHARDS):
+                    target.put(key, f"s{shard}")
+            seen = {value for _, value in store_a.scan("tk", "tl")}
+            assert seen == {"s0", "s2"}
+        finally:
+            store_a.close()
+            store_b.close()
+
+    def test_install_map_requires_newer_epoch(self, tmp_path):
+        store_a, store_b = _two_node_stores(tmp_path)
+        try:
+            assert store_a.install_map(store_a.map) is False
+            grown = ClusterMap(
+                store_a.map.assignments,
+                list(store_a.map.nodes.values())
+                + [NodeInfo("c", "127.0.0.1", 7613)],
+                epoch=1,
+            )
+            assert store_a.install_map(grown) is True
+            assert store_a.map.epoch == 1
+        finally:
+            store_a.close()
+            store_b.close()
+
+    def test_install_map_rejects_ownership_changes(self, tmp_path):
+        store_a, store_b = _two_node_stores(tmp_path)
+        try:
+            stolen = store_a.map.with_assignment(0, "b")
+            with pytest.raises(ConfigError):
+                store_a.install_map(stolen)
+        finally:
+            store_a.close()
+            store_b.close()
+
+    def test_recover_reopens_owned_shards(self, tmp_path):
+        config = LSMConfig(wal_fsync=False)
+        store_a, store_b = _two_node_stores(tmp_path, config)
+        keys = _keys_for_shard(0, 4, NUM_SHARDS)
+        for key in keys:
+            store_a.put(key, "durable")
+        store_a.close()
+        store_b.close()
+        recovered = NodeStore.recover("a", config, str(tmp_path / "a"))
+        try:
+            assert recovered.owned_shards() == [0, 2]
+            assert all(recovered.get(key) == "durable" for key in keys)
+        finally:
+            recovered.close()
+
+
+# ---------------------------------------------------------------------------
+# Live migration (in-process)
+# ---------------------------------------------------------------------------
+
+
+class TestMigrateLocal:
+    def test_moves_data_and_flips_ownership(self, tmp_path):
+        store_a, store_b = _two_node_stores(tmp_path)
+        try:
+            keys = _keys_for_shard(0, 10, NUM_SHARDS)
+            for key in keys:
+                store_a.put(key, "v")
+            stats = migrate_local(store_a, store_b, 0, chunk=3)
+            assert stats["snapshot_pairs"] == 10
+            assert store_a.map.epoch == 1
+            assert store_b.owned_shards() == [0, 1, 3]
+            assert all(store_b.get(key) == "v" for key in keys)
+            with pytest.raises(ShardMovedError) as excinfo:
+                store_a.get(keys[0])
+            assert excinfo.value.node_id == "b"
+        finally:
+            store_a.close()
+            store_b.close()
+
+    def test_tail_captures_writes_during_migration(self, tmp_path):
+        store_a, store_b = _two_node_stores(tmp_path)
+        try:
+            keys = _keys_for_shard(0, 8, NUM_SHARDS)
+            for key in keys:
+                store_a.put(key, "old")
+
+            def during():
+                store_a.put(keys[0], "new")
+                store_a.delete(keys[1])
+
+            stats = migrate_local(
+                store_a, store_b, 0, chunk=3, during=during
+            )
+            assert stats["tail_ops"] >= 2
+            assert store_b.get(keys[0]) == "new"
+            assert store_b.get(keys[1]) is None
+            assert store_b.get(keys[2]) == "old"
+        finally:
+            store_a.close()
+            store_b.close()
+
+    def test_migrate_back_round_trip(self, tmp_path):
+        store_a, store_b = _two_node_stores(tmp_path)
+        try:
+            key = _keys_for_shard(0, 1, NUM_SHARDS)[0]
+            store_a.put(key, "v1")
+            migrate_local(store_a, store_b, 0)
+            store_b.put(key, "v2")
+            migrate_local(store_b, store_a, 0)
+            assert store_a.map.epoch == 2
+            assert store_a.get(key) == "v2"
+            with pytest.raises(ShardMovedError):
+                store_b.get(key)
+        finally:
+            store_a.close()
+            store_b.close()
+
+    def test_stale_source_fast_forwards_to_dest_epoch(self, tmp_path):
+        """A source that missed earlier migrations must still seal.
+
+        ``c`` reaches epoch 1 via a migration ``a`` never saw; migrating
+        ``a`` → ``c`` afterwards must fast-forward ``a`` past its stale
+        epoch instead of proposing a flip epoch ``c`` already holds.
+        """
+        cmap = ClusterMap.even(
+            3, _nodes(("a", 7621), ("b", 7622), ("c", 7623))
+        )
+        stores = {
+            node_id: NodeStore(
+                node_id,
+                cmap,
+                LSMConfig(),
+                wal_dir=str(tmp_path / node_id),
+            )
+            for node_id in ("a", "b", "c")
+        }
+        try:
+            migrate_local(stores["b"], stores["c"], 1)
+            assert stores["a"].map.epoch == 0  # a missed that flip
+            migrate_local(stores["a"], stores["c"], 0)
+            assert stores["a"].map.epoch == 2
+            assert stores["c"].owned_shards() == [0, 1, 2]
+        finally:
+            for store in stores.values():
+                store.close()
+
+    def test_failed_migration_leaves_source_serving(self, tmp_path):
+        store_a, store_b = _two_node_stores(tmp_path)
+        try:
+            key = _keys_for_shard(0, 1, NUM_SHARDS)[0]
+            store_a.put(key, "v")
+            store_b.close()  # destination dies before the flip
+            with pytest.raises(Exception):
+                migrate_local(store_a, store_b, 0)
+            assert store_a.get(key) == "v"  # not fenced, not moved
+            store_a.put(key, "v2")
+            assert store_a.get(key) == "v2"
+        finally:
+            store_a.close()
+
+
+# ---------------------------------------------------------------------------
+# Wire: ClusterNode + ClusterClient
+# ---------------------------------------------------------------------------
+
+
+async def _start_wire_cluster(
+    tmp_path, num_shards: int = 4, node_ids: Sequence[str] = ("a", "b")
+):
+    """Port-0 bootstrap: boot map at epoch 0, real-address map at 1."""
+    boot = ClusterMap.even(
+        num_shards,
+        [NodeInfo(node_id, "127.0.0.1", 0) for node_id in node_ids],
+    )
+    stores = [
+        NodeStore(
+            node_id,
+            boot,
+            LSMConfig(),
+            wal_dir=str(tmp_path / node_id),
+        )
+        for node_id in node_ids
+    ]
+    servers = [
+        ClusterNode(store, host="127.0.0.1", port=0) for store in stores
+    ]
+    for server in servers:
+        await server.start()
+    live = ClusterMap.even(
+        num_shards,
+        [
+            NodeInfo(node_id, "127.0.0.1", server.port)
+            for node_id, server in zip(node_ids, servers)
+        ],
+        epoch=1,
+    )
+    for store in stores:
+        store.install_map(live)
+    return servers, stores, live
+
+
+async def _stop_all(servers) -> None:
+    for server in servers:
+        try:
+            await server.stop()
+        except Exception:
+            pass
+
+
+class TestClusterWire:
+    def test_client_routes_and_scans_across_nodes(self, tmp_path):
+        async def scenario():
+            servers, stores, live = await _start_wire_cluster(tmp_path)
+            try:
+                client = await ClusterClient.connect(
+                    "127.0.0.1", servers[0].port
+                )
+                async with client:
+                    assert client.map.epoch == 1
+                    for index in range(40):
+                        await client.put(f"wk{index:03d}", f"v{index}")
+                    assert await client.get("wk007") == "v7"
+                    assert await client.get("missing") is None
+                    await client.delete("wk000")
+                    assert await client.get("wk000") is None
+                    count = await client.batch(
+                        [("put", f"wb{i}", "b") for i in range(8)]
+                    )
+                    assert count == 8
+                    pairs = await client.scan("wk", "wl")
+                    assert len(pairs) == 39
+                    assert pairs == sorted(pairs)
+                    # every node really owns only its slice
+                    for store in stores:
+                        assert store.owned_shards() == live.shards_of(
+                            store.node_id
+                        )
+            finally:
+                await _stop_all(servers)
+
+        asyncio.run(scenario())
+
+    def test_direct_client_gets_moved_with_owner_address(self, tmp_path):
+        async def scenario():
+            servers, stores, live = await _start_wire_cluster(tmp_path)
+            try:
+                key = next(
+                    f"mk{i}"
+                    for i in range(100)
+                    if live.owner_id(live.shard_index(f"mk{i}")) == "b"
+                )
+                raw = await KVClient.connect(
+                    "127.0.0.1", servers[0].port
+                )
+                try:
+                    with pytest.raises(MovedError) as excinfo:
+                        await raw.put(key, "v")
+                    moved = excinfo.value
+                    assert moved.shard == live.shard_index(key)
+                    assert moved.port == servers[1].port
+                    assert moved.epoch == 1
+                finally:
+                    await raw.close()
+            finally:
+                await _stop_all(servers)
+
+        asyncio.run(scenario())
+
+    def test_wire_migration_under_load_loses_nothing(self, tmp_path):
+        async def scenario():
+            servers, stores, live = await _start_wire_cluster(tmp_path)
+            try:
+                client = await ClusterClient.connect(
+                    "127.0.0.1", servers[0].port
+                )
+                async with client:
+                    for index in range(50):
+                        await client.put(f"lk{index:03d}", "before")
+                    moving = stores[0].owned_shards()[0]
+                    acked: List[str] = []
+                    stop = asyncio.Event()
+
+                    async def writer():
+                        index = 0
+                        while not stop.is_set():
+                            key = f"lw{index:04d}"
+                            await client.put(key, "during")
+                            acked.append(key)
+                            index += 1
+                            await asyncio.sleep(0)
+
+                    task = asyncio.create_task(writer())
+                    admin = await KVClient.connect(
+                        "127.0.0.1", servers[0].port
+                    )
+                    try:
+                        reply = await admin.command(
+                            ["MIGRATE", str(moving), "b"]
+                        )
+                    finally:
+                        stop.set()
+                        await task
+                        await admin.close()
+                    assert reply[0] == "OK"
+                    assert stores[0].map.epoch == 2
+                    assert moving not in stores[0].owned_shards()
+                    assert moving in stores[1].owned_shards()
+                    # every acked write must still read back
+                    for key in acked:
+                        assert await client.get(key) == "during"
+                    for index in range(50):
+                        assert (
+                            await client.get(f"lk{index:03d}") == "before"
+                        )
+            finally:
+                await _stop_all(servers)
+
+        asyncio.run(scenario())
+
+    def test_stale_client_follows_moved_and_refreshes(self, tmp_path):
+        async def scenario():
+            servers, stores, live = await _start_wire_cluster(tmp_path)
+            try:
+                stale = ClusterClient(live)  # keeps the pre-flip map
+                moving = stores[0].owned_shards()[0]
+                key = _keys_for_shard(moving, 1, live.num_shards)[0]
+                await stale.put(key, "v1")
+                admin = await KVClient.connect(
+                    "127.0.0.1", servers[0].port
+                )
+                try:
+                    await admin.command(["MIGRATE", str(moving), "b"])
+                finally:
+                    await admin.close()
+                assert await stale.get(key) == "v1"  # via MOVED redirect
+                assert stale.moved_redirects >= 1
+                assert stale.map.epoch == 2
+                await stale.put(key, "v2")  # routed straight to b now
+                assert stores[1].get(key) == "v2"
+                await stale.close()
+            finally:
+                await _stop_all(servers)
+
+        asyncio.run(scenario())
+
+    def test_surviving_shards_serve_after_node_death(self, tmp_path):
+        async def scenario():
+            servers, stores, live = await _start_wire_cluster(tmp_path)
+            try:
+                client = await ClusterClient.connect(
+                    "127.0.0.1", servers[0].port
+                )
+                key_a = _keys_for_shard(
+                    stores[0].owned_shards()[0], 1, live.num_shards
+                )[0]
+                key_b = _keys_for_shard(
+                    stores[1].owned_shards()[0], 1, live.num_shards
+                )[0]
+                await client.put(key_a, "va")
+                await client.put(key_b, "vb")
+                await servers[1].stop()  # node b dies
+                assert await client.get(key_a) == "va"
+                with pytest.raises((ConnectionError, OSError)):
+                    await client.get(key_b)
+                await client.close()
+            finally:
+                await _stop_all(servers)
+
+        asyncio.run(scenario())
+
+    def test_cluster_fetch_and_push(self, tmp_path):
+        async def scenario():
+            servers, stores, live = await _start_wire_cluster(tmp_path)
+            try:
+                raw = await KVClient.connect(
+                    "127.0.0.1", servers[0].port
+                )
+                try:
+                    reply = await raw.command(["CLUSTER"])
+                    assert reply[0] == "CLUSTER"
+                    assert ClusterMap.from_json(reply[1]) == live
+                    grown = ClusterMap(
+                        live.assignments,
+                        list(live.nodes.values())
+                        + [NodeInfo("c", "127.0.0.1", 1)],
+                        epoch=live.epoch + 1,
+                    )
+                    reply = await raw.command(
+                        ["CLUSTER", grown.to_json()]
+                    )
+                    assert reply == ["OK", "installed"]
+                    assert stores[0].map.epoch == grown.epoch
+                    reply = await raw.command(
+                        ["CLUSTER", grown.to_json()]
+                    )
+                    assert reply == ["OK", "ignored"]  # not newer
+                finally:
+                    await raw.close()
+            finally:
+                await _stop_all(servers)
+
+        asyncio.run(scenario())
+
+    def test_redirect_budget_exhaustion_raises_cluster_error(
+        self, tmp_path
+    ):
+        async def scenario():
+            servers, stores, live = await _start_wire_cluster(tmp_path)
+            try:
+                # A map lying about ownership: every shard "owned" by a,
+                # so b-shard requests MOVED forever (a's real map keeps
+                # saying b, and refresh keeps fetching the truth — but
+                # this client pins a poisoned view via epoch 99).
+                lying = ClusterMap(
+                    ["a"] * live.num_shards,
+                    list(live.nodes.values()),
+                    epoch=99,
+                )
+                client = ClusterClient(lying, max_redirects=2)
+                key = _keys_for_shard(
+                    stores[1].owned_shards()[0], 1, live.num_shards
+                )[0]
+                with pytest.raises(ClusterError):
+                    await client.put(key, "v")
+                assert client.moved_redirects == 3  # budget + 1 tries
+                await client.close()
+            finally:
+                await _stop_all(servers)
+
+        asyncio.run(scenario())

@@ -572,6 +572,28 @@ class TestSweep:
             if crossing.startswith("repl.")
         ]
         assert len(repl_crossings) >= 20
+        # Cluster acceptance: the cluster scenario crosses the map-write
+        # and every migration site (begin → snapshot → tail → fence →
+        # seal → release), >= 12 crossings total, zero dual-ownership or
+        # acked-write-loss violations (report.violations == []).
+        for required in (
+            "cluster.map.tmp",
+            "cluster.map.done",
+            "cluster.migrate.begin",
+            "cluster.migrate.snapshot",
+            "cluster.migrate.tail",
+            "cluster.migrate.fence",
+            "cluster.migrate.seal",
+            "cluster.migrate.release",
+        ):
+            assert required in names, required
+        cluster_crossings = [
+            crossing
+            for ids in report.crossings.values()
+            for crossing in ids
+            if crossing.startswith("cluster.")
+        ]
+        assert len(cluster_crossings) >= 12
         assert report.torn_runs > 0
         assert report.bitflip_runs > 0
         assert report.fsync_runs > 0

@@ -342,6 +342,80 @@ class TestPartialScan:
                 format_key(i) for i in range(60)
             ]
 
+    def test_range_scan_missing_dead_shard_is_not_partial(self):
+        """skipped_shards reflects *overlapping* shards only: a dead
+        shard entirely outside ``[lo, hi)`` neither fails the default
+        scan nor marks the partial one."""
+        bounds = range_boundaries(90, 3)
+        store = ShardedStore(
+            boundaries=bounds, config=self.bg_config()
+        )
+        try:
+            for i in range(90):
+                store.put(format_key(i), str(i))
+            inject_worker_death(store.shards[0], "test: dead worker")
+            store.check_health()
+            assert store.quarantined_shards() == [0]
+            # [30, 90) lives on shards 1 and 2; shard 0 is irrelevant.
+            strict = store.scan(format_key(30), format_key(90))
+            assert [k for k, _v in strict] == [
+                format_key(i) for i in range(30, 90)
+            ]
+            result = store.scan(
+                format_key(30), format_key(90), allow_partial=True
+            )
+            assert not result.partial
+            assert result.skipped_shards == []
+        finally:
+            store.kill()
+
+    def test_range_scan_two_dead_shards_skip_only_overlap(self):
+        bounds = range_boundaries(90, 3)
+        store = ShardedStore(
+            boundaries=bounds, config=self.bg_config()
+        )
+        try:
+            for i in range(90):
+                store.put(format_key(i), str(i))
+            for dead in (0, 2):
+                inject_worker_death(
+                    store.shards[dead], "test: dead worker"
+                )
+            store.check_health()
+            assert store.quarantined_shards() == [0, 2]
+            # [30, 60) touches only the live middle shard.
+            mid = store.scan(
+                format_key(30), format_key(60), allow_partial=True
+            )
+            assert not mid.partial
+            assert [k for k, _v in mid] == [
+                format_key(i) for i in range(30, 60)
+            ]
+            # [30, 90) overlaps dead shard 2 but not dead shard 0.
+            upper = store.scan(
+                format_key(30), format_key(90), allow_partial=True
+            )
+            assert upper.skipped_shards == [2]
+            assert [k for k, _v in upper] == [
+                format_key(i) for i in range(30, 60)
+            ]
+        finally:
+            store.kill()
+
+    def test_hash_scan_always_involves_dead_shard(self):
+        """Hash routing scatters everywhere, so even a narrow range is
+        partial whenever any shard is down — the contrast that makes the
+        range-routing tests above meaningful."""
+        store = self._store_with_dead_shard()
+        try:
+            narrow = store.scan(
+                format_key(0), format_key(3), allow_partial=True
+            )
+            assert narrow.skipped_shards == [1]
+            assert narrow.partial
+        finally:
+            store.kill()
+
     def test_allow_partial_range_routing_skips_only_owner(self):
         bounds = range_boundaries(90, 3)
         store = ShardedStore(
