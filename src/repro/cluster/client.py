@@ -18,7 +18,12 @@ the per-node client), the first post-flip request answers MOVED, the map
 refreshes once, and traffic continues on the new owner.
 
 Scans fan out to every node in parallel — each node answers for exactly
-the shards it owns — and the fragments are merged by key. During the
+the shards it owns — and the fragments are merged by key. A node
+answers a scan for its owned shards only (there is no MOVED for a
+range), so a stale map would silently miss any node that joined since
+the map was fetched; to close that hole every per-node scan rides with
+a pipelined ``CLUSTER`` epoch probe, and if any node reports a newer
+map the client installs it and retries the whole fan-out. During the
 seal-to-release instant of a migration both ends may answer reads for
 the moving shard; the merge deduplicates by key, and zero-loss shipping
 makes both answers equal, so the race is harmless.
@@ -102,10 +107,18 @@ class ClusterClient:
         return client
 
     async def close(self) -> None:
-        """Close every pooled connection."""
-        self._closed = True
-        clients = list(self._pool.values())
-        self._pool.clear()
+        """Close every pooled connection.
+
+        Drains the pool under its lock: a concurrent :meth:`_client_for`
+        that already passed the fast-path ``_closed`` check is either
+        ahead of us (its client lands in the snapshot and is closed
+        here) or behind us (it re-checks ``_closed`` under the lock and
+        raises) — never a leaked connection.
+        """
+        async with self._pool_lock:
+            self._closed = True
+            clients = list(self._pool.values())
+            self._pool.clear()
         for client in clients:
             await client.close()
 
@@ -158,22 +171,50 @@ class ClusterClient:
     async def scan(
         self, lo: str, hi: str, limit: Optional[int] = None
     ) -> List[Tuple[str, str]]:
-        """Cluster-wide range lookup: fan out, merge by key, cap."""
-        nodes = list(self.map.nodes.values())
-        fragments = await asyncio.gather(
-            *(self._scan_node(node, lo, hi, limit) for node in nodes)
+        """Cluster-wide range lookup: fan out, merge by key, cap.
+
+        Each node answers for its owned shards only and never answers
+        MOVED for a range, so the fan-out is only complete if the map
+        it used is current. Every per-node scan therefore carries a
+        pipelined ``CLUSTER`` epoch probe (same connection, same
+        round-trip); a node reporting a newer map means this client's
+        fan-out may have missed a member entirely, so the newer map is
+        installed and the whole scan retried — bounded, like MOVED
+        chasing, by ``max_redirects`` map changes per call.
+        """
+        for _ in range(self.max_redirects + 1):
+            nodes = list(self.map.nodes.values())
+            results = await asyncio.gather(
+                *(self._scan_node(node, lo, hi, limit) for node in nodes)
+            )
+            newest = max(
+                (node_map for node_map, _ in results),
+                key=lambda node_map: node_map.epoch,
+            )
+            if newest.epoch > self.map.epoch:
+                self.map = newest
+                self.map_refreshes += 1
+                continue  # the fan-out may have missed a node; redo
+            merged: Dict[str, str] = {}
+            for _, fragment in results:
+                merged.update(fragment)
+            pairs = sorted(merged.items())
+            return pairs if limit is None else pairs[:limit]
+        raise ClusterError(
+            f"cluster map changed {self.max_redirects + 1} times during "
+            "one scan; giving up"
         )
-        merged: Dict[str, str] = {}
-        for fragment in fragments:
-            merged.update(fragment)
-        pairs = sorted(merged.items())
-        return pairs if limit is None else pairs[:limit]
 
     async def _scan_node(
         self, node: NodeInfo, lo: str, hi: str, limit: Optional[int]
-    ) -> List[Tuple[str, str]]:
+    ) -> Tuple[ClusterMap, List[Tuple[str, str]]]:
+        """One node's scan fragment plus its current map (pipelined)."""
         client = await self._client_for(node.host, node.port)
-        return await client.scan(lo, hi, limit)
+        map_reply, fragment = await asyncio.gather(
+            client.command(["CLUSTER"]),
+            client.scan(lo, hi, limit),
+        )
+        return ClusterMap.from_json(map_reply[1]), fragment
 
     async def refresh(
         self, host: Optional[str] = None, port: Optional[int] = None
@@ -253,6 +294,10 @@ class ClusterClient:
         if client is not None:
             return client
         async with self._pool_lock:
+            if self._closed:
+                # close() won the lock between our fast-path check and
+                # here; inserting now would leak a connection forever.
+                raise ConnectionError("cluster client closed")
             client = self._pool.get(key)
             if client is None:
                 client = await KVClient.connect(

@@ -31,15 +31,22 @@ being served by the event loop.
 
 from __future__ import annotations
 
+import asyncio
 import json
 import time
 from typing import Dict, List, Optional
 
-from ..errors import ConfigError, ShardFencedError, ShardMovedError
+from ..errors import (
+    ConfigError,
+    MigrationUnresolvedError,
+    ReproError,
+    ShardFencedError,
+    ShardMovedError,
+)
 from ..server.client import KVClient
 from ..server.protocol import BatchOp, ProtocolError, decode_batch, encode_batch
 from ..server.server import KVServer
-from .map import ClusterMap
+from .map import ClusterMap, NodeInfo
 from .store import SNAPSHOT_CHUNK, NodeStore
 
 #: Verbs this subclass dispatches ahead of the base server.
@@ -66,6 +73,11 @@ class ClusterNode(KVServer):
         self.node_store = store
         #: Completed outbound migrations (stats dicts), oldest first.
         self.migrations: List[Dict[str, object]] = []
+        #: Flips whose ``MIG.SEAL`` outcome is unknown (destination
+        #: unreachable at the seal instant): shard → the proposed map.
+        #: The shard stays fenced until a retried ``MIGRATE`` resolves
+        #: it against the destination's durable map.
+        self._unresolved_flips: Dict[int, ClusterMap] = {}
 
     # -- error mapping --------------------------------------------------------
 
@@ -180,6 +192,11 @@ class ClusterNode(KVServer):
                 f"unknown destination node {dest_id!r}; push a map that "
                 "adds it first (CLUSTER <map>)"
             )
+        pending = self._unresolved_flips.pop(shard, None)
+        if pending is not None:
+            resolved = await self._resolve_pending_flip(shard, pending)
+            if resolved is not None:
+                return resolved  # the earlier flip had in fact sealed
         peer = await KVClient.connect(dest.host, dest.port)
         try:
             begun = await peer.command(["MIG.BEGIN", str(shard)])
@@ -219,11 +236,34 @@ class ClusterNode(KVServer):
                 await self._run_engine(store.migration_detach_tail, shard)
                 tail_ops += await self._ship(peer, shard, tail.drain())
                 new_map = store.map.with_assignment(shard, dest_id)
-                await peer.command(
-                    ["MIG.SEAL", str(shard), new_map.to_json()]
-                )
-                await self._run_engine(store.release_shard, shard, new_map)
+                try:
+                    await peer.command(
+                        ["MIG.SEAL", str(shard), new_map.to_json()]
+                    )
+                    flip_map = new_map
+                except Exception as seal_exc:
+                    # The seal's outcome is unknown: the client is
+                    # at-least-once, so the request may have been
+                    # applied with only the reply lost. Blindly
+                    # aborting would lift the fence while the
+                    # destination owns the shard at a higher epoch —
+                    # dual ownership, with this side's acks lost once
+                    # clients follow the newer epoch — so ask the
+                    # destination's durable map what actually happened.
+                    flip_map = await self._confirm_seal(
+                        dest, dest_id, shard, new_map, seal_exc
+                    )
+                    if flip_map is None:
+                        raise  # provably unsealed; aborting is safe
+                await self._run_engine(store.release_shard, shard, flip_map)
                 fence_ms = (time.perf_counter() - fence_started) * 1000.0
+            except MigrationUnresolvedError:
+                # Neither releasing nor aborting is provably safe, so
+                # the shard stays fenced (writes answer BUSY) rather
+                # than risk dual ownership; a retried MIGRATE resolves
+                # the flip once the destination answers again.
+                self._unresolved_flips[shard] = new_map
+                raise
             except BaseException:
                 await self._run_engine(store.abort_migration, shard)
                 raise
@@ -240,6 +280,103 @@ class ClusterNode(KVServer):
         }
         self.migrations.append(stats)
         return stats
+
+    async def _resolve_pending_flip(
+        self, shard: int, new_map: ClusterMap
+    ) -> Optional[Dict[str, object]]:
+        """Finish an earlier flip whose seal outcome was unknown.
+
+        Consults the destination's durable map: if it sealed, the
+        source releases the shard now (returning synthetic stats — the
+        data already moved); if it provably did not, the migration state
+        is aborted (unfencing the shard) and ``None`` is returned so a
+        fresh migration can proceed. Still-unreachable destinations
+        re-raise :class:`~repro.errors.MigrationUnresolvedError` and
+        keep the shard fenced.
+        """
+        store = self.node_store
+        dest_id = new_map.owner_id(shard)
+        dest = new_map.nodes[dest_id]
+        try:
+            flip_map = await self._confirm_seal(
+                dest,
+                dest_id,
+                shard,
+                new_map,
+                ConnectionError("unresolved earlier flip"),
+            )
+        except MigrationUnresolvedError:
+            self._unresolved_flips[shard] = new_map
+            raise
+        if flip_map is None:
+            await self._run_engine(store.abort_migration, shard)
+            return None
+        await self._run_engine(store.release_shard, shard, flip_map)
+        stats: Dict[str, object] = {
+            "shard": shard,
+            "from": store.node_id,
+            "to": dest_id,
+            "epoch": store.map.epoch,
+            "snapshot_pairs": 0,
+            "tail_ops": 0,
+            "fence_ms": 0.0,
+            "resolved_earlier_flip": True,
+        }
+        self.migrations.append(stats)
+        return stats
+
+    async def _confirm_seal(
+        self,
+        dest: NodeInfo,
+        dest_id: str,
+        shard: int,
+        new_map: ClusterMap,
+        cause: BaseException,
+    ) -> Optional[ClusterMap]:
+        """After a failed ``MIG.SEAL`` call: did the destination seal?
+
+        Probes the destination's ``CLUSTER`` map over a fresh connection
+        (the migration peer's transport is suspect). Returns the map to
+        release under when the destination's durable map assigns the
+        shard to it at (at least) the proposed epoch, ``None`` when that
+        map proves the seal never took effect — ``migration_seal``
+        persists the map *before* adopting the shard, so a durable map
+        still assigning the shard to us is proof — and raises
+        :class:`~repro.errors.MigrationUnresolvedError` when the
+        destination cannot be reached: the one case where neither
+        releasing nor aborting is safe.
+        """
+        last: BaseException = cause
+        for attempt in range(4):
+            if attempt:
+                await asyncio.sleep(0.05 * (2 ** (attempt - 1)))
+            try:
+                probe = await KVClient.connect(dest.host, dest.port)
+            except (ConnectionError, OSError) as exc:
+                last = exc
+                continue
+            try:
+                reply = await probe.command(["CLUSTER"])
+                dest_map = ClusterMap.from_json(reply[1])
+            except (
+                ConnectionError,
+                OSError,
+                asyncio.TimeoutError,
+                ReproError,
+            ) as exc:
+                last = exc
+                continue
+            finally:
+                await probe.close()
+            if (
+                dest_map.owner_id(shard) == dest_id
+                and dest_map.epoch >= new_map.epoch
+            ):
+                # Sealed. Release under the destination's (possibly
+                # even newer) map so this side's epoch keeps growing.
+                return dest_map
+            return None
+        raise MigrationUnresolvedError(shard, dest_id, str(last)) from last
 
     @staticmethod
     async def _ship(

@@ -74,8 +74,11 @@ from ..faults.registry import fault_point
 from ..shard.store import HEALTHY, BatchOp, HealthState
 from .map import ClusterMap
 
-#: Upper bound for snapshot pagination: no real key sorts above a run of
-#: maximal code points, so ``scan(after, _MAX_KEY)`` reads "the rest".
+#: Upper bound for snapshot pagination: ``scan(after, _MAX_KEY)`` reads
+#: "the rest" of a shard. :meth:`NodeStore.write_batch` *enforces* that
+#: every accepted key sorts strictly below this bound, so the exclusive
+#: upper bound is a real invariant — an acked key can never be silently
+#: excluded from (and lost by) a migration snapshot.
 _MAX_KEY = "\U0010ffff" * 8
 
 #: Key/value pairs shipped per snapshot chunk by the migration drivers.
@@ -288,6 +291,12 @@ class NodeStore:
         for op, key, value in ops:
             if not key:
                 raise ValueError("keys must be non-empty")
+            if key >= _MAX_KEY:
+                raise ValueError(
+                    "keys must sort below the migration snapshot bound "
+                    "(8 maximal code points); this key could not be "
+                    "paginated by a live migration"
+                )
             if op == "put":
                 if value is None:
                     raise ValueError("put ops need a value")
@@ -400,9 +409,22 @@ class NodeStore:
         crash, disk ownership (the freshest ``cluster.json``) and the
         shard data (the receiving tree's WAL, already durable in the
         shard directory) agree.
+
+        Idempotent once applied: the wire client is at-least-once (a
+        reply lost to a connection reset resends the request), so a
+        duplicate ``MIG.SEAL`` whose first copy already flipped
+        ownership answers OK instead of "no migration in progress" —
+        otherwise the source driver would read the resend's error as a
+        failed seal and resume serving a shard this node now owns.
         """
         self._check_open()
         with self._transition_lock:
+            if (
+                shard in self.trees
+                and self.map.owner_id(shard) == self.node_id
+                and self.map.epoch >= new_map.epoch
+            ):
+                return  # duplicate seal; the first copy took effect
             tree = self._receiving.get(shard)
             if tree is None:
                 raise ConfigError(

@@ -145,6 +145,30 @@ class ShardFencedError(ReproError):
         self.shard = shard
 
 
+class MigrationUnresolvedError(ReproError):
+    """A live migration's ownership flip could not be resolved.
+
+    Raised by the source-side migration driver when its ``MIG.SEAL``
+    call failed *and* the destination cannot be reached to learn whether
+    the seal took effect (the request may have been applied with only
+    the reply lost). Aborting would lift the source's fence while the
+    destination might own the shard at a higher epoch — a dual-ownership
+    window whose acknowledged writes are lost once clients follow the
+    newer epoch — so the shard is left **fenced** on the source instead:
+    writes answer ``BUSY`` until an operator (or a retried ``MIGRATE``)
+    re-drives the flip once the destination is reachable again. The last
+    probe failure is chained as ``__cause__``.
+    """
+
+    def __init__(self, shard: int, dest_id: str, message: str) -> None:
+        super().__init__(
+            f"shard {shard}: seal outcome on {dest_id} unknown ({message}); "
+            "shard stays fenced until the flip is resolved"
+        )
+        self.shard = shard
+        self.dest_id = dest_id
+
+
 class ShardUnavailableError(ReproError):
     """An operation routed to a quarantined shard of a sharded store.
 

@@ -29,7 +29,7 @@ from repro.errors import (
     ShardFencedError,
     ShardMovedError,
 )
-from repro.server.client import KVClient, MovedError
+from repro.server.client import KVClient, MovedError, ServerError
 from repro.shard.store import hash_shard_index
 
 
@@ -291,6 +291,29 @@ class TestNodeStore:
             store_a.close()
             store_b.close()
 
+    def test_rejects_keys_at_or_above_snapshot_bound(self, tmp_path):
+        """Keys that don't sort below ``_MAX_KEY`` are refused at the
+        write API — otherwise a migration snapshot (whose exclusive
+        upper bound is ``_MAX_KEY``) would silently drop them."""
+        from repro.cluster.store import _MAX_KEY
+
+        store_a, store_b = _two_node_stores(tmp_path)
+        try:
+            for bad in (_MAX_KEY, _MAX_KEY + "x", "\U0010ffff" * 9):
+                with pytest.raises(ValueError):
+                    store_a.put(bad, "v")
+            # a key just below the bound is accepted and migrates intact
+            edge = "\U0010ffff" * 7 + "\U0010fffe"
+            shard = store_a.shard_index(edge)
+            owner = store_a if shard in store_a.owned_shards() else store_b
+            other = store_b if owner is store_a else store_a
+            owner.put(edge, "kept")
+            migrate_local(owner, other, shard)
+            assert other.get(edge) == "kept"
+        finally:
+            store_a.close()
+            store_b.close()
+
     def test_recover_reopens_owned_shards(self, tmp_path):
         config = LSMConfig(wal_fsync=False)
         store_a, store_b = _two_node_stores(tmp_path, config)
@@ -397,6 +420,27 @@ class TestMigrateLocal:
         finally:
             for store in stores.values():
                 store.close()
+
+    def test_duplicate_seal_is_idempotent(self, tmp_path):
+        """The wire client is at-least-once: a MIG.SEAL resent after a
+        lost reply must answer OK, not 'no migration in progress' — the
+        source driver reads a seal error as a failed flip and would
+        resume serving a shard the destination now owns."""
+        store_a, store_b = _two_node_stores(tmp_path)
+        try:
+            key = _keys_for_shard(0, 1, NUM_SHARDS)[0]
+            store_a.put(key, "v")
+            migrate_local(store_a, store_b, 0)
+            sealed = store_b.map
+            store_b.migration_seal(0, sealed)  # duplicate: no raise
+            assert store_b.owned_shards() == [0, 1, 3]
+            assert store_b.get(key) == "v"
+            # a shard that was never sealed here still errors
+            with pytest.raises(ConfigError):
+                store_b.migration_seal(2, sealed.with_assignment(2, "b"))
+        finally:
+            store_a.close()
+            store_b.close()
 
     def test_failed_migration_leaves_source_serving(self, tmp_path):
         store_a, store_b = _two_node_stores(tmp_path)
@@ -678,6 +722,248 @@ class TestClusterWire:
                     await client.put(key, "v")
                 assert client.moved_redirects == 3  # budget + 1 tries
                 await client.close()
+            finally:
+                await _stop_all(servers)
+
+        asyncio.run(scenario())
+
+    def test_scan_discovers_newly_joined_node(self, tmp_path):
+        """A stale-map scan must not silently omit a node that joined
+        (and received shards) after the client fetched its map: the
+        per-node epoch probes force a refresh and a full retry."""
+
+        async def scenario():
+            servers, stores, live = await _start_wire_cluster(tmp_path)
+            extra_servers: List[ClusterNode] = []
+            try:
+                client = ClusterClient(live)  # pins the pre-join map
+                for index in range(40):
+                    await client.put(f"jk{index:03d}", "v")
+                # node c joins: start it, publish the successor map
+                grown_boot = ClusterMap(
+                    live.assignments,
+                    list(live.nodes.values())
+                    + [NodeInfo("c", "127.0.0.1", 0)],
+                    epoch=live.epoch + 1,
+                )
+                store_c = NodeStore(
+                    "c",
+                    grown_boot,
+                    LSMConfig(),
+                    wal_dir=str(tmp_path / "c"),
+                )
+                server_c = ClusterNode(store_c, host="127.0.0.1", port=0)
+                await server_c.start()
+                extra_servers.append(server_c)
+                grown = ClusterMap(
+                    live.assignments,
+                    list(live.nodes.values())
+                    + [NodeInfo("c", "127.0.0.1", server_c.port)],
+                    epoch=live.epoch + 2,
+                )
+                for store in [*stores, store_c]:
+                    store.install_map(grown)
+                # move one of a's shards (and its keys) onto c
+                moving = stores[0].owned_shards()[0]
+                assert any(
+                    live.shard_index(f"jk{i:03d}") == moving
+                    for i in range(40)
+                )
+                admin = await KVClient.connect(
+                    "127.0.0.1", servers[0].port
+                )
+                try:
+                    await admin.command(["MIGRATE", str(moving), "c"])
+                finally:
+                    await admin.close()
+                assert moving in store_c.owned_shards()
+                # the stale client's fan-out misses c entirely — the
+                # epoch probe must refresh the map and retry
+                pairs = await client.scan("jk", "jl")
+                assert len(pairs) == 40
+                assert client.map.epoch == grown.epoch + 1
+                assert "c" in client.map.nodes
+                await client.close()
+            finally:
+                await _stop_all(servers + extra_servers)
+
+        asyncio.run(scenario())
+
+    def test_close_blocks_concurrent_pool_insertion(self, tmp_path):
+        """A _client_for that passed the fast-path closed check before
+        close() ran must not insert a fresh connection afterwards."""
+
+        async def scenario():
+            servers, stores, live = await _start_wire_cluster(tmp_path)
+            try:
+                client = ClusterClient(live)
+                await client._pool_lock.acquire()  # a mid-flight caller
+                closing = asyncio.create_task(client.close())
+                await asyncio.sleep(0)  # close() parks on the pool lock
+                fetch = asyncio.create_task(
+                    client._client_for("127.0.0.1", servers[0].port)
+                )
+                await asyncio.sleep(0)  # fetch passed the fast-path check
+                assert not closing.done()
+                client._pool_lock.release()
+                await closing
+                with pytest.raises(ConnectionError):
+                    await fetch  # re-check under the lock sees _closed
+                assert client._pool == {}
+            finally:
+                await _stop_all(servers)
+
+        asyncio.run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# Seal-failure recovery: the flip must land on exactly one owner
+# ---------------------------------------------------------------------------
+
+
+class TestSealFailureRecovery:
+    def test_lost_seal_reply_still_completes_the_flip(
+        self, tmp_path, monkeypatch
+    ):
+        """MIG.SEAL applied on the destination but its reply lost: the
+        driver must confirm against the destination's durable map and
+        release — resuming serving here would be dual ownership."""
+
+        class LostReplyClient(KVClient):
+            async def command(self, fields):
+                reply = await super().command(fields)
+                if fields[0] == "MIG.SEAL":
+                    raise ConnectionError("reply lost to a reset")
+                return reply
+
+        async def scenario():
+            servers, stores, live = await _start_wire_cluster(tmp_path)
+            try:
+                monkeypatch.setattr(
+                    "repro.cluster.node.KVClient", LostReplyClient
+                )
+                moving = stores[0].owned_shards()[0]
+                key = _keys_for_shard(moving, 1, live.num_shards)[0]
+                admin = await KVClient.connect(
+                    "127.0.0.1", servers[0].port
+                )
+                try:
+                    await admin.put(key, "v")
+                    reply = await admin.command(
+                        ["MIGRATE", str(moving), "b"]
+                    )
+                finally:
+                    await admin.close()
+                assert reply[0] == "OK"
+                assert moving not in stores[0].owned_shards()
+                assert moving in stores[1].owned_shards()
+                assert stores[0].map.epoch == stores[1].map.epoch == 2
+                assert stores[1].get(key) == "v"
+                with pytest.raises(ShardMovedError):
+                    stores[0].get(key)  # exactly one owner
+            finally:
+                await _stop_all(servers)
+
+        asyncio.run(scenario())
+
+    def test_undelivered_seal_aborts_and_source_keeps_serving(
+        self, tmp_path, monkeypatch
+    ):
+        """MIG.SEAL provably never reached the destination (its durable
+        map still assigns the shard to the source): aborting is safe."""
+
+        class DropSealClient(KVClient):
+            async def command(self, fields):
+                if fields[0] == "MIG.SEAL":
+                    raise ConnectionError("seal never sent")
+                return await super().command(fields)
+
+        async def scenario():
+            servers, stores, live = await _start_wire_cluster(tmp_path)
+            try:
+                monkeypatch.setattr(
+                    "repro.cluster.node.KVClient", DropSealClient
+                )
+                moving = stores[0].owned_shards()[0]
+                key = _keys_for_shard(moving, 1, live.num_shards)[0]
+                admin = await KVClient.connect(
+                    "127.0.0.1", servers[0].port
+                )
+                try:
+                    await admin.put(key, "v")
+                    with pytest.raises(ServerError):
+                        await admin.command(
+                            ["MIGRATE", str(moving), "b"]
+                        )
+                    await admin.put(key, "v2")  # unfenced, still owned
+                finally:
+                    await admin.close()
+                assert moving in stores[0].owned_shards()
+                assert moving not in stores[1].owned_shards()
+                assert stores[0].map.epoch == 1
+                assert stores[0].get(key) == "v2"
+            finally:
+                await _stop_all(servers)
+
+        asyncio.run(scenario())
+
+    def test_unreachable_seal_keeps_shard_fenced_then_resolves(
+        self, tmp_path, monkeypatch
+    ):
+        """Seal outcome unknowable (destination dark at the seal
+        instant): the shard must stay fenced — not resume serving — and
+        a retried MIGRATE after the network heals resolves the flip."""
+
+        class BlackoutClient(KVClient):
+            async def command(self, fields):
+                if fields[0] in ("MIG.SEAL", "CLUSTER"):
+                    raise ConnectionError("partitioned at the seal")
+                return await super().command(fields)
+
+        async def scenario():
+            servers, stores, live = await _start_wire_cluster(tmp_path)
+            try:
+                moving = stores[0].owned_shards()[0]
+                key = _keys_for_shard(moving, 1, live.num_shards)[0]
+                admin = await KVClient.connect(
+                    "127.0.0.1", servers[0].port
+                )
+                try:
+                    await admin.put(key, "v")
+                finally:
+                    await admin.close()
+                monkeypatch.setattr(
+                    "repro.cluster.node.KVClient", BlackoutClient
+                )
+                admin = await KVClient.connect(
+                    "127.0.0.1", servers[0].port
+                )
+                try:
+                    with pytest.raises(ServerError):
+                        await admin.command(
+                            ["MIGRATE", str(moving), "b"]
+                        )
+                finally:
+                    await admin.close()
+                # neither outcome provable: still owned, but fenced
+                assert moving in stores[0].owned_shards()
+                with pytest.raises(ShardFencedError):
+                    stores[0].put(key, "lost?")
+                # network heals: the retry resolves the pending flip
+                # (the seal never landed) and re-drives the migration
+                monkeypatch.undo()
+                admin = await KVClient.connect(
+                    "127.0.0.1", servers[0].port
+                )
+                try:
+                    reply = await admin.command(
+                        ["MIGRATE", str(moving), "b"]
+                    )
+                finally:
+                    await admin.close()
+                assert reply[0] == "OK"
+                assert moving in stores[1].owned_shards()
+                assert stores[1].get(key) == "v"
             finally:
                 await _stop_all(servers)
 
