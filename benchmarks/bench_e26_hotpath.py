@@ -36,8 +36,10 @@ import time
 from repro.bench.report import format_table
 from repro.core.entry import Entry, EntryKind, pack_entries, unpack_entries
 from repro.core.tree import LSMTree
+from repro.core.wal import TXN_LOG_NAME
 from repro.server.loadgen import measure_server
 from repro.server.protocol import FrameParser, MAX_FRAME_BYTES, encode_message
+from repro.shard import ShardedStore, hash_shard_index
 
 from common import QUICK, bench_config, save_and_print, scaled
 
@@ -53,6 +55,9 @@ PROTO_MESSAGES = scaled(20_000, floor=2_000)
 CODEC_ENTRIES = scaled(20_000, floor=2_000)
 #: Ops per engine microbench round (committed in groups of 64).
 ENGINE_OPS = scaled(8_000, floor=1_000)
+#: Shards and ops for the transactional-batch microbench.
+TXN_SHARDS = 4
+TXN_OPS = scaled(8_000, floor=1_000)
 
 
 def _measure_point(clients: int, pipeline: int):
@@ -133,14 +138,82 @@ def _bench_engine():
     return {"write_batch_ops_per_s": ENGINE_OPS / elapsed}
 
 
+def _bench_txn_batch():
+    """``ShardedStore.write_batch`` with the v2 transactional machinery
+    in place: single-shard batches must still ride the plain fast path
+    (one WAL sync, coordinator untouched — asserted via the decision
+    log staying empty), and cross-shard two-phase commit is measured
+    alongside as the price of store-wide atomicity (reported, ungated).
+    """
+    group = 64
+    value = "v" * VALUE_BYTES
+    with tempfile.TemporaryDirectory(prefix="repro-e26-txn-") as wal_dir:
+        store = ShardedStore(
+            TXN_SHARDS,
+            bench_config(background_mode=True, wal_fsync=True),
+            wal_dir=wal_dir,
+        )
+        txn_log_path = os.path.join(wal_dir, TXN_LOG_NAME)
+        try:
+            # Pre-route keys so every fast-path batch lands on exactly
+            # one shard.
+            per_shard = [[] for _ in range(TXN_SHARDS)]
+            index = 0
+            while sum(len(keys) for keys in per_shard) < TXN_OPS:
+                key = f"key{index:09d}"
+                per_shard[hash_shard_index(key, TXN_SHARDS)].append(key)
+                index += 1
+            batches = [
+                [("put", key, value) for key in keys[base : base + group]]
+                for keys in per_shard
+                for base in range(0, len(keys), group)
+            ]
+            single_ops = sum(len(batch) for batch in batches)
+            started = time.perf_counter()
+            for batch in batches:
+                store.write_batch(batch)
+            single_s = time.perf_counter() - started
+            assert os.path.getsize(txn_log_path) == 0, (
+                "single-shard batches must not touch the 2PC coordinator"
+            )
+
+            # Cross-shard: every batch spans all shards, so each commit
+            # pays prepare records plus one coordinator decision.
+            cross_ops = max(group, TXN_OPS // 4)
+            cross_batches = [
+                [
+                    ("put", f"xs{base + i:09d}", value)
+                    for i in range(min(group, cross_ops - base))
+                ]
+                for base in range(0, cross_ops, group)
+            ]
+            started = time.perf_counter()
+            for batch in cross_batches:
+                store.write_batch(batch)
+            cross_s = time.perf_counter() - started
+            assert os.path.getsize(txn_log_path) > 0
+        finally:
+            store.close()
+    return {
+        "txn_batch_ops_per_s": single_ops / single_s,
+        "txn_batch_cross_shard_ops_per_s": cross_ops / cross_s,
+    }
+
+
 def test_e26_hotpath(benchmark):
     def experiment():
         rows = [
             _measure_point(clients, pipeline) for clients, pipeline in GRID
         ]
-        return rows, _bench_protocol(), _bench_codec(), _bench_engine()
+        return (
+            rows,
+            _bench_protocol(),
+            _bench_codec(),
+            _bench_engine(),
+            _bench_txn_batch(),
+        )
 
-    rows, proto, codec, engine = benchmark.pedantic(
+    rows, proto, codec, engine, txn = benchmark.pedantic(
         experiment, rounds=1, iterations=1
     )
 
@@ -170,12 +243,16 @@ def test_e26_hotpath(benchmark):
         "E26-micro",
         "protocol encode {encode:.0f} msgs/s, one-shot parse {parse:.0f} "
         "msgs/s; entry codec pack {pack:.0f} / unpack {unpack:.0f} "
-        "entries/s; engine write_batch {engine:.0f} ops/s".format(
+        "entries/s; engine write_batch {engine:.0f} ops/s; sharded "
+        "single-shard batch {txn:.0f} ops/s (fast path), cross-shard 2PC "
+        "{cross:.0f} ops/s".format(
             encode=proto["encode_msgs_per_s"],
             parse=proto["parse_msgs_per_s"],
             pack=codec["pack_entries_per_s"],
             unpack=codec["unpack_entries_per_s"],
             engine=engine["write_batch_ops_per_s"],
+            txn=txn["txn_batch_ops_per_s"],
+            cross=txn["txn_batch_cross_shard_ops_per_s"],
         ),
     )
 
@@ -218,6 +295,10 @@ def test_e26_hotpath(benchmark):
             ),
             "write_batch_ops_per_s": round(
                 engine["write_batch_ops_per_s"], 1
+            ),
+            "txn_batch_ops_per_s": round(txn["txn_batch_ops_per_s"], 1),
+            "txn_batch_cross_shard_ops_per_s": round(
+                txn["txn_batch_cross_shard_ops_per_s"], 1
             ),
         },
     }

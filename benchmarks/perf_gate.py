@@ -55,6 +55,11 @@ GATED_METRICS = {
     "write_batch_ops_per_s": lambda doc: doc["micro"][
         "write_batch_ops_per_s"
     ],
+    # Sharded single-shard batches after the v2 transactional redesign:
+    # the non-2PC fast path must not pay for the coordinator. (The
+    # cross-shard 2PC rate is reported in e26.json but not gated — it
+    # buys atomicity, not speed.)
+    "txn_batch_ops_per_s": lambda doc: doc["micro"]["txn_batch_ops_per_s"],
 }
 
 
@@ -150,6 +155,15 @@ def main(argv=None) -> int:
     width = max(len(name) for name in GATED_METRICS)
     print(f"{'metric':<{width}}  {'floor':>14}  {'current':>14}  ratio")
     for name in GATED_METRICS:
+        if name not in floors:
+            # A metric newer than the checked-in baseline: warn and skip
+            # rather than fail, so adding a gated metric does not brick
+            # branches still carrying the old baseline file.
+            print(
+                f"{name:<{width}}  (no baseline floor — skipped; refresh "
+                "with --update-baseline)"
+            )
+            continue
         floor = float(floors[name])
         value = current[name]
         ratio = value / floor if floor else float("inf")

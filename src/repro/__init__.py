@@ -19,7 +19,7 @@ Quickstart::
     tree.write_amplification()
 """
 
-from .api import BatchOp, KVStore
+from .api import BatchOp, KVStore, PartialScanResult, Snapshot
 from .cluster import (
     ClusterClient,
     ClusterMap,
@@ -52,17 +52,21 @@ from .errors import (
     CorruptionError,
     FilterError,
     ReproError,
+    SnapshotExpiredError,
+    TxnConflictError,
 )
 from .partition import PartitionedStore, range_boundaries
 from .replication import ReplicatedStore
 from .shard import ShardedStore
 from .storage.disk import DiskProfile, SimulatedDisk
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "KVStore",
     "BatchOp",
+    "Snapshot",
+    "PartialScanResult",
     "LSMTree",
     "ShardedStore",
     "ReplicatedStore",
@@ -95,5 +99,7 @@ __all__ = [
     "CorruptionError",
     "CompactionError",
     "FilterError",
+    "SnapshotExpiredError",
+    "TxnConflictError",
     "__version__",
 ]

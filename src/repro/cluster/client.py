@@ -34,8 +34,9 @@ from __future__ import annotations
 import asyncio
 from typing import Awaitable, Callable, Dict, List, Optional, Tuple, TypeVar
 
+from ..api import PartialScanResult, Snapshot
 from ..errors import ConfigError, ReproError
-from ..server.client import KVClient, MovedError
+from ..server.client import KVClient, MovedError, UnavailableError
 from ..server.protocol import BatchOp
 from .map import ClusterMap, NodeInfo
 
@@ -45,6 +46,34 @@ T = TypeVar("T")
 class ClusterError(ReproError):
     """A cluster operation failed beyond per-node retry (e.g. the
     redirect budget was exhausted while the map kept changing)."""
+
+
+class ClusterSnapshot:
+    """A cluster-wide snapshot: one engine snapshot per node, merged.
+
+    ``token`` is the union of every node's snapshot token — shard
+    indices are globally unique, so the merged token is itself a valid
+    snapshot token covering the whole keyspace, and any node can serve
+    ``AT`` reads from it for the shards it owns. ``per_node`` keeps each
+    node's *own* token (the string that node registered), which is what
+    :meth:`ClusterClient.end_snapshot` must hand back to release the
+    server-side pins.
+
+    Consistency contract: each node's shards are captured at one
+    consistent sequence point (a node-local 2PC MULTI is either fully
+    inside or fully outside the snapshot), but the per-node captures are
+    taken concurrently, not at one global instant — there is no
+    cross-node transaction to order against, since cluster MULTI is
+    atomic per node.
+    """
+
+    __slots__ = ("token", "per_node")
+
+    def __init__(
+        self, token: str, per_node: Dict[Tuple[str, int], str]
+    ) -> None:
+        self.token = token
+        self.per_node = dict(per_node)
 
 
 class ClusterClient:
@@ -130,11 +159,21 @@ class ClusterClient:
 
     # -- operations -----------------------------------------------------------
 
-    async def get(self, key: str) -> Optional[str]:
-        """Point lookup on the key's owning node."""
-        return await self._on_owner(
-            self.map.shard_index(key), lambda c: c.get(key)
-        )
+    async def get(
+        self, key: str, at: Optional[object] = None
+    ) -> Optional[str]:
+        """Point lookup on the key's owning node.
+
+        ``at=`` (a :class:`ClusterSnapshot`, an engine snapshot handle,
+        or a raw token string) reads as of that snapshot. Requires the
+        pool to speak protocol v2 (``protocol_version=2`` in the client
+        options).
+        """
+        shard = self.map.shard_index(key)
+        if at is None:
+            return await self._on_owner(shard, lambda c: c.get(key))
+        token = KVClient.at_token(at)
+        return await self._on_owner(shard, lambda c: c.get(key, at=token))
 
     async def put(self, key: str, value: str) -> None:
         """Write-through to the key's owning node."""
@@ -151,8 +190,9 @@ class ClusterClient:
     async def batch(self, ops: List[BatchOp]) -> int:
         """Apply a batch, split by owning node; returns the op count.
 
-        Atomicity is per shard (the engine contract) — a multi-node
-        batch is N independent per-node batches issued concurrently.
+        Atomicity is per shard (the plain ``BATCH`` contract) — a
+        multi-node batch is N independent per-node batches issued
+        concurrently. For per-*node* atomicity use :meth:`multi`.
         """
         by_shard: Dict[int, List[BatchOp]] = {}
         for op in ops:
@@ -168,8 +208,150 @@ class ClusterClient:
         )
         return sum(counts)
 
+    async def multi(self, ops: List[BatchOp]) -> int:
+        """Apply a batch atomically *per node*; returns the op count.
+
+        Ops are grouped by owning node and each group rides one ``MULTI``
+        — all-or-nothing on that node even when it spans several of the
+        node's shards (the node runs its own two-phase commit). There is
+        no cross-*node* transaction: groups commit independently, so a
+        failure can leave some nodes applied and others not — but never
+        a torn group, because a node rejects a MULTI touching a moved or
+        fenced shard before applying anything, which is also what makes
+        MOVED-chasing retries safe here.
+        """
+        remaining = list(ops)
+        applied = 0
+        for _ in range(self.max_redirects + 1):
+            groups: Dict[Tuple[str, int], List[BatchOp]] = {}
+            for op in remaining:
+                owner = self.map.owner(self.map.shard_index(op[1]))
+                groups.setdefault((owner.host, owner.port), []).append(op)
+
+            async def run_group(
+                addr: Tuple[str, int], sub_ops: List[BatchOp]
+            ) -> Tuple[Optional[int], Optional[MovedError]]:
+                client = await self._client_for(*addr)
+                try:
+                    return await client.multi(sub_ops), None
+                except MovedError as moved:
+                    return None, moved
+
+            outcomes = await asyncio.gather(
+                *(
+                    run_group(addr, sub_ops)
+                    for addr, sub_ops in groups.items()
+                )
+            )
+            retry: List[BatchOp] = []
+            last_moved: Optional[MovedError] = None
+            for (addr, sub_ops), (count, moved) in zip(
+                groups.items(), outcomes
+            ):
+                if moved is None:
+                    applied += count or 0
+                else:
+                    last_moved = moved
+                    retry.extend(sub_ops)
+            if not retry:
+                return applied
+            self.moved_redirects += 1
+            assert last_moved is not None
+            await self.refresh(last_moved.host, last_moved.port)
+            if self.map.epoch < last_moved.epoch:
+                self.map = self.map.with_assignment(
+                    last_moved.shard,
+                    f"{last_moved.host}:{last_moved.port}",
+                    host=last_moved.host,
+                    port=last_moved.port,
+                )
+            remaining = retry
+        raise ClusterError(
+            f"{len(remaining)} ops still MOVED after "
+            f"{self.max_redirects} redirects"
+        )
+
+    async def snapshot(self) -> ClusterSnapshot:
+        """Open a snapshot on every node; returns the composite handle.
+
+        Like :meth:`scan`, each per-node ``SNAP`` rides with a pipelined
+        ``CLUSTER`` epoch probe: if any node reports a newer map, this
+        client may have missed a member entirely (its shards would be
+        silently absent from the snapshot), so the just-taken tokens are
+        released and the fan-out retried on the newer map — bounded by
+        ``max_redirects`` map changes. Release with :meth:`end_snapshot`;
+        the servers also release a connection's snapshots when it
+        closes.
+        """
+        for _ in range(self.max_redirects + 1):
+            nodes = list(self.map.nodes.values())
+            results = await asyncio.gather(
+                *(self._snap_node(node) for node in nodes)
+            )
+            newest = max(
+                (node_map for node_map, _, _ in results),
+                key=lambda node_map: node_map.epoch,
+            )
+            per_node = {addr: token for _, addr, token in results}
+            if newest.epoch > self.map.epoch:
+                await self._release_tokens(per_node)
+                self.map = newest
+                self.map_refreshes += 1
+                continue
+            seqnos: Dict[int, int] = {}
+            for _, addr, token in results:
+                # First owner wins on a duplicate shard: during the
+                # seal-to-release instant of a migration both ends may
+                # pin the moving shard, and zero-loss shipping makes
+                # either pin a consistent capture.
+                for unit, seq in Snapshot.from_token(token).seqnos.items():
+                    seqnos.setdefault(unit, seq)
+            return ClusterSnapshot(Snapshot(seqnos).token, per_node)
+        raise ClusterError(
+            f"cluster map changed {self.max_redirects + 1} times while "
+            "taking a snapshot; giving up"
+        )
+
+    async def _snap_node(
+        self, node: NodeInfo
+    ) -> Tuple[ClusterMap, Tuple[str, int], str]:
+        """One node's snapshot token plus its current map (pipelined)."""
+        client = await self._client_for(node.host, node.port)
+        map_reply, token = await asyncio.gather(
+            client.command(["CLUSTER"]),
+            client.snapshot(),
+        )
+        return (
+            ClusterMap.from_json(map_reply[1]),
+            (node.host, node.port),
+            token,
+        )
+
+    async def end_snapshot(self, snapshot: ClusterSnapshot) -> None:
+        """Release every node's share of a :meth:`snapshot` (idempotent)."""
+        await self._release_tokens(snapshot.per_node)
+
+    async def _release_tokens(
+        self, per_node: Dict[Tuple[str, int], str]
+    ) -> None:
+        async def release(addr: Tuple[str, int], token: str) -> None:
+            try:
+                client = await self._client_for(*addr)
+                await client.end_snapshot(token)
+            except (ReproError, ConnectionError, OSError):
+                pass  # best effort: the server releases on disconnect
+
+        await asyncio.gather(
+            *(release(addr, token) for addr, token in per_node.items())
+        )
+
     async def scan(
-        self, lo: str, hi: str, limit: Optional[int] = None
+        self,
+        lo: str,
+        hi: str,
+        limit: Optional[int] = None,
+        at: Optional[object] = None,
+        allow_partial: bool = False,
     ) -> List[Tuple[str, str]]:
         """Cluster-wide range lookup: fan out, merge by key, cap.
 
@@ -181,40 +363,84 @@ class ClusterClient:
         fan-out may have missed a member entirely, so the newer map is
         installed and the whole scan retried — bounded, like MOVED
         chasing, by ``max_redirects`` map changes per call.
+
+        ``at=`` scans as of a snapshot (see :meth:`snapshot`).
+        ``allow_partial=True`` turns a node that cannot answer — its
+        scan fails with a quarantined-shard error, or the node is
+        unreachable — into a gap instead of an error: the result is a
+        :class:`~repro.api.PartialScanResult` whose ``skipped_shards``
+        lists every shard that node owns (the whole node's fragment is
+        lost, not just the failing shard).
         """
+        token = None if at is None else KVClient.at_token(at)
         for _ in range(self.max_redirects + 1):
             nodes = list(self.map.nodes.values())
             results = await asyncio.gather(
-                *(self._scan_node(node, lo, hi, limit) for node in nodes)
+                *(
+                    self._scan_node(node, lo, hi, limit, token, allow_partial)
+                    for node in nodes
+                )
             )
-            newest = max(
-                (node_map for node_map, _ in results),
-                key=lambda node_map: node_map.epoch,
-            )
+            maps = [node_map for node_map, _, _ in results if node_map]
+            newest = max(maps, key=lambda m: m.epoch) if maps else self.map
             if newest.epoch > self.map.epoch:
                 self.map = newest
                 self.map_refreshes += 1
                 continue  # the fan-out may have missed a node; redo
             merged: Dict[str, str] = {}
-            for _, fragment in results:
+            skipped: List[int] = []
+            for _, fragment, failed_node in results:
+                if failed_node is not None:
+                    skipped.extend(self.map.shards_of(failed_node.node_id))
                 merged.update(fragment)
             pairs = sorted(merged.items())
-            return pairs if limit is None else pairs[:limit]
+            if limit is not None:
+                pairs = pairs[:limit]
+            if allow_partial:
+                return PartialScanResult(pairs, sorted(set(skipped)))
+            return pairs
         raise ClusterError(
             f"cluster map changed {self.max_redirects + 1} times during "
             "one scan; giving up"
         )
 
     async def _scan_node(
-        self, node: NodeInfo, lo: str, hi: str, limit: Optional[int]
-    ) -> Tuple[ClusterMap, List[Tuple[str, str]]]:
-        """One node's scan fragment plus its current map (pipelined)."""
-        client = await self._client_for(node.host, node.port)
-        map_reply, fragment = await asyncio.gather(
-            client.command(["CLUSTER"]),
-            client.scan(lo, hi, limit),
-        )
-        return ClusterMap.from_json(map_reply[1]), fragment
+        self,
+        node: NodeInfo,
+        lo: str,
+        hi: str,
+        limit: Optional[int],
+        at: Optional[str],
+        allow_partial: bool,
+    ) -> Tuple[
+        Optional[ClusterMap], List[Tuple[str, str]], Optional[NodeInfo]
+    ]:
+        """One node's scan fragment plus its current map (pipelined).
+
+        With ``allow_partial`` a failure to answer — unreachable node or
+        unavailable shard — returns ``(map_or_None, [], node)`` so the
+        caller records the gap; otherwise the error propagates.
+        """
+        try:
+            client = await self._client_for(node.host, node.port)
+        except (ConnectionError, OSError):
+            if allow_partial:
+                return None, [], node
+            raise
+        try:
+            map_reply, fragment = await asyncio.gather(
+                client.command(["CLUSTER"]),
+                client.scan(lo, hi, limit, at=at),
+            )
+        except (UnavailableError, ConnectionError, OSError):
+            if not allow_partial:
+                raise
+            try:
+                map_reply = await client.command(["CLUSTER"])
+            except (ReproError, ConnectionError, OSError):
+                return None, [], node
+            return ClusterMap.from_json(map_reply[1]), [], node
+        return ClusterMap.from_json(map_reply[1]), fragment, None
 
     async def refresh(
         self, host: Optional[str] = None, port: Optional[int] = None

@@ -100,10 +100,12 @@ class ClusterNode(KVServer):
 
     # -- cluster verbs --------------------------------------------------------
 
-    async def _dispatch_read(self, request: List[str]) -> List[str]:
+    async def _dispatch_read(
+        self, request: List[str], conn=None
+    ) -> List[str]:
         verb = request[0]
         if verb not in _CLUSTER_VERBS:
-            return await super()._dispatch_read(request)
+            return await super()._dispatch_read(request, conn)
         started = time.perf_counter()
         try:
             reply = await self._dispatch_cluster(request)

@@ -57,11 +57,13 @@ import time
 from heapq import merge as heap_merge
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from ..api import PartialScanResult, Snapshot, SnapshotLike
 from ..core.config import LSMConfig
 from ..core.entry import Entry, EntryKind
 from ..core.merge_operator import MergeOperator
 from ..core.stats import TreeStats
 from ..core.tree import LSMTree
+from ..core.wal import TXN_ABORT, TXN_COMMIT, TXN_LOG_NAME, TxnDecisionLog
 from ..errors import (
     BackgroundError,
     ClosedError,
@@ -69,6 +71,7 @@ from ..errors import (
     ShardFencedError,
     ShardMovedError,
     ShardUnavailableError,
+    TxnConflictError,
 )
 from ..faults.registry import fault_point
 from ..shard.store import HEALTHY, BatchOp, HealthState
@@ -152,6 +155,7 @@ class NodeStore:
         wal_dir: str,
         merge_operator: Optional[MergeOperator] = None,
         _recover: bool = False,
+        _committed_txns: Optional[frozenset] = None,
     ) -> None:
         if node_id not in cluster_map.nodes:
             raise ConfigError(
@@ -174,7 +178,10 @@ class NodeStore:
             os.makedirs(path, exist_ok=True)
             if _recover:
                 tree = LSMTree.recover(
-                    config, path, merge_operator=merge_operator
+                    config,
+                    path,
+                    merge_operator=merge_operator,
+                    committed_txns=_committed_txns,
                 )
             else:
                 tree = LSMTree(
@@ -201,6 +208,19 @@ class NodeStore:
         self._tails: Dict[int, _TailBuffer] = {}
         self._transition_lock = threading.Lock()
         self._health_lock = threading.Lock()
+        #: Serializes this node's two-phase-commit coordinator and
+        #: snapshot capture, exactly like ShardedStore's. Snapshots are
+        #: node-local consistent points over the shards this node owns,
+        #: keyed by *global* shard index — the cluster client composes
+        #: one per node into a cluster-wide snapshot.
+        self._txn_lock = threading.Lock()
+        #: Coordinator decision log for batches spanning this node's
+        #: shards; lives at the node's WAL root (never inside a shard
+        #: directory, which migrations wipe).
+        self._txn_log = TxnDecisionLog(
+            os.path.join(wal_dir, TXN_LOG_NAME),
+            fsync=config.wal_fsync if config is not None else False,
+        )
 
     def _shard_dir(self, shard: int) -> str:
         return os.path.join(self._wal_dir, f"shard-{shard:02d}")
@@ -270,20 +290,55 @@ class NodeStore:
     def delete(self, key: str) -> None:
         self.write_batch([("delete", key, None)])
 
-    def get(self, key: str) -> Optional[str]:
+    def get(
+        self, key: str, at: Optional[SnapshotLike] = None
+    ) -> Optional[str]:
         self._check_open()
         shard = self.shard_index(key)
         tree = self._owned_tree(shard)
-        return self._shard_op(shard, lambda: tree.get(key))
+        if at is None:
+            return self._shard_op(shard, lambda: tree.get(key))
+        seq = Snapshot.coerce(at).seqno_for(shard)
+        return self._shard_op(shard, lambda: tree.get(key, at=seq))
+
+    def snapshot(self) -> Snapshot:
+        """Consistent read point over the shards *this node owns*.
+
+        Seqnos are keyed by global shard index, so per-node snapshot
+        tokens from every node merge into one cluster-wide snapshot
+        (:meth:`repro.cluster.ClusterClient.snapshot`). Capture holds the
+        transaction lock, so it never splits a cross-shard batch this
+        node coordinated.
+        """
+        self._check_open()
+        with self._txn_lock:
+            pins: Dict[int, int] = {}
+            for shard, tree in sorted(self.trees.items()):
+                if self._health[shard].healthy:
+                    pins[shard] = tree.snapshot_pin()
+        trees = {shard: self.trees[shard] for shard in pins}
+
+        def release() -> None:
+            for shard, seq in pins.items():
+                try:
+                    trees[shard].snapshot_release(seq)
+                except Exception:
+                    pass  # a released/killed tree drops its pins anyway
+
+        return Snapshot(pins, release=release)
 
     def write_batch(self, ops: Sequence[BatchOp]) -> None:
         """Commit ``ops`` on their owned shards; MOVED/fenced up front.
 
         Validation and ownership/fence checks run before anything is
         applied, so a batch touching a moved or fenced shard fails with
-        nothing written. Per-shard sub-batches then commit one at a time
-        — the serving layer already runs one committer per shard, so
-        batches arriving here are almost always single-shard.
+        nothing written. A single-shard batch (the overwhelmingly common
+        case — the serving layer runs one committer per shard) commits
+        directly; a batch spanning several *owned* shards goes through
+        the node's two-phase-commit coordinator
+        (:meth:`_commit_cross_shard`), so it is all-or-nothing even
+        across a crash. A batch spanning *nodes* is the cluster client's
+        job to split — each node only ever coordinates its own shards.
         """
         self._check_open()
         if not ops:
@@ -312,7 +367,8 @@ class NodeStore:
             if shard in self._fenced:
                 raise ShardFencedError(shard)
             self._check_available(shard)
-        for shard, sub_ops in by_shard.items():
+        if len(by_shard) == 1:
+            shard, sub_ops = next(iter(by_shard.items()))
             tree = self._owned_tree(shard)
             lock = self._write_locks.get(shard)
             if lock is None:  # released between the check and here
@@ -321,22 +377,126 @@ class NodeStore:
                 if shard in self._fenced:
                     raise ShardFencedError(shard)
                 self._shard_op(shard, lambda: tree.write_batch(sub_ops))
+            return
+        self._commit_cross_shard(by_shard)
+
+    def _commit_cross_shard(
+        self, by_shard: Dict[int, List[BatchOp]]
+    ) -> None:
+        """Two-phase commit across this node's own shards.
+
+        Same protocol as :meth:`repro.shard.ShardedStore`'s coordinator
+        — prepare every shard, one durable decision, then apply — with
+        the node's fence discipline layered in: every involved shard's
+        write lock is taken (in sorted order, so concurrent coordinators
+        cannot deadlock) and its fence re-checked before any prepare, and
+        the locks are held through the apply, so :meth:`fence` returning
+        still means every admitted write has fully committed.
+        """
+        shards = sorted(by_shard)
+        locks = []
+        for shard in shards:
+            # Ownership first: a shard served elsewhere must answer the
+            # MOVED redirect, not the fence's BUSY (which would make the
+            # client retry the wrong node forever).
+            self._owned_tree(shard)
+            lock = self._write_locks.get(shard)
+            if lock is None:
+                raise ShardFencedError(shard)
+            locks.append(lock)
+        with self._txn_lock:
+            acquired = []
+            try:
+                for shard, lock in zip(shards, locks):
+                    lock.acquire()
+                    acquired.append(lock)
+                for shard in shards:
+                    if shard in self._fenced:
+                        raise ShardFencedError(shard)
+                txn_id = self._txn_log.next_txn_id()
+                prepared: List[int] = []
+                try:
+                    for shard in shards:
+                        fault_point(
+                            "txn.prepare",
+                            scope=f"{self.node_id}/shard-{shard:02d}",
+                        )
+                        self._shard_op(
+                            shard,
+                            lambda shard=shard: self.trees[
+                                shard
+                            ].txn_prepare(txn_id, by_shard[shard]),
+                        )
+                        prepared.append(shard)
+                except Exception:
+                    self._rollback_prepared(txn_id, prepared)
+                    raise
+                try:
+                    self._txn_log.append(txn_id, TXN_COMMIT)
+                except Exception as exc:
+                    self._rollback_prepared(txn_id, prepared)
+                    try:
+                        self._txn_log.append(txn_id, TXN_ABORT)
+                    except Exception:
+                        pass
+                    raise TxnConflictError(
+                        "cross-shard batch rolled back: the coordinator "
+                        "decision could not be made durable"
+                    ) from exc
+                failure: Optional[BaseException] = None
+                for shard in prepared:
+                    fault_point(
+                        "txn.commit",
+                        scope=f"{self.node_id}/shard-{shard:02d}",
+                    )
+                    try:
+                        self._shard_op(
+                            shard,
+                            lambda shard=shard: self.trees[
+                                shard
+                            ].txn_commit(txn_id),
+                        )
+                    except Exception as exc:
+                        if failure is None:
+                            failure = exc
+                if failure is not None:
+                    raise failure
+            finally:
+                for lock in reversed(acquired):
+                    lock.release()
+
+    def _rollback_prepared(self, txn_id: int, prepared: List[int]) -> None:
+        for shard in reversed(prepared):
+            try:
+                self.trees[shard].txn_abort(txn_id)
+            except Exception:
+                pass  # recovery rolls an undecided prepare back anyway
 
     def scan(
-        self, lo: str, hi: str, limit: Optional[int] = None
+        self,
+        lo: str,
+        hi: str,
+        limit: Optional[int] = None,
+        *,
+        at: Optional[SnapshotLike] = None,
+        allow_partial: bool = False,
     ) -> List[Tuple[str, str]]:
         """Range lookup over the shards *this node owns*.
 
         A node answers for its slice of the key space only; the
         cluster-wide merge across nodes is the
         :class:`~repro.cluster.ClusterClient`'s job. Range routing skips
-        owned shards outside ``[lo, hi)``.
+        owned shards outside ``[lo, hi)``. ``at=`` reads each shard at
+        its snapshot-pinned seqno; ``allow_partial=True`` skips
+        quarantined shards and reports them in the
+        :class:`PartialScanResult`.
         """
         self._check_open()
         if limit is not None and limit < 0:
             raise ValueError("limit must be non-negative (or None)")
+        snap = None if at is None else Snapshot.coerce(at)
         if lo >= hi or limit == 0:
-            return []
+            return PartialScanResult([], []) if allow_partial else []
         involved = sorted(self.trees)
         if self.map.routing == "range":
             import bisect
@@ -347,14 +507,33 @@ class NodeStore:
             last = bisect.bisect_left(self.map.boundaries, hi)
             involved = [s for s in involved if first <= s <= last]
         partials: List[List[Tuple[str, str]]] = []
+        skipped: List[int] = []
         for shard in involved:
             tree = self.trees[shard]
-            partials.append(
-                self._shard_op(shard, lambda: tree.scan(lo, hi, limit))
-            )
+            try:
+                if snap is None:
+                    partials.append(
+                        self._shard_op(
+                            shard, lambda: tree.scan(lo, hi, limit)
+                        )
+                    )
+                else:
+                    seq = snap.seqno_for(shard)
+                    partials.append(
+                        self._shard_op(
+                            shard,
+                            lambda: tree.scan(lo, hi, limit, at=seq),
+                        )
+                    )
+            except ShardUnavailableError:
+                if not allow_partial:
+                    raise
+                skipped.append(shard)
         merged = list(heap_merge(*partials))
         if limit is not None:
             merged = merged[:limit]
+        if allow_partial:
+            return PartialScanResult(merged, skipped)
         return merged
 
     # -- migration primitives: destination side -------------------------------
@@ -628,6 +807,7 @@ class NodeStore:
             except BaseException as exc:
                 if failure is None:
                     failure = exc
+        self._txn_log.close()
         if failure is not None:
             raise failure
 
@@ -640,6 +820,7 @@ class NodeStore:
             tree.kill()
         for tree in self.trees.values():
             tree.kill()
+        self._txn_log.close()
 
     def __enter__(self) -> "NodeStore":
         return self
@@ -672,6 +853,13 @@ class NodeStore:
         this node released, kept as the crash-window backstop.
         """
         cluster_map = ClusterMap.load(wal_dir)
+        decisions = TxnDecisionLog.replay(
+            os.path.join(wal_dir, TXN_LOG_NAME)
+        )
+        committed = frozenset(
+            txn for txn, verdict in decisions.items()
+            if verdict == TXN_COMMIT
+        )
         return cls(
             node_id,
             cluster_map,
@@ -679,6 +867,7 @@ class NodeStore:
             wal_dir=wal_dir,
             merge_operator=merge_operator,
             _recover=True,
+            _committed_txns=committed,
         )
 
     # -- introspection --------------------------------------------------------

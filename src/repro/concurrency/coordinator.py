@@ -150,7 +150,7 @@ class BackgroundCoordinator:
         tree = self.tree
         started = time.perf_counter()
         tree._active_wal.append(entry)
-        tree._active.insert(entry)
+        tree._insert_active(entry)
         if tree._active.size_bytes >= tree.config.buffer_size_bytes:
             self.rotate()
         tree.stats.record_write_latency(
@@ -169,7 +169,7 @@ class BackgroundCoordinator:
         started = time.perf_counter()
         tree._active_wal.append_batch(entries)
         for entry in entries:
-            tree._active.insert(entry)
+            tree._insert_active(entry)
         if tree._active.size_bytes >= tree.config.buffer_size_bytes:
             self.rotate()
         tree.stats.record_write_latency(
@@ -355,6 +355,10 @@ class BackgroundCoordinator:
                     executor.install_job(
                         job, tree.levels, outputs, plan.target_leveled
                     )
+                    # The merge may have dropped superseded versions;
+                    # expire snapshots older than the tip (a trivial move
+                    # drops nothing and skips this).
+                    tree._note_version_gc()
                 executor.refresh_cache(job, outputs)
         finally:
             with self._cv:

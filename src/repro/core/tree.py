@@ -30,7 +30,12 @@ from ..compaction.picker import make_picker
 from ..compaction.planner import CompactionPlanner, last_data_level
 from ..concurrency import BackgroundCoordinator, ImmutableBuffer
 from ..cost.allocation import monkey_bits_per_key
-from ..errors import BackgroundError, ClosedError, ConfigError
+from ..errors import (
+    BackgroundError,
+    ClosedError,
+    ConfigError,
+    SnapshotExpiredError,
+)
 from ..faults.registry import fault_point
 from ..filters.bloom import key_digest
 from ..storage.block_cache import BlockCache, HeatTracker
@@ -45,6 +50,10 @@ from .run import SortedRun
 from .sstable import ReadContext
 from .stats import TreeStats
 from .wal import CommitHook, WriteAheadLog
+
+#: Overwritten versions kept alive for open snapshots before the tree
+#: gives up and expires them (honest degradation beats unbounded memory).
+_SNAPSHOT_PIN_CAP = 8192
 
 
 class LSMTree:
@@ -118,6 +127,17 @@ class LSMTree:
         #: Immutable (rotated) buffers awaiting flush, oldest first.
         self._immutable: List[ImmutableBuffer] = []
         self._next_seqno = 0
+        #: Prepared-but-undecided two-phase-commit groups, by txn id.
+        self._pending_txns: Dict[int, List[Entry]] = {}
+        #: Active snapshot seqnos -> refcount (guarded by the write mutex).
+        self._snapshots: Dict[int, int] = {}
+        #: Versions an in-buffer overwrite dropped while a snapshot still
+        #: needed them (cleared when the last snapshot is released).
+        self._pinned: List[Entry] = []
+        #: Oldest seqno still consistently readable via ``at=``; reads
+        #: below it raise SnapshotExpiredError. Bumped when a compaction
+        #: may have dropped superseded versions or the pin cap is hit.
+        self._snap_floor = -1
         self._closed = False
         #: Worker threads for flush/compaction; ``None`` in sync mode.
         #: Created last — workers see a fully constructed tree.
@@ -269,18 +289,7 @@ class LSMTree:
         """
         if not ops:
             return
-        normalized: List[Tuple[EntryKind, str, Optional[str]]] = []
-        for op, key, value in ops:
-            if not key:
-                raise ValueError("keys must be non-empty")
-            if op == "put":
-                if value is None:
-                    raise ValueError("put ops need a value")
-                normalized.append((EntryKind.PUT, key, value))
-            elif op == "delete":
-                normalized.append((EntryKind.DELETE, key, None))
-            else:
-                raise ValueError(f"unknown batch op {op!r}")
+        normalized = self._normalize_batch(ops)
         self._before_write()
         with self._write_mutex:
             # Hot path: one clock read, one seqno range claim, and three
@@ -308,13 +317,126 @@ class LSMTree:
             started_us = self.disk.now_us
             self._active_wal.append_batch(entries)
             for entry in entries:
-                self._active.insert(entry)
+                self._insert_active(entry)
             if self._active.size_bytes >= self.config.buffer_size_bytes:
                 self._rotate_active()
             while len(self._immutable) >= self.config.num_buffers:
                 self._flush_oldest()
             # One latency sample per batch: the batch is one commit.
             self.stats.record_write_latency(self.disk.now_us - started_us)
+
+    @staticmethod
+    def _normalize_batch(
+        ops: List[Tuple[str, str, Optional[str]]],
+    ) -> List[Tuple[EntryKind, str, Optional[str]]]:
+        """Validate a batch up front; a malformed op raises ``ValueError``
+        before anything is applied."""
+        normalized: List[Tuple[EntryKind, str, Optional[str]]] = []
+        for op, key, value in ops:
+            if not key:
+                raise ValueError("keys must be non-empty")
+            if op == "put":
+                if value is None:
+                    raise ValueError("put ops need a value")
+                normalized.append((EntryKind.PUT, key, value))
+            elif op == "delete":
+                normalized.append((EntryKind.DELETE, key, None))
+            else:
+                raise ValueError(f"unknown batch op {op!r}")
+        return normalized
+
+    # ------------------------------------------------------------------
+    # two-phase commit participant (cross-shard write_batch)
+    # ------------------------------------------------------------------
+
+    def txn_prepare(
+        self, txn_id: int, ops: List[Tuple[str, str, Optional[str]]]
+    ) -> None:
+        """Phase one: durably journal a sub-batch without applying it.
+
+        Claims consecutive seqnos and writes a PREPARE record
+        (:meth:`~repro.core.wal.WriteAheadLog.append_prepare`); nothing
+        enters the memtable and no commit hook fires until the
+        coordinator decides. On success the call **keeps the write mutex
+        held** — the same thread must settle the transaction with
+        :meth:`txn_commit` or :meth:`txn_abort` (the mutex is reentrant,
+        not transferable). Holding it across the window keeps the
+        active segment from rotating away from its prepared record and
+        blocks conflicting writers, which is what makes the decision
+        point atomic store-wide. On failure the mutex is released and
+        nothing was acknowledged.
+        """
+        normalized = self._normalize_batch(ops)
+        if not normalized:
+            raise ValueError("transactional sub-batch must be non-empty")
+        self._before_write()
+        self._write_mutex.acquire()
+        try:
+            self._check_open()
+            stamp = self.disk.now_us
+            first_seqno = self._next_seqno
+            self._next_seqno = first_seqno + len(normalized)
+            entries = [
+                Entry(key, value, first_seqno + offset, kind, stamp)
+                for offset, (kind, key, value) in enumerate(normalized)
+            ]
+            self._active_wal.append_prepare(txn_id, entries)
+            self._pending_txns[txn_id] = entries
+        except BaseException:
+            self._write_mutex.release()
+            raise
+
+    def txn_commit(self, txn_id: int) -> None:
+        """Phase two, commit side: apply the prepared group.
+
+        The coordinator's COMMIT decision is already durable, so this
+        mirrors exactly what :meth:`write_batch` would have done after
+        its WAL sync — acknowledge the group (commit hook included),
+        insert into the buffer, honor rotation/flush triggers — and then
+        releases the write mutex taken by :meth:`txn_prepare`.
+        """
+        try:
+            entries = self._pending_txns.pop(txn_id)
+            started_us = self.disk.now_us
+            self._active_wal.commit_prepared(txn_id)
+            put_count = sum(
+                1 for entry in entries if entry.kind is EntryKind.PUT
+            )
+            if put_count:
+                self.stats.incr("puts", put_count)
+            if put_count != len(entries):
+                self.stats.incr("deletes", len(entries) - put_count)
+            self.stats.incr(
+                "user_bytes_written", sum(entry.size for entry in entries)
+            )
+            for entry in entries:
+                self._insert_active(entry)
+            if self._active.size_bytes >= self.config.buffer_size_bytes:
+                if self._background is not None:
+                    self._background.rotate()
+                else:
+                    self._rotate_active()
+            if self._background is None:
+                while len(self._immutable) >= self.config.num_buffers:
+                    self._flush_oldest()
+                self.stats.record_write_latency(
+                    self.disk.now_us - started_us
+                )
+        finally:
+            self._write_mutex.release()
+
+    def txn_abort(self, txn_id: int) -> None:
+        """Phase two, abort side: drop the prepared group unapplied.
+
+        The PREPARE record stays in the segment; replay rolls it back
+        for lack of a commit decision. Releases the write mutex taken by
+        :meth:`txn_prepare`. The claimed seqnos are simply burned.
+        """
+        try:
+            self._pending_txns.pop(txn_id, None)
+            self._active_wal.abort_prepared(txn_id)
+        finally:
+            self._write_mutex.release()
 
     def delete_range(self, lo: str, hi: str) -> None:
         """Logically delete every key in ``[lo, hi)`` (§2.3.3).
@@ -338,7 +460,7 @@ class LSMTree:
             self.stats.incr("range_deletes")
             self.stats.incr("user_bytes_written", tombstone.size)
 
-    def get(self, key: str) -> Optional[str]:
+    def get(self, key: str, at: Optional[object] = None) -> Optional[str]:
         """Point lookup: the most recent value of ``key``, or ``None``.
 
         Traverses buffer → Level 0 → deeper levels, newest run first within
@@ -347,11 +469,21 @@ class LSMTree:
         probed (hash sharing, §2.1.3). Along the way the lookup tracks the
         newest covering range tombstone (free metadata checks) and collects
         merge operands until their base value is reached.
+
+        ``at=`` (a :class:`~repro.api.Snapshot`, its token, or a raw
+        seqno) answers as of that snapshot instead of the latest state:
+        versions and tombstones newer than the snapshot are invisible,
+        and versions an overwrite dropped while the snapshot was open are
+        read from the pin buffer. A snapshot below the expiry floor
+        raises :class:`~repro.errors.SnapshotExpiredError`.
         """
         self._check_open()
         started_us = self._clock_us()
         self.stats.incr("gets")
-        value = self._lookup_resolved(key)
+        if at is None:
+            value = self._lookup_resolved(key)
+        else:
+            value = self._read_at(key, self._resolve_at(at))
         self.stats.record_read_latency(self._clock_us() - started_us)
         if value is None:
             return None
@@ -359,7 +491,13 @@ class LSMTree:
         return value
 
     def scan(
-        self, lo: str, hi: str, limit: Optional[int] = None
+        self,
+        lo: str,
+        hi: str,
+        limit: Optional[int] = None,
+        *,
+        at: Optional[object] = None,
+        allow_partial: bool = False,
     ) -> List[Tuple[str, str]]:
         """Range lookup: latest versions of all keys in ``[lo, hi)``.
 
@@ -369,15 +507,25 @@ class LSMTree:
         tombstone resolution, so the caller always gets the first ``limit``
         *live* keys of the range — and stops the merge early, which is the
         point: a paginated reader does not pay for the whole range.
+
+        ``at=`` answers as of a snapshot: versions and tombstones newer
+        than it are invisible and pinned pre-overwrite versions fill the
+        gaps (see :meth:`get`). ``allow_partial=True`` is accepted for
+        protocol uniformity — a single tree has one routing unit, so the
+        result is a complete :class:`~repro.api.PartialScanResult` with
+        nothing skipped.
         """
         self._check_open()
         if limit is not None and limit < 0:
             raise ValueError("limit must be non-negative (or None)")
         started_us = self._clock_us()
         self.stats.incr("scans")
+        at_seq = None if at is None else self._resolve_at(at)
+        if at_seq is not None:
+            self._check_snapshot_floor(at_seq)
         if limit == 0:
             self.stats.record_read_latency(self._clock_us() - started_us)
-            return []
+            return self._scan_result([], allow_partial)
         ctx = ReadContext(
             self.disk, self.cache, self.heat, self.stats, cause="scan"
         )
@@ -391,12 +539,20 @@ class LSMTree:
             tombstones = [
                 t for t in self.all_range_tombstones() if t.overlaps(lo, hi)
             ]
+        if at_seq is not None:
+            tombstones = [t for t in tombstones if t.seqno <= at_seq]
+            sources.append(self._pinned_source(lo, hi, at_seq))
         for runs in run_lists:
             for run in runs:
                 sources.append(run.iter_range(lo, hi, ctx))
         results: List[Tuple[str, str]] = []
         for key, versions in iter_all_versions(sources):
             cover_seqno = max_covering_seqno(tombstones, key)
+            if at_seq is not None:
+                versions = sorted(
+                    (v for v in versions if v.seqno <= at_seq),
+                    key=lambda entry: -entry.seqno,
+                )
             live = [v for v in versions if v.seqno > cover_seqno]
             value = self._resolve_versions(key, live)
             if value is not None:
@@ -404,7 +560,17 @@ class LSMTree:
                 if limit is not None and len(results) >= limit:
                     break
         self.stats.record_read_latency(self._clock_us() - started_us)
-        return results
+        return self._scan_result(results, allow_partial)
+
+    @staticmethod
+    def _scan_result(
+        pairs: List[Tuple[str, str]], allow_partial: bool
+    ) -> List[Tuple[str, str]]:
+        if not allow_partial:
+            return pairs
+        from ..api import PartialScanResult
+
+        return PartialScanResult(pairs)
 
     def _resolve_versions(
         self, key: str, versions: List[Entry]
@@ -551,6 +717,7 @@ class LSMTree:
                 self.executor.execute(
                     plan.job, self.levels, plan.bottommost, plan.target_leveled
                 )
+                self._note_version_gc()
             self._run_compactions()
 
     # ------------------------------------------------------------------
@@ -561,6 +728,142 @@ class LSMTree:
     def seqno(self) -> int:
         """Next sequence number to be assigned."""
         return self._next_seqno
+
+    # ------------------------------------------------------------------
+    # snapshots (MVCC read points)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> "object":
+        """Capture a consistent read point for this tree.
+
+        Returns a :class:`~repro.api.Snapshot` whose single routing unit
+        ``0`` maps to the highest seqno assigned so far; ``get``/``scan``
+        with ``at=`` that handle answer as of this instant. Release the
+        handle (``close()``/``with``) so the tree can stop pinning
+        overwritten versions.
+        """
+        from ..api import Snapshot
+
+        seq = self.snapshot_pin()
+        return Snapshot({0: seq}, release=lambda: self.snapshot_release(seq))
+
+    def snapshot_pin(self) -> int:
+        """Pin the current tip seqno and return it (refcounted).
+
+        Building block for store-level snapshots: an aggregating store
+        pins every shard and assembles one multi-unit handle. While any
+        pin is live, in-buffer overwrites stash the version they would
+        drop (bounded by the pin cap — overflow expires, never lies).
+        """
+        self._check_open()
+        with self._write_mutex:
+            seq = self._next_seqno - 1
+            self._snapshots[seq] = self._snapshots.get(seq, 0) + 1
+            return seq
+
+    def snapshot_release(self, seq: int) -> None:
+        """Drop one reference to a pinned seqno; releasing the last live
+        pin discards the pinned-version buffer."""
+        with self._write_mutex:
+            count = self._snapshots.get(seq, 0)
+            if count <= 1:
+                self._snapshots.pop(seq, None)
+            else:
+                self._snapshots[seq] = count - 1
+            if not self._snapshots:
+                self._pinned.clear()
+
+    def _resolve_at(self, at: object) -> int:
+        """Accept a Snapshot handle, its token, or a raw seqno."""
+        if isinstance(at, bool):
+            raise TypeError("at= must be a Snapshot, token string, or seqno")
+        if isinstance(at, int):
+            return at
+        from ..api import Snapshot
+
+        return Snapshot.coerce(at).seqno_for(0)
+
+    def _check_snapshot_floor(self, at_seq: int) -> None:
+        if at_seq < self._snap_floor:
+            raise SnapshotExpiredError(
+                f"snapshot at seqno {at_seq} expired: versions below "
+                f"{self._snap_floor} may have been garbage-collected",
+                seqno=at_seq,
+            )
+
+    def _insert_active(self, entry: Entry) -> None:
+        """Insert into the active buffer, first pinning the version the
+        insert would drop if an open snapshot still needs it. Caller
+        holds the write mutex. The snapshot check is one falsy-dict test
+        when no snapshot is open — the common case stays free."""
+        if self._snapshots:
+            self._maybe_pin(entry)
+        self._active.insert(entry)
+
+    def _maybe_pin(self, entry: Entry) -> None:
+        old = self._active.get(entry.key)
+        if old is None or old.kind is EntryKind.MERGE:
+            # Nothing dropped, or an eager-merge operand stack (snapshots
+            # over merge operators are documented as unsupported).
+            return
+        if max(self._snapshots) < old.seqno:
+            return  # no open snapshot can see the dropped version
+        if len(self._pinned) >= _SNAPSHOT_PIN_CAP:
+            # Pin budget exhausted: expire snapshots below this write
+            # instead of silently losing their view.
+            self._snap_floor = max(self._snap_floor, entry.seqno)
+            return
+        self._pinned.append(old)
+
+    def _pinned_source(
+        self, lo: str, hi: str, at_seq: int
+    ) -> Iterator[Entry]:
+        """Pinned versions in ``[lo, hi)`` visible at ``at_seq``, key
+        sorted, newest surviving version per key (a scan source)."""
+        with self._write_mutex:
+            best: Dict[str, Entry] = {}
+            for entry in self._pinned:
+                if lo <= entry.key < hi and entry.seqno <= at_seq:
+                    seen = best.get(entry.key)
+                    if seen is None or entry.seqno > seen.seqno:
+                        best[entry.key] = entry
+        return iter(sorted(best.values(), key=lambda entry: entry.key))
+
+    def _read_at(self, key: str, at_seq: int) -> Optional[str]:
+        """Point lookup as of a snapshot.
+
+        Collects *every* stored version of the key at or below the
+        snapshot — one probe per component plus the pin buffer — rather
+        than stopping at the first base entry: the newest stored version
+        may postdate the snapshot. Correctness over probe count; at-reads
+        are not the hot path.
+        """
+        self._check_snapshot_floor(at_seq)
+        ctx = ReadContext(
+            self.disk, self.cache, self.heat, self.stats, cause="get"
+        )
+        digest = key_digest(key) if self.config.filter_bits_per_key else None
+        shadow_seqno = -1
+        versions: List[Entry] = []
+        for tombstones, getter, counts_as_run in self._lookup_units(
+            key, ctx, digest
+        ):
+            visible = [t for t in tombstones if t.seqno <= at_seq]
+            shadow_seqno = max(
+                shadow_seqno, max_covering_seqno(visible, key)
+            )
+            if counts_as_run:
+                self.stats.incr("runs_probed")
+            entry = getter()
+            if entry is not None and entry.seqno <= at_seq:
+                versions.append(entry)
+        with self._write_mutex:
+            for entry in self._pinned:
+                if entry.key == key and entry.seqno <= at_seq:
+                    versions.append(entry)
+        versions.sort(key=lambda entry: -entry.seqno)
+        live = [v for v in versions if v.seqno > shadow_seqno]
+        return self._resolve_versions(key, live)
 
     def backpressure(self) -> Dict[str, object]:
         """Non-blocking admission-control snapshot for serving layers.
@@ -710,6 +1013,7 @@ class LSMTree:
         wal_dir: str,
         disk: Optional[SimulatedDisk] = None,
         merge_operator: Optional[MergeOperator] = None,
+        committed_txns: Optional[set] = None,
     ) -> "LSMTree":
         """Rebuild the memory state from WAL segments after a crash.
 
@@ -717,6 +1021,11 @@ class LSMTree:
         additionally reloads SSTables via
         :mod:`repro.storage.persistence`. Entries keep their original
         sequence numbers so recovery is idempotent.
+
+        ``committed_txns`` is the committed-transaction id set recovered
+        from the store's coordinator decision log: prepared two-phase
+        groups in it are rolled forward, all others rolled back (see
+        :meth:`~repro.core.wal.WriteAheadLog.replay`).
 
         Crash-safe ordering: every replayed entry is re-journaled into a
         *fresh* segment (numbered above all existing ones) before any old
@@ -731,7 +1040,11 @@ class LSMTree:
         )
         entries: List[Entry] = []
         for name in segments:
-            entries.extend(WriteAheadLog.replay(os.path.join(wal_dir, name)))
+            entries.extend(
+                WriteAheadLog.replay(
+                    os.path.join(wal_dir, name), committed_txns
+                )
+            )
         tree = cls(
             config, disk=disk, wal_dir=None, merge_operator=merge_operator
         )
@@ -819,7 +1132,7 @@ class LSMTree:
                         )
                     )
                 else:
-                    self._active.insert(entry)
+                    self._insert_active(entry)
             if self._active.size_bytes < self.config.buffer_size_bytes:
                 return
             if self._background is not None:
@@ -904,7 +1217,7 @@ class LSMTree:
             return
         started_us = self.disk.now_us
         self._active_wal.append(entry)
-        self._active.insert(entry)
+        self._insert_active(entry)
         if self._active.size_bytes >= self.config.buffer_size_bytes:
             self._rotate_active()
         if len(self._immutable) >= self.config.num_buffers:
@@ -928,7 +1241,7 @@ class LSMTree:
                     )
                 )
                 return
-            self._active.insert(entry)
+            self._insert_active(entry)
             if self._active.size_bytes < self.config.buffer_size_bytes:
                 return
             if self._background is not None:
@@ -1038,6 +1351,15 @@ class LSMTree:
             self.executor.execute(
                 plan.job, self.levels, plan.bottommost, plan.target_leveled
             )
+            self._note_version_gc()
+
+    def _note_version_gc(self) -> None:
+        """A compaction just ran and may have merged away superseded
+        versions; raise the snapshot expiry floor to the current tip so
+        older ``at=`` reads expire instead of answering from a
+        half-merged history. (Conservative: a move-only compaction also
+        bumps — at-reads trade availability for never being wrong.)"""
+        self._snap_floor = max(self._snap_floor, self._next_seqno - 1)
 
     def _monkey_bits_for_level(self, level_index: int) -> float:
         """Monkey-optimal bits/key for tables landing at ``level_index``.

@@ -88,6 +88,37 @@ def _encode_batch_header(count: int) -> str:
     return f"{crc:08x},{payload}\n"
 
 
+class PreparedGroup:
+    """A decoded PREPARE record: a commit group awaiting a txn decision."""
+
+    __slots__ = ("txn_id", "entries")
+
+    def __init__(self, txn_id: int, entries: List[Entry]) -> None:
+        self.txn_id = txn_id
+        self.entries = entries
+
+
+def _encode_prepare(txn_id: int, entries: List[Entry]) -> str:
+    """Encode a two-phase-commit PREPARE record: a commit group tagged
+    with its transaction id (``crc,{"p":txn,"g":[...]}``). Same one-line
+    atomicity as a plain group record, but replay applies it only when
+    the coordinator's decision log says the transaction committed.
+    """
+    payload = json.dumps(
+        {
+            "p": txn_id,
+            "g": [
+                [entry.key, entry.value, entry.seqno, int(entry.kind),
+                 entry.stamp_us]
+                for entry in entries
+            ],
+        },
+        separators=(",", ":"),
+    )
+    crc = zlib.crc32(payload.encode("utf-8"))
+    return f"{crc:08x},{payload}\n"
+
+
 def _encode_group(entries: List[Entry]) -> str:
     """Encode a whole commit group as one record.
 
@@ -114,9 +145,9 @@ def _decode_line(
     path: Optional[str] = None,
     record_index: Optional[int] = None,
     byte_offset: Optional[int] = None,
-) -> Union[Entry, int, List[Entry]]:
-    """Decode one WAL line: an :class:`Entry`, a commit-group list, or a
-    legacy batch-header count."""
+) -> Union[Entry, int, List[Entry], PreparedGroup]:
+    """Decode one WAL line: an :class:`Entry`, a commit-group list, a
+    :class:`PreparedGroup`, or a legacy batch-header count."""
     crc_hex, _sep, payload = line.rstrip("\n").partition(",")
     if not _sep:
         raise CorruptionError(
@@ -155,7 +186,7 @@ def _decode_line(
         ) from exc
     if isinstance(fields, dict) and "g" in fields and "k" not in fields:
         try:
-            return [
+            entries = [
                 Entry(
                     key=key,
                     value=value,
@@ -165,6 +196,9 @@ def _decode_line(
                 )
                 for key, value, seqno, kind, stamp_us in fields["g"]
             ]
+            if "p" in fields:
+                return PreparedGroup(int(fields["p"]), entries)
+            return entries
         except (KeyError, TypeError, ValueError) as exc:
             raise CorruptionError(
                 "WAL group record failed to decode",
@@ -247,6 +281,7 @@ class WriteAheadLog:
         self._fsync = fsync
         self.on_commit = on_commit
         self._pending: List[Entry] = []
+        self._prepared: "dict[int, List[Entry]]" = {}
         self._unaccounted_bytes = 0
         self._closed = False
         self._poison_cause: Optional[BaseException] = None
@@ -345,6 +380,53 @@ class WriteAheadLog:
         if self.on_commit is not None:
             self.on_commit(list(entries))
 
+    def append_prepare(self, txn_id: int, entries: List[Entry]) -> None:
+        """Durably record a commit group *without* acknowledging it.
+
+        The first phase of two-phase commit: the group's bytes and sync
+        cost are identical to :meth:`append_batch`, but the entries do
+        not join :attr:`pending_entries` and the :attr:`on_commit` hook
+        does not fire — the group is not committed until the coordinator
+        decides, at which point :meth:`commit_prepared` (or
+        :meth:`abort_prepared`) settles it. Replay skips a prepared
+        group unless told its transaction committed.
+        """
+        self._check_writable()
+        if not entries:
+            return
+        record = _encode_prepare(txn_id, entries)
+        if self._file is not None:
+            fault_point("wal.batch.start", path=self._path)
+            self._file.write(record)
+            fault_point(
+                "txn.prepare.record",
+                path=self._path,
+                tail_bytes=len(record),
+                handle=self._file,
+            )
+            self._sync()
+        self._charge(len(record))
+        self._prepared[txn_id] = list(entries)
+
+    def commit_prepared(self, txn_id: int) -> List[Entry]:
+        """Settle a prepared group as committed: the entries become
+        acknowledged (join :attr:`pending_entries`) and the
+        :attr:`on_commit` hook fires with the group — exactly the
+        observable effects a direct :meth:`append_batch` would have had.
+        The commit *decision* is durable in the coordinator's log, not
+        here; this segment already holds the group's bytes."""
+        entries = self._prepared.pop(txn_id)
+        self._pending.extend(entries)
+        if self.on_commit is not None:
+            self.on_commit(list(entries))
+        return entries
+
+    def abort_prepared(self, txn_id: int) -> None:
+        """Settle a prepared group as rolled back: it is never
+        acknowledged. The PREPARE record stays in the file; replay
+        discards it for lack of a commit decision."""
+        self._prepared.pop(txn_id, None)
+
     def _sync(self) -> None:
         """One log sync: flush (and optionally fsync) the backing file.
 
@@ -390,6 +472,7 @@ class WriteAheadLog:
         if self._closed:
             raise ClosedError("WAL is closed")
         self._pending.clear()
+        self._prepared.clear()
         self._unaccounted_bytes = 0
         if self._file is not None and self._path is not None:
             self._file.close()
@@ -404,7 +487,9 @@ class WriteAheadLog:
         self._closed = True
 
     @staticmethod
-    def replay(path: str) -> Iterator[Entry]:
+    def replay(
+        path: str, committed_txns: "Optional[set] | frozenset" = None
+    ) -> Iterator[Entry]:
         """Yield the entries recorded in a WAL file, oldest first.
 
         Tolerated (the normal signatures of a crash mid-append):
@@ -415,6 +500,13 @@ class WriteAheadLog:
           record, or (legacy format) a batch header whose N records were
           not all written; the whole group is discarded, preserving
           batch atomicity.
+
+        PREPARE records (two-phase commit) follow presumed-abort: a
+        prepared group is replayed — rolled *forward* — only when its
+        transaction id is in ``committed_txns`` (the decisions recovered
+        from the coordinator's :class:`TxnDecisionLog`); any prepared
+        group without a durable commit decision is rolled *back* by
+        simply not replaying it.
 
         Corruption *followed by a valid record* means the damage is not a
         crash artifact and raises :class:`~repro.errors.CorruptionError`
@@ -459,6 +551,17 @@ class WriteAheadLog:
                 yield decoded
                 index += 1
                 continue
+            if isinstance(decoded, PreparedGroup):
+                if committed_txns and decoded.txn_id in committed_txns:
+                    # Roll forward: the coordinator's COMMIT decision is
+                    # durable, so the group is as good as committed.
+                    fault_point("txn.rollforward", path=path)
+                    for entry in decoded.entries:
+                        yield entry
+                # else roll back (presumed abort): no durable decision,
+                # the group was never acknowledged anywhere.
+                index += 1
+                continue
             if isinstance(decoded, list):
                 # One-line commit group: atomic by construction.
                 for entry in decoded:
@@ -491,3 +594,149 @@ class WriteAheadLog:
             for entry in group:
                 yield entry
             index = group_end
+
+
+#: Canonical file name of a store's coordinator decision log (it lives
+#: beside the store manifest in the WAL directory).
+TXN_LOG_NAME = "txn.log"
+
+#: Decision codes recorded by the coordinator.
+TXN_COMMIT = "c"
+TXN_ABORT = "a"
+
+
+class TxnDecisionLog:
+    """Coordinator journal for cross-shard two-phase commits.
+
+    One line per decided transaction — ``crc,{"x":txn_id,"d":"c"|"a"}``
+    — appended *after* every participant shard's PREPARE record is
+    durable and *before* any shard applies its sub-batch. That ordering
+    is the whole protocol: recovery replays this log first, then hands
+    the committed-transaction set to each shard's WAL replay, which
+    rolls a prepared group forward exactly when a durable COMMIT
+    decision exists and rolls it back otherwise (presumed abort). A
+    torn decision record therefore aborts its transaction — the crash
+    happened inside the decision write, so no shard can have applied
+    anything yet.
+
+    The log is append-only and tiny (one short line per *multi-shard*
+    batch; single-shard batches never touch it), so it is never
+    truncated or rotated.
+    """
+
+    def __init__(self, path: str, fsync: bool = False) -> None:
+        self._path = path
+        self._fsync = fsync
+        self._decisions = self.replay(path)
+        self._next_txn = (
+            max(self._decisions, default=0) + 1 if self._decisions else 1
+        )
+        self._file = open(path, "a", encoding="utf-8", buffering=1)
+        self._closed = False
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    def next_txn_id(self) -> int:
+        """Allocate a fresh transaction id (caller holds the store's
+        transaction lock, so allocation needs no lock of its own)."""
+        txn_id = self._next_txn
+        self._next_txn = txn_id + 1
+        return txn_id
+
+    def append(self, txn_id: int, decision: str) -> None:
+        """Durably record the coordinator's verdict for ``txn_id``.
+
+        The write is the transaction's commit point: once this record
+        survives a crash, recovery rolls the transaction forward; a
+        crash before (or tearing) it rolls the transaction back.
+        """
+        if self._closed:
+            raise ClosedError("txn decision log is closed")
+        if decision not in (TXN_COMMIT, TXN_ABORT):
+            raise ValueError(f"unknown txn decision {decision!r}")
+        payload = json.dumps(
+            {"x": txn_id, "d": decision}, separators=(",", ":")
+        )
+        record = f"{zlib.crc32(payload.encode('utf-8')):08x},{payload}\n"
+        fault_point("txn.decide.start", path=self._path)
+        self._file.write(record)
+        fault_point(
+            "txn.decide",
+            path=self._path,
+            tail_bytes=len(record),
+            handle=self._file,
+        )
+        try:
+            self._file.flush()
+            if self._fsync:
+                _datasync(self._file.fileno())
+        except OSError as exc:
+            raise DurabilityError(
+                f"txn decision log sync failed ({self._path})"
+            ) from exc
+        self._decisions[txn_id] = decision
+
+    def decision(self, txn_id: int) -> Optional[str]:
+        return self._decisions.get(txn_id)
+
+    def close(self) -> None:
+        """Close the backing file. Idempotent."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None  # type: ignore[assignment]
+        self._closed = True
+
+    @staticmethod
+    def replay(path: str) -> "dict[int, str]":
+        """Recover ``{txn_id: decision}`` from a decision log.
+
+        A torn final record is the signature of a crash mid-decision and
+        means that transaction aborted — it is simply absent from the
+        result. Corruption followed by a valid record raises
+        :class:`~repro.errors.CorruptionError`, like WAL replay.
+        """
+        decisions: "dict[int, str]" = {}
+        if not os.path.exists(path):
+            return decisions
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+
+        def decode(index: int) -> "tuple[int, str]":
+            crc_hex, sep, payload = lines[index].rstrip("\n").partition(",")
+            try:
+                expected = int(crc_hex, 16) if sep else None
+            except ValueError:
+                expected = None
+            if expected is None or (
+                zlib.crc32(payload.encode("utf-8")) != expected
+            ):
+                raise CorruptionError(
+                    "txn decision record failed checksum",
+                    path=path,
+                    record_index=index,
+                )
+            try:
+                fields = json.loads(payload)
+                return int(fields["x"]), str(fields["d"])
+            except (ValueError, KeyError, TypeError) as exc:
+                raise CorruptionError(
+                    "txn decision record failed to decode",
+                    path=path,
+                    record_index=index,
+                ) from exc
+
+        for index in range(len(lines)):
+            try:
+                txn_id, verdict = decode(index)
+            except CorruptionError:
+                for j in range(index + 1, len(lines)):
+                    try:
+                        decode(j)
+                    except CorruptionError:
+                        continue
+                    raise  # valid record after the damage: not a torn tail
+                return decisions
+            decisions[txn_id] = verdict
+        return decisions

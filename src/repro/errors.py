@@ -102,6 +102,38 @@ class ReplicationError(ReproError):
     """
 
 
+class TxnConflictError(ReproError):
+    """A cross-shard transactional batch was rolled back before commit.
+
+    Raised by the two-phase-commit write path when the transaction could
+    not reach its commit point — most commonly because the coordinator
+    decision record could not be made durable after the per-shard
+    prepares succeeded. The contract is all-or-nothing: when this error
+    is raised, *no* shard has applied any of the batch (every prepared
+    sub-batch was rolled back), so the whole batch can simply be
+    retried. The serving layer maps it to the retryable structured reply
+    ``ERR TXN <detail>``. The root cause is chained as ``__cause__``.
+    """
+
+
+class SnapshotExpiredError(ReproError):
+    """A read at a snapshot the engine can no longer serve consistently.
+
+    Snapshots pin the pre-snapshot versions that in-memory overwrites
+    would otherwise drop, but that pinning is bounded: once the engine
+    garbage-collects versions at or below a snapshot's sequence number —
+    a compaction merging them away, or the pin buffer overflowing — any
+    ``get``/``scan`` at that snapshot raises this error instead of
+    silently returning a half-old, half-new view. Take a fresh snapshot
+    and retry; the serving layer maps it to ``ERR SNAPEXPIRED <detail>``.
+    ``seqno`` (when known) is the snapshot sequence number that expired.
+    """
+
+    def __init__(self, message: str, *, seqno: "int | None" = None) -> None:
+        super().__init__(message)
+        self.seqno = seqno
+
+
 class ShardMovedError(ReproError):
     """An operation routed to a shard this node no longer (or never) owns.
 

@@ -192,6 +192,37 @@ FAILPOINTS: Dict[str, Failpoint] = {
             "before a per-shard sub-batch commit",
         ),
         Failpoint(
+            "txn.prepare",
+            "shard/store.py _commit_cross_shard",
+            "before a shard's PREPARE record for a cross-shard batch",
+        ),
+        Failpoint(
+            "txn.prepare.record",
+            "core/wal.py append_prepare",
+            "PREPARE record written, before the prepare sync (tearable)",
+        ),
+        Failpoint(
+            "txn.decide.start",
+            "core/wal.py TxnDecisionLog.append",
+            "all shards prepared, before the coordinator decision write",
+        ),
+        Failpoint(
+            "txn.decide",
+            "core/wal.py TxnDecisionLog.append",
+            "decision record written, before its sync — the commit "
+            "point (tearable)",
+        ),
+        Failpoint(
+            "txn.commit",
+            "shard/store.py _commit_cross_shard",
+            "decision durable, before a shard applies its sub-batch",
+        ),
+        Failpoint(
+            "txn.rollforward",
+            "core/wal.py replay",
+            "before recovery rolls a committed prepared group forward",
+        ),
+        Failpoint(
             "repl.ship",
             "replication/store.py ship",
             "commit group durable on the primary, before enqueueing it "
@@ -280,7 +311,13 @@ FAILPOINTS: Dict[str, Failpoint] = {
 
 #: Failpoints whose in-flight tail may legitimately be torn: the bytes
 #: after the last sync belong to an unacknowledged write.
-TEARABLE = ("wal.append.written", "wal.batch.record", "wal.batch.written")
+TEARABLE = (
+    "wal.append.written",
+    "wal.batch.record",
+    "wal.batch.written",
+    "txn.prepare.record",
+    "txn.decide",
+)
 
 #: Crash flavors a plan can fire at its crossing.
 CRASH_MODES = ("crash", "torn", "bitflip")

@@ -273,8 +273,9 @@ class SingleTreeScenario:
 
 class ShardedScenario:
     """Three sync shards, big buffers (no flushes): cross-shard batches
-    exercise shards.json, per-shard sub-batch commits, and per-shard WAL
-    group atomicity."""
+    exercise shards.json, the two-phase-commit coordinator (prepare
+    records, the decision log, roll-forward/rollback), and per-shard
+    WAL group atomicity."""
 
     name = "sharded"
     num_shards = 3
@@ -338,9 +339,13 @@ class ShardedScenario:
     def recover(self, root: str) -> ShardedStore:
         return ShardedStore.recover(self.config(), os.path.join(root, "wal"))
 
-    def unit_of(self, key: str) -> object:
-        # Cross-shard batches are atomic per shard's sub-batch only.
-        return hash_shard_index(key, self.num_shards)
+    def unit_of(self, _key: str) -> object:
+        # Cross-shard batches are atomic store-wide: the two-phase
+        # commit coordinator (per-shard PREPARE records, one durable
+        # decision, roll-forward/rollback on recovery) promises
+        # all-or-nothing for the *whole* batch, so the oracle judges
+        # every in-flight key as one atomic unit.
+        return 0
 
 
 class ReplicatedScenario:
@@ -926,10 +931,25 @@ def _bitflip_runs(seed: int, report: SweepReport, count: int) -> None:
             )
 
 
-def _sample(items: List[str], count: int, rng: random.Random) -> List[str]:
+def _sample(
+    items: List[str],
+    count: int,
+    rng: random.Random,
+    always: str = "txn.",
+) -> List[str]:
+    """Seeded sample of ``count`` crossings, plus every ``always`` match.
+
+    Quick mode must never skip the two-phase-commit crossings — they
+    are few, and each one is a distinct protocol state (mid-prepare,
+    torn decision, mid-apply) whose recovery path deserves a run on
+    every CI pass — so crossings whose failpoint name starts with
+    ``always`` ride along on top of the random sample.
+    """
     if count >= len(items):
         return list(items)
-    return sorted(rng.sample(items, count))
+    forced = [item for item in items if item.startswith(always)]
+    sampled = set(rng.sample(items, count)) | set(forced)
+    return sorted(sampled)
 
 
 def run_sweep(quick: bool = False, seed: int = 7) -> SweepReport:

@@ -17,8 +17,10 @@ aggregate amplification is read off the shared counters.
 from __future__ import annotations
 
 import bisect
+import threading
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..api import PartialScanResult, Snapshot, SnapshotLike
 from ..core.config import LSMConfig
 from ..core.stats import TreeStats
 from ..core.tree import LSMTree
@@ -70,6 +72,12 @@ class PartitionedStore:
             LSMTree(config, disk=self.disk) for _ in range(len(ordered) + 1)
         ]
         self.user_bytes_written = 0
+        #: Serializes multi-shard batch application against snapshot
+        #: capture, so a snapshot never observes half a batch. The store
+        #: has no WAL (one shared simulated device, no ``wal_dir``), so
+        #: no durable coordinator is needed — atomicity only has to hold
+        #: against concurrent snapshots, not against crashes.
+        self._txn_lock = threading.Lock()
 
     @property
     def num_shards(self) -> int:
@@ -91,47 +99,95 @@ class PartitionedStore:
         self.user_bytes_written += len(key) + len(value)
         self.shard_for(key).put(key, value)
 
-    def get(self, key: str) -> Optional[str]:
-        """Point lookup in the owning shard only."""
-        return self.shard_for(key).get(key)
+    def get(
+        self, key: str, at: Optional[SnapshotLike] = None
+    ) -> Optional[str]:
+        """Point lookup in the owning shard only; ``at=`` reads as of a
+        store-wide snapshot."""
+        index = self.shard_index(key)
+        if at is None:
+            return self.shards[index].get(key)
+        seq = Snapshot.coerce(at).seqno_for(index)
+        return self.shards[index].get(key, at=seq)
+
+    def snapshot(self) -> Snapshot:
+        """Capture a store-wide consistent read point.
+
+        Pins every shard's tip seqno under the same lock multi-shard
+        batch application holds, so the capture never lands between one
+        batch's sub-batches.
+        """
+        with self._txn_lock:
+            pins = {
+                index: shard.snapshot_pin()
+                for index, shard in enumerate(self.shards)
+            }
+
+        def release() -> None:
+            for index, seq in pins.items():
+                self.shards[index].snapshot_release(seq)
+
+        return Snapshot(pins, release=release)
 
     def delete(self, key: str) -> None:
         """Logical delete in the owning shard."""
         self.shard_for(key).delete(key)
 
     def scan(
-        self, lo: str, hi: str, limit: Optional[int] = None
+        self,
+        lo: str,
+        hi: str,
+        limit: Optional[int] = None,
+        *,
+        at: Optional[SnapshotLike] = None,
+        allow_partial: bool = False,
     ) -> List[Tuple[str, str]]:
         """Range scan stitched across the shards it overlaps.
 
         Shards hold disjoint, ordered key ranges, so concatenating the
         per-shard results in shard order is already globally sorted;
         ``limit`` propagates to each shard and stops the walk early.
+        ``at=`` reads every shard at its snapshot-pinned seqno. Shards
+        here share one process and cannot be individually unavailable, so
+        ``allow_partial=True`` only changes the return type to a
+        (complete) :class:`PartialScanResult`.
         """
         if limit is not None and limit < 0:
             raise ValueError("limit must be non-negative (or None)")
-        if lo >= hi or limit == 0:
-            return []
-        first = bisect.bisect_right(self.boundaries, lo)
-        # hi is exclusive, so bisect_left: a scan ending exactly on a
-        # boundary never touches the next shard (it owns keys >= hi).
-        last = bisect.bisect_left(self.boundaries, hi)
+        snap = None if at is None else Snapshot.coerce(at)
         results: List[Tuple[str, str]] = []
-        for index in range(first, min(last, len(self.shards) - 1) + 1):
-            remaining = None if limit is None else limit - len(results)
-            if remaining == 0:
-                break
-            results.extend(self.shards[index].scan(lo, hi, remaining))
+        if lo < hi and limit != 0:
+            first = bisect.bisect_right(self.boundaries, lo)
+            # hi is exclusive, so bisect_left: a scan ending exactly on a
+            # boundary never touches the next shard (it owns keys >= hi).
+            last = bisect.bisect_left(self.boundaries, hi)
+            for index in range(first, min(last, len(self.shards) - 1) + 1):
+                remaining = None if limit is None else limit - len(results)
+                if remaining == 0:
+                    break
+                if snap is None:
+                    results.extend(
+                        self.shards[index].scan(lo, hi, remaining)
+                    )
+                else:
+                    results.extend(
+                        self.shards[index].scan(
+                            lo, hi, remaining, at=snap.seqno_for(index)
+                        )
+                    )
+        if allow_partial:
+            return PartialScanResult(results, [])
         return results
 
     def write_batch(self, ops: Sequence[BatchOp]) -> None:
         """Split a batch by shard and commit one sub-batch per shard.
 
         Validation happens up front (a malformed op raises ``ValueError``
-        with nothing applied). Atomicity is **per shard**, exactly as in
-        :meth:`repro.shard.ShardedStore.write_batch`: each shard commits
-        its sub-batch under one mutex acquisition with one WAL sync, but
-        there is no cross-shard commit point.
+        with nothing applied). A multi-shard batch applies under the
+        transaction lock, so :meth:`snapshot` sees it entirely or not at
+        all; a single-shard batch skips the lock (the shard's own commit
+        is already atomic). There is no durable cross-shard commit point
+        — the store has no WAL, so there is no crash to recover from.
         """
         if not ops:
             return
@@ -152,8 +208,13 @@ class PartitionedStore:
             by_shard.setdefault(
                 self.shard_index(batch_op[1]), []
             ).append(batch_op)
-        for index, sub_ops in by_shard.items():
+        if len(by_shard) == 1:
+            index, sub_ops = next(iter(by_shard.items()))
             self.shards[index].write_batch(sub_ops)
+            return
+        with self._txn_lock:
+            for index in sorted(by_shard):
+                self.shards[index].write_batch(by_shard[index])
 
     def flush(self) -> None:
         """Force every shard's active buffer to disk."""

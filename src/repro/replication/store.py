@@ -73,6 +73,7 @@ from ..core.config import LSMConfig
 from ..core.entry import Entry
 from ..core.merge_operator import MergeOperator
 from ..core.tree import LSMTree
+from ..core.wal import TXN_COMMIT, TXN_LOG_NAME, TxnDecisionLog
 from ..errors import (
     ConfigError,
     CorruptionError,
@@ -325,6 +326,7 @@ class ReplicatedStore(ShardedStore):
         merge_operator: Optional[MergeOperator] = None,
         queue_capacity: int = 1024,
         _recover: bool = False,
+        _committed_txns: Optional[frozenset] = None,
     ) -> None:
         if mode not in MODES:
             raise ConfigError(f"replication mode must be one of {MODES}")
@@ -342,6 +344,7 @@ class ReplicatedStore(ShardedStore):
             wal_dir=primary_dir,
             merge_operator=merge_operator,
             _recover=_recover,
+            _committed_txns=_committed_txns,
         )
         self.mode = mode
         self._repl_wal_dir = wal_dir
@@ -653,6 +656,12 @@ class ReplicatedStore(ShardedStore):
         live write stream (historical divergence between the sides —
         e.g. an async window lost in the crash — is not back-filled;
         promote the fresher side instead if that matters).
+
+        Two-phase-commit state lives entirely on the primary side: the
+        coordinator decision log (``primary/txn.log``) settles every
+        PREPARE record found in the primaries' WALs, and replicas never
+        see a prepare at all — groups ship only after commit, as plain
+        committed groups.
         """
         path = os.path.join(wal_dir, PRIMARY_DIR, MANIFEST_NAME)
         if not os.path.exists(path):
@@ -669,6 +678,13 @@ class ReplicatedStore(ShardedStore):
                     path=path,
                     byte_offset=exc.pos,
                 ) from exc
+        decisions = TxnDecisionLog.replay(
+            os.path.join(wal_dir, PRIMARY_DIR, TXN_LOG_NAME)
+        )
+        committed = frozenset(
+            txn for txn, verdict in decisions.items()
+            if verdict == TXN_COMMIT
+        )
         return cls(
             manifest["num_shards"],
             config,
@@ -679,4 +695,5 @@ class ReplicatedStore(ShardedStore):
             merge_operator=merge_operator,
             queue_capacity=queue_capacity,
             _recover=True,
+            _committed_txns=committed,
         )

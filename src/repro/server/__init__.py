@@ -25,9 +25,17 @@ Quickstart::
     asyncio.run(main())
 """
 
-from .client import BusyError, KVClient, ServerError, UnavailableError
+from .client import (
+    BusyError,
+    KVClient,
+    ServerError,
+    SnapshotExpiredError,
+    TxnError,
+    UnavailableError,
+)
 from .metrics import LatencyHistogram, ServerMetrics
 from .protocol import (
+    PROTOCOL_VERSION,
     FrameParser,
     ProtocolError,
     decode_batch,
@@ -43,6 +51,9 @@ __all__ = [
     "ServerError",
     "BusyError",
     "UnavailableError",
+    "SnapshotExpiredError",
+    "TxnError",
+    "PROTOCOL_VERSION",
     "ProtocolError",
     "FrameParser",
     "encode_message",

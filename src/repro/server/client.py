@@ -43,8 +43,11 @@ from collections import deque
 from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
 from ..errors import ReproError
+from ..errors import SnapshotExpiredError as _EngineSnapshotExpiredError
+from ..errors import TxnConflictError as _EngineTxnConflictError
 from .protocol import (
     MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
     BatchOp,
     FrameParser,
     ProtocolError,
@@ -112,6 +115,31 @@ class MovedError(ServerError):
         self.epoch = epoch
 
 
+class SnapshotExpiredError(ServerError, _EngineSnapshotExpiredError):
+    """``ERR SNAPEXPIRED``: the snapshot's versions were reclaimed.
+
+    Subclasses both :class:`ServerError` and the engine's
+    :class:`repro.errors.SnapshotExpiredError`, so a caller holding
+    either a local store or a remote client can catch the engine type
+    and handle both identically: take a fresh snapshot and retry.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__("SNAPEXPIRED", message)
+
+
+class TxnError(ServerError, _EngineTxnConflictError):
+    """``ERR TXN``: a transactional batch was rolled back before commit.
+
+    All-or-nothing held: no shard applied any of the batch, so the
+    whole MULTI can simply be resent. Subclasses the engine's
+    :class:`repro.errors.TxnConflictError` for uniform handling.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__("TXN", message)
+
+
 class KVClient:
     """One pipelined connection to a :class:`~repro.server.KVServer`.
 
@@ -130,6 +158,14 @@ class KVClient:
         retry_deadline_s: Wall-clock bound on one call's total retrying
             (BUSY + reconnect); ``None`` means bounded only by the retry
             counts.
+        protocol_version: Wire protocol version to request via the
+            ``HELLO`` handshake at connect time. The default ``1`` sends
+            no handshake at all — the byte stream is identical to older
+            clients — and leaves the v2 surface (:meth:`snapshot`,
+            ``at=`` reads, :meth:`multi`) disabled. Pass ``2`` to
+            negotiate the transactional protocol; the server answers
+            with the highest version it speaks and
+            :attr:`protocol_version` records the result.
     """
 
     def __init__(
@@ -144,9 +180,13 @@ class KVClient:
         reconnect_retries: int = 3,
         reconnect_backoff_s: float = 0.05,
         retry_deadline_s: Optional[float] = None,
+        protocol_version: int = 1,
     ) -> None:
         self._reader = reader
         self._writer = writer
+        #: The version negotiated with the server (1 until a HELLO ran).
+        self.protocol_version = 1
+        self._requested_version = protocol_version
         self.timeout_s = timeout_s
         self.max_busy_retries = max_busy_retries
         self.backoff_base_s = backoff_base_s
@@ -198,6 +238,8 @@ class KVClient:
         reader, writer = await asyncio.open_connection(host, port)
         client = cls(reader, writer, **options)  # type: ignore[arg-type]
         client._address = (host, port)
+        if client._requested_version > 1:
+            await client._handshake()
         return client
 
     async def close(self) -> None:
@@ -227,9 +269,19 @@ class KVClient:
         """Round-trip liveness check."""
         return (await self._call(["PING"]))[0] == "PONG"
 
-    async def get(self, key: str) -> Optional[str]:
-        """Point lookup; ``None`` when the key is absent."""
-        reply = await self._call(["GET", key])
+    async def get(self, key: str, at: Optional[object] = None) -> Optional[str]:
+        """Point lookup; ``None`` when the key is absent.
+
+        ``at=`` (a snapshot token from :meth:`snapshot`, or any object
+        with a ``token`` attribute such as an engine ``Snapshot``) reads
+        the key as of that snapshot instead of the latest version.
+        """
+        if at is None:
+            request = ["GET", key]
+        else:
+            self._require_v2("get(at=...)")
+            request = ["GET", key, "AT", self.at_token(at)]
+        reply = await self._call(request)
         if reply[0] == "VALUE":
             return reply[1]
         if reply[0] == "NONE":
@@ -302,12 +354,22 @@ class KVClient:
         return future
 
     async def scan(
-        self, lo: str, hi: str, limit: Optional[int] = None
+        self,
+        lo: str,
+        hi: str,
+        limit: Optional[int] = None,
+        at: Optional[object] = None,
     ) -> List[Tuple[str, str]]:
-        """Range lookup over ``[lo, hi)``; ``limit`` caps the result."""
+        """Range lookup over ``[lo, hi)``; ``limit`` caps the result.
+
+        ``at=`` scans as of a snapshot token (see :meth:`get`).
+        """
         request = ["SCAN", lo, hi]
         if limit is not None:
             request.append(str(limit))
+        if at is not None:
+            self._require_v2("scan(at=...)")
+            request.extend(("AT", self.at_token(at)))
         reply = await self._call(request)
         if reply[0] != "PAIRS" or len(reply) % 2 != 1:
             raise ProtocolError("malformed SCAN reply")
@@ -320,6 +382,91 @@ class KVClient:
         """Apply several writes as one request; returns the op count."""
         reply = await self._call(encode_batch(ops))
         return int(reply[1]) if len(reply) > 1 else 0
+
+    # -- transactional / snapshot operations (protocol v2) -------------------
+
+    async def hello(self, version: int = PROTOCOL_VERSION) -> int:
+        """Negotiate the wire protocol version; returns the result.
+
+        Usually implicit: ``connect(..., protocol_version=2)`` performs
+        the handshake (and repeats it after every reconnect). Calling it
+        directly upgrades a client built around an existing transport.
+        """
+        reply = await self._call(["HELLO", str(version)])
+        if reply[0] != "HELLO" or len(reply) != 2:
+            raise ProtocolError(f"unexpected HELLO reply {reply!r}")
+        negotiated = int(reply[1])
+        self.protocol_version = negotiated
+        self._requested_version = max(self._requested_version, version)
+        return negotiated
+
+    async def snapshot(self) -> str:
+        """Open a server-side snapshot; returns its token.
+
+        The token names one consistent store-wide sequence point: pass
+        it as ``at=`` to :meth:`get`/:meth:`scan` for repeatable reads,
+        and release it with :meth:`end_snapshot` when done. The server
+        also releases every snapshot a connection holds when the
+        connection closes — but a *reconnect* builds a fresh connection,
+        so tokens taken before a reset lose their pins and reads at them
+        may raise :class:`SnapshotExpiredError` once the engine reclaims
+        those versions.
+        """
+        self._require_v2("snapshot")
+        reply = await self._call(["SNAP"])
+        if reply[0] != "SNAP" or len(reply) != 2:
+            raise ProtocolError(f"unexpected SNAP reply {reply!r}")
+        return reply[1]
+
+    async def end_snapshot(self, token: str) -> None:
+        """Release a snapshot taken with :meth:`snapshot` (idempotent)."""
+        self._require_v2("end_snapshot")
+        await self._call(["SNAP.END", token])
+
+    async def multi(self, ops: Iterable[BatchOp]) -> int:
+        """Apply several writes as ONE atomic unit; returns the op count.
+
+        Unlike :meth:`batch` — whose atomicity is per *shard* — a MULTI
+        is all-or-nothing across the whole store: the server hands it to
+        the engine as a single transactional ``write_batch`` (two-phase
+        commit when it spans shards). ``ERR TXN`` (the batch rolled back
+        before its commit point, nothing applied) surfaces as
+        :class:`TxnError` and is safe to resend.
+        """
+        self._require_v2("multi")
+        reply = await self._call(["MULTI"] + encode_batch(ops)[1:])
+        return int(reply[1]) if len(reply) > 1 else 0
+
+    def _require_v2(self, operation: str) -> None:
+        if self.protocol_version < 2:
+            raise ProtocolError(
+                f"{operation}() needs protocol v2; connect with "
+                f"protocol_version=2 (negotiated: {self.protocol_version})"
+            )
+
+    async def _handshake(self) -> None:
+        """Run the HELLO exchange for the requested protocol version.
+
+        Uses the raw request path (no BUSY/reconnect retry loop): the
+        handshake runs inside connect/reconnect, where a failure should
+        surface to the owning retry machinery, not start a nested one.
+        """
+        reply = await self._request(["HELLO", str(self._requested_version)])
+        if reply[0] != "HELLO" or len(reply) != 2:
+            raise ProtocolError(f"unexpected HELLO reply {reply!r}")
+        self.protocol_version = int(reply[1])
+
+    @staticmethod
+    def at_token(at: object) -> str:
+        """Coerce ``at=`` (a token string or a Snapshot handle) to a token."""
+        if isinstance(at, str):
+            return at
+        token = getattr(at, "token", None)
+        if not isinstance(token, str):
+            raise ProtocolError(
+                f"at= must be a snapshot token or handle, got {type(at)!r}"
+            )
+        return token
 
     async def command(self, fields: List[str]) -> List[str]:
         """Issue a raw request through the full retry machinery.
@@ -412,6 +559,12 @@ class KVClient:
                     )
                 if code == "MOVED" and len(reply) > 4:
                     raise self._parse_moved(reply)
+                if code == "SNAPEXPIRED":
+                    raise SnapshotExpiredError(
+                        reply[2] if len(reply) > 2 else ""
+                    )
+                if code == "TXN":
+                    raise TxnError(reply[2] if len(reply) > 2 else "")
                 raise ServerError(code, reply[2] if len(reply) > 2 else "")
             return reply
 
@@ -476,6 +629,15 @@ class KVClient:
             self._read_task = asyncio.get_running_loop().create_task(
                 self._read_loop()
             )
+            if self._requested_version > 1:
+                # The server starts every connection at v1; renegotiate
+                # so v2 calls keep working after the reset. Snapshots
+                # taken on the dead connection lost their server-side
+                # pins — reads at their tokens may now raise
+                # SnapshotExpiredError once those versions are
+                # reclaimed.
+                self.protocol_version = 1
+                await self._handshake()
 
     def _send_frame(self, data: bytes) -> None:
         """Queue one encoded frame on the write cork.

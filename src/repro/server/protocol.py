@@ -22,6 +22,10 @@ Requests::
 
     PING | GET k | PUT k v | DELETE k | SCAN lo hi [limit] | INFO | HEALTH
     BATCH (PUT k v | DELETE k)...
+    HELLO version                               -- v2 handshake
+    SNAP | SNAP.END token                       -- v2: snapshot lifecycle
+    GET k AT token | SCAN lo hi [limit] AT token  -- v2: snapshot reads
+    MULTI (PUT k v | DELETE k)...               -- v2: atomic batch
     CLUSTER | MIGRATE shard node_id
     MIG.BEGIN shard | MIG.APPLY shard (PUT k v | DELETE k)... | MIG.SEAL map
 
@@ -29,6 +33,26 @@ Requests::
 the number of returned pairs; the two-field form is unchanged and means
 "no limit". ``HEALTH`` reports the store's degraded-mode state without
 touching data paths, so it works even while every shard is quarantined.
+
+**Version negotiation.** The protocol is versioned per connection.
+A connection starts at version 1 — exactly the verb set older clients
+speak — and ``HELLO <version>`` upgrades it: the server answers ``HELLO
+<negotiated>`` with the highest version both sides support (currently
+``2``). The transactional verbs (``SNAP``, ``SNAP.END``, ``MULTI``, and
+the ``AT`` suffix on ``GET``/``SCAN``) require a negotiated version of at
+least 2 and answer ``ERR BADREQ`` otherwise, so a v1 client can never
+trip over replies it does not understand — and a v1 client that never
+sends ``HELLO`` sees a byte-identical protocol.
+
+* ``SNAP`` captures a store-wide consistent read point and replies
+  ``SNAP <token>``; the server holds the engine-side version pins until
+  ``SNAP.END <token>`` (reply ``OK``) or the connection closes.
+* ``GET k AT token`` / ``SCAN lo hi [limit] AT token`` answer as of the
+  snapshot, consistent across shards.
+* ``MULTI`` carries the same sub-op stream as ``BATCH`` but commits
+  store-wide atomically — across shards via two-phase commit — and
+  replies ``OK <n>``. (``BATCH`` keeps its historical per-routing
+  semantics on the group-commit fast path.)
 
 The last two request lines exist only on cluster nodes
 (:mod:`repro.cluster`): ``CLUSTER`` fetches the node's cluster map,
@@ -39,6 +63,8 @@ shard, apply a shipped batch, seal ownership under a bumped-epoch map).
 Replies::
 
     PONG | OK [n] | VALUE v | NONE | PAIRS k v ... | INFO json
+    HELLO version           -- negotiated protocol version
+    SNAP token              -- snapshot handle (v2)
     HEALTH json             -- {"state", "num_shards", "quarantined", ...}
     CLUSTER json            -- the node's ClusterMap (epoch'd shard→node)
     BUSY message            -- retryable: the engine is write-stopped
@@ -57,6 +83,11 @@ Error codes a client should know:
   whose map epoch is older should refresh via ``CLUSTER``.
 * ``ERR BACKGROUND <detail>`` — a background flush/compaction failed on a
   non-sharded store; the store stays readable but refuses writes.
+* ``ERR SNAPEXPIRED <detail>`` — the snapshot named by ``AT`` can no
+  longer be served consistently (its versions were compacted away or the
+  engine's pin budget overflowed). Take a fresh ``SNAP`` and retry.
+* ``ERR TXN <detail>`` — a ``MULTI`` batch was rolled back before its
+  commit point; nothing was applied anywhere. Retryable as-is.
 * ``ERR BADREQ | PROTOCOL | CLOSED | INTERNAL`` — see the server module.
 """
 
@@ -74,13 +105,18 @@ MAX_FRAME_BYTES = 4 * 1024 * 1024
 #: only on cluster nodes).
 REQUEST_VERBS = (
     "PING", "GET", "PUT", "DELETE", "SCAN", "BATCH", "INFO", "HEALTH",
+    "HELLO", "SNAP", "SNAP.END", "MULTI",
     "CLUSTER", "MIGRATE", "MIG.BEGIN", "MIG.APPLY", "MIG.SEAL",
 )
+
+#: Highest protocol version this codebase speaks (see the module
+#: docstring's version-negotiation section).
+PROTOCOL_VERSION = 2
 
 #: Reply statuses a client must understand.
 REPLY_STATUSES = (
     "PONG", "OK", "VALUE", "NONE", "PAIRS", "INFO", "HEALTH", "CLUSTER",
-    "BUSY", "ERR",
+    "HELLO", "SNAP", "BUSY", "ERR",
 )
 
 _U32 = struct.Struct(">I")

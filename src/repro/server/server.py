@@ -49,16 +49,19 @@ from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Set, Tuple
 
-from ..api import KVStore
+from ..api import KVStore, Snapshot
 from ..errors import (
     BackgroundError,
     ClosedError,
     ReplicationError,
     ShardUnavailableError,
+    SnapshotExpiredError,
+    TxnConflictError,
 )
 from .metrics import ServerMetrics
 from .protocol import (
     MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
     BatchOp,
     FrameParser,
     ProtocolError,
@@ -68,7 +71,43 @@ from .protocol import (
 )
 
 #: Verbs the in-order dispatcher treats as writes (group-commit eligible).
+#: ``MULTI`` is deliberately absent: its store-wide atomicity contract
+#: must reach the engine as one ``write_batch`` call, never folded into a
+#: shared group-commit window or split across per-shard committers.
 _WRITE_VERBS = ("PUT", "DELETE", "BATCH")
+
+#: Verbs (and the ``AT`` read suffix) gated behind a ``HELLO`` handshake
+#: negotiating protocol version >= 2.
+_V2_VERBS = ("SNAP", "SNAP.END", "MULTI")
+
+#: Ceiling on snapshots held open per connection: each pins engine-side
+#: versions, so an unbounded registry would let one client pin memory
+#: without limit.
+_MAX_SNAPSHOTS_PER_CONN = 64
+
+
+class _ConnState:
+    """Per-connection protocol state: negotiated version + live snapshots.
+
+    A connection starts at protocol version 1 (the pre-``HELLO`` verb
+    set) and upgrades via ``HELLO``. ``snapshots`` maps each token issued
+    by this connection's ``SNAP`` to its engine handle; the handles are
+    released on ``SNAP.END`` or when the connection closes.
+    """
+
+    __slots__ = ("protocol_version", "snapshots")
+
+    def __init__(self) -> None:
+        self.protocol_version = 1
+        self.snapshots: Dict[str, Snapshot] = {}
+
+    def close_snapshots(self) -> None:
+        for snapshot in self.snapshots.values():
+            try:
+                snapshot.close()
+            except Exception:
+                pass  # a dying engine's pins die with it
+        self.snapshots.clear()
 
 #: Transport write-buffer high-water mark. Raised above asyncio's 64 KiB
 #: default so a burst of coalesced pipelined replies does not flap the
@@ -352,6 +391,7 @@ class KVServer:
         tune_transport(writer)
         parser = FrameParser(self.max_request_bytes)
         pending: Deque[List[str]] = deque()
+        conn = _ConnState()
         try:
             while True:
                 data = await reader.read(64 * 1024)
@@ -370,13 +410,14 @@ class KVServer:
                 # written as one buffer — one send(2) per pipelined run.
                 replies: List[List[str]] = []
                 while pending:
-                    await self._serve_next(pending, replies)
+                    await self._serve_next(conn, pending, replies)
                 if replies:
                     writer.write(encode_messages(replies))
                 await writer.drain()
         except (ConnectionError, asyncio.CancelledError):
             pass
         finally:
+            conn.close_snapshots()
             self.metrics.connection_closed()
             self._writers.discard(writer)
             await self._close_writer(writer)
@@ -390,7 +431,10 @@ class KVServer:
             pass
 
     async def _serve_next(
-        self, pending: Deque[List[str]], replies: List[List[str]]
+        self,
+        conn: _ConnState,
+        pending: Deque[List[str]],
+        replies: List[List[str]],
     ) -> None:
         """Answer the head request into ``replies``; coalesce a run of
         pipelined writes into one dispatch."""
@@ -405,7 +449,10 @@ class KVServer:
             replies.extend(await self._dispatch_writes(run))
             return
         request = pending.popleft()
-        replies.append(await self._dispatch_read(request))
+        if request and request[0] == "MULTI":
+            replies.append(await self._dispatch_multi(conn, request))
+            return
+        replies.append(await self._dispatch_read(request, conn))
 
     # -- write path ---------------------------------------------------------
 
@@ -566,28 +613,144 @@ class KVServer:
         await asyncio.sleep(self.slowdown_delay_s)
         return True
 
+    # -- transactional write path (v2) --------------------------------------
+
+    async def _dispatch_multi(
+        self, conn: _ConnState, request: List[str]
+    ) -> List[str]:
+        """Answer one ``MULTI`` request: a store-wide atomic batch.
+
+        Deliberately bypasses the group committers: the whole batch must
+        reach the engine as a single ``write_batch`` call so its
+        atomicity contract (two-phase commit when it spans shards) holds,
+        and that call runs on one executor thread end to end — the 2PC
+        coordinator holds reentrant shard mutexes across the
+        prepare→commit window, so the protocol is thread-affine.
+        """
+        started = time.perf_counter()
+        if conn.protocol_version < 2:
+            self.metrics.errors_total += 1
+            return [
+                "ERR",
+                "BADREQ",
+                "MULTI requires protocol version 2; send HELLO 2 first",
+            ]
+        try:
+            ops = decode_batch(request)
+        except ProtocolError as exc:
+            self.metrics.errors_total += 1
+            return ["ERR", "BADREQ", str(exc)]
+        busy = self._admission_check()
+        if busy is not None:
+            self.metrics.busy_rejections += 1
+            return list(busy)
+        if await self._apply_slowdown():
+            self.metrics.slowdown_delays += 1
+        try:
+            await self._run_engine(self.store.write_batch, ops)
+        except Exception as exc:
+            self.metrics.errors_total += 1
+            return self._error_reply(exc)
+        self.metrics.record_op(
+            "MULTI", (time.perf_counter() - started) * 1e6
+        )
+        return ["OK", str(len(ops))]
+
     # -- read path ----------------------------------------------------------
 
-    async def _dispatch_read(self, request: List[str]) -> List[str]:
+    @staticmethod
+    def _require_v2(conn: Optional[_ConnState], verb: str) -> None:
+        if conn is None or conn.protocol_version < 2:
+            raise ProtocolError(
+                f"{verb} requires protocol version 2; send HELLO 2 first"
+            )
+
+    async def _dispatch_read(
+        self, request: List[str], conn: Optional[_ConnState] = None
+    ) -> List[str]:
         started = time.perf_counter()
         verb = request[0]
         try:
             if verb == "PING":
                 reply = ["PONG"]
-            elif verb == "GET":
+            elif verb == "HELLO":
                 if len(request) != 2:
-                    raise ProtocolError("GET needs exactly a key")
-                value = await self._run_engine(self.store.get, request[1])
+                    raise ProtocolError("HELLO needs exactly a version")
+                try:
+                    requested = int(request[1])
+                except ValueError:
+                    raise ProtocolError(
+                        "HELLO version must be an integer"
+                    ) from None
+                if requested < 1:
+                    raise ProtocolError("HELLO version must be >= 1")
+                negotiated = min(requested, PROTOCOL_VERSION)
+                if conn is not None:
+                    conn.protocol_version = negotiated
+                reply = ["HELLO", str(negotiated)]
+            elif verb == "SNAP":
+                self._require_v2(conn, "SNAP")
+                if len(request) != 1:
+                    raise ProtocolError("SNAP takes no arguments")
+                if len(conn.snapshots) >= _MAX_SNAPSHOTS_PER_CONN:
+                    raise ProtocolError(
+                        f"too many open snapshots (limit "
+                        f"{_MAX_SNAPSHOTS_PER_CONN}); SNAP.END some first"
+                    )
+                snapshot = await self._run_engine(self.store.snapshot)
+                if snapshot.token in conn.snapshots:
+                    # Same sequence point as one already held: drop the
+                    # duplicate's pin (overwriting the registry entry
+                    # would leak the displaced handle's pin forever).
+                    snapshot.close()
+                else:
+                    conn.snapshots[snapshot.token] = snapshot
+                reply = ["SNAP", snapshot.token]
+            elif verb == "SNAP.END":
+                self._require_v2(conn, "SNAP.END")
+                if len(request) != 2:
+                    raise ProtocolError("SNAP.END needs exactly a token")
+                snapshot = conn.snapshots.pop(request[1], None)
+                if snapshot is not None:
+                    snapshot.close()
+                # An unknown token still answers OK: releasing is
+                # idempotent, and a client retrying after a lost reply
+                # must not see an error for work already done.
+                reply = ["OK"]
+            elif verb == "GET":
+                at: Optional[str] = None
+                if len(request) == 4 and request[2] == "AT":
+                    self._require_v2(conn, "GET ... AT")
+                    at = request[3]
+                elif len(request) != 2:
+                    raise ProtocolError(
+                        "GET needs a key (optionally: AT token)"
+                    )
+                if at is None:
+                    value = await self._run_engine(
+                        self.store.get, request[1]
+                    )
+                else:
+                    value = await self._run_engine(
+                        lambda: self.store.get(request[1], at=at)
+                    )
                 reply = ["NONE"] if value is None else ["VALUE", value]
             elif verb == "SCAN":
-                if len(request) not in (3, 4):
+                fields = list(request)
+                at = None
+                if len(fields) >= 5 and fields[-2] == "AT":
+                    self._require_v2(conn, "SCAN ... AT")
+                    at = fields[-1]
+                    fields = fields[:-2]
+                if len(fields) not in (3, 4):
                     raise ProtocolError(
-                        "SCAN needs lo, hi, and an optional limit"
+                        "SCAN needs lo, hi, and an optional limit "
+                        "(optionally: AT token)"
                     )
                 limit: Optional[int] = None
-                if len(request) == 4:
+                if len(fields) == 4:
                     try:
-                        limit = int(request[3])
+                        limit = int(fields[3])
                     except ValueError:
                         raise ProtocolError(
                             "SCAN limit must be an integer"
@@ -596,9 +759,16 @@ class KVServer:
                         raise ProtocolError(
                             "SCAN limit must be non-negative"
                         )
-                pairs = await self._run_engine(
-                    self.store.scan, request[1], request[2], limit
-                )
+                if at is None:
+                    pairs = await self._run_engine(
+                        self.store.scan, fields[1], fields[2], limit
+                    )
+                else:
+                    pairs = await self._run_engine(
+                        lambda: self.store.scan(
+                            fields[1], fields[2], limit, at=at
+                        )
+                    )
                 reply = ["PAIRS"]
                 for key, value in pairs:
                     reply.extend((key, value))
@@ -653,6 +823,14 @@ class KVServer:
             return ["ERR", "BACKGROUND", detail]
         if isinstance(exc, ClosedError):
             return ["ERR", "CLOSED", str(exc)]
+        if isinstance(exc, SnapshotExpiredError):
+            # The snapshot's versions were reclaimed (compaction or pin
+            # overflow). The client should take a fresh SNAP and retry.
+            return ["ERR", "SNAPEXPIRED", str(exc)]
+        if isinstance(exc, TxnConflictError):
+            # The batch was rolled back before its commit point: nothing
+            # was applied on any shard, so a retry is safe.
+            return ["ERR", "TXN", str(exc)]
         if isinstance(exc, (ProtocolError, ValueError)):
             return ["ERR", "BADREQ", str(exc)]
         return ["ERR", "INTERNAL", f"{type(exc).__name__}: {exc}"]

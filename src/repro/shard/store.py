@@ -23,12 +23,19 @@ Routing is pluggable:
   beats hash whenever scans dominate and the key distribution is known.
 
 Atomicity contract: :meth:`ShardedStore.write_batch` validates the whole
-batch up front, then splits it by shard and commits the sub-batches
-concurrently. Each *sub-batch* is atomic and durable as a unit (one write
-mutex acquisition, one WAL sync on its shard), but the batch as a whole is
-not: a crash can persist shard A's sub-batch and lose shard B's. Callers
-needing cross-key atomicity must route those keys to one shard (range
-routing makes that controllable) or layer a transaction log above.
+batch up front, then splits it by shard — and is atomic **store-wide**.
+A batch whose keys all route to one shard takes the plain fast path (one
+write-mutex acquisition, one WAL sync, no coordinator). A batch spanning
+shards commits through two-phase commit: every touched shard durably
+journals a PREPARE record for its sub-batch, the store appends one
+COMMIT decision to its :class:`~repro.core.wal.TxnDecisionLog`
+(``txn.log``, beside ``shards.json``), and only then do the shards apply
+their sub-batches. A crash anywhere in that window resolves
+deterministically on :meth:`recover`: a durable COMMIT decision rolls
+every prepared sub-batch forward; no (or a torn) decision rolls them all
+back — never half a batch. :meth:`snapshot` serializes against the
+coordinator, so consistent multi-shard reads (``get``/``scan`` with
+``at=``) see whole batches or nothing.
 
 Failure isolation (degraded mode): shards are independent failure domains,
 and the store treats them that way. When a shard's background workers die
@@ -54,16 +61,19 @@ from dataclasses import dataclass, field
 from heapq import merge as heap_merge
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
+from ..api import PartialScanResult, Snapshot, SnapshotLike
 from ..core.config import LSMConfig
 from ..core.merge_operator import MergeOperator
 from ..core.stats import TreeStats
 from ..core.tree import LSMTree
+from ..core.wal import TXN_ABORT, TXN_COMMIT, TXN_LOG_NAME, TxnDecisionLog
 from ..errors import (
     BackgroundError,
     ClosedError,
     ConfigError,
     CorruptionError,
     ShardUnavailableError,
+    TxnConflictError,
 )
 from ..faults.registry import fault_point
 
@@ -100,30 +110,6 @@ class HealthState:
     @property
     def healthy(self) -> bool:
         return self.state == HEALTHY
-
-
-class PartialScanResult(List[Tuple[str, str]]):
-    """A scan result that may be missing quarantined shards' keys.
-
-    Behaves as the ordinary ``[(key, value), ...]`` list, with the
-    shards that were skipped recorded on the side — callers opting into
-    ``allow_partial`` scans must be able to tell a complete result from
-    a degraded one.
-    """
-
-    def __init__(
-        self,
-        pairs: Sequence[Tuple[str, str]],
-        skipped_shards: Sequence[int],
-    ) -> None:
-        super().__init__(pairs)
-        #: Indices of quarantined shards whose keys are absent.
-        self.skipped_shards: List[int] = sorted(skipped_shards)
-
-    @property
-    def partial(self) -> bool:
-        """Whether any involved shard was skipped."""
-        return bool(self.skipped_shards)
 
 
 def hash_shard_index(key: str, num_shards: int) -> int:
@@ -174,6 +160,7 @@ class ShardedStore:
         wal_dir: Optional[str] = None,
         merge_operator: Optional[MergeOperator] = None,
         _recover: bool = False,
+        _committed_txns: Optional[frozenset] = None,
     ) -> None:
         if routing not in _ROUTINGS:
             raise ConfigError(f"routing must be one of {_ROUTINGS}")
@@ -213,7 +200,10 @@ class ShardedStore:
         if _recover:
             self.shards: List[LSMTree] = [
                 LSMTree.recover(
-                    config, path, merge_operator=merge_operator
+                    config,
+                    path,
+                    merge_operator=merge_operator,
+                    committed_txns=_committed_txns,
                 )
                 for path in shard_dirs  # type: ignore[union-attr]
             ]
@@ -224,6 +214,18 @@ class ShardedStore:
                 )
                 for path in shard_dirs
             ]
+        #: Serializes the two-phase-commit coordinator and snapshot
+        #: capture: one multi-shard transaction at a time, and a snapshot
+        #: can never land between a transaction's sub-batches.
+        self._txn_lock = threading.Lock()
+        #: Durable coordinator decision log; ``None`` for in-memory
+        #: stores, which have no crash-recovery story to coordinate.
+        self._txn_log: Optional[TxnDecisionLog] = None
+        if wal_dir is not None:
+            self._txn_log = TxnDecisionLog(
+                os.path.join(wal_dir, TXN_LOG_NAME),
+                fsync=config.wal_fsync if config is not None else False,
+            )
         #: Commits sub-batches (and hash-routed scans) concurrently; one
         #: worker per shard, so every shard can have a commit in flight.
         self._executor = ThreadPoolExecutor(
@@ -377,11 +379,49 @@ class ShardedStore:
         index = self.shard_index(key)
         self._shard_op(index, lambda: self.shards[index].put(key, value))
 
-    def get(self, key: str) -> Optional[str]:
-        """Point lookup in the owning shard only."""
+    def get(
+        self, key: str, at: Optional[SnapshotLike] = None
+    ) -> Optional[str]:
+        """Point lookup in the owning shard only; ``at=`` reads as of a
+        store-wide snapshot (the shard answers at its pinned seqno)."""
         self._check_open()
         index = self.shard_index(key)
-        return self._shard_op(index, lambda: self.shards[index].get(key))
+        if at is None:
+            return self._shard_op(
+                index, lambda: self.shards[index].get(key)
+            )
+        seq = Snapshot.coerce(at).seqno_for(index)
+        return self._shard_op(
+            index, lambda: self.shards[index].get(key, at=seq)
+        )
+
+    def snapshot(self) -> Snapshot:
+        """Capture a store-wide consistent read point.
+
+        Pins every healthy shard's tip seqno under the transaction lock,
+        so the capture can never land between a cross-shard batch's
+        sub-batches: a multi-shard read at the returned handle sees every
+        atomic batch entirely or not at all. Quarantined shards are not
+        covered — reading them at this snapshot raises
+        :class:`~repro.errors.SnapshotExpiredError`. Release the handle
+        (``close()``/``with``) so the shards can stop pinning overwritten
+        versions.
+        """
+        self._check_open()
+        with self._txn_lock:
+            pins: Dict[int, int] = {}
+            for index, shard in enumerate(self.shards):
+                if self._health[index].healthy:
+                    pins[index] = shard.snapshot_pin()
+
+        def release() -> None:
+            for index, seq in pins.items():
+                try:
+                    self.shards[index].snapshot_release(seq)
+                except Exception:
+                    pass  # a dying shard's pins die with it
+
+        return Snapshot(pins, release=release)
 
     def delete(self, key: str) -> None:
         """Logical delete in the owning shard."""
@@ -390,20 +430,25 @@ class ShardedStore:
         self._shard_op(index, lambda: self.shards[index].delete(key))
 
     def write_batch(self, ops: Sequence[BatchOp]) -> None:
-        """Split a batch by shard; commit the sub-batches concurrently.
+        """Apply a batch atomically, across shards if it spans them.
 
-        The whole batch is validated before any sub-batch is submitted, so
-        a malformed op raises ``ValueError`` with nothing applied — and a
+        The whole batch is validated before anything is submitted, so a
+        malformed op raises ``ValueError`` with nothing applied — and a
         batch touching a *known-quarantined* shard raises
         :class:`~repro.errors.ShardUnavailableError` up front, also with
-        nothing applied. Each sub-batch then commits on its own shard —
-        one write-mutex acquisition and one WAL sync per *shard touched*,
-        all in flight at once on the store's executor. **Atomicity is per
-        shard**: if one shard's commit fails (or the process dies
-        mid-flight), sub-batches on other shards may already be durable.
-        The first shard failure is re-raised after every sub-batch has
-        settled; a shard dying mid-commit is quarantined, so later
-        batches fail fast.
+        nothing applied.
+
+        A batch whose keys all route to **one shard** commits exactly as
+        before: one write-mutex acquisition, one WAL sync, no coordinator
+        involvement — the hot path the perf gate pins.
+
+        A batch spanning **several shards** goes through two-phase
+        commit (:meth:`_commit_cross_shard`): all-or-nothing even across
+        a crash. A failure before the commit decision rolls every
+        prepared sub-batch back (a coordinator-log failure surfaces as
+        the retryable :class:`~repro.errors.TxnConflictError`); once the
+        decision is durable the batch is committed — a crash after it
+        rolls forward on :meth:`recover`.
         """
         self._check_open()
         if not ops:
@@ -427,17 +472,7 @@ class ShardedStore:
             index, sub_ops = next(iter(by_shard.items()))
             self._commit_sub_batch(index, sub_ops)
             return
-        futures = [
-            self._executor.submit(self._commit_sub_batch, index, sub_ops)
-            for index, sub_ops in by_shard.items()
-        ]
-        failure: Optional[BaseException] = None
-        for future in futures:
-            error = future.exception()
-            if error is not None and failure is None:
-                failure = error
-        if failure is not None:
-            raise failure
+        self._commit_cross_shard(by_shard)
 
     def _commit_sub_batch(self, index: int, sub_ops: List[BatchOp]) -> None:
         fault_point("shard.commit", scope=f"shard-{index:02d}")
@@ -445,12 +480,97 @@ class ShardedStore:
             index, lambda: self.shards[index].write_batch(sub_ops)
         )
 
+    def _commit_cross_shard(
+        self, by_shard: Dict[int, List[BatchOp]]
+    ) -> None:
+        """Two-phase commit of a batch that spans shards.
+
+        Under the transaction lock (one coordinator at a time, and
+        :meth:`snapshot` can never interleave): every touched shard
+        durably journals a PREPARE record for its sub-batch — keeping its
+        write mutex held so nothing can slip between prepare and apply —
+        then one COMMIT decision is appended to the coordinator log, then
+        every shard applies. Any prepare failure aborts all prepared
+        shards and re-raises the original error (nothing applied); a
+        decision-write failure likewise rolls back and raises
+        :class:`~repro.errors.TxnConflictError`. A *crash* anywhere in
+        the window resolves on recovery by the decision log alone.
+
+        The whole protocol runs inline on the calling thread: the shard
+        write mutexes are reentrant locks, so prepare and settle must be
+        thread-affine. (Serialized prepares cost the multi-shard case its
+        sub-batch parallelism; that is the price of atomicity, and the
+        single-shard fast path is untouched.)
+        """
+        if self._txn_log is None:
+            # In-memory store: no crash to defend against, but snapshots
+            # still must not observe half a batch — apply sequentially
+            # under the lock snapshot capture serializes with.
+            with self._txn_lock:
+                for index in sorted(by_shard):
+                    self._commit_sub_batch(index, by_shard[index])
+            return
+        with self._txn_lock:
+            txn_id = self._txn_log.next_txn_id()
+            prepared: List[int] = []
+            try:
+                for index in sorted(by_shard):
+                    fault_point("txn.prepare", scope=f"shard-{index:02d}")
+                    self._shard_op(
+                        index,
+                        lambda index=index: self.shards[index].txn_prepare(
+                            txn_id, by_shard[index]
+                        ),
+                    )
+                    prepared.append(index)
+            except Exception:
+                self._rollback_prepared(txn_id, prepared)
+                raise
+            try:
+                self._txn_log.append(txn_id, TXN_COMMIT)
+            except Exception as exc:
+                self._rollback_prepared(txn_id, prepared)
+                try:
+                    self._txn_log.append(txn_id, TXN_ABORT)
+                except Exception:
+                    pass  # absent decision already means abort on recovery
+                raise TxnConflictError(
+                    "cross-shard batch rolled back: the coordinator "
+                    "decision could not be made durable"
+                ) from exc
+            failure: Optional[BaseException] = None
+            for index in prepared:
+                fault_point("txn.commit", scope=f"shard-{index:02d}")
+                try:
+                    self._shard_op(
+                        index,
+                        lambda index=index: self.shards[
+                            index
+                        ].txn_commit(txn_id),
+                    )
+                except Exception as exc:
+                    # The decision is durable: the transaction IS
+                    # committed. Keep applying the other shards; surface
+                    # the first failure (e.g. a replication ack) after.
+                    if failure is None:
+                        failure = exc
+            if failure is not None:
+                raise failure
+
+    def _rollback_prepared(self, txn_id: int, prepared: List[int]) -> None:
+        for index in reversed(prepared):
+            try:
+                self.shards[index].txn_abort(txn_id)
+            except Exception:
+                pass  # recovery rolls an undecided prepare back anyway
+
     def scan(
         self,
         lo: str,
         hi: str,
         limit: Optional[int] = None,
         *,
+        at: Optional[SnapshotLike] = None,
         allow_partial: bool = False,
     ) -> List[Tuple[str, str]]:
         """Scatter-gather range lookup, k-way merged across shards.
@@ -462,6 +582,11 @@ class ShardedStore:
         executor, each individually capped at ``limit``, and the sorted
         partial results are k-way merged (shards own disjoint keys, so the
         merge never sees duplicates).
+
+        ``at=`` reads every shard as of its seqno pinned in the snapshot,
+        so a multi-shard scan sees each cross-shard batch entirely or not
+        at all — the snapshot was captured under the same lock the
+        two-phase-commit coordinator holds.
 
         Quarantined shards: by default (``allow_partial=False``) any
         quarantined shard the scan would touch makes it fail with
@@ -475,6 +600,7 @@ class ShardedStore:
         self._check_open()
         if limit is not None and limit < 0:
             raise ValueError("limit must be non-negative (or None)")
+        snap = None if at is None else Snapshot.coerce(at)
         if lo >= hi or limit == 0:
             return PartialScanResult([], []) if allow_partial else []
         if self.routing == "range":
@@ -505,9 +631,17 @@ class ShardedStore:
             index: int, remaining: Optional[int]
         ) -> List[Tuple[str, str]]:
             try:
+                if snap is None:
+                    return self._shard_op(
+                        index,
+                        lambda: self.shards[index].scan(lo, hi, remaining),
+                    )
+                seq = snap.seqno_for(index)
                 return self._shard_op(
                     index,
-                    lambda: self.shards[index].scan(lo, hi, remaining),
+                    lambda: self.shards[index].scan(
+                        lo, hi, remaining, at=seq
+                    ),
                 )
             except ShardUnavailableError:
                 # Quarantined mid-scan (after the up-front check).
@@ -600,6 +734,8 @@ class ShardedStore:
                 if failure is None:
                     failure = exc
         self._executor.shutdown(wait=True)
+        if self._txn_log is not None:
+            self._txn_log.close()
         if failure is not None:
             raise failure
 
@@ -615,6 +751,8 @@ class ShardedStore:
         self._closed = True
         for shard in self.shards:
             shard.kill()
+        if self._txn_log is not None:
+            self._txn_log.close()
         self._executor.shutdown(wait=False)
 
     def __enter__(self) -> "ShardedStore":
@@ -645,6 +783,12 @@ class ShardedStore:
         (:meth:`LSMTree.recover`), preserving its independent sequence
         numbers. Shards recover independently — one shard's surviving
         writes are never visible to, or blocked by, another's replay.
+
+        The coordinator decision log is read *first*: every PREPARE
+        record found during a shard's replay rolls forward exactly when
+        ``txn.log`` holds a durable COMMIT decision for its transaction,
+        and rolls back otherwise (presumed abort) — so a crash mid
+        two-phase commit never resurfaces half a batch.
         """
         path = os.path.join(wal_dir, MANIFEST_NAME)
         if not os.path.exists(path):
@@ -661,6 +805,13 @@ class ShardedStore:
                     path=path,
                     byte_offset=exc.pos,
                 ) from exc
+        decisions = TxnDecisionLog.replay(
+            os.path.join(wal_dir, TXN_LOG_NAME)
+        )
+        committed = frozenset(
+            txn for txn, verdict in decisions.items()
+            if verdict == TXN_COMMIT
+        )
         return cls(
             manifest["num_shards"],
             config,
@@ -669,6 +820,7 @@ class ShardedStore:
             wal_dir=wal_dir,
             merge_operator=merge_operator,
             _recover=True,
+            _committed_txns=committed,
         )
 
     # -- introspection -------------------------------------------------------

@@ -19,9 +19,11 @@ from repro import (
     KVStore,
     LSMConfig,
     LSMTree,
+    PartialScanResult,
     PartitionedStore,
     ReplicatedStore,
     ShardedStore,
+    Snapshot,
     TreeStats,
     range_boundaries,
 )
@@ -113,6 +115,78 @@ class TestConformance:
             assert state["state"] in ("ok", "slowdown", "stop")
             assert "level0_runs" in state
             assert "immutable_buffers" in state
+
+    def test_snapshot_reads_are_repeatable(self, kind):
+        # The v2 contract: snapshot() pins one consistent sequence
+        # point; get/scan at= keep answering from it while later writes
+        # land, and the raw token round-trips through the same reads.
+        with make_store(kind) as store:
+            keys = [format_key(i) for i in range(24)]
+            for key in keys:
+                store.put(key, "v1")
+            snapshot = store.snapshot()
+            assert isinstance(snapshot, Snapshot)
+            assert snapshot.token
+            store.write_batch([("put", key, "v2") for key in keys])
+            store.delete(keys[0])
+            assert store.get(keys[3], at=snapshot) == "v1"
+            assert store.get(keys[0], at=snapshot.token) == "v1"
+            assert store.get(keys[3]) == "v2"
+            at_pairs = store.scan(format_key(0), format_key(24), at=snapshot)
+            assert [v for _k, v in at_pairs] == ["v1"] * len(keys)
+            now_pairs = store.scan(format_key(0), format_key(24))
+            assert all(v == "v2" for _k, v in now_pairs)
+            limited = store.scan(
+                format_key(0), format_key(24), 5, at=snapshot.token
+            )
+            assert limited == at_pairs[:5]
+            snapshot.close()
+            snapshot.close()  # idempotent
+
+    def test_snapshot_handle_is_context_manager(self, kind):
+        with make_store(kind) as store:
+            store.put("k", "v1")
+            with store.snapshot() as snapshot:
+                store.put("k", "v2")
+                assert store.get("k", at=snapshot) == "v1"
+
+    def test_cross_unit_batch_is_invisible_to_snapshot(self, kind):
+        # A write_batch spanning routing units must be entirely outside
+        # a snapshot taken before it — no unit may leak its sub-batch
+        # into the pinned view.
+        with make_store(kind) as store:
+            keys = [format_key(i) for i in range(40)]
+            for key in keys:
+                store.put(key, "old")
+            snapshot = store.snapshot()
+            store.write_batch([("put", key, "new") for key in keys])
+            at_values = {
+                v
+                for _k, v in store.scan(
+                    format_key(0), format_key(40), at=snapshot
+                )
+            }
+            assert at_values == {"old"}
+
+    def test_scan_allow_partial_shape(self, kind):
+        # With every unit healthy the result is complete but still the
+        # uniform PartialScanResult shape (list-compatible).
+        with make_store(kind) as store:
+            for index in range(30):
+                store.put(format_key(index), str(index))
+            result = store.scan(
+                format_key(0), format_key(30), allow_partial=True
+            )
+            assert isinstance(result, PartialScanResult)
+            assert not result.partial
+            assert result.skipped_shards == []
+            assert list(result) == store.scan(format_key(0), format_key(30))
+
+    def test_malformed_at_token_raises(self, kind):
+        with make_store(kind) as store:
+            store.put("k", "v")
+            with pytest.raises(ValueError):
+                store.get("k", at="not-a-token")
 
     def test_context_manager_closes(self, kind):
         store = make_store(kind)

@@ -37,7 +37,7 @@ from repro.faults.sweep import (
     check_invariants,
     run_sweep,
 )
-from repro.shard import ShardedStore
+from repro.shard import ShardedStore, hash_shard_index
 from repro.storage import persistence
 
 
@@ -445,6 +445,122 @@ class TestRecoveryEdgeCases:
         with pytest.raises(CorruptionError) as excinfo:
             ShardedStore.recover(LSMConfig(), str(tmp_path))
         assert excinfo.value.path == str(manifest)
+
+
+# ---------------------------------------------------------------------------
+# Two-phase commit crossings (cross-shard write_batch atomicity)
+# ---------------------------------------------------------------------------
+
+NUM_2PC_SHARDS = 3
+
+
+def _keys_on_shards(count_per_shard: int) -> list:
+    """Deterministic keys covering every shard of the 2PC fixture."""
+    keys = {shard: [] for shard in range(NUM_2PC_SHARDS)}
+    i = 0
+    while any(len(bucket) < count_per_shard for bucket in keys.values()):
+        key = f"txnk{i:03d}"
+        bucket = keys[hash_shard_index(key, NUM_2PC_SHARDS)]
+        if len(bucket) < count_per_shard:
+            bucket.append(key)
+        i += 1
+    return [key for shard in range(NUM_2PC_SHARDS) for key in keys[shard]]
+
+
+class TestTwoPhaseCommitCrossings:
+    """Crash the coordinator at each protocol state and check the contract:
+    no durable COMMIT decision → the whole batch rolls back; a durable
+    decision → it rolls forward — never a partial batch."""
+
+    def _store(self, tmp_path) -> ShardedStore:
+        return ShardedStore(
+            NUM_2PC_SHARDS, LSMConfig(), wal_dir=str(tmp_path)
+        )
+
+    def _run_batch(self, tmp_path, plan: FaultPlan) -> list:
+        """Seed acked keys, then crash a cross-shard batch at ``plan``."""
+        store = self._store(tmp_path)
+        batch_keys = _keys_on_shards(2)
+        for key in batch_keys:
+            store.put(key, "old")
+        with fault_plan(plan):
+            with pytest.raises(InjectedCrash):
+                store.write_batch(
+                    [("put", key, "new") for key in batch_keys]
+                )
+        assert plan.fired
+        store.kill()
+        return batch_keys
+
+    def test_crash_mid_prepare_rolls_back(self, tmp_path):
+        # Shard 0 has prepared when the crash lands on shard 1's
+        # prepare: no decision exists, so recovery must roll everything
+        # back (presumed abort) and keep the acked pre-batch values.
+        plan = FaultPlan(
+            root=str(tmp_path), crash_at="txn.prepare@shard-01#0"
+        )
+        batch_keys = self._run_batch(tmp_path, plan)
+        recovered = ShardedStore.recover(LSMConfig(), str(tmp_path))
+        try:
+            for key in batch_keys:
+                assert recovered.get(key) == "old", key
+        finally:
+            recovered.close()
+
+    def test_torn_decision_record_rolls_back(self, tmp_path):
+        # The crash tears the COMMIT decision line itself: recovery must
+        # treat the half-written decision as no decision and roll back.
+        plan = FaultPlan(
+            root=str(tmp_path),
+            crash_at="txn.decide@txn.log#0",
+            crash_mode="torn",
+        )
+        batch_keys = self._run_batch(tmp_path, plan)
+        recovered = ShardedStore.recover(LSMConfig(), str(tmp_path))
+        try:
+            for key in batch_keys:
+                assert recovered.get(key) == "old", key
+        finally:
+            recovered.close()
+
+    def test_crash_after_decision_rolls_forward(self, tmp_path):
+        # The COMMIT decision is durable but no shard has applied yet:
+        # recovery must roll the whole batch forward from the prepare
+        # records.
+        plan = FaultPlan(
+            root=str(tmp_path), crash_at="txn.commit@shard-00#0"
+        )
+        batch_keys = self._run_batch(tmp_path, plan)
+        recovered = ShardedStore.recover(LSMConfig(), str(tmp_path))
+        try:
+            for key in batch_keys:
+                assert recovered.get(key) == "new", key
+        finally:
+            recovered.close()
+
+    def test_crash_during_roll_forward_is_idempotent(self, tmp_path):
+        # First crash leaves a committed-but-unapplied transaction; the
+        # second crash lands *inside recovery*, mid roll-forward. The
+        # prepare records and decision log both survive, so a third
+        # recovery must still converge to the fully applied batch.
+        plan = FaultPlan(
+            root=str(tmp_path), crash_at="txn.commit@shard-00#0"
+        )
+        batch_keys = self._run_batch(tmp_path, plan)
+        recovery_plan = FaultPlan(
+            root=str(tmp_path),
+            crash_at="txn.rollforward@shard-00/wal.000000.log#0",
+        )
+        with fault_plan(recovery_plan):
+            with pytest.raises(InjectedCrash):
+                ShardedStore.recover(LSMConfig(), str(tmp_path))
+        assert recovery_plan.fired
+        recovered = ShardedStore.recover(LSMConfig(), str(tmp_path))
+        try:
+            for key in batch_keys:
+                assert recovered.get(key) == "new", key
+        finally:
+            recovered.close()
 
     def test_empty_wal_file_recovers_to_empty_tree(self, tmp_path):
         (tmp_path / "wal.000000.log").write_text("", encoding="utf-8")

@@ -1219,3 +1219,179 @@ class TestWindowIssueAPIs:
                     kv.request_many([["PING"]])
 
         asyncio.run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# Protocol v2: HELLO negotiation, snapshots, transactional MULTI
+# ---------------------------------------------------------------------------
+
+
+class TestProtocolV2:
+    def test_hello_negotiation_and_gating(self):
+        """v2 verbs are rejected until HELLO upgrades the connection."""
+        requests = [
+            ["SNAP"],                       # before HELLO: rejected
+            ["MULTI", "PUT", "k", "v"],     # before HELLO: rejected
+            ["GET", "k", "AT", "0:0"],      # before HELLO: rejected
+            ["HELLO", "2"],
+            ["HELLO", "99"],                # capped at the server's max
+            ["HELLO", "zzz"],               # malformed
+        ]
+
+        async def scenario():
+            async with serving() as server:
+                replies = await raw_exchange(
+                    server.port, requests, len(requests)
+                )
+                assert [r[:2] for r in replies[:3]] == [
+                    ["ERR", "BADREQ"]
+                ] * 3
+                assert replies[3] == ["HELLO", "2"]
+                assert replies[4] == ["HELLO", "2"]
+                assert replies[5][:2] == ["ERR", "BADREQ"]
+
+        asyncio.run(scenario())
+
+    def test_v1_connection_sees_identical_protocol(self):
+        """A client that never sends HELLO gets the v1 byte stream."""
+        requests = [
+            ["PING"],
+            ["PUT", "a", "1"],
+            ["GET", "a"],
+            ["SCAN", "a", "z"],
+            ["BATCH", "PUT", "b", "2", "DELETE", "a"],
+            ["GET", "a"],
+        ]
+
+        async def scenario():
+            async with serving() as server:
+                replies = await raw_exchange(
+                    server.port, requests, len(requests)
+                )
+                assert replies == [
+                    ["PONG"],
+                    ["OK"],
+                    ["VALUE", "1"],
+                    ["PAIRS", "a", "1"],
+                    ["OK", "2"],
+                    ["NONE"],
+                ]
+
+        asyncio.run(scenario())
+
+    def test_snapshot_isolation_and_multi_over_sharded(self):
+        """SNAP pins a store-wide view; MULTI commits across shards."""
+
+        async def scenario():
+            store = ShardedStore(4, bg_config())
+            async with serving(store) as server:
+                async with await KVClient.connect(
+                    "127.0.0.1", server.port, protocol_version=2
+                ) as kv:
+                    assert kv.protocol_version == 2
+                    keys = [f"key{i:04d}" for i in range(32)]
+                    assert await kv.multi(
+                        [("put", key, "v1") for key in keys]
+                    ) == 32
+                    token = await kv.snapshot()
+                    assert await kv.multi(
+                        [("put", key, "v2") for key in keys]
+                    ) == 32
+                    assert await kv.get(keys[5]) == "v2"
+                    assert await kv.get(keys[5], at=token) == "v1"
+                    at_pairs = await kv.scan("key", "kez", at=token)
+                    assert [v for _k, v in at_pairs] == ["v1"] * 32
+                    now_pairs = await kv.scan("key", "kez")
+                    assert all(v == "v2" for _k, v in now_pairs)
+                    await kv.end_snapshot(token)
+                    await kv.end_snapshot(token)  # idempotent
+
+        asyncio.run(scenario())
+
+    def test_malformed_at_token_is_badreq(self):
+        async def scenario():
+            async with serving() as server:
+                replies = await raw_exchange(
+                    server.port,
+                    [["HELLO", "2"], ["GET", "k", "AT", "garbage"]],
+                    2,
+                )
+                assert replies[1][:2] == ["ERR", "BADREQ"]
+
+        asyncio.run(scenario())
+
+    def test_v1_client_method_guard(self):
+        """The client refuses v2 calls it never negotiated for."""
+
+        async def scenario():
+            async with serving() as server:
+                async with await KVClient.connect(
+                    "127.0.0.1", server.port
+                ) as kv:
+                    with pytest.raises(ProtocolError):
+                        await kv.snapshot()
+                    with pytest.raises(ProtocolError):
+                        await kv.multi([("put", "k", "v")])
+                    with pytest.raises(ProtocolError):
+                        await kv.get("k", at="0:0")
+
+        asyncio.run(scenario())
+
+    def test_per_connection_snapshot_cap(self):
+        async def scenario():
+            async with serving() as server:
+                # A PUT between SNAPs advances the sequence point, so
+                # every SNAP registers a distinct token; the 65th must
+                # trip the per-connection cap.
+                requests: List[List[str]] = [["HELLO", "2"]]
+                for index in range(65):
+                    requests.append(["PUT", "k", str(index)])
+                    requests.append(["SNAP"])
+                replies = await raw_exchange(
+                    server.port, requests, len(requests)
+                )
+                snaps = [r for r in replies[1:] if r[0] == "SNAP"]
+                errors = [r for r in replies[1:] if r[0] == "ERR"]
+                assert len(snaps) == 64
+                assert len(errors) == 1
+                assert errors[0][1] == "BADREQ"
+
+        asyncio.run(scenario())
+
+    def test_repeated_snap_at_same_seqno_reuses_token(self):
+        """Identical sequence points dedupe instead of leaking pins."""
+
+        async def scenario():
+            tree = LSMTree(bg_config())
+            async with serving(tree) as server:
+                requests = [["HELLO", "2"], ["PUT", "k", "v"]] + [
+                    ["SNAP"]
+                ] * 5 + [["INFO"]]
+                replies = await raw_exchange(
+                    server.port, requests, len(requests)
+                )
+                tokens = {r[1] for r in replies if r[0] == "SNAP"}
+                assert len(tokens) == 1
+                # One registered snapshot -> exactly one engine pin.
+                assert len(tree._snapshots) == 1
+
+        asyncio.run(scenario())
+
+    def test_disconnect_releases_snapshot_pins(self):
+        async def scenario():
+            tree = LSMTree(bg_config())
+            async with serving(tree) as server:
+                kv = await KVClient.connect(
+                    "127.0.0.1", server.port, protocol_version=2
+                )
+                await kv.put("k", "v")
+                await kv.snapshot()
+                assert tree._snapshots
+                await kv.close()
+                for _ in range(100):
+                    if not tree._snapshots:
+                        break
+                    await asyncio.sleep(0.01)
+                assert not tree._snapshots
+
+        asyncio.run(scenario())

@@ -3,7 +3,14 @@
 import pytest
 
 from repro.core.entry import put, tombstone
-from repro.core.wal import WriteAheadLog, _decode, _encode
+from repro.core.wal import (
+    TXN_ABORT,
+    TXN_COMMIT,
+    TxnDecisionLog,
+    WriteAheadLog,
+    _decode,
+    _encode,
+)
 from repro.errors import ClosedError, CorruptionError
 
 
@@ -199,3 +206,174 @@ class TestFileWal:
         wal.append(put("k2", "v2", 1))
         wal.close()
         assert [entry.key for entry in WriteAheadLog.replay(path)] == ["k2"]
+
+
+class TestPreparedGroups:
+    """PREPARE records and the presumed-abort replay contract."""
+
+    def test_prepare_is_not_acknowledged(self, disk):
+        groups = []
+        wal = WriteAheadLog(disk, on_commit=groups.append)
+        entries = [put("a", "1", 0), put("b", "2", 1)]
+        wal.append_prepare(7, entries)
+        # Phase one is durable but invisible: nothing pending, no hook.
+        assert wal.pending_entries == []
+        assert groups == []
+
+    def test_commit_prepared_matches_direct_batch(self, disk):
+        groups = []
+        wal = WriteAheadLog(disk, on_commit=groups.append)
+        entries = [put("a", "1", 0), tombstone("b", 1)]
+        wal.append_prepare(7, entries)
+        settled = wal.commit_prepared(7)
+        assert settled == entries
+        assert wal.pending_entries == entries
+        assert groups == [entries]
+
+    def test_abort_prepared_leaves_no_trace(self, disk):
+        groups = []
+        wal = WriteAheadLog(disk, on_commit=groups.append)
+        wal.append_prepare(7, [put("a", "1", 0)])
+        wal.abort_prepared(7)
+        wal.abort_prepared(7)  # idempotent
+        assert wal.pending_entries == []
+        assert groups == []
+
+    def test_replay_rolls_forward_only_committed_txns(self, disk, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(disk, path)
+        committed = [put("a", "1", 0), put("b", "2", 1)]
+        aborted = [put("x", "9", 2)]
+        wal.append_prepare(1, committed)
+        wal.append_prepare(2, aborted)
+        wal.close()
+        # No decision set: presumed abort discards both groups.
+        assert list(WriteAheadLog.replay(path)) == []
+        assert list(WriteAheadLog.replay(path, committed_txns=frozenset())) == []
+        # A durable commit decision rolls exactly that group forward.
+        replayed = list(WriteAheadLog.replay(path, committed_txns={1}))
+        assert replayed == committed
+
+    def test_replay_interleaves_prepares_with_plain_records(
+        self, disk, tmp_path
+    ):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(disk, path)
+        before = put("before", "v", 0)
+        group = [put("txn-a", "1", 1), put("txn-b", "2", 2)]
+        after = put("after", "v", 3)
+        wal.append(before)
+        wal.append_prepare(5, group)
+        wal.append(after)
+        wal.close()
+        # Rolled forward, the group replays in file order between its
+        # neighbors — seqnos stay monotone.
+        assert list(WriteAheadLog.replay(path, committed_txns={5})) == [
+            before,
+            *group,
+            after,
+        ]
+        # Rolled back, only the plain records survive.
+        assert list(WriteAheadLog.replay(path)) == [before, after]
+
+    def test_torn_prepare_tail_is_tolerated(self, disk, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(disk, path)
+        wal.append(put("k", "v", 0))
+        wal.append_prepare(9, [put("torn", "v", 1)])
+        wal.close()
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        lines[-1] = lines[-1][: len(lines[-1]) // 2]  # crash mid-prepare
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.writelines(lines)
+        # Even with a commit decision on record, the torn PREPARE cannot
+        # roll forward — but the tear is a tolerated crash artifact.
+        assert list(WriteAheadLog.replay(path, committed_txns={9})) == [
+            put("k", "v", 0)
+        ]
+
+    def test_closed_wal_rejects_prepare(self, disk):
+        wal = WriteAheadLog(disk)
+        wal.close()
+        with pytest.raises(ClosedError):
+            wal.append_prepare(1, [put("k", "v", 0)])
+
+
+class TestTxnDecisionLog:
+    """The coordinator journal: commit point and recovery semantics."""
+
+    def test_append_and_decision_roundtrip(self, tmp_path):
+        path = str(tmp_path / "txn.log")
+        log = TxnDecisionLog(path)
+        first = log.next_txn_id()
+        second = log.next_txn_id()
+        assert second == first + 1
+        log.append(first, TXN_COMMIT)
+        log.append(second, TXN_ABORT)
+        assert log.decision(first) == TXN_COMMIT
+        assert log.decision(second) == TXN_ABORT
+        assert log.decision(999) is None
+        log.close()
+        assert TxnDecisionLog.replay(path) == {
+            first: TXN_COMMIT,
+            second: TXN_ABORT,
+        }
+
+    def test_txn_ids_stay_fresh_across_reopen(self, tmp_path):
+        path = str(tmp_path / "txn.log")
+        log = TxnDecisionLog(path)
+        used = log.next_txn_id()
+        log.append(used, TXN_COMMIT)
+        log.close()
+        reopened = TxnDecisionLog(path)
+        try:
+            # A recovered coordinator must never reissue a decided id.
+            assert reopened.next_txn_id() > used
+            assert reopened.decision(used) == TXN_COMMIT
+        finally:
+            reopened.close()
+
+    def test_replay_missing_file_is_empty(self, tmp_path):
+        assert TxnDecisionLog.replay(str(tmp_path / "absent.log")) == {}
+
+    def test_torn_final_decision_means_abort(self, tmp_path):
+        path = str(tmp_path / "txn.log")
+        log = TxnDecisionLog(path)
+        decided = log.next_txn_id()
+        torn = log.next_txn_id()
+        log.append(decided, TXN_COMMIT)
+        log.append(torn, TXN_COMMIT)
+        log.close()
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        lines[-1] = lines[-1][: len(lines[-1]) // 2]  # crash mid-decision
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.writelines(lines)
+        # The torn record never became the commit point: its transaction
+        # is simply absent, so recovery presumes abort.
+        assert TxnDecisionLog.replay(path) == {decided: TXN_COMMIT}
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = str(tmp_path / "txn.log")
+        log = TxnDecisionLog(path)
+        for _ in range(3):
+            log.append(log.next_txn_id(), TXN_COMMIT)
+        log.close()
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        lines[1] = "00000000," + lines[1].partition(",")[2]
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.writelines(lines)
+        with pytest.raises(CorruptionError):
+            TxnDecisionLog.replay(path)
+
+    def test_rejects_unknown_decision_and_closed_log(self, tmp_path):
+        path = str(tmp_path / "txn.log")
+        log = TxnDecisionLog(path)
+        with pytest.raises(ValueError):
+            log.append(log.next_txn_id(), "maybe")
+        log.close()
+        log.close()  # idempotent
+        with pytest.raises(ClosedError):
+            log.append(1, TXN_COMMIT)
