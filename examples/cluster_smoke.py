@@ -18,6 +18,13 @@ The distributed-serving drill CI runs end to end, against real
 4. Kill node c outright; assert every shard owned by a/b keeps serving
    reads and writes while c's shards fail with a connection error —
    loud and retryable, never silently wrong.
+5. Failover drill on a fresh 2-node *replicated* cluster
+   (``cluster init --replicas``, short heartbeat/lease): SIGKILL the
+   primary while a writer keeps acking puts, and assert the killed
+   node's shards stay writable end to end — the survivor detects the
+   silence, promotes its warm standbys behind an epoch bump, and the
+   client rides the failover with zero failed writes and zero acked
+   writes lost.
 
 Exits non-zero on any failure, so it doubles as a CI job.
 """
@@ -76,10 +83,13 @@ def _run_cli(args: list) -> None:
     )
 
 
-def _spawn_node(data_dir: str, node_id: str) -> subprocess.Popen:
+def _spawn_node(
+    data_dir: str, node_id: str, *extra: str
+) -> subprocess.Popen:
     return subprocess.Popen(
         [sys.executable, "-m", "repro.cli", "cluster", "serve",
-         "--data-dir", data_dir, "--node-id", node_id, "--background"],
+         "--data-dir", data_dir, "--node-id", node_id, "--background",
+         *extra],
         env=_cli_env(),
         cwd=REPO_ROOT,
         stdout=subprocess.DEVNULL,
@@ -206,6 +216,131 @@ async def drive(ports: list, processes: dict) -> None:
         await survive_node_loss(client, processes["c"])
 
 
+async def _wait_streaming(port: int, deadline_s: float = 20.0) -> None:
+    """Poll HEALTH until every shipper on the node reports streaming."""
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        node = await KVClient.connect("127.0.0.1", port)
+        try:
+            health = json.loads((await node.command(["HEALTH"]))[1])
+        finally:
+            await node.close()
+        shippers = health.get("replication", {})
+        if shippers and all(
+            summary["state"] == "streaming" for summary in shippers.values()
+        ):
+            return
+        await asyncio.sleep(0.1)
+    raise AssertionError(f"node on port {port} never finished seeding")
+
+
+async def failover_drive(ports: list, processes: dict) -> None:
+    # bootstrap from the survivor-to-be so the seed connection outlives
+    # the kill; a's shards still route to a via the map
+    async with await ClusterClient.connect(
+        "127.0.0.1", ports[1], failover_grace_s=8.0
+    ) as client:
+        for port in ports:
+            await _wait_streaming(port)
+        dead_shards = set(client.map.shards_of("a"))
+        assert dead_shards, "a must own shards for the drill to bite"
+        acked: list = []
+        failures: list = []
+        stop = asyncio.Event()
+
+        async def writer() -> None:
+            index = 0
+            while not stop.is_set():
+                key = f"fo-{index:05d}"
+                try:
+                    await client.put(key, "failover")
+                except Exception as exc:  # any app-visible error
+                    failures.append(f"{key}: {exc!r}")
+                else:
+                    acked.append(key)
+                index += 1
+                await asyncio.sleep(0)
+
+        task = asyncio.create_task(writer())
+        while len(acked) < 40:  # writer is demonstrably in flight
+            if task.done():
+                task.result()
+            await asyncio.sleep(0.01)
+
+        processes["a"].kill()  # no goodbye: crash-stop
+        processes["a"].wait(timeout=10)
+        killed = time.monotonic()
+        target = len(acked) + 120
+        while len(acked) < target:
+            if task.done():
+                task.result()
+            assert time.monotonic() - killed < 30.0, (
+                f"writer stalled after the kill: {len(acked)}/{target} "
+                f"acks, failures={failures[:3]}"
+            )
+            await asyncio.sleep(0.01)
+        stop.set()
+        await task
+
+        assert not failures, (
+            f"{len(failures)} writes failed across the failover: "
+            f"{failures[:3]}"
+        )
+        values = await asyncio.gather(*(client.get(key) for key in acked))
+        lost = [k for k, v in zip(acked, values) if v != "failover"]
+        assert not lost, f"{len(lost)} acked writes lost across failover"
+        await client.refresh()
+        assert client.map.epoch >= 1, client.map.epoch
+        for shard in dead_shards:
+            assert client.map.owner_id(shard) == "b", (
+                shard, client.map.owner_id(shard)
+            )
+        touched = {client.map.shard_index(key) for key in acked}
+        assert touched & dead_shards, "no write exercised a dead shard"
+        print(
+            f"phase 4 ok: node a SIGKILL'd under load; {len(acked)} acked "
+            f"writes, 0 failed, 0 lost; shards {sorted(dead_shards)} "
+            f"stayed writable via b's promoted standbys (epoch "
+            f"{client.map.epoch})"
+        )
+
+
+def failover_main() -> None:
+    """Phase 4's own cluster: 2 nodes, replicated map, fast lease."""
+    ports = _free_ports(2)
+    with tempfile.TemporaryDirectory(prefix="failover-smoke-") as data_dir:
+        _run_cli(
+            ["cluster", "init", "--data-dir", data_dir, "--shards", "4",
+             "--node", f"a=127.0.0.1:{ports[0]}",
+             "--node", f"b=127.0.0.1:{ports[1]}",
+             "--replicas"]
+        )
+        processes = {
+            node_id: _spawn_node(
+                data_dir, node_id,
+                "--heartbeat-interval", "0.25", "--lease-timeout", "1.0",
+            )
+            for node_id in ("a", "b")
+        }
+        try:
+            for port in ports:
+                _wait_listening(port)
+            asyncio.run(failover_drive(ports, processes))
+        finally:
+            for process in processes.values():
+                if process.poll() is None:
+                    process.send_signal(signal.SIGINT)
+            for node_id, process in processes.items():
+                try:
+                    process.wait(timeout=15)
+                except subprocess.TimeoutExpired:
+                    process.kill()
+                    raise AssertionError(f"node {node_id} hung on SIGINT")
+        # b was SIGINT'd and must shut down in good order; a was killed.
+        code = processes["b"].returncode
+        assert code == 0, f"node b exited {code}"
+
+
 def main() -> int:
     started = time.perf_counter()
     ports = _free_ports(len(NODE_IDS))
@@ -241,6 +376,7 @@ def main() -> int:
         for node_id in ("a", "b"):
             code = processes[node_id].returncode
             assert code == 0, f"node {node_id} exited {code}"
+    failover_main()
     print(f"cluster smoke passed in {time.perf_counter() - started:.1f}s")
     return 0
 

@@ -465,25 +465,32 @@ def command_cluster_init(args: argparse.Namespace) -> int:
     nodes = _parse_node_specs(args.node)
     if not nodes:
         raise SystemExit("cluster init needs at least one --node ID=HOST:PORT")
-    cluster_map = ClusterMap.even(args.shards, nodes)
+    if args.replicas and len(nodes) < 2:
+        raise SystemExit("--replicas needs at least two nodes")
+    cluster_map = ClusterMap.even(args.shards, nodes, replicated=args.replicas)
     for node in nodes:
         node_dir = os.path.join(args.data_dir, node.node_id)
         os.makedirs(node_dir, exist_ok=True)
         cluster_map.save(node_dir)
     print(
         format_table(
-            ["node", "address", "shards"],
+            ["node", "address", "shards", "replica-of"],
             [
                 (
                     node.node_id,
                     node.address,
                     ",".join(map(str, cluster_map.shards_of(node.node_id))),
+                    ",".join(
+                        map(str, cluster_map.replicas_of(node.node_id))
+                    )
+                    or "-",
                 )
                 for node in nodes
             ],
             title=(
                 f"cluster initialised under {args.data_dir} "
-                f"({args.shards} shards, epoch {cluster_map.epoch})"
+                f"({args.shards} shards, epoch {cluster_map.epoch}"
+                f"{', replicated' if args.replicas else ''})"
             ),
         )
     )
@@ -573,6 +580,10 @@ def command_cluster_serve(args: argparse.Namespace) -> int:
         "executor_threads": args.executor_threads,
         "group_commit": not args.no_group_commit,
         "owns_tree": True,
+        "heartbeat_interval_s": args.heartbeat_interval,
+        "lease_timeout_s": args.lease_timeout,
+        "repl_sync": not args.repl_async,
+        "repl_timeout_s": args.repl_timeout,
     }
     if args.host is not None:
         options["host"] = args.host
@@ -605,41 +616,83 @@ def command_cluster_serve(args: argparse.Namespace) -> int:
 
 
 def command_cluster_status(args: argparse.Namespace) -> int:
-    """Fetch the map from one node, then poll every member's HEALTH."""
+    """Fetch the map from one node, then poll every member's HEALTH.
+
+    Every wire interaction (the map fetch and each member's HEALTH) is
+    bounded by ``--timeout`` so one hung node can't wedge the whole
+    status report. With replication in the map the report adds per-node
+    liveness (the freshest heartbeat age any peer reports for the node)
+    and a per-shard table with the primary's replication lag.
+    """
     import json
 
     from .cluster import ClusterMap
     from .server.client import KVClient
 
-    async def run() -> int:
-        seed = await KVClient.connect(args.host, args.port)
+    timeout = args.timeout
+
+    async def fetch_health(node) -> dict:
+        client = await asyncio.wait_for(
+            KVClient.connect(node.host, node.port, timeout_s=timeout),
+            timeout,
+        )
         try:
-            reply = await seed.command(["CLUSTER"])
+            return json.loads(
+                (await asyncio.wait_for(client.command(["HEALTH"]), timeout))[
+                    1
+                ]
+            )
+        finally:
+            await client.close()
+
+    async def run() -> int:
+        seed = await asyncio.wait_for(
+            KVClient.connect(args.host, args.port, timeout_s=timeout),
+            timeout,
+        )
+        try:
+            reply = await asyncio.wait_for(seed.command(["CLUSTER"]), timeout)
             cluster_map = ClusterMap.from_json(reply[1])
         finally:
             await seed.close()
+        healths: dict = {}
+        errors: dict = {}
+        for node_id, node in sorted(cluster_map.nodes.items()):
+            try:
+                healths[node_id] = await fetch_health(node)
+            except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+                errors[node_id] = str(exc) or type(exc).__name__
         rows = []
         for node_id, node in sorted(cluster_map.nodes.items()):
             shards = ",".join(map(str, cluster_map.shards_of(node_id)))
-            try:
-                client = await KVClient.connect(node.host, node.port)
-                try:
-                    health = json.loads(
-                        (await client.command(["HEALTH"]))[1]
-                    )
-                finally:
-                    await client.close()
+            replicas = (
+                ",".join(map(str, cluster_map.replicas_of(node_id))) or "-"
+            )
+            # Liveness as the freshest heartbeat age any *peer* reports:
+            # a node can answer HEALTH yet be partitioned from the ring.
+            ages = [
+                peer_health["peers"][node_id]
+                for peer_id, peer_health in healths.items()
+                if peer_id != node_id
+                and node_id in peer_health.get("peers", {})
+            ]
+            seen = f"{min(ages):.1f}s ago" if ages else "-"
+            if node_id in healths:
+                health = healths[node_id]
                 rows.append(
-                    (node_id, node.address, shards,
-                     health.get("state", "?"),
-                     health.get("epoch", "?"))
+                    (node_id, node.address, shards, replicas,
+                     health.get("state", "?"), health.get("epoch", "?"),
+                     seen)
                 )
-            except (ConnectionError, OSError) as exc:
-                rows.append((node_id, node.address, shards,
-                             f"unreachable ({exc})", "-"))
+            else:
+                rows.append(
+                    (node_id, node.address, shards, replicas,
+                     f"unreachable ({errors[node_id]})", "-", seen)
+                )
         print(
             format_table(
-                ["node", "address", "shards", "health", "epoch"],
+                ["node", "address", "shards", "replica-of", "health",
+                 "epoch", "heartbeat"],
                 rows,
                 title=(
                     f"cluster status via {args.host}:{args.port} "
@@ -649,6 +702,38 @@ def command_cluster_status(args: argparse.Namespace) -> int:
                 ),
             )
         )
+        repl_rows = []
+        for shard in range(cluster_map.num_shards):
+            replica_id = cluster_map.replica_id(shard)
+            if replica_id is None:
+                continue
+            owner_id = cluster_map.owner_id(shard)
+            ship = (
+                healths.get(owner_id, {})
+                .get("replication", {})
+                .get(str(shard), {})
+            )
+            repl_rows.append(
+                (
+                    shard,
+                    owner_id,
+                    replica_id,
+                    ship.get("state", "?"),
+                    ship.get("lag_records", "?"),
+                    ship.get("lag_bytes", "?"),
+                    ship.get("missed_records", "?"),
+                )
+            )
+        if repl_rows:
+            print()
+            print(
+                format_table(
+                    ["shard", "primary", "replica", "state", "lag-records",
+                     "lag-bytes", "missed"],
+                    repl_rows,
+                    title="replication (as reported by each primary)",
+                )
+            )
         return 0
 
     return asyncio.run(run())
@@ -941,6 +1026,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="ID=HOST:PORT",
         help="cluster member (repeat once per node)",
     )
+    cluster_init.add_argument(
+        "--replicas",
+        action="store_true",
+        help="place a warm replica of every shard on the next node "
+        "(enables heartbeat failover)",
+    )
     cluster_init.set_defaults(func=command_cluster_init)
 
     cluster_serve = cluster_sub.add_parser(
@@ -972,6 +1063,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cluster_serve.add_argument("--no-group-commit", action="store_true")
     cluster_serve.add_argument("--uvloop", action="store_true")
+    cluster_serve.add_argument(
+        "--heartbeat-interval", type=float, default=1.0, metavar="SECONDS",
+        help="peer heartbeat cadence (jittered; default 1.0)",
+    )
+    cluster_serve.add_argument(
+        "--lease-timeout", type=float, default=None, metavar="SECONDS",
+        help="silence before a replica declares a primary dead and "
+        "promotes (default: 4x heartbeat interval)",
+    )
+    cluster_serve.add_argument(
+        "--repl-async", action="store_true",
+        help="ack writes without waiting for the replica (a failover "
+        "may then lose the in-flight window)",
+    )
+    cluster_serve.add_argument(
+        "--repl-timeout", type=float, default=5.0, metavar="SECONDS",
+        help="per-request bound on replication wire calls (default 5.0)",
+    )
     cluster_serve.set_defaults(func=command_cluster_serve)
 
     cluster_status = cluster_sub.add_parser(
@@ -979,6 +1088,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cluster_status.add_argument("--host", default="127.0.0.1")
     cluster_status.add_argument("--port", type=int, default=7401)
+    cluster_status.add_argument(
+        "--timeout", type=float, default=5.0, metavar="SECONDS",
+        help="bound on every map/health fetch (default 5.0)",
+    )
     cluster_status.set_defaults(func=command_cluster_status)
 
     cluster_migrate = cluster_sub.add_parser(

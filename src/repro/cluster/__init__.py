@@ -15,14 +15,15 @@ processes, Nova-LSM-style. Four pieces, smallest first:
 * :class:`ClusterClient` — map-driven routing with MOVED-redirect
   chasing and one pooled connection per node.
 
-:func:`migrate_local` is the in-process twin of the wire migration
-driver, built for the crash-consistency sweep.
+:func:`migrate_local` and :func:`replicate_local` are the in-process
+twins of the wire migration driver and the cross-node replication
+shipper, built for the crash-consistency sweep.
 """
 
 from .client import ClusterClient, ClusterError
 from .map import CLUSTER_MANIFEST, ClusterMap, NodeInfo
 from .node import ClusterNode
-from .store import SNAPSHOT_CHUNK, NodeStore, migrate_local
+from .store import SNAPSHOT_CHUNK, NodeStore, migrate_local, replicate_local
 
 __all__ = [
     "CLUSTER_MANIFEST",
@@ -34,4 +35,5 @@ __all__ = [
     "NodeInfo",
     "NodeStore",
     "migrate_local",
+    "replicate_local",
 ]

@@ -32,6 +32,8 @@ makes both answers equal, so the race is harmless.
 from __future__ import annotations
 
 import asyncio
+import random
+import time
 from typing import Awaitable, Callable, Dict, List, Optional, Tuple, TypeVar
 
 from ..api import PartialScanResult, Snapshot
@@ -85,6 +87,22 @@ class ClusterClient:
         max_redirects: MOVED hops absorbed per operation before
             :class:`ClusterError` — more than one or two means the map
             is churning faster than the client can chase it.
+        map_timeout_s: Explicit bound on one ``CLUSTER`` map fetch
+            (connect included): a hung node must delay a map refresh by
+            at most this, not the full TCP timeout.
+        failover_grace_s: On a connect failure to a shard's owner,
+            *when the map assigns that shard a replica*, keep retrying —
+            refreshing the map from surviving nodes — for up to this
+            long before surfacing the error; long enough to cover lease
+            expiry plus promotion, so an automatic failover is invisible
+            beyond latency. Shards without a replica fail immediately,
+            as before.
+        breaker_backoff_s / breaker_max_backoff_s: Per-node circuit
+            breaker window. After a failed connect the node's circuit
+            opens (further attempts fail instantly) for a jittered,
+            exponentially growing interval, so an unreachable node costs
+            a scan fan-out or MOVED chase microseconds, not a connect
+            timeout per call.
         client_options: Forwarded to every pooled
             :class:`~repro.server.KVClient` (timeouts, retry budgets).
     """
@@ -94,18 +112,33 @@ class ClusterClient:
         cluster_map: ClusterMap,
         *,
         max_redirects: int = 5,
+        map_timeout_s: float = 5.0,
+        failover_grace_s: float = 10.0,
+        breaker_backoff_s: float = 0.2,
+        breaker_max_backoff_s: float = 5.0,
         **client_options: object,
     ) -> None:
         self.map = cluster_map
         self.max_redirects = max_redirects
+        self.map_timeout_s = map_timeout_s
+        self.failover_grace_s = failover_grace_s
+        self.breaker_backoff_s = breaker_backoff_s
+        self.breaker_max_backoff_s = breaker_max_backoff_s
         self._client_options = client_options
         self._pool: Dict[Tuple[str, int], KVClient] = {}
         self._pool_lock = asyncio.Lock()
         self._closed = False
+        #: Per-address breaker: (consecutive failures, open-until
+        #: monotonic instant). Present only while tripped.
+        self._breaker: Dict[Tuple[str, int], Tuple[int, float]] = {}
         #: MOVED redirects followed (observability).
         self.moved_redirects = 0
         #: Map refreshes performed (observability).
         self.map_refreshes = 0
+        #: Connect attempts rejected by an open circuit (observability).
+        self.breaker_rejections = 0
+        #: Ops that rode out an owner failure to a promoted replica.
+        self.failover_retries = 0
 
     @classmethod
     async def connect(
@@ -114,12 +147,20 @@ class ClusterClient:
         port: int,
         *,
         max_redirects: int = 5,
+        map_timeout_s: float = 5.0,
+        failover_grace_s: float = 10.0,
+        breaker_backoff_s: float = 0.2,
+        breaker_max_backoff_s: float = 5.0,
         **client_options: object,
     ) -> "ClusterClient":
         """Bootstrap from any one cluster node's ``CLUSTER`` reply."""
-        seed = await KVClient.connect(host, port, **client_options)
+        seed = await asyncio.wait_for(
+            KVClient.connect(host, port, **client_options), map_timeout_s
+        )
         try:
-            reply = await seed.command(["CLUSTER"])
+            reply = await asyncio.wait_for(
+                seed.command(["CLUSTER"]), map_timeout_s
+            )
             if reply[0] != "CLUSTER" or len(reply) < 2:
                 raise ConfigError(
                     f"{host}:{port} is not a cluster node "
@@ -130,7 +171,13 @@ class ClusterClient:
             await seed.close()
             raise
         client = cls(
-            cluster_map, max_redirects=max_redirects, **client_options
+            cluster_map,
+            max_redirects=max_redirects,
+            map_timeout_s=map_timeout_s,
+            failover_grace_s=failover_grace_s,
+            breaker_backoff_s=breaker_backoff_s,
+            breaker_max_backoff_s=breaker_max_backoff_s,
+            **client_options,
         )
         client._pool[(host, port)] = seed
         return client
@@ -459,12 +506,20 @@ class ClusterClient:
         last_error: Optional[Exception] = None
         for candidate_host, candidate_port in candidates:
             try:
-                client = await self._client_for(
-                    candidate_host, candidate_port
+                client = await asyncio.wait_for(
+                    self._client_for(candidate_host, candidate_port),
+                    self.map_timeout_s,
                 )
-                reply = await client.command(["CLUSTER"])
+                reply = await asyncio.wait_for(
+                    client.command(["CLUSTER"]), self.map_timeout_s
+                )
                 fetched = ClusterMap.from_json(reply[1])
-            except (ConnectionError, OSError, ReproError) as exc:
+            except (
+                asyncio.TimeoutError,
+                ConnectionError,
+                OSError,
+                ReproError,
+            ) as exc:
                 last_error = exc
                 continue
             self.map_refreshes += 1
@@ -482,16 +537,35 @@ class ClusterClient:
         shard: int,
         op: Callable[[KVClient], Awaitable[T]],
     ) -> T:
-        """Run ``op`` against the shard's owner, chasing MOVED redirects."""
+        """Run ``op`` against the shard's owner, chasing MOVED redirects.
+
+        When the owner is unreachable *and the map gives the shard a
+        replica*, the failure is treated as a failover in progress: the
+        pooled connection is discarded, the map re-fetched from the
+        surviving nodes, and the op retried (jittered) until
+        ``failover_grace_s`` runs out — the promoted replica's
+        bumped-epoch map re-routes the shard within a lease timeout, so
+        the caller sees latency, not an error. A shard without a
+        replica keeps the old contract: the connection error surfaces
+        at once.
+        """
         last_moved: Optional[MovedError] = None
-        for _ in range(self.max_redirects + 1):
+        failover_deadline: Optional[float] = None
+        redirects = 0
+        while True:
             owner = self.map.owner(shard)
-            client = await self._client_for(owner.host, owner.port)
             try:
+                client = await self._client_for(owner.host, owner.port)
                 return await op(client)
             except MovedError as moved:
                 self.moved_redirects += 1
                 last_moved = moved
+                redirects += 1
+                if redirects > self.max_redirects:
+                    raise ClusterError(
+                        f"shard {shard} still MOVED after "
+                        f"{self.max_redirects} redirects: {last_moved}"
+                    )
                 # The redirect target is (as of the replying node's map)
                 # the owner — its own map is at least that new, so
                 # refreshing from it both fixes this shard's route and
@@ -507,10 +581,29 @@ class ClusterClient:
                         host=moved.host,
                         port=moved.port,
                     )
-        raise ClusterError(
-            f"shard {shard} still MOVED after {self.max_redirects} "
-            f"redirects: {last_moved}"
-        )
+            except (ConnectionError, OSError):
+                if self._closed or self.map.replica_id(shard) is None:
+                    raise
+                now = time.monotonic()
+                if failover_deadline is None:
+                    failover_deadline = now + self.failover_grace_s
+                elif now >= failover_deadline:
+                    raise
+                self.failover_retries += 1
+                await self._discard_client(owner.host, owner.port)
+                try:
+                    await self.refresh()
+                except ClusterError:
+                    pass  # nobody reachable yet; back off and re-try
+                await asyncio.sleep(0.04 + random.random() * 0.04)
+
+    async def _discard_client(self, host: str, port: int) -> None:
+        """Drop a (presumed broken) pooled connection so the next use
+        goes through a fresh connect — and thus the circuit breaker."""
+        async with self._pool_lock:
+            client = self._pool.pop((host, port), None)
+        if client is not None:
+            await client.close()
 
     async def _client_for(self, host: str, port: int) -> KVClient:
         if self._closed:
@@ -519,6 +612,13 @@ class ClusterClient:
         client = self._pool.get(key)
         if client is not None:
             return client
+        tripped = self._breaker.get(key)
+        if tripped is not None and time.monotonic() < tripped[1]:
+            self.breaker_rejections += 1
+            raise ConnectionError(
+                f"circuit open to {host}:{port} (connect failed "
+                f"{tripped[0]}x; retrying after backoff)"
+            )
         async with self._pool_lock:
             if self._closed:
                 # close() won the lock between our fast-path check and
@@ -526,8 +626,23 @@ class ClusterClient:
                 raise ConnectionError("cluster client closed")
             client = self._pool.get(key)
             if client is None:
-                client = await KVClient.connect(
-                    host, port, **self._client_options
-                )
+                try:
+                    client = await KVClient.connect(
+                        host, port, **self._client_options
+                    )
+                except (ConnectionError, OSError):
+                    failures = (
+                        self._breaker.get(key, (0, 0.0))[0] + 1
+                    )
+                    backoff = min(
+                        self.breaker_backoff_s * (2 ** (failures - 1)),
+                        self.breaker_max_backoff_s,
+                    ) * (0.5 + random.random() * 0.5)
+                    self._breaker[key] = (
+                        failures,
+                        time.monotonic() + backoff,
+                    )
+                    raise
+                self._breaker.pop(key, None)
                 self._pool[key] = client
             return client

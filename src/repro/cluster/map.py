@@ -15,7 +15,12 @@ single source of truth every cluster participant routes by:
 * a live migration publishes its atomic ownership flip as a *new map
   with the epoch bumped by one* — first persisted by the destination,
   then by the source — so after any crash the freshest epoch names
-  exactly one owner per shard.
+  exactly one owner per shard;
+* cross-node replication records, per shard, an optional **replica**
+  node that keeps a warm copy of the shard on a *different* server; a
+  failover promotes that replica by publishing a bumped-epoch map in
+  which the old primary and replica have swapped roles
+  (:meth:`ClusterMap.with_failover`).
 
 Epochs are totally ordered and only ever grow. Two maps with the same
 epoch are required to be identical (a map is immutable once published);
@@ -72,6 +77,9 @@ class ClusterMap:
         routing: ``"hash"`` (default) or ``"range"``.
         boundaries: Sorted split keys for range routing
             (``len(assignments) - 1`` of them).
+        replicas: Optional per-shard replica node id (``None`` entries
+            mean "no replica"); a replica must be a known node and must
+            differ from the shard's primary.
     """
 
     def __init__(
@@ -82,6 +90,7 @@ class ClusterMap:
         epoch: int = 0,
         routing: str = "hash",
         boundaries: Optional[Sequence[str]] = None,
+        replicas: Optional[Sequence[Optional[str]]] = None,
     ) -> None:
         if not assignments:
             raise ConfigError("a cluster map needs at least one shard")
@@ -102,6 +111,30 @@ class ClusterMap:
             raise ConfigError(
                 f"assignments name unknown nodes: {missing}"
             )
+        if replicas is None:
+            self.replicas: Tuple[Optional[str], ...] = (None,) * len(
+                self.assignments
+            )
+        else:
+            if len(replicas) != len(self.assignments):
+                raise ConfigError(
+                    f"{len(replicas)} replica entries contradict "
+                    f"{len(self.assignments)} shards"
+                )
+            for shard, replica in enumerate(replicas):
+                if replica is None:
+                    continue
+                if replica not in self.nodes:
+                    raise ConfigError(
+                        f"shard {shard} replica names unknown node "
+                        f"{replica!r}"
+                    )
+                if replica == self.assignments[shard]:
+                    raise ConfigError(
+                        f"shard {shard} replica must differ from its "
+                        f"primary {replica!r}"
+                    )
+            self.replicas = tuple(replicas)
         if boundaries is not None:
             ordered = list(boundaries)
             if ordered != sorted(ordered) or len(set(ordered)) != len(
@@ -131,9 +164,15 @@ class ClusterMap:
         epoch: int = 0,
         routing: str = "hash",
         boundaries: Optional[Sequence[str]] = None,
+        replicated: bool = False,
     ) -> "ClusterMap":
         """Round-robin ``num_shards`` shards over ``nodes`` (shard *i* →
-        node *i mod N*), the canonical bootstrap assignment."""
+        node *i mod N*), the canonical bootstrap assignment.
+
+        ``replicated=True`` additionally places each shard's replica on
+        the *next* node round-robin (shard *i* → node *(i+1) mod N*), so
+        every replica lives on a different server; needs >= 2 nodes.
+        """
         if num_shards < 1:
             raise ConfigError("num_shards must be at least 1")
         if not nodes:
@@ -141,12 +180,23 @@ class ClusterMap:
         assignments = [
             nodes[index % len(nodes)].node_id for index in range(num_shards)
         ]
+        replicas: Optional[List[Optional[str]]] = None
+        if replicated:
+            if len(nodes) < 2:
+                raise ConfigError(
+                    "replicated placement needs at least 2 nodes"
+                )
+            replicas = [
+                nodes[(index + 1) % len(nodes)].node_id
+                for index in range(num_shards)
+            ]
         return cls(
             assignments,
             nodes,
             epoch=epoch,
             routing=routing,
             boundaries=boundaries,
+            replicas=replicas,
         )
 
     # -- routing --------------------------------------------------------------
@@ -177,6 +227,23 @@ class ClusterMap:
             if owner == node_id
         ]
 
+    def replica_id(self, shard: int) -> Optional[str]:
+        """Node id replicating ``shard``, or ``None`` (no replica)."""
+        return self.replicas[shard]
+
+    def replica(self, shard: int) -> Optional[NodeInfo]:
+        """Full node record replicating ``shard``, or ``None``."""
+        replica = self.replicas[shard]
+        return None if replica is None else self.nodes[replica]
+
+    def replicas_of(self, node_id: str) -> List[int]:
+        """Shards whose replica lives on ``node_id``, ascending."""
+        return [
+            shard
+            for shard, replica in enumerate(self.replicas)
+            if replica == node_id
+        ]
+
     # -- derivation -----------------------------------------------------------
 
     def with_assignment(
@@ -204,12 +271,73 @@ class ClusterMap:
             nodes[node_id] = NodeInfo(node_id, host, int(port))
         assignments = list(self.assignments)
         assignments[shard] = node_id
+        replicas = list(self.replicas)
+        if replicas[shard] == node_id:
+            # The shard migrated onto its own replica; a self-replica is
+            # meaningless, so the slot clears (re-placed by the operator).
+            replicas[shard] = None
         return ClusterMap(
             assignments,
             list(nodes.values()),
             epoch=self.epoch + 1,
             routing=self.routing,
             boundaries=self.boundaries or None,
+            replicas=replicas,
+        )
+
+    def with_replica(
+        self, shard: int, node_id: Optional[str]
+    ) -> "ClusterMap":
+        """A new map (epoch + 1) with ``shard``'s replica set (or cleared
+        with ``None``). The node must already be in the directory."""
+        if not 0 <= shard < len(self.assignments):
+            raise ValueError(f"shard {shard} out of range")
+        replicas = list(self.replicas)
+        replicas[shard] = node_id
+        return ClusterMap(
+            list(self.assignments),
+            list(self.nodes.values()),
+            epoch=self.epoch + 1,
+            routing=self.routing,
+            boundaries=self.boundaries or None,
+            replicas=replicas,
+        )
+
+    def with_failover(
+        self, shards: Sequence[int], new_primary: str
+    ) -> "ClusterMap":
+        """A new map (epoch + 1) promoting ``new_primary`` for ``shards``.
+
+        For each shard the current replica (``new_primary``) becomes the
+        primary and the old primary is demoted to replica — the roles
+        swap, so when the dead node rejoins it re-syncs as the warm
+        standby of its former shards. One epoch bump covers the whole
+        promotion, so a failover is a single map publish.
+        """
+        if not shards:
+            raise ConfigError("a failover needs at least one shard")
+        assignments = list(self.assignments)
+        replicas = list(self.replicas)
+        for shard in shards:
+            if not 0 <= shard < len(assignments):
+                raise ValueError(f"shard {shard} out of range")
+            if replicas[shard] != new_primary:
+                raise ConfigError(
+                    f"shard {shard} is replicated by "
+                    f"{replicas[shard]!r}, not {new_primary!r}; refusing "
+                    "to promote a node that holds no replica"
+                )
+            assignments[shard], replicas[shard] = (
+                new_primary,
+                assignments[shard],
+            )
+        return ClusterMap(
+            assignments,
+            list(self.nodes.values()),
+            epoch=self.epoch + 1,
+            routing=self.routing,
+            boundaries=self.boundaries or None,
+            replicas=replicas,
         )
 
     def plan_moves(
@@ -261,6 +389,7 @@ class ClusterMap:
                 for node_id, node in sorted(self.nodes.items())
             },
             "assignments": list(self.assignments),
+            "replicas": list(self.replicas),
         }
 
     def to_json(self) -> str:
@@ -275,12 +404,17 @@ class ClusterMap:
             ]
             assignments = list(doc["assignments"])  # type: ignore[arg-type]
             boundaries = list(doc.get("boundaries") or []) or None
+            raw_replicas = doc.get("replicas")  # absent in pre-PR9 maps
+            replicas = (
+                None if raw_replicas is None else list(raw_replicas)
+            )
             cluster_map = cls(
                 assignments,
                 nodes,
                 epoch=int(doc["epoch"]),  # type: ignore[arg-type]
                 routing=str(doc.get("routing", "hash")),
                 boundaries=boundaries,
+                replicas=replicas,  # type: ignore[arg-type]
             )
         except (KeyError, TypeError, AttributeError) as exc:
             raise ConfigError(f"malformed cluster map: {exc!r}") from exc

@@ -27,15 +27,42 @@ the ordering the primitives need. ``MIGRATE`` itself is handled inline on
 the requesting connection — only that connection blocks for the duration;
 every other connection (including the writes being migrated under) keeps
 being served by the event loop.
+
+**Cross-node replication and failover (PR 9).** When the map assigns a
+shard a replica node, the owning ClusterNode runs a
+:class:`_ShardShipper`: it reseeds the peer's standby over ``REPL.SYNC``
+plus snapshot chunks, then forwards every WAL commit group over
+``REPL.SHIP`` on the same ordered connection (the migration tail's
+last-arrival-wins argument applies verbatim). In sync mode (the
+default) a commit is held until the replica acknowledged the group, so
+an acked write is on both nodes; when the replica becomes unreachable
+the shipper *degrades* — waiters release, writes keep committing
+locally, and the standby is wiped and reseeded on reconnect. Every node
+with replication configured also runs a jittered heartbeat loop
+(``REPL.PING``, carrying map epochs so newer maps gossip through it); a
+replica node declares a peer dead only after ``lease_timeout_s`` of
+silence, and then promotes exactly the shards whose standby is provably
+current — seeded in this process lifetime *and* whose ship stream was
+alive when the peer was last alive (a stream that died earlier may be
+missing acked writes; refusing beats promoting a stale copy). Promotion
+persists the bumped-epoch map before serving (seal-before-release), so
+there is exactly one writable owner at every instant under crash-stop
+failures; a restarted old primary hears the newer epoch via heartbeat
+gossip or the promoted node's ``REPL.SYNC`` and demotes itself
+(:meth:`~repro.cluster.NodeStore.adopt_map`).
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import random
+import threading
 import time
-from typing import Dict, List, Optional
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
 
+from ..core.entry import Entry
 from ..errors import (
     ConfigError,
     MigrationUnresolvedError,
@@ -43,6 +70,8 @@ from ..errors import (
     ShardFencedError,
     ShardMovedError,
 )
+from ..faults.registry import fault_point
+from ..replication.store import entries_to_batch_ops
 from ..server.client import KVClient
 from ..server.protocol import BatchOp, ProtocolError, decode_batch, encode_batch
 from ..server.server import KVServer
@@ -50,7 +79,10 @@ from .map import ClusterMap, NodeInfo
 from .store import SNAPSHOT_CHUNK, NodeStore
 
 #: Verbs this subclass dispatches ahead of the base server.
-_CLUSTER_VERBS = ("CLUSTER", "MIGRATE", "MIG.BEGIN", "MIG.APPLY", "MIG.SEAL")
+_CLUSTER_VERBS = (
+    "CLUSTER", "MIGRATE", "MIG.BEGIN", "MIG.APPLY", "MIG.SEAL",
+    "REPL.SYNC", "REPL.SHIP", "REPL.SEEDED", "REPL.PING",
+)
 
 
 class ClusterNode(KVServer):
@@ -62,22 +94,86 @@ class ClusterNode(KVServer):
             ``port`` to override, e.g. ``port=0`` in tests — but then
             the map the *other* members route by must be built from the
             resolved :attr:`port`).
+        heartbeat_interval_s: Target gap between peer heartbeat rounds
+            (each round is jittered ±25% so a fleet started together
+            does not ping in lockstep).
+        lease_timeout_s: Silence after which a peer is declared dead and
+            its shards considered for promotion. Defaults to four
+            heartbeat intervals.
+        repl_sync: When true (default) a commit on a replicated shard
+            is held until the replica acknowledged the shipped group —
+            the zero-loss mode; when false shipping is fire-and-forget
+            with a bounded loss window on failover.
         options: Forwarded to :class:`~repro.server.KVServer`.
     """
 
-    def __init__(self, store: NodeStore, **options: object) -> None:
+    def __init__(
+        self,
+        store: NodeStore,
+        *,
+        heartbeat_interval_s: float = 1.0,
+        lease_timeout_s: Optional[float] = None,
+        repl_sync: bool = True,
+        repl_timeout_s: float = 5.0,
+        **options: object,
+    ) -> None:
         info = store.map.nodes[store.node_id]
         options.setdefault("host", info.host)
         options.setdefault("port", info.port)
         super().__init__(store, **options)  # type: ignore[arg-type]
         self.node_store = store
+        self.heartbeat_interval_s = float(heartbeat_interval_s)
+        self.lease_timeout_s = (
+            float(lease_timeout_s)
+            if lease_timeout_s is not None
+            else 4.0 * self.heartbeat_interval_s
+        )
+        self.repl_sync = repl_sync
+        self.repl_timeout_s = float(repl_timeout_s)
         #: Completed outbound migrations (stats dicts), oldest first.
         self.migrations: List[Dict[str, object]] = []
+        #: Completed failover promotions (stats dicts), oldest first.
+        self.promotions: List[Dict[str, object]] = []
         #: Flips whose ``MIG.SEAL`` outcome is unknown (destination
         #: unreachable at the seal instant): shard → the proposed map.
         #: The shard stays fenced until a retried ``MIGRATE`` resolves
         #: it against the destination's durable map.
         self._unresolved_flips: Dict[int, ClusterMap] = {}
+        #: Live outbound shippers, one per owned shard with a replica.
+        self._shippers: Dict[int, "_ShardShipper"] = {}
+        #: Peer node id → monotonic instant it last proved alive
+        #: (a heartbeat answered, or an inbound ``REPL.PING``).
+        self._last_seen: Dict[str, float] = {}
+        #: Shard → monotonic instant of the last inbound ship-stream
+        #: activity (``REPL.SYNC``/``REPL.SHIP``/``REPL.SEEDED``); the
+        #: promotion gate compares it against the owner's last sign of
+        #: life to refuse standbys whose stream died early.
+        self._ship_seen: Dict[int, float] = {}
+        self._hb_task: Optional[asyncio.Task] = None
+        self._closing = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> None:
+        await super().start()
+        self._reconcile_replication()
+
+    async def stop(self) -> None:
+        self._closing = True
+        if self._hb_task is not None:
+            self._hb_task.cancel()
+            try:
+                await self._hb_task
+            except asyncio.CancelledError:
+                pass
+            self._hb_task = None
+        shippers = list(self._shippers.values())
+        self._shippers.clear()
+        for shipper in shippers:
+            shipper.stop()
+        for shipper in shippers:
+            await shipper.wait_stopped()
+        await super().stop()
 
     # -- error mapping --------------------------------------------------------
 
@@ -125,7 +221,12 @@ class ClusterNode(KVServer):
                 return ["CLUSTER", store.map.to_json()]
             if len(request) == 2:
                 pushed = ClusterMap.from_json(request[1])
-                changed = await self._run_engine(store.install_map, pushed)
+                # adopt_map, not install_map: a pushed map may *demote*
+                # this node (a failover happened while it was away);
+                # granting it shards is still rejected.
+                changed = await self._run_engine(store.adopt_map, pushed)
+                if changed:
+                    self._reconcile_replication()
                 return ["OK", "installed" if changed else "ignored"]
             raise ProtocolError("CLUSTER takes at most a map payload")
         if verb == "MIGRATE":
@@ -161,7 +262,43 @@ class ClusterNode(KVServer):
             shard = self._parse_shard(request[1])
             sealed = ClusterMap.from_json(request[2])
             await self._run_engine(store.migration_seal, shard, sealed)
+            self._reconcile_replication()  # the new shard may need a shipper
             return ["OK", str(sealed.epoch)]
+        if verb == "REPL.SYNC":
+            if len(request) != 3:
+                raise ProtocolError(
+                    "REPL.SYNC needs a shard index and a map payload"
+                )
+            shard = self._parse_shard(request[1])
+            source_map = ClusterMap.from_json(request[2])
+            await self._run_engine(
+                store.replica_sync_begin, shard, source_map
+            )
+            self._reconcile_replication()  # adopting the map may demote us
+            self._ship_seen[shard] = time.monotonic()
+            return ["OK", store.node_id, store.map.to_json()]
+        if verb == "REPL.SHIP":
+            if len(request) < 2:
+                raise ProtocolError("REPL.SHIP needs a shard index")
+            shard = self._parse_shard(request[1])
+            ops = decode_batch(["BATCH", *request[2:]])
+            await self._run_engine(store.replica_apply, shard, ops)
+            self._ship_seen[shard] = time.monotonic()
+            return ["OK", str(len(ops))]
+        if verb == "REPL.SEEDED":
+            if len(request) != 2:
+                raise ProtocolError(
+                    "REPL.SEEDED needs exactly a shard index"
+                )
+            shard = self._parse_shard(request[1])
+            await self._run_engine(store.replica_mark_seeded, shard)
+            self._ship_seen[shard] = time.monotonic()
+            return ["OK", str(shard)]
+        if verb == "REPL.PING":
+            if len(request) != 3:
+                raise ProtocolError("REPL.PING needs a node id and an epoch")
+            self._last_seen[request[1]] = time.monotonic()
+            return ["OK", store.node_id, str(store.map.epoch)]
         raise ProtocolError(f"unknown command {verb!r}")  # unreachable
 
     @staticmethod
@@ -391,3 +528,490 @@ class ClusterNode(KVServer):
             ["MIG.APPLY", str(shard), *encode_batch(ops)[1:]]
         )
         return len(ops)
+
+    # -- cross-node replication ----------------------------------------------
+
+    def _reconcile_replication(self) -> None:
+        """Match live shippers to the current map; start the heartbeat
+        loop once the map carries any replica. Called after every map
+        change (install, seal, promotion, demotion) — a shipper whose
+        shard moved away or whose replica target changed is stopped, a
+        newly replicated owned shard gets one."""
+        if self._closing:
+            return
+        store = self.node_store
+        cluster_map = store.map
+        desired: Dict[int, str] = {}
+        for shard in store.owned_shards():
+            replica = cluster_map.replica_id(shard)
+            if replica is not None and replica != store.node_id:
+                desired[shard] = replica
+        for shard, shipper in list(self._shippers.items()):
+            if desired.get(shard) != shipper.target_id:
+                shipper.stop()
+                del self._shippers[shard]
+        for shard, target in desired.items():
+            if shard not in self._shippers:
+                self._shippers[shard] = _ShardShipper(self, shard, target)
+        replicated = any(
+            cluster_map.replica_id(shard) is not None
+            for shard in range(cluster_map.num_shards)
+        )
+        if replicated and (self._hb_task is None or self._hb_task.done()):
+            self._hb_task = asyncio.get_running_loop().create_task(
+                self._heartbeat_loop()
+            )
+
+    async def _heartbeat_loop(self) -> None:
+        """Jittered peer heartbeats, epoch gossip, and lease-expiry
+        failover decisions. Runs only when the map replicates."""
+        store = self.node_store
+        while not self._closing:
+            await asyncio.sleep(
+                self.heartbeat_interval_s * (0.75 + random.random() * 0.5)
+            )
+            if self._closing or store._closed:
+                return
+            fault_point("repl.node.heartbeat", scope=store.node_id)
+            self._reconcile_replication()
+            peers = [
+                info
+                for node_id, info in store.map.nodes.items()
+                if node_id != store.node_id
+            ]
+            await asyncio.gather(
+                *(self._ping_peer(info) for info in peers),
+                return_exceptions=True,
+            )
+            await self._check_leases()
+
+    async def _ping_peer(self, info: NodeInfo) -> None:
+        """One REPL.PING exchange; records liveness, pulls newer maps."""
+        store = self.node_store
+        budget = max(self.lease_timeout_s / 2.0, 0.05)
+        try:
+            peer = await asyncio.wait_for(
+                KVClient.connect(
+                    info.host,
+                    info.port,
+                    timeout_s=budget,
+                    reconnect_retries=0,
+                ),
+                budget,
+            )
+        except (asyncio.TimeoutError, ConnectionError, OSError):
+            return
+        try:
+            reply = await peer.command(
+                ["REPL.PING", store.node_id, str(store.map.epoch)]
+            )
+            self._last_seen[info.node_id] = time.monotonic()
+            peer_epoch = int(reply[2])
+            if peer_epoch > store.map.epoch:
+                fetched = await peer.command(["CLUSTER"])
+                await self._adopt_remote_map(
+                    ClusterMap.from_json(fetched[1])
+                )
+        except Exception:
+            return
+        finally:
+            await peer.close()
+
+    async def _adopt_remote_map(self, new_map: ClusterMap) -> None:
+        """Adopt a newer map learned from a peer (gossip pull)."""
+        store = self.node_store
+        if new_map.epoch <= store.map.epoch:
+            return
+        await self._run_engine(store.adopt_map, new_map)
+        self._reconcile_replication()
+
+    async def _check_leases(self) -> None:
+        """Promote shards whose primary's lease expired."""
+        store = self.node_store
+        now = time.monotonic()
+        for peer_id in list(store.map.nodes):
+            if peer_id == store.node_id:
+                continue
+            last = self._last_seen.get(peer_id)
+            if last is None:
+                # First round that looks for this peer starts its lease
+                # now, not at minus infinity.
+                self._last_seen[peer_id] = now
+                continue
+            if now - last < self.lease_timeout_s:
+                continue
+            shards = self._promotable_from(peer_id, last)
+            if shards:
+                try:
+                    await self._promote_from(peer_id, shards, last)
+                except Exception:
+                    # A lost race (the map moved under us) or an engine
+                    # refusal: leave the lease expired; the next round
+                    # re-evaluates against the fresh map.
+                    continue
+
+    def _promotable_from(self, peer_id: str, last_seen: float) -> List[int]:
+        """The subset of ``peer_id``'s shards this node may promote:
+        replicated here, seeded this lifetime, and with a ship stream
+        that was still alive when the peer last was — a stream that died
+        earlier may be missing acked writes, and refusing to promote a
+        possibly stale standby beats serving wrong data."""
+        store = self.node_store
+        fresh = set(store.promotable_shards())
+        slack = 2.0 * self.heartbeat_interval_s + 0.05
+        shards: List[int] = []
+        for shard in store.map.shards_of(peer_id):
+            if store.map.replica_id(shard) != store.node_id:
+                continue
+            if shard not in fresh:
+                continue
+            stream_seen = self._ship_seen.get(shard)
+            if stream_seen is None or last_seen - stream_seen > slack:
+                continue
+            shards.append(shard)
+        return shards
+
+    async def _promote_from(
+        self, peer_id: str, shards: List[int], last_seen: float
+    ) -> None:
+        """Fenced failover: bump the epoch, persist, serve, publish."""
+        store = self.node_store
+        fault_point("repl.node.promote.start", scope=store.node_id)
+        new_map = store.map.with_failover(shards, store.node_id)
+        await self._run_engine(store.promote_shards, shards, new_map)
+        self.promotions.append(
+            {
+                "from": peer_id,
+                "shards": list(shards),
+                "epoch": new_map.epoch,
+                "silence_s": round(time.monotonic() - last_seen, 3),
+            }
+        )
+        # The dead peer is now the *replica* of the promoted shards;
+        # reconciling spawns shippers that retry against it with backoff
+        # — their eventual REPL.SYNC is exactly the rejoin reseed.
+        self._reconcile_replication()
+        await self._broadcast_map(new_map, exclude=(peer_id,))
+
+    async def _broadcast_map(
+        self, new_map: ClusterMap, exclude: Tuple[str, ...] = ()
+    ) -> None:
+        """Best-effort CLUSTER push of ``new_map`` to every other peer
+        (unreachable ones learn it via heartbeat gossip instead)."""
+        store = self.node_store
+        for node_id, info in new_map.nodes.items():
+            if node_id == store.node_id or node_id in exclude:
+                continue
+            try:
+                peer = await asyncio.wait_for(
+                    KVClient.connect(
+                        info.host,
+                        info.port,
+                        timeout_s=self.repl_timeout_s,
+                        reconnect_retries=0,
+                    ),
+                    self.repl_timeout_s,
+                )
+            except (asyncio.TimeoutError, ConnectionError, OSError):
+                continue
+            try:
+                await peer.command(["CLUSTER", new_map.to_json()])
+            except Exception:
+                pass
+            finally:
+                await peer.close()
+
+    # -- introspection --------------------------------------------------------
+
+    def health(self) -> dict:
+        """HEALTH payload plus peer liveness and replication lag."""
+        payload = super().health()
+        now = time.monotonic()
+        payload["peers"] = {
+            peer_id: round(now - last, 3)
+            for peer_id, last in sorted(dict(self._last_seen).items())
+        }
+        payload["replication"] = {
+            str(shard): shipper.summary()
+            for shard, shipper in sorted(dict(self._shippers).items())
+        }
+        payload["lease_timeout_s"] = self.lease_timeout_s
+        payload["promotions"] = list(self.promotions)
+        return payload
+
+
+class _ShardShipper:
+    """Ships one owned shard's commit stream to its replica node.
+
+    Lifecycle: connect → ``REPL.SYNC`` (wipes and reopens the peer's
+    standby; the reply may carry a newer map) → attach the WAL commit
+    tap → snapshot chunks interleaved with buffered live groups over one
+    ordered connection (same last-arrival-wins argument as migration) →
+    ``REPL.SEEDED`` → stream forever, with an empty ``REPL.SHIP`` as
+    keepalive when idle so the replica's stream lease stays warm. Any
+    failure degrades: sync waiters release *without error* (the primary
+    keeps serving un-replicated — availability over replication), and
+    the session retries with jittered backoff, reseeding from scratch.
+    That retry loop doubles as the rejoin path: after this node promotes
+    a dead peer's shards, its shipper keeps knocking until the peer
+    restarts, and the first successful ``REPL.SYNC`` hands the old
+    primary the failover map (demoting it) and rebuilds its standby.
+    """
+
+    def __init__(
+        self, node: ClusterNode, shard: int, target_id: str
+    ) -> None:
+        self.node = node
+        self.shard = shard
+        self.target_id = target_id
+        self.state = "seeding"
+        self.shipped_groups = 0
+        self.shipped_ops = 0
+        #: Records committed while the stream was down (observability:
+        #: the size of the un-replicated window the next reseed covers).
+        self.missed_records = 0
+        self._lock = threading.Lock()
+        self._buffer: Deque[
+            Tuple[List[BatchOp], Optional[threading.Event]]
+        ] = deque()
+        self._pending_records = 0
+        self._pending_bytes = 0
+        self._accepting = False
+        self._streaming = False
+        self._stopped = False
+        self._loop = asyncio.get_running_loop()
+        self._wake = asyncio.Event()
+        self._task = self._loop.create_task(self._run())
+
+    def summary(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "target": self.target_id,
+                "state": self.state,
+                "shipped_groups": self.shipped_groups,
+                "shipped_ops": self.shipped_ops,
+                "lag_records": self._pending_records,
+                "lag_bytes": self._pending_bytes,
+                "missed_records": self.missed_records,
+            }
+
+    # -- engine-thread side ---------------------------------------------------
+
+    def _on_commit(self, entries: List[Entry]) -> None:
+        """WAL commit tap: runs on the committing engine thread, under
+        the shard's write mutex, after the group is locally durable."""
+        ops = entries_to_batch_ops(entries, context="cross-node replication")
+        waiter: Optional[threading.Event] = None
+        with self._lock:
+            if self._accepting:
+                if self.node.repl_sync and self._streaming:
+                    waiter = threading.Event()
+                self._buffer.append((ops, waiter))
+                self._pending_records += len(ops)
+                self._pending_bytes += _ops_bytes(ops)
+            else:
+                self.missed_records += len(ops)
+        self._loop.call_soon_threadsafe(self._wake.set)
+        if waiter is not None:
+            # Sync mode: hold the commit until the replica acked the
+            # group (or the stream degraded and released everyone).
+            # Bounded — a hung replica must not wedge the primary's
+            # write path past the lease it would be declared dead by.
+            waiter.wait(self.node.lease_timeout_s)
+
+    # -- event-loop side ------------------------------------------------------
+
+    def stop(self) -> None:
+        self._stopped = True
+        self._release_all("stopped")
+        self._task.cancel()
+
+    async def wait_stopped(self) -> None:
+        try:
+            await self._task
+        except (asyncio.CancelledError, Exception):
+            pass
+
+    def _release_all(self, state: str) -> None:
+        """Degrade: stop accepting, drop the buffer, release waiters
+        (without error — the primary keeps serving un-replicated)."""
+        with self._lock:
+            self._accepting = False
+            self._streaming = False
+            dropped = list(self._buffer)
+            self._buffer.clear()
+            self._pending_records = 0
+            self._pending_bytes = 0
+            self.state = state
+            for ops, _waiter in dropped:
+                self.missed_records += len(ops)
+        for _ops, waiter in dropped:
+            if waiter is not None:
+                waiter.set()
+
+    async def _run(self) -> None:
+        store = self.node.node_store
+        backoff = self.node.heartbeat_interval_s
+        try:
+            while not self._stopped:
+                cluster_map = store.map
+                if (
+                    cluster_map.owner_id(self.shard) != store.node_id
+                    or cluster_map.replica_id(self.shard) != self.target_id
+                ):
+                    return  # reassigned under us; reconcile reaps us
+                try:
+                    await self._session()
+                    return
+                except asyncio.CancelledError:
+                    raise
+                except Exception:
+                    self._release_all("retrying")
+                    delay = backoff * (0.5 + random.random() * 0.5)
+                    backoff = min(
+                        backoff * 2.0, self.node.lease_timeout_s * 2.0
+                    )
+                    await asyncio.sleep(delay)
+        finally:
+            self._release_all("stopped")
+            if not store._closed:
+                try:
+                    store.detach_replication(self.shard)
+                except Exception:
+                    pass
+
+    async def _session(self) -> None:
+        """One seed-then-stream session; raises on any wire failure."""
+        node = self.node
+        store = node.node_store
+        target = store.map.nodes.get(self.target_id)
+        if target is None:
+            raise ConfigError(
+                f"replica node {self.target_id!r} left the map"
+            )
+        self.state = "seeding"
+        peer = await KVClient.connect(
+            target.host,
+            target.port,
+            timeout_s=node.repl_timeout_s,
+            reconnect_retries=0,
+        )
+        try:
+            reply = await peer.command(
+                ["REPL.SYNC", str(self.shard), store.map.to_json()]
+            )
+            peer_map = ClusterMap.from_json(reply[2])
+            if peer_map.epoch > store.map.epoch:
+                # The replica lives in a newer world (e.g. we are a
+                # rejoined primary racing a promotion we have not heard
+                # about): adopt it and re-evaluate responsibility.
+                await node._adopt_remote_map(peer_map)
+                raise ConfigError("map advanced during replica sync")
+            with self._lock:
+                self._accepting = True
+                self._streaming = False
+            await node._run_engine(
+                store.attach_replication, self.shard, self._on_commit
+            )
+            try:
+                # Seed: snapshot chunks interleaved with live-group
+                # drains on this one connection — arrival order is
+                # apply order, and per key the last arrival wins.
+                after: Optional[str] = None
+                while True:
+                    pairs = await node._run_engine(
+                        store.migration_snapshot_chunk,
+                        self.shard,
+                        after,
+                        SNAPSHOT_CHUNK,
+                    )
+                    if pairs:
+                        await self._ship_ops(
+                            peer,
+                            [("put", key, value) for key, value in pairs],
+                            count_groups=False,
+                        )
+                        after = pairs[-1][0]
+                    await self._drain(peer)
+                    if len(pairs) < SNAPSHOT_CHUNK:
+                        break
+                await peer.command(["REPL.SEEDED", str(self.shard)])
+                with self._lock:
+                    self._streaming = True
+                    self.state = "streaming"
+                while not self._stopped:
+                    cluster_map = store.map
+                    if (
+                        cluster_map.owner_id(self.shard) != store.node_id
+                        or cluster_map.replica_id(self.shard)
+                        != self.target_id
+                    ):
+                        return
+                    self._wake.clear()
+                    if await self._drain(peer):
+                        continue
+                    try:
+                        await asyncio.wait_for(
+                            self._wake.wait(),
+                            node.heartbeat_interval_s,
+                        )
+                    except asyncio.TimeoutError:
+                        # Idle keepalive: proves the stream (not just
+                        # the node) is alive, which the peer's
+                        # promotion gate requires.
+                        await peer.command(
+                            ["REPL.SHIP", str(self.shard)]
+                        )
+            finally:
+                with self._lock:
+                    self._accepting = False
+                    self._streaming = False
+                if not store._closed:
+                    try:
+                        await node._run_engine(
+                            store.detach_replication, self.shard
+                        )
+                    except Exception:
+                        pass
+        finally:
+            await peer.close()
+
+    async def _drain(self, peer: KVClient) -> int:
+        """Ship every buffered commit group, in order; returns op count."""
+        total = 0
+        while True:
+            with self._lock:
+                if not self._buffer:
+                    return total
+                ops, waiter = self._buffer[0]
+            try:
+                await self._ship_ops(peer, ops, count_groups=True)
+            finally:
+                # Acked or failed, this group's commit may proceed: a
+                # failure degrades the stream rather than failing the
+                # (already locally durable) write.
+                with self._lock:
+                    if self._buffer and self._buffer[0][0] is ops:
+                        self._buffer.popleft()
+                        self._pending_records -= len(ops)
+                        self._pending_bytes -= _ops_bytes(ops)
+                if waiter is not None:
+                    waiter.set()
+            total += len(ops)
+
+    async def _ship_ops(
+        self, peer: KVClient, ops: List[BatchOp], *, count_groups: bool
+    ) -> None:
+        await peer.command(
+            ["REPL.SHIP", str(self.shard), *encode_batch(ops)[1:]]
+        )
+        with self._lock:
+            if count_groups:
+                self.shipped_groups += 1
+            self.shipped_ops += len(ops)
+
+
+def _ops_bytes(ops: List[BatchOp]) -> int:
+    return sum(
+        len(key) + len(value or "") for _kind, key, value in ops
+    )

@@ -46,6 +46,20 @@ destination seals *before* the source releases; a crash between the two
 leaves both nodes claiming the shard on disk, and the bumped epoch —
 higher wins — arbitrates to exactly one owner, with both claimants
 holding every acknowledged write.
+
+Cross-node replication (PR 9) reuses the same machinery on the standby
+side: a primary seeds a peer's *replica* tree with the snapshot-chunk
+scan (:meth:`NodeStore.replica_sync_begin` / :meth:`replica_apply`),
+then keeps it warm by forwarding every WAL commit group through an
+attached ship hook (:meth:`attach_replication`). Failover is a
+promotion (:meth:`promote_shards`): the replica node persists a
+bumped-epoch map *before* adopting its warm trees as serving — the
+same seal-before-release discipline as migration, with the stale
+primary fenced by its older epoch. A restarted old primary observes
+the newer map (:meth:`adopt_map`) and demotes itself to replica for
+its former shards; :func:`replicate_local` is the in-process twin of
+the wire shipper that the crash-consistency sweep crashes at every
+``repl.node.*`` crossing.
 """
 
 from __future__ import annotations
@@ -59,7 +73,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..api import PartialScanResult, Snapshot, SnapshotLike
 from ..core.config import LSMConfig
-from ..core.entry import Entry, EntryKind
+from ..core.entry import Entry
 from ..core.merge_operator import MergeOperator
 from ..core.stats import TreeStats
 from ..core.tree import LSMTree
@@ -74,6 +88,7 @@ from ..errors import (
     TxnConflictError,
 )
 from ..faults.registry import fault_point
+from ..replication.store import entries_to_batch_ops
 from ..shard.store import HEALTHY, BatchOp, HealthState
 from .map import ClusterMap
 
@@ -107,20 +122,7 @@ class _TailBuffer:
         self.total_ops = 0
 
     def on_commit(self, entries: List[Entry]) -> None:
-        converted: List[BatchOp] = []
-        for entry in entries:
-            if entry.kind is EntryKind.PUT:
-                converted.append(("put", entry.key, entry.value))
-            elif entry.kind in (
-                EntryKind.DELETE,
-                EntryKind.SINGLE_DELETE,
-            ):
-                converted.append(("delete", entry.key, None))
-            else:
-                raise ConfigError(
-                    f"live migration cannot ship {entry.kind.name} "
-                    "entries; migrate shards with put/delete workloads"
-                )
+        converted = entries_to_batch_ops(entries, context="live migration")
         with self._lock:
             self._ops.extend(converted)
             self.total_ops += len(converted)
@@ -206,6 +208,19 @@ class NodeStore:
         self._receiving: Dict[int, LSMTree] = {}
         self._fenced: Set[int] = set()
         self._tails: Dict[int, _TailBuffer] = {}
+        #: Cross-node replication state. ``_replica_trees`` are warm
+        #: standbys of shards *other* nodes own (journaled in the same
+        #: ``shard-NN/`` directory a serving tree would use — a node is
+        #: never primary and replica of the same shard, and promotion
+        #: then needs no data move). ``_replica_fresh`` marks standbys
+        #: that completed a seed *in this process lifetime*: only those
+        #: are promotable, so a stale directory (a crashed replica, or a
+        #: demoted primary awaiting reseed) can never be promoted over
+        #: writes it missed. ``_ship_hooks`` are the primary-side taps
+        #: forwarding commit groups to remote replicas.
+        self._replica_trees: Dict[int, LSMTree] = {}
+        self._replica_fresh: Set[int] = set()
+        self._ship_hooks: Dict[int, Callable[[List[Entry]], None]] = {}
         self._transition_lock = threading.Lock()
         self._health_lock = threading.Lock()
         #: Serializes this node's two-phase-commit coordinator and
@@ -555,6 +570,12 @@ class NodeStore:
             stale = self._receiving.pop(shard, None)
             if stale is not None:
                 stale.kill()
+            standby = self._replica_trees.pop(shard, None)
+            if standby is not None:
+                # The shard is migrating onto its own replica node; the
+                # warm copy is superseded by the full snapshot + tail.
+                standby.kill()
+                self._replica_fresh.discard(shard)
             path = self._shard_dir(shard)
             shutil.rmtree(path, ignore_errors=True)
             os.makedirs(path, exist_ok=True)
@@ -632,6 +653,78 @@ class NodeStore:
             self._write_locks[shard] = threading.Lock()
             self._fenced.discard(shard)
 
+    # -- WAL commit tap (shared by migration tails and replication) -----------
+
+    def _commit_tap(self, shard: int) -> Callable[[List[Entry]], None]:
+        """One dispatcher for the tree's single WAL-hook slot.
+
+        A shard can be tapped by a migration tail and a replication ship
+        hook *at the same time* (a replicated shard migrating off this
+        node keeps its standby warm throughout), so the hook slot holds
+        this dispatcher and the taps live in dicts. The dicts are read
+        on the committing thread under the tree's write mutex; attach
+        and detach mutate them and then re-install the hook, whose
+        setter takes the same mutex — the barrier that orders every
+        in-flight commit against the change.
+        """
+
+        def tap(entries: List[Entry]) -> None:
+            tail = self._tails.get(shard)
+            if tail is not None:
+                tail.on_commit(entries)
+            ship = self._ship_hooks.get(shard)
+            if ship is not None:
+                fault_point(
+                    "repl.node.ship",
+                    scope=f"{self.node_id}/shard-{shard:02d}",
+                )
+                ship(entries)
+
+        return tap
+
+    def _sync_tap(self, shard: int, tree: LSMTree) -> None:
+        """(Re)install or clear the dispatcher; the setter's write-mutex
+        acquisition is the attach/detach barrier."""
+        if shard in self._tails or shard in self._ship_hooks:
+            tree.set_wal_commit_hook(self._commit_tap(shard))
+        else:
+            tree.set_wal_commit_hook(None)
+
+    def attach_replication(
+        self, shard: int, ship: Callable[[List[Entry]], None]
+    ) -> None:
+        """Forward ``shard``'s committed WAL groups to ``ship``.
+
+        ``ship`` fires on the committing thread, under the shard's write
+        mutex, after the group's local WAL sync — with exactly the
+        entries the durability contract acknowledged. A synchronous
+        (blocking) ship therefore gives sync-replication semantics:
+        the client's ack implies the replica saw the group. Every group
+        committed after this returns is forwarded.
+        """
+        self._check_open()
+        with self._transition_lock:
+            if shard in self._ship_hooks:
+                raise ConfigError(
+                    f"shard {shard} already ships replication off "
+                    f"{self.node_id}"
+                )
+            tree = self._owned_tree(shard)
+            self._ship_hooks[shard] = ship
+            self._sync_tap(shard, tree)
+
+    def detach_replication(self, shard: int) -> None:
+        """Stop forwarding ``shard``'s commits. Idempotent; the
+        write-mutex barrier in the hook setter guarantees no ship fires
+        after this returns."""
+        self._check_open()
+        with self._transition_lock:
+            if self._ship_hooks.pop(shard, None) is None:
+                return
+            tree = self.trees.get(shard)
+            if tree is not None:
+                self._sync_tap(shard, tree)
+
     # -- migration primitives: source side ------------------------------------
 
     def migration_attach_tail(self, shard: int) -> _TailBuffer:
@@ -649,8 +742,8 @@ class NodeStore:
                 )
             tree = self._owned_tree(shard)
             tail = _TailBuffer(shard)
-            tree.set_wal_commit_hook(tail.on_commit)
             self._tails[shard] = tail
+            self._sync_tap(shard, tree)
         return tail
 
     def migration_snapshot_chunk(
@@ -687,12 +780,15 @@ class NodeStore:
             self._fenced.add(shard)
 
     def migration_detach_tail(self, shard: int) -> None:
-        """Remove the WAL tap. Taking the write mutex inside
+        """Remove the WAL tail tap (a replication ship hook, if any,
+        stays attached). Taking the write mutex inside
         ``set_wal_commit_hook`` doubles as the drain barrier: when this
         returns, every in-flight commit has already fired the hook."""
         self._check_open()
         tree = self._owned_tree(shard)
-        tree.set_wal_commit_hook(None)
+        with self._transition_lock:
+            self._tails.pop(shard, None)
+            self._sync_tap(shard, tree)
 
     def release_shard(self, shard: int, new_map: ClusterMap) -> None:
         """Persist the flip and stop serving ``shard`` (MOVED hereafter).
@@ -734,21 +830,224 @@ class NodeStore:
             # BUSY, retried) instead of committing to the closed tree;
             # its retry re-routes and gets the MOVED redirect.
             self._tails.pop(shard, None)
+            self._ship_hooks.pop(shard, None)
             tree.close()
 
     def abort_migration(self, shard: int) -> None:
         """Undo source-side migration state after a failed attempt:
-        detach the tail, lift the fence, keep serving."""
+        detach the tail, lift the fence, keep serving (and keep
+        shipping, when the shard is replicated)."""
         with self._transition_lock:
             tree = self.trees.get(shard)
-            if tree is not None and shard in self._tails:
-                tree.set_wal_commit_hook(None)
-            self._tails.pop(shard, None)
+            had_tail = self._tails.pop(shard, None) is not None
+            if tree is not None and had_tail:
+                self._sync_tap(shard, tree)
             self._fenced.discard(shard)
 
     def migrating_shards(self) -> List[int]:
         """Shards with an attached outbound tail (source side)."""
         return sorted(self._tails)
+
+    # -- cross-node replication: standby side ----------------------------------
+
+    def replica_shards(self) -> List[int]:
+        """Shards this node holds a warm standby tree for, ascending."""
+        return sorted(self._replica_trees)
+
+    def replica_sync_begin(
+        self, shard: int, source_map: Optional[ClusterMap] = None
+    ) -> str:
+        """Wipe and reopen ``shard``'s standby tree for (re)seeding.
+
+        Called by the primary's shipper at stream start — always a full
+        reseed, so a standby of unknown freshness (a crashed replica, a
+        demoted primary) converges on the primary's exact state. When
+        the primary's ``source_map`` is newer than ours it is adopted
+        first (:meth:`adopt_map`) — for a rejoining old primary this is
+        precisely the demotion step: the new primary's first ``REPL.SYNC``
+        carries the promotion map. Returns our node id.
+        """
+        self._check_open()
+        if source_map is not None:
+            self.adopt_map(source_map)
+        with self._transition_lock:
+            if self.map.replica_id(shard) != self.node_id:
+                raise ConfigError(
+                    f"map (epoch {self.map.epoch}) does not name "
+                    f"{self.node_id!r} the replica of shard {shard}"
+                )
+            if shard in self.trees:
+                raise ConfigError(
+                    f"node {self.node_id} serves shard {shard} as "
+                    "primary; it cannot also receive its replica stream"
+                )
+            self._replica_fresh.discard(shard)
+            stale = self._replica_trees.pop(shard, None)
+            if stale is not None:
+                stale.kill()
+            path = self._shard_dir(shard)
+            shutil.rmtree(path, ignore_errors=True)
+            os.makedirs(path, exist_ok=True)
+            fault_point(
+                "repl.node.sync",
+                scope=f"{self.node_id}/shard-{shard:02d}",
+            )
+            self._replica_trees[shard] = LSMTree(
+                self._config,
+                wal_dir=path,
+                merge_operator=self._merge_operator,
+            )
+        return self.node_id
+
+    def replica_apply(self, shard: int, ops: Sequence[BatchOp]) -> None:
+        """Apply one shipped batch (seed chunk or live commit group) to
+        the standby tree, journaled as one group so the standby's own
+        recovery preserves its atomicity."""
+        self._check_open()
+        tree = self._replica_trees.get(shard)
+        if tree is None:
+            raise ConfigError(
+                f"node {self.node_id} holds no replica stream for "
+                f"shard {shard}"
+            )
+        if ops:
+            fault_point(
+                "repl.node.apply",
+                scope=f"{self.node_id}/shard-{shard:02d}",
+            )
+            tree.write_batch(list(ops))
+
+    def replica_mark_seeded(self, shard: int) -> None:
+        """Record that ``shard``'s standby caught up with the primary's
+        snapshot: it is promotable from now on. Sent by the primary once
+        the seeding scan completes (``REPL.SEEDED`` on the wire)."""
+        self._check_open()
+        with self._transition_lock:
+            if shard not in self._replica_trees:
+                raise ConfigError(
+                    f"node {self.node_id} holds no replica stream for "
+                    f"shard {shard}"
+                )
+            self._replica_fresh.add(shard)
+
+    def promotable_shards(self) -> List[int]:
+        """Standby shards eligible for promotion: seeded in this process
+        lifetime, so they missed no acknowledged write."""
+        return sorted(self._replica_fresh)
+
+    def promote_shards(
+        self, shards: Sequence[int], new_map: ClusterMap
+    ) -> None:
+        """Adopt warm standby trees as serving under the failover map.
+
+        The promotion's commit point is persisting ``new_map`` (epoch
+        bumped, this node now the primary of ``shards``): the map is
+        saved *before* any tree starts serving — seal-before-release —
+        so after any crash the freshest on-disk epoch names exactly one
+        writable owner per shard, and the dead primary's claim is fenced
+        by its stale epoch. Only fresh standbys
+        (:meth:`promotable_shards`) are accepted: a stale directory
+        might miss acknowledged writes.
+        """
+        self._check_open()
+        if not shards:
+            raise ConfigError("a promotion needs at least one shard")
+        with self._transition_lock:
+            if new_map.epoch <= self.map.epoch:
+                raise ConfigError(
+                    f"promotion map epoch {new_map.epoch} is not newer "
+                    f"than current epoch {self.map.epoch}"
+                )
+            for shard in shards:
+                if new_map.owner_id(shard) != self.node_id:
+                    raise ConfigError(
+                        f"promotion map assigns shard {shard} to "
+                        f"{new_map.owner_id(shard)!r}, not "
+                        f"{self.node_id!r}"
+                    )
+                if shard not in self._replica_trees:
+                    raise ConfigError(
+                        f"node {self.node_id} holds no standby for "
+                        f"shard {shard}"
+                    )
+                if shard not in self._replica_fresh:
+                    raise ConfigError(
+                        f"shard {shard}'s standby on {self.node_id} was "
+                        "never seeded in this process lifetime; "
+                        "refusing to promote a possibly stale copy"
+                    )
+            fault_point("repl.node.promote.seal", scope=self.node_id)
+            new_map.save(self._wal_dir)
+            self.map = new_map
+            for shard in shards:
+                tree = self._replica_trees.pop(shard)
+                self._replica_fresh.discard(shard)
+                self.trees[shard] = tree
+                self._health[shard] = HealthState()
+                self._write_locks[shard] = threading.Lock()
+                self._fenced.discard(shard)
+            fault_point("repl.node.promote.done", scope=self.node_id)
+
+    def adopt_map(self, new_map: ClusterMap) -> bool:
+        """Install a newer map, demoting this node where ownership moved
+        away from it; returns whether anything changed.
+
+        The failover-aware superset of :meth:`install_map`: a shard the
+        new map assigns to another node is *demoted* — our stale tree
+        stops serving (later writes answer MOVED; racing ones are
+        fenced) — which is exactly the safe-rejoin step for a restarted
+        old primary observing the promotion epoch. The stale directory
+        is kept until the new primary's ``REPL.SYNC`` wipes and reseeds
+        it, as the operator's backstop for an async-mode loss window. A
+        map that would *grant* us shards is still rejected: ownership is
+        gained only through a migration seal or a promotion, never a
+        push.
+        """
+        self._check_open()
+        with self._transition_lock:
+            if new_map.epoch <= self.map.epoch:
+                return False
+            if self.node_id not in new_map.nodes:
+                raise ConfigError(
+                    f"pushed map (epoch {new_map.epoch}) drops node "
+                    f"{self.node_id!r} while it is serving"
+                )
+            gained = set(new_map.shards_of(self.node_id)) - set(self.trees)
+            if gained:
+                raise ConfigError(
+                    f"pushed map (epoch {new_map.epoch}) grants "
+                    f"{sorted(gained)} to {self.node_id!r}; ownership "
+                    "is gained by migration or promotion, not a push"
+                )
+            lost = sorted(
+                set(self.trees) - set(new_map.shards_of(self.node_id))
+            )
+            for shard in lost:
+                fault_point(
+                    "repl.node.demote",
+                    scope=f"{self.node_id}/shard-{shard:02d}",
+                )
+            # Persist first (seal-before-release in reverse: the newer
+            # epoch on disk is what durably fences our stale claim),
+            # then stop serving the demoted shards.
+            new_map.save(self._wal_dir)
+            self.map = new_map
+            for shard in lost:
+                tree = self.trees.pop(shard)
+                self._health.pop(shard, None)
+                self._write_locks.pop(shard, None)
+                # Like release_shard: racing writes answer BUSY (fence),
+                # their retry re-routes and gets the MOVED redirect.
+                self._fenced.add(shard)
+                self._tails.pop(shard, None)
+                self._ship_hooks.pop(shard, None)
+                tree.close()
+            # Standbys for shards we no longer replicate are dropped.
+            for shard in list(self._replica_trees):
+                if new_map.replica_id(shard) != self.node_id:
+                    self._replica_fresh.discard(shard)
+                    self._replica_trees.pop(shard).close()
+            return True
 
     # -- map installation -----------------------------------------------------
 
@@ -798,6 +1097,8 @@ class NodeStore:
         failure: Optional[BaseException] = None
         for tree in list(self._receiving.values()):
             tree.kill()  # never served; nothing promised
+        for tree in list(self._replica_trees.values()):
+            tree.kill()  # reseeded from the primary on restart anyway
         for shard, tree in sorted(self.trees.items()):
             try:
                 tree.close()
@@ -817,6 +1118,8 @@ class NodeStore:
             return
         self._closed = True
         for tree in list(self._receiving.values()):
+            tree.kill()
+        for tree in list(self._replica_trees.values()):
             tree.kill()
         for tree in self.trees.values():
             tree.kill()
@@ -949,6 +1252,8 @@ class NodeStore:
             "owned_shards": self.owned_shards(),
             "migrating_shards": self.migrating_shards(),
             "receiving_shards": sorted(self._receiving),
+            "replica_shards": self.replica_shards(),
+            "replica_fresh": self.promotable_shards(),
             "quarantined": quarantined,
             "shards": [
                 {
@@ -1061,3 +1366,59 @@ def migrate_local(
         "tail_ops": tail.total_ops,
         "fence_ms": (time.monotonic() - fence_started) * 1000.0,
     }
+
+
+def replicate_local(
+    source: NodeStore,
+    dest: NodeStore,
+    shard: int,
+    *,
+    chunk: int = SNAPSHOT_CHUNK,
+) -> Callable[[], None]:
+    """Seed and then continuously ship ``shard`` between two in-process
+    NodeStores; the synchronous twin of the wire shipper in
+    :mod:`repro.cluster.node`, crossing the same ``repl.node.*``
+    failpoints so the crash-consistency sweep can break the replication
+    pipeline at every step. Unlike :func:`migrate_local` the stream
+    stays attached after seeding; the returned callable detaches it.
+
+    In-process shipping is synchronous by construction: the ship hook
+    applies each commit group to the standby on the committing thread,
+    so an acknowledged write is always on both copies — the invariant
+    the sweep's failover oracle checks. Callers must not write the
+    shard from *other* threads while the seeding scan runs (the sweep
+    and tests are single-threaded); the wire shipper orders concurrent
+    writers through one buffered stream instead.
+    """
+    dest.replica_sync_begin(shard, source.map)
+    if dest.map.epoch > source.map.epoch:
+        source.install_map(dest.map)
+
+    def ship(entries: List[Entry]) -> None:
+        dest.replica_apply(
+            shard, entries_to_batch_ops(entries, context="replication")
+        )
+
+    source.attach_replication(shard, ship)
+    try:
+        after: Optional[str] = None
+        while True:
+            pairs = source.migration_snapshot_chunk(shard, after, chunk)
+            if pairs:
+                dest.replica_apply(
+                    shard, [("put", key, value) for key, value in pairs]
+                )
+                after = pairs[-1][0]
+            if len(pairs) < chunk:
+                break
+        dest.replica_mark_seeded(shard)
+    except BaseException:
+        if not source._closed:
+            source.detach_replication(shard)
+        raise
+
+    def detach() -> None:
+        if not source._closed:
+            source.detach_replication(shard)
+
+    return detach

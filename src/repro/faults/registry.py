@@ -306,6 +306,51 @@ FAILPOINTS: Dict[str, Failpoint] = {
             "destination sealed, before the source persists the new map "
             "and releases the shard",
         ),
+        Failpoint(
+            "repl.node.ship",
+            "cluster/store.py _commit_tap",
+            "commit group durable on the primary, before shipping it to "
+            "the replica node",
+        ),
+        Failpoint(
+            "repl.node.sync",
+            "cluster/store.py replica_sync_begin",
+            "standby directory wiped for reseeding, before the fresh "
+            "replica tree opens",
+        ),
+        Failpoint(
+            "repl.node.apply",
+            "cluster/store.py replica_apply",
+            "shipped batch received on the replica node, before its "
+            "replica-WAL append",
+        ),
+        Failpoint(
+            "repl.node.heartbeat",
+            "cluster/node.py _heartbeat_loop",
+            "before one outbound peer heartbeat round",
+        ),
+        Failpoint(
+            "repl.node.promote.start",
+            "cluster/node.py _promote_from",
+            "peer lease expired, before the failover map is built",
+        ),
+        Failpoint(
+            "repl.node.promote.seal",
+            "cluster/store.py promote_shards",
+            "failover decided, before the bumped-epoch map is persisted "
+            "— the promotion commit point",
+        ),
+        Failpoint(
+            "repl.node.promote.done",
+            "cluster/store.py promote_shards",
+            "failover map durable, standby trees adopted as serving",
+        ),
+        Failpoint(
+            "repl.node.demote",
+            "cluster/store.py adopt_map",
+            "newer map observed, before this node stops serving a shard "
+            "it lost",
+        ),
     )
 }
 

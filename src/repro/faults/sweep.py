@@ -40,7 +40,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-from ..cluster import ClusterMap, NodeInfo, NodeStore, migrate_local
+from ..cluster import (
+    ClusterMap,
+    NodeInfo,
+    NodeStore,
+    migrate_local,
+    replicate_local,
+)
 from ..core.config import LSMConfig
 from ..core.sstable import reset_table_ids
 from ..core.tree import LSMTree
@@ -55,7 +61,14 @@ from ..errors import (
 from ..replication import ReplicatedStore
 from ..shard.store import ShardedStore, hash_shard_index
 from ..storage import persistence
-from .registry import FAILPOINTS, TEARABLE, FaultPlan, InjectedCrash, fault_plan
+from .registry import (
+    FAILPOINTS,
+    TEARABLE,
+    FaultPlan,
+    InjectedCrash,
+    fault_plan,
+    fault_point,
+)
 
 #: ("put", key, value) | ("delete", key, None) | ("batch", ops) |
 #: ("checkpoint", None, None)
@@ -111,7 +124,8 @@ def _effects(op: _Op) -> List[Tuple[str, Optional[str]]]:
         # the routed read returns the stale value and the acked check
         # flags it.
         return []
-    return []  # checkpoint/promote: no logical key effect
+    # checkpoint/promote/replicate/failover/rejoin: no logical key effect
+    return []
 
 
 def check_invariants(
@@ -667,6 +681,212 @@ class ClusterScenario:
         return hash_shard_index(key, self.num_shards)
 
 
+class FailoverScenario:
+    """Two replicated cluster nodes, one fenced failover, one rejoin.
+
+    The replication crossings this enumerates: the replica seeding of
+    node ``a``'s shards onto node ``b`` (``repl.node.sync`` /
+    ``repl.node.apply``), live commit groups riding the ship hook
+    (``repl.node.ship``), the detection-and-promotion path after ``a``
+    dies (``repl.node.heartbeat``, ``repl.node.promote.start``, the
+    ``repl.node.promote.seal`` map save that *is* the failover commit
+    point, ``repl.node.promote.done``), and the restarted old primary's
+    demotion (``repl.node.demote``) plus its re-seed as a replica.
+
+    Recovery models operators restarting every node from disk; reads
+    route by the freshest persisted map. The oracle is the failover
+    contract: a crash anywhere — mid-seed, mid-ship, mid-promotion,
+    mid-demotion — must leave every acked write readable through that
+    routing (in-process shipping is synchronous, so an acked write is
+    always on whichever side the epoch rule elects), and a write through
+    the demoted old primary must be refused with
+    :class:`~repro.errors.ShardMovedError` — never two writable owners.
+    """
+
+    name = "failover"
+    num_shards = 4
+    node_ids = ("a", "b")
+
+    def config(self) -> LSMConfig:
+        return LSMConfig()  # 64 KiB buffers: nothing flushes mid-workload
+
+    def _keys_for_shard(self, shard: int, count: int) -> List[str]:
+        keys: List[str] = []
+        index = 0
+        while len(keys) < count:
+            key = f"fk{index:03d}"
+            if hash_shard_index(key, self.num_shards) == shard:
+                keys.append(key)
+            index += 1
+        return keys
+
+    def script(self) -> List[_Op]:
+        s0 = self._keys_for_shard(0, 5)
+        s1 = self._keys_for_shard(1, 2)
+        s2 = self._keys_for_shard(2, 3)
+        ops: List[_Op] = []
+        # Phase 1: seed every shard before any replication exists, so
+        # the snapshot pass has history to carry.
+        for i, key in enumerate(s0[:3]):
+            ops.append(("put", key, f"fv1-{i}"))
+        ops.append(("put", s1[0], "fv1-s1"))
+        ops.append(
+            (
+                "batch",
+                [("put", s2[0], "fv1-s2"), ("put", s2[1], "fv1-s2b")],
+            )
+        )
+        # Phase 2: seed warm replicas of node a's shards onto node b,
+        # then traffic that rides the live ship hook — an overwrite, a
+        # delete (resurrection trap for the promoted copy), and a
+        # cross-shard batch.
+        ops.append(("replicate", 0, None))
+        ops.append(("replicate", 2, None))
+        ops.append(("put", s0[0], "fv2-shipped"))
+        ops.append(("delete", s0[1], None))
+        ops.append(
+            (
+                "batch",
+                [
+                    ("put", s0[3], "fv2-batch"),
+                    ("put", s2[2], "fv2-batch-s2"),
+                    ("delete", s2[0], None),
+                ],
+            )
+        )
+        # Phase 3: node a dies; node b detects the silence and promotes
+        # its fresh standbys behind an epoch bump (the fenced failover).
+        ops.append(("failover", ("a", "b"), (0, 2)))
+        # Phase 4: the cluster serves on — writes to the failed-over
+        # shards land on the promoted replica.
+        ops.append(("put", s0[2], "fv3-post-failover"))
+        ops.append(("put", s1[1], "fv3-s1"))
+        ops.append(("delete", s2[1], None))
+        # Phase 5: the old primary restarts, observes the newer epoch,
+        # demotes itself, and re-seeds as a replica of its old shards.
+        ops.append(("rejoin", "a", (0, 2)))
+        # A write through the demoted node must be refused (MOVED) —
+        # the exactly-one-writable-owner oracle.
+        ops.append(("stale", s0[0], "stale-after-demote"))
+        # Phase 6: post-rejoin traffic ships the other way (b → a).
+        ops.append(("put", s0[0], "fv4-final"))
+        ops.append(("put", s0[4], "fv4-fresh"))
+        return ops
+
+    def open(self, root: str) -> _ClusterCtx:
+        base = os.path.join(root, "failover")
+        nodes = [
+            NodeInfo("a", "127.0.0.1", 7411),
+            NodeInfo("b", "127.0.0.1", 7412),
+        ]
+        cluster_map = ClusterMap.even(
+            self.num_shards, nodes, replicated=True
+        )
+        config = self.config()
+        stores: Dict[str, NodeStore] = {}
+        try:
+            for node_id in self.node_ids:
+                stores[node_id] = NodeStore(
+                    node_id,
+                    cluster_map,
+                    config,
+                    wal_dir=os.path.join(base, node_id),
+                )
+        except BaseException:
+            for store in stores.values():
+                store.kill()
+            raise
+        return _ClusterCtx(stores)
+
+    def apply(self, ctx: _ClusterCtx, op: _Op, root: str) -> None:
+        kind = op[0]
+        if kind == "put":
+            ctx.route(op[1]).put(op[1], op[2])
+        elif kind == "delete":
+            ctx.route(op[1]).delete(op[1])
+        elif kind == "batch":
+            by_store: Dict[str, List[Tuple]] = {}
+            for sub in op[1]:
+                cluster_map = ctx.map
+                owner = cluster_map.owner_id(
+                    cluster_map.shard_index(sub[1])
+                )
+                by_store.setdefault(owner, []).append(sub)
+            for owner in sorted(by_store):
+                ctx.stores[owner].write_batch(by_store[owner])
+        elif kind == "replicate":
+            shard = op[1]
+            source = ctx.owner_store(shard)
+            dest = ctx.stores[ctx.map.replica_id(shard)]
+            replicate_local(source, dest, shard, chunk=4)
+        elif kind == "failover":
+            dead_id, survivor_id = op[1]
+            shards = list(op[2])
+            ctx.stores[dead_id].kill()
+            survivor = ctx.stores[survivor_id]
+            # The wire heartbeat loop doesn't run in-process; cross its
+            # failpoints here so the sweep crashes the survivor at the
+            # same protocol states the live node passes through between
+            # lease expiry and promotion.
+            fault_point("repl.node.heartbeat", scope=survivor_id)
+            fault_point("repl.node.promote.start", scope=survivor_id)
+            new_map = survivor.map.with_failover(shards, survivor_id)
+            survivor.promote_shards(shards, new_map)
+        elif kind == "rejoin":
+            node_id = op[1]
+            shards = list(op[2])
+            base = os.path.join(root, "failover")
+            rejoined = NodeStore.recover(
+                node_id, self.config(), os.path.join(base, node_id)
+            )
+            # Insert before adopt/reseed so a crash inside either still
+            # gets the store killed with the rest of the ctx.
+            ctx.stores[node_id] = rejoined
+            rejoined.adopt_map(ctx.map)
+            for shard in shards:
+                replicate_local(
+                    ctx.owner_store(shard), rejoined, shard, chunk=4
+                )
+        elif kind == "stale":
+            key, value = op[1], op[2]
+            stale_owner = ctx.other_store(ctx.map.shard_index(key))
+            try:
+                stale_owner.put(key, value)
+            except ShardMovedError:
+                pass  # the only correct answer
+            else:
+                raise RuntimeError(
+                    f"dual ownership: stale write of {key!r} accepted by "
+                    f"node {stale_owner.node_id!r} after the failover"
+                )
+        else:  # pragma: no cover - script bug
+            raise ValueError(f"unknown op {kind!r}")
+
+    def kill(self, ctx: _ClusterCtx) -> None:
+        ctx.kill()
+
+    def close(self, ctx: _ClusterCtx) -> None:
+        ctx.close()
+
+    def recover(self, root: str) -> _ClusterCtx:
+        base = os.path.join(root, "failover")
+        config = self.config()
+        stores: Dict[str, NodeStore] = {}
+        try:
+            for node_id in self.node_ids:
+                stores[node_id] = NodeStore.recover(
+                    node_id, config, os.path.join(base, node_id)
+                )
+        except BaseException:
+            for store in stores.values():
+                store.kill()
+            raise
+        return _ClusterCtx(stores)
+
+    def unit_of(self, key: str) -> object:
+        return hash_shard_index(key, self.num_shards)
+
+
 # ---------------------------------------------------------------------------
 # orchestration
 # ---------------------------------------------------------------------------
@@ -935,15 +1155,16 @@ def _sample(
     items: List[str],
     count: int,
     rng: random.Random,
-    always: str = "txn.",
+    always: Tuple[str, ...] = ("txn.", "repl.node."),
 ) -> List[str]:
     """Seeded sample of ``count`` crossings, plus every ``always`` match.
 
-    Quick mode must never skip the two-phase-commit crossings — they
-    are few, and each one is a distinct protocol state (mid-prepare,
-    torn decision, mid-apply) whose recovery path deserves a run on
-    every CI pass — so crossings whose failpoint name starts with
-    ``always`` ride along on top of the random sample.
+    Quick mode must never skip the two-phase-commit or failover
+    crossings — they are few, and each one is a distinct protocol state
+    (mid-prepare, torn decision, mid-seed, the promotion seal, the
+    demotion) whose recovery path deserves a run on every CI pass — so
+    crossings whose failpoint name starts with one of the ``always``
+    prefixes ride along on top of the random sample.
     """
     if count >= len(items):
         return list(items)
@@ -970,6 +1191,7 @@ def run_sweep(quick: bool = False, seed: int = 7) -> SweepReport:
         ShardedScenario(),
         ReplicatedScenario(),
         ClusterScenario(),
+        FailoverScenario(),
     ]
     for scenario in scenarios:
         crossings = _enumerate(scenario, seed)

@@ -70,7 +70,7 @@ from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Sequence, TypeVar
 
 from ..core.config import LSMConfig
-from ..core.entry import Entry
+from ..core.entry import Entry, EntryKind
 from ..core.merge_operator import MergeOperator
 from ..core.tree import LSMTree
 from ..core.wal import TXN_COMMIT, TXN_LOG_NAME, TxnDecisionLog
@@ -81,7 +81,7 @@ from ..errors import (
     ShardUnavailableError,
 )
 from ..faults.registry import fault_point
-from ..shard.store import HEALTHY, MANIFEST_NAME, ShardedStore
+from ..shard.store import HEALTHY, MANIFEST_NAME, BatchOp, ShardedStore
 
 _T = TypeVar("_T")
 
@@ -96,6 +96,31 @@ REPLICA_DIR = "replica"
 #: Per-shard replication states beyond the configured mode.
 PROMOTED = "promoted"
 REPLICA_LOST = "replica-lost"
+
+
+def entries_to_batch_ops(
+    entries: Sequence[Entry], *, context: str = "replication"
+) -> List[BatchOp]:
+    """Convert committed WAL entries into wire-shippable batch ops.
+
+    The lingua franca between a WAL commit hook and any remote applier
+    (a cluster replica or a migration destination): put/delete survive
+    the translation losslessly, while merge and range-delete entries are
+    refused — shipping a merge operand without its base (or a range
+    tombstone as point ops) would change its meaning on the other side.
+    """
+    converted: List[BatchOp] = []
+    for entry in entries:
+        if entry.kind is EntryKind.PUT:
+            converted.append(("put", entry.key, entry.value))
+        elif entry.kind in (EntryKind.DELETE, EntryKind.SINGLE_DELETE):
+            converted.append(("delete", entry.key, None))
+        else:
+            raise ConfigError(
+                f"{context} cannot ship {entry.kind.name} entries; "
+                "use put/delete workloads on shipped shards"
+            )
+    return converted
 
 
 class _Group:

@@ -28,6 +28,8 @@ Requests::
     MULTI (PUT k v | DELETE k)...               -- v2: atomic batch
     CLUSTER | MIGRATE shard node_id
     MIG.BEGIN shard | MIG.APPLY shard (PUT k v | DELETE k)... | MIG.SEAL map
+    REPL.SYNC shard map | REPL.SHIP shard (PUT k v | DELETE k)...
+    REPL.SEEDED shard | REPL.PING node_id epoch
 
 ``SCAN``'s optional fourth field is a non-negative decimal integer capping
 the number of returned pairs; the two-field form is unchanged and means
@@ -54,11 +56,16 @@ sends ``HELLO`` sees a byte-identical protocol.
   replies ``OK <n>``. (``BATCH`` keeps its historical per-routing
   semantics on the group-commit fast path.)
 
-The last two request lines exist only on cluster nodes
+The last four request lines exist only on cluster nodes
 (:mod:`repro.cluster`): ``CLUSTER`` fetches the node's cluster map,
-``MIGRATE`` asks the owning node to migrate one shard to a peer, and the
+``MIGRATE`` asks the owning node to migrate one shard to a peer, the
 ``MIG.*`` verbs are the node-to-node migration stream (begin a receiving
-shard, apply a shipped batch, seal ownership under a bumped-epoch map).
+shard, apply a shipped batch, seal ownership under a bumped-epoch map),
+and the ``REPL.*`` verbs are the node-to-node replication stream
+(``REPL.SYNC`` wipes and reopens a standby for reseeding under the
+shipped map, ``REPL.SHIP`` applies one seed chunk or live commit group,
+``REPL.SEEDED`` marks the standby promotable, ``REPL.PING`` is the peer
+heartbeat carrying the sender's map epoch).
 
 Replies::
 
@@ -102,11 +109,12 @@ from ..errors import ReproError
 MAX_FRAME_BYTES = 4 * 1024 * 1024
 
 #: Request verbs the server dispatches (``CLUSTER``/``MIGRATE``/``MIG.*``
-#: only on cluster nodes).
+#: /``REPL.*`` only on cluster nodes).
 REQUEST_VERBS = (
     "PING", "GET", "PUT", "DELETE", "SCAN", "BATCH", "INFO", "HEALTH",
     "HELLO", "SNAP", "SNAP.END", "MULTI",
     "CLUSTER", "MIGRATE", "MIG.BEGIN", "MIG.APPLY", "MIG.SEAL",
+    "REPL.SYNC", "REPL.SHIP", "REPL.SEEDED", "REPL.PING",
 )
 
 #: Highest protocol version this codebase speaks (see the module

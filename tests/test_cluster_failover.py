@@ -1,0 +1,541 @@
+"""Tests for cross-node replication, failure detection, and failover.
+
+Local tests drive the :class:`NodeStore` replication primitives and
+:func:`replicate_local` directly; wire tests follow the cluster-suite
+conventions (``asyncio.run`` inside synchronous tests, port-0 bootstrap
+with a successor map once the servers are listening) and use short
+heartbeat intervals / lease timeouts so detection-and-promotion finishes
+in test time.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import List, Sequence, Tuple
+
+import pytest
+
+from repro.cluster import (
+    ClusterClient,
+    ClusterMap,
+    ClusterNode,
+    NodeInfo,
+    NodeStore,
+    replicate_local,
+)
+from repro.core.config import LSMConfig
+from repro.errors import ConfigError, ShardMovedError
+from repro.server.client import KVClient, MovedError
+from repro.shard.store import hash_shard_index
+
+NUM_SHARDS = 4
+
+
+def _nodes(*specs: Tuple[str, int]) -> List[NodeInfo]:
+    return [NodeInfo(node_id, "127.0.0.1", port) for node_id, port in specs]
+
+
+def _keys_for_shard(
+    shard: int, count: int, num_shards: int = NUM_SHARDS, prefix: str = "fk"
+) -> List[str]:
+    keys = []
+    index = 0
+    while len(keys) < count:
+        key = f"{prefix}{index:04d}"
+        if hash_shard_index(key, num_shards) == shard:
+            keys.append(key)
+        index += 1
+    return keys
+
+
+def _replicated_stores(tmp_path):
+    """Two NodeStores sharing a replicated even map (a: 0,2 / b: 1,3)."""
+    cluster_map = ClusterMap.even(
+        NUM_SHARDS, _nodes(("a", 7411), ("b", 7412)), replicated=True
+    )
+    stores = {
+        node_id: NodeStore(
+            node_id,
+            cluster_map,
+            LSMConfig(),
+            wal_dir=str(tmp_path / node_id),
+        )
+        for node_id in ("a", "b")
+    }
+    return cluster_map, stores
+
+
+# ---------------------------------------------------------------------------
+# ClusterMap replica placement
+# ---------------------------------------------------------------------------
+
+
+class TestReplicaMap:
+    def test_even_replicated_places_replica_on_next_node(self):
+        cluster_map = ClusterMap.even(
+            NUM_SHARDS, _nodes(("a", 1), ("b", 2)), replicated=True
+        )
+        assert cluster_map.replicas_of("a") == [1, 3]
+        assert cluster_map.replicas_of("b") == [0, 2]
+        for shard in range(NUM_SHARDS):
+            assert cluster_map.replica_id(shard) != cluster_map.owner_id(
+                shard
+            )
+
+    def test_even_replicated_needs_two_nodes(self):
+        with pytest.raises(ConfigError):
+            ClusterMap.even(NUM_SHARDS, _nodes(("a", 1)), replicated=True)
+
+    def test_replicas_survive_json_roundtrip(self):
+        cluster_map = ClusterMap.even(
+            NUM_SHARDS, _nodes(("a", 1), ("b", 2)), replicated=True
+        )
+        restored = ClusterMap.from_json(cluster_map.to_json())
+        assert restored.replicas == cluster_map.replicas
+        # Maps written before replication existed load replica-free.
+        payload = cluster_map.to_dict()
+        del payload["replicas"]
+        legacy = ClusterMap.from_dict(payload)
+        assert legacy.replica_id(0) is None
+
+    def test_with_failover_swaps_roles_and_bumps_epoch(self):
+        cluster_map = ClusterMap.even(
+            NUM_SHARDS, _nodes(("a", 1), ("b", 2)), replicated=True
+        )
+        flipped = cluster_map.with_failover([0, 2], "b")
+        assert flipped.epoch == cluster_map.epoch + 1
+        assert flipped.owner_id(0) == "b"
+        assert flipped.owner_id(2) == "b"
+        # the dead primary becomes the (stale) replica, ready for rejoin
+        assert flipped.replica_id(0) == "a"
+        assert flipped.replica_id(2) == "a"
+        # untouched shards keep their assignment
+        assert flipped.owner_id(1) == "b"
+        assert flipped.replica_id(1) == "a"
+
+    def test_with_failover_rejects_non_replica(self):
+        cluster_map = ClusterMap.even(
+            NUM_SHARDS, _nodes(("a", 1), ("b", 2)), replicated=True
+        )
+        with pytest.raises(ConfigError):
+            cluster_map.with_failover([1], "b")  # b is 1's owner already
+        unreplicated = ClusterMap.even(
+            NUM_SHARDS, _nodes(("a", 1), ("b", 2))
+        )
+        with pytest.raises(ConfigError):
+            unreplicated.with_failover([0], "b")
+
+
+# ---------------------------------------------------------------------------
+# NodeStore replication primitives (in-process)
+# ---------------------------------------------------------------------------
+
+
+class TestNodeStoreReplication:
+    def test_replicate_ship_and_promote(self, tmp_path):
+        cluster_map, stores = _replicated_stores(tmp_path)
+        a, b = stores["a"], stores["b"]
+        try:
+            s0 = _keys_for_shard(0, 4)
+            a.put(s0[0], "seed-0")
+            a.put(s0[1], "seed-1")
+            replicate_local(a, b, 0)
+            assert b.replica_shards() == [0]
+            assert b.promotable_shards() == [0]
+            # live traffic rides the ship hook: overwrite, fresh, delete
+            a.put(s0[0], "shipped")
+            a.put(s0[2], "fresh")
+            a.delete(s0[1])
+            a.kill()
+            flipped = b.map.with_failover([0], "b")
+            b.promote_shards([0], flipped)
+            assert b.map.epoch == cluster_map.epoch + 1
+            assert 0 in b.owned_shards()
+            assert b.get(s0[0]) == "shipped"
+            assert b.get(s0[2]) == "fresh"
+            assert b.get(s0[1]) is None  # the shipped delete held
+        finally:
+            a.kill()
+            b.kill()
+
+    def test_promote_requires_fresh_replica(self, tmp_path):
+        _, stores = _replicated_stores(tmp_path)
+        a, b = stores["a"], stores["b"]
+        try:
+            flipped = b.map.with_failover([0], "b")
+            with pytest.raises(ConfigError):
+                b.promote_shards([0], flipped)  # never seeded
+        finally:
+            a.kill()
+            b.kill()
+
+    def test_adopt_map_demotes_and_fences_old_primary(self, tmp_path):
+        _, stores = _replicated_stores(tmp_path)
+        a, b = stores["a"], stores["b"]
+        try:
+            s0 = _keys_for_shard(0, 1)
+            a.put(s0[0], "v1")
+            replicate_local(a, b, 0)
+            flipped = b.map.with_failover([0], "b")
+            b.promote_shards([0], flipped)
+            # the old primary learns the newer map and demotes itself
+            assert a.adopt_map(b.map) is True
+            assert a.map.epoch == b.map.epoch
+            assert 0 not in a.owned_shards()
+            with pytest.raises(ShardMovedError):
+                a.put(s0[0], "stale-write")
+            # re-adopting the same epoch is a no-op
+            assert a.adopt_map(b.map) is False
+        finally:
+            a.kill()
+            b.kill()
+
+    def test_rejoin_reseeds_and_fails_back(self, tmp_path):
+        """Round trip: a dies, b promotes, a rejoins as replica, then a
+        second failover moves the shard home again."""
+        _, stores = _replicated_stores(tmp_path)
+        a, b = stores["a"], stores["b"]
+        s0 = _keys_for_shard(0, 3)
+        try:
+            a.put(s0[0], "v1")
+            replicate_local(a, b, 0)
+            a.put(s0[1], "v2")
+            a.kill()
+            b.promote_shards([0], b.map.with_failover([0], "b"))
+            b.put(s0[2], "post-failover")
+            # rejoin: recover from disk, observe the newer epoch, demote
+            a = NodeStore.recover("a", LSMConfig(), str(tmp_path / "a"))
+            assert a.map.epoch < b.map.epoch  # stale map from before
+            assert a.adopt_map(b.map) is True
+            # a restart wipes seeding freshness: not promotable yet
+            assert a.promotable_shards() == []
+            replicate_local(b, a, 0)
+            assert a.promotable_shards() == [0]
+            # fail back: b "dies", a promotes the shard home
+            b.kill()
+            a.promote_shards([0], a.map.with_failover([0], "a"))
+            assert a.get(s0[0]) == "v1"
+            assert a.get(s0[1]) == "v2"
+            assert a.get(s0[2]) == "post-failover"
+        finally:
+            a.kill()
+            b.kill()
+
+    def test_health_reports_replica_state(self, tmp_path):
+        _, stores = _replicated_stores(tmp_path)
+        a, b = stores["a"], stores["b"]
+        try:
+            a.put(_keys_for_shard(0, 1)[0], "v")
+            replicate_local(a, b, 0)
+            health = b.check_health()
+            assert health["replica_shards"] == [0]
+            assert health["replica_fresh"] == [0]
+        finally:
+            a.kill()
+            b.kill()
+
+
+# ---------------------------------------------------------------------------
+# wire: heartbeats, automatic promotion, rejoin
+# ---------------------------------------------------------------------------
+
+
+async def _start_replicated_cluster(
+    tmp_path,
+    *,
+    heartbeat_interval_s: float = 0.1,
+    lease_timeout_s: float = 0.6,
+    node_ids: Sequence[str] = ("a", "b"),
+):
+    """Port-0 bootstrap, then a replicated successor map at epoch 1.
+
+    Waits until every node has seeded the warm standbys its map asks of
+    it, so tests start from a promotable cluster.
+    """
+    boot = ClusterMap.even(
+        NUM_SHARDS,
+        [NodeInfo(node_id, "127.0.0.1", 0) for node_id in node_ids],
+    )
+    stores = [
+        NodeStore(
+            node_id, boot, LSMConfig(), wal_dir=str(tmp_path / node_id)
+        )
+        for node_id in node_ids
+    ]
+    servers = [
+        ClusterNode(
+            store,
+            host="127.0.0.1",
+            port=0,
+            heartbeat_interval_s=heartbeat_interval_s,
+            lease_timeout_s=lease_timeout_s,
+        )
+        for store in stores
+    ]
+    for server in servers:
+        await server.start()
+    live = ClusterMap.even(
+        NUM_SHARDS,
+        [
+            NodeInfo(node_id, "127.0.0.1", server.port)
+            for node_id, server in zip(node_ids, servers)
+        ],
+        epoch=1,
+        replicated=True,
+    )
+    for store in stores:
+        store.install_map(live)
+    for server in servers:
+        server._reconcile_replication()
+    for store in stores:
+        await _wait_until(
+            lambda store=store: store.promotable_shards()
+            == live.replicas_of(store.node_id),
+            f"node {store.node_id} never finished seeding its standbys",
+        )
+    return servers, stores, live
+
+
+async def _stop_all(servers) -> None:
+    for server in servers:
+        try:
+            await server.stop()
+        except Exception:
+            pass
+
+
+async def _wait_until(condition, message: str, deadline_s: float = 10.0):
+    start = time.monotonic()
+    while not condition():
+        if time.monotonic() - start > deadline_s:
+            raise AssertionError(message)
+        await asyncio.sleep(0.02)
+
+
+class TestWireFailover:
+    def test_auto_failover_keeps_dead_nodes_shards_writable(self, tmp_path):
+        async def scenario():
+            servers, stores, live = await _start_replicated_cluster(tmp_path)
+            try:
+                client = await ClusterClient.connect(
+                    "127.0.0.1", servers[1].port, failover_grace_s=8.0
+                )
+                async with client:
+                    keys = {
+                        shard: _keys_for_shard(shard, 2)
+                        for shard in range(NUM_SHARDS)
+                    }
+                    for shard, shard_keys in keys.items():
+                        await client.put(shard_keys[0], f"pre-{shard}")
+                    # node a dies without ceremony
+                    await servers[0].stop()
+                    stores[0].kill()
+                    killed = time.monotonic()
+                    # every shard stays writable: a's shards ride the
+                    # failover retry onto b's promoted standbys
+                    for shard, shard_keys in keys.items():
+                        await client.put(shard_keys[1], f"post-{shard}")
+                    promoted = time.monotonic() - killed
+                    assert stores[1].map.epoch == live.epoch + 1
+                    assert sorted(stores[1].owned_shards()) == [0, 1, 2, 3]
+                    assert servers[1].promotions
+                    assert servers[1].promotions[0]["from"] == "a"
+                    # pre-failover writes survived via the shipped copy
+                    for shard, shard_keys in keys.items():
+                        assert await client.get(shard_keys[0]) == (
+                            f"pre-{shard}"
+                        )
+                        assert await client.get(shard_keys[1]) == (
+                            f"post-{shard}"
+                        )
+                    assert client.failover_retries >= 1
+                    # generous wire-test bound; the bench asserts the
+                    # 2-lease-interval target properly
+                    assert promoted < 8.0
+            finally:
+                await _stop_all(servers)
+
+        asyncio.run(scenario())
+
+    def test_round_trip_rejoin_and_fail_back(self, tmp_path):
+        async def scenario():
+            servers, stores, live = await _start_replicated_cluster(tmp_path)
+            try:
+                s0 = _keys_for_shard(0, 3)
+                port_a = servers[0].port
+                # write through the wire: the engine op runs on the
+                # executor, so the loop stays free to ship the commit
+                # group to the replica synchronously
+                raw_a = await KVClient.connect("127.0.0.1", port_a)
+                try:
+                    await raw_a.put(s0[0], "v1")
+                finally:
+                    await raw_a.close()
+                # --- failover 1: a dies, b promotes its shards ---------
+                await servers[0].stop()
+                stores[0].kill()
+                await _wait_until(
+                    lambda: sorted(stores[1].owned_shards()) == [0, 1, 2, 3],
+                    "b never promoted a's shards",
+                )
+                raw_b = await KVClient.connect("127.0.0.1", servers[1].port)
+                try:
+                    await raw_b.put(s0[1], "v2-on-b")
+                finally:
+                    await raw_b.close()
+                # --- rejoin: old primary restarts on its old address ---
+                rejoined = NodeStore.recover(
+                    "a", LSMConfig(), str(tmp_path / "a")
+                )
+                server_a2 = ClusterNode(
+                    rejoined,
+                    host="127.0.0.1",
+                    port=port_a,
+                    heartbeat_interval_s=0.1,
+                    lease_timeout_s=0.6,
+                )
+                await server_a2.start()
+                servers.append(server_a2)
+                # heartbeat gossip teaches a the newer epoch; b's
+                # shippers reseed it as a warm replica of its old shards
+                await _wait_until(
+                    lambda: rejoined.map.epoch == stores[1].map.epoch
+                    and rejoined.owned_shards() == [],
+                    "rejoined node never demoted to the newer map",
+                )
+                # b replicates *all* its shards (now all four) onto a,
+                # so the reseed leaves a warm for everything
+                await _wait_until(
+                    lambda: rejoined.promotable_shards() == [0, 1, 2, 3],
+                    "rejoined node never re-seeded as a replica",
+                )
+                # a write through the demoted node is refused (MOVED)
+                raw = await KVClient.connect("127.0.0.1", port_a)
+                try:
+                    with pytest.raises(MovedError):
+                        await raw.put(s0[0], "stale-write")
+                finally:
+                    await raw.close()
+                # --- failover 2: b dies, a takes everything back -------
+                await servers[1].stop()
+                stores[1].kill()
+                await _wait_until(
+                    lambda: sorted(rejoined.owned_shards()) == [0, 1, 2, 3],
+                    "a never promoted b's shards after the second kill",
+                )
+                assert rejoined.get(s0[0]) == "v1"
+                assert rejoined.get(s0[1]) == "v2-on-b"
+                rejoined.put(s0[2], "v3-home-again")
+                assert rejoined.get(s0[2]) == "v3-home-again"
+            finally:
+                await _stop_all(servers)
+
+        asyncio.run(scenario())
+
+    def test_health_exposes_peers_and_replication_lag(self, tmp_path):
+        async def scenario():
+            servers, stores, live = await _start_replicated_cluster(tmp_path)
+            try:
+                await _wait_until(
+                    lambda: "a" in servers[1].health().get("peers", {}),
+                    "b never heard a heartbeat from a",
+                )
+                health = servers[1].health()
+                assert health["peers"]["a"] >= 0.0
+                replication = health["replication"]
+                assert sorted(replication) == ["1", "3"]
+                for summary in replication.values():
+                    assert summary["target"] == "a"
+                    assert summary["state"] == "streaming"
+                    assert summary["lag_records"] == 0
+            finally:
+                await _stop_all(servers)
+
+        asyncio.run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# client robustness satellites
+# ---------------------------------------------------------------------------
+
+
+class TestClientRobustness:
+    def test_circuit_breaker_fast_fails_repeat_connects(self, tmp_path):
+        async def scenario():
+            # unreplicated map: owner loss surfaces as ConnectionError
+            boot = ClusterMap.even(NUM_SHARDS, _nodes(("a", 0), ("b", 0)))
+            stores = [
+                NodeStore(
+                    node_id,
+                    boot,
+                    LSMConfig(),
+                    wal_dir=str(tmp_path / node_id),
+                )
+                for node_id in ("a", "b")
+            ]
+            servers = [
+                ClusterNode(store, host="127.0.0.1", port=0)
+                for store in stores
+            ]
+            for server in servers:
+                await server.start()
+            live = ClusterMap.even(
+                NUM_SHARDS,
+                [
+                    NodeInfo(node_id, "127.0.0.1", server.port)
+                    for node_id, server in zip(("a", "b"), servers)
+                ],
+                epoch=1,
+            )
+            for store in stores:
+                store.install_map(live)
+            try:
+                client = await ClusterClient.connect(
+                    "127.0.0.1",
+                    servers[0].port,
+                    breaker_backoff_s=30.0,  # stays open for the test
+                )
+                async with client:
+                    key_b = _keys_for_shard(
+                        live.shards_of("b")[0], 1
+                    )[0]
+                    await client.put(key_b, "v")
+                    await servers[1].stop()  # node b dies, no replica
+                    stores[1].kill()
+                    # evict the pooled connection; the next op must
+                    # attempt a fresh connect, fail, and trip the breaker
+                    await client._discard_client(
+                        "127.0.0.1", servers[1].port
+                    )
+                    with pytest.raises((ConnectionError, OSError)):
+                        await client.put(key_b, "v2")
+                    start = time.monotonic()
+                    with pytest.raises((ConnectionError, OSError)):
+                        await client.put(key_b, "v3")
+                    assert time.monotonic() - start < 0.5
+                    assert client.breaker_rejections >= 1
+            finally:
+                await _stop_all(servers)
+
+        asyncio.run(scenario())
+
+    def test_map_fetch_timeout_is_bounded(self):
+        async def scenario():
+            async def silent(reader, writer):
+                await reader.read()  # never answer
+
+            server = await asyncio.start_server(silent, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                start = time.monotonic()
+                with pytest.raises(asyncio.TimeoutError):
+                    await ClusterClient.connect(
+                        "127.0.0.1", port, map_timeout_s=0.3
+                    )
+                assert time.monotonic() - start < 2.0
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(scenario())
