@@ -25,6 +25,13 @@ The distributed-serving drill CI runs end to end, against real
    silence, promotes its warm standbys behind an epoch bump, and the
    client rides the failover with zero failed writes and zero acked
    writes lost.
+6. Partition drill: a fresh primary/standby pair started with
+   ``--self-fence``, every node-to-node link routed through an
+   in-process :class:`repro.faults.net.NetProxy` via ``--peer-proxy``.
+   Cut both node links under client load and assert the partitioned
+   primary answers BUSY (no dual acks — it self-fenced) while the
+   promoted standby keeps the writer acking; heal and assert both maps
+   converge, the old primary demotes, and zero acked writes were lost.
 
 Exits non-zero on any failure, so it doubles as a CI job.
 """
@@ -44,8 +51,10 @@ import time
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
-from repro.cluster import ClusterClient  # noqa: E402
+from repro.cluster import ClusterClient, ClusterMap, NodeInfo  # noqa: E402
+from repro.faults import NetFaultPlan, NetProxy  # noqa: E402
 from repro.server import KVClient  # noqa: E402
+from repro.server.client import BusyError  # noqa: E402
 
 NUM_SHARDS = 6
 NODE_IDS = ("a", "b", "c")
@@ -341,6 +350,201 @@ def failover_main() -> None:
         assert code == 0, f"node b exited {code}"
 
 
+async def partition_drive(
+    ports: list, proxy_ports: list, plan: NetFaultPlan
+) -> None:
+    proxies = [
+        await NetProxy(
+            "127.0.0.1", ports[1], src="a", dst="b",
+            plan=plan, port=proxy_ports[0],
+        ).start(),
+        await NetProxy(
+            "127.0.0.1", ports[0], src="b", dst="a",
+            plan=plan, port=proxy_ports[1],
+        ).start(),
+    ]
+    try:
+        await _wait_streaming(ports[0])
+        # bootstrap from the standby so the seed connection survives the
+        # cut; writes still route to a (it owns every shard)
+        async with await ClusterClient.connect(
+            "127.0.0.1", ports[1], failover_grace_s=10.0
+        ) as client:
+            assert set(client.map.shards_of("a")) == set(range(4)), (
+                "partition drill expects the designated topology"
+            )
+            acked: list = []
+            failures: list = []
+            stop = asyncio.Event()
+
+            async def writer() -> None:
+                index = 0
+                while not stop.is_set():
+                    key = f"pt-{index:05d}"
+                    try:
+                        await client.put(key, "partition")
+                    except Exception as exc:  # any app-visible error
+                        failures.append(f"{key}: {exc!r}")
+                    else:
+                        acked.append(key)
+                    index += 1
+                    await asyncio.sleep(0)
+
+            task = asyncio.create_task(writer())
+            while len(acked) < 40:  # writer is demonstrably in flight
+                if task.done():
+                    task.result()
+                await asyncio.sleep(0.01)
+
+            plan.partition(["a"], ["b"])  # full cut, both directions
+            cut = time.monotonic()
+            # The writer must ride the partition: a self-fences its
+            # now-unreplicatable shards, b's lease on a expires and it
+            # promotes its warm standbys, and the client chases the
+            # BUSY replies to b's bumped-epoch map.
+            target = len(acked) + 120
+            while len(acked) < target:
+                if task.done():
+                    task.result()
+                assert time.monotonic() - cut < 30.0, (
+                    f"writer stalled across the partition: "
+                    f"{len(acked)}/{target} acks, failures={failures[:3]}"
+                )
+                await asyncio.sleep(0.01)
+
+            # No dual acks: the cut-off primary must refuse direct
+            # writes with BUSY while the standby's promotion is live.
+            probe_deadline = time.monotonic() + 10.0
+            while True:
+                probe = await KVClient.connect(
+                    "127.0.0.1", ports[0], timeout_s=2.0,
+                    max_busy_retries=0, reconnect_retries=0,
+                )
+                try:
+                    await probe.put("pt-fence-probe", "must-not-ack")
+                except BusyError:
+                    break  # fenced: exactly the refusal we want
+                except (ConnectionError, OSError):
+                    pass  # transient; a is mid-fence or busy — retry
+                else:
+                    raise AssertionError(
+                        "partitioned primary acked a write after losing "
+                        "its standby: dual-ack window"
+                    )
+                finally:
+                    await probe.close()
+                assert time.monotonic() < probe_deadline, (
+                    "cut-off primary never started refusing writes"
+                )
+                await asyncio.sleep(0.1)
+
+            plan.clear()  # heal
+            # Convergence: a hears b's bumped epoch over the healed
+            # link, demotes, and both maps agree that b owns everything.
+            heal_deadline = time.monotonic() + 20.0
+            while True:
+                maps = {}
+                for node_id, port in zip(("a", "b"), ports):
+                    node = await KVClient.connect("127.0.0.1", port)
+                    try:
+                        reply = await node.command(["CLUSTER"])
+                    finally:
+                        await node.close()
+                    maps[node_id] = ClusterMap.from_json(reply[1])
+                converged = (
+                    maps["a"].epoch == maps["b"].epoch
+                    and maps["a"].epoch >= 1
+                    and not maps["a"].shards_of("a")
+                    and set(maps["b"].shards_of("b")) == set(range(4))
+                )
+                if converged:
+                    break
+                assert time.monotonic() < heal_deadline, (
+                    f"maps never converged after heal: "
+                    f"a=epoch {maps['a'].epoch} owns "
+                    f"{maps['a'].shards_of('a')}, "
+                    f"b=epoch {maps['b'].epoch}"
+                )
+                await asyncio.sleep(0.2)
+
+            stop.set()
+            await task
+            assert not failures, (
+                f"{len(failures)} writes failed across the partition: "
+                f"{failures[:3]}"
+            )
+            values = await asyncio.gather(
+                *(client.get(key) for key in acked)
+            )
+            lost = [k for k, v in zip(acked, values) if v != "partition"]
+            assert not lost, (
+                f"{len(lost)} acked writes lost across the partition"
+            )
+            await client.refresh()
+            print(
+                f"phase 5 ok: a↔b partitioned under load; a "
+                f"self-fenced (BUSY probe), b promoted, {len(acked)} "
+                f"acked writes, 0 failed, 0 lost; maps converged at "
+                f"epoch {client.map.epoch} after heal"
+            )
+    finally:
+        for proxy in proxies:
+            await proxy.stop()
+
+
+def partition_main() -> None:
+    """Phase 5's own cluster: designated primary/standby pair whose
+    node links run through in-process fault proxies."""
+    ports = _free_ports(4)  # 2 node binds + 2 proxy binds
+    node_ports, proxy_ports = ports[:2], ports[2:]
+    nodes = [
+        NodeInfo("a", "127.0.0.1", node_ports[0]),
+        NodeInfo("b", "127.0.0.1", node_ports[1]),
+    ]
+    # Designated topology — a owns every shard, b is a pure standby —
+    # so a symmetric cut has exactly one legal outcome (b promotes, a
+    # fences) instead of two nodes promoting each other's shards.
+    cluster_map = ClusterMap(
+        ["a"] * 4, nodes, epoch=0, replicas=["b"] * 4
+    )
+    plan = NetFaultPlan(seed=29)
+    with tempfile.TemporaryDirectory(prefix="partition-smoke-") as data_dir:
+        for node in nodes:
+            node_dir = os.path.join(data_dir, node.node_id)
+            os.makedirs(node_dir, exist_ok=True)
+            cluster_map.save(node_dir)
+        processes = {
+            node_id: _spawn_node(
+                data_dir, node_id,
+                "--heartbeat-interval", "0.25", "--lease-timeout", "1.0",
+                "--repl-timeout", "0.5", "--self-fence",
+                "--peer-proxy", f"{other}=127.0.0.1:{proxy_port}",
+            )
+            for node_id, other, proxy_port in (
+                ("a", "b", proxy_ports[0]),
+                ("b", "a", proxy_ports[1]),
+            )
+        }
+        try:
+            for port in node_ports:
+                _wait_listening(port)
+            asyncio.run(partition_drive(node_ports, proxy_ports, plan))
+        finally:
+            for process in processes.values():
+                if process.poll() is None:
+                    process.send_signal(signal.SIGINT)
+            for node_id, process in processes.items():
+                try:
+                    process.wait(timeout=15)
+                except subprocess.TimeoutExpired:
+                    process.kill()
+                    raise AssertionError(f"node {node_id} hung on SIGINT")
+        # Both nodes survived the drill and must shut down in good order.
+        for node_id, process in processes.items():
+            code = process.returncode
+            assert code == 0, f"node {node_id} exited {code}"
+
+
 def main() -> int:
     started = time.perf_counter()
     ports = _free_ports(len(NODE_IDS))
@@ -377,6 +581,7 @@ def main() -> int:
             code = processes[node_id].returncode
             assert code == 0, f"node {node_id} exited {code}"
     failover_main()
+    partition_main()
     print(f"cluster smoke passed in {time.perf_counter() - started:.1f}s")
     return 0
 

@@ -584,7 +584,15 @@ def command_cluster_serve(args: argparse.Namespace) -> int:
         "lease_timeout_s": args.lease_timeout,
         "repl_sync": not args.repl_async,
         "repl_timeout_s": args.repl_timeout,
+        "self_fence": args.self_fence,
     }
+    if args.fence_timeout is not None:
+        options["fence_timeout_s"] = args.fence_timeout
+    if args.peer_proxy:
+        options["dial_overrides"] = {
+            node.node_id: (node.host, node.port)
+            for node in _parse_node_specs(args.peer_proxy)
+        }
     if args.host is not None:
         options["host"] = args.host
     if args.port is not None:
@@ -657,11 +665,31 @@ def command_cluster_status(args: argparse.Namespace) -> int:
             await seed.close()
         healths: dict = {}
         errors: dict = {}
-        for node_id, node in sorted(cluster_map.nodes.items()):
+
+        # All members probed concurrently: a hung or partitioned node
+        # costs one --timeout total, not one per node ahead of it in
+        # the roster. Each probe is individually bounded, and the
+        # gather is bounded once more so the whole poll phase can never
+        # exceed --timeout either.
+        async def probe(node_id, node) -> None:
             try:
                 healths[node_id] = await fetch_health(node)
             except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
                 errors[node_id] = str(exc) or type(exc).__name__
+
+        members = sorted(cluster_map.nodes.items())
+        try:
+            await asyncio.wait_for(
+                asyncio.gather(
+                    *(probe(node_id, node) for node_id, node in members)
+                ),
+                timeout,
+            )
+        except asyncio.TimeoutError:
+            pass
+        for node_id, _node in members:
+            if node_id not in healths and node_id not in errors:
+                errors[node_id] = "status poll timed out"
         rows = []
         for node_id, node in sorted(cluster_map.nodes.items()):
             shards = ",".join(map(str, cluster_map.shards_of(node_id)))
@@ -1080,6 +1108,26 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_serve.add_argument(
         "--repl-timeout", type=float, default=5.0, metavar="SECONDS",
         help="per-request bound on replication wire calls (default 5.0)",
+    )
+    cluster_serve.add_argument(
+        "--self-fence", action="store_true",
+        help="stop acking sync-replicated writes (retryable BUSY) when "
+        "the standby has been silent past the fence window — closes "
+        "the split-brain window under partitions at the cost of write "
+        "availability while fenced",
+    )
+    cluster_serve.add_argument(
+        "--fence-timeout", type=float, default=None, metavar="SECONDS",
+        help="standby silence before the primary self-fences (default: "
+        "lease timeout minus two heartbeat intervals — strictly inside "
+        "the window in which the standby could promote)",
+    )
+    cluster_serve.add_argument(
+        "--peer-proxy", action="append", default=[],
+        metavar="NODE_ID=HOST:PORT",
+        help="dial this peer via HOST:PORT instead of its map address "
+        "(repeat per peer; routes node-to-node traffic through a relay "
+        "such as the repro.faults.net proxy for partition drills)",
     )
     cluster_serve.set_defaults(func=command_cluster_serve)
 

@@ -38,7 +38,12 @@ from typing import Awaitable, Callable, Dict, List, Optional, Tuple, TypeVar
 
 from ..api import PartialScanResult, Snapshot
 from ..errors import ConfigError, ReproError
-from ..server.client import KVClient, MovedError, UnavailableError
+from ..server.client import (
+    BusyError,
+    KVClient,
+    MovedError,
+    UnavailableError,
+)
 from ..server.protocol import BatchOp
 from .map import ClusterMap, NodeInfo
 
@@ -547,7 +552,10 @@ class ClusterClient:
         bumped-epoch map re-routes the shard within a lease timeout, so
         the caller sees latency, not an error. A shard without a
         replica keeps the old contract: the connection error surfaces
-        at once.
+        at once. A persistent ``BUSY`` (a fence held past the wire
+        client's own retry budget — a self-fenced partitioned primary)
+        gets the same grace treatment, with the map re-fetched from the
+        shard's standby.
         """
         last_moved: Optional[MovedError] = None
         failover_deadline: Optional[float] = None
@@ -595,6 +603,35 @@ class ClusterClient:
                     await self.refresh()
                 except ClusterError:
                     pass  # nobody reachable yet; back off and re-try
+                await asyncio.sleep(0.04 + random.random() * 0.04)
+            except BusyError:
+                # BUSY past the wire client's own retry budget on a
+                # replicated shard: a *fence* is holding — either a
+                # migration handoff or a self-fenced primary that lost
+                # its standby. Same failover-grace loop as a dead
+                # owner, but over the map: once the standby promotes,
+                # the refreshed (or gossiped) bumped-epoch map re-routes
+                # the shard and the op lands on the new primary. The
+                # connection itself is healthy — no discard.
+                replica_id = self.map.replica_id(shard)
+                if self._closed or replica_id is None:
+                    raise
+                now = time.monotonic()
+                if failover_deadline is None:
+                    failover_deadline = now + self.failover_grace_s
+                elif now >= failover_deadline:
+                    raise
+                self.failover_retries += 1
+                # Ask the *standby* for its map, not whoever answers
+                # first: under a symmetric partition the fenced owner
+                # still answers CLUSTER with its stale map, and only
+                # the (about-to-be-)promoted replica holds the bumped
+                # epoch that re-routes this shard.
+                replica = self.map.nodes[replica_id]
+                try:
+                    await self.refresh(replica.host, replica.port)
+                except ClusterError:
+                    pass
                 await asyncio.sleep(0.04 + random.random() * 0.04)
 
     async def _discard_client(self, host: str, port: int) -> None:

@@ -50,6 +50,31 @@ there is exactly one writable owner at every instant under crash-stop
 failures; a restarted old primary hears the newer epoch via heartbeat
 gossip or the promoted node's ``REPL.SYNC`` and demotes itself
 (:meth:`~repro.cluster.NodeStore.adopt_map`).
+
+**Partitions and self-fencing (PR 10).** Crash-stop is not the only
+failure: under an asymmetric partition the old primary is alive,
+reachable by clients, and cut off from its standby — the classic
+split-brain window. With ``self_fence`` enabled the primary closes it
+from its own side: once the standby has shown no sign of life for
+``fence_timeout_s`` (strictly inside the lease window, with inbound ship
+traffic feeding both ends' contact clocks so they cannot drift apart by
+more than a frame), the shard stops *acking* writes — admission answers
+BUSY via :meth:`~repro.cluster.NodeStore.repl_fence`, and the exact
+ack-time check in the shipper's commit tap refuses the ack for writes
+already in flight whose replica confirmation never arrived. The fence
+lifts only when the ship stream is fully re-established (whose
+``REPL.SYNC`` reply would carry a newer map if the standby promoted —
+demoting us instead of un-fencing) or when a newer epoch demotes the
+shard away. Both checks guard only *armed* shards — ones whose standby
+completed a seed in this node's ownership tenure, the only standbys the
+peer's promotion gate would accept — so a freshly promoted node (whose
+standby is the dead old primary) keeps acking writes and failover
+availability is preserved. Heartbeats gossip maps in both directions: a node that
+answers a ping with a stale epoch is *pushed* the newer map on the same
+connection, so even a primary that can only receive traffic demotes.
+Every node-to-node dial honors ``dial_overrides``, which is how the
+deterministic network fault layer (:mod:`repro.faults.net`) interposes
+per-link relays to prove all of this under scripted partitions.
 """
 
 from __future__ import annotations
@@ -60,7 +85,7 @@ import random
 import threading
 import time
 from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from ..core.entry import Entry
 from ..errors import (
@@ -104,6 +129,25 @@ class ClusterNode(KVServer):
             is held until the replica acknowledged the shipped group —
             the zero-loss mode; when false shipping is fire-and-forget
             with a bounded loss window on failover.
+        self_fence: Opt-in split-brain protection for partitions. When
+            true, a primary whose standby has been silent past
+            ``fence_timeout_s`` stops *acking* writes to the replicated
+            shard (retryable BUSY, mirroring the migration fence) until
+            the ship stream re-establishes or a newer map demotes it —
+            so under an asymmetric partition the stale primary goes
+            write-unavailable *before* the standby's lease can expire,
+            and "one node acks writes per shard at every instant"
+            holds. Off by default because it trades availability: with
+            a 2-node shard, the death of the *standby* also fences the
+            primary until contact resumes.
+        fence_timeout_s: Standby silence after which a self-fencing
+            primary fences. Must undercut ``lease_timeout_s`` by enough
+            slack for one heartbeat round; defaults to
+            ``lease_timeout_s - 2 * heartbeat_interval_s``.
+        dial_overrides: Peer node id → ``(host, port)`` to dial instead
+            of the map address — the hook the deterministic network
+            fault layer (:mod:`repro.faults.net`) uses to route every
+            node-to-node connection through a per-link :class:`NetProxy`.
         options: Forwarded to :class:`~repro.server.KVServer`.
     """
 
@@ -115,6 +159,9 @@ class ClusterNode(KVServer):
         lease_timeout_s: Optional[float] = None,
         repl_sync: bool = True,
         repl_timeout_s: float = 5.0,
+        self_fence: bool = False,
+        fence_timeout_s: Optional[float] = None,
+        dial_overrides: Optional[Dict[str, Tuple[str, int]]] = None,
         **options: object,
     ) -> None:
         info = store.map.nodes[store.node_id]
@@ -130,6 +177,25 @@ class ClusterNode(KVServer):
         )
         self.repl_sync = repl_sync
         self.repl_timeout_s = float(repl_timeout_s)
+        self.self_fence = bool(self_fence)
+        if fence_timeout_s is not None:
+            self.fence_timeout_s = float(fence_timeout_s)
+        else:
+            # Strictly inside the lease window: the primary must fence
+            # before any standby's lease on it can expire, with slack
+            # for one jittered heartbeat round of detection latency.
+            margin = 2.0 * self.heartbeat_interval_s
+            self.fence_timeout_s = (
+                self.lease_timeout_s - margin
+                if self.lease_timeout_s > margin
+                else self.lease_timeout_s / 2.0
+            )
+        self.dial_overrides: Dict[str, Tuple[str, int]] = dict(
+            dial_overrides or {}
+        )
+        #: Self-fence transitions (shard, "fence"/"unfence", epoch),
+        #: oldest first — observability for tests and the bench.
+        self.fence_events: List[Tuple[int, str, int]] = []
         #: Completed outbound migrations (stats dicts), oldest first.
         self.migrations: List[Dict[str, object]] = []
         #: Completed failover promotions (stats dicts), oldest first.
@@ -149,8 +215,22 @@ class ClusterNode(KVServer):
         #: promotion gate compares it against the owner's last sign of
         #: life to refuse standbys whose stream died early.
         self._ship_seen: Dict[int, float] = {}
+        #: Owned shards whose standby completed a seed in *this node's
+        #: ownership tenure* — the only standbys the peer's promotion
+        #: gate would accept, hence the only ones self-fencing must
+        #: guard against. A freshly promoted shard is unarmed (its
+        #: standby is the dead old primary, provably unpromotable until
+        #: we reseed it), so failover availability survives self-fencing
+        #: mode. Mutated on the event loop, read by the engine thread in
+        #: the ack-time fence check (GIL-atomic set membership).
+        self._standby_armed: Set[int] = set()
         self._hb_task: Optional[asyncio.Task] = None
         self._closing = False
+
+    def peer_address(self, node_id: str, info: NodeInfo) -> Tuple[str, int]:
+        """Where to dial ``node_id``: its map address, unless a
+        ``dial_overrides`` entry routes the link through a relay."""
+        return self.dial_overrides.get(node_id, (info.host, info.port))
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -276,6 +356,7 @@ class ClusterNode(KVServer):
             )
             self._reconcile_replication()  # adopting the map may demote us
             self._ship_seen[shard] = time.monotonic()
+            self._note_stream_owner(shard)
             return ["OK", store.node_id, store.map.to_json()]
         if verb == "REPL.SHIP":
             if len(request) < 2:
@@ -284,6 +365,7 @@ class ClusterNode(KVServer):
             ops = decode_batch(["BATCH", *request[2:]])
             await self._run_engine(store.replica_apply, shard, ops)
             self._ship_seen[shard] = time.monotonic()
+            self._note_stream_owner(shard)
             return ["OK", str(len(ops))]
         if verb == "REPL.SEEDED":
             if len(request) != 2:
@@ -293,6 +375,7 @@ class ClusterNode(KVServer):
             shard = self._parse_shard(request[1])
             await self._run_engine(store.replica_mark_seeded, shard)
             self._ship_seen[shard] = time.monotonic()
+            self._note_stream_owner(shard)
             return ["OK", str(shard)]
         if verb == "REPL.PING":
             if len(request) != 3:
@@ -300,6 +383,17 @@ class ClusterNode(KVServer):
             self._last_seen[request[1]] = time.monotonic()
             return ["OK", store.node_id, str(store.map.epoch)]
         raise ProtocolError(f"unknown command {verb!r}")  # unreachable
+
+    def _note_stream_owner(self, shard: int) -> None:
+        """Inbound ship traffic is a sign of life from the shard's
+        primary — recording it alongside ``_ship_seen`` keeps both ends'
+        contact clocks within one frame of each other, which is what
+        lets the primary's fence window provably undercut this node's
+        lease window."""
+        store = self.node_store
+        owner = store.map.owner_id(shard)
+        if owner != store.node_id:
+            self._last_seen[owner] = time.monotonic()
 
     @staticmethod
     def _parse_shard(text: str) -> int:
@@ -336,7 +430,7 @@ class ClusterNode(KVServer):
             resolved = await self._resolve_pending_flip(shard, pending)
             if resolved is not None:
                 return resolved  # the earlier flip had in fact sealed
-        peer = await KVClient.connect(dest.host, dest.port)
+        peer = await KVClient.connect(*self.peer_address(dest_id, dest))
         try:
             begun = await peer.command(["MIG.BEGIN", str(shard)])
             if len(begun) > 2:
@@ -490,7 +584,9 @@ class ClusterNode(KVServer):
             if attempt:
                 await asyncio.sleep(0.05 * (2 ** (attempt - 1)))
             try:
-                probe = await KVClient.connect(dest.host, dest.port)
+                probe = await KVClient.connect(
+                    *self.peer_address(dest_id, dest)
+                )
             except (ConnectionError, OSError) as exc:
                 last = exc
                 continue
@@ -550,6 +646,9 @@ class ClusterNode(KVServer):
             if desired.get(shard) != shipper.target_id:
                 shipper.stop()
                 del self._shippers[shard]
+                # The standby relationship ended (shard moved away, or
+                # its replica was re-homed); a future shipper re-arms.
+                self._standby_armed.discard(shard)
         for shard, target in desired.items():
             if shard not in self._shippers:
                 self._shippers[shard] = _ShardShipper(self, shard, target)
@@ -584,17 +683,20 @@ class ClusterNode(KVServer):
                 return_exceptions=True,
             )
             await self._check_leases()
+            await self._update_fences()
 
     async def _ping_peer(self, info: NodeInfo) -> None:
         """One REPL.PING exchange; records liveness, pulls newer maps."""
         store = self.node_store
         budget = max(self.lease_timeout_s / 2.0, 0.05)
+        host, port = self.peer_address(info.node_id, info)
         try:
             peer = await asyncio.wait_for(
                 KVClient.connect(
-                    info.host,
-                    info.port,
+                    host,
+                    port,
                     timeout_s=budget,
+                    connect_timeout_s=budget,
                     reconnect_retries=0,
                 ),
                 budget,
@@ -612,6 +714,14 @@ class ClusterNode(KVServer):
                 await self._adopt_remote_map(
                     ClusterMap.from_json(fetched[1])
                 )
+            elif peer_epoch < store.map.epoch:
+                # Gossip *push*: under a lopsided partition the stale
+                # peer may be unable to dial anyone (its pull path is
+                # dead) while still answering inbound connections — this
+                # reply-path push is the only way a newer epoch reaches
+                # it, and the stale primary's adopt_map demotion rides
+                # on it.
+                await peer.command(["CLUSTER", store.map.to_json()])
         except Exception:
             return
         finally:
@@ -693,6 +803,51 @@ class ClusterNode(KVServer):
         self._reconcile_replication()
         await self._broadcast_map(new_map, exclude=(peer_id,))
 
+    async def _update_fences(self) -> None:
+        """Primary self-fencing (opt-in via ``self_fence``).
+
+        Fence: an owned replicated shard whose standby has shown no sign
+        of life for ``fence_timeout_s`` stops acking writes — before any
+        standby's lease on *us* can expire, because the fence window
+        undercuts the lease window and inbound ship traffic keeps the
+        two contact clocks in step (:meth:`_note_stream_owner`).
+
+        Unfence: only when the shipper is *streaming* again — that
+        requires a full ``REPL.SYNC`` round trip whose reply carries the
+        standby's map, so a standby that promoted while we were fenced
+        demotes us (the shipper adopts its newer map) instead of the
+        fence silently lifting into a split brain. Raw contact (a ping
+        getting through) is deliberately not enough.
+        """
+        if not self.self_fence:
+            return
+        store = self.node_store
+        now = time.monotonic()
+        for shard, shipper in list(self._shippers.items()):
+            if shard not in self._standby_armed:
+                # An unarmed standby (never seeded this tenure) cannot
+                # pass the peer's promotion gate — nothing to fence
+                # against, and fencing here would make every failover
+                # permanently write-unavailable until the dead peer
+                # rejoined.
+                continue
+            last = self._last_seen.get(shipper.target_id)
+            if last is None:
+                # The fence clock starts at first sight of the shipper,
+                # like the lease clock in _check_leases.
+                self._last_seen[shipper.target_id] = now
+                continue
+            if now - last >= self.fence_timeout_s:
+                if await self._run_engine(store.repl_fence, shard):
+                    self.fence_events.append(
+                        (shard, "fence", store.map.epoch)
+                    )
+            elif shipper.streaming:
+                if await self._run_engine(store.repl_unfence, shard):
+                    self.fence_events.append(
+                        (shard, "unfence", store.map.epoch)
+                    )
+
     async def _broadcast_map(
         self, new_map: ClusterMap, exclude: Tuple[str, ...] = ()
     ) -> None:
@@ -702,12 +857,14 @@ class ClusterNode(KVServer):
         for node_id, info in new_map.nodes.items():
             if node_id == store.node_id or node_id in exclude:
                 continue
+            host, port = self.peer_address(node_id, info)
             try:
                 peer = await asyncio.wait_for(
                     KVClient.connect(
-                        info.host,
-                        info.port,
+                        host,
+                        port,
                         timeout_s=self.repl_timeout_s,
+                        connect_timeout_s=self.repl_timeout_s,
                         reconnect_retries=0,
                     ),
                     self.repl_timeout_s,
@@ -737,6 +894,10 @@ class ClusterNode(KVServer):
         }
         payload["lease_timeout_s"] = self.lease_timeout_s
         payload["promotions"] = list(self.promotions)
+        payload["self_fence"] = self.self_fence
+        if self.self_fence:
+            payload["fence_timeout_s"] = self.fence_timeout_s
+            payload["repl_fenced"] = self.node_store.repl_fenced_shards()
         return payload
 
 
@@ -772,7 +933,7 @@ class _ShardShipper:
         self.missed_records = 0
         self._lock = threading.Lock()
         self._buffer: Deque[
-            Tuple[List[BatchOp], Optional[threading.Event]]
+            Tuple[List[BatchOp], Optional["_Waiter"]]
         ] = deque()
         self._pending_records = 0
         self._pending_bytes = 0
@@ -782,6 +943,13 @@ class _ShardShipper:
         self._loop = asyncio.get_running_loop()
         self._wake = asyncio.Event()
         self._task = self._loop.create_task(self._run())
+
+    @property
+    def streaming(self) -> bool:
+        """Whether the live commit stream is up (seed done, replica
+        acking) — the only state a self-fence may lift in."""
+        with self._lock:
+            return self._streaming
 
     def summary(self) -> Dict[str, object]:
         with self._lock:
@@ -801,23 +969,46 @@ class _ShardShipper:
         """WAL commit tap: runs on the committing engine thread, under
         the shard's write mutex, after the group is locally durable."""
         ops = entries_to_batch_ops(entries, context="cross-node replication")
-        waiter: Optional[threading.Event] = None
+        waiter: Optional[_Waiter] = None
         with self._lock:
             if self._accepting:
                 if self.node.repl_sync and self._streaming:
-                    waiter = threading.Event()
+                    waiter = _Waiter()
                 self._buffer.append((ops, waiter))
                 self._pending_records += len(ops)
                 self._pending_bytes += _ops_bytes(ops)
             else:
                 self.missed_records += len(ops)
         self._loop.call_soon_threadsafe(self._wake.set)
+        acked = False
         if waiter is not None:
             # Sync mode: hold the commit until the replica acked the
             # group (or the stream degraded and released everyone).
             # Bounded — a hung replica must not wedge the primary's
             # write path past the lease it would be declared dead by.
-            waiter.wait(self.node.lease_timeout_s)
+            done = waiter.event.wait(self.node.lease_timeout_s)
+            acked = done and waiter.acked
+        if (
+            self.node.self_fence
+            and self.node.repl_sync
+            and not acked
+            and self.shard in self.node._standby_armed
+        ):
+            # The ack-time half of self-fencing, exact where the
+            # heartbeat-grained admission fence cannot be: this write is
+            # locally durable but was never confirmed on a standby that
+            # *could promote over us* (it seeded in our tenure, so the
+            # peer's promotion gate would accept it) — the stream is
+            # degraded or mid-partition, and by the time an ack could go
+            # out that standby may legitimately have promoted; acking
+            # would lose the write on heal. BUSY instead (the client's
+            # retry lands wherever the map then points), so in
+            # self-fencing mode an acked write on an armed shard is on
+            # both nodes, always. An *unarmed* shard (standby never
+            # seeded this tenure — a freshly promoted shard, or one
+            # whose peer died before its first seed) acks unreplicated:
+            # that standby provably cannot pass the promotion gate.
+            raise ShardFencedError(self.shard)
 
     # -- event-loop side ------------------------------------------------------
 
@@ -847,12 +1038,23 @@ class _ShardShipper:
                 self.missed_records += len(ops)
         for _ops, waiter in dropped:
             if waiter is not None:
-                waiter.set()
+                # Released without acked=True: in self-fencing mode the
+                # engine-side wait turns this into a BUSY instead of a
+                # silent un-replicated ack.
+                waiter.event.set()
 
     async def _run(self) -> None:
         store = self.node.node_store
         backoff = self.node.heartbeat_interval_s
         try:
+            # The commit tap lives for the shipper's whole lifetime, not
+            # per-session: between sessions (stream degraded, standby
+            # unreachable) commits must still reach _on_commit so the
+            # ack-time self-fence can refuse them while the shard is
+            # armed. Buffering is gated separately by _accepting.
+            await self.node._run_engine(
+                store.attach_replication, self.shard, self._on_commit
+            )
             while not self._stopped:
                 cluster_map = store.map
                 if (
@@ -890,10 +1092,12 @@ class _ShardShipper:
                 f"replica node {self.target_id!r} left the map"
             )
         self.state = "seeding"
+        host, port = node.peer_address(self.target_id, target)
         peer = await KVClient.connect(
-            target.host,
-            target.port,
+            host,
+            port,
             timeout_s=node.repl_timeout_s,
+            connect_timeout_s=node.repl_timeout_s,
             reconnect_retries=0,
         )
         try:
@@ -907,12 +1111,12 @@ class _ShardShipper:
                 # about): adopt it and re-evaluate responsibility.
                 await node._adopt_remote_map(peer_map)
                 raise ConfigError("map advanced during replica sync")
+            # The standby just wiped itself for the reseed: whatever
+            # promotable copy it held is gone until REPL.SEEDED.
+            node._standby_armed.discard(self.shard)
             with self._lock:
                 self._accepting = True
                 self._streaming = False
-            await node._run_engine(
-                store.attach_replication, self.shard, self._on_commit
-            )
             try:
                 # Seed: snapshot chunks interleaved with live-group
                 # drains on this one connection — arrival order is
@@ -936,6 +1140,11 @@ class _ShardShipper:
                     if len(pairs) < SNAPSHOT_CHUNK:
                         break
                 await peer.command(["REPL.SEEDED", str(self.shard)])
+                # From here the standby passes the peer's promotion
+                # gate: self-fencing must guard this shard. Armed
+                # *before* streaming flips, so no write can slip an
+                # unreplicated ack between the two.
+                node._standby_armed.add(self.shard)
                 with self._lock:
                     self._streaming = True
                     self.state = "streaming"
@@ -963,16 +1172,12 @@ class _ShardShipper:
                             ["REPL.SHIP", str(self.shard)]
                         )
             finally:
+                # The commit tap stays attached (the shipper owns it,
+                # see _run): only buffering stops, so inter-session
+                # commits still hit the ack-time fence.
                 with self._lock:
                     self._accepting = False
                     self._streaming = False
-                if not store._closed:
-                    try:
-                        await node._run_engine(
-                            store.detach_replication, self.shard
-                        )
-                    except Exception:
-                        pass
         finally:
             await peer.close()
 
@@ -984,19 +1189,23 @@ class _ShardShipper:
                 if not self._buffer:
                     return total
                 ops, waiter = self._buffer[0]
+            acked = False
             try:
                 await self._ship_ops(peer, ops, count_groups=True)
+                acked = True
             finally:
                 # Acked or failed, this group's commit may proceed: a
                 # failure degrades the stream rather than failing the
-                # (already locally durable) write.
+                # (already locally durable) write — unless self-fencing
+                # is on, where the un-acked release becomes a BUSY.
                 with self._lock:
                     if self._buffer and self._buffer[0][0] is ops:
                         self._buffer.popleft()
                         self._pending_records -= len(ops)
                         self._pending_bytes -= _ops_bytes(ops)
                 if waiter is not None:
-                    waiter.set()
+                    waiter.acked = acked
+                    waiter.event.set()
             total += len(ops)
 
     async def _ship_ops(
@@ -1005,10 +1214,26 @@ class _ShardShipper:
         await peer.command(
             ["REPL.SHIP", str(self.shard), *encode_batch(ops)[1:]]
         )
+        # A shipped-and-acked group is as strong a sign of replica life
+        # as an answered ping; feeding the contact clock from it keeps a
+        # write-heavy primary from fencing between heartbeat rounds.
+        self.node._last_seen[self.target_id] = time.monotonic()
         with self._lock:
             if count_groups:
                 self.shipped_groups += 1
             self.shipped_ops += len(ops)
+
+
+class _Waiter:
+    """One sync-mode commit's hold: released by the shipper with
+    ``acked`` telling the engine thread whether the replica confirmed
+    the group (vs. a degrade/stop release)."""
+
+    __slots__ = ("event", "acked")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.acked = False
 
 
 def _ops_bytes(ops: List[BatchOp]) -> int:

@@ -207,6 +207,14 @@ class NodeStore:
         #: fenced for handoff, and attached WAL-tail buffers.
         self._receiving: Dict[int, LSMTree] = {}
         self._fenced: Set[int] = set()
+        #: Shards write-fenced by the *replication* layer: the primary
+        #: lost contact with its standby past the fence window and stops
+        #: acking sync-replicated writes (self-fencing against
+        #: split-brain under partitions). Same ShardFencedError → BUSY
+        #: answer as the migration fence, but lifted by the node's
+        #: heartbeat loop (contact re-established) or a demotion, not by
+        #: a handoff.
+        self._repl_fenced: Set[int] = set()
         self._tails: Dict[int, _TailBuffer] = {}
         #: Cross-node replication state. ``_replica_trees`` are warm
         #: standbys of shards *other* nodes own (journaled in the same
@@ -379,7 +387,7 @@ class NodeStore:
             ).append(batch_op)
         for shard in by_shard:
             self._owned_tree(shard)
-            if shard in self._fenced:
+            if shard in self._fenced or shard in self._repl_fenced:
                 raise ShardFencedError(shard)
             self._check_available(shard)
         if len(by_shard) == 1:
@@ -389,7 +397,7 @@ class NodeStore:
             if lock is None:  # released between the check and here
                 raise ShardFencedError(shard)
             with lock:
-                if shard in self._fenced:
+                if shard in self._fenced or shard in self._repl_fenced:
                     raise ShardFencedError(shard)
                 self._shard_op(shard, lambda: tree.write_batch(sub_ops))
             return
@@ -426,7 +434,7 @@ class NodeStore:
                     lock.acquire()
                     acquired.append(lock)
                 for shard in shards:
-                    if shard in self._fenced:
+                    if shard in self._fenced or shard in self._repl_fenced:
                         raise ShardFencedError(shard)
                 txn_id = self._txn_log.next_txn_id()
                 prepared: List[int] = []
@@ -652,6 +660,7 @@ class NodeStore:
             self._health[shard] = HealthState()
             self._write_locks[shard] = threading.Lock()
             self._fenced.discard(shard)
+            self._repl_fenced.discard(shard)
 
     # -- WAL commit tap (shared by migration tails and replication) -----------
 
@@ -779,6 +788,45 @@ class NodeStore:
         with self._write_locks[shard]:
             self._fenced.add(shard)
 
+    def repl_fence(self, shard: int) -> bool:
+        """Self-fence ``shard``: stop acking writes because its standby
+        has been out of contact past the fence window; returns whether
+        the flag was newly set.
+
+        Same linearization discipline as :meth:`fence` — the flag flips
+        under the shard's write lock, so a write that already passed its
+        admission check commits before the fence is visible (its *ack*
+        is still gated exactly, by the shipper's ack-time check) and
+        every later write answers BUSY. Lifted by :meth:`repl_unfence`
+        when the ship stream re-establishes, or implicitly by losing the
+        shard (demotion/release), never by a timeout alone.
+        """
+        self._check_open()
+        if self.trees.get(shard) is None or shard in self._repl_fenced:
+            return False
+        fault_point(
+            "repl.node.fence", scope=f"{self.node_id}/shard-{shard:02d}"
+        )
+        lock = self._write_locks.get(shard)
+        if lock is None:
+            return False
+        with lock:
+            self._repl_fenced.add(shard)
+        return True
+
+    def repl_unfence(self, shard: int) -> bool:
+        """Lift a self-fence (standby contact re-established at a
+        compatible epoch); returns whether the flag was set."""
+        self._check_open()
+        if shard in self._repl_fenced:
+            self._repl_fenced.discard(shard)
+            return True
+        return False
+
+    def repl_fenced_shards(self) -> List[int]:
+        """Shards currently self-fenced by the replication layer."""
+        return sorted(self._repl_fenced)
+
     def migration_detach_tail(self, shard: int) -> None:
         """Remove the WAL tail tap (a replication ship hook, if any,
         stays attached). Taking the write mutex inside
@@ -825,6 +873,7 @@ class NodeStore:
             del self.trees[shard]
             self._health.pop(shard, None)
             self._write_locks.pop(shard, None)
+            self._repl_fenced.discard(shard)
             # The fence flag is deliberately *kept*: a racing write that
             # grabbed the tree before the flip answers FencedError (→
             # BUSY, retried) instead of committing to the closed tree;
@@ -986,6 +1035,7 @@ class NodeStore:
                 self._health[shard] = HealthState()
                 self._write_locks[shard] = threading.Lock()
                 self._fenced.discard(shard)
+                self._repl_fenced.discard(shard)
             fault_point("repl.node.promote.done", scope=self.node_id)
 
     def adopt_map(self, new_map: ClusterMap) -> bool:
@@ -1039,6 +1089,7 @@ class NodeStore:
                 # Like release_shard: racing writes answer BUSY (fence),
                 # their retry re-routes and gets the MOVED redirect.
                 self._fenced.add(shard)
+                self._repl_fenced.discard(shard)
                 self._tails.pop(shard, None)
                 self._ship_hooks.pop(shard, None)
                 tree.close()

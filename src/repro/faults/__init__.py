@@ -1,18 +1,30 @@
 """Deterministic fault injection and crash-consistency testing.
 
-Two modules:
+Three modules:
 
 * :mod:`repro.faults.registry` — the failpoint registry. Engine code
   declares crossings with :func:`fault_point`; a test arms a
   :class:`FaultPlan` to crash, tear, bit-flip, or error at a named
   crossing. Import-light on purpose: this package pulls in no engine
   modules, so ``core``/``storage``/``shard`` can import it freely.
+* :mod:`repro.faults.net` — the network fault layer: a deterministic
+  in-process TCP relay (:class:`NetProxy`, one per directed link) driven
+  by a seeded :class:`NetFaultPlan` of per-link rules (blackhole,
+  partition groups, delay, reset mid-frame, duplicate delivery).
 * :mod:`repro.faults.sweep` — the crash-consistency harness (imported
   explicitly; it imports the whole engine). It enumerates every
   crossing a scripted workload passes, crashes at each one, reopens,
-  and checks recovery invariants.
+  and checks recovery invariants — and runs the scripted partition
+  scenarios on top of the network layer.
 """
 
+from repro.faults.net import (
+    NetFaultPlan,
+    NetProxy,
+    NetRule,
+    active_net_plan,
+    net_fault_plan,
+)
 from repro.faults.registry import (
     FAILPOINTS,
     Failpoint,
@@ -30,7 +42,12 @@ __all__ = [
     "FaultPlan",
     "InjectedCrash",
     "InjectedWorkerDeath",
+    "NetFaultPlan",
+    "NetProxy",
+    "NetRule",
+    "active_net_plan",
     "fault_plan",
     "fault_point",
     "inject_worker_death",
+    "net_fault_plan",
 ]

@@ -1,0 +1,527 @@
+"""Deterministic network fault injection: an in-process TCP relay.
+
+The storage failpoints (:mod:`repro.faults.registry`) can crash a
+process at any durability-critical instant, but they cannot make the
+*network* lie — and the cluster's failover safety argument is mostly
+about the network: a partitioned primary keeps hearing clients while its
+standby hears nothing, heartbeats arrive in one direction only, a frame
+is cut off mid-delivery, a retried request lands twice. This module
+provides that fault surface without touching the kernel:
+
+* :class:`NetProxy` — an in-process TCP relay representing one
+  **directed link** ``src → dst``. Cluster nodes and clients route
+  through it (see :attr:`~repro.cluster.ClusterNode.dial_overrides`);
+  everything it carries is attributed to that link.
+* :class:`NetFaultPlan` — the seeded rule engine the proxies consult,
+  armed globally with :func:`net_fault_plan` (mirroring
+  :func:`~repro.faults.registry.fault_plan`) or passed to a proxy
+  directly. Rules are **per directed link**, so an asymmetric partition
+  is simply a rule on one direction:
+
+  - ``blackhole(src, dst)`` — connections from ``src`` to ``dst`` go
+    silent: new connections are held unanswered (the relay cannot drop
+    a real SYN, but no byte ever flows, so with bounded connect/reply
+    timeouts the observable behavior matches a dropped SYN) and frames
+    already in flight stall until the link heals;
+  - ``partition(group_a, group_b)`` — symmetric: blackholes every
+    cross-group link in both directions;
+  - ``delay(src, dst, delay_s, jitter_s)`` — fixed plus seeded-jitter
+    delivery delay per forward frame;
+  - ``reset(src, dst, after_frames, count)`` — deliver a deterministic
+    *prefix* of a frame, then reset both sides: a connection cut
+    mid-frame, the torn-write of the wire;
+  - ``duplicate(src, dst, count)`` — deliver a frame twice (the
+    at-least-once behavior a resending client inflicts on servers).
+
+Frame rules act on **forward** frames (bytes traveling ``src → dst``);
+replies relay untouched — a one-directional rule means "``src`` cannot
+get bytes *to* ``dst``", which is exactly the asymmetry the failover
+protocol must survive.
+
+Every consulted rule records a crossing (``net.<kind>@src->dst#n``,
+counted per ``(kind, link)`` like registry crossings) in the plan's
+trace and declares it via :func:`~repro.faults.registry.fault_point`,
+so the ``net.*`` names live in the same catalog the sweep checks and
+``repro.cli fault-sweep --list`` prints. Rule decisions (which byte a
+reset cuts at, how much jitter a delay adds) come from a generator
+seeded by ``(seed, link, ordinal)`` — the same plan replays the same
+choices.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import struct
+import threading
+import zlib
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .registry import fault_point
+
+__all__ = [
+    "NetFaultPlan",
+    "NetProxy",
+    "NetRule",
+    "active_net_plan",
+    "net_fault_plan",
+]
+
+_U32 = struct.Struct(">I")
+
+#: How often a stalled (blackholed) frame re-checks the plan for a heal.
+_STALL_POLL_S = 0.02
+
+
+@dataclass
+class NetRule:
+    """One fault rule on the directed link ``src → dst``."""
+
+    kind: str  # "blackhole" | "delay" | "reset" | "duplicate"
+    src: str
+    dst: str
+    delay_s: float = 0.0
+    jitter_s: float = 0.0
+    #: Forward frames relayed cleanly before a ``reset`` fires.
+    after_frames: int = 0
+    #: Times the rule fires before exhausting (``None`` = unlimited;
+    #: blackholes are unlimited by nature, resets/duplicates default 1).
+    remaining: Optional[int] = None
+    #: Forward frames seen by this rule (drives ``after_frames``).
+    seen_frames: int = field(default=0, repr=False)
+
+
+class NetFaultPlan:
+    """A seeded schedule of per-link network faults plus its trace.
+
+    Thread-safe: rules are typically mutated by the test driving a
+    scenario while proxies consult them from the event loop. ``heal``
+    removes rules mid-run — the instant a blackhole rule is gone,
+    stalled frames deliver and new connections relay again, which is
+    the heal-and-rejoin path the failover protocol must survive.
+    """
+
+    def __init__(self, *, seed: int = 7) -> None:
+        self.seed = seed
+        #: Crossings in hit order: ``net.<kind>@src->dst#ordinal``.
+        self.trace: List[str] = []
+        #: Rules fired, per kind (observability for tests).
+        self.fired: Dict[str, int] = {}
+        self._rules: Dict[Tuple[str, str], List[NetRule]] = {}
+        self._counts: Dict[Tuple[str, str], int] = {}
+        self._lock = threading.Lock()
+
+    # -- authoring -----------------------------------------------------------
+
+    def blackhole(self, src: str, dst: str) -> NetRule:
+        """Silence the directed link ``src → dst`` until healed."""
+        return self._add(NetRule("blackhole", src, dst))
+
+    def partition(
+        self, group_a: Sequence[str], group_b: Sequence[str]
+    ) -> List[NetRule]:
+        """Symmetric partition: blackhole every cross-group link, both
+        directions."""
+        rules = []
+        for a in group_a:
+            for b in group_b:
+                rules.append(self.blackhole(a, b))
+                rules.append(self.blackhole(b, a))
+        return rules
+
+    def delay(
+        self, src: str, dst: str, delay_s: float, jitter_s: float = 0.0
+    ) -> NetRule:
+        """Delay every forward frame by ``delay_s`` ± seeded jitter."""
+        return self._add(
+            NetRule("delay", src, dst, delay_s=delay_s, jitter_s=jitter_s)
+        )
+
+    def reset(
+        self, src: str, dst: str, after_frames: int = 0, count: int = 1
+    ) -> NetRule:
+        """Cut the connection mid-frame after ``after_frames`` clean
+        forward frames; fires ``count`` times."""
+        return self._add(
+            NetRule(
+                "reset", src, dst, after_frames=after_frames, remaining=count
+            )
+        )
+
+    def duplicate(self, src: str, dst: str, count: int = 1) -> NetRule:
+        """Deliver a forward frame twice; fires ``count`` times."""
+        return self._add(NetRule("duplicate", src, dst, remaining=count))
+
+    def heal(
+        self, src: Optional[str] = None, dst: Optional[str] = None
+    ) -> int:
+        """Remove rules matching ``src → dst`` (``None`` = any); returns
+        how many were removed."""
+        removed = 0
+        with self._lock:
+            for link in list(self._rules):
+                kept = [
+                    rule
+                    for rule in self._rules[link]
+                    if not (
+                        (src is None or rule.src == src)
+                        and (dst is None or rule.dst == dst)
+                    )
+                ]
+                removed += len(self._rules[link]) - len(kept)
+                if kept:
+                    self._rules[link] = kept
+                else:
+                    del self._rules[link]
+        return removed
+
+    def clear(self) -> int:
+        """Remove every rule; returns how many were removed."""
+        return self.heal()
+
+    def _add(self, rule: NetRule) -> NetRule:
+        if rule.src == rule.dst:
+            raise ValueError("a link needs two distinct endpoints")
+        with self._lock:
+            self._rules.setdefault((rule.src, rule.dst), []).append(rule)
+        return rule
+
+    # -- queries -------------------------------------------------------------
+
+    def blackholed(self, src: str, dst: str) -> bool:
+        with self._lock:
+            return any(
+                rule.kind == "blackhole"
+                for rule in self._rules.get((src, dst), ())
+            )
+
+    def crossing_ids(self) -> List[str]:
+        with self._lock:
+            return sorted(self.trace)
+
+    def crossing_names(self) -> List[str]:
+        with self._lock:
+            return sorted({c.split("@", 1)[0] for c in self.trace})
+
+    # -- proxy-facing --------------------------------------------------------
+
+    def _hit(self, kind: str, src: str, dst: str) -> int:
+        """Record one crossing; returns its per-(kind, link) ordinal."""
+        name = f"net.{kind}"
+        with self._lock:
+            key = (name, f"{src}->{dst}")
+            ordinal = self._counts.get(key, 0)
+            self._counts[key] = ordinal + 1
+            self.trace.append(f"{name}@{key[1]}#{ordinal}")
+        # Declare the crossing to the storage failpoint layer too, so an
+        # armed FaultPlan can observe (or crash at) network instants.
+        fault_point(name, scope=f"{src}->{dst}")
+        return ordinal
+
+    def _fire(self, kind: str) -> None:
+        with self._lock:
+            self.fired[kind] = self.fired.get(kind, 0) + 1
+
+    def _rng(self, src: str, dst: str, ordinal: int) -> random.Random:
+        token = f"{self.seed}:{src}->{dst}:{ordinal}".encode()
+        return random.Random(zlib.crc32(token))
+
+    def on_connect(self, src: str, dst: str) -> str:
+        """Verdict for a new ``src → dst`` connection: ``allow``/``drop``."""
+        self._hit("connect", src, dst)
+        if self.blackholed(src, dst):
+            self._hit("blackhole", src, dst)
+            self._fire("blackhole")
+            return "drop"
+        return "allow"
+
+    def on_frame(
+        self, src: str, dst: str, frame: bytes
+    ) -> Tuple[str, float, List[bytes]]:
+        """Decide one forward frame's fate.
+
+        Returns ``(action, delay_s, payloads)`` where ``action`` is
+        ``deliver`` (send each payload after ``delay_s``), ``stall``
+        (blackholed — the caller re-consults until healed), or ``reset``
+        (send the single partial payload, then cut the connection).
+        """
+        ordinal = self._hit("frame", src, dst)
+        with self._lock:
+            rules = list(self._rules.get((src, dst), ()))
+        for rule in rules:
+            if rule.kind == "blackhole":
+                self._hit("blackhole", src, dst)
+                self._fire("blackhole")
+                return ("stall", 0.0, [])
+        delay_total = 0.0
+        payloads = [frame]
+        for rule in rules:
+            if rule.kind == "delay":
+                jitter = 0.0
+                if rule.jitter_s:
+                    jitter = self._rng(src, dst, ordinal).uniform(
+                        0.0, rule.jitter_s
+                    )
+                delay_total += rule.delay_s + jitter
+            elif rule.kind == "reset":
+                rule.seen_frames += 1
+                if rule.seen_frames <= rule.after_frames:
+                    continue
+                if rule.remaining is not None:
+                    if rule.remaining <= 0:
+                        continue
+                    rule.remaining -= 1
+                self._hit("reset", src, dst)
+                self._fire("reset")
+                cut = 1
+                if len(frame) > 1:
+                    cut = 1 + self._rng(src, dst, ordinal).randrange(
+                        len(frame) - 1
+                    )
+                return ("reset", delay_total, [frame[:cut]])
+            elif rule.kind == "duplicate":
+                if rule.remaining is not None:
+                    if rule.remaining <= 0:
+                        continue
+                    rule.remaining -= 1
+                self._hit("duplicate", src, dst)
+                self._fire("duplicate")
+                payloads = [frame, frame]
+        if delay_total:
+            self._hit("delay", src, dst)
+            self._fire("delay")
+        return ("deliver", delay_total, payloads)
+
+
+#: The globally armed plan, if any — same module-global pattern (and the
+#: same no-nesting rule) as the storage failpoint registry.
+_NET_ACTIVE: Optional[NetFaultPlan] = None
+
+
+@contextmanager
+def net_fault_plan(plan: NetFaultPlan) -> Iterator[NetFaultPlan]:
+    """Arm ``plan`` for every :class:`NetProxy` without an explicit one."""
+    global _NET_ACTIVE
+    if _NET_ACTIVE is not None:
+        raise RuntimeError("a NetFaultPlan is already armed")
+    _NET_ACTIVE = plan
+    try:
+        yield plan
+    finally:
+        _NET_ACTIVE = None
+
+
+def active_net_plan() -> Optional[NetFaultPlan]:
+    """The currently armed plan, if any."""
+    return _NET_ACTIVE
+
+
+class NetProxy:
+    """One directed link's relay: listens locally, forwards to a target.
+
+    Everything dialed through this proxy is ``src → dst`` traffic;
+    per-link attribution therefore needs one proxy per directed link
+    (that is what makes asymmetric rules possible — the reverse
+    direction is a different proxy or no proxy at all).
+
+    The relay is frame-aware in the forward direction: it splits the
+    byte stream on the wire protocol's length-prefixed frame boundaries
+    so rules can act on whole frames (delay, duplicate) or deliberately
+    on partial ones (reset mid-frame). The reverse direction (replies)
+    is a plain byte pump.
+
+    Args:
+        target_host / target_port: Where the link actually lands (the
+            ``dst`` node's real listening address).
+        src / dst: The link's endpoint names (cluster node ids, or a
+            label like ``"client"``).
+        plan: The rule engine to consult; ``None`` uses the globally
+            armed plan (:func:`net_fault_plan`), and with neither the
+            proxy relays cleanly.
+        host / port: Where to listen (``port=0`` picks a free port).
+    """
+
+    def __init__(
+        self,
+        target_host: str,
+        target_port: int,
+        *,
+        src: str,
+        dst: str,
+        plan: Optional[NetFaultPlan] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.target_host = target_host
+        self.target_port = target_port
+        self.src = src
+        self.dst = dst
+        self.host = host
+        self.port = port
+        self._plan = plan
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._conns: Set[asyncio.Task] = set()
+        #: Connections accepted / relayed frames (observability).
+        self.connections = 0
+        self.frames_forwarded = 0
+
+    @property
+    def plan(self) -> Optional[NetFaultPlan]:
+        return self._plan if self._plan is not None else active_net_plan()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    async def start(self) -> "NetProxy":
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._conns):
+            task.cancel()
+        for task in list(self._conns):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._conns.clear()
+
+    async def __aenter__(self) -> "NetProxy":
+        return await self.start()
+
+    async def __aexit__(self, *_exc_info: object) -> None:
+        await self.stop()
+
+    # -- relay ---------------------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        self._conns.add(task)
+        try:
+            await self._relay(reader, writer)
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Only stop() cancels connection tasks (e.g. a blackholed
+            # SYN held in silence). Swallow the cancellation so the
+            # streams server's connection_made callback doesn't log it
+            # as an unhandled error.
+            pass
+        finally:
+            self._conns.discard(task)
+            await _close_writer(writer)
+
+    async def _relay(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections += 1
+        plan = self.plan
+        if plan is not None and plan.on_connect(self.src, self.dst) == "drop":
+            # Dropped SYN: hold the accepted socket in silence — no
+            # upstream, no reply bytes, ever. The dialer's own timeout
+            # is what ends this, exactly as with a real blackhole.
+            await reader.read(-1)
+            return
+        try:
+            up_reader, up_writer = await asyncio.wait_for(
+                asyncio.open_connection(self.target_host, self.target_port),
+                5.0,
+            )
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            return  # dst itself is down; dialer sees the close
+        try:
+            forward = asyncio.create_task(
+                self._pump_forward(reader, up_writer)
+            )
+            backward = asyncio.create_task(
+                self._pump_backward(up_reader, writer)
+            )
+            try:
+                await asyncio.wait(
+                    {forward, backward},
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+            finally:
+                # Always cancel and reap both pumps — including when
+                # _relay itself is cancelled — so no pump exception is
+                # left unretrieved.
+                for task in (forward, backward):
+                    task.cancel()
+                results = await asyncio.gather(
+                    forward, backward, return_exceptions=True
+                )
+            for result in results:
+                if isinstance(result, BaseException) and not isinstance(
+                    result,
+                    (ConnectionError, OSError, asyncio.CancelledError),
+                ):
+                    raise result
+        finally:
+            await _close_writer(up_writer)
+
+    async def _pump_forward(
+        self, reader: asyncio.StreamReader, up_writer: asyncio.StreamWriter
+    ) -> None:
+        """Relay forward frames one at a time, consulting the plan."""
+        while True:
+            header = await reader.readexactly(_U32.size)
+            (payload_len,) = _U32.unpack(header)
+            frame = header + await reader.readexactly(payload_len)
+            while True:
+                plan = self.plan
+                if plan is None:
+                    action, delay_s, payloads = "deliver", 0.0, [frame]
+                else:
+                    action, delay_s, payloads = plan.on_frame(
+                        self.src, self.dst, frame
+                    )
+                if action != "stall":
+                    break
+                # Blackholed mid-stream: the frame stalls (TCP would
+                # buffer and retry it) and delivers if the link heals
+                # while the dialer is still waiting.
+                await asyncio.sleep(_STALL_POLL_S)
+            if delay_s:
+                await asyncio.sleep(delay_s)
+            for payload in payloads:
+                up_writer.write(payload)
+            await up_writer.drain()
+            self.frames_forwarded += 1
+            if action == "reset":
+                # The partial frame is on the wire; now cut both sides.
+                raise ConnectionResetError(
+                    f"injected reset mid-frame on {self.src}->{self.dst}"
+                )
+
+    @staticmethod
+    async def _pump_backward(
+        up_reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Replies relay untouched (rules act on the forward direction)."""
+        while True:
+            chunk = await up_reader.read(64 * 1024)
+            if not chunk:
+                raise ConnectionResetError("upstream closed")
+            writer.write(chunk)
+            await writer.drain()
+
+
+async def _close_writer(writer: asyncio.StreamWriter) -> None:
+    try:
+        writer.close()
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass

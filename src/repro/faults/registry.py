@@ -351,6 +351,51 @@ FAILPOINTS: Dict[str, Failpoint] = {
             "newer map observed, before this node stops serving a shard "
             "it lost",
         ),
+        Failpoint(
+            "repl.node.fence",
+            "cluster/store.py repl_fence",
+            "standby contact lost past the fence window, before the "
+            "primary stops acking writes to the shard (self-fencing)",
+        ),
+        # Network crossings, declared by the deterministic TCP relay in
+        # faults/net.py. The first two fire on every proxied connection /
+        # forward frame (injection points); the rest fire when a
+        # NetFaultPlan rule engages on that link.
+        Failpoint(
+            "net.connect",
+            "faults/net.py NetProxy._relay",
+            "proxied connection accepted on a directed link, before "
+            "dialing the target",
+        ),
+        Failpoint(
+            "net.frame",
+            "faults/net.py NetProxy._pump_forward",
+            "one forward frame split off the wire, before delivery to "
+            "the target",
+        ),
+        Failpoint(
+            "net.blackhole",
+            "faults/net.py NetFaultPlan.on_connect/on_frame",
+            "link silenced: the connection is held unanswered or the "
+            "in-flight frame stalls until heal",
+        ),
+        Failpoint(
+            "net.delay",
+            "faults/net.py NetFaultPlan.on_frame",
+            "fixed-plus-jitter delivery delay applied to a forward frame",
+        ),
+        Failpoint(
+            "net.reset",
+            "faults/net.py NetFaultPlan.on_frame",
+            "deterministic frame prefix delivered, before resetting both "
+            "sides of the connection mid-frame",
+        ),
+        Failpoint(
+            "net.duplicate",
+            "faults/net.py NetFaultPlan.on_frame",
+            "forward frame about to be delivered twice (at-least-once "
+            "wire behavior)",
+        ),
     )
 }
 
@@ -380,6 +425,8 @@ def failpoint_kinds(name: str) -> List[str]:
     if name not in FAILPOINTS:
         raise KeyError(f"unknown failpoint {name!r}")
     kinds = ["crash"]
+    if name.startswith("net."):
+        kinds.append("wire")
     if name in TEARABLE:
         kinds += ["torn", "bitflip"]
     if name == "wal.sync":

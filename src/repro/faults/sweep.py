@@ -33,6 +33,7 @@ crossing set with a seeded RNG instead of covering all of it.
 
 from __future__ import annotations
 
+import asyncio
 import os
 import random
 import tempfile
@@ -897,12 +898,18 @@ class SweepReport:
     """Outcome of one sweep: coverage numbers and every violation found."""
 
     crossings: Dict[str, List[str]] = field(default_factory=dict)
+    #: Wire/fence crossings observed during partition runs, keyed by
+    #: run name. Kept out of ``crossings``: which of these fire depends
+    #: on live timing under load, and the deterministic-sweep guarantee
+    #: (same seed => identical ``crossings``) must keep holding.
+    partition_crossings: Dict[str, List[str]] = field(default_factory=dict)
     runs: int = 0
     crash_runs: int = 0
     torn_runs: int = 0
     bitflip_runs: int = 0
     fsync_runs: int = 0
     transient_runs: int = 0
+    partition_runs: int = 0
     violations: List[str] = field(default_factory=list)
     elapsed_s: float = 0.0
 
@@ -913,7 +920,9 @@ class SweepReport:
     @property
     def distinct_names(self) -> List[str]:
         names = set()
-        for ids in self.crossings.values():
+        for ids in list(self.crossings.values()) + list(
+            self.partition_crossings.values()
+        ):
             names.update(crossing.split("@", 1)[0] for crossing in ids)
         return sorted(names)
 
@@ -921,12 +930,17 @@ class SweepReport:
         lines = [
             f"crash points enumerated : {self.total_crossings} "
             f"({', '.join(f'{s}={len(c)}' for s, c in self.crossings.items())})",
+            f"partition crossings     : "
+            f"{sum(len(c) for c in self.partition_crossings.values())} "
+            "observed "
+            f"({', '.join(f'{r}={len(c)}' for r, c in self.partition_crossings.items())})",
             f"failpoint names covered : {len(self.distinct_names)} "
             f"of {len(FAILPOINTS)} catalogued",
             f"runs executed           : {self.runs} "
             f"(crash={self.crash_runs} torn={self.torn_runs} "
             f"bitflip={self.bitflip_runs} fsync={self.fsync_runs} "
-            f"transient={self.transient_runs})",
+            f"transient={self.transient_runs} "
+            f"partition={self.partition_runs})",
             f"invariant violations    : {len(self.violations)}",
             f"elapsed                 : {self.elapsed_s:.1f}s",
         ]
@@ -1155,22 +1169,553 @@ def _sample(
     items: List[str],
     count: int,
     rng: random.Random,
-    always: Tuple[str, ...] = ("txn.", "repl.node."),
+    always: Tuple[str, ...] = ("txn.", "repl.node.", "net."),
 ) -> List[str]:
     """Seeded sample of ``count`` crossings, plus every ``always`` match.
 
-    Quick mode must never skip the two-phase-commit or failover
-    crossings — they are few, and each one is a distinct protocol state
-    (mid-prepare, torn decision, mid-seed, the promotion seal, the
-    demotion) whose recovery path deserves a run on every CI pass — so
-    crossings whose failpoint name starts with one of the ``always``
-    prefixes ride along on top of the random sample.
+    Quick mode must never skip the two-phase-commit, failover, or
+    network-fault crossings — they are few, and each one is a distinct
+    protocol state (mid-prepare, torn decision, mid-seed, the promotion
+    seal, the demotion, a partitioned link) whose recovery path deserves
+    a run on every CI pass — so crossings whose failpoint name starts
+    with one of the ``always`` prefixes ride along on top of the random
+    sample.
     """
     if count >= len(items):
         return list(items)
     forced = [item for item in items if item.startswith(always)]
     sampled = set(rng.sample(items, count)) | set(forced)
     return sorted(sampled)
+
+
+# -- partition scenarios -----------------------------------------------------
+#
+# Wire-level runs, distinct from the crash-at-crossing machinery above:
+# a live two-node cluster (designated topology — ``a`` owns every shard,
+# ``b`` is a pure standby, so a symmetric cut cannot produce two
+# same-epoch owners) with every node-to-node link routed through a
+# NetProxy driven by a seeded NetFaultPlan. Two writers — one pinned to
+# each node, both targeting shard 0 — record every acknowledged write
+# with the acking node, that node's map epoch at ack time, and the ack's
+# wall-clock interval. The ownership-history checker then asserts the
+# two partition invariants:
+#
+# * **single writer per instant** — no two acks from different nodes
+#   overlap in time, and no node acks at an epoch older than one a
+#   different node's completed ack already carried;
+# * **zero acked writes lost after heal** — once the cluster converges,
+#   the last acked value of every key is readable from the surviving
+#   owner.
+
+_P_SHARDS = 4
+_P_HEARTBEAT_S = 0.1
+_P_LEASE_S = 0.6
+_PARTITION_RUNS = ("symmetric", "asymmetric", "heal_rejoin", "flapping")
+
+
+@dataclass
+class _AckRecord:
+    """One acknowledged write, as the ack-history checker sees it."""
+
+    key: str
+    value: str
+    node: str
+    epoch: int
+    t_start: float
+    t_end: float
+
+
+def _partition_keys(count: int) -> List[str]:
+    """``count`` keys that all hash to shard 0 of a 4-shard map."""
+    keys, index = [], 0
+    while len(keys) < count:
+        key = f"pk{index:05d}"
+        if hash_shard_index(key, _P_SHARDS) == 0:
+            keys.append(key)
+        index += 1
+    return keys
+
+
+async def _partition_cluster(root: str, plan):
+    """Start the proxied designated-topology pair; returns
+    (servers, stores, proxies) with the live replicated map installed
+    and every standby seeded and streaming."""
+    from ..cluster import ClusterNode
+    from .net import NetProxy
+
+    node_ids = ("a", "b")
+    boot = ClusterMap(
+        ["a"] * _P_SHARDS,
+        [NodeInfo(node_id, "127.0.0.1", 0) for node_id in node_ids],
+    )
+    stores = {
+        node_id: NodeStore(
+            node_id,
+            boot,
+            LSMConfig(buffer_size_bytes=1 << 18),
+            wal_dir=os.path.join(root, node_id),
+        )
+        for node_id in node_ids
+    }
+    servers = {
+        node_id: ClusterNode(
+            store,
+            host="127.0.0.1",
+            port=0,
+            heartbeat_interval_s=_P_HEARTBEAT_S,
+            lease_timeout_s=_P_LEASE_S,
+            repl_timeout_s=0.5,
+            self_fence=True,
+        )
+        for node_id, store in stores.items()
+    }
+    for server in servers.values():
+        await server.start()
+    addresses = {
+        node_id: ("127.0.0.1", server.port)
+        for node_id, server in servers.items()
+    }
+    proxies = {}
+    for src in node_ids:
+        for dst in node_ids:
+            if src == dst:
+                continue
+            proxy = NetProxy(*addresses[dst], src=src, dst=dst, plan=plan)
+            await proxy.start()
+            proxies[(src, dst)] = proxy
+    for node_id, server in servers.items():
+        for other in node_ids:
+            if other != node_id:
+                server.dial_overrides[other] = (
+                    "127.0.0.1",
+                    proxies[(node_id, other)].port,
+                )
+    live = ClusterMap(
+        ["a"] * _P_SHARDS,
+        [NodeInfo(node_id, *addresses[node_id]) for node_id in node_ids],
+        epoch=1,
+        replicas=["b"] * _P_SHARDS,
+    )
+    for store in stores.values():
+        store.install_map(live)
+    for server in servers.values():
+        server._reconcile_replication()
+    deadline = time.monotonic() + 10.0
+    while not (
+        stores["b"].promotable_shards() == list(range(_P_SHARDS))
+        and all(s.streaming for s in servers["a"]._shippers.values())
+    ):
+        if time.monotonic() > deadline:
+            raise RuntimeError("partition cluster never finished seeding")
+        await asyncio.sleep(0.02)
+    return servers, stores, proxies
+
+
+async def _partition_writer(
+    node_id: str,
+    port: int,
+    store: NodeStore,
+    keys: List[str],
+    offset: int,
+    step: int,
+    records: List[_AckRecord],
+    stop: "asyncio.Event",
+) -> None:
+    """Pin a writer to one node; record only acknowledged writes.
+
+    Rejections (BUSY from a fence, MOVED from a non-owner, resets and
+    timeouts from a cut link) are the expected weather of a partition
+    run — they back off and retry; only a successful reply becomes an
+    ack record, stamped with the acking node's epoch *at ack time*.
+    """
+    from ..server.client import KVClient, ServerError
+
+    index = offset
+    client = None
+    try:
+        while not stop.is_set():
+            if client is None:
+                try:
+                    client = await KVClient.connect(
+                        "127.0.0.1",
+                        port,
+                        timeout_s=2.0,
+                        connect_timeout_s=0.5,
+                        max_busy_retries=0,
+                        reconnect_retries=0,
+                    )
+                except (ConnectionError, OSError):
+                    await asyncio.sleep(0.05)
+                    continue
+            key = keys[index]
+            value = f"{node_id}#{index}"
+            t_start = time.monotonic()
+            try:
+                await client.put(key, value)
+            except ServerError:
+                # BUSY (fenced) or MOVED (not the owner): not an ack.
+                await asyncio.sleep(0.03)
+                continue
+            except (ConnectionError, OSError, asyncio.TimeoutError):
+                try:
+                    await client.close()
+                except Exception:
+                    pass
+                client = None
+                await asyncio.sleep(0.05)
+                continue
+            records.append(
+                _AckRecord(
+                    key=key,
+                    value=value,
+                    node=node_id,
+                    epoch=store.map.epoch,
+                    t_start=t_start,
+                    t_end=time.monotonic(),
+                )
+            )
+            index += step
+            if index >= len(keys):
+                index = offset
+            await asyncio.sleep(0.01)
+    finally:
+        if client is not None:
+            try:
+                await client.close()
+            except Exception:
+                pass
+
+
+def _check_ack_history(
+    run: str,
+    records: List[_AckRecord],
+    stores: Dict[str, NodeStore],
+    report: SweepReport,
+) -> None:
+    """The ownership-history checker: single-writer-per-instant, epoch
+    monotonicity across nodes, and zero acked writes lost after heal."""
+    recs = sorted(records, key=lambda record: record.t_start)
+    for i, first in enumerate(recs):
+        for later in recs[i + 1 :]:
+            if later.node == first.node:
+                continue
+            if later.t_start < first.t_end:
+                report.violations.append(
+                    f"[partition:{run}] dual ack: {first.node} acked "
+                    f"{first.key} while {later.node} acked {later.key} "
+                    "in the same instant"
+                )
+            elif (
+                first.t_end <= later.t_start
+                and later.epoch < first.epoch
+            ):
+                report.violations.append(
+                    f"[partition:{run}] stale-epoch ack: {later.node} "
+                    f"acked {later.key} at epoch {later.epoch} after "
+                    f"{first.node} completed an ack at epoch "
+                    f"{first.epoch}"
+                )
+    # Post-heal durability: the last acked value of every key must be
+    # readable from the node that owns shard 0 once converged.
+    latest: Dict[str, _AckRecord] = {}
+    for record in recs:
+        current = latest.get(record.key)
+        if current is None or record.t_end >= current.t_end:
+            latest[record.key] = record
+    owner_map = max(
+        (store.map for store in stores.values()),
+        key=lambda cluster_map: cluster_map.epoch,
+    )
+    owner = stores[owner_map.owner_id(0)]
+    for key, record in sorted(latest.items()):
+        try:
+            found = owner.get(key)
+        except Exception as exc:
+            report.violations.append(
+                f"[partition:{run}] post-heal read of acked key "
+                f"{key} raised {exc!r}"
+            )
+            continue
+        if found != record.value:
+            report.violations.append(
+                f"[partition:{run}] acked write lost after heal: "
+                f"{key} acked as {record.value!r} by {record.node} "
+                f"(epoch {record.epoch}) but reads as {found!r}"
+            )
+
+
+async def _probe_busy(
+    port: int, key: str, deadline_s: float = 6.0
+) -> bool:
+    """Whether a direct write at ``port`` answers BUSY (a held fence)
+    within the deadline. Acks mean the fence is not (yet) holding —
+    keep probing; connection trouble retries."""
+    from ..server.client import BusyError, KVClient, ServerError
+
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        client = None
+        try:
+            client = await KVClient.connect(
+                "127.0.0.1",
+                port,
+                timeout_s=2.0,
+                connect_timeout_s=0.5,
+                max_busy_retries=0,
+                reconnect_retries=0,
+            )
+            await client.put(key, "probe")
+        except BusyError:
+            return True
+        except (ServerError, ConnectionError, OSError, asyncio.TimeoutError):
+            pass
+        finally:
+            if client is not None:
+                try:
+                    await client.close()
+                except Exception:
+                    pass
+        await asyncio.sleep(0.1)
+    return False
+
+
+async def _partition_wait(
+    condition,
+    run: str,
+    what: str,
+    report: SweepReport,
+    deadline_s: float = 10.0,
+) -> bool:
+    deadline = time.monotonic() + deadline_s
+    while not condition():
+        if time.monotonic() > deadline:
+            report.violations.append(f"[partition:{run}] {what}")
+            return False
+        await asyncio.sleep(0.02)
+    return True
+
+
+async def _partition_scenario(
+    run: str, root: str, plan, report: SweepReport, quick: bool
+) -> None:
+    servers, stores, proxies = await _partition_cluster(root, plan)
+    records: List[_AckRecord] = []
+    stop = asyncio.Event()
+    keys = _partition_keys(3000)
+    writers = [
+        asyncio.create_task(
+            _partition_writer(
+                node_id,
+                servers[node_id].port,
+                stores[node_id],
+                keys,
+                offset,
+                2,
+                records,
+                stop,
+            )
+        )
+        for offset, node_id in enumerate(("a", "b"))
+    ]
+    try:
+        await asyncio.sleep(0.4)  # healthy warm-up acks on `a`
+
+        if run == "symmetric":
+            plan.partition(["a"], ["b"])
+            if await _partition_wait(
+                lambda: bool(servers["b"].promotions),
+                run,
+                "standby never promoted",
+                report,
+            ):
+                # The admission fence must engage while the partition
+                # holds (the exact ack-time fence already refuses sooner
+                # — the dual-ack check below proves the ordering; this
+                # asserts the heartbeat-grained fence converges too).
+                await _partition_wait(
+                    lambda: bool(stores["a"].repl_fenced_shards()),
+                    run,
+                    "primary never self-fenced",
+                    report,
+                )
+                await asyncio.sleep(1.0)  # promoted acks on `b`
+            plan.clear()
+            await _partition_wait(
+                lambda: stores["a"].map.epoch == stores["b"].map.epoch
+                and not stores["a"].owned_shards(),
+                run,
+                "old primary never demoted after heal",
+                report,
+            )
+
+        elif run == "asymmetric":
+            # One-directional starvation: the primary cannot reach its
+            # standby, the standby's pings still round-trip. Correct
+            # outcome is *no* promotion and a fenced (BUSY) primary —
+            # degraded but split-brain-proof. The inbound pings keep the
+            # heartbeat-grained admission fence disengaged (contact is
+            # genuinely alive), so the refusal comes from the exact
+            # ack-time fence: probe it on the wire.
+            plan.blackhole("a", "b")
+            await _partition_wait(
+                lambda: not servers["a"]._shippers[0].streaming,
+                run,
+                "ship stream never degraded under the cut",
+                report,
+            )
+            if not await _probe_busy(servers["a"].port, keys[-1]):
+                report.violations.append(
+                    f"[partition:{run}] primary kept acking "
+                    "un-replicated writes under a one-way cut"
+                )
+            await asyncio.sleep(0.5)
+            if servers["b"].promotions:
+                report.violations.append(
+                    f"[partition:{run}] standby promoted although its "
+                    "pings to the primary still round-tripped"
+                )
+            plan.heal("a", "b")
+            await _partition_wait(
+                lambda: all(
+                    s.streaming for s in servers["a"]._shippers.values()
+                )
+                and not stores["a"].repl_fenced_shards(),
+                run,
+                "stream/fence never recovered after heal",
+                report,
+            )
+            await asyncio.sleep(0.4)  # post-heal acks on `a`
+
+        elif run == "heal_rejoin":
+            plan.partition(["a"], ["b"])
+            await _partition_wait(
+                lambda: bool(servers["b"].promotions),
+                run,
+                "standby never promoted",
+                report,
+            )
+            plan.clear()
+            # The healed old primary must demote AND reseed into a
+            # promotable standby — a full rejoin, not just an epoch
+            # adoption.
+            await _partition_wait(
+                lambda: stores["a"].promotable_shards()
+                == list(range(_P_SHARDS)),
+                run,
+                "old primary never reseeded as a promotable standby",
+                report,
+                deadline_s=15.0,
+            )
+            # Fail back: cut again, the rejoined node must win.
+            plan.partition(["a"], ["b"])
+            await _partition_wait(
+                lambda: bool(servers["a"].promotions),
+                run,
+                "rejoined standby never promoted on the second cut",
+                report,
+            )
+            plan.clear()
+            await _partition_wait(
+                lambda: stores["a"].map.epoch == stores["b"].map.epoch,
+                run,
+                "maps never converged after the second heal",
+                report,
+            )
+
+        elif run == "flapping":
+            # Wire hardening rides along on the flap run: jittered
+            # delay, one duplicated frame (the at-least-once surface —
+            # re-applied puts are idempotent, and the session the extra
+            # reply desyncs is torn down by the reset right after), and
+            # one mid-frame reset the shipper must absorb by
+            # reconnect-and-reseed.
+            plan.delay("a", "b", 0.02, jitter_s=0.01)
+            plan.duplicate("a", "b", count=1)
+            plan.reset("a", "b", after_frames=8, count=1)
+            await asyncio.sleep(0.6)
+            plan.heal("a", "b")
+            flaps = 3 if quick else 6
+            for _ in range(flaps):
+                plan.blackhole("a", "b")
+                await asyncio.sleep(0.15)
+                plan.heal("a", "b")
+                await asyncio.sleep(0.1)
+            if servers["b"].promotions:
+                report.violations.append(
+                    f"[partition:{run}] sub-lease link flaps caused a "
+                    "promotion"
+                )
+            await _partition_wait(
+                lambda: all(
+                    s.streaming for s in servers["a"]._shippers.values()
+                ),
+                run,
+                "stream never settled after the flaps",
+                report,
+            )
+            await asyncio.sleep(0.3)
+
+        else:  # pragma: no cover - driver bug
+            raise ValueError(f"unknown partition run {run!r}")
+    finally:
+        stop.set()
+        await asyncio.gather(*writers, return_exceptions=True)
+    # Let in-flight replication settle before the durability read-back.
+    await asyncio.sleep(0.3)
+    if not records:
+        report.violations.append(
+            f"[partition:{run}] no write was ever acknowledged"
+        )
+    _check_ack_history(run, records, stores, report)
+    for server in servers.values():
+        try:
+            await server.stop()
+        except Exception:
+            pass
+    for proxy in proxies.values():
+        try:
+            await proxy.stop()
+        except Exception:
+            pass
+
+
+def _partition_run(
+    run: str, seed: int, report: SweepReport, quick: bool
+) -> None:
+    """One scripted partition scenario under a seeded NetFaultPlan.
+
+    Runs inside a recording FaultPlan so the ``repl.node.fence``
+    crossings it provokes count toward catalog coverage; the wire-level
+    ``net.*`` crossings come from the NetFaultPlan's own trace.
+    """
+    from .net import NetFaultPlan
+
+    plan = NetFaultPlan(seed=seed)
+    with tempfile.TemporaryDirectory(prefix="sweep-part-") as root:
+        record_plan = FaultPlan(root=root, seed=seed)
+        try:
+            with fault_plan(record_plan):
+                asyncio.run(_partition_scenario(run, root, plan, report, quick))
+        except Exception as exc:
+            report.violations.append(
+                f"[partition:{run}] scenario crashed: {exc!r}"
+            )
+        # One entry per (failpoint, link) — a blackholed dial loop
+        # crosses net.connect thousands of times; the per-crossing
+        # ordinals are noise at report level.
+        crossings = report.partition_crossings.setdefault(run, [])
+        seen = set(crossings)
+        for crossing in plan.crossing_ids() + [
+            crossing
+            for crossing in record_plan.crossing_ids()
+            if crossing.startswith("repl.node.fence")
+        ]:
+            entry = crossing.split("#", 1)[0]
+            if entry not in seen:
+                seen.add(entry)
+                crossings.append(entry)
+    report.runs += 1
+    report.partition_runs += 1
 
 
 def run_sweep(quick: bool = False, seed: int = 7) -> SweepReport:
@@ -1243,6 +1788,12 @@ def run_sweep(quick: bool = False, seed: int = 7) -> SweepReport:
                 scenario, target, "crash", seed, report, transient_times=times
             )
             report.transient_runs += 1
+
+    # Partition scenarios: wire-level, never sampled out — each of the
+    # four scripts is a distinct protocol posture (fence-then-promote,
+    # degraded-no-promotion, rejoin-then-failback, flap tolerance).
+    for run in _PARTITION_RUNS:
+        _partition_run(run, seed, report, quick)
 
     report.elapsed_s = time.perf_counter() - started
     return report

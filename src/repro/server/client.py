@@ -56,6 +56,26 @@ from .protocol import (
 )
 
 
+async def _open_connection(
+    host: str, port: int, timeout_s: float
+) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    """``asyncio.open_connection`` bounded by ``timeout_s``.
+
+    A timed-out connect surfaces as :class:`ConnectionError` so every
+    caller's existing connect-failure handling (reconnect budgets, the
+    cluster client's failover grace and circuit breaker) applies to a
+    blackholed address exactly as it does to a refused one.
+    """
+    try:
+        return await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout_s
+        )
+    except asyncio.TimeoutError:
+        raise ConnectionError(
+            f"connect to {host}:{port} timed out after {timeout_s}s"
+        ) from None
+
+
 class ServerError(ReproError):
     """The server answered with a structured ``ERR code message`` reply."""
 
@@ -155,6 +175,13 @@ class KVClient:
             records the address).
         reconnect_backoff_s: Base delay between reconnect attempts
             (jittered, doubled per attempt).
+        connect_timeout_s: Bound on establishing the TCP connection, in
+            :meth:`connect` and every reconnect. Without it a blackholed
+            address (a partitioned node, a dropped SYN) hangs the
+            connect for the kernel's SYN timeout — minutes — while the
+            reply timeout never arms because no request was ever sent;
+            with it the caller (and the cluster client's circuit
+            breaker) sees a fast ``ConnectionError`` instead.
         retry_deadline_s: Wall-clock bound on one call's total retrying
             (BUSY + reconnect); ``None`` means bounded only by the retry
             counts.
@@ -179,6 +206,7 @@ class KVClient:
         backoff_max_s: float = 0.25,
         reconnect_retries: int = 3,
         reconnect_backoff_s: float = 0.05,
+        connect_timeout_s: float = 5.0,
         retry_deadline_s: Optional[float] = None,
         protocol_version: int = 1,
     ) -> None:
@@ -193,6 +221,7 @@ class KVClient:
         self.backoff_max_s = backoff_max_s
         self.reconnect_retries = reconnect_retries
         self.reconnect_backoff_s = reconnect_backoff_s
+        self.connect_timeout_s = connect_timeout_s
         self.retry_deadline_s = retry_deadline_s
         #: BUSY replies absorbed by the retry loop (observability).
         self.busy_retries = 0
@@ -235,7 +264,8 @@ class KVClient:
         reconnect after a connection reset (see the module docstring for
         the at-least-once caveat on resent writes).
         """
-        reader, writer = await asyncio.open_connection(host, port)
+        timeout_s = float(options.get("connect_timeout_s", 5.0))  # type: ignore[arg-type]
+        reader, writer = await _open_connection(host, port, timeout_s)
         client = cls(reader, writer, **options)  # type: ignore[arg-type]
         client._address = (host, port)
         if client._requested_version > 1:
@@ -618,7 +648,9 @@ class KVClient:
                 await self._writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
-            reader, writer = await asyncio.open_connection(*self._address)
+            reader, writer = await _open_connection(
+                *self._address, self.connect_timeout_s
+            )
             self._reader = reader
             self._writer = writer
             self._parser = FrameParser(MAX_FRAME_BYTES)
